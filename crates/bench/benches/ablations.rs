@@ -1,0 +1,36 @@
+//! Wall-clock cost of the ablation computations (the ablation *results*
+//! are printed by `experiments --ablations`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use upnp_bench::ablations;
+use upnp_hw::components::ToleranceClass;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+
+    g.bench_function("decode_error_rate_50_trials", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(ablations::decode_error_rate(
+                ToleranceClass::OnePercent,
+                50,
+                seed,
+            ))
+        })
+    });
+
+    g.bench_function("discovery_traffic_20_things", |b| {
+        b.iter(|| black_box(ablations::discovery_traffic(20, 3)))
+    });
+
+    g.bench_function("slot_policy_latency", |b| {
+        b.iter(|| black_box(ablations::slot_policy_latency_ms()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

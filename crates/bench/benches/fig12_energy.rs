@@ -1,0 +1,28 @@
+//! Figure 12 regeneration cost: single sweep points and the full figure.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use upnp_energy::deployment::{simulate_year, Technology, YearConfig};
+use upnp_hw::peripheral::Interconnect;
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_energy");
+    g.sample_size(20);
+    let config = YearConfig {
+        ident_samples: 16,
+        ..YearConfig::default()
+    };
+    for (name, tech) in [
+        ("usb", Technology::UsbHost),
+        ("upnp_adc", Technology::Upnp(Interconnect::Adc)),
+        ("upnp_i2c", Technology::Upnp(Interconnect::I2c)),
+        ("upnp_uart", Technology::Upnp(Interconnect::Uart)),
+    ] {
+        g.bench_with_input(BenchmarkId::new("year_at_hourly", name), &tech, |b, &t| {
+            b.iter(|| black_box(simulate_year(t, 60, &config)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

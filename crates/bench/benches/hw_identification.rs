@@ -1,0 +1,68 @@
+//! Hardware-identification kernels: resistor-set solving (the online
+//! tool) and the full scan + decode path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use upnp_hw::board::ControlBoard;
+use upnp_hw::channels::ChannelId;
+use upnp_hw::encoding::PulseCodec;
+use upnp_hw::id::{prototypes, DeviceTypeId};
+use upnp_hw::peripheral::{Interconnect, PeripheralBoard};
+use upnp_hw::solver::solve_resistors;
+use upnp_sim::SimTime;
+
+fn bench_hw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hw_identification");
+
+    g.bench_function("solve_resistor_set", |b| {
+        b.iter(|| black_box(solve_resistors(prototypes::BMP180).unwrap()))
+    });
+
+    g.bench_function("codec_roundtrip_256", |b| {
+        let codec = PulseCodec::paper();
+        b.iter(|| {
+            for byte in 0..=255u8 {
+                let t = codec.encode(byte);
+                black_box(codec.decode(t).unwrap());
+            }
+        })
+    });
+
+    g.bench_function("scan_one_peripheral", |b| {
+        b.iter(|| {
+            let mut board = ControlBoard::ideal();
+            let p =
+                PeripheralBoard::manufacture_ideal(prototypes::TMP36, Interconnect::Adc).unwrap();
+            board.plug(ChannelId(0), p).unwrap();
+            black_box(board.scan(SimTime::ZERO, 25.0))
+        })
+    });
+
+    g.bench_function("scan_three_peripherals", |b| {
+        b.iter(|| {
+            let mut board = ControlBoard::ideal();
+            for (ch, id) in [
+                (0u8, prototypes::TMP36),
+                (1, prototypes::ID20LA),
+                (2, prototypes::BMP180),
+            ] {
+                let p = PeripheralBoard::manufacture_ideal(id, Interconnect::Adc).unwrap();
+                board.plug(ChannelId(ch), p).unwrap();
+            }
+            black_box(board.scan(SimTime::ZERO, 25.0))
+        })
+    });
+
+    g.bench_function("random_id_solve_and_verify", |b| {
+        let mut n = 1u32;
+        b.iter(|| {
+            n = n.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            let id = DeviceTypeId::new(n | 1);
+            black_box(solve_resistors(id).unwrap())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_hw);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Table 4 regeneration cost: the full plug-to-advertised pipeline in a
+//! fresh world (identification scan, driver request, OTA upload, install,
+//! group join, advertisement).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use upnp_bench::experiments::bench_plug_once;
+
+fn bench_table4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_network");
+    g.sample_size(20);
+    let mut seed = 0u64;
+    g.bench_function("plug_pipeline_end_to_end", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(bench_plug_once(seed))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! §6.2 micro-benchmarks: bytecode instruction execution and stack
+//! push/pop, measured on the host (the paper's AVR-projected values come
+//! from `experiments --sec 6.2`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use upnp_dsl::compile_source;
+use upnp_dsl::events::ids;
+use upnp_vm::vm::DriverInstance;
+
+fn instance(src: &str) -> DriverInstance {
+    DriverInstance::new(compile_source(src, 1).expect("compile"))
+}
+
+/// A handler that executes ~3500 mixed integer instructions.
+const INT_LOOP: &str = "\
+int32_t a, b;
+event init():
+    return;
+event destroy():
+    return;
+event read():
+    b = 0;
+    while b < 500:
+        a = (a * 31 + 7) % 1000;
+        b = b + 1;
+    return a;
+";
+
+/// A float-heavy handler (soft-float cost path).
+const FLOAT_LOOP: &str = "\
+float x;
+int32_t i;
+event init():
+    return;
+event destroy():
+    return;
+event read():
+    i = 0;
+    x = 1.0;
+    while i < 200:
+        x = (x * 1.01) + 0.5;
+        i = i + 1;
+    return x;
+";
+
+fn bench_vm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vm_instructions");
+
+    let mut int_driver = instance(INT_LOOP);
+    int_driver.run_handler(ids::INIT, &[]);
+    g.bench_function("integer_loop_3500_instr", |b| {
+        b.iter(|| {
+            let out = int_driver.run_handler(ids::READ, &[]);
+            black_box(out.instructions)
+        })
+    });
+
+    let mut float_driver = instance(FLOAT_LOOP);
+    float_driver.run_handler(ids::INIT, &[]);
+    g.bench_function("float_loop_1400_instr", |b| {
+        b.iter(|| {
+            let out = float_driver.run_handler(ids::READ, &[]);
+            black_box(out.instructions)
+        })
+    });
+
+    // Push/pop micro: a handler that only moves the stack.
+    let mut push_pop = instance(
+        "int32_t a;\nevent init():\n    return;\nevent destroy():\n    return;\nevent read():\n    a = 1 + 2 + 3 + 4 + 5 + 6 + 7 + 8;\n    return a;\n",
+    );
+    g.bench_function("push_pop_chain", |b| {
+        b.iter(|| black_box(push_pop.run_handler(ids::READ, &[])))
+    });
+
+    // Dispatch cost floor: the smallest possible handler.
+    let mut tiny = instance("event init():\n    return;\nevent destroy():\n    return;\n");
+    g.bench_function("empty_handler", |b| {
+        b.iter(|| black_box(tiny.run_handler(ids::INIT, &[])))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_vm);
+criterion_main!(benches);

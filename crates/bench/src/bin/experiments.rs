@@ -1,0 +1,39 @@
+//! Regenerates the paper's tables and figures from the reproduction.
+//!
+//! ```text
+//! experiments                 # everything, paper order
+//! experiments --fig 3|5|12    # one figure
+//! experiments --table 2|3|4   # one table
+//! experiments --sec 6.1|6.2|8 # one text-section result
+//! experiments --ablations     # design-decision ablations
+//! experiments --quick         # everything, reduced sample counts
+//! ```
+
+use upnp_bench::{ablations, experiments};
+use upnp_hw::id::prototypes;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
+        [] => experiments::run_all(64, 10),
+        ["--quick"] => experiments::run_all(8, 3),
+        ["--fig", "3"] => experiments::exp_fig3_waveform(prototypes::ID20LA),
+        ["--fig", "5"] => experiments::exp_fig5_waveform(),
+        ["--fig", "12"] => experiments::exp_fig12(64),
+        ["--table", "2"] => experiments::exp_table2(),
+        ["--table", "3"] => experiments::exp_table3(),
+        ["--table", "4"] => experiments::exp_table4(10),
+        ["--sec", "6.1"] => experiments::exp_sec61_identification(),
+        ["--sec", "6.2"] => experiments::exp_sec62_vm(),
+        ["--sec", "8"] => experiments::exp_sec8_total(),
+        ["--ablations"] => ablations::run_all(),
+        ["--multihop"] => experiments::exp_multihop_discovery(6),
+        _ => {
+            eprintln!(
+                "usage: experiments [--quick | --fig 3|5|12 | --table 2|3|4 | --sec 6.1|6.2|8 | --ablations | --multihop]"
+            );
+            std::process::exit(2);
+        }
+    };
+    print!("{out}");
+}

@@ -1,0 +1,13 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (§6) from the reproduction.
+//!
+//! Each `exp_*` function returns the rendered rows/series the paper
+//! reports, alongside the paper's own numbers for comparison. The
+//! `experiments` binary prints them; the Criterion benches reuse the same
+//! code paths for wall-clock measurement; EXPERIMENTS.md records
+//! paper-versus-measured.
+
+pub mod ablations;
+pub mod experiments;
+
+pub use experiments::*;

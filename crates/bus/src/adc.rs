@@ -1,0 +1,183 @@
+//! The MCU's analog-to-digital converter.
+//!
+//! Models the ATMega128RFA1 ADC: 10-bit successive approximation, a 125 kHz
+//! ADC clock (16 MHz / 128 prescaler) and 13 ADC clock cycles per
+//! conversion — 104 µs. The paper's §2.2 example (why even an analog
+//! temperature sensor needs platform knowledge: "ADC resolution, supply
+//! voltage and reference voltage") is exactly the configuration this module
+//! owns so that DSL drivers do not have to.
+
+use upnp_sim::{SimDuration, SimRng};
+
+use crate::BusTransaction;
+
+/// Anything that produces an analog voltage for the ADC to sample.
+pub trait AnalogSource {
+    /// The instantaneous output voltage given the environment, volts.
+    fn voltage(&self, env: &crate::Environment, rng: &mut SimRng) -> f64;
+}
+
+/// One completed conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdcReading {
+    /// The raw counts, `0 ..= 2^bits − 1`.
+    pub raw: u16,
+}
+
+/// A successive-approximation ADC.
+#[derive(Debug, Clone)]
+pub struct Adc {
+    /// Resolution in bits.
+    pub resolution_bits: u8,
+    /// Reference voltage, volts: full scale maps to `vref`.
+    pub vref: f64,
+    /// ADC clock frequency, hertz.
+    pub adc_clock_hz: u64,
+    /// Input-referred RMS noise, volts.
+    pub noise_v_rms: f64,
+}
+
+impl Default for Adc {
+    fn default() -> Self {
+        Self::atmega128rfa1()
+    }
+}
+
+impl Adc {
+    /// The evaluation platform's ADC: 10-bit, 3.3 V reference (AVcc),
+    /// 125 kHz ADC clock, ≈1 mV RMS input noise.
+    pub fn atmega128rfa1() -> Self {
+        Adc {
+            resolution_bits: 10,
+            vref: 3.3,
+            adc_clock_hz: 125_000,
+            noise_v_rms: 1.0e-3,
+        }
+    }
+
+    /// Full-scale count (`2^bits − 1`).
+    pub fn full_scale(&self) -> u16 {
+        ((1u32 << self.resolution_bits) - 1) as u16
+    }
+
+    /// Time for one conversion: 13 ADC clock cycles (AVR datasheet).
+    pub fn conversion_time(&self) -> SimDuration {
+        SimDuration::from_nanos(13 * 1_000_000_000 / self.adc_clock_hz)
+    }
+
+    /// Samples `source` once, returning the reading and its
+    /// timing/energy cost.
+    ///
+    /// Energy: the ADC block draws ≈300 µA at 3.3 V during conversion and
+    /// the MCU stays active servicing it (4.1 mA) — ≈1.5 µJ per sample.
+    pub fn sample(
+        &self,
+        source: &dyn AnalogSource,
+        env: &crate::Environment,
+        rng: &mut SimRng,
+    ) -> (AdcReading, BusTransaction) {
+        let v = source.voltage(env, rng) + rng.gaussian(self.noise_v_rms);
+        let clamped = v.clamp(0.0, self.vref);
+        let raw = ((clamped / self.vref) * self.full_scale() as f64).round() as u16;
+        let duration = self.conversion_time();
+        let secs = duration.as_secs_f64();
+        let energy_j = secs * 3.3 * (300e-6 + 4.1e-3);
+        (
+            AdcReading { raw },
+            BusTransaction {
+                duration,
+                energy_j,
+                bytes: 2,
+            },
+        )
+    }
+
+    /// Converts raw counts back to volts (what a driver does in software).
+    pub fn to_volts(&self, raw: u16) -> f64 {
+        raw as f64 / self.full_scale() as f64 * self.vref
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Environment;
+
+    /// A fixed-voltage source for tests.
+    struct Fixed(f64);
+
+    impl AnalogSource for Fixed {
+        fn voltage(&self, _env: &Environment, _rng: &mut SimRng) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn conversion_takes_104_us() {
+        let adc = Adc::atmega128rfa1();
+        assert_eq!(adc.conversion_time(), SimDuration::from_micros(104));
+    }
+
+    #[test]
+    fn full_scale_is_1023_for_10_bits() {
+        assert_eq!(Adc::atmega128rfa1().full_scale(), 1023);
+    }
+
+    #[test]
+    fn midscale_voltage_reads_midscale() {
+        let mut adc = Adc::atmega128rfa1();
+        adc.noise_v_rms = 0.0;
+        let env = Environment::default();
+        let mut rng = SimRng::seed(1);
+        let (r, tx) = adc.sample(&Fixed(1.65), &env, &mut rng);
+        assert!((r.raw as i32 - 512).abs() <= 1, "raw {}", r.raw);
+        assert_eq!(tx.bytes, 2);
+        assert!(tx.duration == SimDuration::from_micros(104));
+    }
+
+    #[test]
+    fn rails_clamp() {
+        let mut adc = Adc::atmega128rfa1();
+        adc.noise_v_rms = 0.0;
+        let env = Environment::default();
+        let mut rng = SimRng::seed(2);
+        let (lo, _) = adc.sample(&Fixed(-1.0), &env, &mut rng);
+        assert_eq!(lo.raw, 0);
+        let (hi, _) = adc.sample(&Fixed(9.9), &env, &mut rng);
+        assert_eq!(hi.raw, 1023);
+    }
+
+    #[test]
+    fn to_volts_roundtrips_quantised() {
+        let adc = Adc::atmega128rfa1();
+        let v = adc.to_volts(512);
+        assert!((v - 1.6516).abs() < 1e-3);
+        let lsb = adc.vref / adc.full_scale() as f64;
+        assert!((adc.to_volts(513) - v - lsb).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_energy_is_microjoule_scale() {
+        let adc = Adc::atmega128rfa1();
+        let env = Environment::default();
+        let mut rng = SimRng::seed(3);
+        let (_, tx) = adc.sample(&Fixed(1.0), &env, &mut rng);
+        assert!(
+            tx.energy_j > 0.5e-6 && tx.energy_j < 5e-6,
+            "{}",
+            tx.energy_j
+        );
+    }
+
+    #[test]
+    fn noise_perturbs_reading() {
+        let adc = Adc::atmega128rfa1();
+        let env = Environment::default();
+        let mut rng = SimRng::seed(4);
+        let readings: Vec<u16> = (0..100)
+            .map(|_| adc.sample(&Fixed(1.65), &env, &mut rng).0.raw)
+            .collect();
+        let distinct: std::collections::HashSet<_> = readings.iter().collect();
+        assert!(distinct.len() > 1, "noise produced identical readings");
+    }
+}

@@ -1,0 +1,131 @@
+//! The physical environment observed by simulated peripherals.
+//!
+//! A single [`Environment`] value is shared by every peripheral model on a
+//! Thing; examples and experiments script it (set a temperature profile,
+//! present an RFID card) and the sensors observe it through their own
+//! transfer functions and noise.
+
+use std::collections::VecDeque;
+
+/// Ground-truth physical conditions around one IoT device.
+#[derive(Debug, Clone)]
+pub struct Environment {
+    /// Ambient temperature in degrees Celsius.
+    pub temperature_c: f64,
+    /// Relative humidity in percent (0–100).
+    pub humidity_rh: f64,
+    /// Barometric pressure in pascals.
+    pub pressure_pa: f64,
+    /// RFID cards currently presented to a reader, oldest first. Each card
+    /// is a 10-character ASCII-hex identifier (ID-20LA format).
+    cards: VecDeque<[u8; 10]>,
+}
+
+impl Default for Environment {
+    /// Standard lab conditions: 25 °C, 45 % RH, 101 325 Pa.
+    fn default() -> Self {
+        Environment {
+            temperature_c: 25.0,
+            humidity_rh: 45.0,
+            pressure_pa: 101_325.0,
+            cards: VecDeque::new(),
+        }
+    }
+}
+
+impl Environment {
+    /// Creates an environment with explicit conditions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if humidity is outside 0–100 % or pressure is non-positive.
+    pub fn new(temperature_c: f64, humidity_rh: f64, pressure_pa: f64) -> Self {
+        assert!(
+            (0.0..=100.0).contains(&humidity_rh),
+            "humidity {humidity_rh} out of range"
+        );
+        assert!(pressure_pa > 0.0, "non-positive pressure");
+        Environment {
+            temperature_c,
+            humidity_rh,
+            pressure_pa,
+            cards: VecDeque::new(),
+        }
+    }
+
+    /// Presents an RFID card to the reader.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the identifier is exactly 10 ASCII-hex characters.
+    pub fn present_card(&mut self, id: &str) {
+        assert_eq!(id.len(), 10, "card id must be 10 hex characters");
+        assert!(
+            id.bytes().all(|b| b.is_ascii_hexdigit()),
+            "card id must be hex"
+        );
+        let mut card = [0u8; 10];
+        card.copy_from_slice(&id.to_ascii_uppercase().into_bytes());
+        self.cards.push_back(card);
+    }
+
+    /// Removes and returns the oldest presented card, if any.
+    pub fn take_card(&mut self) -> Option<[u8; 10]> {
+        self.cards.pop_front()
+    }
+
+    /// Number of cards currently in the reader's field.
+    pub fn cards_waiting(&self) -> usize {
+        self.cards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_lab_conditions() {
+        let e = Environment::default();
+        assert_eq!(e.temperature_c, 25.0);
+        assert_eq!(e.humidity_rh, 45.0);
+        assert_eq!(e.pressure_pa, 101_325.0);
+        assert_eq!(e.cards_waiting(), 0);
+    }
+
+    #[test]
+    fn cards_queue_fifo() {
+        let mut e = Environment::default();
+        e.present_card("0415AB09CD");
+        e.present_card("1122334455");
+        assert_eq!(e.cards_waiting(), 2);
+        assert_eq!(&e.take_card().unwrap(), b"0415AB09CD");
+        assert_eq!(&e.take_card().unwrap(), b"1122334455");
+        assert!(e.take_card().is_none());
+    }
+
+    #[test]
+    fn card_ids_are_uppercased() {
+        let mut e = Environment::default();
+        e.present_card("04ab15ff00");
+        assert_eq!(&e.take_card().unwrap(), b"04AB15FF00");
+    }
+
+    #[test]
+    #[should_panic(expected = "10 hex characters")]
+    fn short_card_panics() {
+        Environment::default().present_card("123");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be hex")]
+    fn non_hex_card_panics() {
+        Environment::default().present_card("01234567ZZ");
+    }
+
+    #[test]
+    #[should_panic(expected = "humidity")]
+    fn bad_humidity_panics() {
+        Environment::new(25.0, 150.0, 101_325.0);
+    }
+}

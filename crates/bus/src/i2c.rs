@@ -1,0 +1,279 @@
+//! I²C bus controller model.
+//!
+//! Transaction-level simulation of a 100 kHz two-wire bus with 7-bit
+//! addressing and register semantics (write a register pointer, read N
+//! bytes) — the protocol the BMP180 speaks. Timing counts 9 clocks per byte
+//! (8 data + ACK) plus start/stop overhead; energy charges the MCU active
+//! current for the bus time.
+
+use std::collections::HashMap;
+
+use upnp_sim::SimDuration;
+
+use crate::BusTransaction;
+
+/// A slave device on the bus.
+pub trait I2cDevice {
+    /// Handles a master write of `data` (typically a register pointer,
+    /// optionally followed by values).
+    fn write(&mut self, data: &[u8], env: &mut crate::Environment);
+
+    /// Handles a master read of `len` bytes from the current register
+    /// pointer.
+    fn read(&mut self, len: usize, env: &mut crate::Environment) -> Vec<u8>;
+}
+
+/// I²C failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum I2cError {
+    /// No device acknowledged the address.
+    AddressNack,
+    /// Attempted transfer of zero bytes.
+    EmptyTransfer,
+}
+
+impl std::fmt::Display for I2cError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            I2cError::AddressNack => write!(f, "address not acknowledged"),
+            I2cError::EmptyTransfer => write!(f, "empty transfer"),
+        }
+    }
+}
+
+impl std::error::Error for I2cError {}
+
+/// The MCU-side I²C master with its attached slaves.
+pub struct I2cBus {
+    /// Bus clock in hertz (standard mode: 100 kHz).
+    pub clock_hz: u64,
+    devices: HashMap<u8, Box<dyn I2cDevice>>,
+}
+
+impl Default for I2cBus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl I2cBus {
+    /// Creates a standard-mode (100 kHz) bus with no devices.
+    pub fn new() -> Self {
+        I2cBus {
+            clock_hz: 100_000,
+            devices: HashMap::new(),
+        }
+    }
+
+    /// Attaches a slave at `address` (7-bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is already taken or not 7-bit.
+    pub fn attach(&mut self, address: u8, device: Box<dyn I2cDevice>) {
+        assert!(address <= 0x7f, "address {address:#x} not 7-bit");
+        let prev = self.devices.insert(address, device);
+        assert!(prev.is_none(), "address {address:#x} already attached");
+    }
+
+    /// Detaches the slave at `address`, if any.
+    pub fn detach(&mut self, address: u8) -> bool {
+        self.devices.remove(&address).is_some()
+    }
+
+    /// True if a device answers at `address`.
+    pub fn probe(&self, address: u8) -> bool {
+        self.devices.contains_key(&address)
+    }
+
+    /// Wire time for a transfer of `bytes` payload bytes: start + address
+    /// byte + payload (9 clocks each) + stop.
+    fn transfer_time(&self, bytes: usize) -> SimDuration {
+        let clocks = 1 + 9 * (1 + bytes as u64) + 1;
+        SimDuration::from_nanos(clocks * 1_000_000_000 / self.clock_hz)
+    }
+
+    fn transaction(&self, bytes: usize) -> BusTransaction {
+        let duration = self.transfer_time(bytes);
+        BusTransaction {
+            duration,
+            energy_j: duration.as_secs_f64() * 3.3 * 4.1e-3,
+            bytes,
+        }
+    }
+
+    /// Master write.
+    ///
+    /// # Errors
+    ///
+    /// [`I2cError::AddressNack`] if nothing answers;
+    /// [`I2cError::EmptyTransfer`] for empty payloads.
+    pub fn write(
+        &mut self,
+        address: u8,
+        data: &[u8],
+        env: &mut crate::Environment,
+    ) -> Result<BusTransaction, I2cError> {
+        if data.is_empty() {
+            return Err(I2cError::EmptyTransfer);
+        }
+        let dev = self
+            .devices
+            .get_mut(&address)
+            .ok_or(I2cError::AddressNack)?;
+        dev.write(data, env);
+        Ok(self.transaction(data.len()))
+    }
+
+    /// Master read of `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`I2cBus::write`].
+    pub fn read(
+        &mut self,
+        address: u8,
+        len: usize,
+        env: &mut crate::Environment,
+    ) -> Result<(Vec<u8>, BusTransaction), I2cError> {
+        if len == 0 {
+            return Err(I2cError::EmptyTransfer);
+        }
+        let dev = self
+            .devices
+            .get_mut(&address)
+            .ok_or(I2cError::AddressNack)?;
+        let data = dev.read(len, env);
+        debug_assert_eq!(data.len(), len, "device returned wrong length");
+        let tx = self.transaction(len);
+        Ok((data, tx))
+    }
+
+    /// The common write-register-then-read idiom (repeated start).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`I2cBus::write`].
+    pub fn write_read(
+        &mut self,
+        address: u8,
+        reg: u8,
+        len: usize,
+        env: &mut crate::Environment,
+    ) -> Result<(Vec<u8>, BusTransaction), I2cError> {
+        let w = self.write(address, &[reg], env)?;
+        let (data, r) = self.read(address, len, env)?;
+        Ok((data, w.then(r)))
+    }
+}
+
+impl std::fmt::Debug for I2cBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut addrs: Vec<u8> = self.devices.keys().copied().collect();
+        addrs.sort_unstable();
+        f.debug_struct("I2cBus")
+            .field("clock_hz", &self.clock_hz)
+            .field("devices", &addrs)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Environment;
+
+    /// A 4-register scratch device.
+    struct Scratch {
+        regs: [u8; 4],
+        ptr: usize,
+    }
+
+    impl Scratch {
+        fn new() -> Self {
+            Scratch {
+                regs: [0xa0, 0xa1, 0xa2, 0xa3],
+                ptr: 0,
+            }
+        }
+    }
+
+    impl I2cDevice for Scratch {
+        fn write(&mut self, data: &[u8], _env: &mut Environment) {
+            self.ptr = data[0] as usize % 4;
+            for (i, &v) in data[1..].iter().enumerate() {
+                self.regs[(self.ptr + i) % 4] = v;
+            }
+        }
+
+        fn read(&mut self, len: usize, _env: &mut Environment) -> Vec<u8> {
+            (0..len).map(|i| self.regs[(self.ptr + i) % 4]).collect()
+        }
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut bus = I2cBus::new();
+        bus.attach(0x42, Box::new(Scratch::new()));
+        let mut env = Environment::default();
+        bus.write(0x42, &[0x01, 0xbe, 0xef], &mut env).unwrap();
+        let (data, _) = bus.write_read(0x42, 0x01, 2, &mut env).unwrap();
+        assert_eq!(data, vec![0xbe, 0xef]);
+    }
+
+    #[test]
+    fn missing_device_nacks() {
+        let mut bus = I2cBus::new();
+        let mut env = Environment::default();
+        assert_eq!(
+            bus.write(0x10, &[0], &mut env).unwrap_err(),
+            I2cError::AddressNack
+        );
+        assert_eq!(
+            bus.read(0x10, 1, &mut env).unwrap_err(),
+            I2cError::AddressNack
+        );
+        assert!(!bus.probe(0x10));
+    }
+
+    #[test]
+    fn empty_transfers_rejected() {
+        let mut bus = I2cBus::new();
+        bus.attach(0x42, Box::new(Scratch::new()));
+        let mut env = Environment::default();
+        assert_eq!(
+            bus.write(0x42, &[], &mut env).unwrap_err(),
+            I2cError::EmptyTransfer
+        );
+        assert_eq!(
+            bus.read(0x42, 0, &mut env).unwrap_err(),
+            I2cError::EmptyTransfer
+        );
+    }
+
+    #[test]
+    fn timing_scales_with_bytes() {
+        let bus = I2cBus::new();
+        // 1 payload byte: 1 + 9×2 + 1 = 20 clocks at 100 kHz = 200 µs.
+        assert_eq!(bus.transfer_time(1), SimDuration::from_micros(200));
+        // Each extra byte adds 9 clocks = 90 µs.
+        assert_eq!(bus.transfer_time(2), SimDuration::from_micros(290));
+    }
+
+    #[test]
+    #[should_panic(expected = "already attached")]
+    fn duplicate_address_panics() {
+        let mut bus = I2cBus::new();
+        bus.attach(0x42, Box::new(Scratch::new()));
+        bus.attach(0x42, Box::new(Scratch::new()));
+    }
+
+    #[test]
+    fn detach_frees_address() {
+        let mut bus = I2cBus::new();
+        bus.attach(0x42, Box::new(Scratch::new()));
+        assert!(bus.detach(0x42));
+        assert!(!bus.detach(0x42));
+        bus.attach(0x42, Box::new(Scratch::new()));
+    }
+}

@@ -1,0 +1,63 @@
+//! Simulated embedded interconnects and datasheet peripheral models.
+//!
+//! The paper's prototype connects four Grove peripherals to the MCU over
+//! three bus families (§6): the TMP36 and HIH-4030 over ADC, the ID-20LA
+//! RFID reader over UART and the BMP180 over I²C (SPI is supported by the
+//! µPnP connector but unused by the prototypes). This crate simulates those
+//! buses at transaction level — with datasheet-derived timing and energy —
+//! and models the peripherals behaviourally, faithful enough that the *real
+//! driver logic* (including the BMP180's integer compensation pipeline) runs
+//! unmodified on top.
+//!
+//! Layering:
+//!
+//! * [`mod@env`] — the physical world the sensors observe (temperature,
+//!   humidity, pressure, RFID cards in range);
+//! * [`adc`], [`uart`], [`i2c`], [`spi`] — bus controllers that execute
+//!   transactions against peripheral models and report
+//!   [`BusTransaction`] timing/energy;
+//! * [`peripherals`] — TMP36, HIH-4030, ID-20LA and BMP180 models;
+//! * [`mux`] — the µPnP connector pin multiplexer (Table 1).
+
+pub mod adc;
+pub mod env;
+pub mod i2c;
+pub mod mux;
+pub mod peripherals;
+pub mod spi;
+pub mod uart;
+
+pub use adc::{Adc, AdcReading, AnalogSource};
+pub use env::Environment;
+pub use i2c::{I2cBus, I2cDevice, I2cError};
+pub use mux::{BusSelect, PinMux};
+pub use spi::{SpiBus, SpiDevice, SpiMode};
+pub use uart::{Uart, UartConfig, UartDevice, UartError, UartFrameFormat};
+
+use upnp_sim::SimDuration;
+
+/// Timing and energy accounting for one bus transaction.
+///
+/// Every bus operation in the simulation returns one of these so that
+/// callers (the VM's native libraries, the energy models) can charge time
+/// and joules without knowing bus internals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusTransaction {
+    /// How long the transaction occupied the bus.
+    pub duration: SimDuration,
+    /// Energy consumed by bus logic plus the MCU servicing it, joules.
+    pub energy_j: f64,
+    /// Payload bytes moved (diagnostic).
+    pub bytes: usize,
+}
+
+impl BusTransaction {
+    /// Combines two sequential transactions.
+    pub fn then(self, next: BusTransaction) -> BusTransaction {
+        BusTransaction {
+            duration: self.duration + next.duration,
+            energy_j: self.energy_j + next.energy_j,
+            bytes: self.bytes + next.bytes,
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! The µPnP connector pin multiplexer (paper §3.1, Table 1).
+//!
+//! After identification, the control board switches the connector's
+//! communication pins (10–12) to the bus the identified peripheral speaks.
+//! The mapping from device-type to bus is carried by the driver metadata;
+//! this module models the switch itself and enforces that a channel is
+//! routed to exactly one bus at a time.
+
+use std::fmt;
+
+/// Which bus a channel's communication pins are switched to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusSelect {
+    /// Pins floating; the state before identification completes.
+    Disconnected,
+    /// Pin 10 = analog signal.
+    Adc,
+    /// Pin 10 = SDA, pin 11 = SCL.
+    I2c,
+    /// Pin 10 = MOSI, pin 11 = MISO, pin 12 = SCK.
+    Spi,
+    /// Pin 10 = TX, pin 11 = RX.
+    Uart,
+}
+
+impl fmt::Display for BusSelect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BusSelect::Disconnected => "disconnected",
+            BusSelect::Adc => "ADC",
+            BusSelect::I2c => "I2C",
+            BusSelect::Spi => "SPI",
+            BusSelect::Uart => "UART",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The per-channel bus switch on the control board.
+#[derive(Debug, Clone)]
+pub struct PinMux {
+    routes: Vec<BusSelect>,
+    switches: u64,
+}
+
+impl PinMux {
+    /// Creates a mux for `channels` channels, all disconnected.
+    pub fn new(channels: usize) -> Self {
+        PinMux {
+            routes: vec![BusSelect::Disconnected; channels],
+            switches: 0,
+        }
+    }
+
+    /// The current routing of `channel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel does not exist.
+    pub fn route(&self, channel: usize) -> BusSelect {
+        self.routes[channel]
+    }
+
+    /// Switches `channel` to `bus`, returning the previous routing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel does not exist.
+    pub fn switch(&mut self, channel: usize, bus: BusSelect) -> BusSelect {
+        let prev = std::mem::replace(&mut self.routes[channel], bus);
+        if prev != bus {
+            self.switches += 1;
+        }
+        prev
+    }
+
+    /// Disconnects `channel` (on unplug).
+    pub fn disconnect(&mut self, channel: usize) {
+        self.switch(channel, BusSelect::Disconnected);
+    }
+
+    /// Total number of actual switch operations (diagnostic).
+    pub fn switch_count(&self) -> u64 {
+        self.switches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_disconnected() {
+        let mux = PinMux::new(3);
+        for ch in 0..3 {
+            assert_eq!(mux.route(ch), BusSelect::Disconnected);
+        }
+    }
+
+    #[test]
+    fn switch_and_disconnect() {
+        let mut mux = PinMux::new(3);
+        assert_eq!(mux.switch(1, BusSelect::I2c), BusSelect::Disconnected);
+        assert_eq!(mux.route(1), BusSelect::I2c);
+        mux.disconnect(1);
+        assert_eq!(mux.route(1), BusSelect::Disconnected);
+        assert_eq!(mux.switch_count(), 2);
+    }
+
+    #[test]
+    fn redundant_switches_do_not_count() {
+        let mut mux = PinMux::new(1);
+        mux.switch(0, BusSelect::Uart);
+        mux.switch(0, BusSelect::Uart);
+        assert_eq!(mux.switch_count(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_channel_panics() {
+        PinMux::new(2).route(5);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(BusSelect::Adc.to_string(), "ADC");
+        assert_eq!(BusSelect::Disconnected.to_string(), "disconnected");
+    }
+}

@@ -1,0 +1,435 @@
+//! BMP180 digital barometric pressure sensor (Bosch Sensortec).
+//!
+//! The most involved peripheral model: the real part exposes factory
+//! calibration coefficients over I²C and returns *uncompensated* readings
+//! (UT, UP) that the host driver must run through a documented integer
+//! pipeline. The paper's 122-SLoC DSL driver implements that pipeline, so
+//! the model must produce UT/UP values that are **consistent** with its
+//! calibration EEPROM and the simulated environment.
+//!
+//! * [`compensate_temperature`] / [`compensate_pressure`] implement the
+//!   datasheet algorithm exactly (validated against the datasheet's worked
+//!   example: UT = 27898, UP = 23843 → 15.0 °C, 69964 Pa).
+//! * The device model *inverts* that pipeline (analytically for UT, by
+//!   bisection for UP) so a driver reading the device recovers the
+//!   environment's true temperature and pressure.
+
+use upnp_sim::{SimDuration, SimRng};
+
+use crate::i2c::I2cDevice;
+use crate::Environment;
+
+/// The BMP180's fixed I²C address.
+pub const BMP180_I2C_ADDR: u8 = 0x77;
+
+/// Register map constants.
+const REG_CALIB_START: u8 = 0xaa;
+const REG_CHIP_ID: u8 = 0xd0;
+const REG_CTRL_MEAS: u8 = 0xf4;
+const REG_OUT_MSB: u8 = 0xf6;
+const CHIP_ID: u8 = 0x55;
+const CMD_TEMPERATURE: u8 = 0x2e;
+const CMD_PRESSURE_BASE: u8 = 0x34;
+
+/// The 11 factory calibration coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Calibration {
+    pub ac1: i16,
+    pub ac2: i16,
+    pub ac3: i16,
+    pub ac4: u16,
+    pub ac5: u16,
+    pub ac6: u16,
+    pub b1: i16,
+    pub b2: i16,
+    pub mb: i16,
+    pub mc: i16,
+    pub md: i16,
+}
+
+impl Calibration {
+    /// The datasheet's worked-example coefficient set.
+    pub const DATASHEET_EXAMPLE: Calibration = Calibration {
+        ac1: 408,
+        ac2: -72,
+        ac3: -14383,
+        ac4: 32741,
+        ac5: 32757,
+        ac6: 23153,
+        b1: 6190,
+        b2: 4,
+        mb: -32768,
+        mc: -8711,
+        md: 2868,
+    };
+
+    /// Serialises the coefficients into the 22-byte EEPROM image
+    /// (big-endian, register order AC1..MD).
+    pub fn to_eeprom(&self) -> [u8; 22] {
+        let mut out = [0u8; 22];
+        let words: [u16; 11] = [
+            self.ac1 as u16,
+            self.ac2 as u16,
+            self.ac3 as u16,
+            self.ac4,
+            self.ac5,
+            self.ac6,
+            self.b1 as u16,
+            self.b2 as u16,
+            self.mb as u16,
+            self.mc as u16,
+            self.md as u16,
+        ];
+        for (i, w) in words.iter().enumerate() {
+            out[2 * i] = (w >> 8) as u8;
+            out[2 * i + 1] = (w & 0xff) as u8;
+        }
+        out
+    }
+}
+
+/// Datasheet temperature compensation: `(UT, calib) → (T in 0.1 °C, B5)`.
+///
+/// B5 is the intermediate the pressure pipeline reuses.
+pub fn compensate_temperature(ut: i64, c: &Calibration) -> (i64, i64) {
+    let x1 = ((ut - c.ac6 as i64) * c.ac5 as i64) >> 15;
+    let x2 = ((c.mc as i64) << 11) / (x1 + c.md as i64);
+    let b5 = x1 + x2;
+    let t = (b5 + 8) >> 4;
+    (t, b5)
+}
+
+/// Datasheet pressure compensation: `(UP, B5, oss, calib) → pressure in Pa`.
+pub fn compensate_pressure(up: i64, b5: i64, oss: u8, c: &Calibration) -> i64 {
+    let b6 = b5 - 4000;
+    let x1 = (c.b2 as i64 * ((b6 * b6) >> 12)) >> 11;
+    let x2 = (c.ac2 as i64 * b6) >> 11;
+    let x3 = x1 + x2;
+    let b3 = ((((c.ac1 as i64) * 4 + x3) << oss) + 2) >> 2;
+    let x1 = (c.ac3 as i64 * b6) >> 13;
+    let x2 = (c.b1 as i64 * ((b6 * b6) >> 12)) >> 16;
+    let x3 = ((x1 + x2) + 2) >> 2;
+    let b4 = ((c.ac4 as i64) * (x3 + 32768)) >> 15;
+    let b7 = (up - b3) * (50_000 >> oss);
+    let p = if b7 < 0x8000_0000 {
+        (b7 * 2) / b4
+    } else {
+        (b7 / b4) * 2
+    };
+    let x1 = (p >> 8) * (p >> 8);
+    let x1 = (x1 * 3038) >> 16;
+    let x2 = (-7357 * p) >> 16;
+    p + ((x1 + x2 + 3791) >> 4)
+}
+
+/// Inverts the temperature pipeline: finds UT whose compensated output is
+/// the target temperature (0.1 °C resolution).
+fn invert_temperature(target_deci_c: i64, c: &Calibration) -> i64 {
+    // Solve x1 + (mc<<11)/(x1+md) = b5 for the b5 hitting the target,
+    // then refine ±4 counts against the exact integer pipeline.
+    let b5_target = (target_deci_c << 4) - 8;
+    let p_md = c.md as f64;
+    let q = (c.mc as f64) * 2048.0;
+    let b5f = b5_target as f64;
+    // x1² + (md − b5)·x1 + (q − b5·md) = 0.
+    let half = (b5f - p_md) / 2.0;
+    let disc = half * half - (q - b5f * p_md);
+    let x1 = half + disc.max(0.0).sqrt();
+    let ut_guess = ((x1 * 32768.0) / c.ac5 as f64) + c.ac6 as f64;
+    let mut best = ut_guess as i64;
+    let mut best_err = i64::MAX;
+    for cand in (ut_guess as i64 - 8)..=(ut_guess as i64 + 8) {
+        let (t, _) = compensate_temperature(cand, c);
+        let err = (t - target_deci_c).abs();
+        if err < best_err {
+            best_err = err;
+            best = cand;
+        }
+    }
+    best
+}
+
+/// Inverts the pressure pipeline by bisection (monotone in UP).
+fn invert_pressure(target_pa: i64, b5: i64, oss: u8, c: &Calibration) -> i64 {
+    let (mut lo, mut hi) = (0i64, ((1i64 << 16) - 1) << oss);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if compensate_pressure(mid, b5, oss, c) < target_pa {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// A BMP180 on the I²C bus.
+pub struct Bmp180 {
+    calib: Calibration,
+    reg_ptr: u8,
+    out: [u8; 3],
+    oss: u8,
+    rng: SimRng,
+    /// UT noise in counts (RMS).
+    ut_noise: f64,
+    /// UP noise in counts (RMS).
+    up_noise: f64,
+    conversions: u64,
+}
+
+impl Bmp180 {
+    /// Creates a part with the datasheet example calibration.
+    pub fn new(seed: u64) -> Self {
+        Bmp180 {
+            calib: Calibration::DATASHEET_EXAMPLE,
+            reg_ptr: 0,
+            out: [0; 3],
+            oss: 0,
+            rng: SimRng::seed(seed),
+            ut_noise: 1.5,
+            up_noise: 2.0,
+            conversions: 0,
+        }
+    }
+
+    /// A noiseless part (round-trip accuracy tests).
+    pub fn noiseless(seed: u64) -> Self {
+        let mut dev = Self::new(seed);
+        dev.ut_noise = 0.0;
+        dev.up_noise = 0.0;
+        dev
+    }
+
+    /// The part's calibration (what the EEPROM holds).
+    pub fn calibration(&self) -> &Calibration {
+        &self.calib
+    }
+
+    /// Datasheet conversion time for the given command.
+    pub fn conversion_time(cmd: u8) -> SimDuration {
+        if cmd == CMD_TEMPERATURE {
+            SimDuration::from_micros(4_500)
+        } else {
+            match cmd >> 6 {
+                0 => SimDuration::from_micros(4_500),
+                1 => SimDuration::from_micros(7_500),
+                2 => SimDuration::from_micros(13_500),
+                _ => SimDuration::from_micros(25_500),
+            }
+        }
+    }
+
+    /// Total conversions triggered (diagnostic).
+    pub fn conversions(&self) -> u64 {
+        self.conversions
+    }
+
+    fn run_command(&mut self, cmd: u8, env: &Environment) {
+        self.conversions += 1;
+        if cmd == CMD_TEMPERATURE {
+            let target = (env.temperature_c * 10.0).round() as i64;
+            let ut = invert_temperature(target, &self.calib)
+                + self.rng.gaussian(self.ut_noise).round() as i64;
+            self.out = [((ut >> 8) & 0xff) as u8, (ut & 0xff) as u8, 0];
+        } else if cmd & 0x3f == CMD_PRESSURE_BASE {
+            self.oss = cmd >> 6;
+            // The device's own temperature state (noise-free) provides B5.
+            let t_target = (env.temperature_c * 10.0).round() as i64;
+            let ut = invert_temperature(t_target, &self.calib);
+            let (_, b5) = compensate_temperature(ut, &self.calib);
+            let up = invert_pressure(env.pressure_pa.round() as i64, b5, self.oss, &self.calib)
+                + self.rng.gaussian(self.up_noise).round() as i64;
+            let raw24 = (up.max(0) as u32) << (8 - self.oss);
+            self.out = [
+                ((raw24 >> 16) & 0xff) as u8,
+                ((raw24 >> 8) & 0xff) as u8,
+                (raw24 & 0xff) as u8,
+            ];
+        }
+    }
+
+    fn register(&self, addr: u8) -> u8 {
+        match addr {
+            REG_CALIB_START..=0xbf => self.calib.to_eeprom()[(addr - REG_CALIB_START) as usize],
+            REG_CHIP_ID => CHIP_ID,
+            REG_CTRL_MEAS => 0,
+            a if (REG_OUT_MSB..REG_OUT_MSB + 3).contains(&a) => {
+                self.out[(a - REG_OUT_MSB) as usize]
+            }
+            _ => 0,
+        }
+    }
+}
+
+impl I2cDevice for Bmp180 {
+    fn write(&mut self, data: &[u8], env: &mut Environment) {
+        self.reg_ptr = data[0];
+        if data.len() >= 2 && data[0] == REG_CTRL_MEAS {
+            self.run_command(data[1], env);
+        }
+    }
+
+    fn read(&mut self, len: usize, _env: &mut Environment) -> Vec<u8> {
+        (0..len)
+            .map(|i| self.register(self.reg_ptr.wrapping_add(i as u8)))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Bmp180 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bmp180")
+            .field("oss", &self.oss)
+            .field("conversions", &self.conversions)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasheet_worked_example() {
+        // BMP180 datasheet §3.5: UT = 27898, UP = 23843, oss = 0 with the
+        // example coefficients give T = 150 (15.0 °C), p = 69964 Pa.
+        let c = Calibration::DATASHEET_EXAMPLE;
+        let (t, b5) = compensate_temperature(27898, &c);
+        assert_eq!(t, 150);
+        let p = compensate_pressure(23843, b5, 0, &c);
+        assert_eq!(p, 69_964);
+    }
+
+    #[test]
+    fn eeprom_serialisation_roundtrips() {
+        let img = Calibration::DATASHEET_EXAMPLE.to_eeprom();
+        assert_eq!(img.len(), 22);
+        // AC1 = 408 = 0x0198.
+        assert_eq!(img[0], 0x01);
+        assert_eq!(img[1], 0x98);
+        // MD = 2868 = 0x0B34 at the end.
+        assert_eq!(img[20], 0x0b);
+        assert_eq!(img[21], 0x34);
+    }
+
+    #[test]
+    fn temperature_inversion_is_exact() {
+        let c = Calibration::DATASHEET_EXAMPLE;
+        for deci in [-100i64, 0, 150, 250, 312, 450] {
+            let ut = invert_temperature(deci, &c);
+            let (t, _) = compensate_temperature(ut, &c);
+            assert!((t - deci).abs() <= 1, "target {deci}: got {t}");
+        }
+    }
+
+    #[test]
+    fn pressure_inversion_is_close() {
+        let c = Calibration::DATASHEET_EXAMPLE;
+        let (_, b5) = compensate_temperature(invert_temperature(250, &c), &c);
+        for target in [70_000i64, 95_000, 101_325, 105_000] {
+            for oss in 0..=3u8 {
+                let up = invert_pressure(target, b5, oss, &c);
+                let p = compensate_pressure(up, b5, oss, &c);
+                assert!(
+                    (p - target).abs() <= 8,
+                    "oss {oss} target {target}: got {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_i2c_roundtrip_recovers_environment() {
+        // Drive the device exactly as a driver would.
+        let mut dev = Bmp180::noiseless(7);
+        let mut env = Environment::new(22.5, 40.0, 99_800.0);
+
+        // Read calibration EEPROM.
+        dev.write(&[REG_CALIB_START], &mut env);
+        let eeprom = dev.read(22, &mut env);
+        assert_eq!(eeprom, Calibration::DATASHEET_EXAMPLE.to_eeprom().to_vec());
+
+        // Temperature conversion.
+        dev.write(&[REG_CTRL_MEAS, CMD_TEMPERATURE], &mut env);
+        dev.write(&[REG_OUT_MSB], &mut env);
+        let raw = dev.read(2, &mut env);
+        let ut = ((raw[0] as i64) << 8) | raw[1] as i64;
+        let (t, b5) = compensate_temperature(ut, dev.calibration());
+        assert!((t - 225).abs() <= 1, "temperature {t} deci-C");
+
+        // Pressure conversion at oss=0.
+        dev.write(&[REG_CTRL_MEAS, CMD_PRESSURE_BASE], &mut env);
+        dev.write(&[REG_OUT_MSB], &mut env);
+        let raw = dev.read(3, &mut env);
+        let up = (((raw[0] as i64) << 16) | ((raw[1] as i64) << 8) | raw[2] as i64) >> 8;
+        let p = compensate_pressure(up, b5, 0, dev.calibration());
+        assert!((p - 99_800).abs() <= 10, "pressure {p} Pa");
+    }
+
+    #[test]
+    fn oversampling_modes_shift_raw_value() {
+        let mut dev = Bmp180::noiseless(8);
+        let mut env = Environment::default();
+        for oss in 0..=3u8 {
+            let cmd = CMD_PRESSURE_BASE | (oss << 6);
+            dev.write(&[REG_CTRL_MEAS, cmd], &mut env);
+            dev.write(&[REG_OUT_MSB], &mut env);
+            let raw = dev.read(3, &mut env);
+            let up =
+                (((raw[0] as i64) << 16) | ((raw[1] as i64) << 8) | raw[2] as i64) >> (8 - oss);
+            let (_, b5) = compensate_temperature(
+                invert_temperature(250, dev.calibration()),
+                dev.calibration(),
+            );
+            let p = compensate_pressure(up, b5, oss, dev.calibration());
+            assert!((p - 101_325).abs() <= 10, "oss {oss}: {p} Pa");
+        }
+    }
+
+    #[test]
+    fn conversion_times_match_datasheet() {
+        assert_eq!(
+            Bmp180::conversion_time(CMD_TEMPERATURE),
+            SimDuration::from_micros(4_500)
+        );
+        assert_eq!(
+            Bmp180::conversion_time(CMD_PRESSURE_BASE),
+            SimDuration::from_micros(4_500)
+        );
+        assert_eq!(
+            Bmp180::conversion_time(CMD_PRESSURE_BASE | (3 << 6)),
+            SimDuration::from_micros(25_500)
+        );
+    }
+
+    #[test]
+    fn chip_id_reads_0x55() {
+        let mut dev = Bmp180::new(9);
+        let mut env = Environment::default();
+        dev.write(&[REG_CHIP_ID], &mut env);
+        assert_eq!(dev.read(1, &mut env), vec![0x55]);
+    }
+
+    #[test]
+    fn noisy_device_still_accurate_to_datasheet_spec() {
+        // ±0.5 °C / ±50 Pa absolute accuracy is the datasheet class; our
+        // noise model must stay comfortably inside it.
+        let mut dev = Bmp180::new(10);
+        let mut env = Environment::new(25.0, 45.0, 101_325.0);
+        for _ in 0..20 {
+            dev.write(&[REG_CTRL_MEAS, CMD_TEMPERATURE], &mut env);
+            dev.write(&[REG_OUT_MSB], &mut env);
+            let raw = dev.read(2, &mut env);
+            let ut = ((raw[0] as i64) << 8) | raw[1] as i64;
+            let (t, b5) = compensate_temperature(ut, dev.calibration());
+            assert!((t - 250).abs() <= 5, "temperature {t}");
+
+            dev.write(&[REG_CTRL_MEAS, CMD_PRESSURE_BASE], &mut env);
+            dev.write(&[REG_OUT_MSB], &mut env);
+            let raw = dev.read(3, &mut env);
+            let up = (((raw[0] as i64) << 16) | ((raw[1] as i64) << 8) | raw[2] as i64) >> 8;
+            let p = compensate_pressure(up, b5, 0, dev.calibration());
+            assert!((p - 101_325).abs() <= 50, "pressure {p}");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! HIH-4030 analog relative-humidity sensor (Honeywell).
+//!
+//! Datasheet transfer function (ratiometric to the supply):
+//! `Vout = Vsupply · (0.0062 · RH_sensor + 0.16)`, where the *sensor*
+//! humidity relates to true humidity through the temperature correction
+//! `RH_true = RH_sensor / (1.0546 − 0.00216 · T)`. The µPnP DSL driver
+//! inverts both stages in software — which is what makes its line count
+//! larger than the TMP36 driver's in Table 3.
+
+use upnp_sim::SimRng;
+
+use crate::adc::AnalogSource;
+use crate::Environment;
+
+/// An HIH-4030 on an ADC channel.
+#[derive(Debug, Clone)]
+pub struct Hih4030 {
+    /// Supply voltage (the part is ratiometric), volts.
+    pub supply_v: f64,
+    /// Per-part gain error (datasheet: ±3.5 % RH accuracy).
+    pub gain_error: f64,
+}
+
+impl Default for Hih4030 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hih4030 {
+    /// An ideal part on the 3.3 V rail.
+    pub fn new() -> Self {
+        Hih4030 {
+            supply_v: 3.3,
+            gain_error: 0.0,
+        }
+    }
+
+    /// Samples a part with a realistic ±2 % gain error.
+    pub fn sample_part(rng: &mut SimRng) -> Self {
+        Hih4030 {
+            supply_v: 3.3,
+            gain_error: rng.tolerance(0.02),
+        }
+    }
+
+    /// The temperature correction factor `1.0546 − 0.00216·T`.
+    pub fn temp_factor(temp_c: f64) -> f64 {
+        1.0546 - 0.00216 * temp_c
+    }
+
+    /// Datasheet transfer: sensor RH (%) → output voltage.
+    pub fn transfer(&self, rh_sensor: f64) -> f64 {
+        self.supply_v * (0.0062 * rh_sensor + 0.16)
+    }
+}
+
+impl AnalogSource for Hih4030 {
+    fn voltage(&self, env: &Environment, _rng: &mut SimRng) -> f64 {
+        // The sensor element reads low when hot: invert the true-RH
+        // correction to get what the element itself reports.
+        let rh_sensor = env.humidity_rh * Self::temp_factor(env.temperature_c);
+        let rh_sensor = rh_sensor.clamp(0.0, 100.0);
+        self.transfer(rh_sensor) * (1.0 + self.gain_error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_humidity_gives_offset_voltage() {
+        let s = Hih4030::new();
+        assert!((s.transfer(0.0) - 0.528).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_slope_matches_datasheet() {
+        let s = Hih4030::new();
+        let dv = s.transfer(50.0) - s.transfer(40.0);
+        assert!((dv - 3.3 * 0.062).abs() < 1e-9);
+    }
+
+    #[test]
+    fn software_inversion_recovers_true_rh() {
+        // What the DSL driver computes: RH_sensor from volts, then the
+        // temperature correction. Must round-trip the environment value.
+        let s = Hih4030::new();
+        let mut rng = SimRng::seed(1);
+        let mut env = Environment::default();
+        env.temperature_c = 32.0;
+        env.humidity_rh = 61.0;
+        let v = s.voltage(&env, &mut rng);
+        let rh_sensor = (v / 3.3 - 0.16) / 0.0062;
+        let rh_true = rh_sensor / Hih4030::temp_factor(32.0);
+        assert!((rh_true - 61.0).abs() < 1e-6, "recovered {rh_true}");
+    }
+
+    #[test]
+    fn output_stays_within_rails() {
+        let s = Hih4030::new();
+        let mut rng = SimRng::seed(2);
+        for rh in [0.0, 25.0, 50.0, 75.0, 100.0] {
+            let mut env = Environment::default();
+            env.humidity_rh = rh;
+            let v = s.voltage(&env, &mut rng);
+            assert!(v > 0.0 && v < 3.3, "RH {rh}: {v} V");
+        }
+    }
+
+    #[test]
+    fn gain_error_is_bounded() {
+        let mut rng = SimRng::seed(3);
+        for _ in 0..200 {
+            let s = Hih4030::sample_part(&mut rng);
+            assert!(s.gain_error.abs() <= 0.02);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! ID-20LA 125 kHz RFID card reader (ID Innovations).
+//!
+//! The reader autonomously transmits a 16-byte ASCII frame at 9600 8N1
+//! whenever a card enters its field:
+//!
+//! ```text
+//! STX(0x02) | 10 ASCII-hex data chars | 2 ASCII-hex checksum chars
+//!          | CR(0x0D) | LF(0x0A) | ETX(0x03)
+//! ```
+//!
+//! The checksum byte is the XOR of the five data bytes (each encoded as two
+//! hex characters). Listing 1's driver keeps the 12 payload characters and
+//! filters STX/ETX/CR/LF — this model is what that driver runs against.
+
+use crate::uart::UartDevice;
+use crate::Environment;
+
+/// Frame control characters.
+pub const STX: u8 = 0x02;
+/// End-of-text terminator.
+pub const ETX: u8 = 0x03;
+/// Carriage return.
+pub const CR: u8 = 0x0d;
+/// Line feed.
+pub const LF: u8 = 0x0a;
+
+/// An ID-20LA reader on a UART.
+#[derive(Debug, Clone, Default)]
+pub struct Id20La {
+    frames_sent: u64,
+}
+
+impl Id20La {
+    /// Creates a reader.
+    pub fn new() -> Self {
+        Id20La::default()
+    }
+
+    /// Number of card frames transmitted so far.
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent
+    }
+
+    /// Builds the 16-byte wire frame for a 10-character card id.
+    pub fn frame_for(card: &[u8; 10]) -> [u8; 16] {
+        let mut frame = [0u8; 16];
+        frame[0] = STX;
+        frame[1..11].copy_from_slice(card);
+        let checksum = Self::checksum(card);
+        let hex = |n: u8| {
+            if n < 10 {
+                b'0' + n
+            } else {
+                b'A' + n - 10
+            }
+        };
+        frame[11] = hex(checksum >> 4);
+        frame[12] = hex(checksum & 0x0f);
+        frame[13] = CR;
+        frame[14] = LF;
+        frame[15] = ETX;
+        frame
+    }
+
+    /// XOR checksum over the five data bytes encoded by the ten hex chars.
+    pub fn checksum(card: &[u8; 10]) -> u8 {
+        let nibble = |c: u8| match c {
+            b'0'..=b'9' => c - b'0',
+            b'A'..=b'F' => c - b'A' + 10,
+            b'a'..=b'f' => c - b'a' + 10,
+            _ => 0,
+        };
+        let mut x = 0u8;
+        for pair in card.chunks_exact(2) {
+            x ^= (nibble(pair[0]) << 4) | nibble(pair[1]);
+        }
+        x
+    }
+}
+
+impl UartDevice for Id20La {
+    fn poll_tx(&mut self, env: &mut Environment) -> Vec<u8> {
+        match env.take_card() {
+            Some(card) => {
+                self.frames_sent += 1;
+                Self::frame_for(&card).to_vec()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn on_rx(&mut self, _byte: u8) {
+        // The reader has no command interface; host bytes are ignored.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_layout() {
+        let frame = Id20La::frame_for(b"0415AB09CD");
+        assert_eq!(frame[0], STX);
+        assert_eq!(&frame[1..11], b"0415AB09CD");
+        assert_eq!(frame[13], CR);
+        assert_eq!(frame[14], LF);
+        assert_eq!(frame[15], ETX);
+    }
+
+    #[test]
+    fn checksum_is_xor_of_data_bytes() {
+        // 0x04 ^ 0x15 ^ 0xAB ^ 0x09 ^ 0xCD = 0x7E.
+        assert_eq!(Id20La::checksum(b"0415AB09CD"), 0x7e);
+        let frame = Id20La::frame_for(b"0415AB09CD");
+        assert_eq!(&frame[11..13], b"7E");
+    }
+
+    #[test]
+    fn transmits_one_frame_per_card() {
+        let mut dev = Id20La::new();
+        let mut env = Environment::default();
+        assert!(dev.poll_tx(&mut env).is_empty());
+        env.present_card("0415AB09CD");
+        env.present_card("1122334455");
+        let f1 = dev.poll_tx(&mut env);
+        assert_eq!(f1.len(), 16);
+        let f2 = dev.poll_tx(&mut env);
+        assert_eq!(f2.len(), 16);
+        assert_ne!(f1, f2);
+        assert!(dev.poll_tx(&mut env).is_empty());
+        assert_eq!(dev.frames_sent(), 2);
+    }
+
+    #[test]
+    fn payload_chars_match_listing1_filter() {
+        // The driver keeps everything that is not STX/ETX/CR/LF: exactly 12
+        // characters (10 data + 2 checksum).
+        let frame = Id20La::frame_for(b"DEADBEEF01");
+        let kept: Vec<u8> = frame
+            .iter()
+            .copied()
+            .filter(|&c| !(c == CR || c == LF || c == STX || c == ETX))
+            .collect();
+        assert_eq!(kept.len(), 12);
+        assert_eq!(&kept[..10], b"DEADBEEF01");
+    }
+}

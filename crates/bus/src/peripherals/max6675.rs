@@ -1,0 +1,93 @@
+//! MAX6675-style SPI thermocouple converter.
+//!
+//! Not one of the paper's four prototypes — it exists to exercise the SPI
+//! pins the µPnP connector reserves (Table 1) and to demonstrate adding a
+//! new peripheral family end-to-end. Read protocol: assert CS, clock out
+//! 16 bits: `D15 = 0`, `D14..D3` = temperature in 0.25 °C steps,
+//! `D2` = open-thermocouple flag, `D1` = device id, `D0` = tri-state.
+
+use crate::spi::SpiDevice;
+use crate::Environment;
+
+/// A MAX6675 on the SPI bus.
+#[derive(Debug, Clone, Default)]
+pub struct Max6675 {
+    /// When true the open-thermocouple bit (D2) is set.
+    pub thermocouple_open: bool,
+    shift: u16,
+    bits_out: u8,
+}
+
+impl Max6675 {
+    /// Creates a converter with an attached thermocouple.
+    pub fn new() -> Self {
+        Max6675::default()
+    }
+
+    /// The 16-bit frame for a given temperature.
+    pub fn frame_for(temp_c: f64, open: bool) -> u16 {
+        let quarters = (temp_c.clamp(0.0, 1023.75) * 4.0).round() as u16;
+        (quarters << 3) | ((open as u16) << 2)
+    }
+
+    /// Decodes a frame back to degrees Celsius (what the driver computes).
+    pub fn decode(frame: u16) -> f64 {
+        ((frame >> 3) & 0x0fff) as f64 * 0.25
+    }
+}
+
+impl SpiDevice for Max6675 {
+    fn select(&mut self) {
+        self.bits_out = 0;
+    }
+
+    fn transfer(&mut self, _mosi: u8, env: &mut Environment) -> u8 {
+        if self.bits_out == 0 {
+            self.shift = Self::frame_for(env.temperature_c, self.thermocouple_open);
+        }
+        let byte = match self.bits_out {
+            0 => (self.shift >> 8) as u8,
+            _ => (self.shift & 0xff) as u8,
+        };
+        self.bits_out = self.bits_out.saturating_add(1);
+        byte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spi::SpiBus;
+
+    #[test]
+    fn frame_encodes_quarter_degrees() {
+        let f = Max6675::frame_for(100.25, false);
+        assert_eq!(Max6675::decode(f), 100.25);
+        assert_eq!(f & 0b111, 0);
+    }
+
+    #[test]
+    fn open_flag_sets_d2() {
+        let f = Max6675::frame_for(25.0, true);
+        assert_eq!(f & 0b100, 0b100);
+    }
+
+    #[test]
+    fn spi_read_recovers_temperature() {
+        let mut bus = SpiBus::new();
+        bus.attach(Box::new(Max6675::new()));
+        let mut env = Environment::default();
+        env.temperature_c = 87.5;
+        let (rx, tx) = bus.transfer(&[0, 0], &mut env).unwrap();
+        let frame = ((rx[0] as u16) << 8) | rx[1] as u16;
+        assert_eq!(Max6675::decode(frame), 87.5);
+        assert_eq!(tx.bytes, 2);
+    }
+
+    #[test]
+    fn negative_temperatures_clamp_to_zero() {
+        // The MAX6675 cannot report below 0 °C.
+        let f = Max6675::frame_for(-10.0, false);
+        assert_eq!(Max6675::decode(f), 0.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Behavioural models of the paper's prototype peripherals (§6) plus one
+//! SPI device used to exercise the fourth bus family.
+//!
+//! | Model | Bus | Datasheet behaviour reproduced |
+//! |---|---|---|
+//! | [`Tmp36`] | ADC | 750 mV at 25 °C, 10 mV/°C |
+//! | [`Hih4030`] | ADC | ratiometric RH transfer + temperature correction |
+//! | [`Id20La`] | UART | 9600 8N1, STX/data/checksum/CR/LF/ETX frames |
+//! | [`Bmp180`] | I²C | calibration EEPROM, UT/UP conversions, full integer compensation (inverted) |
+//! | [`Max6675`] | SPI | 16-bit thermocouple reads in 0.25 °C steps |
+
+mod bmp180;
+mod hih4030;
+mod id20la;
+mod max6675;
+mod tmp36;
+
+pub use bmp180::{
+    compensate_pressure, compensate_temperature, Bmp180, Calibration, BMP180_I2C_ADDR,
+};
+pub use hih4030::Hih4030;
+pub use id20la::Id20La;
+pub use max6675::Max6675;
+pub use tmp36::Tmp36;

@@ -1,0 +1,88 @@
+//! TMP36 analog temperature sensor (Analog Devices).
+//!
+//! Datasheet transfer function: 750 mV at 25 °C with a 10 mV/°C slope and a
+//! 500 mV offset (`V = 0.5 + 0.01·T`), valid −40…+125 °C. The µPnP DSL
+//! driver inverts this in software: `T = (V − 0.5) × 100`.
+
+use upnp_sim::SimRng;
+
+use crate::adc::AnalogSource;
+use crate::Environment;
+
+/// A TMP36 on an ADC channel.
+#[derive(Debug, Clone, Default)]
+pub struct Tmp36 {
+    /// Per-part offset error, volts (datasheet: ±2 °C → ±20 mV max).
+    pub offset_error_v: f64,
+}
+
+impl Tmp36 {
+    /// An ideal part with zero offset error.
+    pub fn new() -> Self {
+        Tmp36 {
+            offset_error_v: 0.0,
+        }
+    }
+
+    /// Samples a part with a realistic ±10 mV (±1 °C) offset error.
+    pub fn sample_part(rng: &mut SimRng) -> Self {
+        Tmp36 {
+            offset_error_v: rng.tolerance(0.010),
+        }
+    }
+
+    /// The datasheet transfer function.
+    pub fn transfer(temp_c: f64) -> f64 {
+        0.5 + 0.01 * temp_c
+    }
+}
+
+impl AnalogSource for Tmp36 {
+    fn voltage(&self, env: &Environment, _rng: &mut SimRng) -> f64 {
+        let t = env.temperature_c.clamp(-40.0, 125.0);
+        Self::transfer(t) + self.offset_error_v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasheet_points() {
+        // 25 °C → 750 mV; 0 °C → 500 mV; 100 °C → 1.5 V.
+        assert!((Tmp36::transfer(25.0) - 0.75).abs() < 1e-12);
+        assert!((Tmp36::transfer(0.0) - 0.50).abs() < 1e-12);
+        assert!((Tmp36::transfer(100.0) - 1.50).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voltage_tracks_environment() {
+        let s = Tmp36::new();
+        let mut rng = SimRng::seed(1);
+        let mut env = Environment::default();
+        env.temperature_c = 31.5;
+        let v = s.voltage(&env, &mut rng);
+        assert!((v - 0.815).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_clamps_to_datasheet_limits() {
+        let s = Tmp36::new();
+        let mut rng = SimRng::seed(2);
+        let mut env = Environment::default();
+        env.temperature_c = -100.0;
+        assert!((s.voltage(&env, &mut rng) - 0.1).abs() < 1e-12);
+        env.temperature_c = 200.0;
+        assert!((s.voltage(&env, &mut rng) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn part_offset_is_bounded() {
+        let mut rng = SimRng::seed(3);
+        for _ in 0..200 {
+            let s = Tmp36::sample_part(&mut rng);
+            assert!(s.offset_error_v.abs() <= 0.010);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! SPI bus controller model.
+//!
+//! The µPnP connector reserves pins for SPI (Table 1: MOSI/MISO/SCK) even
+//! though none of the paper's four prototype peripherals uses it. The model
+//! implements full-duplex byte transfers with the four clock modes, so SPI
+//! peripherals can be added the same way as the others (the test suite uses
+//! a simple thermocouple-style device).
+
+use upnp_sim::SimDuration;
+
+use crate::BusTransaction;
+
+/// SPI clock polarity/phase mode (0–3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpiMode {
+    /// CPOL=0, CPHA=0.
+    Mode0,
+    /// CPOL=0, CPHA=1.
+    Mode1,
+    /// CPOL=1, CPHA=0.
+    Mode2,
+    /// CPOL=1, CPHA=1.
+    Mode3,
+}
+
+/// A device on the SPI bus (single chip-select).
+pub trait SpiDevice {
+    /// Full-duplex transfer: receives the master's byte, returns the
+    /// slave's simultaneous output byte.
+    fn transfer(&mut self, mosi: u8, env: &mut crate::Environment) -> u8;
+
+    /// Chip-select asserted (start of a transaction).
+    fn select(&mut self) {}
+
+    /// Chip-select released (end of a transaction).
+    fn deselect(&mut self) {}
+}
+
+/// The MCU-side SPI master with one attached device.
+pub struct SpiBus {
+    /// SCK frequency in hertz.
+    pub clock_hz: u64,
+    /// Clock mode.
+    pub mode: SpiMode,
+    device: Option<Box<dyn SpiDevice>>,
+}
+
+impl SpiBus {
+    /// Creates a 1 MHz mode-0 bus with no device attached.
+    pub fn new() -> Self {
+        SpiBus {
+            clock_hz: 1_000_000,
+            mode: SpiMode::Mode0,
+            device: None,
+        }
+    }
+
+    /// Attaches the (single) device.
+    pub fn attach(&mut self, device: Box<dyn SpiDevice>) {
+        self.device = Some(device);
+    }
+
+    /// Detaches the device, if any.
+    pub fn detach(&mut self) -> bool {
+        self.device.take().is_some()
+    }
+
+    /// True if a device is attached.
+    pub fn connected(&self) -> bool {
+        self.device.is_some()
+    }
+
+    /// Runs a full-duplex transaction: sends `tx`, returns the bytes
+    /// clocked back, or `None` if no device is attached.
+    pub fn transfer(
+        &mut self,
+        tx: &[u8],
+        env: &mut crate::Environment,
+    ) -> Option<(Vec<u8>, BusTransaction)> {
+        let dev = self.device.as_mut()?;
+        dev.select();
+        let rx: Vec<u8> = tx.iter().map(|&b| dev.transfer(b, env)).collect();
+        dev.deselect();
+        let duration = SimDuration::from_nanos(tx.len() as u64 * 8 * 1_000_000_000 / self.clock_hz);
+        Some((
+            rx,
+            BusTransaction {
+                duration,
+                energy_j: duration.as_secs_f64() * 3.3 * 4.1e-3,
+                bytes: tx.len(),
+            },
+        ))
+    }
+}
+
+impl Default for SpiBus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for SpiBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpiBus")
+            .field("clock_hz", &self.clock_hz)
+            .field("mode", &self.mode)
+            .field("connected", &self.connected())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Environment;
+
+    /// Echoes the previous MOSI byte back (one-byte delay line).
+    struct Echo {
+        last: u8,
+        selected: bool,
+    }
+
+    impl SpiDevice for Echo {
+        fn transfer(&mut self, mosi: u8, _env: &mut Environment) -> u8 {
+            let out = self.last;
+            self.last = mosi;
+            out
+        }
+
+        fn select(&mut self) {
+            self.selected = true;
+        }
+
+        fn deselect(&mut self) {
+            self.selected = false;
+        }
+    }
+
+    #[test]
+    fn full_duplex_transfer() {
+        let mut bus = SpiBus::new();
+        bus.attach(Box::new(Echo {
+            last: 0xff,
+            selected: false,
+        }));
+        let mut env = Environment::default();
+        let (rx, tx) = bus.transfer(&[1, 2, 3], &mut env).unwrap();
+        assert_eq!(rx, vec![0xff, 1, 2]);
+        assert_eq!(tx.bytes, 3);
+        // 24 bits at 1 MHz = 24 µs.
+        assert_eq!(tx.duration, SimDuration::from_micros(24));
+    }
+
+    #[test]
+    fn transfer_without_device_is_none() {
+        let mut bus = SpiBus::new();
+        let mut env = Environment::default();
+        assert!(bus.transfer(&[0], &mut env).is_none());
+    }
+
+    #[test]
+    fn attach_detach_cycle() {
+        let mut bus = SpiBus::new();
+        assert!(!bus.connected());
+        bus.attach(Box::new(Echo {
+            last: 0,
+            selected: false,
+        }));
+        assert!(bus.connected());
+        assert!(bus.detach());
+        assert!(!bus.detach());
+    }
+}

@@ -1,0 +1,32 @@
+//! The assembled µPnP system — the paper's contribution glued together.
+//!
+//! Three network entities (paper §5):
+//!
+//! * a **µPnP Thing** ([`thing`]) — an IoT device with the control board,
+//!   the execution environment of `upnp-vm`, and the network protocol:
+//!   plug a peripheral in and it is identified, its driver fetched over
+//!   the air, its multicast group joined and its services advertised;
+//! * a **µPnP Client** ([`client`]) — discovers peripherals by type and
+//!   invokes read/stream/write on them;
+//! * a **µPnP Manager** ([`manager`]) — the anycast-addressed driver
+//!   repository that deploys and removes drivers remotely.
+//!
+//! [`world`] hosts any number of these on a simulated 6LoWPAN network and
+//! drives the global virtual clock — it is the top-level API the examples,
+//! integration tests and benchmarks use. [`catalog`] maps device-type
+//! identifiers to peripheral models and shipped drivers; [`registry`]
+//! implements the global address space of §3.3.
+
+pub mod catalog;
+pub mod client;
+pub mod manager;
+pub mod registry;
+pub mod thing;
+pub mod world;
+
+pub use catalog::{Catalog, CatalogEntry};
+pub use client::Client;
+pub use manager::Manager;
+pub use registry::{AddressSpace, AllocationError, RegistryEntry};
+pub use thing::{PlugTimeline, Thing};
+pub use world::{World, WorldConfig};

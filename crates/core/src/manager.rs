@@ -1,0 +1,251 @@
+//! The µPnP Manager: the anycast-addressed driver repository (paper §5.3).
+//!
+//! "The µPnP Manager runs on a server-class device and manages the
+//! deployment and remote configuration of device drivers on µPnP Things."
+//! It answers (4) driver requests with (5) uploads, explores Things with
+//! (6) driver discovery and prunes them with (8) removals.
+
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+use upnp_dsl::image::DriverImage;
+use upnp_hw::id::DeviceTypeId;
+use upnp_net::addr::MCAST_PORT;
+use upnp_net::calib;
+use upnp_net::msg::{Message, MessageBody, SeqNo};
+use upnp_net::{Datagram, NodeId};
+use upnp_sim::{CpuCost, SimDuration};
+
+use crate::catalog::Catalog;
+use crate::registry::AddressSpace;
+
+/// The µPnP Manager.
+pub struct Manager {
+    /// The manager's network node.
+    pub node: NodeId,
+    /// The manager's unicast address.
+    pub address: Ipv6Addr,
+    /// The anycast address Things send driver requests to.
+    pub anycast: Ipv6Addr,
+    /// The global address space registry this manager fronts.
+    pub registry: AddressSpace,
+    repository: HashMap<u32, DriverImage>,
+    seq: SeqNo,
+    /// Thing address → advertised driver inventory (from (7) messages).
+    pub inventory: HashMap<Ipv6Addr, Vec<(u32, u16)>>,
+    /// Collected (9) removal acknowledgements.
+    pub removal_acks: Vec<(Ipv6Addr, u32, bool)>,
+    /// Driver uploads served (diagnostic).
+    pub uploads_served: u64,
+}
+
+impl Manager {
+    /// Creates a manager whose repository is populated by compiling every
+    /// driver in `catalog`, registering each in the address space.
+    pub fn new(node: NodeId, address: Ipv6Addr, anycast: Ipv6Addr, catalog: &Catalog) -> Self {
+        let mut repository = HashMap::new();
+        let mut registry = AddressSpace::new();
+        for entry in catalog.entries() {
+            let image = upnp_dsl::compile_source(entry.driver_source, entry.device_id.raw())
+                .expect("catalog drivers compile");
+            repository.insert(entry.device_id.raw(), image);
+            registry
+                .allocate(
+                    entry.device_id,
+                    "prototype",
+                    "iMinds-DistriNet",
+                    "upnp@example.org",
+                    "https://www.micropnp.com",
+                )
+                .expect("catalog ids allocate");
+            registry
+                .record_driver(entry.device_id, 1)
+                .expect("just allocated");
+        }
+        Manager {
+            node,
+            address,
+            anycast,
+            registry,
+            repository,
+            seq: 0,
+            inventory: HashMap::new(),
+            removal_acks: Vec::new(),
+            uploads_served: 0,
+        }
+    }
+
+    fn next_seq(&mut self) -> SeqNo {
+        self.seq = self.seq.wrapping_add(1);
+        self.seq
+    }
+
+    /// The driver image for a peripheral, if the repository has one.
+    pub fn driver_for(&self, device_id: DeviceTypeId) -> Option<&DriverImage> {
+        self.repository.get(&device_id.raw())
+    }
+
+    /// Adds (or replaces) a driver image in the repository, after static
+    /// validation — a third-party upload must never be able to wedge the
+    /// Things it gets deployed to (§9's driver-validation future work).
+    ///
+    /// # Errors
+    ///
+    /// Returns the verifier's finding for rejected images.
+    pub fn publish_driver(&mut self, image: DriverImage) -> Result<(), upnp_dsl::VerifyError> {
+        upnp_dsl::verify(&image)?;
+        let id = DeviceTypeId::new(image.device_id);
+        if self.registry.get(id).is_none() {
+            let _ = self.registry.allocate(
+                id,
+                "third-party",
+                "unknown",
+                "unknown@example.org",
+                "https://example.org",
+            );
+        }
+        let version = self
+            .registry
+            .get(id)
+            .map(|e| e.driver_versions.len() as u16 + 1)
+            .unwrap_or(1);
+        let _ = self.registry.record_driver(id, version);
+        self.repository.insert(image.device_id, image);
+        Ok(())
+    }
+
+    /// Handles a datagram. Returns replies plus two manager-side delays:
+    /// `process` (receive + repository lookup + upload setup — the tail of
+    /// Table 4's *request driver* row) and `send_path` (the UDP/6LoWPAN
+    /// send path — the head of the *install driver* row).
+    pub fn on_datagram(&mut self, dgram: &Datagram) -> (Vec<Datagram>, SimDuration, SimDuration) {
+        let Some(msg) = Message::decode(&dgram.payload) else {
+            return (Vec::new(), SimDuration::ZERO, SimDuration::ZERO);
+        };
+        match msg.body {
+            MessageBody::DriverRequest { peripheral } => {
+                let mut cost = CpuCost::ZERO;
+                cost += calib::UDP_RECV_PATH;
+                cost += calib::REPO_LOOKUP;
+                match self.repository.get(&peripheral) {
+                    Some(image) => {
+                        cost += calib::UPLOAD_SETUP;
+                        self.uploads_served += 1;
+                        let reply = Message {
+                            seq: msg.seq,
+                            body: MessageBody::DriverUpload {
+                                peripheral,
+                                image: image.to_bytes(),
+                            },
+                        };
+                        (
+                            vec![self.datagram(dgram.src, reply)],
+                            calib::duration(cost),
+                            calib::duration(calib::UDP_SEND_PATH),
+                        )
+                    }
+                    None => (Vec::new(), calib::duration(cost), SimDuration::ZERO),
+                }
+            }
+            MessageBody::DriverAdvertisement { drivers } => {
+                self.inventory.insert(dgram.src, drivers);
+                (
+                    Vec::new(),
+                    calib::duration(calib::UDP_RECV_PATH),
+                    SimDuration::ZERO,
+                )
+            }
+            MessageBody::DriverRemovalAck {
+                peripheral,
+                removed,
+            } => {
+                self.removal_acks.push((dgram.src, peripheral, removed));
+                (
+                    Vec::new(),
+                    calib::duration(calib::UDP_RECV_PATH),
+                    SimDuration::ZERO,
+                )
+            }
+            _ => (Vec::new(), SimDuration::ZERO, SimDuration::ZERO),
+        }
+    }
+
+    /// Builds (5) driver-upload pushes for every inventoried Thing that
+    /// runs a driver for `device_id` — the over-the-air update flow
+    /// (§3.3: drivers "may be updated at any time"). Call after
+    /// [`Manager::publish_driver`] with the new image.
+    pub fn push_update(&mut self, device_id: DeviceTypeId) -> Vec<Datagram> {
+        let Some(image) = self.repository.get(&device_id.raw()).cloned() else {
+            return Vec::new();
+        };
+        let targets: Vec<Ipv6Addr> = self
+            .inventory
+            .iter()
+            .filter(|(_, drivers)| drivers.iter().any(|(p, _)| *p == device_id.raw()))
+            .map(|(addr, _)| *addr)
+            .collect();
+        targets
+            .into_iter()
+            .map(|thing| {
+                let seq = self.next_seq();
+                self.uploads_served += 1;
+                self.datagram(
+                    thing,
+                    Message {
+                        seq,
+                        body: MessageBody::DriverUpload {
+                            peripheral: device_id.raw(),
+                            image: image.to_bytes(),
+                        },
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Builds a (6) driver discovery query for a Thing.
+    pub fn query_drivers(&mut self, thing: Ipv6Addr) -> Datagram {
+        let seq = self.next_seq();
+        self.datagram(
+            thing,
+            Message {
+                seq,
+                body: MessageBody::DriverDiscovery,
+            },
+        )
+    }
+
+    /// Builds an (8) driver removal request for a Thing.
+    pub fn remove_driver(&mut self, thing: Ipv6Addr, device_id: DeviceTypeId) -> Datagram {
+        let seq = self.next_seq();
+        self.datagram(
+            thing,
+            Message {
+                seq,
+                body: MessageBody::DriverRemoval {
+                    peripheral: device_id.raw(),
+                },
+            },
+        )
+    }
+
+    fn datagram(&self, dst: Ipv6Addr, msg: Message) -> Datagram {
+        Datagram {
+            src: self.address,
+            dst,
+            src_port: MCAST_PORT,
+            dst_port: MCAST_PORT,
+            payload: msg.encode(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Manager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Manager")
+            .field("node", &self.node)
+            .field("drivers", &self.repository.len())
+            .field("uploads_served", &self.uploads_served)
+            .finish_non_exhaustive()
+    }
+}

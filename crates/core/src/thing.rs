@@ -1,0 +1,720 @@
+//! The µPnP Thing: an IoT device with the control board, the execution
+//! environment and the network protocol (paper §5, Figure 8).
+//!
+//! The Thing's life is event-driven:
+//!
+//! 1. the board's interrupt fires on plug/unplug → identification scan;
+//! 2. a newly identified peripheral either has its driver locally or a
+//!    (4) driver request goes to the manager's anycast address;
+//! 3. on (5) driver upload: install, fire `init`, generate the
+//!    peripheral's multicast address, join the group and send a (1)
+//!    unsolicited advertisement to all clients;
+//! 4. (2) discovery, (10) read, (12) stream, (16) write and the driver
+//!    management messages are answered per §5.2–5.3.
+
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+use upnp_dsl::image::DriverImage;
+use upnp_hw::board::ControlBoard;
+use upnp_hw::channels::ChannelId;
+use upnp_hw::id::DeviceTypeId;
+use upnp_net::addr;
+use upnp_net::calib;
+use upnp_net::msg::{AdvertisedPeripheral, Message, MessageBody, SeqNo, Value};
+use upnp_net::tlv::{Tlv, TlvType};
+use upnp_net::{Datagram, NodeId};
+use upnp_sim::{SimDuration, SimTime};
+use upnp_vm::controller::{PeripheralChange, PeripheralController};
+use upnp_vm::runtime::{OpToken, PendingKind, Runtime};
+use upnp_vm::vm::ReturnValue;
+
+use crate::catalog::Catalog;
+
+/// Whether a driver's scalar return is float- or integer-valued (carried
+/// here rather than in the image format; a production registry would ship
+/// it as driver metadata).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueKind {
+    /// Scalar float (e.g. degrees Celsius).
+    Float,
+    /// Scalar integer (e.g. pascals).
+    Int,
+}
+
+/// Instrumentation of one plug-to-advertised pipeline (regenerates the
+/// paper's Table 4 and the §8 "488.53 ms" claim).
+#[derive(Debug, Clone, Default)]
+pub struct PlugTimeline {
+    /// Identification scan duration.
+    pub scan: Option<SimDuration>,
+    /// Driver request initiated (thing clock).
+    pub request_sent: Option<SimTime>,
+    /// Manager finished preparing the upload (world clock).
+    pub upload_sent: Option<SimTime>,
+    /// Upload delivered to the Thing.
+    pub upload_received: Option<SimTime>,
+    /// Driver installed and `init` completed.
+    pub installed: Option<SimTime>,
+    /// Multicast address generation duration.
+    pub generate_addr: Option<SimDuration>,
+    /// Group join duration.
+    pub join_group: Option<SimDuration>,
+    /// Advertisement build+send duration (up to last radio bit).
+    pub advertise: Option<SimDuration>,
+    /// Scan start (thing clock).
+    pub scan_started: Option<SimTime>,
+    /// Advertisement completed (thing clock).
+    pub finished: Option<SimTime>,
+}
+
+impl PlugTimeline {
+    /// `request driver` row: request sent → upload ready at the manager.
+    pub fn request_driver(&self) -> Option<SimDuration> {
+        Some(self.upload_sent?.saturating_since(self.request_sent?))
+    }
+
+    /// `install driver` row: upload ready → driver installed and started.
+    pub fn install_driver(&self) -> Option<SimDuration> {
+        Some(self.installed?.saturating_since(self.upload_sent?))
+    }
+
+    /// End-to-end plug-to-advertised time (the paper's §8 total).
+    pub fn total(&self) -> Option<SimDuration> {
+        Some(self.finished?.saturating_since(self.scan_started?))
+    }
+}
+
+/// Side effects a Thing asks the world to perform.
+#[derive(Debug)]
+pub enum Outbound {
+    /// Transmit a datagram (at the thing's current clock).
+    Send(Datagram),
+    /// Join a multicast group at the network layer.
+    JoinGroup(Ipv6Addr),
+    /// Leave a multicast group.
+    LeaveGroup(Ipv6Addr),
+    /// Schedule periodic stream ticks for a peripheral.
+    StartStream {
+        /// The streaming peripheral.
+        peripheral: u32,
+    },
+    /// Stop the stream ticks for a peripheral.
+    StopStream {
+        /// The peripheral whose stream ended.
+        peripheral: u32,
+    },
+}
+
+#[derive(Debug)]
+struct StreamState {
+    group: Ipv6Addr,
+    remaining: u32,
+}
+
+/// The µPnP Thing.
+pub struct Thing {
+    /// This Thing's network node.
+    pub node: NodeId,
+    /// This Thing's unicast address.
+    pub address: Ipv6Addr,
+    /// The execution environment (buses, VM, router, drivers).
+    pub runtime: Runtime,
+    controller: PeripheralController,
+    catalog: Catalog,
+    prefix: u64,
+    seq: SeqNo,
+    /// Locally cached driver images by device id.
+    driver_cache: HashMap<u32, DriverImage>,
+    /// Peripherals waiting for a driver upload: device id → channel.
+    awaiting_driver: HashMap<u32, ChannelId>,
+    /// In-flight remote operations: token → (reply seq, requester,
+    /// peripheral, stream?).
+    pending_ops: HashMap<OpToken, (SeqNo, Ipv6Addr, u32, bool)>,
+    /// Active streams by peripheral id.
+    streams: HashMap<u32, StreamState>,
+    /// Plug pipeline instrumentation by device id.
+    pub timelines: HashMap<u32, PlugTimeline>,
+    /// Ambient temperature used for identification scans.
+    pub scan_temp_c: f64,
+    /// Samples per stream before `Closed` (configurable).
+    pub stream_samples: u32,
+    /// Physical location tag; discoveries carrying a `Location` TLV are
+    /// only answered when it matches (§9's location-aware discovery).
+    pub location: Option<String>,
+}
+
+impl Thing {
+    /// Creates a Thing on `node` with a sampled control board.
+    pub fn new(
+        node: NodeId,
+        address: Ipv6Addr,
+        prefix: u64,
+        board: ControlBoard,
+        catalog: Catalog,
+        seed: u64,
+    ) -> Self {
+        Thing {
+            node,
+            address,
+            runtime: Runtime::new(seed),
+            controller: PeripheralController::new(board),
+            catalog,
+            prefix,
+            seq: 0,
+            driver_cache: HashMap::new(),
+            awaiting_driver: HashMap::new(),
+            pending_ops: HashMap::new(),
+            streams: HashMap::new(),
+            timelines: HashMap::new(),
+            scan_temp_c: 25.0,
+            stream_samples: 5,
+            location: None,
+        }
+    }
+
+    fn next_seq(&mut self) -> SeqNo {
+        self.seq = self.seq.wrapping_add(1);
+        self.seq
+    }
+
+    /// The control board (plug/unplug peripherals, inspect traces).
+    pub fn board_mut(&mut self) -> &mut ControlBoard {
+        self.controller.board_mut()
+    }
+
+    /// The control board, immutable.
+    pub fn board(&self) -> &ControlBoard {
+        self.controller.board()
+    }
+
+    /// True if the board interrupt is pending.
+    pub fn interrupt_pending(&self) -> bool {
+        self.controller.interrupt_pending()
+    }
+
+    /// Device ids of currently driver-served peripherals.
+    pub fn served_peripherals(&self) -> Vec<u32> {
+        self.runtime
+            .manager
+            .iter()
+            .map(|(_, d)| d.device_id)
+            .collect()
+    }
+
+    /// Services the board interrupt at world time `now`: runs the scan and
+    /// reacts to every change.
+    pub fn service_interrupt(&mut self, now: SimTime, mgr_anycast: Ipv6Addr) -> Vec<Outbound> {
+        if self.runtime.now() < now {
+            self.runtime.advance_to(now);
+        }
+        let scan_start = self.runtime.now();
+        let (outcome, changes) = self
+            .controller
+            .service_interrupt(scan_start, self.scan_temp_c);
+        self.runtime.advance_to(outcome.finished);
+
+        let mut out = Vec::new();
+        for change in changes {
+            match change {
+                PeripheralChange::Connected { channel, device_id } => {
+                    let tl = self.timelines.entry(device_id.raw()).or_default();
+                    tl.scan_started = Some(scan_start);
+                    tl.scan = Some(outcome.duration());
+                    if let Some(image) = self.driver_cache.get(&device_id.raw()).cloned() {
+                        out.extend(self.activate_driver(channel, device_id, image));
+                    } else {
+                        out.extend(self.request_driver(device_id, mgr_anycast));
+                        self.awaiting_driver.insert(device_id.raw(), channel);
+                    }
+                }
+                PeripheralChange::Disconnected { channel, device_id } => {
+                    out.extend(self.deactivate_driver(channel, device_id));
+                }
+                PeripheralChange::IdentificationFailed { .. } => {
+                    // The MCU will retry on the next interrupt; nothing to
+                    // send.
+                }
+            }
+        }
+        out
+    }
+
+    fn request_driver(&mut self, device_id: DeviceTypeId, mgr: Ipv6Addr) -> Vec<Outbound> {
+        // The request-driver leg starts when the Thing decides to ask, so
+        // its own send path counts into the measured row.
+        if let Some(tl) = self.timelines.get_mut(&device_id.raw()) {
+            tl.request_sent = Some(self.runtime.now());
+        }
+        self.runtime.charge(calib::UDP_SEND_PATH);
+        let seq = self.next_seq();
+        vec![Outbound::Send(self.datagram(
+            mgr,
+            Message {
+                seq,
+                body: MessageBody::DriverRequest {
+                    peripheral: device_id.raw(),
+                },
+            },
+        ))]
+    }
+
+    /// Installs `image` for the peripheral on `channel`, joins its group
+    /// and advertises it.
+    fn activate_driver(
+        &mut self,
+        channel: ChannelId,
+        device_id: DeviceTypeId,
+        image: DriverImage,
+    ) -> Vec<Outbound> {
+        let mut out = Vec::new();
+        // Install cost scales with the image size (flash write).
+        let size = image.size_bytes();
+        self.runtime
+            .charge(calib::INSTALL_PER_BYTE.times(size as u64));
+        let Ok(slot) = self.runtime.install_driver(image, channel.0) else {
+            return out;
+        };
+        self.catalog.attach(&mut self.runtime, slot, device_id);
+        self.runtime.run_until_idle(); // the driver's init handler
+        if let Some(tl) = self.timelines.get_mut(&device_id.raw()) {
+            tl.installed = Some(self.runtime.now());
+        }
+
+        // Generate the peripheral's multicast address (§5.1).
+        let t0 = self.runtime.now();
+        self.runtime.charge(calib::GEN_MCAST_ADDR);
+        let group = addr::peripheral_group(self.prefix, device_id.raw());
+        let t1 = self.runtime.now();
+
+        // Join the group.
+        self.runtime.charge(calib::JOIN_GROUP);
+        out.push(Outbound::JoinGroup(group));
+        let t2 = self.runtime.now();
+
+        // Build and send the unsolicited advertisement.
+        self.runtime.charge(calib::BUILD_ADVERTISEMENT);
+        self.runtime.charge(calib::UDP_SEND_PATH);
+        let seq = self.next_seq();
+        out.push(Outbound::Send(self.datagram(
+            addr::all_clients_group(self.prefix),
+            Message {
+                seq,
+                body: MessageBody::UnsolicitedAdvertisement(vec![
+                    self.advertised(device_id, channel),
+                ]),
+            },
+        )));
+        let t3 = self.runtime.now();
+
+        if let Some(tl) = self.timelines.get_mut(&device_id.raw()) {
+            tl.generate_addr = Some(t1.since(t0));
+            tl.join_group = Some(t2.since(t1));
+            tl.advertise = Some(t3.since(t2));
+            tl.finished = Some(t3);
+        }
+        out
+    }
+
+    fn deactivate_driver(&mut self, channel: ChannelId, device_id: DeviceTypeId) -> Vec<Outbound> {
+        let mut out = Vec::new();
+        if let Some(slot) = self.runtime.manager.slot_for_channel(channel.0) {
+            self.runtime.remove_driver(slot);
+            self.catalog.detach(&mut self.runtime, slot, device_id);
+        }
+        let group = addr::peripheral_group(self.prefix, device_id.raw());
+        out.push(Outbound::LeaveGroup(group));
+        if let Some(stream) = self.streams.remove(&device_id.raw()) {
+            let seq = self.next_seq();
+            out.push(Outbound::Send(self.datagram(
+                stream.group,
+                Message {
+                    seq,
+                    body: MessageBody::Closed {
+                        peripheral: device_id.raw(),
+                    },
+                },
+            )));
+            out.push(Outbound::StopStream {
+                peripheral: device_id.raw(),
+            });
+        }
+        // Unplug also triggers an unsolicited advertisement (§5.2.1:
+        // "whenever a new peripheral is connected or disconnected").
+        self.runtime.charge(calib::UDP_SEND_PATH);
+        let seq = self.next_seq();
+        out.push(Outbound::Send(self.datagram(
+            addr::all_clients_group(self.prefix),
+            Message {
+                seq,
+                body: MessageBody::UnsolicitedAdvertisement(self.current_advertisement()),
+            },
+        )));
+        out
+    }
+
+    fn advertised(&self, device_id: DeviceTypeId, channel: ChannelId) -> AdvertisedPeripheral {
+        let mut tlvs = vec![Tlv::new(TlvType::Channel, vec![channel.0])];
+        if let Some(entry) = self.catalog.get(device_id) {
+            tlvs.push(Tlv::text(TlvType::Name, entry.name));
+            tlvs.push(Tlv::text(TlvType::Unit, entry.unit));
+        }
+        if let Some(location) = &self.location {
+            tlvs.push(Tlv::text(TlvType::Location, location));
+        }
+        AdvertisedPeripheral {
+            peripheral: device_id.raw(),
+            tlvs,
+        }
+    }
+
+    fn current_advertisement(&self) -> Vec<AdvertisedPeripheral> {
+        self.runtime
+            .manager
+            .iter()
+            .map(|(_, d)| self.advertised(DeviceTypeId::new(d.device_id), ChannelId(d.channel)))
+            .collect()
+    }
+
+    fn datagram(&self, dst: Ipv6Addr, msg: Message) -> Datagram {
+        Datagram {
+            src: self.address,
+            dst,
+            src_port: addr::MCAST_PORT,
+            dst_port: addr::MCAST_PORT,
+            payload: msg.encode(),
+        }
+    }
+
+    /// The stream multicast group for one of this Thing's peripherals
+    /// (distinct from the discovery group: the pad field carries 1).
+    fn stream_group(&self, peripheral: u32) -> Ipv6Addr {
+        let base = addr::peripheral_group(self.prefix, peripheral);
+        let mut o = base.octets();
+        o[11] = 1; // stream flag in the zero pad
+        Ipv6Addr::from(o)
+    }
+
+    /// Handles a datagram delivered at `at` (world clock).
+    pub fn on_datagram(&mut self, at: SimTime, dgram: &Datagram) -> Vec<Outbound> {
+        if self.runtime.now() < at {
+            self.runtime.advance_to(at);
+        }
+        let Some(msg) = Message::decode(&dgram.payload) else {
+            return Vec::new();
+        };
+        self.runtime.charge(calib::UDP_RECV_PATH);
+        match msg.body {
+            MessageBody::DriverUpload { peripheral, image } => {
+                if let Some(tl) = self.timelines.get_mut(&peripheral) {
+                    tl.upload_received = Some(at);
+                }
+                let Ok(parsed) = DriverImage::from_bytes(&image) else {
+                    return Vec::new();
+                };
+                // Defence in depth: the Thing re-verifies what the
+                // repository claims to have verified.
+                if upnp_dsl::verify(&parsed).is_err() {
+                    return Vec::new();
+                }
+                self.driver_cache.insert(peripheral, parsed.clone());
+                match self.awaiting_driver.remove(&peripheral) {
+                    Some(channel) => {
+                        self.activate_driver(channel, DeviceTypeId::new(peripheral), parsed)
+                    }
+                    None => {
+                        // An unsolicited upload for a peripheral we are
+                        // already serving is an over-the-air *update*:
+                        // destroy the running driver and activate the new
+                        // version in place (§3.3: "the device drivers
+                        // associated with an address may be updated at any
+                        // time").
+                        if let Some(slot) = self.runtime.manager.slot_for_device(peripheral) {
+                            let channel = self
+                                .runtime
+                                .manager
+                                .get(slot)
+                                .map(|d| ChannelId(d.channel))
+                                .expect("slot exists");
+                            self.runtime.remove_driver(slot);
+                            self.activate_driver(channel, DeviceTypeId::new(peripheral), parsed)
+                        } else {
+                            Vec::new() // pre-staged driver for later
+                        }
+                    }
+                }
+            }
+            MessageBody::Discovery(tlvs) => {
+                // A discovery reaches us through a peripheral group we
+                // joined. Location-aware filtering (§9): a discovery
+                // carrying a Location tuple is only answered by Things at
+                // that location.
+                let wanted_location = tlvs
+                    .iter()
+                    .find(|t| t.ty == TlvType::Location)
+                    .and_then(|t| t.as_text());
+                if let Some(wanted) = wanted_location {
+                    if self.location.as_deref() != Some(wanted) {
+                        return Vec::new();
+                    }
+                }
+                self.runtime.charge(calib::UDP_SEND_PATH);
+                let seq = msg.seq;
+                vec![Outbound::Send(self.datagram(
+                    dgram.src,
+                    Message {
+                        seq,
+                        body: MessageBody::SolicitedAdvertisement(self.current_advertisement()),
+                    },
+                ))]
+            }
+            MessageBody::Read { peripheral } => self.start_op(
+                msg.seq,
+                dgram.src,
+                peripheral,
+                PendingKind::Read,
+                Vec::new(),
+                false,
+            ),
+            MessageBody::Write { peripheral, value } => {
+                let args = match value {
+                    Value::I32(v) => vec![upnp_vm::value::Cell::from_i32(v)],
+                    Value::F32(v) => vec![upnp_vm::value::Cell::from_f32(v)],
+                    Value::Bytes(b) => b
+                        .iter()
+                        .map(|&x| upnp_vm::value::Cell::from_i32(x as i32))
+                        .collect(),
+                    Value::None => Vec::new(),
+                };
+                self.start_op(
+                    msg.seq,
+                    dgram.src,
+                    peripheral,
+                    PendingKind::Write,
+                    args,
+                    false,
+                )
+            }
+            MessageBody::Stream { peripheral } => {
+                let Some(_) = self.runtime.manager.slot_for_device(peripheral) else {
+                    return Vec::new();
+                };
+                let group = self.stream_group(peripheral);
+                self.streams.insert(
+                    peripheral,
+                    StreamState {
+                        group,
+                        remaining: self.stream_samples,
+                    },
+                );
+                self.runtime.charge(calib::UDP_SEND_PATH);
+                vec![
+                    Outbound::Send(self.datagram(
+                        dgram.src,
+                        Message {
+                            seq: msg.seq,
+                            body: MessageBody::Established {
+                                peripheral,
+                                group: group.octets(),
+                            },
+                        },
+                    )),
+                    Outbound::StartStream { peripheral },
+                ]
+            }
+            MessageBody::DriverDiscovery => {
+                self.runtime.charge(calib::UDP_SEND_PATH);
+                let drivers = self
+                    .runtime
+                    .manager
+                    .iter()
+                    .map(|(_, d)| (d.device_id, 1u16))
+                    .collect();
+                vec![Outbound::Send(self.datagram(
+                    dgram.src,
+                    Message {
+                        seq: msg.seq,
+                        body: MessageBody::DriverAdvertisement { drivers },
+                    },
+                ))]
+            }
+            MessageBody::DriverRemoval { peripheral } => {
+                let removed = match self.runtime.manager.slot_for_device(peripheral) {
+                    Some(slot) => {
+                        let channel = self.runtime.manager.get(slot).map(|d| d.channel);
+                        self.runtime.remove_driver(slot);
+                        if let Some(ch) = channel {
+                            self.catalog.detach(
+                                &mut self.runtime,
+                                ch,
+                                DeviceTypeId::new(peripheral),
+                            );
+                        }
+                        self.driver_cache.remove(&peripheral);
+                        true
+                    }
+                    None => false,
+                };
+                self.runtime.charge(calib::UDP_SEND_PATH);
+                let mut out = vec![Outbound::Send(self.datagram(
+                    dgram.src,
+                    Message {
+                        seq: msg.seq,
+                        body: MessageBody::DriverRemovalAck {
+                            peripheral,
+                            removed,
+                        },
+                    },
+                ))];
+                if removed {
+                    out.push(Outbound::LeaveGroup(addr::peripheral_group(
+                        self.prefix,
+                        peripheral,
+                    )));
+                }
+                out
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Starts a read/write against a driver and flushes completions.
+    fn start_op(
+        &mut self,
+        seq: SeqNo,
+        requester: Ipv6Addr,
+        peripheral: u32,
+        kind: PendingKind,
+        args: Vec<upnp_vm::value::Cell>,
+        stream: bool,
+    ) -> Vec<Outbound> {
+        let Some(slot) = self.runtime.manager.slot_for_device(peripheral) else {
+            // No driver: answer with an empty value / failed ack.
+            self.runtime.charge(calib::UDP_SEND_PATH);
+            let body = match kind {
+                PendingKind::Write => MessageBody::WriteAck {
+                    peripheral,
+                    ok: false,
+                },
+                _ => MessageBody::Data {
+                    peripheral,
+                    value: Value::None,
+                },
+            };
+            return vec![Outbound::Send(
+                self.datagram(requester, Message { seq, body }),
+            )];
+        };
+        let token = self.runtime.request(slot, kind, args);
+        self.pending_ops
+            .insert(token, (seq, requester, peripheral, stream));
+        self.flush_completions()
+    }
+
+    /// Runs the runtime until idle and converts completed operations into
+    /// protocol replies.
+    pub fn flush_completions(&mut self) -> Vec<Outbound> {
+        let completed = self.runtime.run_until_idle();
+        let mut out = Vec::new();
+        for op in completed {
+            let Some((seq, requester, peripheral, stream)) = self.pending_ops.remove(&op.token)
+            else {
+                continue;
+            };
+            let value = convert_value(op.value.as_ref(), self.value_kind(peripheral));
+            self.runtime.charge(calib::UDP_SEND_PATH);
+            let body = match op.kind {
+                PendingKind::Write => MessageBody::WriteAck {
+                    peripheral,
+                    ok: !matches!(value, Value::None),
+                },
+                _ if stream => MessageBody::StreamData { peripheral, value },
+                _ => MessageBody::Data { peripheral, value },
+            };
+            let dst = if stream {
+                self.streams
+                    .get(&peripheral)
+                    .map(|s| s.group)
+                    .unwrap_or(requester)
+            } else {
+                requester
+            };
+            out.push(Outbound::Send(self.datagram(dst, Message { seq, body })));
+        }
+        out
+    }
+
+    /// One periodic stream tick: sample the driver and multicast the
+    /// value; close the stream after the configured sample count.
+    pub fn stream_tick(&mut self, now: SimTime, peripheral: u32) -> Vec<Outbound> {
+        if self.runtime.now() < now {
+            self.runtime.advance_to(now);
+        }
+        let Some(state) = self.streams.get_mut(&peripheral) else {
+            return vec![Outbound::StopStream { peripheral }];
+        };
+        if state.remaining == 0 {
+            let group = state.group;
+            self.streams.remove(&peripheral);
+            self.runtime.charge(calib::UDP_SEND_PATH);
+            let seq = self.next_seq();
+            return vec![
+                Outbound::Send(self.datagram(
+                    group,
+                    Message {
+                        seq,
+                        body: MessageBody::Closed { peripheral },
+                    },
+                )),
+                Outbound::StopStream { peripheral },
+            ];
+        }
+        state.remaining -= 1;
+        let group = state.group;
+        let seq = self.next_seq();
+        self.start_op_to_group(seq, group, peripheral)
+    }
+
+    /// Each stream tick is a one-shot read whose reply is formatted as
+    /// (14) stream data and sent to the stream group.
+    fn start_op_to_group(&mut self, seq: SeqNo, group: Ipv6Addr, peripheral: u32) -> Vec<Outbound> {
+        self.start_op(seq, group, peripheral, PendingKind::Read, Vec::new(), true)
+    }
+
+    /// True while a stream is active for `peripheral`.
+    pub fn is_streaming(&self, peripheral: u32) -> bool {
+        self.streams.contains_key(&peripheral)
+    }
+
+    fn value_kind(&self, peripheral: u32) -> ValueKind {
+        match self.catalog.get(DeviceTypeId::new(peripheral)) {
+            Some(e) if e.unit == "Pa" => ValueKind::Int,
+            Some(_) => ValueKind::Float,
+            None => ValueKind::Int,
+        }
+    }
+}
+
+/// Converts a VM return value into a protocol value.
+fn convert_value(rv: Option<&ReturnValue>, kind: ValueKind) -> Value {
+    match rv {
+        None => Value::None,
+        Some(ReturnValue::Scalar(cell)) => match kind {
+            ValueKind::Float => Value::F32(cell.as_f32()),
+            ValueKind::Int => Value::I32(cell.as_i32()),
+        },
+        Some(ReturnValue::Array(_, cells)) => {
+            Value::Bytes(cells.iter().map(|c| c.as_i32() as u8).collect())
+        }
+    }
+}
+
+impl std::fmt::Debug for Thing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Thing")
+            .field("node", &self.node)
+            .field("address", &self.address)
+            .field("drivers", &self.served_peripherals())
+            .finish_non_exhaustive()
+    }
+}

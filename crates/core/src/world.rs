@@ -1,0 +1,559 @@
+//! The top-level simulation world: a manager, Things and clients on one
+//! 6LoWPAN network, driven on a single virtual clock.
+//!
+//! This is the API the examples, integration tests and benchmark harness
+//! use. It mediates every datagram, so it is also where the plug-pipeline
+//! timelines (Table 4, §8) are stitched together.
+
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+use upnp_hw::board::ControlBoard;
+use upnp_hw::channels::ChannelId;
+use upnp_hw::components::ToleranceClass;
+use upnp_hw::id::DeviceTypeId;
+use upnp_hw::peripheral::PeripheralBoard;
+use upnp_net::link::LinkQuality;
+use upnp_net::msg::Value;
+use upnp_net::{Network, NodeId};
+use upnp_sim::{Scheduler, SimDuration, SimRng, SimTime};
+
+use crate::catalog::Catalog;
+use crate::client::Client;
+use crate::manager::Manager;
+use crate::thing::{Outbound, PlugTimeline, Thing};
+
+/// A Thing handle in the world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ThingId(pub usize);
+
+/// A client handle in the world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClientId(pub usize);
+
+/// World construction parameters.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Master RNG seed: everything stochastic derives from it.
+    pub seed: u64,
+    /// The 48-bit IPv6 prefix of the deployment.
+    pub prefix: u64,
+    /// Samples per stream before the Thing closes it.
+    pub stream_samples: u32,
+    /// Stream sampling period.
+    pub stream_period: SimDuration,
+    /// Peripheral-board resistor tolerance used by [`World::plug`].
+    pub resistor_tolerance: ToleranceClass,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            // The protocol port number doubles as a memorable seed.
+            seed: 0x6030,
+            prefix: 0x2001_0db8_0000,
+            stream_samples: 5,
+            stream_period: SimDuration::from_millis(500),
+            resistor_tolerance: ToleranceClass::PointOnePercent,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum NodeKind {
+    Manager,
+    Thing(usize),
+    Client(usize),
+}
+
+#[derive(Debug, Clone)]
+enum WorldEvent {
+    StreamTick { thing: usize, peripheral: u32 },
+}
+
+/// The assembled multi-node world.
+pub struct World {
+    /// The network simulator.
+    pub net: Network,
+    manager: Option<Manager>,
+    things: Vec<Thing>,
+    clients: Vec<Client>,
+    catalog: Catalog,
+    node_kinds: HashMap<NodeId, NodeKind>,
+    sched: Scheduler<WorldEvent>,
+    now: SimTime,
+    rng: SimRng,
+    config: WorldConfig,
+    /// The anycast address Things send driver requests to.
+    pub manager_anycast: Ipv6Addr,
+}
+
+impl World {
+    /// Creates an empty world.
+    pub fn new(config: WorldConfig) -> Self {
+        let rng = SimRng::seed(config.seed);
+        World {
+            net: Network::new(config.prefix, config.seed ^ 0x9e37),
+            manager: None,
+            things: Vec::new(),
+            clients: Vec::new(),
+            catalog: Catalog::with_prototypes(),
+            node_kinds: HashMap::new(),
+            sched: Scheduler::new(),
+            now: SimTime::ZERO,
+            rng,
+            manager_anycast: "2001:db8:aaaa::1".parse().expect("valid anycast"),
+            config,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The catalog of known peripherals.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Adds the manager node (call once, before things).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a manager already exists.
+    pub fn add_manager(&mut self) -> NodeId {
+        assert!(self.manager.is_none(), "world already has a manager");
+        let node = self.net.add_node();
+        let address = self.net.addr_of(node);
+        self.net.set_anycast(node, self.manager_anycast);
+        self.manager = Some(Manager::new(
+            node,
+            address,
+            self.manager_anycast,
+            &self.catalog,
+        ));
+        self.node_kinds.insert(node, NodeKind::Manager);
+        node
+    }
+
+    /// Adds a µPnP Thing with a realistically sampled control board.
+    pub fn add_thing(&mut self) -> ThingId {
+        let node = self.net.add_node();
+        let address = self.net.addr_of(node);
+        let board = ControlBoard::sample(&mut self.rng);
+        let seed = self.rng.next_u64();
+        let thing = Thing::new(
+            node,
+            address,
+            self.config.prefix,
+            board,
+            self.catalog.clone(),
+            seed,
+        );
+        let mut thing = thing;
+        thing.stream_samples = self.config.stream_samples;
+        self.things.push(thing);
+        let id = ThingId(self.things.len() - 1);
+        self.node_kinds.insert(node, NodeKind::Thing(id.0));
+        id
+    }
+
+    /// Adds a client; it joins the all-clients group immediately.
+    pub fn add_client(&mut self) -> ClientId {
+        let node = self.net.add_node();
+        let address = self.net.addr_of(node);
+        let client = Client::new(node, address, self.config.prefix);
+        self.net
+            .join_group(node, upnp_net::addr::all_clients_group(self.config.prefix));
+        self.clients.push(client);
+        let id = ClientId(self.clients.len() - 1);
+        self.node_kinds.insert(node, NodeKind::Client(id.0));
+        id
+    }
+
+    /// Access a Thing.
+    pub fn thing(&self, id: ThingId) -> &Thing {
+        &self.things[id.0]
+    }
+
+    /// Mutable access to a Thing.
+    pub fn thing_mut(&mut self, id: ThingId) -> &mut Thing {
+        &mut self.things[id.0]
+    }
+
+    /// Access a client.
+    pub fn client(&self, id: ClientId) -> &Client {
+        &self.clients[id.0]
+    }
+
+    /// Access the manager.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no manager was added.
+    pub fn manager(&self) -> &Manager {
+        self.manager.as_ref().expect("world has a manager")
+    }
+
+    /// Mutable manager access.
+    pub fn manager_mut(&mut self) -> &mut Manager {
+        self.manager.as_mut().expect("world has a manager")
+    }
+
+    /// The network node of a Thing.
+    pub fn thing_node(&self, id: ThingId) -> NodeId {
+        self.things[id.0].node
+    }
+
+    /// The unicast address of a Thing.
+    pub fn thing_addr(&self, id: ThingId) -> Ipv6Addr {
+        self.things[id.0].address
+    }
+
+    /// Links two nodes with the given quality.
+    pub fn link(&mut self, a: NodeId, b: NodeId, quality: LinkQuality) {
+        self.net.link(a, b, quality);
+    }
+
+    /// Builds the routing tree rooted at `root` (typically the manager).
+    pub fn build_tree(&mut self, root: NodeId) {
+        self.net.build_tree(root);
+    }
+
+    /// Convenience: star topology with every other node one perfect hop
+    /// from the manager, tree rooted there.
+    pub fn star_topology(&mut self) {
+        let root = self.manager().node;
+        let nodes: Vec<NodeId> = self.node_kinds.keys().copied().collect();
+        for n in nodes {
+            if n != root {
+                self.net.link(root, n, LinkQuality::PERFECT);
+            }
+        }
+        self.net.build_tree(root);
+    }
+
+    /// Manufactures a peripheral board for `device_id` and plugs it into
+    /// `channel` of the Thing. The identification interrupt fires; run the
+    /// world to see the full pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown device ids or occupied channels (test misuse).
+    pub fn plug(&mut self, thing: ThingId, channel: u8, device_id: DeviceTypeId) {
+        let tolerance = self.config.resistor_tolerance;
+        let entry = self
+            .catalog
+            .get(device_id)
+            .unwrap_or_else(|| panic!("{device_id} not in catalog"));
+        let board =
+            PeripheralBoard::manufacture(device_id, entry.interconnect, tolerance, &mut self.rng)
+                .expect("catalog ids are realisable");
+        self.things[thing.0]
+            .board_mut()
+            .plug(ChannelId(channel), board)
+            .expect("channel free");
+    }
+
+    /// Unplugs whatever occupies `channel` of the Thing.
+    pub fn unplug(&mut self, thing: ThingId, channel: u8) {
+        self.things[thing.0].board_mut().unplug(ChannelId(channel));
+    }
+
+    /// Runs until no interrupts, deliveries or scheduled events remain.
+    pub fn run_until_idle(&mut self) {
+        // Bounded by a large iteration budget: a logic bug must fail a
+        // test, not hang it.
+        for _ in 0..1_000_000 {
+            if !self.step() {
+                return;
+            }
+        }
+        panic!("world failed to go idle (event loop runaway)");
+    }
+
+    /// Runs for at most `duration` of virtual time.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let deadline = self.now + duration;
+        for _ in 0..1_000_000 {
+            // Handle interrupts regardless of the deadline (they are
+            // immediate), then events up to the deadline.
+            if self.service_interrupts() {
+                continue;
+            }
+            let Some(next) = self.next_event_time() else {
+                break;
+            };
+            if next > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    fn next_event_time(&self) -> Option<SimTime> {
+        match (self.net.next_delivery_at(), self.sched.peek_time()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+
+    /// One step of the world loop. Returns false when idle.
+    fn step(&mut self) -> bool {
+        if self.service_interrupts() {
+            return true;
+        }
+        let Some(next) = self.next_event_time() else {
+            return false;
+        };
+        if next > self.now {
+            self.now = next;
+        }
+
+        // Scheduled world events (stream ticks) due now.
+        while matches!(self.sched.peek_time(), Some(t) if t <= self.now) {
+            let entry = self.sched.pop().expect("peeked");
+            match entry.event {
+                WorldEvent::StreamTick { thing, peripheral } => {
+                    let out = self.things[thing].stream_tick(self.now, peripheral);
+                    let more = self.things[thing].flush_completions();
+                    self.apply_outbound(thing, out);
+                    self.apply_outbound(thing, more);
+                    // Re-arm unless the stream stopped.
+                    if self.things[thing].is_streaming(peripheral) {
+                        let at = self.now + self.config.stream_period;
+                        self.sched
+                            .schedule_at(at, WorldEvent::StreamTick { thing, peripheral });
+                    }
+                }
+            }
+        }
+
+        // Network deliveries due now.
+        let deliveries = self.net.poll(self.now);
+        for d in deliveries {
+            match self.node_kinds.get(&d.node).copied() {
+                Some(NodeKind::Manager) => {
+                    let (replies, process, send_path) = self
+                        .manager
+                        .as_mut()
+                        .expect("delivery to existing manager")
+                        .on_datagram(&d.dgram);
+                    // The upload is "ready" after processing (end of the
+                    // request-driver leg); its send path belongs to the
+                    // install-driver leg.
+                    let ready_at = d.at + process;
+                    let send_at = ready_at + send_path;
+                    let mgr_node = self.manager().node;
+                    // Stitch the upload-ready stamp into the plug timeline
+                    // of the requesting Thing.
+                    for reply in &replies {
+                        if let Some(upnp_net::msg::Message {
+                            body: upnp_net::msg::MessageBody::DriverUpload { peripheral, .. },
+                            ..
+                        }) = upnp_net::msg::Message::decode(&reply.payload)
+                        {
+                            for t in &mut self.things {
+                                if t.address == reply.dst {
+                                    if let Some(tl) = t.timelines.get_mut(&peripheral) {
+                                        tl.upload_sent = Some(ready_at);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    for reply in replies {
+                        self.net.send(send_at, mgr_node, reply);
+                    }
+                }
+                Some(NodeKind::Thing(i)) => {
+                    let out = self.things[i].on_datagram(d.at, &d.dgram);
+                    self.apply_outbound(i, out);
+                }
+                Some(NodeKind::Client(i)) => {
+                    let joins = self.clients[i].on_datagram(d.at, &d.dgram);
+                    let node = self.clients[i].node;
+                    for g in joins {
+                        self.net.join_group(node, g);
+                    }
+                }
+                None => {}
+            }
+        }
+        true
+    }
+
+    /// Services at most one pending interrupt; returns true if one was
+    /// handled.
+    fn service_interrupts(&mut self) -> bool {
+        let anycast = self.manager_anycast;
+        for i in 0..self.things.len() {
+            if self.things[i].interrupt_pending() {
+                let out = self.things[i].service_interrupt(self.now, anycast);
+                self.apply_outbound(i, out);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn apply_outbound(&mut self, thing: usize, outbound: Vec<Outbound>) {
+        let node = self.things[thing].node;
+        let send_at = self.things[thing].runtime.now().max(self.now);
+        for action in outbound {
+            match action {
+                Outbound::Send(dgram) => {
+                    self.net.send(send_at, node, dgram);
+                }
+                Outbound::JoinGroup(g) => self.net.join_group(node, g),
+                Outbound::LeaveGroup(g) => {
+                    self.net.leave_group(node, g);
+                }
+                Outbound::StartStream { peripheral } => {
+                    let at = send_at + self.config.stream_period;
+                    self.sched.schedule_at(
+                        at.max(self.sched.now()),
+                        WorldEvent::StreamTick { thing, peripheral },
+                    );
+                }
+                Outbound::StopStream { .. } => {
+                    // Tick re-arming stops naturally; nothing to cancel in
+                    // the one-shot scheduler.
+                }
+            }
+        }
+    }
+
+    // ---- Synchronous conveniences for examples and tests ---------------
+
+    /// Plugs a peripheral and runs the full pipeline to completion;
+    /// returns the plug timeline.
+    pub fn plug_and_wait(
+        &mut self,
+        thing: ThingId,
+        channel: u8,
+        device_id: DeviceTypeId,
+    ) -> PlugTimeline {
+        self.plug(thing, channel, device_id);
+        self.run_until_idle();
+        self.things[thing.0]
+            .timelines
+            .get(&device_id.raw())
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Reads a peripheral on a Thing through a client, synchronously.
+    pub fn client_read(
+        &mut self,
+        client: ClientId,
+        thing: ThingId,
+        device_id: DeviceTypeId,
+    ) -> Option<Value> {
+        let thing_addr = self.thing_addr(thing);
+        let before = self.clients[client.0].readings.len();
+        let dgram = self.clients[client.0].read(thing_addr, device_id.raw());
+        let node = self.clients[client.0].node;
+        self.net.send(self.now, node, dgram);
+        self.run_until_idle();
+        self.clients[client.0]
+            .readings
+            .get(before)
+            .map(|(_, v, _)| v.clone())
+    }
+
+    /// Writes to a peripheral through a client, synchronously; returns the
+    /// acknowledgement flag.
+    pub fn client_write(
+        &mut self,
+        client: ClientId,
+        thing: ThingId,
+        device_id: DeviceTypeId,
+        value: Value,
+    ) -> Option<bool> {
+        let thing_addr = self.thing_addr(thing);
+        let before = self.clients[client.0].write_acks.len();
+        let dgram = self.clients[client.0].write(thing_addr, device_id.raw(), value);
+        let node = self.clients[client.0].node;
+        self.net.send(self.now, node, dgram);
+        self.run_until_idle();
+        self.clients[client.0]
+            .write_acks
+            .get(before)
+            .map(|(_, ok)| *ok)
+    }
+
+    /// Multicasts a discovery and collects solicited advertisements.
+    pub fn client_discover(&mut self, client: ClientId, device_id: DeviceTypeId) -> Vec<Ipv6Addr> {
+        let dgram = self.clients[client.0].discover(device_id.raw());
+        let node = self.clients[client.0].node;
+        self.net.send(self.now, node, dgram);
+        self.run_until_idle();
+        self.clients[client.0].things_with(device_id.raw())
+    }
+
+    /// Location-filtered discovery: only Things tagged with `location`
+    /// answer (§9's location-aware discovery).
+    pub fn client_discover_at(
+        &mut self,
+        client: ClientId,
+        device_id: DeviceTypeId,
+        location: &str,
+    ) -> Vec<Ipv6Addr> {
+        let before = self.clients[client.0].discovered.len();
+        let dgram = self.clients[client.0].discover_at(device_id.raw(), location);
+        let node = self.clients[client.0].node;
+        self.net.send(self.now, node, dgram);
+        self.run_until_idle();
+        let mut out: Vec<Ipv6Addr> = self.clients[client.0].discovered[before..]
+            .iter()
+            .filter(|d| d.solicited && d.advert.peripheral == device_id.raw())
+            .map(|d| d.thing)
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Sets a Thing's location tag.
+    pub fn set_location(&mut self, thing: ThingId, location: &str) {
+        self.things[thing.0].location = Some(location.to_string());
+    }
+
+    /// Starts a stream and runs until the Thing closes it; returns the
+    /// collected samples.
+    pub fn client_stream(
+        &mut self,
+        client: ClientId,
+        thing: ThingId,
+        device_id: DeviceTypeId,
+    ) -> Vec<Value> {
+        let thing_addr = self.thing_addr(thing);
+        let before = self.clients[client.0].stream_data.len();
+        let dgram = self.clients[client.0].stream(thing_addr, device_id.raw());
+        let node = self.clients[client.0].node;
+        self.net.send(self.now, node, dgram);
+        self.run_until_idle();
+        self.clients[client.0].stream_data[before..]
+            .iter()
+            .filter(|(p, _, _)| *p == device_id.raw())
+            .map(|(_, v, _)| v.clone())
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.now)
+            .field("things", &self.things.len())
+            .field("clients", &self.clients.len())
+            .finish_non_exhaustive()
+    }
+}

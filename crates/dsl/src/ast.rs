@@ -1,0 +1,316 @@
+//! Abstract syntax tree of the driver DSL.
+
+use crate::lexer::Pos;
+
+/// The static types of the DSL (paper §4.1: "typed and event-based").
+///
+/// All integers occupy one 32-bit VM cell at runtime; narrower declared
+/// widths truncate on store, exactly like a C assignment to a `uint8_t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// Unsigned 8-bit.
+    U8,
+    /// Signed 8-bit.
+    I8,
+    /// Unsigned 16-bit.
+    U16,
+    /// Signed 16-bit.
+    I16,
+    /// Unsigned 32-bit.
+    U32,
+    /// Signed 32-bit.
+    I32,
+    /// Character (alias of `U8` with textual intent).
+    Char,
+    /// Boolean (stored as 0/1 in a cell).
+    Bool,
+    /// IEEE-754 single precision.
+    Float,
+}
+
+impl Type {
+    /// Parses a type keyword (`uint8_t`, `float`, ...).
+    pub fn from_keyword(kw: &str) -> Option<Type> {
+        Some(match kw {
+            "uint8_t" => Type::U8,
+            "int8_t" => Type::I8,
+            "uint16_t" => Type::U16,
+            "int16_t" => Type::I16,
+            "uint32_t" => Type::U32,
+            "int32_t" => Type::I32,
+            "char" => Type::Char,
+            "bool" => Type::Bool,
+            "float" => Type::Float,
+            _ => return None,
+        })
+    }
+
+    /// True for every integer-family type (including `char` and `bool`).
+    pub fn is_integer(self) -> bool {
+        !matches!(self, Type::Float)
+    }
+
+    /// The mask applied on store to emulate the declared width, or `None`
+    /// for full-width and float types.
+    pub fn store_mask(self) -> Option<u32> {
+        match self {
+            Type::U8 | Type::Char => Some(0xff),
+            Type::Bool => Some(0x01),
+            Type::U16 => Some(0xffff),
+            Type::I8 | Type::I16 | Type::U32 | Type::I32 | Type::Float => None,
+        }
+    }
+
+    /// The compact type tag used in the driver image.
+    pub fn tag(self) -> u8 {
+        match self {
+            Type::U8 => 0,
+            Type::I8 => 1,
+            Type::U16 => 2,
+            Type::I16 => 3,
+            Type::U32 => 4,
+            Type::I32 => 5,
+            Type::Char => 6,
+            Type::Bool => 7,
+            Type::Float => 8,
+        }
+    }
+
+    /// Inverse of [`Type::tag`].
+    pub fn from_tag(tag: u8) -> Option<Type> {
+        Some(match tag {
+            0 => Type::U8,
+            1 => Type::I8,
+            2 => Type::U16,
+            3 => Type::I16,
+            4 => Type::U32,
+            5 => Type::I32,
+            6 => Type::Char,
+            7 => Type::Bool,
+            8 => Type::Float,
+            _ => return None,
+        })
+    }
+}
+
+/// A global variable declaration (`uint8_t idx, rfid[12];`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Declared element type.
+    pub ty: Type,
+    /// Variable name.
+    pub name: String,
+    /// Array length if this is an array.
+    pub array_len: Option<u16>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+    /// `~`
+    BitNot,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Pos),
+    /// Float literal.
+    Float(f64, Pos),
+    /// `true`/`false`.
+    Bool(bool, Pos),
+    /// Variable reference (global or handler parameter or library
+    /// constant).
+    Var(String, Pos),
+    /// Array element `name[index]`.
+    Index(String, Box<Expr>, Pos),
+    /// Postfix increment `name++` (evaluates to the old value).
+    PostInc(String, Pos),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>, Pos),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>, Pos),
+}
+
+impl Expr {
+    /// The source position of the expression head.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Int(_, p)
+            | Expr::Float(_, p)
+            | Expr::Bool(_, p)
+            | Expr::Var(_, p)
+            | Expr::Index(_, _, p)
+            | Expr::PostInc(_, p)
+            | Expr::Bin(_, _, _, p)
+            | Expr::Un(_, _, p) => *p,
+        }
+    }
+}
+
+/// The target of a `signal` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SignalTarget {
+    /// `signal this.someEvent(...)` — an event of this driver.
+    This,
+    /// `signal uart.init(...)` — an imported native library.
+    Library(String),
+}
+
+/// Assignment destinations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Scalar variable.
+    Var(String),
+    /// Array element with an index expression.
+    Index(String, Box<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `lvalue = expr;` (also `+=`/`-=` desugared by the parser).
+    Assign(LValue, Expr, Pos),
+    /// `signal target.event(args);`
+    Signal(SignalTarget, String, Vec<Expr>, Pos),
+    /// `return;` or `return expr;`
+    Return(Option<Expr>, Pos),
+    /// `if cond: block [elif ...] [else: block]`, represented as a chain.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch statements.
+        then_block: Vec<Stmt>,
+        /// Else-branch statements (an `elif` chain nests here).
+        else_block: Vec<Stmt>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `while cond: block`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Body statements.
+        body: Vec<Stmt>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// A bare expression statement (e.g. `idx++;`).
+    Expr(Expr, Pos),
+}
+
+/// An event or error handler definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Handler {
+    /// True for `error` handlers, false for `event` handlers.
+    pub is_error: bool,
+    /// The event name (`init`, `newdata`, `readDone`, ...).
+    pub name: String,
+    /// Typed parameters.
+    pub params: Vec<(Type, String)>,
+    /// The handler body.
+    pub body: Vec<Stmt>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A complete driver source file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Imported native libraries, in order.
+    pub imports: Vec<(String, Pos)>,
+    /// Global variable declarations.
+    pub globals: Vec<GlobalDecl>,
+    /// Event and error handlers.
+    pub handlers: Vec<Handler>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_keywords_roundtrip() {
+        for (kw, ty) in [
+            ("uint8_t", Type::U8),
+            ("int8_t", Type::I8),
+            ("uint16_t", Type::U16),
+            ("int16_t", Type::I16),
+            ("uint32_t", Type::U32),
+            ("int32_t", Type::I32),
+            ("char", Type::Char),
+            ("bool", Type::Bool),
+            ("float", Type::Float),
+        ] {
+            assert_eq!(Type::from_keyword(kw), Some(ty));
+            assert_eq!(Type::from_tag(ty.tag()), Some(ty));
+        }
+        assert_eq!(Type::from_keyword("double"), None);
+        assert_eq!(Type::from_tag(99), None);
+    }
+
+    #[test]
+    fn masks_match_widths() {
+        assert_eq!(Type::U8.store_mask(), Some(0xff));
+        assert_eq!(Type::Char.store_mask(), Some(0xff));
+        assert_eq!(Type::Bool.store_mask(), Some(0x01));
+        assert_eq!(Type::U16.store_mask(), Some(0xffff));
+        assert_eq!(Type::I32.store_mask(), None);
+        assert_eq!(Type::Float.store_mask(), None);
+    }
+
+    #[test]
+    fn integer_family() {
+        assert!(Type::U8.is_integer());
+        assert!(Type::Bool.is_integer());
+        assert!(!Type::Float.is_integer());
+    }
+}

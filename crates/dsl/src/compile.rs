@@ -1,0 +1,520 @@
+//! Code generation: typed IR → bytecode image.
+//!
+//! Straightforward single-pass emission with jump backpatching. The only
+//! optimization is deliberate and measured (see the bytecode-size ablation):
+//! `idx++` compiles to the single [`Op::IncG`] instruction instead of a
+//! five-instruction load/add/store sequence, the peephole the paper's
+//! "several optimization mechanisms" remark motivates.
+
+use crate::ast::{BinOp, UnOp};
+use crate::check::{check, CheckedProgram, TExpr, TStmt, ValKind};
+use crate::events;
+use crate::image::{BusKind, DriverImage, GlobalSlot, HandlerEntry};
+use crate::isa::Op;
+use crate::parser::parse;
+use crate::CompileError;
+
+/// Compiles driver source text into a deployable image.
+///
+/// `device_id` is the peripheral type the driver serves (assigned by the
+/// global address space registry, §3.3 — it is not part of the source).
+///
+/// # Errors
+///
+/// Any lexical, syntactic or semantic error, or a format limit violation.
+pub fn compile_source(source: &str, device_id: u32) -> Result<DriverImage, CompileError> {
+    let program = parse(source)?;
+    let checked = check(&program)?;
+    compile_checked(&checked, device_id)
+}
+
+/// Compiles an already-checked program.
+///
+/// # Errors
+///
+/// Returns [`CompileError::TooLarge`] if a format limit is exceeded.
+pub fn compile_checked(
+    checked: &CheckedProgram,
+    device_id: u32,
+) -> Result<DriverImage, CompileError> {
+    let mut code = Vec::new();
+    let mut handlers = Vec::with_capacity(checked.handlers.len());
+    for h in &checked.handlers {
+        let offset = code.len();
+        if offset > u16::MAX as usize {
+            return Err(CompileError::TooLarge("code exceeds 64 KiB".into()));
+        }
+        let mut gen = CodeGen { code: &mut code };
+        for stmt in &h.body {
+            gen.stmt(stmt)?;
+        }
+        // Every handler runs to completion; guarantee a terminator.
+        if !matches!(code.last(), Some(&b) if b == Op::Ret as u8 || b == Op::RetV as u8 || b == Op::RetA as u8)
+        {
+            code.push(Op::Ret as u8);
+        }
+        handlers.push(HandlerEntry {
+            event_id: h.event_id,
+            n_params: h.params.len() as u8,
+            offset: offset as u16,
+        });
+    }
+    if code.len() > u16::MAX as usize {
+        return Err(CompileError::TooLarge("code exceeds 64 KiB".into()));
+    }
+
+    let bus = infer_bus(&checked.imports);
+    Ok(DriverImage {
+        device_id,
+        bus,
+        imports: checked.imports.clone(),
+        globals: checked
+            .globals
+            .iter()
+            .map(|g| GlobalSlot {
+                ty: g.ty,
+                array_len: g.array_len,
+            })
+            .collect(),
+        handlers,
+        code,
+    })
+}
+
+/// The first interconnect import determines the bus family.
+fn infer_bus(imports: &[u8]) -> BusKind {
+    for &lib in imports {
+        match lib {
+            x if x == events::libs::ADC => return BusKind::Adc,
+            x if x == events::libs::I2C => return BusKind::I2c,
+            x if x == events::libs::SPI => return BusKind::Spi,
+            x if x == events::libs::UART => return BusKind::Uart,
+            _ => {}
+        }
+    }
+    BusKind::None
+}
+
+struct CodeGen<'a> {
+    code: &'a mut Vec<u8>,
+}
+
+impl CodeGen<'_> {
+    fn op(&mut self, op: Op) {
+        self.code.push(op as u8);
+    }
+
+    fn op1(&mut self, op: Op, a: u8) {
+        self.code.push(op as u8);
+        self.code.push(a);
+    }
+
+    /// Emits a jump with a placeholder offset; returns the patch site.
+    fn jump(&mut self, op: Op) -> usize {
+        self.op(op);
+        let site = self.code.len();
+        self.code.extend_from_slice(&[0, 0]);
+        site
+    }
+
+    /// Patches a jump to land at the current end of code.
+    fn patch_here(&mut self, site: usize) -> Result<(), CompileError> {
+        // Offset is relative to the end of the jump instruction.
+        let delta = self.code.len() as i64 - (site as i64 + 2);
+        let delta = i16::try_from(delta)
+            .map_err(|_| CompileError::TooLarge("jump offset exceeds i16".into()))?;
+        self.code[site..site + 2].copy_from_slice(&delta.to_le_bytes());
+        Ok(())
+    }
+
+    /// Emits a backward jump to `target`.
+    fn jump_back(&mut self, op: Op, target: usize) -> Result<(), CompileError> {
+        self.op(op);
+        let site = self.code.len() as i64;
+        let delta = target as i64 - (site + 2);
+        let delta = i16::try_from(delta)
+            .map_err(|_| CompileError::TooLarge("jump offset exceeds i16".into()))?;
+        self.code.extend_from_slice(&delta.to_le_bytes());
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &TStmt) -> Result<(), CompileError> {
+        match stmt {
+            TStmt::StoreG(slot, value) => {
+                self.expr(value);
+                self.op1(Op::Stg, *slot);
+            }
+            TStmt::StoreL(slot, value) => {
+                self.expr(value);
+                self.op1(Op::Stl, *slot);
+            }
+            TStmt::StoreA(slot, index, value) => {
+                self.expr(index);
+                self.expr(value);
+                self.op1(Op::Sta, *slot);
+            }
+            TStmt::Signal(lib, event, args) => {
+                for a in args {
+                    self.expr(a);
+                }
+                self.op(Op::Sig);
+                self.code.push(*lib);
+                self.code.push(*event);
+                self.code.push(args.len() as u8);
+            }
+            TStmt::Return => self.op(Op::Ret),
+            TStmt::ReturnValue(value) => {
+                self.expr(value);
+                self.op(Op::RetV);
+            }
+            TStmt::ReturnArray(slot) => self.op1(Op::RetA, *slot),
+            TStmt::If(cond, then_block, else_block) => {
+                self.expr(cond);
+                let to_else = self.jump(Op::Jz);
+                for s in then_block {
+                    self.stmt(s)?;
+                }
+                if else_block.is_empty() {
+                    self.patch_here(to_else)?;
+                } else {
+                    let to_end = self.jump(Op::Jmp);
+                    self.patch_here(to_else)?;
+                    for s in else_block {
+                        self.stmt(s)?;
+                    }
+                    self.patch_here(to_end)?;
+                }
+            }
+            TStmt::While(cond, body) => {
+                let top = self.code.len();
+                self.expr(cond);
+                let to_end = self.jump(Op::Jz);
+                for s in body {
+                    self.stmt(s)?;
+                }
+                self.jump_back(Op::Jmp, top)?;
+                self.patch_here(to_end)?;
+            }
+            TStmt::Discard(expr) => {
+                self.expr(expr);
+                self.op(Op::Pop);
+            }
+        }
+        Ok(())
+    }
+
+    fn expr(&mut self, e: &TExpr) {
+        match e {
+            TExpr::Int(v) => self.push_int(*v),
+            TExpr::Float(v) => {
+                self.op(Op::PushF);
+                self.code.extend_from_slice(&v.to_le_bytes());
+            }
+            TExpr::LoadG(slot, _) => self.op1(Op::Ldg, *slot),
+            TExpr::LoadL(slot, _) => self.op1(Op::Ldl, *slot),
+            TExpr::LoadA(slot, index) => {
+                self.expr(index);
+                self.op1(Op::Lda, *slot);
+            }
+            TExpr::PostInc(slot) => self.op1(Op::IncG, *slot),
+            TExpr::I2F(inner) => {
+                self.expr(inner);
+                self.op(Op::I2F);
+            }
+            TExpr::F2I(inner) => {
+                self.expr(inner);
+                self.op(Op::F2I);
+            }
+            TExpr::Un(op, kind, inner) => {
+                self.expr(inner);
+                match (op, kind) {
+                    (UnOp::Neg, ValKind::Float) => self.op(Op::FNeg),
+                    (UnOp::Neg, ValKind::Int) => self.op(Op::Neg),
+                    (UnOp::Not, _) => self.op(Op::LNot),
+                    (UnOp::BitNot, _) => self.op(Op::BNot),
+                }
+            }
+            TExpr::Bin(op, kind, lhs, rhs) => {
+                self.expr(lhs);
+                self.expr(rhs);
+                self.bin_op(*op, *kind);
+            }
+        }
+    }
+
+    fn bin_op(&mut self, op: BinOp, kind: ValKind) {
+        use BinOp::*;
+        let float = kind == ValKind::Float;
+        let opcode = match op {
+            Add => {
+                if float {
+                    Op::FAdd
+                } else {
+                    Op::Add
+                }
+            }
+            Sub => {
+                if float {
+                    Op::FSub
+                } else {
+                    Op::Sub
+                }
+            }
+            Mul => {
+                if float {
+                    Op::FMul
+                } else {
+                    Op::Mul
+                }
+            }
+            Div => {
+                if float {
+                    Op::FDiv
+                } else {
+                    Op::Div
+                }
+            }
+            Mod => Op::Mod,
+            Eq => {
+                if float {
+                    Op::FEq
+                } else {
+                    Op::Eq
+                }
+            }
+            Ne => {
+                if float {
+                    Op::FNe
+                } else {
+                    Op::Ne
+                }
+            }
+            Lt => {
+                if float {
+                    Op::FLt
+                } else {
+                    Op::Lt
+                }
+            }
+            Le => {
+                if float {
+                    Op::FLe
+                } else {
+                    Op::Le
+                }
+            }
+            Gt => {
+                if float {
+                    Op::FGt
+                } else {
+                    Op::Gt
+                }
+            }
+            Ge => {
+                if float {
+                    Op::FGe
+                } else {
+                    Op::Ge
+                }
+            }
+            // `and`/`or` are strict (non-short-circuit) on 0/1 values, so
+            // bitwise ops implement them exactly.
+            And | BitAnd => Op::BAnd,
+            Or | BitOr => Op::BOr,
+            BitXor => Op::BXor,
+            Shl => Op::Shl,
+            Shr => Op::Shr,
+        };
+        self.op(opcode);
+    }
+
+    /// Chooses the smallest push encoding for an integer.
+    fn push_int(&mut self, v: i32) {
+        if let Ok(b) = i8::try_from(v) {
+            self.op(Op::Push8);
+            self.code.push(b as u8);
+        } else if let Ok(h) = i16::try_from(v) {
+            self.op(Op::Push16);
+            self.code.extend_from_slice(&h.to_le_bytes());
+        } else {
+            self.op(Op::Push32);
+            self.code.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::disassemble;
+
+    const MINIMAL: &str = "\
+event init():
+    return;
+event destroy():
+    return;
+";
+
+    #[test]
+    fn minimal_driver_compiles_tiny() {
+        let img = compile_source(MINIMAL, 0x1234_5678).unwrap();
+        assert_eq!(img.device_id, 0x1234_5678);
+        assert_eq!(img.bus, BusKind::None);
+        assert_eq!(img.code, vec![Op::Ret as u8, Op::Ret as u8]);
+        assert!(img.size_bytes() < 32, "{} bytes", img.size_bytes());
+    }
+
+    #[test]
+    fn bus_inferred_from_import() {
+        let src = format!("import i2c;\n{MINIMAL}");
+        let img = compile_source(&src, 1).unwrap();
+        assert_eq!(img.bus, BusKind::I2c);
+    }
+
+    #[test]
+    fn push_width_selection() {
+        let src = "\
+int32_t x;
+event init():
+    x = 5;
+    x = 300;
+    x = 100000;
+event destroy():
+    return;
+";
+        let img = compile_source(src, 1).unwrap();
+        let text = disassemble(&img.code).unwrap().join("\n");
+        assert!(text.contains("PUSH8  5"));
+        assert!(text.contains("PUSH16 300"));
+        assert!(text.contains("PUSH32 100000"));
+    }
+
+    #[test]
+    fn postinc_compiles_to_incg() {
+        let src = "\
+uint8_t idx, a[4];
+event init():
+    a[idx++] = 7;
+event destroy():
+    return;
+";
+        let img = compile_source(src, 1).unwrap();
+        assert!(img.code.contains(&(Op::IncG as u8)));
+        // And no LDG/ADD/STG expansion of the increment exists.
+        let text = disassemble(&img.code).unwrap().join("\n");
+        assert!(!text.contains("Add"), "{text}");
+    }
+
+    #[test]
+    fn if_else_branches_patch_correctly() {
+        let src = "\
+uint8_t x, y;
+event init():
+    if x == 1:
+        y = 10;
+    else:
+        y = 20;
+event destroy():
+    return;
+";
+        let img = compile_source(src, 1).unwrap();
+        // Must disassemble cleanly and contain one conditional and one
+        // unconditional jump.
+        let text = disassemble(&img.code).unwrap().join("\n");
+        assert_eq!(text.matches("Jz").count(), 1);
+        assert_eq!(text.matches("Jmp").count(), 1);
+    }
+
+    #[test]
+    fn while_loop_emits_backward_jump() {
+        let src = "\
+uint8_t i;
+event init():
+    while i < 3:
+        i++;
+event destroy():
+    return;
+";
+        let img = compile_source(src, 1).unwrap();
+        let lines = disassemble(&img.code).unwrap();
+        // The backward jump targets offset 0 (loop head).
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("Jmp") && l.contains("-> 0000")),
+            "{lines:?}"
+        );
+        // A discarded i++ inside the loop pops its value.
+        assert!(lines.iter().any(|l| l.contains("Pop")));
+    }
+
+    #[test]
+    fn float_expression_uses_float_ops() {
+        let src = "\
+float v;
+uint16_t raw;
+event init():
+    v = (raw * 3.3) / 1023.0;
+event destroy():
+    return;
+";
+        let img = compile_source(src, 1).unwrap();
+        assert!(img.code.contains(&(Op::FMul as u8)));
+        assert!(img.code.contains(&(Op::FDiv as u8)));
+        assert!(img.code.contains(&(Op::I2F as u8)));
+    }
+
+    #[test]
+    fn every_handler_ends_with_a_terminator() {
+        let src = "\
+uint8_t x;
+event init():
+    x = 1;
+event destroy():
+    x = 2;
+";
+        let img = compile_source(src, 1).unwrap();
+        // Walk handler regions; each must end in Ret before the next.
+        let offsets: Vec<usize> = img.handlers.iter().map(|h| h.offset as usize).collect();
+        assert_eq!(offsets[0], 0);
+        assert!(img.code[offsets[1] - 1] == Op::Ret as u8);
+        assert!(*img.code.last().unwrap() == Op::Ret as u8);
+    }
+
+    #[test]
+    fn signal_encodes_lib_event_argc() {
+        let src = "\
+import uart;
+event init():
+    signal uart.init(9600, 0, 1, 8);
+event destroy():
+    signal uart.reset();
+";
+        let img = compile_source(src, 1).unwrap();
+        let text = disassemble(&img.code).unwrap().join("\n");
+        assert!(text.contains("SIG    lib=1 event=0 argc=4"), "{text}");
+        assert!(text.contains("SIG    lib=1 event=1 argc=0"), "{text}");
+    }
+
+    #[test]
+    fn image_roundtrips_after_compilation() {
+        let src = "\
+import adc;
+uint16_t raw;
+float volts;
+event init():
+    signal adc.init();
+event destroy():
+    return;
+event read():
+    signal adc.read();
+event sampleDone(uint16_t r):
+    raw = r;
+    volts = (raw * 3.3) / 1023.0;
+    return volts;
+";
+        let img = compile_source(src, 0xad1c_be01).unwrap();
+        let back = DriverImage::from_bytes(&img.to_bytes()).unwrap();
+        assert_eq!(back, img);
+    }
+}

@@ -1,0 +1,236 @@
+//! The global event, error and library identifier registry.
+//!
+//! Shared vocabulary between the compiler and the virtual machine: event
+//! handlers are dispatched by 8-bit identifiers, native libraries by 4-bit
+//! identifiers, and the well-known names below are fixed by the runtime ABI
+//! (paper §4.1–4.2). Driver-defined events (`signal this.readDone()`) are
+//! allocated by the compiler from [`FIRST_CUSTOM_EVENT`] upward.
+
+/// Native library identifiers (the `import` targets plus `this`).
+pub mod libs {
+    /// The driver itself (`signal this.x(...)`).
+    pub const THIS: u8 = 0;
+    /// UART native interconnect library.
+    pub const UART: u8 = 1;
+    /// ADC native interconnect library.
+    pub const ADC: u8 = 2;
+    /// I²C native interconnect library.
+    pub const I2C: u8 = 3;
+    /// SPI native interconnect library.
+    pub const SPI: u8 = 4;
+    /// Software timer library.
+    pub const TIMER: u8 = 5;
+
+    /// Resolves an importable library name.
+    pub fn by_name(name: &str) -> Option<u8> {
+        Some(match name {
+            "uart" => UART,
+            "adc" => ADC,
+            "i2c" => I2C,
+            "spi" => SPI,
+            "timer" => TIMER,
+            _ => return None,
+        })
+    }
+
+    /// The printable name of a library id.
+    pub fn name(id: u8) -> &'static str {
+        match id {
+            THIS => "this",
+            UART => "uart",
+            ADC => "adc",
+            I2C => "i2c",
+            SPI => "spi",
+            TIMER => "timer",
+            _ => "?",
+        }
+    }
+}
+
+/// Well-known driver event identifiers.
+pub mod ids {
+    /// Fired when the driver is installed and its peripheral present.
+    pub const INIT: u8 = 0;
+    /// Fired when the peripheral is unplugged or the driver removed.
+    pub const DESTROY: u8 = 1;
+    /// Remote read operation (§5.3.1).
+    pub const READ: u8 = 2;
+    /// Remote write operation (§5.3.1).
+    pub const WRITE: u8 = 3;
+    /// Remote stream-start operation (§5.3.1).
+    pub const STREAM: u8 = 4;
+    /// Remote stream-stop operation.
+    pub const STREAM_STOP: u8 = 5;
+
+    /// UART RX delivered one byte: `newdata(char c)`.
+    pub const NEWDATA: u8 = 16;
+    /// ADC conversion complete: `sampleDone(uint16_t raw)`.
+    pub const SAMPLE_DONE: u8 = 17;
+    /// I²C read delivered one byte: `i2cdata(uint8_t b, uint8_t index)`.
+    pub const I2C_DATA: u8 = 18;
+    /// I²C transaction finished: `i2cDone()`.
+    pub const I2C_DONE: u8 = 19;
+    /// Bus write finished: `writeDone()`.
+    pub const WRITE_DONE: u8 = 20;
+    /// Software timer expired: `timerFired()`.
+    pub const TIMER_FIRED: u8 = 21;
+    /// SPI transfer delivered one byte: `spidata(uint8_t b, uint8_t index)`.
+    pub const SPI_DATA: u8 = 22;
+    /// SPI transaction finished: `spiDone()`.
+    pub const SPI_DONE: u8 = 23;
+}
+
+/// Well-known error event identifiers (dispatched on the priority queue).
+pub mod errors {
+    /// A native library rejected its configuration.
+    pub const INVALID_CONFIGURATION: u8 = 64;
+    /// The UART is claimed by another driver.
+    pub const UART_IN_USE: u8 = 65;
+    /// An I/O operation timed out.
+    pub const TIME_OUT: u8 = 66;
+    /// Generic bus failure (NACK, framing error, ...).
+    pub const BUS_ERROR: u8 = 67;
+    /// An array index was out of bounds.
+    pub const OUT_OF_RANGE: u8 = 68;
+    /// The operand stack overflowed.
+    pub const STACK_OVERFLOW: u8 = 69;
+    /// Integer division by zero.
+    pub const DIVIDE_BY_ZERO: u8 = 70;
+}
+
+/// First event id available for driver-defined events.
+pub const FIRST_CUSTOM_EVENT: u8 = 128;
+
+/// Resolves a well-known event name to `(id, parameter count)`.
+pub fn well_known_event(name: &str) -> Option<(u8, usize)> {
+    Some(match name {
+        "init" => (ids::INIT, 0),
+        "destroy" => (ids::DESTROY, 0),
+        "read" => (ids::READ, 0),
+        "write" => (ids::WRITE, 1),
+        "stream" => (ids::STREAM, 0),
+        "streamStop" => (ids::STREAM_STOP, 0),
+        "newdata" => (ids::NEWDATA, 1),
+        "sampleDone" => (ids::SAMPLE_DONE, 1),
+        "i2cdata" => (ids::I2C_DATA, 2),
+        "i2cDone" => (ids::I2C_DONE, 0),
+        "writeDone" => (ids::WRITE_DONE, 0),
+        "timerFired" => (ids::TIMER_FIRED, 0),
+        "spidata" => (ids::SPI_DATA, 2),
+        "spiDone" => (ids::SPI_DONE, 0),
+        _ => return None,
+    })
+}
+
+/// Resolves a well-known error name to its id.
+pub fn well_known_error(name: &str) -> Option<u8> {
+    Some(match name {
+        "invalidConfiguration" => errors::INVALID_CONFIGURATION,
+        "uartInUse" => errors::UART_IN_USE,
+        "timeOut" => errors::TIME_OUT,
+        "busError" => errors::BUS_ERROR,
+        "outOfRange" => errors::OUT_OF_RANGE,
+        "stackOverflow" => errors::STACK_OVERFLOW,
+        "divideByZero" => errors::DIVIDE_BY_ZERO,
+        _ => return None,
+    })
+}
+
+/// Operations a driver can `signal` into a native library:
+/// `(operation id, argument count)`.
+pub fn library_operation(lib: u8, name: &str) -> Option<(u8, usize)> {
+    let op = match (lib, name) {
+        (libs::UART, "init") => (0, 4),
+        (libs::UART, "reset") => (1, 0),
+        (libs::UART, "read") => (2, 0),
+        (libs::UART, "write") => (3, 1),
+        (libs::ADC, "init") => (0, 0),
+        (libs::ADC, "read") => (1, 0),
+        (libs::I2C, "init") => (0, 1),
+        (libs::I2C, "write") => (1, 2),
+        (libs::I2C, "read") => (2, 2),
+        (libs::SPI, "init") => (0, 0),
+        (libs::SPI, "transfer") => (1, 1),
+        (libs::TIMER, "start") => (0, 1),
+        (libs::TIMER, "cancel") => (1, 0),
+        _ => return None,
+    };
+    Some(op)
+}
+
+/// Named constants exported to driver sources (Listing 1 uses the UART
+/// configuration constants).
+pub fn constant(name: &str) -> Option<i64> {
+    Some(match name {
+        "USART_PARITY_NONE" => 0,
+        "USART_PARITY_EVEN" => 1,
+        "USART_PARITY_ODD" => 2,
+        "USART_STOP_BITS_1" => 1,
+        "USART_STOP_BITS_2" => 2,
+        "USART_DATA_BITS_7" => 7,
+        "USART_DATA_BITS_8" => 8,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_names_roundtrip() {
+        for name in ["uart", "adc", "i2c", "spi", "timer"] {
+            let id = libs::by_name(name).unwrap();
+            assert_eq!(libs::name(id), name);
+        }
+        assert!(libs::by_name("gpio").is_none());
+    }
+
+    #[test]
+    fn control_flow_events_are_mandatory_ids() {
+        assert_eq!(well_known_event("init"), Some((0, 0)));
+        assert_eq!(well_known_event("destroy"), Some((1, 0)));
+    }
+
+    #[test]
+    fn remote_operations_have_ids() {
+        assert_eq!(well_known_event("read").unwrap().0, ids::READ);
+        assert_eq!(well_known_event("write").unwrap().0, ids::WRITE);
+        assert_eq!(well_known_event("stream").unwrap().0, ids::STREAM);
+    }
+
+    #[test]
+    fn listing1_errors_resolve() {
+        for name in ["invalidConfiguration", "uartInUse", "timeOut"] {
+            let id = well_known_error(name).unwrap();
+            assert!((64..128).contains(&id));
+        }
+        assert!(well_known_error("noSuchError").is_none());
+    }
+
+    #[test]
+    fn listing1_uart_operations_resolve() {
+        assert_eq!(library_operation(libs::UART, "init"), Some((0, 4)));
+        assert_eq!(library_operation(libs::UART, "reset"), Some((1, 0)));
+        assert_eq!(library_operation(libs::UART, "read"), Some((2, 0)));
+        assert!(library_operation(libs::UART, "flush").is_none());
+        assert!(library_operation(libs::ADC, "write").is_none());
+    }
+
+    #[test]
+    fn listing1_constants_resolve() {
+        assert_eq!(constant("USART_PARITY_NONE"), Some(0));
+        assert_eq!(constant("USART_STOP_BITS_1"), Some(1));
+        assert_eq!(constant("USART_DATA_BITS_8"), Some(8));
+        assert!(constant("BAUD").is_none());
+    }
+
+    #[test]
+    fn id_spaces_do_not_collide() {
+        // events < 64 ≤ errors < 128 ≤ custom.
+        for name in ["init", "newdata", "sampleDone", "spiDone"] {
+            assert!(well_known_event(name).unwrap().0 < 64);
+        }
+        const { assert!(FIRST_CUSTOM_EVENT >= 128) };
+    }
+}

@@ -1,0 +1,683 @@
+//! Indentation-aware tokenizer.
+//!
+//! The DSL borrows Python's block structure: a colon introduces a block and
+//! indentation delimits it, so the lexer emits synthetic `Indent`/`Dedent`
+//! tokens computed from leading whitespace. Comments run from `#` to end of
+//! line. Literals: decimal and `0x` hex integers, floats with a decimal
+//! point, and quoted character literals.
+
+use std::fmt;
+
+/// A source position (1-based line, 1-based column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number, starting at 1.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // Literals and names.
+    /// An integer literal (decimal or hex).
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// An identifier or keyword candidate.
+    Ident(String),
+
+    // Keywords.
+    /// `import`.
+    Import,
+    /// `event`.
+    Event,
+    /// `error`.
+    Error,
+    /// `signal`.
+    Signal,
+    /// `return`.
+    Return,
+    /// `if`.
+    If,
+    /// `elif`.
+    Elif,
+    /// `else`.
+    Else,
+    /// `while`.
+    While,
+    /// `true`.
+    True,
+    /// `false`.
+    False,
+    /// `this`.
+    This,
+
+    // Punctuation and operators.
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `,`.
+    Comma,
+    /// `;`.
+    Semi,
+    /// `:`.
+    Colon,
+    /// `.`.
+    Dot,
+    /// `=`.
+    Assign,
+    /// `+=`.
+    PlusAssign,
+    /// `-=`.
+    MinusAssign,
+    /// `++`.
+    PlusPlus,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `!`.
+    Not,
+    /// `and`.
+    And,
+    /// `or`.
+    Or,
+    /// `&`.
+    BitAnd,
+    /// `|`.
+    BitOr,
+    /// `^`.
+    BitXor,
+    /// `~`.
+    BitNot,
+    /// `<<`.
+    Shl,
+    /// `>>`.
+    Shr,
+
+    // Layout.
+    /// Increase of indentation (block start).
+    Indent,
+    /// Decrease of indentation (block end).
+    Dedent,
+    /// End of a logical line.
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub tok: Tok,
+    /// Where it started.
+    pub pos: Pos,
+}
+
+/// A tokenization failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Where it happened.
+    pub pos: Pos,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.message, self.pos)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a full source file.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on malformed literals, stray characters or
+/// inconsistent indentation.
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+    indents: Vec<u32>,
+    /// Open `(`/`[` nesting depth; newlines inside brackets are joined
+    /// (implicit line continuation, as in Python and the paper's Listing 1).
+    depth: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            i: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+            indents: vec![0],
+            depth: 0,
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> LexError {
+        LexError {
+            message: message.into(),
+            pos: self.pos(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.i + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, tok: Tok, pos: Pos) {
+        self.tokens.push(Token { tok, pos });
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LexError> {
+        loop {
+            // Start of a line: measure indentation, skip blank/comment lines.
+            let indent = self.measure_indent();
+            match self.peek() {
+                None => break,
+                Some(b'\n') => {
+                    self.bump();
+                    continue;
+                }
+                Some(b'#') => {
+                    self.skip_comment();
+                    continue;
+                }
+                _ => {}
+            }
+            self.emit_indentation(indent)?;
+            self.lex_line()?;
+        }
+        // Close all open blocks.
+        let pos = self.pos();
+        while self.indents.len() > 1 {
+            self.indents.pop();
+            self.push(Tok::Dedent, pos);
+        }
+        self.push(Tok::Eof, pos);
+        Ok(self.tokens)
+    }
+
+    /// Consumes leading spaces, returning the indentation width.
+    /// Tabs count as 8 columns (and are discouraged).
+    fn measure_indent(&mut self) -> u32 {
+        let mut width = 0;
+        while let Some(c) = self.peek() {
+            match c {
+                b' ' => {
+                    width += 1;
+                    self.bump();
+                }
+                b'\t' => {
+                    width += 8;
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        width
+    }
+
+    fn emit_indentation(&mut self, indent: u32) -> Result<(), LexError> {
+        let pos = self.pos();
+        let current = *self.indents.last().expect("indent stack never empty");
+        if indent > current {
+            self.indents.push(indent);
+            self.push(Tok::Indent, pos);
+        } else if indent < current {
+            while *self.indents.last().expect("non-empty") > indent {
+                self.indents.pop();
+                self.push(Tok::Dedent, pos);
+            }
+            if *self.indents.last().expect("non-empty") != indent {
+                return Err(self.err("inconsistent dedent"));
+            }
+        }
+        Ok(())
+    }
+
+    fn skip_comment(&mut self) {
+        while let Some(c) = self.peek() {
+            if c == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    /// Lexes tokens until end of line.
+    fn lex_line(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                None => {
+                    let pos = self.pos();
+                    self.push(Tok::Newline, pos);
+                    return Ok(());
+                }
+                Some(b'\n') => {
+                    if self.depth > 0 {
+                        // Implicit continuation inside brackets.
+                        self.bump();
+                        continue;
+                    }
+                    let pos = self.pos();
+                    self.bump();
+                    self.push(Tok::Newline, pos);
+                    return Ok(());
+                }
+                Some(b'#') => {
+                    self.skip_comment();
+                }
+                Some(b' ') | Some(b'\t') | Some(b'\r') => {
+                    self.bump();
+                }
+                Some(c) => self.lex_token(c)?,
+            }
+        }
+    }
+
+    fn lex_token(&mut self, c: u8) -> Result<(), LexError> {
+        let pos = self.pos();
+        match c {
+            b'0'..=b'9' => self.lex_number(pos),
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                self.lex_ident(pos);
+                Ok(())
+            }
+            b'\'' => self.lex_char(pos),
+            _ => self.lex_operator(c, pos),
+        }
+    }
+
+    fn lex_number(&mut self, pos: Pos) -> Result<(), LexError> {
+        let start = self.i;
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+            self.bump();
+            self.bump();
+            let hex_start = self.i;
+            while matches!(self.peek(), Some(c) if c.is_ascii_hexdigit()) {
+                self.bump();
+            }
+            if self.i == hex_start {
+                return Err(self.err("hex literal needs digits"));
+            }
+            let text = std::str::from_utf8(&self.src[hex_start..self.i]).expect("ascii");
+            let v =
+                i64::from_str_radix(text, 16).map_err(|_| self.err("hex literal out of range"))?;
+            self.push(Tok::Int(v), pos);
+            return Ok(());
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => {
+                    self.bump();
+                }
+                b'.' if !is_float && matches!(self.peek2(), Some(d) if d.is_ascii_digit()) => {
+                    is_float = true;
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.i]).expect("ascii");
+        if is_float {
+            let v: f64 = text.parse().map_err(|_| self.err("bad float literal"))?;
+            self.push(Tok::Float(v), pos);
+        } else {
+            let v: i64 = text.parse().map_err(|_| self.err("integer out of range"))?;
+            self.push(Tok::Int(v), pos);
+        }
+        Ok(())
+    }
+
+    fn lex_ident(&mut self, pos: Pos) {
+        let start = self.i;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.i]).expect("ascii");
+        let tok = match text {
+            "import" => Tok::Import,
+            "event" => Tok::Event,
+            "error" => Tok::Error,
+            "signal" => Tok::Signal,
+            "return" => Tok::Return,
+            "if" => Tok::If,
+            "elif" => Tok::Elif,
+            "else" => Tok::Else,
+            "while" => Tok::While,
+            "and" => Tok::And,
+            "or" => Tok::Or,
+            "true" => Tok::True,
+            "false" => Tok::False,
+            "this" => Tok::This,
+            _ => Tok::Ident(text.to_string()),
+        };
+        self.push(tok, pos);
+    }
+
+    fn lex_char(&mut self, pos: Pos) -> Result<(), LexError> {
+        self.bump(); // opening quote
+        let c = self.bump().ok_or_else(|| self.err("unterminated char"))?;
+        let value = if c == b'\\' {
+            let esc = self.bump().ok_or_else(|| self.err("unterminated escape"))?;
+            match esc {
+                b'n' => b'\n',
+                b'r' => b'\r',
+                b't' => b'\t',
+                b'0' => 0,
+                b'\\' => b'\\',
+                b'\'' => b'\'',
+                _ => return Err(self.err("unknown escape")),
+            }
+        } else {
+            c
+        };
+        if self.bump() != Some(b'\'') {
+            return Err(self.err("unterminated char literal"));
+        }
+        self.push(Tok::Int(value as i64), pos);
+        Ok(())
+    }
+
+    fn lex_operator(&mut self, c: u8, pos: Pos) -> Result<(), LexError> {
+        self.bump();
+        let two = |lexer: &mut Self, tok: Tok| {
+            lexer.bump();
+            tok
+        };
+        let tok = match (c, self.peek()) {
+            (b'=', Some(b'=')) => two(self, Tok::Eq),
+            (b'=', _) => Tok::Assign,
+            (b'!', Some(b'=')) => two(self, Tok::Ne),
+            (b'!', _) => Tok::Not,
+            (b'<', Some(b'=')) => two(self, Tok::Le),
+            (b'<', Some(b'<')) => two(self, Tok::Shl),
+            (b'<', _) => Tok::Lt,
+            (b'>', Some(b'=')) => two(self, Tok::Ge),
+            (b'>', Some(b'>')) => two(self, Tok::Shr),
+            (b'>', _) => Tok::Gt,
+            (b'+', Some(b'+')) => two(self, Tok::PlusPlus),
+            (b'+', Some(b'=')) => two(self, Tok::PlusAssign),
+            (b'+', _) => Tok::Plus,
+            (b'-', Some(b'=')) => two(self, Tok::MinusAssign),
+            (b'-', _) => Tok::Minus,
+            (b'*', _) => Tok::Star,
+            (b'/', _) => Tok::Slash,
+            (b'%', _) => Tok::Percent,
+            (b'(', _) => {
+                self.depth += 1;
+                Tok::LParen
+            }
+            (b')', _) => {
+                self.depth = self.depth.saturating_sub(1);
+                Tok::RParen
+            }
+            (b'[', _) => {
+                self.depth += 1;
+                Tok::LBracket
+            }
+            (b']', _) => {
+                self.depth = self.depth.saturating_sub(1);
+                Tok::RBracket
+            }
+            (b',', _) => Tok::Comma,
+            (b';', _) => Tok::Semi,
+            (b':', _) => Tok::Colon,
+            (b'.', _) => Tok::Dot,
+            (b'&', _) => Tok::BitAnd,
+            (b'|', _) => Tok::BitOr,
+            (b'^', _) => Tok::BitXor,
+            (b'~', _) => Tok::BitNot,
+            _ => return Err(self.err(format!("unexpected character {:?}", c as char))),
+        };
+        self.push(tok, pos);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_import_line() {
+        assert_eq!(
+            kinds("import uart;\n"),
+            vec![
+                Tok::Import,
+                Tok::Ident("uart".into()),
+                Tok::Semi,
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("12 0x0d 3.5 '\\n' 'A'\n"),
+            vec![
+                Tok::Int(12),
+                Tok::Int(13),
+                Tok::Float(3.5),
+                Tok::Int(10),
+                Tok::Int(65),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn indentation_blocks() {
+        let toks =
+            kinds("event init():\n    idx = 0;\n    busy = false;\nevent x():\n    y = 1;\n");
+        let indents = toks.iter().filter(|t| **t == Tok::Indent).count();
+        let dedents = toks.iter().filter(|t| **t == Tok::Dedent).count();
+        assert_eq!(indents, 2);
+        assert_eq!(dedents, 2);
+    }
+
+    #[test]
+    fn nested_blocks_dedent_in_order() {
+        let toks = kinds("event a():\n  if x:\n    y = 1;\n  z = 2;\n");
+        let seq: Vec<&Tok> = toks
+            .iter()
+            .filter(|t| matches!(t, Tok::Indent | Tok::Dedent))
+            .collect();
+        assert_eq!(
+            seq,
+            vec![&Tok::Indent, &Tok::Indent, &Tok::Dedent, &Tok::Dedent]
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let toks = kinds("# leading comment\n\nidx = 0; # trailing\n");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("idx".into()),
+                Tok::Assign,
+                Tok::Int(0),
+                Tok::Semi,
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("== != <= >= ++ += -= << >> and or\n"),
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::PlusPlus,
+                Tok::PlusAssign,
+                Tok::MinusAssign,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::And,
+                Tok::Or,
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_versus_identifiers() {
+        assert_eq!(
+            kinds("if elif else while signal return this event error x\n"),
+            vec![
+                Tok::If,
+                Tok::Elif,
+                Tok::Else,
+                Tok::While,
+                Tok::Signal,
+                Tok::Return,
+                Tok::This,
+                Tok::Event,
+                Tok::Error,
+                Tok::Ident("x".into()),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn inconsistent_dedent_is_an_error() {
+        let e = lex("event a():\n    x = 1;\n  y = 2;\n").unwrap_err();
+        assert!(e.message.contains("dedent"));
+    }
+
+    #[test]
+    fn bad_hex_is_an_error() {
+        assert!(lex("x = 0x;\n").is_err());
+    }
+
+    #[test]
+    fn stray_character_is_an_error() {
+        let e = lex("x = $;\n").unwrap_err();
+        assert!(e.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn listing1_excerpt_lexes() {
+        let src = "\
+import uart;
+
+uint8_t idx, rfid[12];
+bool busy;
+
+event newdata(char c):
+    if !(c==0x0d or c==0x0a or c==0x02 or c==0x03):
+        rfid[idx++] = c;
+    if idx == 12:
+        signal this.readDone();
+";
+        let toks = lex(src).unwrap();
+        assert!(toks.iter().any(|t| t.tok == Tok::PlusPlus));
+        assert!(toks.iter().any(|t| t.tok == Tok::This));
+        assert_eq!(toks.last().unwrap().tok, Tok::Eof);
+    }
+
+    #[test]
+    fn newlines_inside_parens_are_joined() {
+        let toks = kinds("signal uart.init(9600,\n        1, 2);\n");
+        let newlines = toks.iter().filter(|t| **t == Tok::Newline).count();
+        assert_eq!(newlines, 1, "only the statement-final newline survives");
+        let indents = toks.iter().filter(|t| **t == Tok::Indent).count();
+        assert_eq!(indents, 0);
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = lex("x = 1;\ny = 2;\n").unwrap();
+        let y = toks
+            .iter()
+            .find(|t| t.tok == Tok::Ident("y".into()))
+            .unwrap();
+        assert_eq!(y.pos.line, 2);
+        assert_eq!(y.pos.col, 1);
+    }
+}

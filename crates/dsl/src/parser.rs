@@ -1,0 +1,724 @@
+//! Recursive-descent parser for the driver DSL.
+
+use std::fmt;
+
+use crate::ast::{
+    BinOp, Expr, GlobalDecl, Handler, LValue, Program, SignalTarget, Stmt, Type, UnOp,
+};
+use crate::lexer::{lex, Pos, Tok, Token};
+
+/// A parse failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Where it happened.
+    pub pos: Pos,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.message, self.pos)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a full driver source file.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse(source: &str) -> Result<Program, crate::CompileError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, i: 0 };
+    Ok(p.program()?)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.i].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.i].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.i].tok.clone();
+        if self.i + 1 < self.tokens.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            pos: self.pos(),
+        }
+    }
+
+    fn expect(&mut self, want: Tok, what: &str) -> Result<(), ParseError> {
+        if *self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn accept(&mut self, want: &Tok) -> bool {
+        if self.peek() == want {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), Tok::Newline) {
+            self.bump();
+        }
+    }
+
+    // ---- Top level -------------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::default();
+        loop {
+            self.skip_newlines();
+            match self.peek().clone() {
+                Tok::Eof => break,
+                Tok::Import => {
+                    let pos = self.pos();
+                    self.bump();
+                    let name = self.ident("library name")?;
+                    self.expect(Tok::Semi, "';'")?;
+                    prog.imports.push((name, pos));
+                }
+                Tok::Event | Tok::Error => {
+                    prog.handlers.push(self.handler()?);
+                }
+                Tok::Ident(word) => {
+                    let Some(ty) = Type::from_keyword(&word) else {
+                        return Err(self.err(format!(
+                            "expected declaration or handler, found identifier `{word}`"
+                        )));
+                    };
+                    self.bump();
+                    self.global_decls(ty, &mut prog.globals)?;
+                }
+                other => {
+                    return Err(self.err(format!("expected top-level declaration, found {other:?}")))
+                }
+            }
+        }
+        Ok(prog)
+    }
+
+    fn global_decls(&mut self, ty: Type, out: &mut Vec<GlobalDecl>) -> Result<(), ParseError> {
+        loop {
+            let pos = self.pos();
+            let name = self.ident("variable name")?;
+            let array_len = if self.accept(&Tok::LBracket) {
+                let len = match self.bump() {
+                    Tok::Int(v) if (1..=4096).contains(&v) => v as u16,
+                    _ => return Err(self.err("array length must be 1..=4096")),
+                };
+                self.expect(Tok::RBracket, "']'")?;
+                Some(len)
+            } else {
+                None
+            };
+            out.push(GlobalDecl {
+                ty,
+                name,
+                array_len,
+                pos,
+            });
+            if !self.accept(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(Tok::Semi, "';'")?;
+        Ok(())
+    }
+
+    fn handler(&mut self) -> Result<Handler, ParseError> {
+        let pos = self.pos();
+        let is_error = match self.bump() {
+            Tok::Event => false,
+            Tok::Error => true,
+            _ => unreachable!("caller checked"),
+        };
+        let name = self.ident("handler name")?;
+        self.expect(Tok::LParen, "'('")?;
+        let mut params = Vec::new();
+        if !self.accept(&Tok::RParen) {
+            loop {
+                let ty_word = self.ident("parameter type")?;
+                let ty = Type::from_keyword(&ty_word)
+                    .ok_or_else(|| self.err(format!("unknown type `{ty_word}`")))?;
+                let pname = self.ident("parameter name")?;
+                params.push((ty, pname));
+                if !self.accept(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::RParen, "')'")?;
+        }
+        let body = self.block()?;
+        Ok(Handler {
+            is_error,
+            name,
+            params,
+            body,
+            pos,
+        })
+    }
+
+    // ---- Blocks and statements -------------------------------------------
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(Tok::Colon, "':'")?;
+        self.expect(Tok::Newline, "newline after ':'")?;
+        self.skip_newlines();
+        self.expect(Tok::Indent, "an indented block")?;
+        let mut stmts = Vec::new();
+        loop {
+            self.skip_newlines();
+            if self.accept(&Tok::Dedent) {
+                break;
+            }
+            stmts.push(self.statement()?);
+        }
+        if stmts.is_empty() {
+            return Err(self.err("empty block"));
+        }
+        Ok(stmts)
+    }
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Signal => {
+                self.bump();
+                let target = match self.bump() {
+                    Tok::This => SignalTarget::This,
+                    Tok::Ident(lib) => SignalTarget::Library(lib),
+                    other => {
+                        return Err(self.err(format!(
+                            "expected `this` or a library after signal, found {other:?}"
+                        )))
+                    }
+                };
+                self.expect(Tok::Dot, "'.'")?;
+                let event = self.ident("event name")?;
+                self.expect(Tok::LParen, "'('")?;
+                let mut args = Vec::new();
+                if !self.accept(&Tok::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.accept(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(Tok::RParen, "')'")?;
+                }
+                self.expect(Tok::Semi, "';'")?;
+                self.expect(Tok::Newline, "end of line")?;
+                Ok(Stmt::Signal(target, event, args, pos))
+            }
+            Tok::Return => {
+                self.bump();
+                let value = if self.accept(&Tok::Semi) {
+                    None
+                } else {
+                    let e = self.expr()?;
+                    self.expect(Tok::Semi, "';'")?;
+                    Some(e)
+                };
+                self.expect(Tok::Newline, "end of line")?;
+                Ok(Stmt::Return(value, pos))
+            }
+            Tok::If => {
+                self.bump();
+                self.if_chain(pos)
+            }
+            Tok::While => {
+                self.bump();
+                let cond = self.expr()?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body, pos })
+            }
+            Tok::Ident(_) => self.assign_or_expr(pos),
+            other => Err(self.err(format!("expected a statement, found {other:?}"))),
+        }
+    }
+
+    /// Parses the remainder of an `if` (condition, block, optional
+    /// `elif`/`else`), representing `elif` as a nested `If` in the else
+    /// branch.
+    fn if_chain(&mut self, pos: Pos) -> Result<Stmt, ParseError> {
+        let cond = self.expr()?;
+        let then_block = self.block()?;
+        self.skip_newlines();
+        let else_block = if matches!(self.peek(), Tok::Elif) {
+            let epos = self.pos();
+            self.bump();
+            vec![self.if_chain(epos)?]
+        } else if matches!(self.peek(), Tok::Else) {
+            self.bump();
+            self.block()?
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            cond,
+            then_block,
+            else_block,
+            pos,
+        })
+    }
+
+    fn assign_or_expr(&mut self, pos: Pos) -> Result<Stmt, ParseError> {
+        let name = self.ident("identifier")?;
+        // Determine the statement shape from what follows.
+        match self.peek().clone() {
+            Tok::LBracket => {
+                self.bump();
+                let index = self.expr()?;
+                self.expect(Tok::RBracket, "']'")?;
+                let lv = LValue::Index(name.clone(), Box::new(index.clone()));
+                self.finish_assignment(lv, Expr::Index(name, Box::new(index), pos), pos)
+            }
+            Tok::PlusPlus => {
+                self.bump();
+                self.expect(Tok::Semi, "';'")?;
+                self.expect(Tok::Newline, "end of line")?;
+                Ok(Stmt::Expr(Expr::PostInc(name, pos), pos))
+            }
+            _ => self.finish_assignment(LValue::Var(name.clone()), Expr::Var(name, pos), pos),
+        }
+    }
+
+    /// After an lvalue has been parsed, handles `=`, `+=` and `-=`.
+    fn finish_assignment(
+        &mut self,
+        lv: LValue,
+        lv_as_expr: Expr,
+        pos: Pos,
+    ) -> Result<Stmt, ParseError> {
+        let op = match self.bump() {
+            Tok::Assign => None,
+            Tok::PlusAssign => Some(BinOp::Add),
+            Tok::MinusAssign => Some(BinOp::Sub),
+            other => return Err(self.err(format!("expected assignment operator, found {other:?}"))),
+        };
+        let rhs = self.expr()?;
+        self.expect(Tok::Semi, "';'")?;
+        self.expect(Tok::Newline, "end of line")?;
+        let value = match op {
+            None => rhs,
+            Some(binop) => Expr::Bin(binop, Box::new(lv_as_expr), Box::new(rhs), pos),
+        };
+        Ok(Stmt::Assign(lv, value, pos))
+    }
+
+    // ---- Expressions (precedence climbing) --------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while matches!(self.peek(), Tok::Or) {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bitor_expr()?;
+        while matches!(self.peek(), Tok::And) {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.bitor_expr()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn bitor_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bitxor_expr()?;
+        while matches!(self.peek(), Tok::BitOr) {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.bitxor_expr()?;
+            lhs = Expr::Bin(BinOp::BitOr, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn bitxor_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bitand_expr()?;
+        while matches!(self.peek(), Tok::BitXor) {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.bitand_expr()?;
+            lhs = Expr::Bin(BinOp::BitXor, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn bitand_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.equality_expr()?;
+        while matches!(self.peek(), Tok::BitAnd) {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.equality_expr()?;
+            lhs = Expr::Bin(BinOp::BitAnd, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn equality_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.relational_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Eq => BinOp::Eq,
+                Tok::Ne => BinOp::Ne,
+                _ => break,
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.relational_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn relational_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.shift_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Lt => BinOp::Lt,
+                Tok::Le => BinOp::Le,
+                Tok::Gt => BinOp::Gt,
+                Tok::Ge => BinOp::Ge,
+                _ => break,
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.shift_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn shift_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.additive_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Shl => BinOp::Shl,
+                Tok::Shr => BinOp::Shr,
+                _ => break,
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.additive_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn additive_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.multiplicative_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.multiplicative_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                _ => break,
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.pos();
+        match self.peek() {
+            Tok::Not => {
+                self.bump();
+                Ok(Expr::Un(UnOp::Not, Box::new(self.unary_expr()?), pos))
+            }
+            Tok::Minus => {
+                self.bump();
+                Ok(Expr::Un(UnOp::Neg, Box::new(self.unary_expr()?), pos))
+            }
+            Tok::BitNot => {
+                self.bump();
+                Ok(Expr::Un(UnOp::BitNot, Box::new(self.unary_expr()?), pos))
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.pos();
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::Int(v, pos)),
+            Tok::Float(v) => Ok(Expr::Float(v, pos)),
+            Tok::True => Ok(Expr::Bool(true, pos)),
+            Tok::False => Ok(Expr::Bool(false, pos)),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => match self.peek().clone() {
+                Tok::LBracket => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(Tok::RBracket, "']'")?;
+                    Ok(Expr::Index(name, Box::new(idx), pos))
+                }
+                Tok::PlusPlus => {
+                    self.bump();
+                    Ok(Expr::PostInc(name, pos))
+                }
+                _ => Ok(Expr::Var(name, pos)),
+            },
+            other => Err(ParseError {
+                message: format!("expected an expression, found {other:?}"),
+                pos,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LISTING1: &str = r#"
+import uart;
+
+uint8_t idx, rfid[12];
+bool busy;
+
+event init():
+    # 9600 baud, no parity, 1 stop bit, 8 data bits
+    signal uart.init(9600, USART_PARITY_NONE,
+        USART_STOP_BITS_1, USART_DATA_BITS_8);
+    idx = 0;
+    busy = false;
+
+event destroy():
+    # restore uart to platform defaults
+    signal uart.reset();
+
+event read():
+    if !busy:
+        busy = true;
+        signal uart.read();
+
+event newdata(char c):
+    # ignore CR, LF, STX, and ETX characters
+    if !(c==0x0d or c==0x0a or c==0x02 or c==0x03):
+        rfid[idx++] = c;
+    if idx == 12:
+        signal this.readDone();
+
+event readDone():
+    busy = false;
+    idx = 0;
+    return rfid;
+
+error invalidConfiguration():
+    signal this.destroy();
+
+error uartInUse():
+    signal this.destroy();
+
+error timeOut():
+    busy = false;
+    idx = 0;
+"#;
+
+    #[test]
+    fn listing1_parses_verbatim() {
+        // The paper's Listing 1 wraps the uart.init argument list over two
+        // physical lines; implicit continuation inside parentheses handles
+        // it, so the source parses exactly as printed.
+        let prog = parse(LISTING1).unwrap();
+        assert_eq!(prog.imports.len(), 1);
+        assert_eq!(prog.imports[0].0, "uart");
+        assert_eq!(prog.globals.len(), 3);
+        assert_eq!(prog.globals[1].array_len, Some(12));
+        assert_eq!(prog.handlers.len(), 8);
+        let errors = prog.handlers.iter().filter(|h| h.is_error).count();
+        assert_eq!(errors, 3);
+    }
+
+    #[test]
+    fn postinc_in_index_position() {
+        let src = "uint8_t idx, a[4];\nevent init():\n    a[idx++] = 1;\n";
+        let prog = parse(src).unwrap();
+        let Stmt::Assign(LValue::Index(name, idx), _, _) = &prog.handlers[0].body[0] else {
+            panic!("expected array assignment");
+        };
+        assert_eq!(name, "a");
+        assert!(matches!(**idx, Expr::PostInc(_, _)));
+    }
+
+    #[test]
+    fn elif_chain_nests() {
+        let src = "\
+uint8_t x, y;
+event init():
+    if x == 1:
+        y = 1;
+    elif x == 2:
+        y = 2;
+    else:
+        y = 3;
+";
+        let prog = parse(src).unwrap();
+        let Stmt::If { else_block, .. } = &prog.handlers[0].body[0] else {
+            panic!("expected if");
+        };
+        assert_eq!(else_block.len(), 1);
+        let Stmt::If {
+            else_block: inner_else,
+            ..
+        } = &else_block[0]
+        else {
+            panic!("expected nested elif");
+        };
+        assert_eq!(inner_else.len(), 1);
+    }
+
+    #[test]
+    fn while_loop_parses() {
+        let src = "uint8_t i;\nevent init():\n    while i < 10:\n        i++;\n";
+        let prog = parse(src).unwrap();
+        assert!(matches!(prog.handlers[0].body[0], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn compound_assignment_desugars() {
+        let src = "uint8_t x;\nevent init():\n    x += 2;\n";
+        let prog = parse(src).unwrap();
+        let Stmt::Assign(LValue::Var(_), Expr::Bin(BinOp::Add, _, _, _), _) =
+            &prog.handlers[0].body[0]
+        else {
+            panic!("expected desugared +=");
+        };
+    }
+
+    #[test]
+    fn precedence_or_binds_loosest() {
+        let src = "bool a;\nuint8_t b;\nevent init():\n    a = b == 1 or b == 2 and b < 3;\n";
+        let prog = parse(src).unwrap();
+        let Stmt::Assign(_, Expr::Bin(BinOp::Or, _, rhs, _), _) = &prog.handlers[0].body[0] else {
+            panic!("expected or at top");
+        };
+        assert!(matches!(**rhs, Expr::Bin(BinOp::And, _, _, _)));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let src = "uint32_t x;\nevent init():\n    x = 1 + 2 * 3 << 1;\n";
+        let prog = parse(src).unwrap();
+        // ((1 + (2*3)) << 1)
+        let Stmt::Assign(_, Expr::Bin(BinOp::Shl, lhs, _, _), _) = &prog.handlers[0].body[0] else {
+            panic!("expected shift at top");
+        };
+        assert!(matches!(**lhs, Expr::Bin(BinOp::Add, _, _, _)));
+    }
+
+    #[test]
+    fn signal_targets() {
+        let src = "import adc;\nevent read():\n    signal adc.read();\nevent x():\n    signal this.read();\n";
+        let prog = parse(src).unwrap();
+        let Stmt::Signal(SignalTarget::Library(lib), ev, args, _) = &prog.handlers[0].body[0]
+        else {
+            panic!();
+        };
+        assert_eq!(lib, "adc");
+        assert_eq!(ev, "read");
+        assert!(args.is_empty());
+        assert!(matches!(
+            prog.handlers[1].body[0],
+            Stmt::Signal(SignalTarget::This, _, _, _)
+        ));
+    }
+
+    #[test]
+    fn errors_report_position() {
+        let err = parse("uint8_t x\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("';'"), "{msg}");
+    }
+
+    #[test]
+    fn empty_block_rejected() {
+        assert!(parse("event init():\nevent x():\n    y = 1;\n").is_err());
+    }
+
+    #[test]
+    fn unknown_top_level_rejected() {
+        let err = parse("banana x;\n").unwrap_err();
+        assert!(err.to_string().contains("banana"));
+    }
+
+    #[test]
+    fn return_with_and_without_value() {
+        let src = "uint8_t a[2];\nevent read():\n    return a;\nevent x():\n    return;\n";
+        let prog = parse(src).unwrap();
+        assert!(matches!(prog.handlers[0].body[0], Stmt::Return(Some(_), _)));
+        assert!(matches!(prog.handlers[1].body[0], Stmt::Return(None, _)));
+    }
+}

@@ -1,0 +1,24 @@
+//! Runtime ABI limits shared between the compiler, the static verifier
+//! and the virtual machine.
+
+/// Operand stack depth of the µPnP VM, in 32-bit cells.
+///
+/// Part of the bytecode ABI: the verifier proves drivers stay below it
+/// and the VM enforces it dynamically. 32 cells = 128 bytes of RAM per
+/// Thing, matching the memory budget of Table 2.
+pub const STACK_DEPTH: usize = 32;
+
+/// Per-handler instruction budget (run-to-completion watchdog).
+pub const GAS_LIMIT: u64 = 200_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limits_are_sane() {
+        const { assert!(STACK_DEPTH >= 16, "drivers need expression headroom") };
+        const { assert!(STACK_DEPTH * 4 <= 256, "stack must stay RAM-cheap") };
+        const { assert!(GAS_LIMIT > 10_000) };
+    }
+}

@@ -1,0 +1,211 @@
+//! The Figure 12 deployment simulation.
+//!
+//! "We simulate a one-year IoT deployment ... the energy consumption of an
+//! Arduino USB host shield against the energy consumption of the µPnP
+//! shield when connected to ADC, I2C, and UART-based peripherals.
+//! Peripherals communicate once every ten seconds." Both axes of the
+//! figure are logarithmic: change rate from 1 minute to 10⁶ minutes, and
+//! one-year energy in joules.
+
+use upnp_hw::peripheral::Interconnect;
+use upnp_sim::{SimDuration, SimRng};
+
+use crate::ident::{ident_energy_stats, random_ids};
+use crate::interconnect::one_read_energy_j;
+use crate::usb::UsbHostModel;
+
+/// The technologies Figure 12 compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Technology {
+    /// Always-powered USB host controller.
+    UsbHost,
+    /// µPnP board with a peripheral on the given interconnect.
+    Upnp(Interconnect),
+}
+
+impl std::fmt::Display for Technology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Technology::UsbHost => write!(f, "USB host"),
+            Technology::Upnp(bus) => write!(f, "uPnP+{bus}"),
+        }
+    }
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct YearConfig {
+    /// Simulation horizon (the paper uses one year).
+    pub horizon: SimDuration,
+    /// Time between peripheral communications (the paper uses 10 s).
+    pub comm_period: SimDuration,
+    /// Identification-energy samples per point (error bars).
+    pub ident_samples: usize,
+    /// RNG seed for the id sampling.
+    pub seed: u64,
+}
+
+impl Default for YearConfig {
+    fn default() -> Self {
+        YearConfig {
+            horizon: SimDuration::from_secs(365 * 24 * 3600),
+            comm_period: SimDuration::from_secs(10),
+            ident_samples: 64,
+            seed: 0x0f12,
+        }
+    }
+}
+
+/// One point of the Figure 12 series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeploymentPoint {
+    /// The swept change rate: minutes between peripheral changes.
+    pub rate_minutes: u64,
+    /// The technology.
+    pub technology: Technology,
+    /// Mean one-year energy, joules.
+    pub energy_j: f64,
+    /// One standard deviation (resistor-value spread), joules. Zero for
+    /// USB.
+    pub std_j: f64,
+}
+
+/// Simulates one year for one technology at one change rate.
+pub fn simulate_year(
+    technology: Technology,
+    rate_minutes: u64,
+    config: &YearConfig,
+) -> DeploymentPoint {
+    assert!(rate_minutes > 0, "rate must be positive");
+    let horizon_s = config.horizon.as_secs_f64();
+    let changes = (horizon_s / (rate_minutes as f64 * 60.0)).floor() as u64;
+    let comms = (horizon_s / config.comm_period.as_secs_f64()).floor() as u64;
+
+    match technology {
+        Technology::UsbHost => DeploymentPoint {
+            rate_minutes,
+            technology,
+            energy_j: UsbHostModel::max3421e().energy_j(config.horizon, changes),
+            std_j: 0.0,
+        },
+        Technology::Upnp(bus) => {
+            // Identification energy: each change triggers one scan; the id
+            // (resistor set) varies, giving the error bars.
+            let mut rng = SimRng::seed(config.seed);
+            let ids = random_ids(config.ident_samples.max(1), &mut rng);
+            let stats = ident_energy_stats(&ids);
+            // The ideal peripheral consumes nothing except communication.
+            let comm_j = one_read_energy_j(bus) * comms as f64;
+            let mean = stats.mean_energy_j * changes as f64 + comm_j;
+            let std = stats.std_energy_j * changes as f64;
+            DeploymentPoint {
+                rate_minutes,
+                technology,
+                energy_j: mean,
+                std_j: std,
+            }
+        }
+    }
+}
+
+/// The paper's x-axis sample points (log scale, 1 to 10⁶ minutes).
+pub const FIGURE_12_RATES: [u64; 7] = [1, 10, 100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// Runs the full Figure 12 sweep.
+pub fn figure_12(config: &YearConfig) -> Vec<DeploymentPoint> {
+    let mut out = Vec::new();
+    for &rate in &FIGURE_12_RATES {
+        out.push(simulate_year(Technology::UsbHost, rate, config));
+        for bus in crate::interconnect::FIGURE_12_BUSES {
+            out.push(simulate_year(Technology::Upnp(bus), rate, config));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> YearConfig {
+        YearConfig {
+            ident_samples: 16,
+            ..YearConfig::default()
+        }
+    }
+
+    #[test]
+    fn usb_is_flat_across_change_rates() {
+        let config = fast_config();
+        let slow = simulate_year(Technology::UsbHost, 1_000_000, &config);
+        let fast = simulate_year(Technology::UsbHost, 1, &config);
+        // Idle dominates: less than 0.5 % variation across six decades.
+        assert!((fast.energy_j - slow.energy_j) / slow.energy_j < 0.005);
+        assert!(slow.energy_j > 1e6);
+    }
+
+    #[test]
+    fn upnp_scales_with_change_rate_then_floors() {
+        let config = fast_config();
+        let e1 = simulate_year(Technology::Upnp(Interconnect::Adc), 1, &config).energy_j;
+        let e100 = simulate_year(Technology::Upnp(Interconnect::Adc), 100, &config).energy_j;
+        let e1m = simulate_year(Technology::Upnp(Interconnect::Adc), 1_000_000, &config).energy_j;
+        // Linear region: 100× fewer changes ≈ close to 100× less ident
+        // energy (plus the comm floor).
+        assert!(e1 / e100 > 20.0, "{e1} vs {e100}");
+        // Floor region: the comm energy dominates, rate changes nothing.
+        let e100k = simulate_year(Technology::Upnp(Interconnect::Adc), 100_000, &config).energy_j;
+        assert!((e100k - e1m) / e1m < 0.2);
+    }
+
+    #[test]
+    fn paper_headline_hourly_changes_four_orders_of_magnitude() {
+        // "where peripherals are changed on an hourly basis, the energy
+        // consumption of µPnP is over four orders of magnitude lower than
+        // the USB shield".
+        let config = fast_config();
+        let usb = simulate_year(Technology::UsbHost, 60, &config).energy_j;
+        let upnp = simulate_year(Technology::Upnp(Interconnect::Adc), 60, &config).energy_j;
+        let ratio = usb / upnp;
+        assert!(
+            ratio > 1e4,
+            "USB/µPnP ratio {ratio:.0} below four orders of magnitude"
+        );
+    }
+
+    #[test]
+    fn interconnects_diverge_at_low_change_rates() {
+        let config = fast_config();
+        let rate = 1_000_000;
+        let adc = simulate_year(Technology::Upnp(Interconnect::Adc), rate, &config).energy_j;
+        let i2c = simulate_year(Technology::Upnp(Interconnect::I2c), rate, &config).energy_j;
+        let uart = simulate_year(Technology::Upnp(Interconnect::Uart), rate, &config).energy_j;
+        assert!(adc < i2c && adc < uart, "ADC floor must be lowest");
+        // And µPnP always beats USB, even at the floor.
+        let usb = simulate_year(Technology::UsbHost, rate, &config).energy_j;
+        assert!(usb / adc.max(i2c).max(uart) > 1e2);
+    }
+
+    #[test]
+    fn error_bars_exist_for_upnp_only() {
+        let config = fast_config();
+        let usb = simulate_year(Technology::UsbHost, 60, &config);
+        let upnp = simulate_year(Technology::Upnp(Interconnect::I2c), 60, &config);
+        assert_eq!(usb.std_j, 0.0);
+        assert!(upnp.std_j > 0.0);
+    }
+
+    #[test]
+    fn full_sweep_has_all_series() {
+        let mut config = fast_config();
+        config.ident_samples = 8;
+        let points = figure_12(&config);
+        assert_eq!(points.len(), FIGURE_12_RATES.len() * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        simulate_year(Technology::UsbHost, 0, &fast_config());
+    }
+}

@@ -1,0 +1,135 @@
+//! Identification-energy statistics (paper §6.1).
+//!
+//! "The length of the identifying signal varies depending on the resistors
+//! used on peripheral boards, which leads to different energy
+//! consumption." This module samples the scan-time/energy distribution
+//! over the device-id space — the source of Figure 12's error bars.
+
+use upnp_hw::board::ControlBoard;
+use upnp_hw::channels::ChannelId;
+use upnp_hw::id::DeviceTypeId;
+use upnp_hw::peripheral::{Interconnect, PeripheralBoard};
+use upnp_sim::{SimRng, SimTime};
+
+/// Summary statistics of identification scans.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdentStats {
+    /// Number of scans sampled.
+    pub samples: usize,
+    /// Mean scan duration, seconds.
+    pub mean_time_s: f64,
+    /// Minimum scan duration, seconds.
+    pub min_time_s: f64,
+    /// Maximum scan duration, seconds.
+    pub max_time_s: f64,
+    /// Mean scan energy, joules.
+    pub mean_energy_j: f64,
+    /// Minimum scan energy, joules.
+    pub min_energy_j: f64,
+    /// Maximum scan energy, joules.
+    pub max_energy_j: f64,
+    /// Standard deviation of scan energy, joules.
+    pub std_energy_j: f64,
+}
+
+/// Samples identification scans for `ids` (one peripheral per scan, other
+/// channels empty), using ideal components so the spread reflects the
+/// resistor-value (id) distribution, as in §6.1.
+pub fn ident_energy_stats(ids: &[DeviceTypeId]) -> IdentStats {
+    let mut times = Vec::with_capacity(ids.len());
+    let mut energies = Vec::with_capacity(ids.len());
+    for &id in ids {
+        let mut board = ControlBoard::ideal();
+        let p = PeripheralBoard::manufacture_ideal(id, Interconnect::Adc)
+            .expect("unreserved ids solve");
+        board.plug(ChannelId(0), p).expect("empty channel");
+        let outcome = board.scan(SimTime::ZERO, 25.0);
+        times.push(outcome.duration().as_secs_f64());
+        energies.push(outcome.energy_j);
+    }
+    stats_of(&times, &energies)
+}
+
+/// Samples `n` uniformly random device ids.
+pub fn random_ids(n: usize, rng: &mut SimRng) -> Vec<DeviceTypeId> {
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let id = DeviceTypeId::new(rng.next_u32());
+        if !id.is_reserved() {
+            out.push(id);
+        }
+    }
+    out
+}
+
+fn stats_of(times: &[f64], energies: &[f64]) -> IdentStats {
+    assert!(!times.is_empty());
+    let n = times.len() as f64;
+    let mean_t = times.iter().sum::<f64>() / n;
+    let mean_e = energies.iter().sum::<f64>() / n;
+    let var_e = energies.iter().map(|e| (e - mean_e).powi(2)).sum::<f64>() / n;
+    IdentStats {
+        samples: times.len(),
+        mean_time_s: mean_t,
+        min_time_s: times.iter().cloned().fold(f64::INFINITY, f64::min),
+        max_time_s: times.iter().cloned().fold(0.0, f64::max),
+        mean_energy_j: mean_e,
+        min_energy_j: energies.iter().cloned().fold(f64::INFINITY, f64::min),
+        max_energy_j: energies.iter().cloned().fold(0.0, f64::max),
+        std_energy_j: var_e.sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upnp_hw::id::prototypes;
+
+    #[test]
+    fn prototype_scan_times_match_section_6_1() {
+        let stats = ident_energy_stats(&prototypes::ALL);
+        // "the time required varies between 220 ms and 300 ms".
+        assert!(
+            stats.min_time_s >= 0.21 && stats.max_time_s <= 0.31,
+            "prototype scans {:.3}-{:.3} s",
+            stats.min_time_s,
+            stats.max_time_s
+        );
+        // Energy band: paper maximum is 6.756 mJ; ours must bracket it
+        // within the documented calibration (see EXPERIMENTS.md §6.1).
+        assert!(
+            stats.max_energy_j > 4e-3 && stats.max_energy_j < 8e-3,
+            "max energy {:.3} mJ",
+            stats.max_energy_j * 1e3
+        );
+        assert!(stats.min_energy_j > 2e-3);
+    }
+
+    #[test]
+    fn random_id_distribution_is_wider_than_prototypes() {
+        let mut rng = SimRng::seed(42);
+        let ids = random_ids(300, &mut rng);
+        let random = ident_energy_stats(&ids);
+        let protos = ident_energy_stats(&prototypes::ALL);
+        assert!(random.min_time_s < protos.min_time_s);
+        assert!(random.max_time_s > protos.max_time_s);
+        assert!(random.std_energy_j > 0.0);
+    }
+
+    #[test]
+    fn energy_scales_with_scan_time() {
+        // Longest-id scans must cost more than shortest-id scans.
+        let slow = ident_energy_stats(&[DeviceTypeId::new(0xffff_fffe)]);
+        let fast = ident_energy_stats(&[DeviceTypeId::new(0x0101_0101)]);
+        assert!(slow.mean_energy_j > fast.mean_energy_j * 1.5);
+        assert!(slow.mean_time_s > fast.mean_time_s);
+    }
+
+    #[test]
+    fn random_ids_excludes_reserved() {
+        let mut rng = SimRng::seed(43);
+        for id in random_ids(1000, &mut rng) {
+            assert!(!id.is_reserved());
+        }
+    }
+}

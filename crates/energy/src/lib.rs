@@ -1,0 +1,26 @@
+//! Energy models and the one-year deployment simulator (paper §6.1,
+//! Figure 12).
+//!
+//! The paper's headline hardware result: µPnP identification costs orders
+//! of magnitude less energy than keeping a USB host controller around.
+//! Three models compose the comparison:
+//!
+//! * [`ident`] — the distribution of µPnP identification-scan energy over
+//!   the device-id space (scan time varies with the resistor values, so
+//!   energy does too — the error bars of Figure 12);
+//! * [`usb`] — the Arduino USB Host shield (MAX3421E) baseline: idle power
+//!   all year plus per-enumeration energy;
+//! * [`interconnect`] — measured per-sample communication energy for each
+//!   bus family, obtained by running one real read through the full
+//!   runtime (driver + VM + bus sim) and metering it;
+//! * [`deployment`] — the Figure 12 sweep: one-year energy versus
+//!   peripheral change rate, for USB and µPnP+{ADC, I²C, UART}.
+
+pub mod deployment;
+pub mod ident;
+pub mod interconnect;
+pub mod usb;
+
+pub use deployment::{simulate_year, DeploymentPoint, Technology, YearConfig};
+pub use ident::{ident_energy_stats, IdentStats};
+pub use usb::UsbHostModel;

@@ -1,0 +1,79 @@
+//! The USB host controller baseline (paper §6.1).
+//!
+//! "In the case of the USB controller energy consumption is based upon the
+//! minimum idle power consumption of the USB host controller [the
+//! MAX3421E] and therefore represents the worst-case energy comparison for
+//! µPnP." A USB host must stay powered to notice attach/detach events, so
+//! its year-long energy is dominated by idle draw no matter how rarely
+//! peripherals change — that is the flat line of Figure 12.
+
+use upnp_sim::SimDuration;
+
+/// The Arduino USB Host shield (MAX3421E) energy model.
+#[derive(Debug, Clone, Copy)]
+pub struct UsbHostModel {
+    /// Supply voltage, volts.
+    pub supply_v: f64,
+    /// Minimum idle (powered, no transfer) current, amps.
+    pub idle_a: f64,
+    /// Energy per device enumeration, joules (bus reset + descriptor
+    /// exchange, ~100 ms of active transfers).
+    pub enumeration_j: f64,
+}
+
+impl Default for UsbHostModel {
+    fn default() -> Self {
+        Self::max3421e()
+    }
+}
+
+impl UsbHostModel {
+    /// The MAX3421E on the Arduino USB Host shield: ≈13.5 mA operating
+    /// current at 3.3 V (datasheet "operating supply current").
+    pub fn max3421e() -> Self {
+        UsbHostModel {
+            supply_v: 3.3,
+            idle_a: 13.5e-3,
+            enumeration_j: 5e-3,
+        }
+    }
+
+    /// Idle power, watts.
+    pub fn idle_w(&self) -> f64 {
+        self.supply_v * self.idle_a
+    }
+
+    /// Energy over `horizon` with `changes` attach/detach events, joules.
+    pub fn energy_j(&self, horizon: SimDuration, changes: u64) -> f64 {
+        self.idle_w() * horizon.as_secs_f64() + self.enumeration_j * changes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_power_is_tens_of_milliwatts() {
+        let m = UsbHostModel::max3421e();
+        assert!((m.idle_w() - 0.04455).abs() < 1e-6);
+    }
+
+    #[test]
+    fn year_energy_is_megajoule_scale() {
+        let m = UsbHostModel::max3421e();
+        let year = SimDuration::from_secs(365 * 24 * 3600);
+        let e = m.energy_j(year, 0);
+        assert!(e > 1.2e6 && e < 1.6e6, "{e} J");
+    }
+
+    #[test]
+    fn idle_dominates_enumerations() {
+        // Even hourly changes add only ~44 J against 1.4 MJ of idle.
+        let m = UsbHostModel::max3421e();
+        let year = SimDuration::from_secs(365 * 24 * 3600);
+        let idle_only = m.energy_j(year, 0);
+        let hourly = m.energy_j(year, 8766);
+        assert!((hourly - idle_only) / idle_only < 0.001);
+    }
+}

@@ -1,0 +1,81 @@
+//! Channel multiplexing (paper §3.2, Figure 5).
+//!
+//! To keep board cost down, one bank of four multivibrators is shared by
+//! all peripheral channels: each channel is enabled for a discrete time
+//! slot and the resulting pulses are daisy-chained onto a single `output`
+//! line, so only three MCU pins are needed (`start`, `output`, `INT`).
+
+use std::fmt;
+
+/// A peripheral channel on the control board (A, B, C, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChannelId(pub u8);
+
+impl ChannelId {
+    /// The letter label the paper uses ("channelA", "channelB", …).
+    pub fn letter(self) -> char {
+        (b'A' + self.0 % 26) as char
+    }
+
+    /// The static trace-signal name of this channel's enable line.
+    ///
+    /// Channels beyond the board's three (plus a few spares) share a
+    /// generic label; the board constructor enforces the supported count.
+    pub fn enable_signal(self) -> &'static str {
+        match self.0 {
+            0 => "channelA EN",
+            1 => "channelB EN",
+            2 => "channelC EN",
+            3 => "channelD EN",
+            4 => "channelE EN",
+            5 => "channelF EN",
+            6 => "channelG EN",
+            7 => "channelH EN",
+            _ => "channel? EN",
+        }
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "channel{}", self.letter())
+    }
+}
+
+/// Whether a channel has a peripheral connected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelState {
+    /// Nothing plugged in; the slot times out after
+    /// [`crate::calib::T_EMPTY`].
+    Empty,
+    /// A peripheral is plugged in and will produce four pulses.
+    Occupied,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn letters_follow_the_alphabet() {
+        assert_eq!(ChannelId(0).letter(), 'A');
+        assert_eq!(ChannelId(1).letter(), 'B');
+        assert_eq!(ChannelId(2).letter(), 'C');
+    }
+
+    #[test]
+    fn display_matches_paper_figures() {
+        assert_eq!(ChannelId(0).to_string(), "channelA");
+        assert_eq!(ChannelId(2).to_string(), "channelC");
+    }
+
+    #[test]
+    fn enable_signals_are_distinct_for_board_channels() {
+        let a = ChannelId(0).enable_signal();
+        let b = ChannelId(1).enable_signal();
+        let c = ChannelId(2).enable_signal();
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+}

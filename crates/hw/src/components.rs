@@ -1,0 +1,282 @@
+//! Passive component models with manufacturing tolerance.
+//!
+//! The entire µPnP identification scheme rests on how precisely a timed
+//! pulse `T = k·R·C` reflects the *nominal* R and C. Real parts deviate:
+//! a ±1 % resistor may legally be anywhere in `[0.99·R, 1.01·R]`. The
+//! models here sample an "as-manufactured" value once per part (uniform
+//! across the tolerance bin — the conservative industry assumption) and add
+//! a small temperature-coefficient drift per observation.
+
+use upnp_sim::SimRng;
+
+/// A manufacturing tolerance class for passive components.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ToleranceClass {
+    /// ±10 % — E12-class commodity parts.
+    TenPercent,
+    /// ±5 % — E24-class parts.
+    FivePercent,
+    /// ±1 % — E96-class metal-film resistors.
+    OnePercent,
+    /// ±0.1 % — E192-class precision parts; what the paper's peripherals
+    /// use ("resistors are more precise and cost much less than
+    /// capacitors", §3.1).
+    PointOnePercent,
+    /// An exact part (used for ideal-component ablations).
+    Exact,
+}
+
+impl ToleranceClass {
+    /// The relative half-width of the tolerance bin.
+    pub fn relative(self) -> f64 {
+        match self {
+            ToleranceClass::TenPercent => 0.10,
+            ToleranceClass::FivePercent => 0.05,
+            ToleranceClass::OnePercent => 0.01,
+            ToleranceClass::PointOnePercent => 0.001,
+            ToleranceClass::Exact => 0.0,
+        }
+    }
+}
+
+/// A resistor with a nominal value and an as-manufactured actual value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Resistor {
+    /// Nominal (marked) resistance in ohms.
+    pub nominal_ohms: f64,
+    /// Tolerance class of the part.
+    pub tolerance: ToleranceClass,
+    /// The as-manufactured value in ohms.
+    actual_ohms: f64,
+}
+
+impl Resistor {
+    /// Creates a part whose actual value is sampled from the tolerance bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nominal_ohms` is not a positive finite value.
+    pub fn sample(nominal_ohms: f64, tolerance: ToleranceClass, rng: &mut SimRng) -> Self {
+        assert!(
+            nominal_ohms.is_finite() && nominal_ohms > 0.0,
+            "invalid resistance: {nominal_ohms}"
+        );
+        let err = rng.tolerance(tolerance.relative());
+        Resistor {
+            nominal_ohms,
+            tolerance,
+            actual_ohms: nominal_ohms * (1.0 + err),
+        }
+    }
+
+    /// Creates an ideal part whose actual value equals the nominal.
+    pub fn ideal(nominal_ohms: f64) -> Self {
+        assert!(
+            nominal_ohms.is_finite() && nominal_ohms > 0.0,
+            "invalid resistance: {nominal_ohms}"
+        );
+        Resistor {
+            nominal_ohms,
+            tolerance: ToleranceClass::Exact,
+            actual_ohms: nominal_ohms,
+        }
+    }
+
+    /// The as-manufactured resistance in ohms (no drift applied).
+    pub fn actual_ohms(&self) -> f64 {
+        self.actual_ohms
+    }
+
+    /// The resistance observed at `temp_c` degrees Celsius.
+    ///
+    /// Metal-film resistors drift roughly ±50 ppm/°C; the reference point is
+    /// 25 °C.
+    pub fn at_temperature(&self, temp_c: f64) -> f64 {
+        const TEMPCO_PER_C: f64 = 50e-6;
+        self.actual_ohms * (1.0 + TEMPCO_PER_C * (temp_c - 25.0))
+    }
+}
+
+/// A series pair of resistors populating one peripheral position.
+///
+/// The paper's Figure 4 labels each of the four positions with two pads
+/// (`R1A`/`R1B` …): a coarse part plus a trim part in series. The pair hits
+/// targets far more precisely than any single E-series value can (see
+/// [`crate::eseries::worst_case_step`]), which the geometric pulse code
+/// requires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResistorPair {
+    /// The coarse element (pad A).
+    pub coarse: Resistor,
+    /// The trim element (pad B).
+    pub trim: Resistor,
+}
+
+impl ResistorPair {
+    /// Combined as-manufactured series resistance.
+    pub fn actual_ohms(&self) -> f64 {
+        self.coarse.actual_ohms() + self.trim.actual_ohms()
+    }
+
+    /// Combined nominal series resistance.
+    pub fn nominal_ohms(&self) -> f64 {
+        self.coarse.nominal_ohms + self.trim.nominal_ohms
+    }
+
+    /// Combined resistance at `temp_c` degrees Celsius.
+    pub fn at_temperature(&self, temp_c: f64) -> f64 {
+        self.coarse.at_temperature(temp_c) + self.trim.at_temperature(temp_c)
+    }
+}
+
+/// A capacitor with a nominal value and an as-manufactured actual value.
+///
+/// The control board's four timing capacitors are fixed parts (§3.1: "a set
+/// of capacitors of fixed value are used on the control board"). Capacitors
+/// are the *least* precise passive component, so the board stores a
+/// per-board calibration factor measured at manufacture (the simulation
+/// models this as a measured effective `k·C` product, see
+/// [`crate::calib::BoardCalibration`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Capacitor {
+    /// Nominal capacitance in farads.
+    pub nominal_farads: f64,
+    /// Tolerance class of the part.
+    pub tolerance: ToleranceClass,
+    /// The as-manufactured value in farads.
+    actual_farads: f64,
+}
+
+impl Capacitor {
+    /// Creates a part whose actual value is sampled from the tolerance bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nominal_farads` is not a positive finite value.
+    pub fn sample(nominal_farads: f64, tolerance: ToleranceClass, rng: &mut SimRng) -> Self {
+        assert!(
+            nominal_farads.is_finite() && nominal_farads > 0.0,
+            "invalid capacitance: {nominal_farads}"
+        );
+        let err = rng.tolerance(tolerance.relative());
+        Capacitor {
+            nominal_farads,
+            tolerance,
+            actual_farads: nominal_farads * (1.0 + err),
+        }
+    }
+
+    /// Creates an ideal part whose actual value equals the nominal.
+    pub fn ideal(nominal_farads: f64) -> Self {
+        assert!(
+            nominal_farads.is_finite() && nominal_farads > 0.0,
+            "invalid capacitance: {nominal_farads}"
+        );
+        Capacitor {
+            nominal_farads,
+            tolerance: ToleranceClass::Exact,
+            actual_farads: nominal_farads,
+        }
+    }
+
+    /// The as-manufactured capacitance in farads.
+    pub fn actual_farads(&self) -> f64 {
+        self.actual_farads
+    }
+
+    /// The capacitance observed at `temp_c` degrees Celsius (C0G/NP0
+    /// dielectric, ±30 ppm/°C).
+    pub fn at_temperature(&self, temp_c: f64) -> f64 {
+        const TEMPCO_PER_C: f64 = 30e-6;
+        self.actual_farads * (1.0 + TEMPCO_PER_C * (temp_c - 25.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_resistor_stays_in_bin() {
+        let mut rng = SimRng::seed(1);
+        for _ in 0..1_000 {
+            let r = Resistor::sample(10_000.0, ToleranceClass::OnePercent, &mut rng);
+            assert!(r.actual_ohms() >= 9_900.0 && r.actual_ohms() <= 10_100.0);
+        }
+    }
+
+    #[test]
+    fn precision_class_is_tight() {
+        let mut rng = SimRng::seed(2);
+        for _ in 0..1_000 {
+            let r = Resistor::sample(10_000.0, ToleranceClass::PointOnePercent, &mut rng);
+            let rel = (r.actual_ohms() - 10_000.0).abs() / 10_000.0;
+            assert!(rel <= 0.001);
+        }
+    }
+
+    #[test]
+    fn ideal_parts_are_exact() {
+        let r = Resistor::ideal(4_700.0);
+        assert_eq!(r.actual_ohms(), 4_700.0);
+        let c = Capacitor::ideal(100e-9);
+        assert_eq!(c.actual_farads(), 100e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid resistance")]
+    fn negative_resistance_panics() {
+        Resistor::ideal(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid capacitance")]
+    fn zero_capacitance_panics() {
+        Capacitor::ideal(0.0);
+    }
+
+    #[test]
+    fn temperature_drift_is_small_and_signed() {
+        let r = Resistor::ideal(10_000.0);
+        let hot = r.at_temperature(85.0);
+        let cold = r.at_temperature(-40.0);
+        assert!(hot > 10_000.0 && hot < 10_030.1);
+        assert!(cold < 10_000.0 && cold > 9_967.0);
+        // At the reference temperature there is no drift.
+        assert_eq!(r.at_temperature(25.0), 10_000.0);
+    }
+
+    #[test]
+    fn pair_sums_series_resistance() {
+        let p = ResistorPair {
+            coarse: Resistor::ideal(10_000.0),
+            trim: Resistor::ideal(220.0),
+        };
+        assert_eq!(p.nominal_ohms(), 10_220.0);
+        assert_eq!(p.actual_ohms(), 10_220.0);
+        assert!(p.at_temperature(26.0) > 10_220.0);
+    }
+
+    #[test]
+    fn pair_relative_error_not_worse_than_parts() {
+        // Both parts at ±0.1 %: the series combination is also within ±0.1 %.
+        let mut rng = SimRng::seed(3);
+        for _ in 0..1_000 {
+            let p = ResistorPair {
+                coarse: Resistor::sample(10_000.0, ToleranceClass::PointOnePercent, &mut rng),
+                trim: Resistor::sample(500.0, ToleranceClass::PointOnePercent, &mut rng),
+            };
+            let rel = (p.actual_ohms() - p.nominal_ohms()).abs() / p.nominal_ohms();
+            assert!(rel <= 0.001, "pair err {rel}");
+        }
+    }
+
+    #[test]
+    fn tolerance_class_values() {
+        assert_eq!(ToleranceClass::TenPercent.relative(), 0.10);
+        assert_eq!(ToleranceClass::FivePercent.relative(), 0.05);
+        assert_eq!(ToleranceClass::OnePercent.relative(), 0.01);
+        assert_eq!(ToleranceClass::PointOnePercent.relative(), 0.001);
+        assert_eq!(ToleranceClass::Exact.relative(), 0.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! The pulse-length ↔ byte codec.
+//!
+//! §3 of the paper: "a unique sensor ID is defined by 4 time intervals
+//! (T1–T4), each of which is mapped to a single byte value". This module
+//! defines that mapping.
+//!
+//! Because every error source in `T = k·R·C` is *multiplicative* (a ±0.1 %
+//! resistor shifts T by ±0.1 % regardless of magnitude), byte values are
+//! spaced **geometrically**: `T(b) = T_min · r^b`. A linear spacing would
+//! need its step to exceed the absolute error at `T_max`, which forces the
+//! worst-case pulse to grow exponentially with the number of encoded values —
+//! exactly the effect the paper cites ("the required component values grow
+//! exponentially due to their inherent inaccuracy") and the reason it uses
+//! four short pulses instead of one long one. The [`LinearCodec`] is kept
+//! for the ablation benchmark that demonstrates this.
+
+use upnp_sim::SimDuration;
+
+use crate::calib;
+
+/// Why a pulse failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The pulse was shorter than the decode floor for byte 0.
+    TooShort,
+    /// The pulse was longer than the decode ceiling for byte 255.
+    TooLong,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::TooShort => write!(f, "pulse shorter than decode floor"),
+            DecodeError::TooLong => write!(f, "pulse longer than decode ceiling"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// The production geometric codec.
+///
+/// # Examples
+///
+/// ```
+/// use upnp_hw::PulseCodec;
+///
+/// let codec = PulseCodec::paper();
+/// let t = codec.encode(0xad);
+/// assert_eq!(codec.decode(t).unwrap(), 0xad);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PulseCodec {
+    t_min: SimDuration,
+    ratio: f64,
+}
+
+impl PulseCodec {
+    /// The codec with the paper-calibrated constants from [`calib`].
+    pub fn paper() -> Self {
+        PulseCodec {
+            t_min: calib::T_MIN,
+            ratio: calib::RATIO,
+        }
+    }
+
+    /// Creates a codec with explicit constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t_min` is positive and `ratio > 1`.
+    pub fn new(t_min: SimDuration, ratio: f64) -> Self {
+        assert!(!t_min.is_zero(), "t_min must be positive");
+        assert!(ratio.is_finite() && ratio > 1.0, "ratio must exceed 1");
+        PulseCodec { t_min, ratio }
+    }
+
+    /// The ideal pulse duration encoding `byte`.
+    pub fn encode(&self, byte: u8) -> SimDuration {
+        SimDuration::from_secs_f64(self.t_min.as_secs_f64() * self.ratio.powi(byte as i32))
+    }
+
+    /// Decodes a measured pulse duration back to a byte.
+    ///
+    /// Accepts anything within half a geometric step of an ideal duration;
+    /// beyond the ends of the code it reports [`DecodeError`].
+    pub fn decode(&self, pulse: SimDuration) -> Result<u8, DecodeError> {
+        if pulse.is_zero() {
+            return Err(DecodeError::TooShort);
+        }
+        let x = (pulse.as_secs_f64() / self.t_min.as_secs_f64()).ln() / self.ratio.ln();
+        if x < -0.5 {
+            Err(DecodeError::TooShort)
+        } else if x > 255.5 {
+            Err(DecodeError::TooLong)
+        } else {
+            Ok(x.round().clamp(0.0, 255.0) as u8)
+        }
+    }
+
+    /// The relative error the codec tolerates before a decode flips to the
+    /// neighbouring byte: half a step in log space.
+    pub fn guard_band(&self) -> f64 {
+        self.ratio.ln() / 2.0
+    }
+
+    /// The worst-case (byte 255) pulse duration.
+    pub fn t_max(&self) -> SimDuration {
+        self.encode(255)
+    }
+}
+
+/// A linearly spaced codec, kept exclusively for the "why geometric?"
+/// ablation (see `bench/ablations.rs`).
+///
+/// `T(b) = t_min + b·step`. Its decode guard band is `step/2` *absolute*,
+/// so the tolerable relative error at byte 255 shrinks to
+/// `step / (2·T_max)` — for any practical step this is far below component
+/// tolerance, which is why the real design cannot use it.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearCodec {
+    t_min: SimDuration,
+    step: SimDuration,
+}
+
+impl LinearCodec {
+    /// Creates a linear codec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_min` or `step` is zero.
+    pub fn new(t_min: SimDuration, step: SimDuration) -> Self {
+        assert!(!t_min.is_zero() && !step.is_zero());
+        LinearCodec { t_min, step }
+    }
+
+    /// A linear codec spanning the same duration range as the paper codec.
+    pub fn paper_span() -> Self {
+        let geo = PulseCodec::paper();
+        let span = geo.t_max() - calib::T_MIN;
+        LinearCodec {
+            t_min: calib::T_MIN,
+            step: span / 255,
+        }
+    }
+
+    /// The ideal pulse duration encoding `byte`.
+    pub fn encode(&self, byte: u8) -> SimDuration {
+        self.t_min + self.step * byte as u64
+    }
+
+    /// Decodes a measured pulse duration back to a byte.
+    pub fn decode(&self, pulse: SimDuration) -> Result<u8, DecodeError> {
+        let x = (pulse.as_secs_f64() - self.t_min.as_secs_f64()) / self.step.as_secs_f64();
+        if x < -0.5 {
+            Err(DecodeError::TooShort)
+        } else if x > 255.5 {
+            Err(DecodeError::TooLong)
+        } else {
+            Ok(x.round().clamp(0.0, 255.0) as u8)
+        }
+    }
+
+    /// Relative error tolerated at the *worst* (largest) code point.
+    pub fn guard_band_at_max(&self) -> f64 {
+        (self.step.as_secs_f64() / 2.0) / self.encode(255).as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_roundtrip_all_bytes() {
+        let codec = PulseCodec::paper();
+        for b in 0..=255u8 {
+            assert_eq!(codec.decode(codec.encode(b)).unwrap(), b, "byte {b}");
+        }
+    }
+
+    #[test]
+    fn geometric_roundtrip_under_error_within_guard_band() {
+        let codec = PulseCodec::paper();
+        // Error at 90 % of the guard band must still decode correctly.
+        let err = (codec.guard_band() * 0.9).exp();
+        for b in (0..=255u8).step_by(5) {
+            let t = codec.encode(b);
+            let fast = SimDuration::from_secs_f64(t.as_secs_f64() / err);
+            let slow = SimDuration::from_secs_f64(t.as_secs_f64() * err);
+            assert_eq!(codec.decode(fast).unwrap(), b, "fast byte {b}");
+            assert_eq!(codec.decode(slow).unwrap(), b, "slow byte {b}");
+        }
+    }
+
+    #[test]
+    fn error_past_guard_band_flips_to_neighbour() {
+        let codec = PulseCodec::paper();
+        let err = (codec.guard_band() * 1.2).exp();
+        let t = codec.encode(100);
+        let slow = SimDuration::from_secs_f64(t.as_secs_f64() * err);
+        assert_eq!(codec.decode(slow).unwrap(), 101);
+    }
+
+    #[test]
+    fn out_of_range_pulses_are_rejected() {
+        let codec = PulseCodec::paper();
+        assert_eq!(codec.decode(SimDuration::ZERO), Err(DecodeError::TooShort));
+        assert_eq!(
+            codec.decode(SimDuration::from_micros(1)),
+            Err(DecodeError::TooShort)
+        );
+        let way_long = SimDuration::from_secs(1);
+        assert_eq!(codec.decode(way_long), Err(DecodeError::TooLong));
+    }
+
+    #[test]
+    fn paper_codec_worst_pulse_is_short() {
+        // The whole point of 4×8-bit: worst-case pulse stays ~100 ms instead
+        // of growing exponentially.
+        let codec = PulseCodec::paper();
+        assert!(codec.t_max() < SimDuration::from_millis(120));
+    }
+
+    #[test]
+    fn linear_roundtrip_without_error() {
+        let codec = LinearCodec::paper_span();
+        for b in 0..=255u8 {
+            assert_eq!(codec.decode(codec.encode(b)).unwrap(), b, "byte {b}");
+        }
+        assert!(codec.decode(SimDuration::from_micros(1)).is_err());
+        assert!(codec.decode(SimDuration::from_secs(1)).is_err());
+    }
+
+    #[test]
+    fn linear_guard_band_is_hopeless_at_the_top() {
+        // Over the same duration span, the linear code tolerates less than
+        // half the relative error of the geometric code at the top point.
+        let lin = LinearCodec::paper_span();
+        let geo = PulseCodec::paper();
+        assert!(lin.guard_band_at_max() < geo.guard_band() / 2.0);
+    }
+
+    #[test]
+    fn linear_code_with_geometric_guard_band_is_infeasible() {
+        // The paper's exponential-blowup argument, made precise: a linear
+        // 256-level code whose guard band at the top matches the geometric
+        // codec would need `step = 2·g·T_max`, i.e.
+        // `T_max · (1 − 510·g) = T_min`. With g ≈ 0.38 % the coefficient is
+        // negative — no finite T_max exists at all.
+        let g = PulseCodec::paper().guard_band();
+        let coefficient = 1.0 - 2.0 * 255.0 * g;
+        assert!(
+            coefficient < 0.0,
+            "a finite linear span would exist (coefficient {coefficient})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must exceed 1")]
+    fn bad_ratio_panics() {
+        PulseCodec::new(SimDuration::from_millis(1), 0.99);
+    }
+}

@@ -1,0 +1,200 @@
+//! IEC 60063 preferred number series for resistors and capacitors.
+//!
+//! Real resistors only come in standard "E-series" values; the paper's
+//! online tool must therefore map a requested resistance onto purchasable
+//! parts. This module provides the E12/E24/E96 mantissa tables, decade
+//! expansion and nearest-value search used by [`crate::solver`].
+
+/// The E12 series (±10 % parts): 12 values per decade.
+pub const E12: [f64; 12] = [1.0, 1.2, 1.5, 1.8, 2.2, 2.7, 3.3, 3.9, 4.7, 5.6, 6.8, 8.2];
+
+/// The E24 series (±5 % parts): 24 values per decade.
+pub const E24: [f64; 24] = [
+    1.0, 1.1, 1.2, 1.3, 1.5, 1.6, 1.8, 2.0, 2.2, 2.4, 2.7, 3.0, 3.3, 3.6, 3.9, 4.3, 4.7, 5.1, 5.6,
+    6.2, 6.8, 7.5, 8.2, 9.1,
+];
+
+/// The E96 series (±1 % parts): 96 values per decade.
+pub const E96: [f64; 96] = [
+    1.00, 1.02, 1.05, 1.07, 1.10, 1.13, 1.15, 1.18, 1.21, 1.24, 1.27, 1.30, 1.33, 1.37, 1.40, 1.43,
+    1.47, 1.50, 1.54, 1.58, 1.62, 1.65, 1.69, 1.74, 1.78, 1.82, 1.87, 1.91, 1.96, 2.00, 2.05, 2.10,
+    2.15, 2.21, 2.26, 2.32, 2.37, 2.43, 2.49, 2.55, 2.61, 2.67, 2.74, 2.80, 2.87, 2.94, 3.01, 3.09,
+    3.16, 3.24, 3.32, 3.40, 3.48, 3.57, 3.65, 3.74, 3.83, 3.92, 4.02, 4.12, 4.22, 4.32, 4.42, 4.53,
+    4.64, 4.75, 4.87, 4.99, 5.11, 5.23, 5.36, 5.49, 5.62, 5.76, 5.90, 6.04, 6.19, 6.34, 6.49, 6.65,
+    6.81, 6.98, 7.15, 7.32, 7.50, 7.68, 7.87, 8.06, 8.25, 8.45, 8.66, 8.87, 9.09, 9.31, 9.53, 9.76,
+];
+
+/// A named E-series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Series {
+    /// 12 values per decade, ±10 % tolerance class.
+    E12,
+    /// 24 values per decade, ±5 % tolerance class.
+    E24,
+    /// 96 values per decade, ±1 % (or better) tolerance class.
+    E96,
+}
+
+impl Series {
+    /// Returns the mantissa table (values in `[1, 10)`).
+    pub fn mantissas(self) -> &'static [f64] {
+        match self {
+            Series::E12 => &E12,
+            Series::E24 => &E24,
+            Series::E96 => &E96,
+        }
+    }
+
+    /// Returns the nearest purchasable value to `target` (in ohms), searching
+    /// the decades covering `[10^min_decade, 10^max_decade)`.
+    ///
+    /// Returns `None` for non-positive or non-finite targets.
+    pub fn nearest(self, target: f64, min_decade: i32, max_decade: i32) -> Option<f64> {
+        if !target.is_finite() || target <= 0.0 {
+            return None;
+        }
+        let mut best: Option<f64> = None;
+        let mut best_err = f64::INFINITY;
+        for decade in min_decade..=max_decade {
+            let scale = 10f64.powi(decade);
+            for &m in self.mantissas() {
+                let v = m * scale;
+                let err = (v - target).abs();
+                if err < best_err {
+                    best_err = err;
+                    best = Some(v);
+                }
+            }
+        }
+        best
+    }
+
+    /// Returns the largest purchasable value that does not exceed `target`,
+    /// searching the same decade range as [`Series::nearest`].
+    pub fn floor(self, target: f64, min_decade: i32, max_decade: i32) -> Option<f64> {
+        if !target.is_finite() || target <= 0.0 {
+            return None;
+        }
+        let mut best: Option<f64> = None;
+        for decade in min_decade..=max_decade {
+            let scale = 10f64.powi(decade);
+            for &m in self.mantissas() {
+                let v = m * scale;
+                if v <= target && best.is_none_or(|b| v > b) {
+                    best = Some(v);
+                }
+            }
+        }
+        best
+    }
+
+    /// Iterates every purchasable value across the given decades, ascending.
+    pub fn values(self, min_decade: i32, max_decade: i32) -> Vec<f64> {
+        let mut out = Vec::new();
+        for decade in min_decade..=max_decade {
+            let scale = 10f64.powi(decade);
+            for &m in self.mantissas() {
+                out.push(m * scale);
+            }
+        }
+        out
+    }
+}
+
+/// Relative spacing between adjacent values of a series (worst case).
+///
+/// This is what limits how precisely a *single* resistor can hit an arbitrary
+/// target — the reason every µPnP resistor position is a series pair.
+pub fn worst_case_step(series: Series) -> f64 {
+    let m = series.mantissas();
+    let mut worst: f64 = 10.0 / m[m.len() - 1]; // wrap-around to next decade
+    for w in m.windows(2) {
+        worst = worst.max(w[1] / w[0]);
+    }
+    worst - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_sizes() {
+        assert_eq!(E12.len(), 12);
+        assert_eq!(E24.len(), 24);
+        assert_eq!(E96.len(), 96);
+    }
+
+    #[test]
+    fn tables_are_sorted_and_in_decade() {
+        for series in [Series::E12, Series::E24, Series::E96] {
+            let m = series.mantissas();
+            for w in m.windows(2) {
+                assert!(w[0] < w[1], "{series:?} not sorted at {w:?}");
+            }
+            assert!(m[0] >= 1.0 && m[m.len() - 1] < 10.0);
+        }
+    }
+
+    #[test]
+    fn nearest_finds_canonical_values() {
+        // 4.7 kΩ is an E12 classic.
+        let v = Series::E12.nearest(4_500.0, 0, 6).unwrap();
+        assert!((v - 4_700.0).abs() < 1e-9);
+        // E96 has 4.53 in its table.
+        let v = Series::E96.nearest(4_520.0, 0, 6).unwrap();
+        assert!((v - 4_530.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nearest_rejects_bad_targets() {
+        assert!(Series::E24.nearest(0.0, 0, 6).is_none());
+        assert!(Series::E24.nearest(-5.0, 0, 6).is_none());
+        assert!(Series::E24.nearest(f64::NAN, 0, 6).is_none());
+    }
+
+    #[test]
+    fn floor_never_exceeds_target() {
+        for target in [13.0, 99.0, 101.0, 4_699.0, 82_000.0] {
+            let v = Series::E24.floor(target, 0, 6).unwrap();
+            assert!(v <= target, "floor({target}) = {v}");
+        }
+        // floor of 9.0 ohm in decades starting at 1 ohm is 8.2 (E12).
+        let v = Series::E12.floor(9.0, 0, 6).unwrap();
+        assert!((v - 8.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn values_are_ascending_within_series() {
+        let vals = Series::E96.values(0, 3);
+        assert_eq!(vals.len(), 96 * 4);
+        for w in vals.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn worst_step_matches_series_granularity() {
+        // E96: nominal step is 10^(1/96) − 1 ≈ 2.43 %; table rounding keeps
+        // the worst observed gap close to that.
+        let e96 = worst_case_step(Series::E96);
+        assert!(e96 > 0.015 && e96 < 0.035, "E96 worst step {e96}");
+        // E12: the 1.2 → 1.5 gap is the worst at exactly 25 %.
+        let e12 = worst_case_step(Series::E12);
+        assert!(e12 > 0.15 && e12 <= 0.25 + 1e-12, "E12 worst step {e12}");
+    }
+
+    #[test]
+    fn nearest_relative_error_is_bounded_by_half_step() {
+        // Any target inside the searched decades is within half the worst
+        // step of a purchasable E96 value.
+        let half_step = worst_case_step(Series::E96) / 2.0 + 1e-6;
+        let mut t = 10.0;
+        while t < 1e6 {
+            let v = Series::E96.nearest(t, 0, 7).unwrap();
+            let rel = (v - t).abs() / t;
+            assert!(rel <= half_step, "target {t}: err {rel}");
+            t *= 1.37;
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! 32-bit µPnP device-type identifiers.
+//!
+//! Each peripheral type is assigned a 32-bit identifier in the open global
+//! µPnP address space (paper §3.3), encoded on the peripheral as four pulse
+//! lengths of one byte each (§3, Figure 3) and embedded verbatim in the
+//! peripheral's IPv6 multicast group address (§5.1, Figure 9).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A 32-bit device-type identifier in the global µPnP address space.
+///
+/// # Examples
+///
+/// ```
+/// use upnp_hw::DeviceTypeId;
+///
+/// let id = DeviceTypeId::new(0xed3f_0ac1);
+/// assert_eq!(id.bytes(), [0xed, 0x3f, 0x0a, 0xc1]);
+/// assert_eq!(DeviceTypeId::from_bytes([0xed, 0x3f, 0x0a, 0xc1]), id);
+/// assert_eq!(id.to_string(), "0xed3f0ac1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceTypeId(pub u32);
+
+impl DeviceTypeId {
+    /// The reserved all-peripherals wildcard (multicast schema, §5.1).
+    pub const ALL_PERIPHERALS: DeviceTypeId = DeviceTypeId(0x0000_0000);
+
+    /// The reserved all-clients identifier (multicast schema, §5.1).
+    pub const ALL_CLIENTS: DeviceTypeId = DeviceTypeId(0xffff_ffff);
+
+    /// Creates an identifier from its raw 32-bit value.
+    pub const fn new(raw: u32) -> Self {
+        DeviceTypeId(raw)
+    }
+
+    /// Returns the raw 32-bit value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the four pulse bytes, most significant first (T1..T4).
+    pub const fn bytes(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// Reassembles an identifier from its four pulse bytes (T1..T4).
+    pub const fn from_bytes(bytes: [u8; 4]) -> Self {
+        DeviceTypeId(u32::from_be_bytes(bytes))
+    }
+
+    /// True if this is one of the two reserved identifiers that must never
+    /// be assigned to a physical peripheral type.
+    pub const fn is_reserved(self) -> bool {
+        self.0 == Self::ALL_PERIPHERALS.0 || self.0 == Self::ALL_CLIENTS.0
+    }
+}
+
+impl fmt::Display for DeviceTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+impl From<u32> for DeviceTypeId {
+    fn from(raw: u32) -> Self {
+        DeviceTypeId(raw)
+    }
+}
+
+/// Error parsing a textual device identifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIdError(String);
+
+impl fmt::Display for ParseIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid device type id: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseIdError {}
+
+impl FromStr for DeviceTypeId {
+    type Err = ParseIdError;
+
+    /// Parses `0xAABBCCDD` or plain hex `AABBCCDD`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let hex = s
+            .strip_prefix("0x")
+            .or_else(|| s.strip_prefix("0X"))
+            .unwrap_or(s);
+        u32::from_str_radix(hex, 16)
+            .map(DeviceTypeId)
+            .map_err(|_| ParseIdError(s.to_string()))
+    }
+}
+
+/// The device-type identifiers used by the paper's four prototype
+/// peripherals (§6). The values are chosen so that the full identification
+/// scan of each lands inside the paper's reported 220–300 ms window; two of
+/// them appear verbatim in the paper's figures.
+pub mod prototypes {
+    use super::DeviceTypeId;
+
+    /// TMP36 analog temperature sensor (ADC) — the ID shown in Figure 8.
+    pub const TMP36: DeviceTypeId = DeviceTypeId(0xad1c_be01);
+
+    /// HIH-4030 analog humidity sensor (ADC).
+    pub const HIH4030: DeviceTypeId = DeviceTypeId(0xbe03_af0e);
+
+    /// ID-20LA RFID card reader (UART) — the ID shown in Figure 10.
+    pub const ID20LA: DeviceTypeId = DeviceTypeId(0xed3f_0ac1);
+
+    /// BMP180 barometric pressure sensor (I²C) — the ID shown in Figure 11.
+    pub const BMP180: DeviceTypeId = DeviceTypeId(0xed3f_bda1);
+
+    /// All four prototype identifiers.
+    pub const ALL: [DeviceTypeId; 4] = [TMP36, HIH4030, ID20LA, BMP180];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_roundtrip() {
+        for raw in [0u32, 1, 0xdead_beef, u32::MAX, 0x0102_0304] {
+            let id = DeviceTypeId::new(raw);
+            assert_eq!(DeviceTypeId::from_bytes(id.bytes()), id);
+        }
+    }
+
+    #[test]
+    fn bytes_are_big_endian() {
+        assert_eq!(DeviceTypeId::new(0x0102_0304).bytes(), [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reserved_ids() {
+        assert!(DeviceTypeId::ALL_PERIPHERALS.is_reserved());
+        assert!(DeviceTypeId::ALL_CLIENTS.is_reserved());
+        assert!(!DeviceTypeId::new(0xed3f_0ac1).is_reserved());
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let id = DeviceTypeId::new(0xed3f_0ac1);
+        let s = id.to_string();
+        assert_eq!(s, "0xed3f0ac1");
+        assert_eq!(s.parse::<DeviceTypeId>().unwrap(), id);
+        assert_eq!("ED3F0AC1".parse::<DeviceTypeId>().unwrap(), id);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<DeviceTypeId>().is_err());
+        assert!("0xzz".parse::<DeviceTypeId>().is_err());
+        assert!("0x123456789".parse::<DeviceTypeId>().is_err());
+    }
+
+    #[test]
+    fn prototype_ids_are_distinct_and_unreserved() {
+        let ids = prototypes::ALL;
+        for (i, a) in ids.iter().enumerate() {
+            assert!(!a.is_reserved());
+            for b in &ids[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

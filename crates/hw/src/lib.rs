@@ -1,0 +1,48 @@
+//! µPnP hardware identification (paper §3).
+//!
+//! µPnP identifies a peripheral from its *passive electrical components*:
+//! the peripheral carries four resistor positions (each a series pair, pads
+//! `RnA`/`RnB` in the paper's Figure 4); the control board carries four
+//! monostable multivibrators with fixed capacitors. Plugging a peripheral in
+//! produces four chained timed pulses (`T = k·R·C`, Figures 2 and 3) whose
+//! durations decode to four bytes — a 32-bit device-type identifier in the
+//! open global µPnP address space.
+//!
+//! This crate is a behavioural simulation of that circuit, faithful to the
+//! failure modes that drove the paper's design:
+//!
+//! * component tolerances ([`components`], [`eseries`]) make a single long
+//!   pulse unable to encode 32 bits — the reason for the 4×8-bit split;
+//! * the byte↔duration mapping must be *geometric* ([`encoding`]) because
+//!   timing error is multiplicative;
+//! * one shared multivibrator bank is time-multiplexed across channels
+//!   ([`channels`], Figure 5) to keep board cost down;
+//! * the board is power-gated behind a connect/disconnect interrupt
+//!   ([`board`], §3.2) so its 7 mA draw is only paid during identification.
+//!
+//! The [`solver`] module is the reproduction of the paper's online tool that
+//! turns an allocated identifier into the resistor set to solder onto a
+//! peripheral.
+
+pub mod board;
+pub mod calib;
+pub mod channels;
+pub mod components;
+pub mod encoding;
+pub mod eseries;
+pub mod id;
+pub mod multivibrator;
+pub mod peripheral;
+pub mod solver;
+pub mod vendor;
+
+pub use board::{ControlBoard, ScanOutcome, ScanPolicy};
+pub use calib::BoardCalibration;
+pub use channels::{ChannelId, ChannelState};
+pub use components::{Capacitor, Resistor, ResistorPair, ToleranceClass};
+pub use encoding::{DecodeError, PulseCodec};
+pub use id::DeviceTypeId;
+pub use multivibrator::Monostable;
+pub use peripheral::{Interconnect, PeripheralBoard};
+pub use solver::{solve_resistors, SolveError, SolvedChannel};
+pub use vendor::{DeviceClass, StructuredId, VendorId};

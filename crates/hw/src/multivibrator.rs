@@ -1,0 +1,141 @@
+//! Monostable multivibrator model (paper Figure 2).
+//!
+//! A monostable fires one pulse per trigger; the pulse width is
+//! `T = k·R·C` where R lives on the peripheral and k·C on the control
+//! board. Four monostables are chained so each falling edge triggers the
+//! next stage (Figure 3), producing the four ID intervals T1–T4.
+
+use upnp_sim::{SimDuration, SimRng};
+
+use crate::calib;
+use crate::components::Capacitor;
+
+/// One monostable stage on the control board.
+#[derive(Debug, Clone)]
+pub struct Monostable {
+    /// The monostable constant of this part (nominally
+    /// [`calib::MONOSTABLE_K`], with a small per-part spread).
+    k: f64,
+    /// The board's fixed timing capacitor for this stage.
+    cap: Capacitor,
+    /// Trigger-to-output propagation delay.
+    propagation: SimDuration,
+}
+
+impl Monostable {
+    /// Creates a stage with part-to-part spread sampled from `rng`.
+    pub fn sample(cap: Capacitor, rng: &mut SimRng) -> Self {
+        Monostable {
+            k: calib::MONOSTABLE_K * (1.0 + rng.tolerance(calib::K_TOLERANCE)),
+            cap,
+            propagation: SimDuration::from_nanos(200),
+        }
+    }
+
+    /// Creates an ideal stage (exact k, used in unit tests).
+    pub fn ideal(cap: Capacitor) -> Self {
+        Monostable {
+            k: calib::MONOSTABLE_K,
+            cap,
+            propagation: SimDuration::from_nanos(200),
+        }
+    }
+
+    /// The true `k·C` product of this stage at `temp_c` (seconds per ohm).
+    ///
+    /// This is the quantity a factory calibration measures (up to the
+    /// calibration residual).
+    pub fn kc(&self, temp_c: f64) -> f64 {
+        self.k * self.cap.at_temperature(temp_c)
+    }
+
+    /// The pulse width produced when triggered with `r_ohms` of external
+    /// resistance at `temp_c` degrees Celsius.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive resistance: an open circuit does not
+    /// trigger a pulse and must be handled by the caller as "channel empty".
+    pub fn pulse_width(&self, r_ohms: f64, temp_c: f64) -> SimDuration {
+        assert!(
+            r_ohms.is_finite() && r_ohms > 0.0,
+            "invalid timing resistance: {r_ohms}"
+        );
+        SimDuration::from_secs_f64(self.kc(temp_c) * r_ohms)
+    }
+
+    /// Trigger-to-output propagation delay of the stage.
+    pub fn propagation(&self) -> SimDuration {
+        self.propagation
+    }
+}
+
+/// Quantises a true pulse width to the board's timer resolution
+/// ([`calib::TIMER_TICK`]).
+pub fn measure(pulse: SimDuration) -> SimDuration {
+    let tick = calib::TIMER_TICK.as_nanos();
+    SimDuration::from_nanos(pulse.as_nanos() / tick * tick)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upnp_sim::SimRng;
+
+    #[test]
+    fn pulse_width_follows_krc() {
+        let m = Monostable::ideal(Capacitor::ideal(100e-9));
+        // 1.1 × 100 kΩ × 100 nF = 11 ms.
+        let t = m.pulse_width(100_000.0, 25.0);
+        assert!((t.as_millis_f64() - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pulse_scales_linearly_with_r() {
+        let m = Monostable::ideal(Capacitor::ideal(100e-9));
+        let t1 = m.pulse_width(100_000.0, 25.0);
+        let t2 = m.pulse_width(200_000.0, 25.0);
+        assert_eq!(t2.as_nanos(), 2 * t1.as_nanos());
+    }
+
+    #[test]
+    fn sampled_k_spread_is_bounded() {
+        let mut rng = SimRng::seed(11);
+        for _ in 0..500 {
+            let m = Monostable::sample(Capacitor::ideal(100e-9), &mut rng);
+            let rel = (m.kc(25.0) / (calib::MONOSTABLE_K * 100e-9) - 1.0).abs();
+            assert!(rel <= calib::K_TOLERANCE + 1e-12);
+        }
+    }
+
+    #[test]
+    fn temperature_shifts_pulse_width() {
+        let m = Monostable::ideal(Capacitor::ideal(100e-9));
+        let warm = m.pulse_width(100_000.0, 60.0);
+        let cool = m.pulse_width(100_000.0, 0.0);
+        assert!(warm > cool);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid timing resistance")]
+    fn open_circuit_panics() {
+        let m = Monostable::ideal(Capacitor::ideal(100e-9));
+        m.pulse_width(0.0, 25.0);
+    }
+
+    #[test]
+    fn measurement_quantises_to_timer_tick() {
+        let t = SimDuration::from_nanos(1_234_777);
+        let q = measure(t);
+        assert_eq!(q.as_nanos(), 1_234_500);
+        assert_eq!(measure(q), q);
+    }
+
+    #[test]
+    fn quantisation_error_is_below_guard_band() {
+        // Half a tick on the shortest pulse is far below the codec guard
+        // band, so measurement never dominates the error budget.
+        let rel = calib::TIMER_TICK.as_secs_f64() / calib::T_MIN.as_secs_f64();
+        assert!(rel < crate::encoding::PulseCodec::paper().guard_band() / 10.0);
+    }
+}

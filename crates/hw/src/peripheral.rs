@@ -1,0 +1,174 @@
+//! Peripheral-side hardware: the four ID resistor pairs and the
+//! interconnect type (paper §3.1, Figure 4 and Table 1).
+
+use upnp_sim::SimRng;
+
+use crate::components::{ResistorPair, ToleranceClass};
+use crate::id::DeviceTypeId;
+use crate::solver::{self, SolveError};
+
+/// The communication bus a peripheral uses once identified (Table 1).
+///
+/// After identification the control board switches the connector's
+/// communication pins (10–12) to the matching bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Interconnect {
+    /// Analog output sampled by the MCU's ADC (pin 10 = analog signal).
+    Adc,
+    /// I²C (pin 10 = SDA, pin 11 = SCL).
+    I2c,
+    /// SPI (pin 10 = MOSI, pin 11 = MISO, pin 12 = SCK).
+    Spi,
+    /// UART (pin 10 = TX, pin 11 = RX).
+    Uart,
+}
+
+impl Interconnect {
+    /// The connector pin assignment of this bus, as `(pin10, pin11, pin12)`
+    /// (Table 1; `None` = not connected).
+    pub fn pinout(self) -> (&'static str, Option<&'static str>, Option<&'static str>) {
+        match self {
+            Interconnect::Adc => ("Analog Signal", None, None),
+            Interconnect::I2c => ("SDA", Some("SCL"), None),
+            Interconnect::Spi => ("MOSI", Some("MISO"), Some("SCK")),
+            Interconnect::Uart => ("TX", Some("RX"), None),
+        }
+    }
+}
+
+impl std::fmt::Display for Interconnect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Interconnect::Adc => "ADC",
+            Interconnect::I2c => "I2C",
+            Interconnect::Spi => "SPI",
+            Interconnect::Uart => "UART",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A manufactured µPnP peripheral board.
+///
+/// Carries the four series resistor pairs that encode the device-type ID
+/// (Figure 4: pads `R1A/R1B` … `R4A/R4B`) plus the interconnect over which
+/// the actual sensor/actuator talks. Total ID hardware cost: 8 resistors,
+/// "less than 1¢" (§6).
+#[derive(Debug, Clone)]
+pub struct PeripheralBoard {
+    /// The device-type identifier this board was built to encode.
+    pub device_id: DeviceTypeId,
+    /// The four resistor pairs (T1..T4 stages).
+    pub resistors: [ResistorPair; 4],
+    /// The communication bus of the embedded sensor/actuator.
+    pub interconnect: Interconnect,
+}
+
+impl PeripheralBoard {
+    /// Manufactures a board for `device_id`: solves the resistor set (the
+    /// paper's online tool) and samples as-manufactured part values with
+    /// `tolerance`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError`] if the identifier is reserved or a resistor
+    /// position cannot be hit with purchasable parts.
+    pub fn manufacture(
+        device_id: DeviceTypeId,
+        interconnect: Interconnect,
+        tolerance: ToleranceClass,
+        rng: &mut SimRng,
+    ) -> Result<Self, SolveError> {
+        let solved = solver::solve_resistors(device_id)?;
+        let resistors = std::array::from_fn(|i| solved.stages[i].sample_pair(tolerance, rng));
+        Ok(PeripheralBoard {
+            device_id,
+            resistors,
+            interconnect,
+        })
+    }
+
+    /// Manufactures a board with ideal (exact-value) resistors.
+    pub fn manufacture_ideal(
+        device_id: DeviceTypeId,
+        interconnect: Interconnect,
+    ) -> Result<Self, SolveError> {
+        let solved = solver::solve_resistors(device_id)?;
+        let resistors = std::array::from_fn(|i| solved.stages[i].ideal_pair());
+        Ok(PeripheralBoard {
+            device_id,
+            resistors,
+            interconnect,
+        })
+    }
+
+    /// The timing resistance presented to multivibrator stage `stage`
+    /// (0..4) at `temp_c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage >= 4`.
+    pub fn stage_resistance(&self, stage: usize, temp_c: f64) -> f64 {
+        self.resistors[stage].at_temperature(temp_c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::prototypes;
+
+    #[test]
+    fn pinouts_match_table_1() {
+        assert_eq!(Interconnect::Adc.pinout(), ("Analog Signal", None, None));
+        assert_eq!(Interconnect::I2c.pinout(), ("SDA", Some("SCL"), None));
+        assert_eq!(
+            Interconnect::Spi.pinout(),
+            ("MOSI", Some("MISO"), Some("SCK"))
+        );
+        assert_eq!(Interconnect::Uart.pinout(), ("TX", Some("RX"), None));
+    }
+
+    #[test]
+    fn manufacture_produces_four_pairs() {
+        let mut rng = SimRng::seed(21);
+        let b = PeripheralBoard::manufacture(
+            prototypes::TMP36,
+            Interconnect::Adc,
+            ToleranceClass::PointOnePercent,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(b.device_id, prototypes::TMP36);
+        for stage in 0..4 {
+            assert!(b.stage_resistance(stage, 25.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn reserved_ids_cannot_be_manufactured() {
+        let mut rng = SimRng::seed(22);
+        let err = PeripheralBoard::manufacture(
+            DeviceTypeId::ALL_CLIENTS,
+            Interconnect::Adc,
+            ToleranceClass::Exact,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert_eq!(err, SolveError::ReservedId);
+    }
+
+    #[test]
+    fn ideal_board_resistance_matches_nominal() {
+        let b = PeripheralBoard::manufacture_ideal(prototypes::BMP180, Interconnect::I2c).unwrap();
+        for (i, pair) in b.resistors.iter().enumerate() {
+            assert_eq!(pair.actual_ohms(), pair.nominal_ohms(), "stage {i}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Interconnect::Adc.to_string(), "ADC");
+        assert_eq!(Interconnect::Uart.to_string(), "UART");
+    }
+}

@@ -1,0 +1,274 @@
+//! The resistor-set solver — the paper's "simple online tool" (§3.3) that
+//! "generates the resistor set that is required to encode the assigned
+//! device identifier".
+//!
+//! For each of the four ID bytes the solver computes the target resistance
+//! `R = T(byte) / (k·C)` and realises it as a *series pair* of purchasable
+//! E-series parts (Figure 4 pads `RnA`/`RnB`): a coarse E24 element plus an
+//! E96 trim element. A single E-series part cannot do the job — adjacent
+//! E96 values are ≈2.4 % apart while the codec guard band is ±0.38 % — so
+//! pair placement is what makes the geometric code realisable at all.
+
+use upnp_sim::SimRng;
+
+use crate::calib::BoardCalibration;
+use crate::components::{Resistor, ResistorPair, ToleranceClass};
+use crate::encoding::PulseCodec;
+use crate::eseries::Series;
+use crate::id::DeviceTypeId;
+
+/// Maximum relative placement error the solver accepts between the pair's
+/// nominal resistance and the target. Placement consumes part of the codec
+/// guard band, so it must stay well below it.
+pub const MAX_PLACEMENT_ERROR: f64 = 0.0005;
+
+/// Solver failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// The identifier is one of the two reserved values (§5.1) and must not
+    /// be encoded on hardware.
+    ReservedId,
+    /// No purchasable pair landed within [`MAX_PLACEMENT_ERROR`] of the
+    /// target for the given stage.
+    NoPair {
+        /// The T1..T4 stage (0-based) that could not be realised.
+        stage: u8,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::ReservedId => write!(f, "identifier is reserved"),
+            SolveError::NoPair { stage } => {
+                write!(f, "no purchasable resistor pair for stage {stage}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// The solved parts for one multivibrator stage.
+#[derive(Debug, Clone, Copy)]
+pub struct SolvedStage {
+    /// The byte this stage encodes.
+    pub byte: u8,
+    /// Target resistance in ohms.
+    pub target_ohms: f64,
+    /// Nominal value of the coarse (pad A) element.
+    pub coarse_ohms: f64,
+    /// Nominal value of the trim (pad B) element.
+    pub trim_ohms: f64,
+    /// Relative placement error of `coarse + trim` versus the target.
+    pub placement_error: f64,
+}
+
+impl SolvedStage {
+    /// Samples an as-manufactured pair at the given tolerance class.
+    pub fn sample_pair(&self, tolerance: ToleranceClass, rng: &mut SimRng) -> ResistorPair {
+        ResistorPair {
+            coarse: Resistor::sample(self.coarse_ohms, tolerance, rng),
+            trim: Resistor::sample(self.trim_ohms, tolerance, rng),
+        }
+    }
+
+    /// An ideal pair with exact nominal values.
+    pub fn ideal_pair(&self) -> ResistorPair {
+        ResistorPair {
+            coarse: Resistor::ideal(self.coarse_ohms),
+            trim: Resistor::ideal(self.trim_ohms),
+        }
+    }
+}
+
+/// A fully solved identifier: four stages ready for the bill of materials.
+#[derive(Debug, Clone)]
+pub struct SolvedChannel {
+    /// The identifier these parts encode.
+    pub device_id: DeviceTypeId,
+    /// Per-stage part selection (T1..T4).
+    pub stages: [SolvedStage; 4],
+}
+
+impl SolvedChannel {
+    /// Renders the bill of materials as the online tool would print it.
+    pub fn bill_of_materials(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "µPnP resistor set for {}", self.device_id);
+        for (i, s) in self.stages.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  R{}A = {:>9.0} Ω   R{}B = {:>8.1} Ω   (byte {:#04x}, err {:+.4}%)",
+                i + 1,
+                s.coarse_ohms,
+                i + 1,
+                s.trim_ohms,
+                s.byte,
+                s.placement_error * 100.0
+            );
+        }
+        out
+    }
+}
+
+/// Solves the four resistor pairs encoding `device_id`.
+///
+/// # Errors
+///
+/// Returns [`SolveError::ReservedId`] for the two reserved identifiers and
+/// [`SolveError::NoPair`] if a stage cannot be realised within
+/// [`MAX_PLACEMENT_ERROR`] (does not happen for the paper codec; guarded by
+/// an exhaustive test).
+pub fn solve_resistors(device_id: DeviceTypeId) -> Result<SolvedChannel, SolveError> {
+    if device_id.is_reserved() {
+        return Err(SolveError::ReservedId);
+    }
+    let codec = PulseCodec::paper();
+    let kc = BoardCalibration::kc_nominal();
+    let bytes = device_id.bytes();
+    let mut stages = [None; 4];
+    for (i, &byte) in bytes.iter().enumerate() {
+        let target = codec.encode(byte).as_secs_f64() / kc;
+        let stage = solve_stage(i as u8, byte, target)?;
+        stages[i] = Some(stage);
+    }
+    Ok(SolvedChannel {
+        device_id,
+        stages: stages.map(|s| s.expect("all stages solved")),
+    })
+}
+
+/// Solves one stage: search coarse E96 candidates below the target and trim
+/// each with the nearest E96 value; keep the best pair.
+///
+/// The coarse grid must be E96 rather than E24: the best pair error scales
+/// with the coarse grid density, and an E24 coarse grid leaves some byte
+/// values with no pair under [`MAX_PLACEMENT_ERROR`].
+fn solve_stage(stage: u8, byte: u8, target_ohms: f64) -> Result<SolvedStage, SolveError> {
+    let mut best: Option<SolvedStage> = None;
+
+    // Candidate coarse values: every E96 value in [0.5, 0.9995]·target.
+    for coarse in Series::E96.values(3, 6) {
+        if coarse < 0.5 * target_ohms || coarse > 0.9995 * target_ohms {
+            continue;
+        }
+        let remainder = target_ohms - coarse;
+        let Some(trim) = Series::E96.nearest(remainder, 0, 6) else {
+            continue;
+        };
+        let nominal = coarse + trim;
+        let err = (nominal - target_ohms) / target_ohms;
+        if err.abs() <= MAX_PLACEMENT_ERROR
+            && best.is_none_or(|b| err.abs() < b.placement_error.abs())
+        {
+            best = Some(SolvedStage {
+                byte,
+                target_ohms,
+                coarse_ohms: coarse,
+                trim_ohms: trim,
+                placement_error: err,
+            });
+        }
+    }
+    best.ok_or(SolveError::NoPair { stage })
+}
+
+/// Verifies that a solved channel decodes back to its identifier under
+/// ideal components — a self-check the online tool runs before emitting a
+/// bill of materials.
+pub fn verify_solution(solved: &SolvedChannel) -> bool {
+    let codec = PulseCodec::paper();
+    let kc = BoardCalibration::kc_nominal();
+    let mut bytes = [0u8; 4];
+    for (i, s) in solved.stages.iter().enumerate() {
+        let t = upnp_sim::SimDuration::from_secs_f64((s.coarse_ohms + s.trim_ohms) * kc);
+        match codec.decode(t) {
+            Ok(b) => bytes[i] = b,
+            Err(_) => return false,
+        }
+    }
+    DeviceTypeId::from_bytes(bytes) == solved.device_id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::prototypes;
+
+    #[test]
+    fn prototype_ids_solve_and_verify() {
+        for id in prototypes::ALL {
+            let solved = solve_resistors(id).unwrap();
+            assert!(verify_solution(&solved), "{id} failed verification");
+            for s in &solved.stages {
+                assert!(s.placement_error.abs() <= MAX_PLACEMENT_ERROR);
+            }
+        }
+    }
+
+    #[test]
+    fn every_byte_value_is_realisable() {
+        // Exhaustive over the byte space: each code point must be reachable
+        // with purchasable parts. This is the guarantee behind
+        // `SolveError::NoPair` "does not happen".
+        let codec = PulseCodec::paper();
+        let kc = BoardCalibration::kc_nominal();
+        for byte in 0..=255u8 {
+            let target = codec.encode(byte).as_secs_f64() / kc;
+            let s = solve_stage(0, byte, target)
+                .unwrap_or_else(|_| panic!("byte {byte} unrealisable (target {target:.0} Ω)"));
+            assert!(s.placement_error.abs() <= MAX_PLACEMENT_ERROR);
+        }
+    }
+
+    #[test]
+    fn reserved_ids_are_refused() {
+        assert_eq!(
+            solve_resistors(DeviceTypeId::ALL_PERIPHERALS).unwrap_err(),
+            SolveError::ReservedId
+        );
+        assert_eq!(
+            solve_resistors(DeviceTypeId::ALL_CLIENTS).unwrap_err(),
+            SolveError::ReservedId
+        );
+    }
+
+    #[test]
+    fn resistances_are_in_a_practical_range() {
+        // All stage resistances should be hundreds of kΩ: large enough for
+        // cheap precision parts, small enough to ignore parasitics.
+        let solved = solve_resistors(DeviceTypeId::new(0x00ff_7f80)).unwrap();
+        for s in &solved.stages {
+            assert!(
+                s.target_ohms > 50_000.0 && s.target_ohms < 2_000_000.0,
+                "stage target {} Ω",
+                s.target_ohms
+            );
+        }
+    }
+
+    #[test]
+    fn bill_of_materials_mentions_all_pads() {
+        let solved = solve_resistors(prototypes::ID20LA).unwrap();
+        let bom = solved.bill_of_materials();
+        for pad in ["R1A", "R1B", "R2A", "R2B", "R3A", "R3B", "R4A", "R4B"] {
+            assert!(bom.contains(pad), "missing {pad} in:\n{bom}");
+        }
+        assert!(bom.contains("0xed3f0ac1"));
+    }
+
+    #[test]
+    fn random_ids_solve() {
+        let mut rng = upnp_sim::SimRng::seed(77);
+        for _ in 0..200 {
+            let id = DeviceTypeId::new(rng.next_u32());
+            if id.is_reserved() {
+                continue;
+            }
+            let solved = solve_resistors(id).expect("random id must solve");
+            assert!(verify_solution(&solved));
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Structured identifiers: vendor/product namespace (paper §9).
+//!
+//! "Our approach will ... be inspired by the ID structure of PCI and USB,
+//! which includes a vendor ID and device ID. However we hope to go
+//! further, for example by embedding hierarchical device typing."
+//!
+//! The 32-bit µPnP identifier splits into a 16-bit vendor id and a 16-bit
+//! product id whose top four bits carry the device class:
+//!
+//! ```text
+//! | vendor (16) | class (4) | product (12) |
+//! ```
+//!
+//! The flat [`DeviceTypeId`] stays the wire/hardware format — structured
+//! ids are a pure naming convention over it, so every existing mechanism
+//! (resistor solver, multicast schema) works unchanged.
+
+use crate::id::DeviceTypeId;
+
+/// A 16-bit vendor identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VendorId(pub u16);
+
+/// Hierarchical device class (the top nibble of the product field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceClass {
+    /// Environmental or physical sensors.
+    Sensor,
+    /// Actuators (relays, motors, displays).
+    Actuator,
+    /// Communication peripherals (secondary radios).
+    Radio,
+    /// Identification devices (RFID, NFC readers).
+    Identification,
+    /// Composite devices exposing several functions.
+    Composite,
+    /// Anything else.
+    Other(u8),
+}
+
+impl DeviceClass {
+    /// The class nibble.
+    pub fn nibble(self) -> u8 {
+        match self {
+            DeviceClass::Sensor => 0x1,
+            DeviceClass::Actuator => 0x2,
+            DeviceClass::Radio => 0x3,
+            DeviceClass::Identification => 0x4,
+            DeviceClass::Composite => 0x5,
+            DeviceClass::Other(n) => n & 0x0f,
+        }
+    }
+
+    /// Inverse of [`DeviceClass::nibble`].
+    pub fn from_nibble(n: u8) -> DeviceClass {
+        match n & 0x0f {
+            0x1 => DeviceClass::Sensor,
+            0x2 => DeviceClass::Actuator,
+            0x3 => DeviceClass::Radio,
+            0x4 => DeviceClass::Identification,
+            0x5 => DeviceClass::Composite,
+            other => DeviceClass::Other(other),
+        }
+    }
+}
+
+/// A structured µPnP identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StructuredId {
+    /// Who makes the peripheral.
+    pub vendor: VendorId,
+    /// What kind of peripheral it is.
+    pub class: DeviceClass,
+    /// The vendor-scoped product number (12 bits).
+    pub product: u16,
+}
+
+impl StructuredId {
+    /// Builds a structured id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `product` exceeds 12 bits.
+    pub fn new(vendor: VendorId, class: DeviceClass, product: u16) -> StructuredId {
+        assert!(product < 0x1000, "product id must fit 12 bits");
+        StructuredId {
+            vendor,
+            class,
+            product,
+        }
+    }
+
+    /// Flattens to the wire/hardware identifier.
+    pub fn device_id(self) -> DeviceTypeId {
+        let low = ((self.class.nibble() as u32) << 12) | self.product as u32;
+        DeviceTypeId::new(((self.vendor.0 as u32) << 16) | low)
+    }
+
+    /// Parses a flat identifier into its structured parts.
+    pub fn from_device_id(id: DeviceTypeId) -> StructuredId {
+        let raw = id.raw();
+        StructuredId {
+            vendor: VendorId((raw >> 16) as u16),
+            class: DeviceClass::from_nibble(((raw >> 12) & 0x0f) as u8),
+            product: (raw & 0x0fff) as u16,
+        }
+    }
+
+    /// The multicast-style wildcard matching every product of a vendor:
+    /// useful for vendor-scoped discovery sweeps.
+    pub fn vendor_range(vendor: VendorId) -> (DeviceTypeId, DeviceTypeId) {
+        (
+            DeviceTypeId::new((vendor.0 as u32) << 16),
+            DeviceTypeId::new(((vendor.0 as u32) << 16) | 0xffff),
+        )
+    }
+}
+
+impl std::fmt::Display for StructuredId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:04x}:{:?}:{:03x}",
+            self.vendor.0, self.class, self.product
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_fields() {
+        let s = StructuredId::new(VendorId(0xed3f), DeviceClass::Sensor, 0xac1);
+        let id = s.device_id();
+        let back = StructuredId::from_device_id(id);
+        assert_eq!(back.vendor, VendorId(0xed3f));
+        assert_eq!(back.class, DeviceClass::Sensor);
+        assert_eq!(back.product, 0xac1);
+    }
+
+    #[test]
+    fn class_nibbles_roundtrip() {
+        for n in 0..16u8 {
+            assert_eq!(DeviceClass::from_nibble(n).nibble(), n);
+        }
+    }
+
+    #[test]
+    fn structured_ids_remain_solvable() {
+        // The whole point: the resistor solver and codec work unchanged.
+        let s = StructuredId::new(VendorId(0x00aa), DeviceClass::Actuator, 0x123);
+        let solved = crate::solver::solve_resistors(s.device_id()).unwrap();
+        assert!(crate::solver::verify_solution(&solved));
+    }
+
+    #[test]
+    fn vendor_range_brackets_products() {
+        let (lo, hi) = StructuredId::vendor_range(VendorId(0x1234));
+        let s = StructuredId::new(VendorId(0x1234), DeviceClass::Composite, 0x7ff);
+        assert!(lo <= s.device_id() && s.device_id() <= hi);
+        let other = StructuredId::new(VendorId(0x1235), DeviceClass::Sensor, 0);
+        assert!(other.device_id() > hi);
+    }
+
+    #[test]
+    #[should_panic(expected = "12 bits")]
+    fn oversized_product_panics() {
+        StructuredId::new(VendorId(1), DeviceClass::Sensor, 0x1000);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = StructuredId::new(VendorId(0xbeef), DeviceClass::Radio, 0x042);
+        assert_eq!(s.to_string(), "beef:Radio:042");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the identification pipeline: codec, solver and the
+//! full board path.
+
+use proptest::prelude::*;
+use upnp_hw::board::{ChannelResult, ControlBoard};
+use upnp_hw::channels::ChannelId;
+use upnp_hw::encoding::PulseCodec;
+use upnp_hw::eseries::Series;
+use upnp_hw::id::DeviceTypeId;
+use upnp_hw::peripheral::{Interconnect, PeripheralBoard};
+use upnp_hw::solver;
+use upnp_sim::{SimDuration, SimTime};
+
+proptest! {
+    /// Any byte survives encode→perturb→decode while the perturbation
+    /// stays within 90 % of the guard band.
+    #[test]
+    fn codec_tolerates_in_band_error(byte: u8, err_frac in -0.9f64..0.9) {
+        let codec = PulseCodec::paper();
+        let t = codec.encode(byte);
+        let factor = (codec.guard_band() * err_frac).exp();
+        let perturbed = SimDuration::from_secs_f64(t.as_secs_f64() * factor);
+        prop_assert_eq!(codec.decode(perturbed).unwrap(), byte);
+    }
+
+    /// Decode is monotone: longer pulses never decode to smaller bytes.
+    #[test]
+    fn codec_decode_is_monotone(a in 1u64..200_000_000, b in 1u64..200_000_000) {
+        let codec = PulseCodec::paper();
+        let (lo, hi) = (a.min(b), a.max(b));
+        let d_lo = codec.decode(SimDuration::from_nanos(lo));
+        let d_hi = codec.decode(SimDuration::from_nanos(hi));
+        if let (Ok(x), Ok(y)) = (d_lo, d_hi) {
+            prop_assert!(x <= y, "lo {lo} -> {x}, hi {hi} -> {y}");
+        }
+    }
+
+    /// Every non-reserved identifier has a purchasable resistor set that
+    /// verifies.
+    #[test]
+    fn solver_realises_arbitrary_ids(raw: u32) {
+        let id = DeviceTypeId::new(raw);
+        if id.is_reserved() {
+            return Ok(());
+        }
+        let solved = solver::solve_resistors(id).unwrap();
+        prop_assert!(solver::verify_solution(&solved));
+        for s in &solved.stages {
+            prop_assert!(s.placement_error.abs() <= solver::MAX_PLACEMENT_ERROR);
+        }
+    }
+
+    /// An ideal board identifies any ideal peripheral exactly.
+    #[test]
+    fn ideal_board_identifies_arbitrary_ids(raw: u32) {
+        let id = DeviceTypeId::new(raw);
+        if id.is_reserved() {
+            return Ok(());
+        }
+        let mut board = ControlBoard::ideal();
+        let p = PeripheralBoard::manufacture_ideal(id, Interconnect::Adc).unwrap();
+        board.plug(ChannelId(0), p).unwrap();
+        let outcome = board.scan(SimTime::ZERO, 25.0);
+        prop_assert_eq!(outcome.channels[0].result, ChannelResult::Identified(id));
+    }
+
+    /// E-series nearest never returns a value farther than half the
+    /// series' worst step.
+    #[test]
+    fn eseries_nearest_is_actually_nearest(target in 10.0f64..1e6) {
+        let v = Series::E96.nearest(target, 0, 7).unwrap();
+        let rel = (v - target).abs() / target;
+        let bound = upnp_hw::eseries::worst_case_step(Series::E96) / 2.0 + 1e-9;
+        prop_assert!(rel <= bound, "target {target}: {v} (rel {rel})");
+    }
+
+    /// Scan duration grows monotonically with the byte values of the id
+    /// (larger bytes = longer pulses), for single-channel boards.
+    #[test]
+    fn scan_time_tracks_byte_magnitude(lo in 1u8..120, delta in 1u8..120) {
+        let hi = lo + delta;
+        let small = DeviceTypeId::from_bytes([lo; 4]);
+        let large = DeviceTypeId::from_bytes([hi; 4]);
+        let scan = |id| {
+            let mut board = ControlBoard::ideal();
+            let p = PeripheralBoard::manufacture_ideal(id, Interconnect::Adc).unwrap();
+            board.plug(ChannelId(0), p).unwrap();
+            board.scan(SimTime::ZERO, 25.0).duration()
+        };
+        prop_assert!(scan(large) > scan(small));
+    }
+}

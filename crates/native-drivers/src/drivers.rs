@@ -1,0 +1,305 @@
+//! Native Rust baseline drivers.
+//!
+//! Each implements the same read semantics as its DSL counterpart but
+//! calls the simulated buses directly — no VM, no event router. They play
+//! the role of the paper's C drivers in differential tests ("does the DSL
+//! driver compute the same value as hand-written native code?") and in the
+//! bytecode-interpretation-overhead ablation.
+
+use upnp_bus::adc::Adc;
+use upnp_bus::peripherals::{
+    compensate_pressure, compensate_temperature, Calibration, Id20La, Tmp36, BMP180_I2C_ADDR,
+};
+use upnp_bus::uart::{Uart, UartConfig};
+use upnp_bus::{Environment, I2cBus};
+use upnp_sim::SimRng;
+
+/// A synchronous native driver returning one reading.
+pub trait NativeDriver {
+    /// The reading's type.
+    type Output;
+
+    /// Performs one complete read against the environment.
+    fn read(&mut self, env: &mut Environment, rng: &mut SimRng) -> Option<Self::Output>;
+}
+
+/// Native TMP36: one ADC sample plus the float conversion.
+pub struct NativeTmp36 {
+    adc: Adc,
+    sensor: Tmp36,
+}
+
+impl Default for NativeTmp36 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NativeTmp36 {
+    /// Creates the driver with the platform ADC.
+    pub fn new() -> Self {
+        NativeTmp36 {
+            adc: Adc::atmega128rfa1(),
+            sensor: Tmp36::new(),
+        }
+    }
+}
+
+impl NativeDriver for NativeTmp36 {
+    type Output = f32;
+
+    fn read(&mut self, env: &mut Environment, rng: &mut SimRng) -> Option<f32> {
+        let (reading, _) = self.adc.sample(&self.sensor, env, rng);
+        let volts = reading.raw as f32 * 3.3 / 1023.0;
+        Some((volts - 0.5) * 100.0)
+    }
+}
+
+/// Native HIH-4030: ADC sample, ratiometric inversion and clamping.
+pub struct NativeHih4030 {
+    adc: Adc,
+    sensor: upnp_bus::peripherals::Hih4030,
+}
+
+impl Default for NativeHih4030 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NativeHih4030 {
+    /// Creates the driver with the platform ADC.
+    pub fn new() -> Self {
+        NativeHih4030 {
+            adc: Adc::atmega128rfa1(),
+            sensor: upnp_bus::peripherals::Hih4030::new(),
+        }
+    }
+}
+
+impl NativeDriver for NativeHih4030 {
+    type Output = f32;
+
+    fn read(&mut self, env: &mut Environment, rng: &mut SimRng) -> Option<f32> {
+        let (reading, _) = self.adc.sample(&self.sensor, env, rng);
+        let volts = reading.raw as f32 * 3.3 / 1023.0;
+        let rh = (volts / 3.3 - 0.16) / 0.0062;
+        Some(rh.clamp(0.0, 100.0))
+    }
+}
+
+/// Native ID-20LA: configure the UART, pump a frame, filter framing
+/// characters.
+pub struct NativeId20La {
+    uart: Uart,
+    device: Id20La,
+}
+
+impl Default for NativeId20La {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NativeId20La {
+    /// Creates the driver and claims the UART at 9600 8N1.
+    pub fn new() -> Self {
+        let mut uart = Uart::new();
+        uart.init(0, UartConfig::BAUD_9600_8N1)
+            .expect("fresh port accepts 9600 8N1");
+        NativeId20La {
+            uart,
+            device: Id20La::new(),
+        }
+    }
+}
+
+impl NativeDriver for NativeId20La {
+    type Output = [u8; 12];
+
+    fn read(&mut self, env: &mut Environment, _rng: &mut SimRng) -> Option<[u8; 12]> {
+        self.uart.pump(&mut self.device, env).ok()?;
+        let mut out = [0u8; 12];
+        let mut i = 0;
+        while let Some(c) = self.uart.read_byte() {
+            if matches!(c, 0x02 | 0x03 | 0x0d | 0x0a) {
+                continue;
+            }
+            if i < 12 {
+                out[i] = c;
+                i += 1;
+            }
+        }
+        (i == 12).then_some(out)
+    }
+}
+
+/// Native BMP180: calibration read, dual conversion and the datasheet
+/// integer pipeline.
+pub struct NativeBmp180 {
+    bus: I2cBus,
+    calibration: Option<Calibration>,
+}
+
+impl Default for NativeBmp180 {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl NativeBmp180 {
+    /// Creates the driver with a BMP180 attached to a fresh bus.
+    pub fn new(seed: u64) -> Self {
+        let mut bus = I2cBus::new();
+        bus.attach(
+            BMP180_I2C_ADDR,
+            Box::new(upnp_bus::peripherals::Bmp180::noiseless(seed)),
+        );
+        NativeBmp180 {
+            bus,
+            calibration: None,
+        }
+    }
+
+    fn read_calibration(&mut self, env: &mut Environment) -> Option<Calibration> {
+        let (raw, _) = self.bus.write_read(BMP180_I2C_ADDR, 0xaa, 22, env).ok()?;
+        let w = |i: usize| ((raw[2 * i] as u16) << 8) | raw[2 * i + 1] as u16;
+        Some(Calibration {
+            ac1: w(0) as i16,
+            ac2: w(1) as i16,
+            ac3: w(2) as i16,
+            ac4: w(3),
+            ac5: w(4),
+            ac6: w(5),
+            b1: w(6) as i16,
+            b2: w(7) as i16,
+            mb: w(8) as i16,
+            mc: w(9) as i16,
+            md: w(10) as i16,
+        })
+    }
+}
+
+impl NativeDriver for NativeBmp180 {
+    type Output = i32;
+
+    fn read(&mut self, env: &mut Environment, _rng: &mut SimRng) -> Option<i32> {
+        if self.calibration.is_none() {
+            self.calibration = self.read_calibration(env);
+        }
+        let calibration = self.calibration?;
+        self.bus.write(BMP180_I2C_ADDR, &[0xf4, 0x2e], env).ok()?;
+        let (raw, _) = self.bus.write_read(BMP180_I2C_ADDR, 0xf6, 2, env).ok()?;
+        let ut = ((raw[0] as i64) << 8) | raw[1] as i64;
+        self.bus.write(BMP180_I2C_ADDR, &[0xf4, 0x34], env).ok()?;
+        let (raw, _) = self.bus.write_read(BMP180_I2C_ADDR, 0xf6, 3, env).ok()?;
+        let up = (((raw[0] as i64) << 16) | ((raw[1] as i64) << 8) | raw[2] as i64) >> 8;
+        let (_, b5) = compensate_temperature(ut, &calibration);
+        Some(compensate_pressure(up, b5, 0, &calibration) as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_tmp36_reads_environment() {
+        let mut env = Environment::default();
+        env.temperature_c = 28.0;
+        let mut rng = SimRng::seed(1);
+        let t = NativeTmp36::new().read(&mut env, &mut rng).unwrap();
+        assert!((t - 28.0).abs() < 1.0, "{t}");
+    }
+
+    #[test]
+    fn native_hih4030_reads_humidity() {
+        let mut env = Environment::default();
+        env.humidity_rh = 55.0;
+        let mut rng = SimRng::seed(2);
+        let rh = NativeHih4030::new().read(&mut env, &mut rng).unwrap();
+        // Sensor reports RH_sensor (before temperature correction).
+        assert!((rh - 55.0).abs() < 6.0, "{rh}");
+    }
+
+    #[test]
+    fn native_id20la_reads_card() {
+        let mut env = Environment::default();
+        env.present_card("DEADBEEF42");
+        let mut rng = SimRng::seed(3);
+        let card = NativeId20La::new().read(&mut env, &mut rng).unwrap();
+        assert_eq!(&card[..10], b"DEADBEEF42");
+    }
+
+    #[test]
+    fn native_id20la_without_card_returns_none() {
+        let mut env = Environment::default();
+        let mut rng = SimRng::seed(4);
+        assert!(NativeId20La::new().read(&mut env, &mut rng).is_none());
+    }
+
+    #[test]
+    fn native_bmp180_reads_pressure() {
+        let mut env = Environment::new(22.0, 40.0, 100_500.0);
+        let mut rng = SimRng::seed(5);
+        let p = NativeBmp180::new(7).read(&mut env, &mut rng).unwrap();
+        assert!((p - 100_500).abs() < 30, "{p}");
+    }
+
+    #[test]
+    fn differential_dsl_vs_native_tmp36() {
+        // The DSL driver through the full VM stack and the native driver
+        // must agree on the same environment.
+        use upnp_vm::runtime::{PendingKind, Runtime};
+        let mut rt = Runtime::new(99);
+        rt.hw.env.temperature_c = 26.5;
+        rt.hw.analog_sources.insert(0, Box::new(Tmp36::new()));
+        let image = upnp_dsl::compile_source(upnp_dsl::drivers::TMP36, 1).unwrap();
+        let slot = rt.install_driver(image, 0).unwrap();
+        rt.run_until_idle();
+        rt.request(slot, PendingKind::Read, vec![]);
+        let done = rt.run_until_idle();
+        let upnp_vm::vm::ReturnValue::Scalar(cell) = done[0].value.clone().unwrap() else {
+            panic!();
+        };
+        let dsl_value = cell.as_f32();
+
+        let mut env = Environment::default();
+        env.temperature_c = 26.5;
+        let mut rng = SimRng::seed(100);
+        let native_value = NativeTmp36::new().read(&mut env, &mut rng).unwrap();
+        assert!(
+            (dsl_value - native_value).abs() < 1.0,
+            "DSL {dsl_value} vs native {native_value}"
+        );
+    }
+
+    #[test]
+    fn differential_dsl_vs_native_bmp180() {
+        use upnp_vm::runtime::{PendingKind, Runtime};
+        let mut rt = Runtime::new(101);
+        rt.hw.env.pressure_pa = 99_000.0;
+        rt.hw.env.temperature_c = 20.0;
+        rt.hw.i2c.attach(
+            BMP180_I2C_ADDR,
+            Box::new(upnp_bus::peripherals::Bmp180::noiseless(8)),
+        );
+        let image = upnp_dsl::compile_source(upnp_dsl::drivers::BMP180, 2).unwrap();
+        let slot = rt.install_driver(image, 0).unwrap();
+        rt.run_until_idle();
+        rt.request(slot, PendingKind::Read, vec![]);
+        let done = rt.run_until_idle();
+        let upnp_vm::vm::ReturnValue::Scalar(cell) = done[0].value.clone().unwrap() else {
+            panic!("no value: {done:?}");
+        };
+        let dsl_value = cell.as_i32();
+
+        let mut env = Environment::new(20.0, 40.0, 99_000.0);
+        let mut rng = SimRng::seed(102);
+        let native_value = NativeBmp180::new(8).read(&mut env, &mut rng).unwrap();
+        assert!(
+            (dsl_value - native_value).abs() <= 5,
+            "DSL {dsl_value} vs native {native_value}"
+        );
+    }
+}

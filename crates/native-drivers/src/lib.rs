@@ -1,0 +1,22 @@
+//! The paper's native-driver baseline (Table 3).
+//!
+//! Table 3 compares µPnP DSL drivers against "standard C drivers" along
+//! two axes: source lines of code and compiled size. This crate supplies
+//! both sides of the baseline:
+//!
+//! * [`c_sources`] — the C reference drivers (Contiki-style, shipped as
+//!   assets) whose SLoC the reproduction counts directly;
+//! * [`size_model`] — AVR flash sizes: the paper's measured values as the
+//!   reference plus a documented heuristic for projecting new drivers
+//!   (used by the MAX6675 extension row);
+//! * [`drivers`] — native *Rust* implementations of the same four drivers
+//!   against the simulated buses. They serve as functional baselines: the
+//!   differential tests check that the DSL driver and the native driver
+//!   agree on what they read from identical environments.
+
+pub mod c_sources;
+pub mod drivers;
+pub mod size_model;
+
+pub use drivers::{NativeBmp180, NativeDriver, NativeHih4030, NativeId20La, NativeTmp36};
+pub use size_model::{paper_flash_bytes, project_flash_bytes};

@@ -1,0 +1,90 @@
+//! AVR flash-size accounting for native drivers (Table 3's bytes column).
+//!
+//! The paper measures compiled sizes with `avr-gcc`; this environment has
+//! no AVR toolchain, so the baseline uses a two-level substitution
+//! (documented in DESIGN.md):
+//!
+//! * for the paper's four drivers, the **paper's own measured values** are
+//!   the reference (2956, 3304, 592, 652 bytes);
+//! * for new drivers (the MAX6675 extension row), a documented heuristic
+//!   projects flash from SLoC and float usage. The dominant term the paper
+//!   itself calls out — "drivers involving floating point operations must
+//!   include a software floating point library" — is the
+//!   [`FLOAT_LIB_BYTES`] constant.
+
+/// AVR bytes of code per source line for integer-only driver code
+/// (empirically ~3–8 on avr-gcc -Os; the midpoint serves projection).
+pub const BYTES_PER_SLOC: usize = 6;
+
+/// Size of the soft-float library (`__mulsf3`, `__divsf3`, conversions)
+/// linked into any float-using driver.
+pub const FLOAT_LIB_BYTES: usize = 2_430;
+
+/// The paper's measured flash bytes for its four native drivers.
+pub fn paper_flash_bytes(name: &str) -> Option<usize> {
+    Some(match name {
+        "TMP36 (ADC)" => 2_956,
+        "HIH-4030 (ADC)" => 3_304,
+        "ID-20LA RFID (UART)" => 592,
+        "BMP180 Pressure (I2C)" => 652,
+        _ => return None,
+    })
+}
+
+/// Projects the flash size of a native driver from its SLoC and float
+/// usage (used for drivers the paper did not measure).
+pub fn project_flash_bytes(sloc: usize, uses_float: bool) -> usize {
+    sloc * BYTES_PER_SLOC + if uses_float { FLOAT_LIB_BYTES } else { 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_are_exact() {
+        assert_eq!(paper_flash_bytes("TMP36 (ADC)"), Some(2_956));
+        assert_eq!(paper_flash_bytes("HIH-4030 (ADC)"), Some(3_304));
+        assert_eq!(paper_flash_bytes("ID-20LA RFID (UART)"), Some(592));
+        assert_eq!(paper_flash_bytes("BMP180 Pressure (I2C)"), Some(652));
+        assert_eq!(paper_flash_bytes("nonexistent"), None);
+    }
+
+    #[test]
+    fn float_penalty_explains_the_papers_size_inversion() {
+        // The paper's striking datapoint: the 64-SLoC TMP36 compiles to
+        // 2956 B while the 193-SLoC BMP180 compiles to 652 B — because the
+        // former drags in soft-float. The projection must reproduce that
+        // inversion.
+        let tmp36 = project_flash_bytes(64, true);
+        let bmp180 = project_flash_bytes(193, false);
+        assert!(tmp36 > bmp180, "{tmp36} vs {bmp180}");
+    }
+
+    #[test]
+    fn projection_is_within_2x_of_paper_for_all_four() {
+        for (name, sloc, float) in [
+            ("TMP36 (ADC)", 64, true),
+            ("HIH-4030 (ADC)", 65, true),
+            ("ID-20LA RFID (UART)", 89, false),
+            ("BMP180 Pressure (I2C)", 193, false),
+        ] {
+            let projected = project_flash_bytes(sloc, float) as f64;
+            let measured = paper_flash_bytes(name).unwrap() as f64;
+            let ratio = projected / measured;
+            assert!(
+                (0.5..=2.0).contains(&ratio),
+                "{name}: projected {projected} vs measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn integer_drivers_scale_linearly() {
+        assert_eq!(project_flash_bytes(100, false), 600);
+        assert_eq!(
+            project_flash_bytes(100, true) - project_flash_bytes(100, false),
+            FLOAT_LIB_BYTES
+        );
+    }
+}

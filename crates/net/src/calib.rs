@@ -1,0 +1,142 @@
+//! MCU processing-cost constants for the network stack, calibrated
+//! against the paper's Table 4.
+//!
+//! Table 4 measures operation *latencies* on the Zigduino running Contiki
+//! 2.7: generate multicast address 2.59 ms, join group 5.44 ms, request
+//! driver 53.91 ms, install an 80-byte driver 59.50 ms, advertise
+//! peripheral 45.37 ms. The radio serialization of a single frame at
+//! 250 kbps is only ~4 ms, so most of each row is µIP/Contiki packet
+//! processing on the 8-bit MCU. The constants below split each row into
+//! radio time (from physics, see [`crate::link`]) and MCU time (calibrated
+//! here); the analytic recomposition is asserted against Table 4 by the
+//! tests, and the end-to-end simulation reproduces the same rows in
+//! `upnp-bench`.
+
+use upnp_sim::{AvrCostModel, CpuCost, SimDuration};
+
+/// Generating a unicast-prefix-based multicast address (§5.1): pure
+/// computation. Table 4: 2.59 ms.
+pub const GEN_MCAST_ADDR: CpuCost = CpuCost::cycles(41_440);
+
+/// Joining a multicast group: MLD state + SMRF forwarding-table update.
+/// Table 4: 5.44 ms.
+pub const JOIN_GROUP: CpuCost = CpuCost::cycles(87_040);
+
+/// UDP/6LoWPAN send path (build headers, compress, hand to MAC).
+pub const UDP_SEND_PATH: CpuCost = CpuCost::cycles(224_000); // 14 ms
+
+/// UDP/6LoWPAN receive path (reassemble, decompress, demultiplex).
+pub const UDP_RECV_PATH: CpuCost = CpuCost::cycles(160_000); // 10 ms
+
+/// Manager-side driver-repository lookup on a driver request.
+pub const REPO_LOOKUP: CpuCost = CpuCost::cycles(256_000); // 16 ms
+
+/// Manager-side preparation of an upload reply (connection setup).
+pub const UPLOAD_SETUP: CpuCost = CpuCost::cycles(192_000); // 12 ms
+
+/// Thing-side install cost per driver-image byte (flash write + verify).
+pub const INSTALL_PER_BYTE: CpuCost = CpuCost::cycles(4_320); // 0.27 ms/B
+
+/// Thing-side advertisement construction (gather TLVs, per §5.2.1).
+pub const BUILD_ADVERTISEMENT: CpuCost = CpuCost::cycles(464_000); // 29 ms
+
+/// Per-hop forwarding cost on intermediate nodes (receive + route +
+/// retransmit bookkeeping).
+pub const FORWARD_HOP: CpuCost = CpuCost::cycles(48_000); // 3 ms
+
+/// Converts a cost to milliseconds on the evaluation MCU (test helper).
+pub fn ms(c: CpuCost) -> f64 {
+    AvrCostModel::atmega128rfa1().duration(c).as_millis_f64()
+}
+
+/// Analytic single-frame radio time including average CSMA backoff (used
+/// by the calibration tests; the simulation draws the real backoff).
+pub fn typical_frame_ms(payload: usize) -> f64 {
+    crate::link::RadioModel::ieee802154()
+        .frame_airtime(payload)
+        .as_millis_f64()
+        + 1.12 // mean CSMA backoff
+}
+
+/// One virtual-time helper: duration of a cost on the AVR.
+pub fn duration(c: CpuCost) -> SimDuration {
+    AvrCostModel::atmega128rfa1().duration(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_generate_multicast_address() {
+        assert!((ms(GEN_MCAST_ADDR) - 2.59).abs() < 0.01);
+    }
+
+    #[test]
+    fn row_join_group() {
+        assert!((ms(JOIN_GROUP) - 5.44).abs() < 0.01);
+    }
+
+    #[test]
+    fn row_request_driver_recomposes() {
+        // Thing send + request frame + manager receive + lookup + reply
+        // setup ≈ 53.91 ms.
+        let total = ms(UDP_SEND_PATH)
+            + typical_frame_ms(10)
+            + ms(UDP_RECV_PATH)
+            + ms(REPO_LOOKUP)
+            + ms(UPLOAD_SETUP);
+        assert!(
+            (total - 53.91).abs() < 53.91 * 0.15,
+            "request driver {total:.2} ms vs paper 53.91 ms"
+        );
+    }
+
+    #[test]
+    fn row_install_80_byte_driver_recomposes() {
+        // Manager send + ~2 fragments + Thing receive + install + init.
+        let total = ms(UDP_SEND_PATH)
+            + 2.0 * typical_frame_ms(60)
+            + ms(UDP_RECV_PATH)
+            + ms(INSTALL_PER_BYTE.times(80))
+            + 5.0; // driver activation (init handler dispatch)
+        assert!(
+            (total - 59.50).abs() < 59.50 * 0.20,
+            "install {total:.2} ms vs paper 59.50 ms"
+        );
+    }
+
+    #[test]
+    fn row_advertise_recomposes() {
+        let total = ms(BUILD_ADVERTISEMENT) + ms(UDP_SEND_PATH) + typical_frame_ms(25);
+        assert!(
+            (total - 45.37).abs() < 45.37 * 0.15,
+            "advertise {total:.2} ms vs paper 45.37 ms"
+        );
+    }
+
+    #[test]
+    fn table_total_matches_row_sum() {
+        // Note: the paper prints "Total time 188.53 ms" but its own five
+        // rows sum to 166.81 ms — the printed total evidently includes
+        // inter-operation gaps the rows do not capture. We calibrate to
+        // the row sum and report both in EXPERIMENTS.md.
+        let total = ms(GEN_MCAST_ADDR)
+            + ms(JOIN_GROUP)
+            + (ms(UDP_SEND_PATH)
+                + typical_frame_ms(10)
+                + ms(UDP_RECV_PATH)
+                + ms(REPO_LOOKUP)
+                + ms(UPLOAD_SETUP))
+            + (ms(UDP_SEND_PATH)
+                + 2.0 * typical_frame_ms(60)
+                + ms(UDP_RECV_PATH)
+                + ms(INSTALL_PER_BYTE.times(80))
+                + 5.0)
+            + (ms(BUILD_ADVERTISEMENT) + ms(UDP_SEND_PATH) + typical_frame_ms(25));
+        assert!(
+            (total - 166.81).abs() < 166.81 * 0.10,
+            "total {total:.2} ms vs paper row sum 166.81 ms"
+        );
+    }
+}

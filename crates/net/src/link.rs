@@ -1,0 +1,232 @@
+//! IEEE 802.15.4 radio model.
+//!
+//! Frame-level timing and energy for the ATMega128RFA1's built-in 2.4 GHz
+//! transceiver: 250 kbps (32 µs per byte), 127-byte maximum frame, CSMA/CA
+//! with binary-exponential backoff, link-layer acknowledgements with up to
+//! three retransmissions for unicast. Multicast frames are *not*
+//! acknowledged — a property SMRF inherits and the reason multicast
+//! delivery is probabilistic under loss.
+
+use upnp_sim::{SimDuration, SimRng};
+
+/// Packet-reception ratio of a link (0–1].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkQuality {
+    /// Probability a single frame crosses the link undamaged.
+    pub prr: f64,
+}
+
+impl LinkQuality {
+    /// A perfect link.
+    pub const PERFECT: LinkQuality = LinkQuality { prr: 1.0 };
+
+    /// Creates a link quality.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < prr <= 1`.
+    pub fn new(prr: f64) -> Self {
+        assert!(prr > 0.0 && prr <= 1.0, "invalid PRR {prr}");
+        LinkQuality { prr }
+    }
+}
+
+/// The radio's physical and MAC parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RadioModel {
+    /// Data rate, bits per second.
+    pub bitrate: u64,
+    /// PHY overhead bytes per frame (preamble 4 + SFD 1 + PHR 1).
+    pub phy_overhead: usize,
+    /// MAC header + FCS bytes per data frame.
+    pub mac_overhead: usize,
+    /// Maximum PSDU (MAC frame) size in bytes.
+    pub max_frame: usize,
+    /// CSMA unit backoff period.
+    pub backoff_unit: SimDuration,
+    /// Initial backoff exponent.
+    pub min_be: u32,
+    /// RX-to-TX turnaround.
+    pub turnaround: SimDuration,
+    /// Link-layer ACK frame airtime (11-byte frame).
+    pub ack_time: SimDuration,
+    /// Maximum retransmissions for unicast frames.
+    pub max_retries: u32,
+    /// Supply voltage.
+    pub supply_v: f64,
+    /// TX current draw, amps.
+    pub tx_a: f64,
+    /// RX/listen current draw, amps.
+    pub rx_a: f64,
+}
+
+impl RadioModel {
+    /// The ATMega128RFA1 transceiver (datasheet: TX 14.5 mA, RX 12.5 mA).
+    pub fn ieee802154() -> Self {
+        RadioModel {
+            bitrate: 250_000,
+            phy_overhead: 6,
+            mac_overhead: 11 + 2,
+            max_frame: 127,
+            backoff_unit: SimDuration::from_micros(320),
+            min_be: 3,
+            turnaround: SimDuration::from_micros(192),
+            ack_time: SimDuration::from_micros((11 + 6) * 32),
+            max_retries: 3,
+            supply_v: 3.3,
+            tx_a: 14.5e-3,
+            rx_a: 12.5e-3,
+        }
+    }
+
+    /// Maximum MAC payload per frame (what 6LoWPAN can use).
+    pub fn max_payload(&self) -> usize {
+        self.max_frame - self.mac_overhead
+    }
+
+    /// Pure airtime of a frame carrying `payload` MAC-payload bytes.
+    pub fn frame_airtime(&self, payload: usize) -> SimDuration {
+        let bytes = (self.phy_overhead + self.mac_overhead + payload) as u64;
+        SimDuration::from_nanos(bytes * 8 * 1_000_000_000 / self.bitrate)
+    }
+
+    /// Samples one CSMA backoff delay.
+    pub fn csma_backoff(&self, rng: &mut SimRng) -> SimDuration {
+        let slots = rng.uniform_u32(0, (1 << self.min_be) - 1);
+        self.backoff_unit * slots as u64 + self.turnaround
+    }
+
+    /// Energy to transmit a frame of `payload` bytes, joules.
+    pub fn tx_energy(&self, payload: usize) -> f64 {
+        self.frame_airtime(payload).as_secs_f64() * self.supply_v * self.tx_a
+    }
+
+    /// Energy to receive a frame of `payload` bytes, joules.
+    pub fn rx_energy(&self, payload: usize) -> f64 {
+        self.frame_airtime(payload).as_secs_f64() * self.supply_v * self.rx_a
+    }
+
+    /// Simulates one unicast hop: CSMA + TX + ACK, retrying on loss.
+    ///
+    /// Returns `(total link time, attempts)` and whether the frame got
+    /// through within [`RadioModel::max_retries`].
+    pub fn unicast_hop(
+        &self,
+        payload: usize,
+        quality: LinkQuality,
+        rng: &mut SimRng,
+    ) -> (SimDuration, u32, bool) {
+        let mut elapsed = SimDuration::ZERO;
+        for attempt in 1..=self.max_retries + 1 {
+            elapsed += self.csma_backoff(rng);
+            elapsed += self.frame_airtime(payload);
+            if rng.chance(quality.prr) {
+                elapsed += self.turnaround + self.ack_time;
+                return (elapsed, attempt, true);
+            }
+            // Wait out the missing ACK before retrying.
+            elapsed += self.turnaround + self.ack_time;
+        }
+        (elapsed, self.max_retries + 1, false)
+    }
+
+    /// Simulates one multicast hop: CSMA + TX, no ACK, no retry.
+    ///
+    /// Returns the link time and whether a given receiver heard it.
+    pub fn multicast_hop(
+        &self,
+        payload: usize,
+        quality: LinkQuality,
+        rng: &mut SimRng,
+    ) -> (SimDuration, bool) {
+        let t = self.csma_backoff(rng) + self.frame_airtime(payload);
+        (t, rng.chance(quality.prr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn airtime_at_250kbps() {
+        let r = RadioModel::ieee802154();
+        // 6 + 13 + 50 = 69 bytes = 552 bits at 250 kbps = 2.208 ms.
+        let t = r.frame_airtime(50);
+        assert_eq!(t.as_nanos(), 2_208_000);
+    }
+
+    #[test]
+    fn max_payload_leaves_room_for_headers() {
+        let r = RadioModel::ieee802154();
+        assert_eq!(r.max_payload(), 127 - 13);
+    }
+
+    #[test]
+    fn backoff_bounded_by_be() {
+        let r = RadioModel::ieee802154();
+        let mut rng = SimRng::seed(1);
+        for _ in 0..1_000 {
+            let b = r.csma_backoff(&mut rng);
+            assert!(b >= r.turnaround);
+            assert!(b <= r.backoff_unit * 7 + r.turnaround);
+        }
+    }
+
+    #[test]
+    fn perfect_link_needs_one_attempt() {
+        let r = RadioModel::ieee802154();
+        let mut rng = SimRng::seed(2);
+        let (t, attempts, ok) = r.unicast_hop(20, LinkQuality::PERFECT, &mut rng);
+        assert!(ok);
+        assert_eq!(attempts, 1);
+        assert!(t > r.frame_airtime(20));
+    }
+
+    #[test]
+    fn lossy_link_retries_and_can_fail() {
+        let r = RadioModel::ieee802154();
+        let mut rng = SimRng::seed(3);
+        let mut failures = 0;
+        let mut total_attempts = 0;
+        for _ in 0..500 {
+            let (_, attempts, ok) = r.unicast_hop(20, LinkQuality::new(0.5), &mut rng);
+            total_attempts += attempts;
+            if !ok {
+                failures += 1;
+            }
+        }
+        // At PRR 0.5 with 4 tries, failure probability is 6.25 %.
+        assert!((10..60).contains(&failures), "{failures} failures");
+        assert!(total_attempts > 700, "retries must happen");
+    }
+
+    #[test]
+    fn multicast_has_no_retries() {
+        let r = RadioModel::ieee802154();
+        let mut rng = SimRng::seed(4);
+        let mut heard = 0;
+        for _ in 0..1_000 {
+            let (_, ok) = r.multicast_hop(20, LinkQuality::new(0.8), &mut rng);
+            if ok {
+                heard += 1;
+            }
+        }
+        // Single-shot at PRR 0.8.
+        assert!((740..860).contains(&heard), "{heard}");
+    }
+
+    #[test]
+    fn tx_energy_exceeds_rx_energy() {
+        let r = RadioModel::ieee802154();
+        assert!(r.tx_energy(50) > r.rx_energy(50));
+        // A 50-byte frame costs on the order of 100 µJ to send.
+        assert!(r.tx_energy(50) > 50e-6 && r.tx_energy(50) < 200e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid PRR")]
+    fn zero_prr_rejected() {
+        LinkQuality::new(0.0);
+    }
+}

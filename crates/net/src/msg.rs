@@ -1,0 +1,528 @@
+//! The µPnP interaction protocol messages (paper §5.2, Figures 10/11).
+//!
+//! All messages are UDP payloads on port 6030 carrying a type byte, a
+//! 16-bit sequence number "used to associate request and reply messages",
+//! and a compact binary body. The seventeen message types are numbered as
+//! in the paper's figures.
+
+use crate::tlv::{self, Tlv};
+
+/// A 16-bit message sequence number.
+pub type SeqNo = u16;
+
+/// A value travelling in `Data`/`Write` messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// No value (acknowledgement-only).
+    None,
+    /// A 32-bit integer.
+    I32(i32),
+    /// A 32-bit float.
+    F32(f32),
+    /// Raw bytes (e.g. an RFID card id).
+    Bytes(Vec<u8>),
+}
+
+impl Value {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::None => out.push(0),
+            Value::I32(v) => {
+                out.push(1);
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+            Value::F32(v) => {
+                out.push(2);
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+            Value::Bytes(b) => {
+                debug_assert!(b.len() <= 255);
+                out.push(3);
+                out.push(b.len() as u8);
+                out.extend_from_slice(b);
+            }
+        }
+    }
+
+    fn decode(data: &[u8], i: &mut usize) -> Option<Value> {
+        let tag = *data.get(*i)?;
+        *i += 1;
+        Some(match tag {
+            0 => Value::None,
+            1 => {
+                let v = i32::from_be_bytes(data.get(*i..*i + 4)?.try_into().ok()?);
+                *i += 4;
+                Value::I32(v)
+            }
+            2 => {
+                let v = f32::from_be_bytes(data.get(*i..*i + 4)?.try_into().ok()?);
+                *i += 4;
+                Value::F32(v)
+            }
+            3 => {
+                let len = *data.get(*i)? as usize;
+                *i += 1;
+                let b = data.get(*i..*i + len)?.to_vec();
+                *i += len;
+                Value::Bytes(b)
+            }
+            _ => return None,
+        })
+    }
+}
+
+/// One advertised peripheral inside an advertisement message: "(a) the
+/// type of sensor (fixed length of 4 bytes) and (b) a set of TLV-encoded
+/// tuples".
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdvertisedPeripheral {
+    /// The 32-bit device-type identifier.
+    pub peripheral: u32,
+    /// Extra information tuples.
+    pub tlvs: Vec<Tlv>,
+}
+
+/// The message bodies, numbered (1)–(17) as in the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MessageBody {
+    /// (1) Unsolicited peripheral advertisement (Thing → all-clients
+    /// group).
+    UnsolicitedAdvertisement(Vec<AdvertisedPeripheral>),
+    /// (2) Peripheral discovery (client → peripheral group).
+    Discovery(Vec<Tlv>),
+    /// (3) Solicited peripheral advertisement (Thing → client unicast).
+    SolicitedAdvertisement(Vec<AdvertisedPeripheral>),
+    /// (4) Driver installation request (Thing → manager anycast).
+    DriverRequest {
+        /// The peripheral needing a driver.
+        peripheral: u32,
+    },
+    /// (5) Driver upload (manager → Thing): the serialized driver image.
+    DriverUpload {
+        /// The peripheral the driver serves.
+        peripheral: u32,
+        /// The driver image bytes.
+        image: Vec<u8>,
+    },
+    /// (6) Driver discovery (manager → Thing).
+    DriverDiscovery,
+    /// (7) Driver advertisement (Thing → manager): installed driver ids.
+    DriverAdvertisement {
+        /// Installed `(peripheral, version)` pairs.
+        drivers: Vec<(u32, u16)>,
+    },
+    /// (8) Driver removal request (manager → Thing).
+    DriverRemoval {
+        /// The peripheral whose driver must go.
+        peripheral: u32,
+    },
+    /// (9) Driver removal acknowledgement (Thing → manager).
+    DriverRemovalAck {
+        /// The removed peripheral.
+        peripheral: u32,
+        /// True if a driver was actually removed.
+        removed: bool,
+    },
+    /// (10) Read request (client → Thing unicast).
+    Read {
+        /// Target peripheral.
+        peripheral: u32,
+    },
+    /// (11) Data reply to a read.
+    Data {
+        /// Source peripheral.
+        peripheral: u32,
+        /// The value read.
+        value: Value,
+    },
+    /// (12) Stream request (client → Thing unicast).
+    Stream {
+        /// Target peripheral.
+        peripheral: u32,
+    },
+    /// (13) Established: the group the client should join for the stream.
+    Established {
+        /// Source peripheral.
+        peripheral: u32,
+        /// The 16-byte stream multicast group address.
+        group: [u8; 16],
+    },
+    /// (14) Stream data (Thing → stream group).
+    StreamData {
+        /// Source peripheral.
+        peripheral: u32,
+        /// The streamed value.
+        value: Value,
+    },
+    /// (15) Closed: the stream has ended (Thing → stream group).
+    Closed {
+        /// Source peripheral.
+        peripheral: u32,
+    },
+    /// (16) Write request (client → Thing unicast).
+    Write {
+        /// Target peripheral.
+        peripheral: u32,
+        /// The value to write.
+        value: Value,
+    },
+    /// (17) Write acknowledgement.
+    WriteAck {
+        /// Target peripheral.
+        peripheral: u32,
+        /// True if the driver accepted the write.
+        ok: bool,
+    },
+}
+
+impl MessageBody {
+    /// The paper's message number (1–17).
+    pub fn type_id(&self) -> u8 {
+        match self {
+            MessageBody::UnsolicitedAdvertisement(_) => 1,
+            MessageBody::Discovery(_) => 2,
+            MessageBody::SolicitedAdvertisement(_) => 3,
+            MessageBody::DriverRequest { .. } => 4,
+            MessageBody::DriverUpload { .. } => 5,
+            MessageBody::DriverDiscovery => 6,
+            MessageBody::DriverAdvertisement { .. } => 7,
+            MessageBody::DriverRemoval { .. } => 8,
+            MessageBody::DriverRemovalAck { .. } => 9,
+            MessageBody::Read { .. } => 10,
+            MessageBody::Data { .. } => 11,
+            MessageBody::Stream { .. } => 12,
+            MessageBody::Established { .. } => 13,
+            MessageBody::StreamData { .. } => 14,
+            MessageBody::Closed { .. } => 15,
+            MessageBody::Write { .. } => 16,
+            MessageBody::WriteAck { .. } => 17,
+        }
+    }
+}
+
+/// A full protocol message: body plus sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Associates requests and replies (§5.2).
+    pub seq: SeqNo,
+    /// The typed body.
+    pub body: MessageBody,
+}
+
+impl Message {
+    /// Serializes to the UDP payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.push(self.body.type_id());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        match &self.body {
+            MessageBody::UnsolicitedAdvertisement(ps) | MessageBody::SolicitedAdvertisement(ps) => {
+                debug_assert!(ps.len() <= 255);
+                out.push(ps.len() as u8);
+                for p in ps {
+                    out.extend_from_slice(&p.peripheral.to_be_bytes());
+                    tlv::encode_list(&p.tlvs, &mut out);
+                }
+            }
+            MessageBody::Discovery(tlvs) => tlv::encode_list(tlvs, &mut out),
+            MessageBody::DriverRequest { peripheral }
+            | MessageBody::DriverRemoval { peripheral }
+            | MessageBody::Read { peripheral }
+            | MessageBody::Stream { peripheral }
+            | MessageBody::Closed { peripheral } => {
+                out.extend_from_slice(&peripheral.to_be_bytes());
+            }
+            MessageBody::DriverUpload { peripheral, image } => {
+                out.extend_from_slice(&peripheral.to_be_bytes());
+                out.extend_from_slice(&(image.len() as u16).to_be_bytes());
+                out.extend_from_slice(image);
+            }
+            MessageBody::DriverDiscovery => {}
+            MessageBody::DriverAdvertisement { drivers } => {
+                debug_assert!(drivers.len() <= 255);
+                out.push(drivers.len() as u8);
+                for (p, v) in drivers {
+                    out.extend_from_slice(&p.to_be_bytes());
+                    out.extend_from_slice(&v.to_be_bytes());
+                }
+            }
+            MessageBody::DriverRemovalAck {
+                peripheral,
+                removed,
+            } => {
+                out.extend_from_slice(&peripheral.to_be_bytes());
+                out.push(*removed as u8);
+            }
+            MessageBody::Data { peripheral, value }
+            | MessageBody::StreamData { peripheral, value }
+            | MessageBody::Write { peripheral, value } => {
+                out.extend_from_slice(&peripheral.to_be_bytes());
+                value.encode(&mut out);
+            }
+            MessageBody::Established { peripheral, group } => {
+                out.extend_from_slice(&peripheral.to_be_bytes());
+                out.extend_from_slice(group);
+            }
+            MessageBody::WriteAck { peripheral, ok } => {
+                out.extend_from_slice(&peripheral.to_be_bytes());
+                out.push(*ok as u8);
+            }
+        }
+        out
+    }
+
+    /// Parses a UDP payload.
+    ///
+    /// Returns `None` for unknown types or truncated bodies.
+    pub fn decode(data: &[u8]) -> Option<Message> {
+        let ty = *data.first()?;
+        let seq = u16::from_be_bytes(data.get(1..3)?.try_into().ok()?);
+        let mut i = 3;
+        let u32_at = |data: &[u8], i: &mut usize| -> Option<u32> {
+            let v = u32::from_be_bytes(data.get(*i..*i + 4)?.try_into().ok()?);
+            *i += 4;
+            Some(v)
+        };
+        let peripherals = |data: &[u8], i: &mut usize| -> Option<Vec<AdvertisedPeripheral>> {
+            let count = *data.get(*i)? as usize;
+            *i += 1;
+            let mut out = Vec::with_capacity(count);
+            for _ in 0..count {
+                let peripheral = u32_at(data, i)?;
+                let tlvs = tlv::decode_list(data, i)?;
+                out.push(AdvertisedPeripheral { peripheral, tlvs });
+            }
+            Some(out)
+        };
+        let body = match ty {
+            1 => MessageBody::UnsolicitedAdvertisement(peripherals(data, &mut i)?),
+            2 => MessageBody::Discovery(tlv::decode_list(data, &mut i)?),
+            3 => MessageBody::SolicitedAdvertisement(peripherals(data, &mut i)?),
+            4 => MessageBody::DriverRequest {
+                peripheral: u32_at(data, &mut i)?,
+            },
+            5 => {
+                let peripheral = u32_at(data, &mut i)?;
+                let len = u16::from_be_bytes(data.get(i..i + 2)?.try_into().ok()?) as usize;
+                i += 2;
+                let image = data.get(i..i + len)?.to_vec();
+                i += len;
+                MessageBody::DriverUpload { peripheral, image }
+            }
+            6 => MessageBody::DriverDiscovery,
+            7 => {
+                let count = *data.get(i)? as usize;
+                i += 1;
+                let mut drivers = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let p = u32_at(data, &mut i)?;
+                    let v = u16::from_be_bytes(data.get(i..i + 2)?.try_into().ok()?);
+                    i += 2;
+                    drivers.push((p, v));
+                }
+                MessageBody::DriverAdvertisement { drivers }
+            }
+            8 => MessageBody::DriverRemoval {
+                peripheral: u32_at(data, &mut i)?,
+            },
+            9 => {
+                let peripheral = u32_at(data, &mut i)?;
+                let removed = *data.get(i)? != 0;
+                i += 1;
+                MessageBody::DriverRemovalAck {
+                    peripheral,
+                    removed,
+                }
+            }
+            10 => MessageBody::Read {
+                peripheral: u32_at(data, &mut i)?,
+            },
+            11 => MessageBody::Data {
+                peripheral: u32_at(data, &mut i)?,
+                value: Value::decode(data, &mut i)?,
+            },
+            12 => MessageBody::Stream {
+                peripheral: u32_at(data, &mut i)?,
+            },
+            13 => {
+                let peripheral = u32_at(data, &mut i)?;
+                let group: [u8; 16] = data.get(i..i + 16)?.try_into().ok()?;
+                i += 16;
+                MessageBody::Established { peripheral, group }
+            }
+            14 => MessageBody::StreamData {
+                peripheral: u32_at(data, &mut i)?,
+                value: Value::decode(data, &mut i)?,
+            },
+            15 => MessageBody::Closed {
+                peripheral: u32_at(data, &mut i)?,
+            },
+            16 => MessageBody::Write {
+                peripheral: u32_at(data, &mut i)?,
+                value: Value::decode(data, &mut i)?,
+            },
+            17 => {
+                let peripheral = u32_at(data, &mut i)?;
+                let ok = *data.get(i)? != 0;
+                i += 1;
+                MessageBody::WriteAck { peripheral, ok }
+            }
+            _ => return None,
+        };
+        if i != data.len() {
+            return None; // Trailing garbage: reject.
+        }
+        Some(Message { seq, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tlv::TlvType;
+
+    fn roundtrip(body: MessageBody) {
+        let msg = Message { seq: 0x1234, body };
+        let wire = msg.encode();
+        let back = Message::decode(&wire)
+            .unwrap_or_else(|| panic!("decode failed for {:?}: {wire:?}", msg.body.type_id()));
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn all_seventeen_types_roundtrip() {
+        let adv = vec![AdvertisedPeripheral {
+            peripheral: 0xed3f_0ac1,
+            tlvs: vec![
+                Tlv::text(TlvType::Name, "RFID"),
+                Tlv::new(TlvType::Channel, vec![1]),
+            ],
+        }];
+        let bodies = vec![
+            MessageBody::UnsolicitedAdvertisement(adv.clone()),
+            MessageBody::Discovery(vec![Tlv::text(TlvType::Location, "lab")]),
+            MessageBody::SolicitedAdvertisement(adv),
+            MessageBody::DriverRequest {
+                peripheral: 0xad1c_be01,
+            },
+            MessageBody::DriverUpload {
+                peripheral: 0xad1c_be01,
+                image: vec![0xb5, 0x50, 1, 2, 3],
+            },
+            MessageBody::DriverDiscovery,
+            MessageBody::DriverAdvertisement {
+                drivers: vec![(0xad1c_be01, 1), (0xed3f_0ac1, 3)],
+            },
+            MessageBody::DriverRemoval {
+                peripheral: 0xed3f_0ac1,
+            },
+            MessageBody::DriverRemovalAck {
+                peripheral: 0xed3f_0ac1,
+                removed: true,
+            },
+            MessageBody::Read {
+                peripheral: 0xad1c_be01,
+            },
+            MessageBody::Data {
+                peripheral: 0xad1c_be01,
+                value: Value::F32(21.5),
+            },
+            MessageBody::Stream {
+                peripheral: 0xad1c_be01,
+            },
+            MessageBody::Established {
+                peripheral: 0xad1c_be01,
+                group: [0xff; 16],
+            },
+            MessageBody::StreamData {
+                peripheral: 0xad1c_be01,
+                value: Value::I32(42),
+            },
+            MessageBody::Closed {
+                peripheral: 0xad1c_be01,
+            },
+            MessageBody::Write {
+                peripheral: 0xbeef_0001,
+                value: Value::Bytes(vec![1, 0]),
+            },
+            MessageBody::WriteAck {
+                peripheral: 0xbeef_0001,
+                ok: true,
+            },
+        ];
+        assert_eq!(bodies.len(), 17);
+        for (idx, body) in bodies.into_iter().enumerate() {
+            assert_eq!(body.type_id() as usize, idx + 1, "numbering matches paper");
+            roundtrip(body);
+        }
+    }
+
+    #[test]
+    fn sequence_number_is_preserved() {
+        for seq in [0u16, 1, 0xffff] {
+            let m = Message {
+                seq,
+                body: MessageBody::DriverDiscovery,
+            };
+            assert_eq!(Message::decode(&m.encode()).unwrap().seq, seq);
+        }
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        assert!(Message::decode(&[99, 0, 0]).is_none());
+        assert!(Message::decode(&[0, 0, 0]).is_none());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let m = Message {
+            seq: 7,
+            body: MessageBody::DriverUpload {
+                peripheral: 1,
+                image: vec![1, 2, 3, 4, 5],
+            },
+        };
+        let wire = m.encode();
+        for cut in 1..wire.len() {
+            assert!(Message::decode(&wire[..cut]).is_none(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let m = Message {
+            seq: 7,
+            body: MessageBody::Read { peripheral: 5 },
+        };
+        let mut wire = m.encode();
+        wire.push(0);
+        assert!(Message::decode(&wire).is_none());
+    }
+
+    #[test]
+    fn messages_are_compact() {
+        // The efficiency claim versus XML-based UPnP: a read request is
+        // 7 bytes, an advertisement with a name TLV under 30.
+        let read = Message {
+            seq: 1,
+            body: MessageBody::Read {
+                peripheral: 0xad1c_be01,
+            },
+        };
+        assert_eq!(read.encode().len(), 7);
+        let adv = Message {
+            seq: 1,
+            body: MessageBody::UnsolicitedAdvertisement(vec![AdvertisedPeripheral {
+                peripheral: 0xad1c_be01,
+                tlvs: vec![Tlv::text(TlvType::Name, "TMP36")],
+            }]),
+        };
+        assert!(adv.encode().len() < 30);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(Message::decode(&[]).is_none());
+    }
+}

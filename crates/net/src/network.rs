@@ -1,0 +1,638 @@
+//! The frame-level network simulator.
+//!
+//! Owns the node table, the physical topology, the RPL DODAG, multicast
+//! membership and the in-flight datagram queue. `upnp-core` drives it:
+//! endpoints hand in [`Datagram`]s; the simulator routes them (unicast
+//! along tree paths with link-layer retries, multicast via SMRF, anycast
+//! to the nearest instance), charges radio time and energy, and yields
+//! [`Delivery`] records at the right virtual instants.
+
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv6Addr;
+
+use upnp_sim::{EnergyMeter, Scheduler, SimDuration, SimRng, SimTime};
+
+use crate::addr;
+use crate::link::{LinkQuality, RadioModel};
+use crate::rpl::{Dodag, Topology};
+use crate::sixlowpan;
+use crate::smrf;
+
+/// A node handle in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u16);
+
+/// A UDP datagram between µPnP endpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Datagram {
+    /// Source address.
+    pub src: Ipv6Addr,
+    /// Destination address (unicast, multicast group or anycast).
+    pub dst: Ipv6Addr,
+    /// Source UDP port.
+    pub src_port: u16,
+    /// Destination UDP port.
+    pub dst_port: u16,
+    /// UDP payload.
+    pub payload: Vec<u8>,
+}
+
+/// A datagram arriving at a node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery {
+    /// When it arrives.
+    pub at: SimTime,
+    /// The receiving node.
+    pub node: NodeId,
+    /// The datagram.
+    pub dgram: Datagram,
+}
+
+/// What happened to a transmission (accounting for benches/tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SendReport {
+    /// Radio frames transmitted across all hops.
+    pub frames: u32,
+    /// Total radio airtime consumed.
+    pub airtime: SimDuration,
+    /// Number of receivers the datagram was scheduled to reach.
+    pub receivers: u32,
+    /// Receivers lost to unrecoverable link errors.
+    pub lost: u32,
+}
+
+#[derive(Debug)]
+struct NodeState {
+    unicast: Ipv6Addr,
+    groups: HashSet<Ipv6Addr>,
+    anycast: HashSet<Ipv6Addr>,
+    radio_meter: EnergyMeter,
+}
+
+/// Aggregate traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NetStats {
+    /// Frames put on the air.
+    pub frames_tx: u64,
+    /// MAC payload bytes put on the air.
+    pub bytes_tx: u64,
+    /// Datagram deliveries that failed permanently.
+    pub drops: u64,
+}
+
+/// The network simulator.
+pub struct Network {
+    prefix: u64,
+    nodes: Vec<NodeState>,
+    topo: Topology,
+    dodag: Option<Dodag>,
+    sched: Scheduler<Delivery>,
+    rng: SimRng,
+    radio: RadioModel,
+    stats: NetStats,
+}
+
+impl Network {
+    /// Creates an empty network with the given 48-bit prefix and RNG seed.
+    pub fn new(prefix_48: u64, seed: u64) -> Self {
+        Network {
+            prefix: prefix_48,
+            nodes: Vec::new(),
+            topo: Topology::new(0),
+            dodag: None,
+            sched: Scheduler::new(),
+            rng: SimRng::seed(seed),
+            radio: RadioModel::ieee802154(),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// The network's 48-bit prefix.
+    pub fn prefix(&self) -> u64 {
+        self.prefix
+    }
+
+    /// The radio model in use.
+    pub fn radio(&self) -> &RadioModel {
+        &self.radio
+    }
+
+    /// Adds a node; its unicast address is derived from its index.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len() as u16);
+        let unicast = addr::unicast(self.prefix, 0, id.0 as u64 + 1);
+        self.nodes.push(NodeState {
+            unicast,
+            groups: HashSet::new(),
+            anycast: HashSet::new(),
+            radio_meter: EnergyMeter::new("radio"),
+        });
+        self.topo.add_node();
+        id
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The unicast address of `node`.
+    pub fn addr_of(&self, node: NodeId) -> Ipv6Addr {
+        self.nodes[node.0 as usize].unicast
+    }
+
+    /// Resolves a unicast address to its node.
+    pub fn node_by_addr(&self, a: Ipv6Addr) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.unicast == a)
+            .map(|i| NodeId(i as u16))
+    }
+
+    /// Connects two nodes with the given link quality.
+    pub fn link(&mut self, a: NodeId, b: NodeId, quality: LinkQuality) {
+        self.topo.link(a.0 as usize, b.0 as usize, quality);
+    }
+
+    /// (Re)builds the RPL DODAG rooted at `root`.
+    pub fn build_tree(&mut self, root: NodeId) {
+        self.dodag = Some(Dodag::build(&self.topo, root.0 as usize));
+    }
+
+    /// Joins `node` to a multicast group.
+    pub fn join_group(&mut self, node: NodeId, group: Ipv6Addr) {
+        assert!(group.is_multicast(), "not a multicast address: {group}");
+        self.nodes[node.0 as usize].groups.insert(group);
+    }
+
+    /// Removes `node` from a multicast group. Returns whether it was a
+    /// member.
+    pub fn leave_group(&mut self, node: NodeId, group: Ipv6Addr) -> bool {
+        self.nodes[node.0 as usize].groups.remove(&group)
+    }
+
+    /// Current members of `group`.
+    pub fn members(&self, group: Ipv6Addr) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.groups.contains(&group))
+            .map(|(i, _)| NodeId(i as u16))
+            .collect()
+    }
+
+    /// Registers `node` as an instance of an anycast address (§5: "the
+    /// µPnP manager is assigned an anycast IPv6 address").
+    pub fn set_anycast(&mut self, node: NodeId, anycast: Ipv6Addr) {
+        self.nodes[node.0 as usize].anycast.insert(anycast);
+    }
+
+    /// Radio energy consumed by `node` so far, joules.
+    pub fn radio_energy_j(&self, node: NodeId) -> f64 {
+        self.nodes[node.0 as usize].radio_meter.total_j()
+    }
+
+    /// Aggregate traffic statistics.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Sends a datagram from `from` at virtual time `now`.
+    ///
+    /// Deliveries are scheduled into the future; fetch them with
+    /// [`Network::poll`].
+    pub fn send(&mut self, now: SimTime, from: NodeId, dgram: Datagram) -> SendReport {
+        let mut report = SendReport {
+            frames: 0,
+            airtime: SimDuration::ZERO,
+            receivers: 0,
+            lost: 0,
+        };
+        // Loopback.
+        if self.nodes[from.0 as usize].unicast == dgram.dst {
+            self.schedule(now + SimDuration::from_micros(100), from, dgram);
+            report.receivers = 1;
+            return report;
+        }
+        if dgram.dst.is_multicast() {
+            self.send_multicast(now, from, dgram, &mut report);
+        } else {
+            let target = self.resolve_destination(dgram.dst);
+            match target {
+                Some(t) => self.send_unicast(now, from, t, dgram, &mut report),
+                None => {
+                    self.stats.drops += 1;
+                    report.lost = 1;
+                }
+            }
+        }
+        report
+    }
+
+    /// Resolves a unicast or anycast destination to a concrete node.
+    fn resolve_destination(&self, dst: Ipv6Addr) -> Option<NodeId> {
+        if let Some(n) = self.node_by_addr(dst) {
+            return Some(n);
+        }
+        // Anycast: the instance with the lowest DODAG rank (nearest the
+        // root approximates "nearest" for our tree workloads).
+        let dodag = self.dodag.as_ref()?;
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.anycast.contains(&dst))
+            .min_by(|(a, _), (b, _)| {
+                dodag.rank[*a]
+                    .partial_cmp(&dodag.rank[*b])
+                    .expect("ranks are not NaN")
+            })
+            .map(|(i, _)| NodeId(i as u16))
+    }
+
+    fn datagram_wire_size(&self, dgram: &Datagram) -> usize {
+        sixlowpan::compressed_header(dgram.src, dgram.dst, self.prefix) + dgram.payload.len()
+    }
+
+    fn send_unicast(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        dgram: Datagram,
+        report: &mut SendReport,
+    ) {
+        report.receivers = 1;
+        let Some(dodag) = self.dodag.as_ref() else {
+            self.stats.drops += 1;
+            report.lost = 1;
+            return;
+        };
+        let Some(path) = dodag.route(from.0 as usize, to.0 as usize) else {
+            self.stats.drops += 1;
+            report.lost = 1;
+            return;
+        };
+        let total = self.datagram_wire_size(&dgram);
+        let frames = sixlowpan::fragment(total, &self.radio);
+        let mut t = now;
+        for hop in path.windows(2) {
+            let (a, b) = (hop[0], hop[1]);
+            let quality = self.topo.quality(a, b).expect("path uses existing links");
+            // Per-hop forwarding cost on intermediate nodes.
+            if a != from.0 as usize {
+                t += crate::calib::duration(crate::calib::FORWARD_HOP);
+            }
+            for &frame in &frames {
+                let (hop_time, attempts, ok) =
+                    self.radio.unicast_hop(frame, quality, &mut self.rng);
+                t += hop_time;
+                report.frames += attempts;
+                report.airtime += hop_time;
+                self.stats.frames_tx += attempts as u64;
+                self.stats.bytes_tx += frame as u64 * attempts as u64;
+                self.charge_radio(NodeId(a as u16), NodeId(b as u16), frame, attempts);
+                if !ok {
+                    self.stats.drops += 1;
+                    report.lost = 1;
+                    return;
+                }
+            }
+        }
+        self.schedule(t, to, dgram);
+    }
+
+    fn send_multicast(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        dgram: Datagram,
+        report: &mut SendReport,
+    ) {
+        let members: HashSet<usize> = self
+            .members(dgram.dst)
+            .into_iter()
+            .map(|n| n.0 as usize)
+            .filter(|&n| n != from.0 as usize)
+            .collect();
+        let Some(dodag) = self.dodag.as_ref() else {
+            self.stats.drops += members.len() as u64;
+            return;
+        };
+        let Some(plan) = smrf::plan(dodag, from.0 as usize, &members) else {
+            self.stats.drops += members.len() as u64;
+            return;
+        };
+        report.receivers = members.len() as u32;
+        let total = self.datagram_wire_size(&dgram);
+        let frames = sixlowpan::fragment(total, &self.radio);
+
+        // Per-node arrival time; lost nodes disappear from the map.
+        let mut arrival: HashMap<usize, SimTime> = HashMap::new();
+        arrival.insert(from.0 as usize, now);
+
+        // Uplink to the root: link-local unicast hops (reliable).
+        for &(a, b) in &plan.uplink {
+            let t_in = arrival[&a];
+            let mut t = t_in;
+            if a != from.0 as usize {
+                t += crate::calib::duration(crate::calib::FORWARD_HOP);
+            }
+            let quality = self.topo.quality(a, b).expect("tree link");
+            let mut ok_all = true;
+            for &frame in &frames {
+                let (hop_time, attempts, ok) =
+                    self.radio.unicast_hop(frame, quality, &mut self.rng);
+                t += hop_time;
+                report.frames += attempts;
+                report.airtime += hop_time;
+                self.stats.frames_tx += attempts as u64;
+                self.stats.bytes_tx += frame as u64 * attempts as u64;
+                self.charge_radio(NodeId(a as u16), NodeId(b as u16), frame, attempts);
+                ok_all &= ok;
+            }
+            if !ok_all {
+                // Uplink failure kills the whole dissemination.
+                self.stats.drops += members.len() as u64;
+                report.lost = report.receivers;
+                return;
+            }
+            arrival.insert(b, t);
+        }
+
+        // Downlink: broadcast per forwarder, no retries (SMRF).
+        for &(f, child) in &plan.downlink {
+            let Some(&t_in) = arrival.get(&f) else {
+                continue; // Forwarder never got the packet.
+            };
+            let mut t = t_in + crate::calib::duration(crate::calib::FORWARD_HOP);
+            let quality = self.topo.quality(f, child).expect("tree link");
+            let mut heard = true;
+            for &frame in &frames {
+                let (hop_time, ok) = self.radio.multicast_hop(frame, quality, &mut self.rng);
+                t += hop_time;
+                report.frames += 1;
+                report.airtime += hop_time;
+                self.stats.frames_tx += 1;
+                self.stats.bytes_tx += frame as u64;
+                self.charge_radio(NodeId(f as u16), NodeId(child as u16), frame, 1);
+                heard &= ok;
+            }
+            if heard {
+                arrival.insert(child, t);
+            }
+        }
+
+        for &(m, _) in &plan.member_hops {
+            match arrival.get(&m) {
+                Some(&t) => self.schedule(t, NodeId(m as u16), dgram.clone()),
+                None => {
+                    self.stats.drops += 1;
+                    report.lost += 1;
+                }
+            }
+        }
+    }
+
+    fn charge_radio(&mut self, tx: NodeId, rx: NodeId, frame: usize, attempts: u32) {
+        let tx_j = self.radio.tx_energy(frame) * attempts as f64;
+        let rx_j = self.radio.rx_energy(frame) * attempts as f64;
+        self.nodes[tx.0 as usize].radio_meter.charge_j(tx_j);
+        self.nodes[rx.0 as usize].radio_meter.charge_j(rx_j);
+    }
+
+    fn schedule(&mut self, at: SimTime, node: NodeId, dgram: Datagram) {
+        let at = at.max(self.sched.now());
+        self.sched.schedule_at(at, Delivery { at, node, dgram });
+    }
+
+    /// The timestamp of the next pending delivery.
+    pub fn next_delivery_at(&self) -> Option<SimTime> {
+        self.sched.peek_time()
+    }
+
+    /// Pops all deliveries due at or before `until`, in time order.
+    pub fn poll(&mut self, until: SimTime) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        while matches!(self.sched.peek_time(), Some(t) if t <= until) {
+            let entry = self.sched.pop().expect("peeked");
+            out.push(entry.event);
+        }
+        out
+    }
+
+    /// True if deliveries are still in flight.
+    pub fn pending(&self) -> bool {
+        !self.sched.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.nodes.len())
+            .field("pending", &self.sched.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{peripheral_group, MCAST_PORT};
+
+    const PREFIX: u64 = 0x2001_0db8_0000;
+
+    fn dgram(net: &Network, from: NodeId, dst: Ipv6Addr, len: usize) -> Datagram {
+        Datagram {
+            src: net.addr_of(from),
+            dst,
+            src_port: MCAST_PORT,
+            dst_port: MCAST_PORT,
+            payload: vec![0xab; len],
+        }
+    }
+
+    /// Two nodes with a perfect link, tree rooted at 0.
+    fn pair() -> (Network, NodeId, NodeId) {
+        let mut net = Network::new(PREFIX, 7);
+        let a = net.add_node();
+        let b = net.add_node();
+        net.link(a, b, LinkQuality::PERFECT);
+        net.build_tree(a);
+        (net, a, b)
+    }
+
+    #[test]
+    fn unicast_delivery_with_latency() {
+        let (mut net, a, b) = pair();
+        let d = dgram(&net, a, net.addr_of(b), 20);
+        let report = net.send(SimTime::ZERO, a, d.clone());
+        assert_eq!(report.receivers, 1);
+        assert_eq!(report.lost, 0);
+        assert!(report.frames >= 1);
+        let deliveries = net.poll(SimTime::MAX);
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].node, b);
+        assert_eq!(deliveries[0].dgram, d);
+        // One hop of a small frame: between 1 and 10 ms (CSMA + airtime).
+        let ms = deliveries[0].at.since(SimTime::ZERO).as_millis_f64();
+        assert!((0.5..10.0).contains(&ms), "{ms} ms");
+    }
+
+    #[test]
+    fn multihop_unicast_routes_through_tree() {
+        let mut net = Network::new(PREFIX, 8);
+        let n: Vec<NodeId> = (0..4).map(|_| net.add_node()).collect();
+        for w in n.windows(2) {
+            net.link(w[0], w[1], LinkQuality::PERFECT);
+        }
+        net.build_tree(n[0]);
+        let d = dgram(&net, n[3], net.addr_of(n[0]), 30);
+        net.send(SimTime::ZERO, n[3], d);
+        let deliveries = net.poll(SimTime::MAX);
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].node, n[0]);
+        // Intermediate nodes consumed radio energy forwarding.
+        assert!(net.radio_energy_j(n[1]) > 0.0);
+        assert!(net.radio_energy_j(n[2]) > 0.0);
+    }
+
+    #[test]
+    fn multicast_reaches_only_members() {
+        let mut net = Network::new(PREFIX, 9);
+        let root = net.add_node();
+        let things: Vec<NodeId> = (0..3).map(|_| net.add_node()).collect();
+        for &t in &things {
+            net.link(root, t, LinkQuality::PERFECT);
+        }
+        net.build_tree(root);
+        let group = peripheral_group(PREFIX, 0xed3f_0ac1);
+        net.join_group(things[0], group);
+        net.join_group(things[2], group);
+
+        let d = dgram(&net, root, group, 25);
+        let report = net.send(SimTime::ZERO, root, d);
+        assert_eq!(report.receivers, 2);
+        let deliveries = net.poll(SimTime::MAX);
+        let mut who: Vec<NodeId> = deliveries.iter().map(|d| d.node).collect();
+        who.sort();
+        assert_eq!(who, vec![things[0], things[2]]);
+    }
+
+    #[test]
+    fn multicast_from_leaf_goes_via_root() {
+        let mut net = Network::new(PREFIX, 10);
+        let root = net.add_node();
+        let a = net.add_node();
+        let b = net.add_node();
+        net.link(root, a, LinkQuality::PERFECT);
+        net.link(root, b, LinkQuality::PERFECT);
+        net.build_tree(root);
+        let group = peripheral_group(PREFIX, 0xffff_ffff);
+        net.join_group(b, group);
+        let d = dgram(&net, a, group, 25);
+        net.send(SimTime::ZERO, a, d);
+        let deliveries = net.poll(SimTime::MAX);
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].node, b);
+        // Root forwarded: it spent radio energy.
+        assert!(net.radio_energy_j(root) > 0.0);
+    }
+
+    #[test]
+    fn anycast_resolves_to_nearest_instance() {
+        // Chain: far(3) - mid(2) - root(0) - src(1); both far and root are
+        // manager instances; src must reach root, not far.
+        let mut net = Network::new(PREFIX, 11);
+        let root = net.add_node();
+        let src = net.add_node();
+        let mid = net.add_node();
+        let far = net.add_node();
+        net.link(root, src, LinkQuality::PERFECT);
+        net.link(root, mid, LinkQuality::PERFECT);
+        net.link(mid, far, LinkQuality::PERFECT);
+        net.build_tree(root);
+        let mgr: Ipv6Addr = "2001:db8:aaaa::1".parse().unwrap();
+        net.set_anycast(root, mgr);
+        net.set_anycast(far, mgr);
+        let d = dgram(&net, src, mgr, 10);
+        net.send(SimTime::ZERO, src, d);
+        let deliveries = net.poll(SimTime::MAX);
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].node, root, "nearest instance wins");
+    }
+
+    #[test]
+    fn loopback_is_immediate() {
+        let (mut net, a, _) = pair();
+        let d = dgram(&net, a, net.addr_of(a), 5);
+        net.send(SimTime::ZERO, a, d);
+        let deliveries = net.poll(SimTime::MAX);
+        assert_eq!(deliveries[0].node, a);
+        assert!(deliveries[0].at.since(SimTime::ZERO) < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn unroutable_destination_is_dropped() {
+        let (mut net, a, _) = pair();
+        let stranger: Ipv6Addr = "2001:dead::77".parse().unwrap();
+        let report = net.send(SimTime::ZERO, a, dgram(&net, a, stranger, 5));
+        assert_eq!(report.lost, 1);
+        assert_eq!(net.stats().drops, 1);
+        assert!(net.poll(SimTime::MAX).is_empty());
+    }
+
+    #[test]
+    fn lossy_multicast_can_lose_members() {
+        let mut net = Network::new(PREFIX, 12);
+        let root = net.add_node();
+        let m = net.add_node();
+        net.link(root, m, LinkQuality::new(0.3));
+        net.build_tree(root);
+        let group = peripheral_group(PREFIX, 1);
+        net.join_group(m, group);
+        let mut delivered = 0;
+        for i in 0..100 {
+            let d = dgram(&net, root, group, 10);
+            let t = SimTime::ZERO + SimDuration::from_secs(i);
+            net.send(t, root, d);
+            delivered += net.poll(SimTime::MAX).len();
+        }
+        // PRR 0.3 and no retries: roughly 30 % get through.
+        assert!((10..60).contains(&delivered), "{delivered}/100 delivered");
+        assert!(net.stats().drops > 0);
+    }
+
+    #[test]
+    fn fragmentation_multiplies_frames() {
+        let (mut net, a, b) = pair();
+        let small = net.send(SimTime::ZERO, a, dgram(&net, a, net.addr_of(b), 20));
+        let big = net.send(
+            SimTime::ZERO + SimDuration::from_secs(1),
+            a,
+            dgram(&net, a, net.addr_of(b), 300),
+        );
+        assert!(big.frames > small.frames * 2);
+        net.poll(SimTime::MAX);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let (mut net, a, b) = pair();
+            let d = dgram(&net, a, net.addr_of(b), 40);
+            net.send(SimTime::ZERO, a, d);
+            net.poll(SimTime::MAX)
+                .into_iter()
+                .map(|d| d.at)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

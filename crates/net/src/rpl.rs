@@ -1,0 +1,240 @@
+//! RPL-like routing: a DODAG (destination-oriented DAG) built over the
+//! physical topology.
+//!
+//! The prototype uses "the IPv6 Routing Protocol for Low-Power and Lossy
+//! Networks (RPL)" for unicast and group management. The reproduction
+//! builds the DODAG with ETX-weighted shortest paths from the root
+//! (Dijkstra — functionally what RPL's objective function MRHOF
+//! converges to on a static topology) and routes unicast along tree paths
+//! through the lowest common ancestor, as a storing-mode RPL network does.
+
+use crate::link::LinkQuality;
+
+/// A node index in the topology.
+pub type Node = usize;
+
+/// The physical connectivity graph.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    links: Vec<Vec<(Node, LinkQuality)>>,
+}
+
+impl Topology {
+    /// Creates a topology with `n` unconnected nodes.
+    pub fn new(n: usize) -> Self {
+        Topology {
+            links: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// True if the topology has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Grows the topology by one node, returning its index.
+    pub fn add_node(&mut self) -> Node {
+        self.links.push(Vec::new());
+        self.links.len() - 1
+    }
+
+    /// Adds a bidirectional link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range or `a == b`.
+    pub fn link(&mut self, a: Node, b: Node, quality: LinkQuality) {
+        assert!(a != b, "self links are not allowed");
+        assert!(a < self.links.len() && b < self.links.len());
+        self.links[a].retain(|(n, _)| *n != b);
+        self.links[b].retain(|(n, _)| *n != a);
+        self.links[a].push((b, quality));
+        self.links[b].push((a, quality));
+    }
+
+    /// The quality of the direct link `a → b`, if it exists.
+    pub fn quality(&self, a: Node, b: Node) -> Option<LinkQuality> {
+        self.links[a].iter().find(|(n, _)| *n == b).map(|(_, q)| *q)
+    }
+
+    /// Neighbours of `a`.
+    pub fn neighbours(&self, a: Node) -> &[(Node, LinkQuality)] {
+        &self.links[a]
+    }
+}
+
+/// The routing tree rooted at the border router.
+#[derive(Debug, Clone)]
+pub struct Dodag {
+    /// The DODAG root.
+    pub root: Node,
+    /// Preferred parent per node (`None` for the root and unreachable
+    /// nodes).
+    pub parent: Vec<Option<Node>>,
+    /// Rank (ETX distance from the root; `f64::INFINITY` if unreachable).
+    pub rank: Vec<f64>,
+}
+
+impl Dodag {
+    /// Builds the DODAG by ETX-weighted shortest paths (ETX = 1/PRR).
+    pub fn build(topo: &Topology, root: Node) -> Dodag {
+        let n = topo.len();
+        let mut rank = vec![f64::INFINITY; n];
+        let mut parent = vec![None; n];
+        let mut visited = vec![false; n];
+        rank[root] = 0.0;
+        for _ in 0..n {
+            // Extract-min (n is small in every experiment; O(n²) is fine).
+            let mut best = None;
+            let mut best_rank = f64::INFINITY;
+            for v in 0..n {
+                if !visited[v] && rank[v] < best_rank {
+                    best_rank = rank[v];
+                    best = Some(v);
+                }
+            }
+            let Some(u) = best else { break };
+            visited[u] = true;
+            for &(v, q) in topo.neighbours(u) {
+                let etx = 1.0 / q.prr;
+                if rank[u] + etx < rank[v] {
+                    rank[v] = rank[u] + etx;
+                    parent[v] = Some(u);
+                }
+            }
+        }
+        Dodag { root, parent, rank }
+    }
+
+    /// True if `node` can reach the root.
+    pub fn reachable(&self, node: Node) -> bool {
+        self.rank[node].is_finite()
+    }
+
+    /// The chain of nodes from `node` up to the root (inclusive).
+    pub fn path_to_root(&self, node: Node) -> Vec<Node> {
+        let mut path = vec![node];
+        let mut cur = node;
+        while let Some(p) = self.parent[cur] {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+
+    /// The hop path `a → b` through the tree (via the lowest common
+    /// ancestor), or `None` if either side is unreachable.
+    pub fn route(&self, a: Node, b: Node) -> Option<Vec<Node>> {
+        if !self.reachable(a) || !self.reachable(b) {
+            return None;
+        }
+        if a == b {
+            return Some(vec![a]);
+        }
+        let up_a = self.path_to_root(a);
+        let up_b = self.path_to_root(b);
+        // Find the lowest common ancestor.
+        let set_a: std::collections::HashSet<Node> = up_a.iter().copied().collect();
+        let lca = *up_b.iter().find(|n| set_a.contains(n))?;
+        let mut path: Vec<Node> = up_a.iter().copied().take_while(|&n| n != lca).collect();
+        path.push(lca);
+        let down: Vec<Node> = up_b.iter().copied().take_while(|&n| n != lca).collect();
+        path.extend(down.into_iter().rev());
+        Some(path)
+    }
+
+    /// Children of `node` in the tree.
+    pub fn children(&self, node: Node) -> Vec<Node> {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter_map(|(v, p)| (*p == Some(node)).then_some(v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A line: 0 - 1 - 2 - 3.
+    fn line() -> Topology {
+        let mut t = Topology::new(4);
+        t.link(0, 1, LinkQuality::PERFECT);
+        t.link(1, 2, LinkQuality::PERFECT);
+        t.link(2, 3, LinkQuality::PERFECT);
+        t
+    }
+
+    #[test]
+    fn dodag_parents_point_towards_root() {
+        let d = Dodag::build(&line(), 0);
+        assert_eq!(d.parent, vec![None, Some(0), Some(1), Some(2)]);
+        assert_eq!(d.rank[3], 3.0);
+    }
+
+    #[test]
+    fn route_through_lca() {
+        // Star with two branches: 0 root; 1,2 under 0; 3 under 1; 4 under 2.
+        let mut t = Topology::new(5);
+        t.link(0, 1, LinkQuality::PERFECT);
+        t.link(0, 2, LinkQuality::PERFECT);
+        t.link(1, 3, LinkQuality::PERFECT);
+        t.link(2, 4, LinkQuality::PERFECT);
+        let d = Dodag::build(&t, 0);
+        assert_eq!(d.route(3, 4).unwrap(), vec![3, 1, 0, 2, 4]);
+        assert_eq!(d.route(3, 0).unwrap(), vec![3, 1, 0]);
+        assert_eq!(d.route(0, 4).unwrap(), vec![0, 2, 4]);
+        assert_eq!(d.route(3, 3).unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn etx_prefers_reliable_paths() {
+        // 0-2 direct but lossy; 0-1-2 through two good links.
+        let mut t = Topology::new(3);
+        t.link(0, 2, LinkQuality::new(0.4)); // ETX 2.5
+        t.link(0, 1, LinkQuality::PERFECT);
+        t.link(1, 2, LinkQuality::PERFECT); // ETX 2.0 total
+        let d = Dodag::build(&t, 0);
+        assert_eq!(d.parent[2], Some(1), "must route around the lossy link");
+    }
+
+    #[test]
+    fn unreachable_nodes_have_no_route() {
+        let mut t = Topology::new(3);
+        t.link(0, 1, LinkQuality::PERFECT);
+        // Node 2 is isolated.
+        let d = Dodag::build(&t, 0);
+        assert!(!d.reachable(2));
+        assert_eq!(d.route(0, 2), None);
+        assert_eq!(d.route(2, 1), None);
+    }
+
+    #[test]
+    fn children_inverse_of_parent() {
+        let d = Dodag::build(&line(), 0);
+        assert_eq!(d.children(0), vec![1]);
+        assert_eq!(d.children(1), vec![2]);
+        assert_eq!(d.children(3), Vec::<Node>::new());
+    }
+
+    #[test]
+    fn relinking_replaces_quality() {
+        let mut t = Topology::new(2);
+        t.link(0, 1, LinkQuality::new(0.5));
+        t.link(0, 1, LinkQuality::PERFECT);
+        assert_eq!(t.quality(0, 1), Some(LinkQuality::PERFECT));
+        assert_eq!(t.neighbours(0).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self links")]
+    fn self_link_panics() {
+        Topology::new(2).link(1, 1, LinkQuality::PERFECT);
+    }
+}

@@ -1,0 +1,178 @@
+//! Stateless Multicast RPL Forwarding (SMRF).
+//!
+//! The prototype's multicast plane (§6): SMRF forwards multicast packets
+//! *down* the RPL DODAG only — a node accepts a multicast frame only from
+//! its preferred parent and re-broadcasts it if any descendant subtree
+//! contains group members. A packet originated below the root therefore
+//! first travels up to the root via link-local unicast, then floods down
+//! the member branches. This module computes the forwarding sets and
+//! per-member hop counts the simulator charges time and energy for.
+
+use std::collections::HashSet;
+
+use crate::rpl::{Dodag, Node};
+
+/// The down-tree delivery plan for one multicast transmission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MulticastPlan {
+    /// Hops from the source up to the root (empty if the source is the
+    /// root).
+    pub uplink: Vec<(Node, Node)>,
+    /// Down-tree forwarding transmissions `(forwarder, receiver)` in
+    /// breadth-first order.
+    pub downlink: Vec<(Node, Node)>,
+    /// Total hops to reach each member: `(member, hop count)`.
+    pub member_hops: Vec<(Node, usize)>,
+}
+
+impl MulticastPlan {
+    /// Total number of radio transmissions the plan needs.
+    pub fn transmissions(&self) -> usize {
+        // Down-tree forwarding is broadcast: one TX per distinct forwarder.
+        let forwarders: HashSet<Node> = self.downlink.iter().map(|(f, _)| *f).collect();
+        self.uplink.len() + forwarders.len()
+    }
+}
+
+/// Computes which nodes must forward a group packet so that every member
+/// receives it, and how many hops each member is from the source.
+///
+/// Returns `None` if the source is detached from the DODAG.
+pub fn plan(dodag: &Dodag, source: Node, members: &HashSet<Node>) -> Option<MulticastPlan> {
+    if !dodag.reachable(source) {
+        return None;
+    }
+
+    // Uplink: source → root via preferred parents.
+    let up_path = dodag.path_to_root(source);
+    let uplink: Vec<(Node, Node)> = up_path.windows(2).map(|w| (w[0], w[1])).collect();
+
+    // Mark every node that lies on a root→member path.
+    let mut on_path: HashSet<Node> = HashSet::new();
+    for &m in members {
+        if !dodag.reachable(m) {
+            continue;
+        }
+        for n in dodag.path_to_root(m) {
+            on_path.insert(n);
+        }
+    }
+
+    // Walk down from the root, forwarding into branches containing
+    // members; record hop counts (uplink hops + down-tree depth).
+    let up_hops = uplink.len();
+    let mut downlink = Vec::new();
+    let mut member_hops = Vec::new();
+    if members.contains(&dodag.root) {
+        member_hops.push((dodag.root, up_hops));
+    }
+    let mut frontier = vec![(dodag.root, up_hops)];
+    while let Some((node, hops)) = frontier.pop() {
+        for child in dodag.children(node) {
+            if !on_path.contains(&child) {
+                continue;
+            }
+            downlink.push((node, child));
+            let child_hops = hops + 1;
+            if members.contains(&child) {
+                member_hops.push((child, child_hops));
+            }
+            frontier.push((child, child_hops));
+        }
+    }
+    member_hops.sort_unstable();
+    Some(MulticastPlan {
+        uplink,
+        downlink,
+        member_hops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkQuality;
+    use crate::rpl::Topology;
+
+    /// Root 0 with two branches: 0-1-3 and 0-2-4-5.
+    fn tree() -> Dodag {
+        let mut t = Topology::new(6);
+        t.link(0, 1, LinkQuality::PERFECT);
+        t.link(1, 3, LinkQuality::PERFECT);
+        t.link(0, 2, LinkQuality::PERFECT);
+        t.link(2, 4, LinkQuality::PERFECT);
+        t.link(4, 5, LinkQuality::PERFECT);
+        Dodag::build(&t, 0)
+    }
+
+    fn set(nodes: &[Node]) -> HashSet<Node> {
+        nodes.iter().copied().collect()
+    }
+
+    #[test]
+    fn root_source_floods_only_member_branches() {
+        let d = tree();
+        let p = plan(&d, 0, &set(&[3])).unwrap();
+        assert!(p.uplink.is_empty());
+        assert_eq!(p.downlink, vec![(0, 1), (1, 3)]);
+        assert_eq!(p.member_hops, vec![(3, 2)]);
+        // Branch 2-4-5 must not be touched.
+        assert!(!p.downlink.iter().any(|(f, _)| *f == 2 || *f == 4));
+    }
+
+    #[test]
+    fn below_root_source_goes_up_first() {
+        let d = tree();
+        let p = plan(&d, 3, &set(&[5])).unwrap();
+        assert_eq!(p.uplink, vec![(3, 1), (1, 0)]);
+        assert_eq!(p.downlink, vec![(0, 2), (2, 4), (4, 5)]);
+        // 2 hops up + 3 down.
+        assert_eq!(p.member_hops, vec![(5, 5)]);
+    }
+
+    #[test]
+    fn multiple_members_share_forwarders() {
+        let d = tree();
+        let p = plan(&d, 0, &set(&[4, 5])).unwrap();
+        // One TX by 0, one by 2, one by 4 reaches both members.
+        assert_eq!(p.transmissions(), 3);
+        assert_eq!(p.member_hops, vec![(4, 2), (5, 3)]);
+    }
+
+    #[test]
+    fn member_at_source_counts_zero_hops() {
+        let d = tree();
+        let p = plan(&d, 0, &set(&[0, 3])).unwrap();
+        assert!(p.member_hops.contains(&(0, 0)));
+        assert!(p.member_hops.contains(&(3, 2)));
+    }
+
+    #[test]
+    fn empty_membership_needs_no_downlink() {
+        let d = tree();
+        let p = plan(&d, 3, &set(&[])).unwrap();
+        assert!(p.downlink.is_empty());
+        assert_eq!(
+            p.uplink.len(),
+            2,
+            "uplink still happens (SMRF is stateless)"
+        );
+    }
+
+    #[test]
+    fn detached_source_returns_none() {
+        let mut t = Topology::new(3);
+        t.link(0, 1, LinkQuality::PERFECT);
+        let d = Dodag::build(&t, 0);
+        assert!(plan(&d, 2, &set(&[1])).is_none());
+    }
+
+    #[test]
+    fn unreachable_members_are_skipped() {
+        let mut t = Topology::new(3);
+        t.link(0, 1, LinkQuality::PERFECT);
+        let d = Dodag::build(&t, 0);
+        let p = plan(&d, 0, &set(&[1, 2])).unwrap();
+        assert_eq!(p.member_hops, vec![(1, 1)]);
+    }
+}

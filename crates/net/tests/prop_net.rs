@@ -1,0 +1,135 @@
+//! Property tests for the network layer: codec totality/roundtrips, the
+//! addressing schema and routing invariants.
+
+use proptest::prelude::*;
+use upnp_net::addr;
+use upnp_net::link::LinkQuality;
+use upnp_net::msg::{Message, MessageBody, Value};
+use upnp_net::rpl::{Dodag, Topology};
+use upnp_net::tlv::{self, Tlv, TlvType};
+
+proptest! {
+    /// The message decoder never panics on arbitrary payloads.
+    #[test]
+    fn decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    /// Scalar-bearing messages roundtrip for arbitrary field values.
+    #[test]
+    fn scalar_messages_roundtrip(seq: u16, peripheral: u32, v: i32) {
+        for body in [
+            MessageBody::Read { peripheral },
+            MessageBody::DriverRequest { peripheral },
+            MessageBody::Data { peripheral, value: Value::I32(v) },
+            MessageBody::Write { peripheral, value: Value::F32(v as f32) },
+            MessageBody::WriteAck { peripheral, ok: v % 2 == 0 },
+        ] {
+            let m = Message { seq, body };
+            prop_assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    /// Byte-payload messages roundtrip for arbitrary contents.
+    #[test]
+    fn byte_messages_roundtrip(
+        seq: u16,
+        peripheral: u32,
+        payload in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let m = Message {
+            seq,
+            body: MessageBody::DriverUpload { peripheral, image: payload.clone() },
+        };
+        prop_assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+        let m = Message {
+            seq,
+            body: MessageBody::Data {
+                peripheral,
+                value: Value::Bytes(payload.into_iter().take(255).collect()),
+            },
+        };
+        prop_assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    /// TLV lists roundtrip for arbitrary tuples.
+    #[test]
+    fn tlv_roundtrip(items in prop::collection::vec(
+        (any::<u8>(), prop::collection::vec(any::<u8>(), 0..60)),
+        0..10,
+    )) {
+        let tlvs: Vec<Tlv> = items
+            .into_iter()
+            .map(|(tag, value)| Tlv::new(TlvType::from_tag(tag), value))
+            .collect();
+        let mut buf = Vec::new();
+        tlv::encode_list(&tlvs, &mut buf);
+        let mut i = 0;
+        let back = tlv::decode_list(&buf, &mut i).unwrap();
+        prop_assert_eq!(back, tlvs);
+        prop_assert_eq!(i, buf.len());
+    }
+
+    /// The multicast schema embeds and recovers prefix and peripheral for
+    /// any inputs.
+    #[test]
+    fn schema_roundtrip(prefix in 0u64..(1u64 << 48), peripheral: u32) {
+        let g = addr::peripheral_group(prefix, peripheral);
+        prop_assert!(g.is_multicast());
+        prop_assert_eq!(addr::peripheral_of(g), Some(peripheral));
+        prop_assert_eq!(addr::prefix_of(g), Some(prefix));
+    }
+
+    /// On random connected topologies, every tree route starts and ends at
+    /// the right nodes, uses only existing links and visits no node twice.
+    #[test]
+    fn routes_are_simple_paths(
+        n in 2usize..20,
+        extra_links in prop::collection::vec((0usize..20, 0usize..20), 0..15),
+        src in 0usize..20,
+        dst in 0usize..20,
+    ) {
+        let mut topo = Topology::new(n);
+        // A spanning chain guarantees connectivity.
+        for i in 1..n {
+            topo.link(i, i - 1, LinkQuality::PERFECT);
+        }
+        for (a, b) in extra_links {
+            let (a, b) = (a % n, b % n);
+            if a != b {
+                topo.link(a, b, LinkQuality::new(0.9));
+            }
+        }
+        let dodag = Dodag::build(&topo, 0);
+        let (src, dst) = (src % n, dst % n);
+        let path = dodag.route(src, dst).unwrap();
+        prop_assert_eq!(*path.first().unwrap(), src);
+        prop_assert_eq!(*path.last().unwrap(), dst);
+        for w in path.windows(2) {
+            prop_assert!(topo.quality(w[0], w[1]).is_some(), "missing link {w:?}");
+        }
+        let unique: std::collections::HashSet<_> = path.iter().collect();
+        prop_assert_eq!(unique.len(), path.len(), "route revisits a node");
+    }
+
+    /// SMRF plans cover exactly the reachable members.
+    #[test]
+    fn smrf_covers_members(
+        n in 2usize..16,
+        member_bits in any::<u16>(),
+        src in 0usize..16,
+    ) {
+        let mut topo = Topology::new(n);
+        for i in 1..n {
+            topo.link(i, (i - 1) / 2, LinkQuality::PERFECT);
+        }
+        let dodag = Dodag::build(&topo, 0);
+        let src = src % n;
+        let members: std::collections::HashSet<usize> =
+            (0..n).filter(|i| member_bits & (1 << i) != 0).collect();
+        let plan = upnp_net::smrf::plan(&dodag, src, &members).unwrap();
+        let planned: std::collections::HashSet<usize> =
+            plan.member_hops.iter().map(|(m, _)| *m).collect();
+        prop_assert_eq!(planned, members);
+    }
+}

@@ -1,0 +1,287 @@
+//! Energy accounting: joule meters and power-state trackers.
+//!
+//! The paper's headline hardware result (Figure 12, §6.1) is an energy
+//! integral: joules consumed over a year as a function of how often
+//! peripherals are plugged and unplugged. Two primitives cover every model in
+//! the reproduction:
+//!
+//! * [`EnergyMeter`] — an accumulator for discrete energy charges
+//!   (e.g. "one identification scan cost 4.1 mJ").
+//! * [`PowerTracker`] — integrates a piecewise-constant power draw over
+//!   virtual time (e.g. "the USB host idles at 44.6 mW for a year").
+
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// An accumulating energy meter, in joules.
+///
+/// # Examples
+///
+/// ```
+/// use upnp_sim::EnergyMeter;
+///
+/// let mut m = EnergyMeter::new("ident");
+/// m.charge_mj(2.48);
+/// m.charge_mj(6.756);
+/// assert!((m.total_j() - 9.236e-3).abs() < 1e-12);
+/// assert_eq!(m.charges(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnergyMeter {
+    label: &'static str,
+    total_j: f64,
+    charges: u64,
+}
+
+impl EnergyMeter {
+    /// Creates a zeroed meter with a diagnostic label.
+    pub fn new(label: &'static str) -> Self {
+        EnergyMeter {
+            label,
+            total_j: 0.0,
+            charges: 0,
+        }
+    }
+
+    /// Returns the meter's label.
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Adds a charge in joules.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite charges: energy only accumulates.
+    pub fn charge_j(&mut self, joules: f64) {
+        assert!(
+            joules.is_finite() && joules >= 0.0,
+            "invalid energy charge: {joules} J"
+        );
+        self.total_j += joules;
+        self.charges += 1;
+    }
+
+    /// Adds a charge in millijoules.
+    pub fn charge_mj(&mut self, millijoules: f64) {
+        self.charge_j(millijoules * 1e-3);
+    }
+
+    /// Adds a charge in microjoules.
+    pub fn charge_uj(&mut self, microjoules: f64) {
+        self.charge_j(microjoules * 1e-6);
+    }
+
+    /// Adds the energy of drawing `current_a` amps at `voltage_v` volts for
+    /// `dt` of virtual time (`E = V·I·t`).
+    pub fn charge_draw(&mut self, voltage_v: f64, current_a: f64, dt: SimDuration) {
+        self.charge_j(voltage_v * current_a * dt.as_secs_f64());
+    }
+
+    /// Total accumulated energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.total_j
+    }
+
+    /// Total accumulated energy in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.total_j * 1e3
+    }
+
+    /// Number of discrete charges recorded.
+    pub fn charges(&self) -> u64 {
+        self.charges
+    }
+
+    /// Resets the meter to zero.
+    pub fn reset(&mut self) {
+        self.total_j = 0.0;
+        self.charges = 0;
+    }
+}
+
+impl fmt::Display for EnergyMeter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.6} J over {} charges",
+            self.label, self.total_j, self.charges
+        )
+    }
+}
+
+/// A named power state with a constant draw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerState {
+    /// Diagnostic name ("idle", "scan", "tx", ...).
+    pub name: &'static str,
+    /// Power draw in watts while in this state.
+    pub watts: f64,
+}
+
+impl PowerState {
+    /// A convenience zero-power state (e.g. power-gated off).
+    pub const OFF: PowerState = PowerState {
+        name: "off",
+        watts: 0.0,
+    };
+
+    /// Creates a state from a voltage and current draw.
+    pub fn from_draw(name: &'static str, voltage_v: f64, current_a: f64) -> Self {
+        PowerState {
+            name,
+            watts: voltage_v * current_a,
+        }
+    }
+}
+
+/// Integrates a piecewise-constant power draw over virtual time.
+///
+/// The tracker is told about every state transition; energy for the elapsed
+/// interval is charged at the *previous* state's draw, which is exactly the
+/// left-Riemann integral of a piecewise-constant power curve (no
+/// approximation error).
+///
+/// # Examples
+///
+/// ```
+/// use upnp_sim::{PowerState, PowerTracker, SimDuration, SimTime};
+///
+/// let mut t = PowerTracker::new("board", PowerState::OFF, SimTime::ZERO);
+/// let on = PowerState { name: "scan", watts: 0.0231 };
+/// let t1 = SimTime::ZERO + SimDuration::from_millis(100);
+/// t.transition(on, t1);
+/// let t2 = t1 + SimDuration::from_millis(250);
+/// t.transition(PowerState::OFF, t2);
+/// // 23.1 mW for 250 ms = 5.775 mJ.
+/// assert!((t.meter().total_mj() - 5.775).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerTracker {
+    state: PowerState,
+    since: SimTime,
+    meter: EnergyMeter,
+}
+
+impl PowerTracker {
+    /// Creates a tracker starting in `initial` at time `now`.
+    pub fn new(label: &'static str, initial: PowerState, now: SimTime) -> Self {
+        PowerTracker {
+            state: initial,
+            since: now,
+            meter: EnergyMeter::new(label),
+        }
+    }
+
+    /// Returns the current power state.
+    pub fn state(&self) -> PowerState {
+        self.state
+    }
+
+    /// Accrues energy up to `now` and switches to `next`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the last transition.
+    pub fn transition(&mut self, next: PowerState, now: SimTime) {
+        self.accrue(now);
+        self.state = next;
+    }
+
+    /// Accrues energy for the current state up to `now` without switching.
+    pub fn accrue(&mut self, now: SimTime) {
+        let dt = now.since(self.since);
+        if self.state.watts > 0.0 && !dt.is_zero() {
+            self.meter.charge_j(self.state.watts * dt.as_secs_f64());
+        }
+        self.since = now;
+    }
+
+    /// The underlying meter (accrued up to the last transition).
+    pub fn meter(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    /// Total energy including the current (un-accrued) interval up to `now`.
+    pub fn total_j_at(&self, now: SimTime) -> f64 {
+        let dt = now.saturating_since(self.since);
+        self.meter.total_j() + self.state.watts * dt.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_accumulates_units() {
+        let mut m = EnergyMeter::new("t");
+        m.charge_j(1.0);
+        m.charge_mj(500.0);
+        m.charge_uj(250_000.0);
+        assert!((m.total_j() - 1.75).abs() < 1e-12);
+        assert_eq!(m.charges(), 3);
+        m.reset();
+        assert_eq!(m.total_j(), 0.0);
+        assert_eq!(m.charges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid energy charge")]
+    fn negative_charge_panics() {
+        EnergyMeter::new("t").charge_j(-1.0);
+    }
+
+    #[test]
+    fn charge_draw_matches_ohms_law() {
+        // 3.3 V × 7 mA for 300 ms = 6.93 mJ (the paper's board scan draw).
+        let mut m = EnergyMeter::new("board");
+        m.charge_draw(3.3, 7e-3, SimDuration::from_millis(300));
+        assert!((m.total_mj() - 6.93).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tracker_integrates_piecewise_constant_power() {
+        let mut t = PowerTracker::new("x", PowerState::OFF, SimTime::ZERO);
+        let lo = PowerState {
+            name: "lo",
+            watts: 0.010,
+        };
+        let hi = PowerState {
+            name: "hi",
+            watts: 0.100,
+        };
+        let t1 = SimTime::ZERO + SimDuration::from_secs(1);
+        t.transition(lo, t1); // off for 1 s: 0 J
+        let t2 = t1 + SimDuration::from_secs(2);
+        t.transition(hi, t2); // lo for 2 s: 20 mJ
+        let t3 = t2 + SimDuration::from_secs(3);
+        t.transition(PowerState::OFF, t3); // hi for 3 s: 300 mJ
+        assert!((t.meter().total_j() - 0.320).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_at_includes_open_interval() {
+        let busy = PowerState {
+            name: "busy",
+            watts: 1.0,
+        };
+        let t = PowerTracker::new("x", busy, SimTime::ZERO);
+        let now = SimTime::ZERO + SimDuration::from_millis(1_500);
+        assert!((t.total_j_at(now) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_draw_computes_watts() {
+        let s = PowerState::from_draw("scan", 3.3, 0.007);
+        assert!((s.watts - 0.0231).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut m = EnergyMeter::new("radio");
+        m.charge_j(0.5);
+        assert_eq!(m.to_string(), "radio: 0.500000 J over 1 charges");
+    }
+}

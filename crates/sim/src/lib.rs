@@ -1,0 +1,36 @@
+//! Deterministic discrete-event simulation kernel for the µPnP reproduction.
+//!
+//! The paper evaluates µPnP on physical hardware: an ATMega128RFA1
+//! microcontroller running Contiki 2.7 with an 802.15.4 radio. This crate
+//! provides the substrate that stands in for that testbed:
+//!
+//! * [`time`] — a virtual clock with nanosecond resolution ([`SimTime`],
+//!   [`SimDuration`]). All timings reported by the reproduction are measured
+//!   in virtual time, never wall-clock time, so every experiment is exactly
+//!   reproducible.
+//! * [`sched`] — a binary-heap event scheduler generic over the event payload
+//!   type. Ties are broken by insertion order, which keeps runs deterministic.
+//! * [`rng`] — a seeded deterministic random source with helpers for sampling
+//!   component tolerances and packet loss.
+//! * [`energy`] — joule accounting: integrating meters and power-state
+//!   trackers used by the hardware, radio and deployment models.
+//! * [`cpu`] — a calibrated cost model of the ATMega128RFA1 (16 MHz AVR) that
+//!   converts abstract operation costs into virtual time and energy, so the
+//!   paper's millisecond-scale Tables 2/4 numbers can be compared
+//!   shape-for-shape.
+//! * [`trace`] — a bounded trace recorder used to dump waveforms
+//!   (Figures 2, 3 and 5) and protocol timelines.
+
+pub mod cpu;
+pub mod energy;
+pub mod rng;
+pub mod sched;
+pub mod time;
+pub mod trace;
+
+pub use cpu::{AvrCostModel, CpuCost};
+pub use energy::{EnergyMeter, PowerState, PowerTracker};
+pub use rng::SimRng;
+pub use sched::{EventEntry, Scheduler};
+pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,204 @@
+//! Seeded deterministic randomness.
+//!
+//! All stochastic behaviour in the reproduction — component tolerances,
+//! measurement jitter, packet loss, workload arrival — flows through
+//! [`SimRng`] so that a single `u64` seed pins down an entire experiment.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random source for simulations.
+///
+/// Wraps a seeded [`StdRng`] and adds the sampling helpers the µPnP models
+/// need (tolerance bands, jitter, Bernoulli loss).
+///
+/// # Examples
+///
+/// ```
+/// use upnp_sim::SimRng;
+///
+/// let mut a = SimRng::seed(42);
+/// let mut b = SimRng::seed(42);
+/// assert_eq!(a.next_u32(), b.next_u32());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from an explicit seed.
+    pub fn seed(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator, e.g. one per node.
+    ///
+    /// The child stream is decorrelated from the parent by a fixed odd
+    /// multiplier (splitmix-style), so sibling streams do not overlap in
+    /// practice.
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        let base: u64 = self.inner.gen();
+        SimRng::seed(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Returns the next raw 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        self.inner.gen()
+    }
+
+    /// Returns the next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Samples uniformly from `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "uniform range is empty: [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Samples a uniform integer from `[lo, hi]` inclusive.
+    pub fn uniform_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Samples a relative error uniformly from `[-tolerance, +tolerance]`.
+    ///
+    /// This models a component drawn from a bin whose datasheet guarantees
+    /// `value = nominal × (1 ± tolerance)`; manufacturers bin parts, so a
+    /// uniform distribution across the bin is the standard conservative
+    /// model (worse than Gaussian for decode margin analysis).
+    pub fn tolerance(&mut self, tolerance: f64) -> f64 {
+        assert!(tolerance >= 0.0, "negative tolerance");
+        if tolerance == 0.0 {
+            0.0
+        } else {
+            self.inner.gen_range(-tolerance..=tolerance)
+        }
+    }
+
+    /// Samples from a zero-mean Gaussian with the given standard deviation
+    /// (Box–Muller; no external distribution crate needed).
+    pub fn gaussian(&mut self, sigma: f64) -> f64 {
+        if sigma == 0.0 {
+            return 0.0;
+        }
+        // Box–Muller transform on two uniforms in (0, 1].
+        let u1: f64 = 1.0 - self.inner.gen::<f64>();
+        let u2: f64 = self.inner.gen();
+        let mag = (-2.0 * u1.ln()).sqrt();
+        sigma * mag * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Returns true with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// Picks a uniformly random element index for a slice of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "cannot pick from an empty slice");
+        self.inner.gen_range(0..len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed(7);
+        let mut b = SimRng::seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed(1);
+        let mut b = SimRng::seed(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forked_streams_are_reproducible_and_distinct() {
+        let mut parent1 = SimRng::seed(99);
+        let mut parent2 = SimRng::seed(99);
+        let mut c1 = parent1.fork(5);
+        let mut c2 = parent2.fork(5);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+
+        let mut parent3 = SimRng::seed(99);
+        let mut d1 = parent3.fork(6);
+        let mut parent4 = SimRng::seed(99);
+        let mut d2 = parent4.fork(7);
+        assert_ne!(d1.next_u64(), d2.next_u64());
+    }
+
+    #[test]
+    fn tolerance_stays_in_band() {
+        let mut rng = SimRng::seed(3);
+        for _ in 0..10_000 {
+            let e = rng.tolerance(0.01);
+            assert!((-0.01..=0.01).contains(&e), "out of band: {e}");
+        }
+        assert_eq!(rng.tolerance(0.0), 0.0);
+    }
+
+    #[test]
+    fn uniform_bounds_respected() {
+        let mut rng = SimRng::seed(4);
+        for _ in 0..10_000 {
+            let v = rng.uniform(2.0, 3.0);
+            assert!((2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gaussian_is_roughly_centred() {
+        let mut rng = SimRng::seed(5);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gaussian(1.0)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "gaussian mean drifted: {mean}");
+        assert_eq!(rng.gaussian(0.0), 0.0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed(6);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+
+    #[test]
+    fn index_covers_range() {
+        let mut rng = SimRng::seed(8);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.index(10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,254 @@
+//! Deterministic event scheduler.
+//!
+//! A classic discrete-event simulation core: a priority queue of
+//! `(time, sequence, event)` entries popped in time order. The monotonically
+//! increasing sequence number breaks ties in insertion order, which makes
+//! runs bit-for-bit reproducible — an essential property for the paper's
+//! experiments, every one of which we re-run under fixed seeds.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// An event queued for execution at a virtual instant.
+#[derive(Debug, Clone)]
+pub struct EventEntry<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Insertion sequence number; orders simultaneous events.
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for EventEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for EventEntry<E> {}
+
+impl<E> PartialOrd for EventEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for EventEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // `BinaryHeap` is a max-heap; invert so the earliest entry wins.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event scheduler.
+///
+/// The scheduler owns the virtual clock: popping an event advances
+/// [`Scheduler::now`] to the event's timestamp. Scheduling into the past is
+/// a logic error and panics, as it would silently reorder causality.
+///
+/// # Examples
+///
+/// ```
+/// use upnp_sim::{Scheduler, SimDuration};
+///
+/// let mut sched: Scheduler<&str> = Scheduler::new();
+/// sched.schedule_in(SimDuration::from_millis(10), "b");
+/// sched.schedule_in(SimDuration::from_millis(5), "a");
+/// assert_eq!(sched.pop().unwrap().event, "a");
+/// assert_eq!(sched.pop().unwrap().event, "b");
+/// assert_eq!(sched.now().as_nanos(), 10_000_000);
+/// ```
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<EventEntry<E>>,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler with the clock at zero.
+    pub fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+        }
+    }
+
+    /// Returns the current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns true if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Schedules `event` at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current virtual time.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduled into the past: {at} < now {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(EventEntry { at, seq, event });
+    }
+
+    /// Schedules `event` after the relative delay `delay`.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedules `event` at the current instant (after already-queued
+    /// events with the same timestamp).
+    pub fn schedule_now(&mut self, event: E) {
+        self.schedule_at(self.now, event);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<EventEntry<E>> {
+        let entry = self.queue.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        Some(entry)
+    }
+
+    /// Returns the timestamp of the next pending event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|e| e.at)
+    }
+
+    /// Advances the clock to `at` without executing anything.
+    ///
+    /// Useful for idle periods (e.g. fast-forwarding a one-year deployment
+    /// between peripheral changes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time or would skip over a
+    /// pending event.
+    pub fn advance_to(&mut self, at: SimTime) {
+        assert!(at >= self.now, "advance_to into the past");
+        if let Some(next) = self.peek_time() {
+            assert!(
+                at <= next,
+                "advance_to {at} would skip a pending event at {next}"
+            );
+        }
+        self.now = at;
+    }
+
+    /// Drains and returns all pending events in firing order, advancing the
+    /// clock to the last event's timestamp.
+    pub fn drain_ordered(&mut self) -> Vec<EventEntry<E>> {
+        let mut out = Vec::with_capacity(self.queue.len());
+        while let Some(e) = self.pop() {
+            out.push(e);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_in(SimDuration::from_millis(30), 3);
+        s.schedule_in(SimDuration::from_millis(10), 1);
+        s.schedule_in(SimDuration::from_millis(20), 2);
+        let order: Vec<u32> = s.drain_ordered().into_iter().map(|e| e.event).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_in_insertion_order() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        for i in 0..100 {
+            s.schedule_in(SimDuration::from_millis(5), i);
+        }
+        let order: Vec<u32> = s.drain_ordered().into_iter().map(|e| e.event).collect();
+        let expect: Vec<u32> = (0..100).collect();
+        assert_eq!(order, expect);
+    }
+
+    #[test]
+    fn pop_advances_clock() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.schedule_in(SimDuration::from_micros(7), ());
+        assert_eq!(s.now(), SimTime::ZERO);
+        s.pop().unwrap();
+        assert_eq!(s.now().as_nanos(), 7_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled into the past")]
+    fn scheduling_into_past_panics() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.schedule_in(SimDuration::from_millis(1), ());
+        s.pop();
+        s.schedule_at(SimTime::ZERO, ());
+    }
+
+    #[test]
+    fn advance_to_is_bounded_by_next_event() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.schedule_in(SimDuration::from_millis(10), ());
+        s.advance_to(SimTime::from_nanos(5_000_000));
+        assert_eq!(s.now().as_nanos(), 5_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "would skip a pending event")]
+    fn advance_past_event_panics() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.schedule_in(SimDuration::from_millis(1), ());
+        s.advance_to(SimTime::from_nanos(2_000_000));
+    }
+
+    #[test]
+    fn schedule_now_runs_after_equal_timestamps() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule_now("first");
+        s.schedule_now("second");
+        assert_eq!(s.pop().unwrap().event, "first");
+        assert_eq!(s.pop().unwrap().event, "second");
+    }
+
+    #[test]
+    fn len_and_is_empty_track_queue() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        assert!(s.is_empty());
+        s.schedule_now(());
+        assert_eq!(s.len(), 1);
+        s.pop();
+        assert!(s.is_empty());
+        assert!(s.pop().is_none());
+    }
+}

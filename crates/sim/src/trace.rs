@@ -1,0 +1,210 @@
+//! Bounded trace recording for waveforms and protocol timelines.
+//!
+//! The paper's Figures 2, 3 and 5 are oscilloscope-style waveforms (pulse
+//! trains on the multivibrator output, channel-enable lines). The hardware
+//! simulation records logic-level transitions into a [`Trace`]; the
+//! experiment harness renders them as the same time-series the figures show.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// A single recorded sample: a labelled signal took `value` at `at`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// When the transition happened.
+    pub at: SimTime,
+    /// Which signal ("output", "channelA EN", "trigger", ...).
+    pub signal: &'static str,
+    /// The signal's new value (0/1 for logic levels; arbitrary for analog).
+    pub value: f64,
+}
+
+/// A bounded in-memory trace of signal transitions.
+///
+/// Keeps at most `capacity` events, discarding the oldest — the same
+/// behaviour as a digital scope's circular capture buffer.
+///
+/// # Examples
+///
+/// ```
+/// use upnp_sim::{SimTime, Trace};
+///
+/// let mut t = Trace::new(8);
+/// t.record(SimTime::ZERO, "output", 1.0);
+/// t.record(SimTime::from_nanos(500), "output", 0.0);
+/// assert_eq!(t.len(), 2);
+/// let pulse: Vec<_> = t.signal("output").collect();
+/// assert_eq!(pulse.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trace {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            dropped: 0,
+        }
+    }
+
+    /// Records a transition; evicts the oldest event when full.
+    pub fn record(&mut self, at: SimTime, signal: &'static str, value: f64) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent { at, signal, value });
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates over all retained events in record order.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Iterates over the events of one signal.
+    pub fn signal<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.signal == name)
+    }
+
+    /// Extracts `(start, end)` high-pulse intervals of a logic signal.
+    ///
+    /// A pulse starts when the signal rises above 0.5 and ends when it falls
+    /// back below. A trailing un-terminated pulse is ignored.
+    pub fn pulses(&self, name: &str) -> Vec<(SimTime, SimTime)> {
+        let mut out = Vec::new();
+        let mut rise: Option<SimTime> = None;
+        for e in self.signal(name) {
+            let high = e.value > 0.5;
+            match (high, rise) {
+                (true, None) => rise = Some(e.at),
+                (false, Some(start)) => {
+                    out.push((start, e.at));
+                    rise = None;
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Clears all retained events (the drop counter is kept).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "{} {} = {}", e.at, e.signal, e.value)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn records_and_filters_by_signal() {
+        let mut tr = Trace::new(16);
+        tr.record(t(0), "a", 1.0);
+        tr.record(t(1), "b", 1.0);
+        tr.record(t(2), "a", 0.0);
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.signal("a").count(), 2);
+        assert_eq!(tr.signal("b").count(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut tr = Trace::new(2);
+        tr.record(t(0), "s", 0.0);
+        tr.record(t(1), "s", 1.0);
+        tr.record(t(2), "s", 0.0);
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.dropped(), 1);
+        assert_eq!(tr.iter().next().unwrap().at, t(1));
+    }
+
+    #[test]
+    fn pulse_extraction() {
+        let mut tr = Trace::new(64);
+        // Two clean pulses and one unterminated one.
+        tr.record(t(0), "out", 0.0);
+        tr.record(t(10), "out", 1.0);
+        tr.record(t(15), "out", 0.0);
+        tr.record(t(20), "out", 1.0);
+        tr.record(t(28), "out", 0.0);
+        tr.record(t(30), "out", 1.0);
+        let pulses = tr.pulses("out");
+        assert_eq!(pulses, vec![(t(10), t(15)), (t(20), t(28))]);
+    }
+
+    #[test]
+    fn pulses_ignore_repeated_levels() {
+        let mut tr = Trace::new(64);
+        tr.record(t(0), "out", 1.0);
+        tr.record(t(1), "out", 1.0); // still high
+        tr.record(t(5), "out", 0.0);
+        assert_eq!(tr.pulses("out"), vec![(t(0), t(5))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        Trace::new(0);
+    }
+
+    #[test]
+    fn clear_retains_drop_count() {
+        let mut tr = Trace::new(1);
+        tr.record(t(0), "s", 0.0);
+        tr.record(t(1), "s", 1.0);
+        tr.clear();
+        assert!(tr.is_empty());
+        assert_eq!(tr.dropped(), 1);
+    }
+
+    #[test]
+    fn display_lists_events() {
+        let mut tr = Trace::new(4);
+        tr.record(t(1), "out", 1.0);
+        let s = tr.to_string();
+        assert!(s.contains("out = 1"));
+    }
+}

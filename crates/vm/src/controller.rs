@@ -1,0 +1,223 @@
+//! The peripheral controller (paper §4.2).
+//!
+//! "The peripheral controller interfaces with the µPnP control board and
+//! implements the hardware identification algorithm. Peripheral connection
+//! or disconnection is detected based upon an interrupt. The peripheral
+//! identification circuit is then activated and the timed pulse that
+//! results is read via a digital I/O pin." This module services the
+//! interrupt: it runs a scan and diffs the result against the known
+//! peripheral set, producing connection/disconnection change records the
+//! runtime turns into `init`/`destroy` driver events and network
+//! advertisements.
+
+use std::collections::HashMap;
+
+use upnp_hw::board::{ChannelResult, ControlBoard, ScanOutcome};
+use upnp_hw::channels::ChannelId;
+use upnp_hw::id::DeviceTypeId;
+use upnp_sim::SimTime;
+
+/// A detected change in the peripheral population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeripheralChange {
+    /// A peripheral appeared on a channel.
+    Connected {
+        /// The channel it occupies.
+        channel: ChannelId,
+        /// Its identified type.
+        device_id: DeviceTypeId,
+    },
+    /// A peripheral disappeared from a channel.
+    Disconnected {
+        /// The channel it occupied.
+        channel: ChannelId,
+        /// The type that was known there.
+        device_id: DeviceTypeId,
+    },
+    /// A channel produced pulses that failed to decode.
+    IdentificationFailed {
+        /// The failing channel.
+        channel: ChannelId,
+    },
+}
+
+/// The peripheral controller: control board + known-population state.
+pub struct PeripheralController {
+    board: ControlBoard,
+    known: HashMap<ChannelId, DeviceTypeId>,
+}
+
+impl PeripheralController {
+    /// Wraps a control board.
+    pub fn new(board: ControlBoard) -> Self {
+        PeripheralController {
+            board,
+            known: HashMap::new(),
+        }
+    }
+
+    /// The underlying board (plugging/unplugging, traces, energy).
+    pub fn board(&self) -> &ControlBoard {
+        &self.board
+    }
+
+    /// Mutable access to the board.
+    pub fn board_mut(&mut self) -> &mut ControlBoard {
+        &mut self.board
+    }
+
+    /// The currently known peripheral on `channel`.
+    pub fn known(&self, channel: ChannelId) -> Option<DeviceTypeId> {
+        self.known.get(&channel).copied()
+    }
+
+    /// True if the board's interrupt line is raised.
+    pub fn interrupt_pending(&self) -> bool {
+        self.board.interrupt_pending()
+    }
+
+    /// Services the interrupt: runs the identification scan and diffs the
+    /// outcome against the known population.
+    ///
+    /// Returns the scan (for timing/energy accounting) and the changes.
+    pub fn service_interrupt(
+        &mut self,
+        now: SimTime,
+        temp_c: f64,
+    ) -> (ScanOutcome, Vec<PeripheralChange>) {
+        let outcome = self.board.scan(now, temp_c);
+        let mut changes = Vec::new();
+        for reading in &outcome.channels {
+            let channel = reading.channel;
+            let previous = self.known.get(&channel).copied();
+            match reading.result {
+                ChannelResult::Empty => {
+                    if let Some(device_id) = previous {
+                        self.known.remove(&channel);
+                        changes.push(PeripheralChange::Disconnected { channel, device_id });
+                    }
+                }
+                ChannelResult::Identified(device_id) => match previous {
+                    Some(old) if old == device_id => {}
+                    Some(old) => {
+                        // Hot-swap within one scan window: report both.
+                        self.known.insert(channel, device_id);
+                        changes.push(PeripheralChange::Disconnected {
+                            channel,
+                            device_id: old,
+                        });
+                        changes.push(PeripheralChange::Connected { channel, device_id });
+                    }
+                    None => {
+                        self.known.insert(channel, device_id);
+                        changes.push(PeripheralChange::Connected { channel, device_id });
+                    }
+                },
+                ChannelResult::DecodeFailed { .. } => {
+                    changes.push(PeripheralChange::IdentificationFailed { channel });
+                }
+            }
+        }
+        (outcome, changes)
+    }
+}
+
+impl std::fmt::Debug for PeripheralController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeripheralController")
+            .field("known", &self.known.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upnp_hw::id::prototypes;
+    use upnp_hw::peripheral::{Interconnect, PeripheralBoard};
+
+    fn controller() -> PeripheralController {
+        PeripheralController::new(ControlBoard::ideal())
+    }
+
+    fn board_for(id: DeviceTypeId) -> PeripheralBoard {
+        PeripheralBoard::manufacture_ideal(id, Interconnect::Adc).unwrap()
+    }
+
+    #[test]
+    fn connect_then_disconnect() {
+        let mut c = controller();
+        c.board_mut()
+            .plug(ChannelId(0), board_for(prototypes::TMP36))
+            .unwrap();
+        assert!(c.interrupt_pending());
+        let (_, changes) = c.service_interrupt(SimTime::ZERO, 25.0);
+        assert_eq!(
+            changes,
+            vec![PeripheralChange::Connected {
+                channel: ChannelId(0),
+                device_id: prototypes::TMP36
+            }]
+        );
+        assert_eq!(c.known(ChannelId(0)), Some(prototypes::TMP36));
+
+        c.board_mut().unplug(ChannelId(0)).unwrap();
+        let (_, changes) = c.service_interrupt(SimTime::ZERO, 25.0);
+        assert_eq!(
+            changes,
+            vec![PeripheralChange::Disconnected {
+                channel: ChannelId(0),
+                device_id: prototypes::TMP36
+            }]
+        );
+        assert_eq!(c.known(ChannelId(0)), None);
+    }
+
+    #[test]
+    fn rescan_without_changes_is_quiet() {
+        let mut c = controller();
+        c.board_mut()
+            .plug(ChannelId(1), board_for(prototypes::BMP180))
+            .unwrap();
+        c.service_interrupt(SimTime::ZERO, 25.0);
+        let (_, changes) = c.service_interrupt(SimTime::ZERO, 25.0);
+        assert!(changes.is_empty());
+    }
+
+    #[test]
+    fn hot_swap_reports_both_changes() {
+        let mut c = controller();
+        c.board_mut()
+            .plug(ChannelId(0), board_for(prototypes::TMP36))
+            .unwrap();
+        c.service_interrupt(SimTime::ZERO, 25.0);
+        c.board_mut().unplug(ChannelId(0)).unwrap();
+        c.board_mut()
+            .plug(ChannelId(0), board_for(prototypes::HIH4030))
+            .unwrap();
+        let (_, changes) = c.service_interrupt(SimTime::ZERO, 25.0);
+        assert_eq!(changes.len(), 2);
+        assert!(matches!(changes[0], PeripheralChange::Disconnected { .. }));
+        assert!(matches!(
+            changes[1],
+            PeripheralChange::Connected {
+                device_id,
+                ..
+            } if device_id == prototypes::HIH4030
+        ));
+    }
+
+    #[test]
+    fn multiple_channels_in_one_scan() {
+        let mut c = controller();
+        c.board_mut()
+            .plug(ChannelId(0), board_for(prototypes::TMP36))
+            .unwrap();
+        c.board_mut()
+            .plug(ChannelId(2), board_for(prototypes::ID20LA))
+            .unwrap();
+        let (outcome, changes) = c.service_interrupt(SimTime::ZERO, 25.0);
+        assert_eq!(changes.len(), 2);
+        assert_eq!(outcome.identified().count(), 2);
+    }
+}

@@ -1,0 +1,83 @@
+//! VM cells: 32-bit values holding integers or IEEE-754 floats.
+//!
+//! The stack-based VM keeps every value in a single 32-bit cell (§4.2:
+//! "a simple and memory-efficient approach"). Integer opcodes treat the
+//! cell as `i32`; float opcodes reinterpret the same bits as `f32` — the
+//! compiler's static typing guarantees the right opcode family is used.
+
+/// One 32-bit VM cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Cell(pub i32);
+
+impl Cell {
+    /// The zero cell.
+    pub const ZERO: Cell = Cell(0);
+
+    /// Creates a cell from an integer.
+    pub fn from_i32(v: i32) -> Cell {
+        Cell(v)
+    }
+
+    /// Creates a cell from a float (bit reinterpretation).
+    pub fn from_f32(v: f32) -> Cell {
+        Cell(v.to_bits() as i32)
+    }
+
+    /// The cell as an integer.
+    pub fn as_i32(self) -> i32 {
+        self.0
+    }
+
+    /// The cell as a float (bit reinterpretation).
+    pub fn as_f32(self) -> f32 {
+        f32::from_bits(self.0 as u32)
+    }
+
+    /// True if the cell is non-zero (the VM's truthiness).
+    pub fn truthy(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl From<i32> for Cell {
+    fn from(v: i32) -> Cell {
+        Cell(v)
+    }
+}
+
+impl From<f32> for Cell {
+    fn from(v: f32) -> Cell {
+        Cell::from_f32(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_roundtrip() {
+        for v in [0, 1, -1, i32::MAX, i32::MIN, 42] {
+            assert_eq!(Cell::from_i32(v).as_i32(), v);
+        }
+    }
+
+    #[test]
+    fn float_roundtrip_preserves_bits() {
+        for v in [0.0f32, -0.0, 1.5, -3.25, f32::INFINITY, f32::MIN_POSITIVE] {
+            assert_eq!(Cell::from_f32(v).as_f32().to_bits(), v.to_bits());
+        }
+        // NaN keeps its payload through the cell.
+        let nan = f32::from_bits(0x7fc0_1234);
+        assert_eq!(Cell::from_f32(nan).as_f32().to_bits(), 0x7fc0_1234);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Cell::ZERO.truthy());
+        assert!(Cell::from_i32(1).truthy());
+        assert!(Cell::from_i32(-7).truthy());
+        // Note: float 0.0 has all-zero bits, so it is falsy too.
+        assert!(!Cell::from_f32(0.0).truthy());
+    }
+}

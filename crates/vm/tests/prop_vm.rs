@@ -1,0 +1,170 @@
+//! Property tests for the VM: totality on hostile bytecode (a Thing must
+//! survive any over-the-air image a malicious manager could send) and
+//! arithmetic conformance.
+
+use proptest::prelude::*;
+use upnp_dsl::ast::Type;
+use upnp_dsl::compile_source;
+use upnp_dsl::events::ids;
+use upnp_dsl::image::{BusKind, DriverImage, GlobalSlot, HandlerEntry};
+use upnp_vm::value::Cell;
+use upnp_vm::vm::DriverInstance;
+
+proptest! {
+    /// The interpreter never panics, whatever bytecode it is fed — faults
+    /// surface as `VmError`s. (The image parser would reject undecodable
+    /// opcodes; this drives the interpreter directly to also cover
+    /// mid-stream corruption.)
+    #[test]
+    fn interpreter_is_total_on_arbitrary_code(
+        code in prop::collection::vec(any::<u8>(), 1..120),
+        args in prop::collection::vec(any::<i32>(), 0..3),
+    ) {
+        let image = DriverImage {
+            device_id: 1,
+            bus: BusKind::None,
+            imports: vec![],
+            globals: vec![
+                GlobalSlot { ty: Type::U8, array_len: None },
+                GlobalSlot { ty: Type::I32, array_len: Some(4) },
+            ],
+            handlers: vec![HandlerEntry { event_id: ids::INIT, n_params: args.len() as u8, offset: 0 }],
+            code,
+        };
+        let mut d = DriverInstance::new(image);
+        let cells: Vec<Cell> = args.iter().map(|&a| Cell::from_i32(a)).collect();
+        let outcome = d.run_handler(ids::INIT, &cells);
+        // Either it terminated cleanly or it faulted; both are fine — the
+        // property is the absence of panics and of runaway execution.
+        prop_assert!(outcome.instructions <= upnp_vm::vm::GAS_LIMIT);
+    }
+
+    /// Compiled integer arithmetic agrees with Rust's wrapping semantics.
+    #[test]
+    fn arithmetic_conformance(a in -10_000i32..10_000, b in -10_000i32..10_000) {
+        let src = "\
+int32_t a, b, sum, diff, prod;
+event init():
+    return;
+event destroy():
+    return;
+event write(int32_t x):
+    a = x;
+event read():
+    sum = a + b;
+    diff = a - b;
+    prod = a * b;
+    return sum;
+";
+        let mut d = DriverInstance::new(compile_source(src, 1).unwrap());
+        d.run_handler(ids::WRITE, &[Cell::from_i32(a)]);
+        // Set b through a second write path: reuse write to set a, then
+        // poke b by recompiling is overkill — use two instances instead.
+        let src_b = src.replace("a = x;", "b = x;");
+        let mut d2 = DriverInstance::new(compile_source(&src_b, 1).unwrap());
+        d2.run_handler(ids::WRITE, &[Cell::from_i32(b)]);
+
+        // Single-instance check: a set, b zero.
+        let out = d.run_handler(ids::READ, &[]);
+        prop_assert!(out.error.is_none());
+        prop_assert_eq!(d.scalar(2).unwrap().as_i32(), a); // sum = a + 0
+        prop_assert_eq!(d.scalar(3).unwrap().as_i32(), a); // diff = a - 0
+        prop_assert_eq!(d.scalar(4).unwrap().as_i32(), 0); // prod = a * 0
+
+        let out2 = d2.run_handler(ids::READ, &[]);
+        prop_assert!(out2.error.is_none());
+        prop_assert_eq!(d2.scalar(2).unwrap().as_i32(), b);
+        prop_assert_eq!(d2.scalar(3).unwrap().as_i32(), 0i32.wrapping_sub(b));
+        prop_assert_eq!(d2.scalar(4).unwrap().as_i32(), 0);
+    }
+
+    /// Narrow stores truncate exactly like C casts.
+    #[test]
+    fn width_truncation_matches_c(v in any::<i32>()) {
+        let src = "\
+uint8_t u8v;
+int8_t i8v;
+uint16_t u16v;
+int16_t i16v;
+event init():
+    return;
+event destroy():
+    return;
+event write(int32_t x):
+    u8v = x;
+    i8v = x;
+    u16v = x;
+    i16v = x;
+";
+        let mut d = DriverInstance::new(compile_source(src, 1).unwrap());
+        let out = d.run_handler(ids::WRITE, &[Cell::from_i32(v)]);
+        prop_assert!(out.error.is_none());
+        prop_assert_eq!(d.scalar(0).unwrap().as_i32(), (v as u8) as i32);
+        prop_assert_eq!(d.scalar(1).unwrap().as_i32(), (v as i8) as i32);
+        prop_assert_eq!(d.scalar(2).unwrap().as_i32(), (v as u16) as i32);
+        prop_assert_eq!(d.scalar(3).unwrap().as_i32(), (v as i16) as i32);
+    }
+
+    /// Shift semantics match Rust's wrapping shifts masked to 5 bits.
+    #[test]
+    fn shift_conformance(v in any::<i32>(), s in 0i32..64) {
+        let src = "\
+int32_t value, shift, left, right;
+event init():
+    return;
+event destroy():
+    return;
+event write(int32_t x, int32_t n):
+    value = x;
+    shift = n;
+    left = value << shift;
+    right = value >> shift;
+";
+        // `write` is declared with 1 param in the ABI; use a custom event
+        // instead.
+        let src = src.replace("event write(int32_t x, int32_t n):", "event setboth(int32_t x, int32_t n):");
+        let mut d = DriverInstance::new(compile_source(&src, 1).unwrap());
+        let ev = d
+            .image()
+            .handlers
+            .iter()
+            .map(|h| h.event_id)
+            .find(|&e| e >= 128)
+            .unwrap();
+        let out = d.run_handler(ev, &[Cell::from_i32(v), Cell::from_i32(s)]);
+        prop_assert!(out.error.is_none());
+        prop_assert_eq!(d.scalar(2).unwrap().as_i32(), v.wrapping_shl(s as u32 & 31));
+        prop_assert_eq!(d.scalar(3).unwrap().as_i32(), v.wrapping_shr(s as u32 & 31));
+    }
+
+    /// Division faults exactly on zero divisors and never otherwise.
+    #[test]
+    fn division_faults_only_on_zero(a in any::<i32>(), b in any::<i32>()) {
+        let src = "\
+int32_t a, b, q;
+event init():
+    return;
+event destroy():
+    return;
+event go(int32_t x, int32_t y):
+    a = x;
+    b = y;
+    q = a / b;
+";
+        let mut d = DriverInstance::new(compile_source(src, 1).unwrap());
+        let ev = d
+            .image()
+            .handlers
+            .iter()
+            .map(|h| h.event_id)
+            .find(|&e| e >= 128)
+            .unwrap();
+        let out = d.run_handler(ev, &[Cell::from_i32(a), Cell::from_i32(b)]);
+        if b == 0 {
+            prop_assert_eq!(out.error, Some(upnp_vm::vm::VmError::DivideByZero));
+        } else {
+            prop_assert!(out.error.is_none());
+            prop_assert_eq!(d.scalar(2).unwrap().as_i32(), a.wrapping_div(b));
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! The µPnP driver toolchain as a command-line tool: compile a driver,
+//! inspect its image, disassemble its bytecode and print the resistor set
+//! its peripheral would carry.
+//!
+//! ```text
+//! cargo run --example dsl_tool                      # tour of the shipped drivers
+//! cargo run --example dsl_tool -- path/to/drv.upnp 0xDEADBEEF
+//! ```
+
+use micropnp::dsl::{compile_source, drivers, sloc};
+use micropnp::hw::id::DeviceTypeId;
+use micropnp::hw::solver;
+
+fn show(name: &str, source: &str, device_id: DeviceTypeId) {
+    println!("==== {name} ({device_id}) ====");
+    match compile_source(source, device_id.raw()) {
+        Ok(image) => {
+            println!(
+                "{} SLoC -> {} bytes over the air",
+                sloc::count_dsl(source),
+                image.size_bytes()
+            );
+            print!("{}", image.dump());
+            match solver::solve_resistors(device_id) {
+                Ok(solved) => print!("{}", solved.bill_of_materials()),
+                Err(e) => println!("no resistor set: {e}"),
+            }
+        }
+        Err(e) => println!("compile error: {e}"),
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let [path, id] = &args[..] {
+        let source = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        let device_id: DeviceTypeId = id.parse().unwrap_or_else(|e| {
+            eprintln!("bad device id {id}: {e}");
+            std::process::exit(1);
+        });
+        show(path, &source, device_id);
+        return;
+    }
+
+    use micropnp::hw::id::prototypes;
+    show("TMP36 driver", drivers::TMP36, prototypes::TMP36);
+    show(
+        "ID-20LA driver (the paper's Listing 1)",
+        drivers::ID20LA,
+        prototypes::ID20LA,
+    );
+    show("BMP180 driver", drivers::BMP180, prototypes::BMP180);
+}

@@ -1,0 +1,62 @@
+//! Energy study: regenerate Figure 12's headline — µPnP identification
+//! versus an always-powered USB host controller over a one-year
+//! deployment.
+//!
+//! ```text
+//! cargo run --release --example energy_study
+//! ```
+
+use micropnp::energy::deployment::{simulate_year, Technology, YearConfig};
+use micropnp::energy::ident::{ident_energy_stats, random_ids};
+use micropnp::hw::id::prototypes;
+use micropnp::hw::peripheral::Interconnect;
+use micropnp::sim::SimRng;
+
+fn main() {
+    // §6.1: the identification-energy distribution.
+    println!("== identification energy (section 6.1) ==");
+    let protos = ident_energy_stats(&prototypes::ALL);
+    println!(
+        "prototype peripherals: {:.0}-{:.0} ms, {:.2}-{:.2} mJ (paper: 220-300 ms, 2.48-6.76 mJ)",
+        protos.min_time_s * 1e3,
+        protos.max_time_s * 1e3,
+        protos.min_energy_j * 1e3,
+        protos.max_energy_j * 1e3,
+    );
+    let mut rng = SimRng::seed(99);
+    let random = ident_energy_stats(&random_ids(300, &mut rng));
+    println!(
+        "random id space:       {:.0}-{:.0} ms, {:.2}-{:.2} mJ (mean {:.2} mJ)",
+        random.min_time_s * 1e3,
+        random.max_time_s * 1e3,
+        random.min_energy_j * 1e3,
+        random.max_energy_j * 1e3,
+        random.mean_energy_j * 1e3,
+    );
+
+    // Figure 12: the sweep.
+    println!("\n== one-year deployment energy (figure 12) ==");
+    let config = YearConfig::default();
+    println!(
+        "{:>10} {:>13} {:>13} {:>13} {:>13}",
+        "rate (min)", "USB host (J)", "uPnP+ADC (J)", "uPnP+I2C (J)", "uPnP+UART (J)"
+    );
+    for rate in micropnp::energy::deployment::FIGURE_12_RATES {
+        let usb = simulate_year(Technology::UsbHost, rate, &config);
+        let adc = simulate_year(Technology::Upnp(Interconnect::Adc), rate, &config);
+        let i2c = simulate_year(Technology::Upnp(Interconnect::I2c), rate, &config);
+        let uart = simulate_year(Technology::Upnp(Interconnect::Uart), rate, &config);
+        println!(
+            "{rate:>10} {:>13.3e} {:>13.3e} {:>13.3e} {:>13.3e}",
+            usb.energy_j, adc.energy_j, i2c.energy_j, uart.energy_j
+        );
+    }
+
+    // The headline claim.
+    let usb = simulate_year(Technology::UsbHost, 60, &config).energy_j;
+    let upnp = simulate_year(Technology::Upnp(Interconnect::Adc), 60, &config).energy_j;
+    println!(
+        "\nhourly changes: USB consumes {:.0}x more energy than uPnP+ADC (paper: >10^4 x)",
+        usb / upnp
+    );
+}

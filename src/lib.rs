@@ -1,0 +1,48 @@
+//! # micropnp — a reproduction of *µPnP: Plug and Play Peripherals for
+//! the Internet of Things* (EuroSys 2015)
+//!
+//! µPnP gives resource-constrained IoT devices true plug-and-play
+//! peripheral integration through three coupled contributions:
+//!
+//! 1. **hardware identification** — four resistors on the peripheral,
+//!    chained monostable multivibrators on the control board, a 32-bit
+//!    device-type identifier decoded from pulse widths ([`hw`]);
+//! 2. **a driver DSL and VM** — typed, event-based driver programs
+//!    compiled to compact bytecode, deployed over the air and executed by
+//!    a stack-based virtual machine ([`dsl`], [`vm`]);
+//! 3. **an IPv6-multicast network architecture** — per-peripheral-type
+//!    multicast groups, a 17-message UDP protocol, discovery and
+//!    read/stream/write interactions ([`net`], [`core`]).
+//!
+//! This facade re-exports the workspace crates under one name. Start with
+//! [`core::world::World`]:
+//!
+//! ```
+//! use micropnp::core::world::{World, WorldConfig};
+//! use micropnp::hw::id::prototypes;
+//! use micropnp::net::msg::Value;
+//!
+//! let mut world = World::new(WorldConfig::default());
+//! world.add_manager();
+//! let thing = world.add_thing();
+//! let client = world.add_client();
+//! world.star_topology();
+//!
+//! // Plug a TMP36 in: identification, OTA driver install, advertisement.
+//! world.thing_mut(thing).runtime.hw.env.temperature_c = 23.0;
+//! world.plug_and_wait(thing, 0, prototypes::TMP36);
+//!
+//! // Read it remotely.
+//! let value = world.client_read(client, thing, prototypes::TMP36).unwrap();
+//! assert!(matches!(value, Value::F32(t) if (t - 23.0).abs() < 1.5));
+//! ```
+
+pub use upnp_bus as bus;
+pub use upnp_core as core;
+pub use upnp_dsl as dsl;
+pub use upnp_energy as energy;
+pub use upnp_hw as hw;
+pub use upnp_native_drivers as native_drivers;
+pub use upnp_net as net;
+pub use upnp_sim as sim;
+pub use upnp_vm as vm;

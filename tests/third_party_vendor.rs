@@ -1,0 +1,133 @@
+//! The third-party vendor story (paper §3.3): allocate an identifier in
+//! the global address space, get the resistor bill of materials from the
+//! online tool, build the peripheral, write a driver in the DSL, publish
+//! it — and have an off-the-shelf Thing identify and serve it.
+
+use micropnp::core::registry::AddressSpace;
+use micropnp::dsl::compile_source;
+use micropnp::hw::board::{ChannelResult, ControlBoard};
+use micropnp::hw::channels::ChannelId;
+use micropnp::hw::components::ToleranceClass;
+use micropnp::hw::id::DeviceTypeId;
+use micropnp::hw::peripheral::{Interconnect, PeripheralBoard};
+use micropnp::sim::{SimRng, SimTime};
+
+/// A fictional vendor's soil-moisture sensor driver.
+const SOIL_DRIVER: &str = "\
+# Soil moisture sensor: ratiometric ADC reading in percent.
+import adc;
+
+uint16_t raw;
+float percent;
+
+event init():
+    signal adc.init();
+
+event destroy():
+    return;
+
+event read():
+    signal adc.read();
+
+event sampleDone(uint16_t r):
+    raw = r;
+    percent = (raw * 100.0) / 1023.0;
+    return percent;
+
+error timeOut():
+    return;
+";
+
+#[test]
+fn vendor_pipeline_from_allocation_to_identification() {
+    let mut rng = SimRng::seed(0xbeef);
+
+    // 1. Allocate an identifier at www.micropnp.com.
+    let mut registry = AddressSpace::new();
+    let device_id = registry
+        .allocate_any(
+            &mut rng,
+            "A. Vendor",
+            "Soil Sensors GmbH",
+            "a.vendor@example.org",
+            "https://example.org/soil",
+        )
+        .expect("free ids exist");
+
+    // 2. The online tool emits the resistor set for the PCB.
+    let bom = registry.bill_of_materials(device_id).unwrap();
+    assert!(bom.contains("R1A") && bom.contains("R4B"), "{bom}");
+
+    // 3. The vendor writes a driver in the DSL and uploads it; the
+    //    allocation becomes permanent.
+    let image = compile_source(SOIL_DRIVER, device_id.raw()).expect("driver compiles");
+    assert!(image.size_bytes() < 256, "OTA-friendly size");
+    registry.record_driver(device_id, 1).unwrap();
+    assert_eq!(
+        registry.collect_provisional(),
+        0,
+        "permanent ids survive GC"
+    );
+
+    // 4. A manufactured peripheral with precision resistors identifies on
+    //    a stock control board.
+    let peripheral = PeripheralBoard::manufacture(
+        device_id,
+        Interconnect::Adc,
+        ToleranceClass::PointOnePercent,
+        &mut rng,
+    )
+    .expect("BOM is realisable");
+    let mut board = ControlBoard::sample(&mut rng);
+    board.plug(ChannelId(0), peripheral).unwrap();
+    let outcome = board.scan(SimTime::ZERO, 25.0);
+    assert_eq!(
+        outcome.channels[0].result,
+        ChannelResult::Identified(device_id),
+        "stock board must identify the vendor peripheral"
+    );
+}
+
+#[test]
+fn vendor_driver_serves_reads_through_the_runtime() {
+    use micropnp::bus::adc::AnalogSource;
+    use micropnp::bus::Environment;
+    use micropnp::vm::runtime::{PendingKind, Runtime};
+
+    /// The vendor's sensor element: 0–3.3 V proportional to moisture.
+    struct SoilProbe;
+
+    impl AnalogSource for SoilProbe {
+        fn voltage(&self, env: &Environment, _rng: &mut SimRng) -> f64 {
+            // Reuse humidity as ground truth for the test.
+            env.humidity_rh / 100.0 * 3.3
+        }
+    }
+
+    let mut rt = Runtime::new(77);
+    rt.hw.env.humidity_rh = 42.0;
+    rt.hw.analog_sources.insert(0, Box::new(SoilProbe));
+    let image = compile_source(SOIL_DRIVER, 0x5011_0001).unwrap();
+    let slot = rt.install_driver(image, 0).unwrap();
+    rt.run_until_idle();
+    rt.request(slot, PendingKind::Read, vec![]);
+    let done = rt.run_until_idle();
+    let micropnp::vm::vm::ReturnValue::Scalar(cell) = done[0].value.clone().unwrap() else {
+        panic!("expected scalar");
+    };
+    assert!((cell.as_f32() - 42.0).abs() < 1.0, "{}", cell.as_f32());
+}
+
+#[test]
+fn reserved_and_duplicate_allocations_are_refused() {
+    let mut registry = AddressSpace::new();
+    assert!(registry
+        .allocate(DeviceTypeId::ALL_PERIPHERALS, "x", "y", "z", "u")
+        .is_err());
+    registry
+        .allocate(DeviceTypeId::new(0x1234_5678), "x", "y", "z", "u")
+        .unwrap();
+    assert!(registry
+        .allocate(DeviceTypeId::new(0x1234_5678), "x", "y", "z", "u")
+        .is_err());
+}
