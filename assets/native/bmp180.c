@@ -1,0 +1,292 @@
+/*
+ * BMP180 barometric pressure sensor driver — native C baseline.
+ *
+ * The most involved of the four reference drivers: the part returns
+ * uncompensated temperature and pressure readings over I2C, and the
+ * host must run the datasheet's integer compensation pipeline against
+ * the factory calibration EEPROM. This file carries the complete bus
+ * handling (TWI register level), EEPROM fetch, conversion sequencing
+ * with the datasheet wait times, and the full compensation arithmetic
+ * at oversampling setting 0.
+ */
+
+#include <avr/io.h>
+#include <avr/interrupt.h>
+#include <stdint.h>
+
+#include "driver_api.h"
+
+#define BMP180_ADDR          0x77
+#define BMP180_REG_CALIB     0xaa
+#define BMP180_REG_CHIP_ID   0xd0
+#define BMP180_REG_CTRL_MEAS 0xf4
+#define BMP180_REG_OUT_MSB   0xf6
+#define BMP180_CHIP_ID       0x55
+#define BMP180_CMD_TEMP      0x2e
+#define BMP180_CMD_PRESSURE  0x34
+#define BMP180_CONV_WAIT_MS  5
+#define BMP180_CALIB_BYTES   22
+
+struct bmp180_calib {
+    int16_t  ac1;
+    int16_t  ac2;
+    int16_t  ac3;
+    uint16_t ac4;
+    uint16_t ac5;
+    uint16_t ac6;
+    int16_t  b1;
+    int16_t  b2;
+    int16_t  mb;
+    int16_t  mc;
+    int16_t  md;
+};
+
+static struct bmp180_calib bmp_cal;
+static int32_t             bmp_b5;
+static uint8_t             bmp_initialized;
+
+/* ---- TWI (I2C) primitives ------------------------------------------ */
+
+static int twi_start(uint8_t addr, uint8_t write)
+{
+    TWCR = (1 << TWINT) | (1 << TWSTA) | (1 << TWEN);
+    while (!(TWCR & (1 << TWINT))) {
+        /* spin: start condition */
+    }
+    TWDR = (uint8_t)((addr << 1) | (write ? 0 : 1));
+    TWCR = (1 << TWINT) | (1 << TWEN);
+    while (!(TWCR & (1 << TWINT))) {
+        /* spin: address phase */
+    }
+    if ((TWSR & 0xf8) != (write ? 0x18 : 0x40)) {
+        return DRIVER_EIO;
+    }
+    return DRIVER_OK;
+}
+
+static void twi_stop(void)
+{
+    TWCR = (1 << TWINT) | (1 << TWSTO) | (1 << TWEN);
+}
+
+static int twi_write_byte(uint8_t b)
+{
+    TWDR = b;
+    TWCR = (1 << TWINT) | (1 << TWEN);
+    while (!(TWCR & (1 << TWINT))) {
+        /* spin: data phase */
+    }
+    if ((TWSR & 0xf8) != 0x28) {
+        return DRIVER_EIO;
+    }
+    return DRIVER_OK;
+}
+
+static uint8_t twi_read_byte(uint8_t ack)
+{
+    TWCR = (1 << TWINT) | (1 << TWEN) | (ack ? (1 << TWEA) : 0);
+    while (!(TWCR & (1 << TWINT))) {
+        /* spin: data phase */
+    }
+    return TWDR;
+}
+
+static int bmp180_write_reg(uint8_t reg, uint8_t value)
+{
+    if (twi_start(BMP180_ADDR, 1) != DRIVER_OK) {
+        return DRIVER_EIO;
+    }
+    if (twi_write_byte(reg) != DRIVER_OK || twi_write_byte(value) != DRIVER_OK) {
+        twi_stop();
+        return DRIVER_EIO;
+    }
+    twi_stop();
+    return DRIVER_OK;
+}
+
+static int bmp180_read_regs(uint8_t reg, uint8_t *out, uint8_t n)
+{
+    uint8_t i;
+    if (twi_start(BMP180_ADDR, 1) != DRIVER_OK) {
+        return DRIVER_EIO;
+    }
+    if (twi_write_byte(reg) != DRIVER_OK) {
+        twi_stop();
+        return DRIVER_EIO;
+    }
+    if (twi_start(BMP180_ADDR, 0) != DRIVER_OK) {
+        twi_stop();
+        return DRIVER_EIO;
+    }
+    for (i = 0; i < n; i++) {
+        out[i] = twi_read_byte(i + 1 < n);
+    }
+    twi_stop();
+    return DRIVER_OK;
+}
+
+/* ---- Calibration ---------------------------------------------------- */
+
+static int16_t be16(const uint8_t *p)
+{
+    return (int16_t)(((uint16_t)p[0] << 8) | p[1]);
+}
+
+static int bmp180_load_calibration(void)
+{
+    uint8_t raw[BMP180_CALIB_BYTES];
+    if (bmp180_read_regs(BMP180_REG_CALIB, raw, BMP180_CALIB_BYTES) != DRIVER_OK) {
+        return DRIVER_EIO;
+    }
+    bmp_cal.ac1 = be16(&raw[0]);
+    bmp_cal.ac2 = be16(&raw[2]);
+    bmp_cal.ac3 = be16(&raw[4]);
+    bmp_cal.ac4 = (uint16_t)be16(&raw[6]);
+    bmp_cal.ac5 = (uint16_t)be16(&raw[8]);
+    bmp_cal.ac6 = (uint16_t)be16(&raw[10]);
+    bmp_cal.b1 = be16(&raw[12]);
+    bmp_cal.b2 = be16(&raw[14]);
+    bmp_cal.mb = be16(&raw[16]);
+    bmp_cal.mc = be16(&raw[18]);
+    bmp_cal.md = be16(&raw[20]);
+    return DRIVER_OK;
+}
+
+/* ---- Conversions ---------------------------------------------------- */
+
+static int bmp180_read_ut(int32_t *out_ut)
+{
+    uint8_t raw[2];
+    if (bmp180_write_reg(BMP180_REG_CTRL_MEAS, BMP180_CMD_TEMP) != DRIVER_OK) {
+        return DRIVER_EIO;
+    }
+    driver_sleep_ms(BMP180_CONV_WAIT_MS);
+    if (bmp180_read_regs(BMP180_REG_OUT_MSB, raw, 2) != DRIVER_OK) {
+        return DRIVER_EIO;
+    }
+    *out_ut = ((int32_t)raw[0] << 8) | raw[1];
+    return DRIVER_OK;
+}
+
+static int bmp180_read_up(int32_t *out_up)
+{
+    uint8_t raw[2];
+    if (bmp180_write_reg(BMP180_REG_CTRL_MEAS, BMP180_CMD_PRESSURE) != DRIVER_OK) {
+        return DRIVER_EIO;
+    }
+    driver_sleep_ms(BMP180_CONV_WAIT_MS);
+    if (bmp180_read_regs(BMP180_REG_OUT_MSB, raw, 2) != DRIVER_OK) {
+        return DRIVER_EIO;
+    }
+    *out_up = ((int32_t)raw[0] << 8) | raw[1];
+    return DRIVER_OK;
+}
+
+static int32_t bmp180_compensate_temp(int32_t ut)
+{
+    int32_t x1;
+    int32_t x2;
+    x1 = ((ut - (int32_t)bmp_cal.ac6) * (int32_t)bmp_cal.ac5) >> 15;
+    x2 = ((int32_t)bmp_cal.mc << 11) / (x1 + bmp_cal.md);
+    bmp_b5 = x1 + x2;
+    return (bmp_b5 + 8) >> 4;
+}
+
+static int32_t bmp180_compensate_pressure(int32_t up)
+{
+    int32_t b6;
+    int32_t b3;
+    int32_t x1;
+    int32_t x2;
+    int32_t x3;
+    int32_t p;
+    uint32_t b4;
+    uint32_t b7;
+
+    b6 = bmp_b5 - 4000;
+    x1 = ((int32_t)bmp_cal.b2 * ((b6 * b6) >> 12)) >> 11;
+    x2 = ((int32_t)bmp_cal.ac2 * b6) >> 11;
+    x3 = x1 + x2;
+    b3 = ((((int32_t)bmp_cal.ac1 * 4 + x3)) + 2) >> 2;
+    x1 = ((int32_t)bmp_cal.ac3 * b6) >> 13;
+    x2 = ((int32_t)bmp_cal.b1 * ((b6 * b6) >> 12)) >> 16;
+    x3 = ((x1 + x2) + 2) >> 2;
+    b4 = ((uint32_t)bmp_cal.ac4 * (uint32_t)(x3 + 32768)) >> 15;
+    b7 = ((uint32_t)up - (uint32_t)b3) * 50000UL;
+    if (b7 < 0x80000000UL) {
+        p = (int32_t)((b7 * 2) / b4);
+    } else {
+        p = (int32_t)((b7 / b4) * 2);
+    }
+    x1 = (p >> 8) * (p >> 8);
+    x1 = (x1 * 3038) >> 16;
+    x2 = (-7357 * p) >> 16;
+    p = p + ((x1 + x2 + 3791) >> 4);
+    return p;
+}
+
+/* ---- Driver entry points -------------------------------------------- */
+
+int bmp180_init(void)
+{
+    uint8_t id;
+    if (bmp_initialized) {
+        return DRIVER_EALREADY;
+    }
+    TWBR = 32; /* 100 kHz SCL at 8 MHz CPU */
+    if (bmp180_read_regs(BMP180_REG_CHIP_ID, &id, 1) != DRIVER_OK) {
+        return DRIVER_EIO;
+    }
+    if (id != BMP180_CHIP_ID) {
+        return DRIVER_ENODEV;
+    }
+    if (bmp180_load_calibration() != DRIVER_OK) {
+        return DRIVER_EIO;
+    }
+    bmp_initialized = 1;
+    return DRIVER_OK;
+}
+
+void bmp180_destroy(void)
+{
+    TWCR = 0;
+    bmp_initialized = 0;
+}
+
+int bmp180_read(int32_t *out_pascal)
+{
+    int32_t ut;
+    int32_t up;
+
+    if (out_pascal == 0) {
+        return DRIVER_EINVAL;
+    }
+    if (!bmp_initialized) {
+        return DRIVER_ENODEV;
+    }
+    if (bmp180_read_ut(&ut) != DRIVER_OK) {
+        return DRIVER_EIO;
+    }
+    (void)bmp180_compensate_temp(ut);
+    if (bmp180_read_up(&up) != DRIVER_OK) {
+        return DRIVER_EIO;
+    }
+    *out_pascal = bmp180_compensate_pressure(up);
+    return DRIVER_OK;
+}
+
+int bmp180_read_temperature(int32_t *out_deci_celsius)
+{
+    int32_t ut;
+    if (out_deci_celsius == 0) {
+        return DRIVER_EINVAL;
+    }
+    if (!bmp_initialized) {
+        return DRIVER_ENODEV;
+    }
+    if (bmp180_read_ut(&ut) != DRIVER_OK) {
+        return DRIVER_EIO;
+    }
+    *out_deci_celsius = bmp180_compensate_temp(ut);
+    return DRIVER_OK;
+}

@@ -1,0 +1,107 @@
+/*
+ * HIH-4030 relative-humidity sensor driver — native C baseline.
+ *
+ * Ratiometric analog sensor on the ADC: Vout = Vs * (0.0062 * RH + 0.16)
+ * with the 25 °C temperature-correction factor applied in software,
+ * matching the µPnP DSL driver's semantics.
+ */
+
+#include <avr/io.h>
+#include <avr/interrupt.h>
+#include <stdint.h>
+
+#include "driver_api.h"
+
+#define HIH4030_ADC_CHANNEL 1
+#define ADC_VREF            3.3f
+#define ADC_FULL_SCALE      1023.0f
+#define HIH_ZERO_OFFSET     0.16f
+#define HIH_SLOPE           0.0062f
+#define HIH_TEMP_FACTOR_25C 1.0006f
+
+static volatile uint16_t hih_raw;
+static volatile uint8_t  hih_sample_ready;
+static uint8_t           hih_initialized;
+
+static void hih_adc_setup(void)
+{
+    ADMUX  = (1 << REFS0) | (HIH4030_ADC_CHANNEL & 0x1f);
+    ADCSRA = (1 << ADEN) | (1 << ADIE)
+           | (1 << ADPS2) | (1 << ADPS1);
+}
+
+ISR(ADC_vect)
+{
+    uint16_t lo = ADCL;
+    uint16_t hi = ADCH;
+    hih_raw = (hi << 8) | lo;
+    hih_sample_ready = 1;
+}
+
+int hih4030_init(void)
+{
+    if (hih_initialized) {
+        return DRIVER_EALREADY;
+    }
+    hih_adc_setup();
+    hih_sample_ready = 0;
+    hih_initialized = 1;
+    return DRIVER_OK;
+}
+
+void hih4030_destroy(void)
+{
+    ADCSRA &= (uint8_t)~(1 << ADEN);
+    hih_initialized = 0;
+}
+
+static int hih_start_conversion(void)
+{
+    if (!hih_initialized) {
+        return DRIVER_ENODEV;
+    }
+    hih_sample_ready = 0;
+    ADCSRA |= (1 << ADSC);
+    return DRIVER_OK;
+}
+
+int hih4030_read(float *out_rh)
+{
+    uint16_t raw;
+    float volts;
+    float rh_sensor;
+    float rh_true;
+
+    if (out_rh == 0) {
+        return DRIVER_EINVAL;
+    }
+    if (hih_start_conversion() != DRIVER_OK) {
+        return DRIVER_ENODEV;
+    }
+    while (!hih_sample_ready) {
+        sleep_until_interrupt();
+    }
+    raw = hih_raw;
+    volts = (float)raw * ADC_VREF / ADC_FULL_SCALE;
+    rh_sensor = (volts / ADC_VREF - HIH_ZERO_OFFSET) / HIH_SLOPE;
+    rh_true = rh_sensor / HIH_TEMP_FACTOR_25C;
+    if (rh_true < 0.0f)
+        rh_true = 0.0f;
+    if (rh_true > 100.0f)
+        rh_true = 100.0f;
+    *out_rh = rh_true;
+    return DRIVER_OK;
+}
+
+int hih4030_stream_start(driver_sample_cb cb, uint16_t period_ms)
+{
+    if (cb == 0 || period_ms == 0) {
+        return DRIVER_EINVAL;
+    }
+    return driver_timer_register(hih_read_cb_adapter, cb, period_ms);
+}
+
+void hih4030_stream_stop(void)
+{
+    driver_timer_cancel(hih_read_cb_adapter);
+}

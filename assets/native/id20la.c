@@ -1,0 +1,144 @@
+/*
+ * ID-20LA 125 kHz RFID reader driver — native C baseline.
+ *
+ * The reader autonomously transmits a 16-byte ASCII frame at 9600 8N1
+ * per card presentation: STX, 10 data chars, 2 checksum chars, CR, LF,
+ * ETX. The driver owns the USART, filters the framing characters and
+ * assembles the 12-character payload, with a software timeout guarding
+ * half-received frames.
+ */
+
+#include <avr/io.h>
+#include <avr/interrupt.h>
+#include <stdint.h>
+
+#include "driver_api.h"
+
+#define ID20LA_BAUD        9600UL
+#define ID20LA_UBRR        ((F_CPU / (16UL * ID20LA_BAUD)) - 1)
+#define ID20LA_FRAME_CHARS 12
+#define ID20LA_TIMEOUT_MS  2000
+
+#define CHAR_STX 0x02
+#define CHAR_ETX 0x03
+#define CHAR_CR  0x0d
+#define CHAR_LF  0x0a
+
+static volatile uint8_t id20la_buf[ID20LA_FRAME_CHARS];
+static volatile uint8_t id20la_idx;
+static volatile uint8_t id20la_frame_ready;
+static volatile uint8_t id20la_busy;
+static uint8_t          id20la_initialized;
+
+static void id20la_usart_setup(void)
+{
+    UBRR1H = (uint8_t)(ID20LA_UBRR >> 8);
+    UBRR1L = (uint8_t)(ID20LA_UBRR & 0xff);
+    /* 8 data bits, no parity, 1 stop bit. */
+    UCSR1C = (1 << UCSZ11) | (1 << UCSZ10);
+    /* Enable RX with interrupt; the reader never receives. */
+    UCSR1B = (1 << RXEN1) | (1 << RXCIE1);
+}
+
+static uint8_t id20la_is_framing_char(uint8_t c)
+{
+    return c == CHAR_STX || c == CHAR_ETX
+        || c == CHAR_CR  || c == CHAR_LF;
+}
+
+ISR(USART1_RX_vect)
+{
+    uint8_t status = UCSR1A;
+    uint8_t c = UDR1;
+
+    if (status & ((1 << FE1) | (1 << DOR1) | (1 << UPE1))) {
+        /* Framing/overrun/parity error: drop the partial frame. */
+        id20la_idx = 0;
+        return;
+    }
+    if (id20la_is_framing_char(c)) {
+        return;
+    }
+    if (id20la_idx < ID20LA_FRAME_CHARS) {
+        id20la_buf[id20la_idx] = c;
+        id20la_idx++;
+    }
+    if (id20la_idx == ID20LA_FRAME_CHARS) {
+        id20la_idx = 0;
+        id20la_frame_ready = 1;
+        id20la_busy = 0;
+    }
+}
+
+static void id20la_timeout_cb(void)
+{
+    /* Half a frame and silence: resynchronise on the next STX. */
+    id20la_idx = 0;
+    id20la_busy = 0;
+}
+
+int id20la_init(void)
+{
+    if (id20la_initialized) {
+        return DRIVER_EALREADY;
+    }
+    if (driver_uart_claim(1) != DRIVER_OK) {
+        return DRIVER_EBUSY;
+    }
+    id20la_usart_setup();
+    id20la_idx = 0;
+    id20la_frame_ready = 0;
+    id20la_busy = 0;
+    id20la_initialized = 1;
+    return DRIVER_OK;
+}
+
+void id20la_destroy(void)
+{
+    UCSR1B = 0;
+    driver_uart_release(1);
+    id20la_initialized = 0;
+}
+
+int id20la_read(uint8_t out_card[ID20LA_FRAME_CHARS])
+{
+    uint8_t i;
+
+    if (out_card == 0) {
+        return DRIVER_EINVAL;
+    }
+    if (!id20la_initialized) {
+        return DRIVER_ENODEV;
+    }
+    if (id20la_busy) {
+        return DRIVER_EBUSY;
+    }
+    id20la_busy = 1;
+    id20la_frame_ready = 0;
+    id20la_idx = 0;
+    if (driver_timer_oneshot(id20la_timeout_cb, ID20LA_TIMEOUT_MS) != DRIVER_OK) {
+        id20la_busy = 0;
+        return DRIVER_EIO;
+    }
+    while (!id20la_frame_ready && id20la_busy) {
+        sleep_until_interrupt();
+    }
+    driver_timer_cancel(id20la_timeout_cb);
+    if (!id20la_frame_ready) {
+        return DRIVER_ETIMEOUT;
+    }
+    for (i = 0; i < ID20LA_FRAME_CHARS; i++) {
+        out_card[i] = id20la_buf[i];
+    }
+    return DRIVER_OK;
+}
+
+uint8_t id20la_checksum(const uint8_t card[ID20LA_FRAME_CHARS])
+{
+    uint8_t x = 0;
+    uint8_t i;
+    for (i = 0; i < 10; i += 2) {
+        x ^= (uint8_t)((hex_nibble(card[i]) << 4) | hex_nibble(card[i + 1]));
+    }
+    return x;
+}

@@ -1,0 +1,100 @@
+/*
+ * TMP36 analog temperature sensor driver — native C baseline.
+ *
+ * Hand-written reference for the ATmega128RFA1 evaluation platform,
+ * matching the semantics of the µPnP DSL driver: one ADC conversion on
+ * the sensor channel, converted to degrees Celsius through the
+ * datasheet transfer function V = 0.5 + 0.01 * T.
+ */
+
+#include <avr/io.h>
+#include <avr/interrupt.h>
+#include <stdint.h>
+
+#include "driver_api.h"
+
+#define TMP36_ADC_CHANNEL   0
+#define ADC_VREF_MILLIVOLTS 3300UL
+#define ADC_FULL_SCALE      1023UL
+
+static volatile uint16_t tmp36_raw;
+static volatile uint8_t  tmp36_sample_ready;
+static uint8_t           tmp36_initialized;
+
+static void tmp36_adc_setup(void)
+{
+    /* AVcc reference, right-adjusted result, selected channel. */
+    ADMUX  = (1 << REFS0) | (TMP36_ADC_CHANNEL & 0x1f);
+    /* Enable ADC, interrupt on completion, /64 prescaler (125 kHz). */
+    ADCSRA = (1 << ADEN) | (1 << ADIE)
+           | (1 << ADPS2) | (1 << ADPS1);
+}
+
+ISR(ADC_vect)
+{
+    uint16_t lo = ADCL;
+    uint16_t hi = ADCH;
+    tmp36_raw = (hi << 8) | lo;
+    tmp36_sample_ready = 1;
+}
+
+int tmp36_init(void)
+{
+    if (tmp36_initialized) {
+        return DRIVER_EALREADY;
+    }
+    tmp36_adc_setup();
+    tmp36_sample_ready = 0;
+    tmp36_initialized = 1;
+    return DRIVER_OK;
+}
+
+void tmp36_destroy(void)
+{
+    ADCSRA &= (uint8_t)~(1 << ADEN);
+    tmp36_initialized = 0;
+}
+
+static int tmp36_start_conversion(void)
+{
+    if (!tmp36_initialized) {
+        return DRIVER_ENODEV;
+    }
+    tmp36_sample_ready = 0;
+    ADCSRA |= (1 << ADSC);
+    return DRIVER_OK;
+}
+
+int tmp36_read(float *out_celsius)
+{
+    uint16_t raw;
+    float millivolts;
+
+    if (out_celsius == 0) {
+        return DRIVER_EINVAL;
+    }
+    if (tmp36_start_conversion() != DRIVER_OK) {
+        return DRIVER_ENODEV;
+    }
+    while (!tmp36_sample_ready) {
+        /* The MCU idles until the conversion-complete interrupt. */
+        sleep_until_interrupt();
+    }
+    raw = tmp36_raw;
+    millivolts = (float)raw * ADC_VREF_MILLIVOLTS / ADC_FULL_SCALE;
+    *out_celsius = (millivolts - 500.0f) / 10.0f;
+    return DRIVER_OK;
+}
+
+int tmp36_stream_start(driver_sample_cb cb, uint16_t period_ms)
+{
+    if (cb == 0 || period_ms == 0) {
+        return DRIVER_EINVAL;
+    }
+    return driver_timer_register(tmp36_read_cb_adapter, cb, period_ms);
+}
+
+void tmp36_stream_stop(void)
+{
+    driver_timer_cancel(tmp36_read_cb_adapter);
+}

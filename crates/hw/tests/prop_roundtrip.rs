@@ -1,0 +1,119 @@
+//! Roundtrip property suite for the hardware-identification encode path:
+//! a random 32-bit device-type identifier is realised as four E-series
+//! resistor pairs (the online tool's output), driven through the
+//! monostable pulse model, and decoded from the pulse widths back to the
+//! original identifier — stage by stage and through the full board.
+
+use proptest::prelude::*;
+use upnp_hw::board::{ChannelResult, ControlBoard};
+use upnp_hw::calib::{self, BoardCalibration};
+use upnp_hw::channels::ChannelId;
+use upnp_hw::components::{Capacitor, ToleranceClass};
+use upnp_hw::encoding::PulseCodec;
+use upnp_hw::id::DeviceTypeId;
+use upnp_hw::multivibrator::{measure, Monostable};
+use upnp_hw::peripheral::{Interconnect, PeripheralBoard};
+use upnp_hw::solver;
+use upnp_sim::SimRng;
+use upnp_sim::SimTime;
+
+proptest! {
+    /// Any non-reserved identifier encodes to four purchasable resistor
+    /// pairs whose ideal pulse widths decode byte-exactly back to the id.
+    #[test]
+    fn encoding_to_pulse_decode_recovers_id(raw: u32) {
+        let id = DeviceTypeId::new(raw);
+        if id.is_reserved() {
+            return Ok(());
+        }
+        let solved = solver::solve_resistors(id).unwrap();
+        let codec = PulseCodec::paper();
+        let mono = Monostable::ideal(Capacitor::ideal(calib::C_NOMINAL));
+        let cal = BoardCalibration::ideal();
+        let mut decoded = [0u8; 4];
+        for (stage, s) in solved.stages.iter().enumerate() {
+            let pair = s.ideal_pair();
+            let width = mono.pulse_width(pair.at_temperature(25.0), 25.0);
+            let normalised = cal.normalise(stage, measure(width));
+            decoded[stage] = codec.decode(normalised).unwrap();
+        }
+        prop_assert_eq!(DeviceTypeId::from_bytes(decoded), id);
+    }
+
+    /// The solver's pair placement always lands within the documented
+    /// E-series placement budget, which in turn sits well inside the
+    /// codec's guard band — the margin that makes decode-after-tolerance
+    /// possible at all.
+    #[test]
+    fn placement_stays_within_eseries_budget(raw: u32) {
+        let id = DeviceTypeId::new(raw);
+        if id.is_reserved() {
+            return Ok(());
+        }
+        let solved = solver::solve_resistors(id).unwrap();
+        let codec = PulseCodec::paper();
+        for s in &solved.stages {
+            let nominal = s.coarse_ohms + s.trim_ohms;
+            let rel = (nominal - s.target_ohms).abs() / s.target_ohms;
+            prop_assert!(rel <= solver::MAX_PLACEMENT_ERROR + 1e-12, "placement {rel}");
+            prop_assert!(
+                rel < codec.guard_band() / 4.0,
+                "placement {rel} eats too much of the {} guard band",
+                codec.guard_band()
+            );
+        }
+    }
+
+    /// A peripheral manufactured with precision (0.1 %) parts — the
+    /// tolerance class the paper's online tool prescribes — identifies
+    /// exactly on an as-manufactured (sampled) control board.
+    #[test]
+    fn precision_parts_identify_on_sampled_boards(raw: u32, seed: u64) {
+        let id = DeviceTypeId::new(raw);
+        if id.is_reserved() {
+            return Ok(());
+        }
+        let mut rng = SimRng::seed(seed);
+        let peripheral = PeripheralBoard::manufacture(
+            id,
+            Interconnect::Adc,
+            ToleranceClass::PointOnePercent,
+            &mut rng,
+        )
+        .unwrap();
+        let mut board = ControlBoard::sample(&mut rng);
+        board.plug(ChannelId(0), peripheral).unwrap();
+        let outcome = board.scan(SimTime::ZERO, 25.0);
+        prop_assert_eq!(outcome.channels[0].result, ChannelResult::Identified(id));
+    }
+
+    /// Pulse widths are strictly monotone in the encoded byte for ideal
+    /// parts: the geometric code never collapses two bytes onto one
+    /// decode window through the resistor realisation.
+    #[test]
+    fn stage_pulses_are_monotone_in_byte(raw: u32) {
+        let id = DeviceTypeId::new(raw);
+        if id.is_reserved() {
+            return Ok(());
+        }
+        let solved = solver::solve_resistors(id).unwrap();
+        let mono = Monostable::ideal(Capacitor::ideal(calib::C_NOMINAL));
+        let bytes = id.bytes();
+        for (i, a) in solved.stages.iter().enumerate() {
+            for (j, b) in solved.stages.iter().enumerate() {
+                if bytes[i] < bytes[j] {
+                    let wa = mono.pulse_width(a.ideal_pair().at_temperature(25.0), 25.0);
+                    let wb = mono.pulse_width(b.ideal_pair().at_temperature(25.0), 25.0);
+                    prop_assert!(
+                        wa < wb,
+                        "byte {} pulse {:?} not below byte {} pulse {:?}",
+                        bytes[i],
+                        wa,
+                        bytes[j],
+                        wb
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! `any::<T>()` for the primitive types.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// A whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    /// ASCII-weighted: mostly printable ASCII, occasionally any scalar.
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        if rng.below(4) > 0 {
+            (0x20 + rng.below(0x5F) as u32) as u8 as char
+        } else {
+            loop {
+                if let Some(c) = char::from_u32(rng.below(0x11_0000) as u32) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+macro_rules! arbitrary_float {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            /// Finite values across a wide magnitude span (no NaN/inf,
+            /// which no property in this workspace wants by default).
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+                let exp = rng.below(61) as i32 - 30;
+                let mantissa = rng.unit_f64() + 1.0;
+                (sign * mantissa * (2.0f64).powi(exp)) as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_float!(f32, f64);
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(T::arbitrary(rng))
+        }
+    }
+}

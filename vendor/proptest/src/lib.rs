@@ -1,0 +1,252 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! The build environment has no registry access, so this vendored stub
+//! re-implements the property-testing surface the workspace uses:
+//!
+//! - the [`proptest!`] macro with both `pat in strategy` and `name: Type`
+//!   parameter forms, plus an optional `#![proptest_config(..)]` header;
+//! - [`strategy::Strategy`] with `prop_map`, `prop_filter`, `boxed`,
+//!   tuple/range/`Just`/union combinators and [`prop_oneof!`];
+//! - [`arbitrary::any`] for the primitive types;
+//! - [`collection::vec`] with the usual size-range forms;
+//! - `&str` regex-subset strategies (char classes, groups, alternation
+//!   and the standard quantifiers);
+//! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!`.
+//!
+//! Unlike upstream proptest there is **no shrinking**: a failing case is
+//! reported with its inputs' debug rendering where available and the
+//! case number. Generation is deterministic — the RNG is seeded from the
+//! test's name (override with `PROPTEST_SEED`), and the case count from
+//! the config (override with `PROPTEST_CASES`).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod string;
+pub mod strategy;
+pub mod test_runner;
+
+pub use test_runner::{TestCaseError, TestCaseResult, TestRng};
+
+/// Namespace mirroring `proptest::prop::*` paths used by tests
+/// (`prop::collection::vec(..)`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+/// Runs the body of one `proptest!`-declared test for every case.
+///
+/// Not public API; called by the expansion of [`proptest!`].
+#[doc(hidden)]
+pub fn run_cases<F>(config: &test_runner::Config, name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(config.cases);
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| test_runner::seed_from_name(name));
+    let mut rng = TestRng::from_seed(seed);
+    let mut rejected = 0u32;
+    let mut ran = 0u32;
+    while ran < cases {
+        match body(&mut rng) {
+            Ok(()) => ran += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > cases.saturating_mul(16).max(1024) {
+                    panic!(
+                        "proptest `{name}`: too many rejected cases ({rejected}) — \
+                         prop_assume! condition is unsatisfiable in practice"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest `{name}` failed at case {ran} (seed {seed}): {msg}");
+            }
+        }
+    }
+}
+
+/// Declares deterministic property tests.
+///
+/// Supports the upstream grammar subset used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
+///     #[test]
+///     fn name(a in 0u32..10, b: u8, (c, d) in (0i32..5, 0i32..5)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                $crate::run_cases(&config, stringify!($name), |__proptest_rng| {
+                    $crate::__proptest_bind!(__proptest_rng; $($params)*);
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(;)?) => {};
+    ($rng:ident; $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strat), $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $pat:pat in $strat:expr) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strat), $rng);
+    };
+    ($rng:ident; $id:ident : $ty:ty, $($rest:tt)*) => {
+        let $id: $ty =
+            $crate::strategy::Strategy::sample(&$crate::arbitrary::any::<$ty>(), $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $id:ident : $ty:ty) => {
+        let $id: $ty =
+            $crate::strategy::Strategy::sample(&$crate::arbitrary::any::<$ty>(), $rng);
+    };
+}
+
+/// Asserts a condition, failing the current case (not panicking) on
+/// violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        // The stringified condition may contain `{`/`}` (e.g. `matches!`
+        // patterns), so it must travel as an argument, not a format string.
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality, failing the current case on violation.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality, failing the current case on violation.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Discards the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Chooses uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    crate::proptest! {
+        /// Conditions containing braces (e.g. `matches!` patterns, blocks)
+        /// must stringify safely inside the assertion message.
+        #[test]
+        fn braced_conditions_compile_and_pass(v in 0u32..10) {
+            crate::prop_assert!(matches!(v, 0..=9));
+            crate::prop_assert!({ v < 10 });
+        }
+    }
+
+    #[test]
+    fn half_open_float_range_never_returns_end() {
+        // The ulp at 1e16 is 2.0, so roughly half the unit draws round the
+        // scaled offset up to `end`; the clamp must keep every sample
+        // strictly inside the half-open interval.
+        let mut rng = TestRng::from_seed(11);
+        let range = 1.0e16f64..(1.0e16 + 2.0);
+        for _ in 0..1_000 {
+            let v = range.clone().sample(&mut rng);
+            assert!(v >= range.start && v < range.end, "escaped range: {v}");
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Regex-subset string strategies: a `&str` literal used as a strategy
+//! generates strings matching it, as in upstream proptest.
+//!
+//! Supported syntax: literal characters, escapes (`\n \r \t \\ \. \- \d
+//! \w \s` and escaped metacharacters), `.`, character classes with
+//! ranges and `^` negation, groups `( )` with alternation `|`, and the
+//! quantifiers `* + ? {n} {m,n} {m,}` (unbounded repetition is capped at
+//! +32).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+thread_local! {
+    /// Parsed-pattern cache: a 256-case run samples the same `'static`
+    /// literal hundreds of times, so parse it once per thread.
+    static PATTERN_CACHE: RefCell<HashMap<(usize, usize), Rc<Pattern>>> =
+        RefCell::new(HashMap::new());
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let key = (self.as_ptr() as usize, self.len());
+        let pattern = PATTERN_CACHE.with(|cache| {
+            cache
+                .borrow_mut()
+                .entry(key)
+                .or_insert_with(|| {
+                    Rc::new(Pattern::parse(self).unwrap_or_else(|e| {
+                        panic!("unsupported regex strategy {self:?}: {e}")
+                    }))
+                })
+                .clone()
+        });
+        let mut out = String::new();
+        pattern.generate(rng, &mut out);
+        out
+    }
+}
+
+/// One parsed alternation of sequences.
+#[derive(Debug, Clone)]
+struct Pattern {
+    alternatives: Vec<Vec<Repeated>>,
+}
+
+#[derive(Debug, Clone)]
+struct Repeated {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A set of candidate characters (literal, class, `.`, escapes).
+    Chars(Vec<char>),
+    /// A parenthesised group.
+    Group(Pattern),
+}
+
+/// Printable ASCII plus the common whitespace, the universe for `.` and
+/// negated classes.
+fn universe() -> Vec<char> {
+    let mut v: Vec<char> = (0x20u8..0x7F).map(|b| b as char).collect();
+    v.push('\n');
+    v.push('\t');
+    v
+}
+
+struct ClassParser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl Pattern {
+    fn parse(src: &str) -> Result<Pattern, String> {
+        let mut p = ClassParser {
+            chars: src.chars().peekable(),
+        };
+        let pattern = p.parse_alternation()?;
+        if p.chars.peek().is_some() {
+            return Err("trailing tokens (unbalanced `)`?)".to_string());
+        }
+        Ok(pattern)
+    }
+
+    fn generate(&self, rng: &mut TestRng, out: &mut String) {
+        let seq = &self.alternatives[rng.below(self.alternatives.len() as u64) as usize];
+        for rep in seq {
+            let span = (rep.max - rep.min) as u64 + 1;
+            let count = rep.min + rng.below(span) as u32;
+            for _ in 0..count {
+                match &rep.atom {
+                    Atom::Chars(cs) => {
+                        out.push(cs[rng.below(cs.len() as u64) as usize]);
+                    }
+                    Atom::Group(g) => g.generate(rng, out),
+                }
+            }
+        }
+    }
+}
+
+impl<'a> ClassParser<'a> {
+    fn parse_alternation(&mut self) -> Result<Pattern, String> {
+        let mut alternatives = vec![self.parse_sequence()?];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            alternatives.push(self.parse_sequence()?);
+        }
+        Ok(Pattern { alternatives })
+    }
+
+    fn parse_sequence(&mut self) -> Result<Vec<Repeated>, String> {
+        let mut seq = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom()?;
+            let (min, max) = self.parse_quantifier()?;
+            seq.push(Repeated { atom, min, max });
+        }
+        Ok(seq)
+    }
+
+    fn parse_atom(&mut self) -> Result<Atom, String> {
+        match self.chars.next() {
+            None => Err("dangling quantifier or empty atom".to_string()),
+            Some('(') => {
+                let inner = self.parse_alternation()?;
+                match self.chars.next() {
+                    Some(')') => Ok(Atom::Group(inner)),
+                    _ => Err("unbalanced `(`".to_string()),
+                }
+            }
+            Some('[') => self.parse_class(),
+            Some('.') => Ok(Atom::Chars(universe())),
+            Some('\\') => Ok(Atom::Chars(self.parse_escape()?)),
+            Some(c) if c == '*' || c == '+' || c == '?' => {
+                Err(format!("dangling quantifier `{c}`"))
+            }
+            Some(c) => Ok(Atom::Chars(vec![c])),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<Vec<char>, String> {
+        match self.chars.next() {
+            None => Err("dangling escape".to_string()),
+            Some('n') => Ok(vec!['\n']),
+            Some('r') => Ok(vec!['\r']),
+            Some('t') => Ok(vec!['\t']),
+            Some('d') => Ok(('0'..='9').collect()),
+            Some('w') => {
+                let mut v: Vec<char> = ('a'..='z').collect();
+                v.extend('A'..='Z');
+                v.extend('0'..='9');
+                v.push('_');
+                Ok(v)
+            }
+            Some('s') => Ok(vec![' ', '\t', '\n']),
+            Some(c) => Ok(vec![c]),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Atom, String> {
+        let negated = if self.chars.peek() == Some(&'^') {
+            self.chars.next();
+            true
+        } else {
+            false
+        };
+        let mut members: Vec<char> = Vec::new();
+        let mut prev: Option<char> = None;
+        loop {
+            match self.chars.next() {
+                None => return Err("unterminated character class".to_string()),
+                Some(']') => break,
+                Some('\\') => {
+                    let chars = self.parse_escape()?;
+                    prev = if chars.len() == 1 { Some(chars[0]) } else { None };
+                    members.extend(chars);
+                }
+                Some('-') if prev.is_some() && self.chars.peek() != Some(&']') => {
+                    let lo = prev.take().unwrap();
+                    let hi = match self.chars.next() {
+                        Some('\\') => {
+                            let e = self.parse_escape()?;
+                            if e.len() != 1 {
+                                return Err("class shorthand cannot end a range".into());
+                            }
+                            e[0]
+                        }
+                        Some(c) => c,
+                        None => return Err("unterminated range".to_string()),
+                    };
+                    if hi < lo {
+                        return Err(format!("inverted range {lo}-{hi}"));
+                    }
+                    // `lo` itself is already a member; add the rest.
+                    let mut c = lo as u32 + 1;
+                    while c <= hi as u32 {
+                        if let Some(ch) = char::from_u32(c) {
+                            members.push(ch);
+                        }
+                        c += 1;
+                    }
+                }
+                Some(c) => {
+                    prev = Some(c);
+                    members.push(c);
+                }
+            }
+        }
+        if negated {
+            let members: std::collections::HashSet<char> = members.into_iter().collect();
+            let complement: Vec<char> = universe()
+                .into_iter()
+                .filter(|c| !members.contains(c))
+                .collect();
+            if complement.is_empty() {
+                return Err("negated class excludes the whole universe".to_string());
+            }
+            Ok(Atom::Chars(complement))
+        } else if members.is_empty() {
+            Err("empty character class".to_string())
+        } else {
+            Ok(Atom::Chars(members))
+        }
+    }
+
+    fn parse_quantifier(&mut self) -> Result<(u32, u32), String> {
+        match self.chars.peek() {
+            Some('*') => {
+                self.chars.next();
+                Ok((0, 32))
+            }
+            Some('+') => {
+                self.chars.next();
+                Ok((1, 33))
+            }
+            Some('?') => {
+                self.chars.next();
+                Ok((0, 1))
+            }
+            Some('{') => {
+                self.chars.next();
+                let mut digits = String::new();
+                while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit()) {
+                    digits.push(self.chars.next().unwrap());
+                }
+                let min: u32 = digits
+                    .parse()
+                    .map_err(|_| "bad `{}` quantifier".to_string())?;
+                match self.chars.next() {
+                    Some('}') => Ok((min, min)),
+                    Some(',') => {
+                        let mut digits = String::new();
+                        while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit()) {
+                            digits.push(self.chars.next().unwrap());
+                        }
+                        match self.chars.next() {
+                            Some('}') if digits.is_empty() => Ok((min, min + 32)),
+                            Some('}') => {
+                                let max: u32 = digits
+                                    .parse()
+                                    .map_err(|_| "bad `{}` quantifier".to_string())?;
+                                if max < min {
+                                    return Err("inverted `{m,n}` quantifier".to_string());
+                                }
+                                Ok((min, max))
+                            }
+                            _ => Err("unterminated `{}` quantifier".to_string()),
+                        }
+                    }
+                    _ => Err("unterminated `{}` quantifier".to_string()),
+                }
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn class_with_ranges_and_escapes() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..500 {
+            let s = "[ -~\n\t]{0,300}".sample(&mut rng);
+            assert!(s.len() <= 300);
+            assert!(s
+                .chars()
+                .all(|c| c == '\n' || c == '\t' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn alternation_groups_and_quantifiers() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..500 {
+            let s = "(ab|cd){2}[0-9]+x?".sample(&mut rng);
+            assert!(s.starts_with("ab") || s.starts_with("cd"), "{s:?}");
+            let tail = &s[4..];
+            let digits = tail.trim_end_matches('x');
+            assert!(!digits.is_empty() && digits.chars().all(|c| c.is_ascii_digit()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn negated_class_avoids_members() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..200 {
+            let s = "[^a-z]{1,8}".sample(&mut rng);
+            assert!(s.chars().all(|c| !c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Case execution support: configuration, the deterministic RNG, and the
+//! error type threaded through generated test bodies.
+
+use std::fmt;
+
+/// Per-test configuration (`ProptestConfig` upstream).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Configuration with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Why a single case did not succeed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// A `prop_assert*!` failed: the property is violated.
+    Fail(String),
+    /// A `prop_assume!` failed: the case is discarded, not counted.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result of one generated case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Derives a stable 64-bit seed from a test name (FNV-1a).
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h | 1
+}
+
+/// The deterministic generator behind every strategy — the vendored
+/// `rand` stub's xoshiro256++ `StdRng` behind a proptest-shaped API.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: rand::StdRng,
+}
+
+impl TestRng {
+    /// Builds a generator from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        use rand::SeedableRng as _;
+        TestRng {
+            inner: rand::StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        use rand::RngCore as _;
+        self.inner.next_u64()
+    }
+
+    /// Returns the next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        use rand::RngCore as _;
+        self.inner.next_u32()
+    }
+
+    /// Uniform `u64` in `[0, span)` (unbiased rejection sampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span == 0`.
+    pub fn below(&mut self, span: u64) -> u64 {
+        assert!(span > 0, "empty sampling span");
+        if span.is_power_of_two() {
+            return self.next_u64() & (span - 1);
+        }
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % span;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
