@@ -43,7 +43,7 @@ fn bench_net(c: &mut Criterion) {
             topo.link(i, (i - 1) / 2, LinkQuality::PERFECT);
         }
         let dodag = Dodag::build(&topo, 0);
-        let members: std::collections::HashSet<usize> = (56..64).collect();
+        let members: std::collections::BTreeSet<usize> = (56..64).collect();
         b.iter(|| black_box(upnp_net::smrf::plan(&dodag, 5, &members).unwrap()))
     });
 

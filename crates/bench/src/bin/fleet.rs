@@ -1,0 +1,256 @@
+//! Fleet-scale benchmark: discovery waves, churn storms and steady-state
+//! workloads at 100/1k/5k nodes, with machine-readable output and a CI
+//! regression gate.
+//!
+//! ```text
+//! fleet                                  # all scenarios at 100/1k/5k nodes
+//! fleet --nodes 100,1000                 # restrict the size sweep
+//! fleet --scenario discovery             # one scenario only
+//! fleet --seed 42                        # reseed the whole run
+//! fleet --out BENCH_fleet.json           # write the JSON report
+//! fleet --gate bench/baseline.json       # exit 1 on >25 % wall regression
+//! ```
+//!
+//! The gate compares the 1k-node discovery wall-clock against the
+//! checked-in baseline (the CI contract from ISSUE 2); virtual-time and
+//! traffic drift on any row is reported as a warning, since those are
+//! deterministic and only move when behaviour genuinely changes.
+
+use std::process::ExitCode;
+
+use serde::{Deserialize, Serialize};
+use upnp_core::fleet::{Fleet, FleetConfig, ScenarioMetrics};
+
+/// The scenario row the regression gate anchors on.
+const GATE_SCENARIO: &str = "discovery";
+const GATE_THINGS: usize = 1000;
+/// Wall-clock regression tolerance (CI runners are noisy; virtual-time
+/// metrics are checked for exact drift separately).
+const GATE_FACTOR: f64 = 1.25;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchReport {
+    schema: u32,
+    seed: u64,
+    /// Thing counts the sweep covered.
+    sizes: Vec<usize>,
+    scenarios: Vec<ScenarioRow>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ScenarioRow {
+    /// Things in the fleet (the `nodes` field inside `metrics` also
+    /// counts the manager and clients).
+    things: usize,
+    metrics: ScenarioMetrics,
+}
+
+struct Options {
+    sizes: Vec<usize>,
+    seed: u64,
+    scenario: Option<String>,
+    out: Option<String>,
+    gate: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        sizes: vec![100, 1000, 5000],
+        seed: 0x6030,
+        scenario: None,
+        out: None,
+        gate: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
+        match arg.as_str() {
+            "--nodes" => {
+                opts.sizes = value("--nodes")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| format!("--nodes: {e}"))?;
+                if opts.sizes.is_empty() || opts.sizes.contains(&0) {
+                    return Err("--nodes expects positive fleet sizes".into());
+                }
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--scenario" => {
+                let s = value("--scenario")?;
+                if !["discovery", "churn", "steady", "all"].contains(&s.as_str()) {
+                    return Err(format!("unknown scenario `{s}`"));
+                }
+                opts.scenario = (s != "all").then_some(s);
+            }
+            "--out" => opts.out = Some(value("--out")?),
+            "--gate" => opts.gate = Some(value("--gate")?),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn wants(opts: &Options, scenario: &str) -> bool {
+    opts.scenario.as_deref().is_none_or(|s| s == scenario)
+}
+
+fn run(opts: &Options) -> BenchReport {
+    let mut scenarios = Vec::new();
+    for &things in &opts.sizes {
+        // A fresh fleet per size: scenario metrics are deltas, but the
+        // build itself (indices, routing tree) belongs to the size.
+        let mut fleet = Fleet::build(FleetConfig::new(things).with_seed(opts.seed));
+        // Churn and steady state run against a discovered fleet, so the
+        // discovery wave always runs; it is only *reported* if selected.
+        let discovery = fleet.discovery_wave();
+        if wants(opts, "discovery") {
+            print_row(things, &discovery);
+            scenarios.push(ScenarioRow {
+                things,
+                metrics: discovery,
+            });
+        }
+        if wants(opts, "churn") {
+            let churn = fleet.churn_storm(things / 2);
+            print_row(things, &churn);
+            scenarios.push(ScenarioRow {
+                things,
+                metrics: churn,
+            });
+        }
+        if wants(opts, "steady") {
+            let steady = fleet.steady_state(things);
+            print_row(things, &steady);
+            scenarios.push(ScenarioRow {
+                things,
+                metrics: steady,
+            });
+        }
+    }
+    BenchReport {
+        schema: 1,
+        seed: opts.seed,
+        sizes: opts.sizes.clone(),
+        scenarios,
+    }
+}
+
+fn print_row(things: usize, m: &ScenarioMetrics) {
+    println!(
+        "{:>9} | {:>5} things | {:>6} events ({:>6} ok) | wall {:>9.1} ms | virtual {:>10.1} ms | \
+         p50 {:>8.2} ms  p99 {:>8.2} ms | {:>8} frames | {:>7.4} J/thing",
+        m.scenario,
+        things,
+        m.events,
+        m.completed,
+        m.wall_ms,
+        m.virtual_ms,
+        m.latency.p50_ms,
+        m.latency.p99_ms,
+        m.frames_tx,
+        m.joules_per_thing,
+    );
+}
+
+fn find<'a>(report: &'a BenchReport, scenario: &str, things: usize) -> Option<&'a ScenarioRow> {
+    report
+        .scenarios
+        .iter()
+        .find(|r| r.metrics.scenario == scenario && r.things == things)
+}
+
+/// Applies the regression gate; returns an error message on failure.
+fn gate(current: &BenchReport, baseline: &BenchReport) -> Result<(), String> {
+    let cur = find(current, GATE_SCENARIO, GATE_THINGS).ok_or_else(|| {
+        format!("current run has no {GATE_SCENARIO}@{GATE_THINGS} row to gate on")
+    })?;
+    let base = find(baseline, GATE_SCENARIO, GATE_THINGS)
+        .ok_or_else(|| format!("baseline has no {GATE_SCENARIO}@{GATE_THINGS} row to gate on"))?;
+
+    // Deterministic metrics should match the baseline bit-for-bit; drift
+    // means behaviour changed and the baseline wants a refresh. Warn —
+    // the hard gate is wall-clock.
+    for row in &current.scenarios {
+        if let Some(b) = find(baseline, &row.metrics.scenario, row.things) {
+            if row.metrics.frames_tx != b.metrics.frames_tx
+                || row.metrics.virtual_ms != b.metrics.virtual_ms
+            {
+                eprintln!(
+                    "warning: {}@{} drifted from baseline \
+                     (frames {} -> {}, virtual {:.1} -> {:.1} ms); \
+                     refresh bench/baseline.json if intentional",
+                    row.metrics.scenario,
+                    row.things,
+                    b.metrics.frames_tx,
+                    row.metrics.frames_tx,
+                    b.metrics.virtual_ms,
+                    row.metrics.virtual_ms,
+                );
+            }
+        }
+    }
+
+    let limit = base.metrics.wall_ms * GATE_FACTOR;
+    if cur.metrics.wall_ms > limit {
+        return Err(format!(
+            "{GATE_SCENARIO}@{GATE_THINGS} wall-clock regressed: {:.1} ms > {:.1} ms \
+             (baseline {:.1} ms × {GATE_FACTOR})",
+            cur.metrics.wall_ms, limit, base.metrics.wall_ms,
+        ));
+    }
+    println!(
+        "gate ok: {GATE_SCENARIO}@{GATE_THINGS} wall {:.1} ms <= {:.1} ms \
+         (baseline {:.1} ms × {GATE_FACTOR})",
+        cur.metrics.wall_ms, limit, base.metrics.wall_ms,
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: fleet [--nodes N,N,..] [--seed N] \
+                 [--scenario discovery|churn|steady|all] [--out FILE] [--gate BASELINE]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = run(&opts);
+
+    if let Some(path) = &opts.out {
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = &opts.gate {
+        let baseline = match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str::<BenchReport>(&s).map_err(|e| e.to_string()))
+        {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: reading baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = gate(&report, &baseline) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    ExitCode::SUCCESS
+}

@@ -19,6 +19,7 @@
 
 pub mod catalog;
 pub mod client;
+pub mod fleet;
 pub mod manager;
 pub mod registry;
 pub mod thing;
@@ -26,6 +27,7 @@ pub mod world;
 
 pub use catalog::{Catalog, CatalogEntry};
 pub use client::Client;
+pub use fleet::{Fleet, FleetConfig, FleetTopology, LatencyStats, ScenarioMetrics};
 pub use manager::Manager;
 pub use registry::{AddressSpace, AllocationError, RegistryEntry};
 pub use thing::{PlugTimeline, Thing};

@@ -5,7 +5,7 @@
 //! use. It mediates every datagram, so it is also where the plug-pipeline
 //! timelines (Table 4, §8) are stitched together.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::net::Ipv6Addr;
 
 use upnp_hw::board::ControlBoard;
@@ -15,7 +15,7 @@ use upnp_hw::id::DeviceTypeId;
 use upnp_hw::peripheral::PeripheralBoard;
 use upnp_net::link::LinkQuality;
 use upnp_net::msg::Value;
-use upnp_net::{Network, NodeId};
+use upnp_net::{Datagram, Delivery, Network, NodeId};
 use upnp_sim::{Scheduler, SimDuration, SimRng, SimTime};
 
 use crate::catalog::Catalog;
@@ -44,6 +44,10 @@ pub struct WorldConfig {
     pub stream_period: SimDuration,
     /// Peripheral-board resistor tolerance used by [`World::plug`].
     pub resistor_tolerance: ToleranceClass,
+    /// Expected node count; pre-sizes the network and world indices so a
+    /// fleet build does not spend its time reallocating. Zero is fine —
+    /// everything still grows on demand.
+    pub expected_nodes: usize,
 }
 
 impl Default for WorldConfig {
@@ -55,6 +59,7 @@ impl Default for WorldConfig {
             stream_samples: 5,
             stream_period: SimDuration::from_millis(500),
             resistor_tolerance: ToleranceClass::PointOnePercent,
+            expected_nodes: 0,
         }
     }
 }
@@ -68,10 +73,30 @@ enum NodeKind {
 
 #[derive(Debug, Clone)]
 enum WorldEvent {
-    StreamTick { thing: usize, peripheral: u32 },
+    StreamTick {
+        thing: usize,
+        peripheral: u32,
+    },
+    /// A deferred [`World::plug`] — lets scenarios stagger plug events in
+    /// virtual time instead of front-loading them all at t=0.
+    Plug {
+        thing: usize,
+        channel: u8,
+        device: DeviceTypeId,
+    },
+    /// A deferred [`World::unplug`].
+    Unplug {
+        thing: usize,
+        channel: u8,
+    },
 }
 
 /// The assembled multi-node world.
+///
+/// The event loop is engineered so one step costs `O(work due now)`, not
+/// `O(nodes)`: board interrupts are tracked in a queue instead of being
+/// rediscovered by scanning every Thing, network deliveries drain into a
+/// reused buffer, and Thing/manager lookup goes through hash indices.
 pub struct World {
     /// The network simulator.
     pub net: Network,
@@ -80,6 +105,11 @@ pub struct World {
     clients: Vec<Client>,
     catalog: Catalog,
     node_kinds: HashMap<NodeId, NodeKind>,
+    thing_by_addr: HashMap<Ipv6Addr, usize>,
+    /// Things whose board interrupt may be pending, in raise order.
+    interrupts: VecDeque<usize>,
+    /// Scratch buffer reused across delivery polls.
+    delivery_buf: Vec<Delivery>,
     sched: Scheduler<WorldEvent>,
     now: SimTime,
     rng: SimRng,
@@ -93,12 +123,15 @@ impl World {
     pub fn new(config: WorldConfig) -> Self {
         let rng = SimRng::seed(config.seed);
         World {
-            net: Network::new(config.prefix, config.seed ^ 0x9e37),
+            net: Network::with_capacity(config.prefix, config.seed ^ 0x9e37, config.expected_nodes),
             manager: None,
-            things: Vec::new(),
+            things: Vec::with_capacity(config.expected_nodes),
             clients: Vec::new(),
             catalog: Catalog::with_prototypes(),
-            node_kinds: HashMap::new(),
+            node_kinds: HashMap::with_capacity(config.expected_nodes),
+            thing_by_addr: HashMap::with_capacity(config.expected_nodes),
+            interrupts: VecDeque::new(),
+            delivery_buf: Vec::new(),
             sched: Scheduler::new(),
             now: SimTime::ZERO,
             rng,
@@ -156,6 +189,7 @@ impl World {
         self.things.push(thing);
         let id = ThingId(self.things.len() - 1);
         self.node_kinds.insert(node, NodeKind::Thing(id.0));
+        self.thing_by_addr.insert(address, id.0);
         id
     }
 
@@ -225,8 +259,8 @@ impl World {
     /// from the manager, tree rooted there.
     pub fn star_topology(&mut self) {
         let root = self.manager().node;
-        let nodes: Vec<NodeId> = self.node_kinds.keys().copied().collect();
-        for n in nodes {
+        for i in 0..self.net.len() {
+            let n = NodeId(i as u16);
             if n != root {
                 self.net.link(root, n, LinkQuality::PERFECT);
             }
@@ -254,18 +288,70 @@ impl World {
             .board_mut()
             .plug(ChannelId(channel), board)
             .expect("channel free");
+        self.interrupts.push_back(thing.0);
     }
 
     /// Unplugs whatever occupies `channel` of the Thing.
     pub fn unplug(&mut self, thing: ThingId, channel: u8) {
         self.things[thing.0].board_mut().unplug(ChannelId(channel));
+        self.interrupts.push_back(thing.0);
+    }
+
+    /// Schedules a [`World::plug`] at the absolute virtual instant `at` —
+    /// the primitive behind staggered discovery waves and churn storms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past, or (when the event fires) under the
+    /// same conditions as [`World::plug`].
+    pub fn plug_at(&mut self, at: SimTime, thing: ThingId, channel: u8, device_id: DeviceTypeId) {
+        self.sched.schedule_at(
+            at,
+            WorldEvent::Plug {
+                thing: thing.0,
+                channel,
+                device: device_id,
+            },
+        );
+    }
+
+    /// Schedules a [`World::unplug`] at the absolute virtual instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn unplug_at(&mut self, at: SimTime, thing: ThingId, channel: u8) {
+        self.sched.schedule_at(
+            at,
+            WorldEvent::Unplug {
+                thing: thing.0,
+                channel,
+            },
+        );
+    }
+
+    /// Seeds the interrupt queue by scanning every Thing once.
+    ///
+    /// [`World::plug`]/[`World::unplug`] enqueue the affected Thing
+    /// directly; this entry-time scan only exists to catch tests and
+    /// examples that manipulate a board through
+    /// [`Thing::board_mut`](crate::thing::Thing::board_mut) behind the
+    /// world's back. It runs once per `run_*` call, not once per step, so
+    /// the inner loop stays `O(work due now)`.
+    fn seed_interrupts(&mut self) {
+        for (i, t) in self.things.iter().enumerate() {
+            if t.interrupt_pending() {
+                self.interrupts.push_back(i);
+            }
+        }
     }
 
     /// Runs until no interrupts, deliveries or scheduled events remain.
     pub fn run_until_idle(&mut self) {
+        self.seed_interrupts();
         // Bounded by a large iteration budget: a logic bug must fail a
         // test, not hang it.
-        for _ in 0..1_000_000 {
+        for _ in 0..10_000_000 {
             if !self.step() {
                 return;
             }
@@ -275,8 +361,9 @@ impl World {
 
     /// Runs for at most `duration` of virtual time.
     pub fn run_for(&mut self, duration: SimDuration) {
+        self.seed_interrupts();
         let deadline = self.now + duration;
-        for _ in 0..1_000_000 {
+        for _ in 0..10_000_000 {
             // Handle interrupts regardless of the deadline (they are
             // immediate), then events up to the deadline.
             if self.service_interrupts() {
@@ -316,7 +403,7 @@ impl World {
             self.now = next;
         }
 
-        // Scheduled world events (stream ticks) due now.
+        // Scheduled world events (stream ticks, deferred plugs) due now.
         while matches!(self.sched.peek_time(), Some(t) if t <= self.now) {
             let entry = self.sched.pop().expect("peeked");
             match entry.event {
@@ -332,12 +419,20 @@ impl World {
                             .schedule_at(at, WorldEvent::StreamTick { thing, peripheral });
                     }
                 }
+                WorldEvent::Plug {
+                    thing,
+                    channel,
+                    device,
+                } => self.plug(ThingId(thing), channel, device),
+                WorldEvent::Unplug { thing, channel } => self.unplug(ThingId(thing), channel),
             }
         }
 
-        // Network deliveries due now.
-        let deliveries = self.net.poll(self.now);
-        for d in deliveries {
+        // Network deliveries due now, drained into the reused buffer.
+        let mut deliveries = std::mem::take(&mut self.delivery_buf);
+        deliveries.clear();
+        self.net.poll_into(self.now, &mut deliveries);
+        for d in &deliveries {
             match self.node_kinds.get(&d.node).copied() {
                 Some(NodeKind::Manager) => {
                     let (replies, process, send_path) = self
@@ -359,11 +454,9 @@ impl World {
                             ..
                         }) = upnp_net::msg::Message::decode(&reply.payload)
                         {
-                            for t in &mut self.things {
-                                if t.address == reply.dst {
-                                    if let Some(tl) = t.timelines.get_mut(&peripheral) {
-                                        tl.upload_sent = Some(ready_at);
-                                    }
+                            if let Some(&i) = self.thing_by_addr.get(&reply.dst) {
+                                if let Some(tl) = self.things[i].timelines.get_mut(&peripheral) {
+                                    tl.upload_sent = Some(ready_at);
                                 }
                             }
                         }
@@ -386,14 +479,19 @@ impl World {
                 None => {}
             }
         }
+        self.delivery_buf = deliveries;
         true
     }
 
     /// Services at most one pending interrupt; returns true if one was
-    /// handled.
+    /// handled. Pops from the interrupt queue instead of scanning every
+    /// Thing — `O(1)` per step at any fleet size.
     fn service_interrupts(&mut self) -> bool {
         let anycast = self.manager_anycast;
-        for i in 0..self.things.len() {
+        while let Some(i) = self.interrupts.pop_front() {
+            // A queue entry may be stale: one service call handles every
+            // change on the board, so a Thing plugged twice between steps
+            // is fully serviced by its first entry.
             if self.things[i].interrupt_pending() {
                 let out = self.things[i].service_interrupt(self.now, anycast);
                 self.apply_outbound(i, out);
@@ -428,6 +526,31 @@ impl World {
                 }
             }
         }
+    }
+
+    // ---- Asynchronous request builders for fleet workloads -------------
+
+    /// Builds a (10) read request from `client` without driving the
+    /// world — fleet workloads inject many such datagrams at staggered
+    /// virtual instants and run the loop once.
+    pub fn client_request_read(
+        &mut self,
+        client: ClientId,
+        thing: Ipv6Addr,
+        peripheral: u32,
+    ) -> Datagram {
+        self.clients[client.0].read(thing, peripheral)
+    }
+
+    /// Builds a (12) stream request from `client` without driving the
+    /// world.
+    pub fn client_request_stream(
+        &mut self,
+        client: ClientId,
+        thing: Ipv6Addr,
+        peripheral: u32,
+    ) -> Datagram {
+        self.clients[client.0].stream(thing, peripheral)
     }
 
     // ---- Synchronous conveniences for examples and tests ---------------

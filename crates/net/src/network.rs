@@ -7,16 +7,17 @@
 //! to the nearest instance), charges radio time and energy, and yields
 //! [`Delivery`] records at the right virtual instants.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 use std::net::Ipv6Addr;
+use std::rc::Rc;
 
 use upnp_sim::{EnergyMeter, Scheduler, SimDuration, SimRng, SimTime};
 
 use crate::addr;
 use crate::link::{LinkQuality, RadioModel};
-use crate::rpl::{Dodag, Topology};
+use crate::rpl::{Dodag, Node, Topology};
 use crate::sixlowpan;
-use crate::smrf;
+use crate::smrf::{self, MulticastPlan};
 
 /// A node handle in the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -64,8 +65,6 @@ pub struct SendReport {
 #[derive(Debug)]
 struct NodeState {
     unicast: Ipv6Addr,
-    groups: HashSet<Ipv6Addr>,
-    anycast: HashSet<Ipv6Addr>,
     radio_meter: EnergyMeter,
 }
 
@@ -81,6 +80,17 @@ pub struct NetStats {
 }
 
 /// The network simulator.
+///
+/// Fleet-scale hot paths are index-backed rather than scan-backed:
+///
+/// * `addr_index` resolves unicast destinations in O(1);
+/// * `group_index` maps each multicast group to its member set, so
+///   membership queries and SMRF planning never walk the node table;
+/// * `anycast_index` keeps the instance set per anycast address;
+/// * `route_cache` memoises tree paths per `(src, dst)` pair and
+///   `plan_cache` memoises SMRF plans per `(group, source)` — both are
+///   invalidated on topology changes, and the plan cache additionally on
+///   membership churn for the affected group.
 pub struct Network {
     prefix: u64,
     nodes: Vec<NodeState>,
@@ -90,20 +100,36 @@ pub struct Network {
     rng: SimRng,
     radio: RadioModel,
     stats: NetStats,
+    addr_index: HashMap<Ipv6Addr, NodeId>,
+    group_index: HashMap<Ipv6Addr, BTreeSet<Node>>,
+    anycast_index: HashMap<Ipv6Addr, BTreeSet<NodeId>>,
+    route_cache: HashMap<(NodeId, NodeId), Rc<[Node]>>,
+    plan_cache: HashMap<(Ipv6Addr, NodeId), Rc<MulticastPlan>>,
 }
 
 impl Network {
     /// Creates an empty network with the given 48-bit prefix and RNG seed.
     pub fn new(prefix_48: u64, seed: u64) -> Self {
+        Self::with_capacity(prefix_48, seed, 0)
+    }
+
+    /// Creates an empty network pre-sized for `nodes` nodes — avoids
+    /// repeated reallocation when fleets of thousands of nodes are built.
+    pub fn with_capacity(prefix_48: u64, seed: u64, nodes: usize) -> Self {
         Network {
             prefix: prefix_48,
-            nodes: Vec::new(),
+            nodes: Vec::with_capacity(nodes),
             topo: Topology::new(0),
             dodag: None,
-            sched: Scheduler::new(),
+            sched: Scheduler::with_capacity(nodes.max(64)),
             rng: SimRng::seed(seed),
             radio: RadioModel::ieee802154(),
             stats: NetStats::default(),
+            addr_index: HashMap::with_capacity(nodes),
+            group_index: HashMap::new(),
+            anycast_index: HashMap::new(),
+            route_cache: HashMap::new(),
+            plan_cache: HashMap::new(),
         }
     }
 
@@ -123,10 +149,9 @@ impl Network {
         let unicast = addr::unicast(self.prefix, 0, id.0 as u64 + 1);
         self.nodes.push(NodeState {
             unicast,
-            groups: HashSet::new(),
-            anycast: HashSet::new(),
             radio_meter: EnergyMeter::new("radio"),
         });
+        self.addr_index.insert(unicast, id);
         self.topo.add_node();
         id
     }
@@ -148,48 +173,84 @@ impl Network {
 
     /// Resolves a unicast address to its node.
     pub fn node_by_addr(&self, a: Ipv6Addr) -> Option<NodeId> {
-        self.nodes
-            .iter()
-            .position(|n| n.unicast == a)
-            .map(|i| NodeId(i as u16))
+        self.addr_index.get(&a).copied()
     }
 
     /// Connects two nodes with the given link quality.
     pub fn link(&mut self, a: NodeId, b: NodeId, quality: LinkQuality) {
         self.topo.link(a.0 as usize, b.0 as usize, quality);
+        // Paths and plans may now be stale; recompute lazily.
+        self.route_cache.clear();
+        self.plan_cache.clear();
     }
 
     /// (Re)builds the RPL DODAG rooted at `root`.
     pub fn build_tree(&mut self, root: NodeId) {
         self.dodag = Some(Dodag::build(&self.topo, root.0 as usize));
+        self.route_cache.clear();
+        self.plan_cache.clear();
     }
 
     /// Joins `node` to a multicast group.
     pub fn join_group(&mut self, node: NodeId, group: Ipv6Addr) {
         assert!(group.is_multicast(), "not a multicast address: {group}");
-        self.nodes[node.0 as usize].groups.insert(group);
+        if self
+            .group_index
+            .entry(group)
+            .or_default()
+            .insert(node.0 as usize)
+        {
+            self.invalidate_group_plans(group);
+        }
     }
 
     /// Removes `node` from a multicast group. Returns whether it was a
     /// member.
     pub fn leave_group(&mut self, node: NodeId, group: Ipv6Addr) -> bool {
-        self.nodes[node.0 as usize].groups.remove(&group)
+        let Some(members) = self.group_index.get_mut(&group) else {
+            return false;
+        };
+        let was_member = members.remove(&(node.0 as usize));
+        if was_member {
+            if members.is_empty() {
+                self.group_index.remove(&group);
+            }
+            self.invalidate_group_plans(group);
+        }
+        was_member
     }
 
-    /// Current members of `group`.
+    fn invalidate_group_plans(&mut self, group: Ipv6Addr) {
+        self.plan_cache.retain(|(g, _), _| *g != group);
+    }
+
+    /// Current members of `group` as a freshly allocated `Vec`.
+    ///
+    /// Compatibility shim over [`Network::group_members`]; hot paths
+    /// iterate the group index directly instead.
     pub fn members(&self, group: Ipv6Addr) -> Vec<NodeId> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| n.groups.contains(&group))
-            .map(|(i, _)| NodeId(i as u16))
-            .collect()
+        self.group_members(group).collect()
+    }
+
+    /// Iterates the current members of `group` in node order, without
+    /// allocating.
+    pub fn group_members(&self, group: Ipv6Addr) -> impl Iterator<Item = NodeId> + '_ {
+        self.group_index
+            .get(&group)
+            .into_iter()
+            .flatten()
+            .map(|&n| NodeId(n as u16))
+    }
+
+    /// Number of members of `group`.
+    pub fn group_len(&self, group: Ipv6Addr) -> usize {
+        self.group_index.get(&group).map_or(0, BTreeSet::len)
     }
 
     /// Registers `node` as an instance of an anycast address (§5: "the
     /// µPnP manager is assigned an anycast IPv6 address").
     pub fn set_anycast(&mut self, node: NodeId, anycast: Ipv6Addr) {
-        self.nodes[node.0 as usize].anycast.insert(anycast);
+        self.anycast_index.entry(anycast).or_default().insert(node);
     }
 
     /// Radio energy consumed by `node` so far, joules.
@@ -240,18 +301,32 @@ impl Network {
             return Some(n);
         }
         // Anycast: the instance with the lowest DODAG rank (nearest the
-        // root approximates "nearest" for our tree workloads).
+        // root approximates "nearest" for our tree workloads). Only the
+        // registered instances are examined, not the whole node table.
         let dodag = self.dodag.as_ref()?;
-        self.nodes
+        self.anycast_index
+            .get(&dst)?
             .iter()
-            .enumerate()
-            .filter(|(_, n)| n.anycast.contains(&dst))
-            .min_by(|(a, _), (b, _)| {
-                dodag.rank[*a]
-                    .partial_cmp(&dodag.rank[*b])
+            .copied()
+            .min_by(|a, b| {
+                dodag.rank[a.0 as usize]
+                    .partial_cmp(&dodag.rank[b.0 as usize])
                     .expect("ranks are not NaN")
             })
-            .map(|(i, _)| NodeId(i as u16))
+    }
+
+    /// The tree path `from → to`, memoised per destination pair.
+    fn route(&mut self, from: NodeId, to: NodeId) -> Option<Rc<[Node]>> {
+        if let Some(path) = self.route_cache.get(&(from, to)) {
+            return Some(path.clone());
+        }
+        let path: Rc<[Node]> = self
+            .dodag
+            .as_ref()?
+            .route(from.0 as usize, to.0 as usize)?
+            .into();
+        self.route_cache.insert((from, to), path.clone());
+        Some(path)
     }
 
     fn datagram_wire_size(&self, dgram: &Datagram) -> usize {
@@ -267,12 +342,7 @@ impl Network {
         report: &mut SendReport,
     ) {
         report.receivers = 1;
-        let Some(dodag) = self.dodag.as_ref() else {
-            self.stats.drops += 1;
-            report.lost = 1;
-            return;
-        };
-        let Some(path) = dodag.route(from.0 as usize, to.0 as usize) else {
+        let Some(path) = self.route(from, to) else {
             self.stats.drops += 1;
             report.lost = 1;
             return;
@@ -306,6 +376,37 @@ impl Network {
         self.schedule(t, to, dgram);
     }
 
+    /// The SMRF plan for `from` multicasting to `group`, memoised per
+    /// `(group, source)` — discovery waves and streams re-multicast to the
+    /// same group from the same sources over and over.
+    fn multicast_plan(
+        &mut self,
+        group: Ipv6Addr,
+        from: NodeId,
+    ) -> Option<(Rc<MulticastPlan>, u32)> {
+        let members = self.group_index.get(&group);
+        let receivers =
+            members.map_or(0, |m| m.len() - usize::from(m.contains(&(from.0 as usize)))) as u32;
+        if let Some(plan) = self.plan_cache.get(&(group, from)) {
+            return Some((plan.clone(), receivers));
+        }
+        let dodag = self.dodag.as_ref()?;
+        let plan = match members {
+            Some(m) if m.contains(&(from.0 as usize)) => {
+                // SMRF never loops a packet back to its source; plan over
+                // the membership without it.
+                let mut others = m.clone();
+                others.remove(&(from.0 as usize));
+                smrf::plan(dodag, from.0 as usize, &others)?
+            }
+            Some(m) => smrf::plan(dodag, from.0 as usize, m)?,
+            None => smrf::plan(dodag, from.0 as usize, &BTreeSet::new())?,
+        };
+        let plan: Rc<MulticastPlan> = Rc::new(plan);
+        self.plan_cache.insert((group, from), plan.clone());
+        Some((plan, receivers))
+    }
+
     fn send_multicast(
         &mut self,
         now: SimTime,
@@ -313,21 +414,17 @@ impl Network {
         dgram: Datagram,
         report: &mut SendReport,
     ) {
-        let members: HashSet<usize> = self
-            .members(dgram.dst)
-            .into_iter()
-            .map(|n| n.0 as usize)
-            .filter(|&n| n != from.0 as usize)
-            .collect();
-        let Some(dodag) = self.dodag.as_ref() else {
-            self.stats.drops += members.len() as u64;
+        let Some((plan, receivers)) = self.multicast_plan(dgram.dst, from) else {
+            let receivers = self.group_len(dgram.dst)
+                - usize::from(
+                    self.group_index
+                        .get(&dgram.dst)
+                        .is_some_and(|m| m.contains(&(from.0 as usize))),
+                );
+            self.stats.drops += receivers as u64;
             return;
         };
-        let Some(plan) = smrf::plan(dodag, from.0 as usize, &members) else {
-            self.stats.drops += members.len() as u64;
-            return;
-        };
-        report.receivers = members.len() as u32;
+        report.receivers = receivers;
         let total = self.datagram_wire_size(&dgram);
         let frames = sixlowpan::fragment(total, &self.radio);
 
@@ -357,7 +454,7 @@ impl Network {
             }
             if !ok_all {
                 // Uplink failure kills the whole dissemination.
-                self.stats.drops += members.len() as u64;
+                self.stats.drops += receivers as u64;
                 report.lost = report.receivers;
                 return;
             }
@@ -418,11 +515,19 @@ impl Network {
     /// Pops all deliveries due at or before `until`, in time order.
     pub fn poll(&mut self, until: SimTime) -> Vec<Delivery> {
         let mut out = Vec::new();
+        self.poll_into(until, &mut out);
+        out
+    }
+
+    /// Pops all deliveries due at or before `until` into `out` (appended
+    /// in time order). Batching into a caller-owned buffer keeps the
+    /// world loop's per-step cost `O(deliveries)` with zero allocation in
+    /// steady state.
+    pub fn poll_into(&mut self, until: SimTime, out: &mut Vec<Delivery>) {
         while matches!(self.sched.peek_time(), Some(t) if t <= until) {
             let entry = self.sched.pop().expect("peeked");
             out.push(entry.event);
         }
-        out
     }
 
     /// True if deliveries are still in flight.

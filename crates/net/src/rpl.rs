@@ -8,15 +8,23 @@
 //! converges to on a static topology) and routes unicast along tree paths
 //! through the lowest common ancestor, as a storing-mode RPL network does.
 
+use std::collections::HashMap;
+
 use crate::link::LinkQuality;
 
 /// A node index in the topology.
 pub type Node = usize;
 
 /// The physical connectivity graph.
+///
+/// Neighbour lists stay ordered `Vec`s (deterministic iteration for the
+/// DODAG build); a directed edge index sits alongside them so per-hop
+/// [`Topology::quality`] lookups are O(1) even for hub nodes with
+/// thousands of neighbours.
 #[derive(Debug, Clone, Default)]
 pub struct Topology {
     links: Vec<Vec<(Node, LinkQuality)>>,
+    edges: HashMap<(Node, Node), LinkQuality>,
 }
 
 impl Topology {
@@ -24,6 +32,7 @@ impl Topology {
     pub fn new(n: usize) -> Self {
         Topology {
             links: vec![Vec::new(); n],
+            edges: HashMap::new(),
         }
     }
 
@@ -51,15 +60,30 @@ impl Topology {
     pub fn link(&mut self, a: Node, b: Node, quality: LinkQuality) {
         assert!(a != b, "self links are not allowed");
         assert!(a < self.links.len() && b < self.links.len());
-        self.links[a].retain(|(n, _)| *n != b);
-        self.links[b].retain(|(n, _)| *n != a);
-        self.links[a].push((b, quality));
-        self.links[b].push((a, quality));
+        let replaced = self.edges.insert((a, b), quality).is_some();
+        self.edges.insert((b, a), quality);
+        if replaced {
+            // Re-linking updates the existing neighbour entries in place,
+            // keeping their original position (and hence iteration order).
+            for (n, q) in &mut self.links[a] {
+                if *n == b {
+                    *q = quality;
+                }
+            }
+            for (n, q) in &mut self.links[b] {
+                if *n == a {
+                    *q = quality;
+                }
+            }
+        } else {
+            self.links[a].push((b, quality));
+            self.links[b].push((a, quality));
+        }
     }
 
     /// The quality of the direct link `a → b`, if it exists.
     pub fn quality(&self, a: Node, b: Node) -> Option<LinkQuality> {
-        self.links[a].iter().find(|(n, _)| *n == b).map(|(_, q)| *q)
+        self.edges.get(&(a, b)).copied()
     }
 
     /// Neighbours of `a`.
@@ -69,6 +93,11 @@ impl Topology {
 }
 
 /// The routing tree rooted at the border router.
+///
+/// Beyond the raw `parent`/`rank` arrays, construction precomputes the
+/// per-node tree `depth` and the child adjacency lists, so routing and
+/// multicast planning are `O(path)` / `O(subtree)` instead of `O(nodes)`
+/// — the difference between tens and thousands of simulated nodes.
 #[derive(Debug, Clone)]
 pub struct Dodag {
     /// The DODAG root.
@@ -78,6 +107,9 @@ pub struct Dodag {
     pub parent: Vec<Option<Node>>,
     /// Rank (ETX distance from the root; `f64::INFINITY` if unreachable).
     pub rank: Vec<f64>,
+    /// Hop depth below the root (0 for the root and unreachable nodes).
+    pub depth: Vec<u32>,
+    children: Vec<Vec<Node>>,
 }
 
 impl Dodag {
@@ -89,7 +121,8 @@ impl Dodag {
         let mut visited = vec![false; n];
         rank[root] = 0.0;
         for _ in 0..n {
-            // Extract-min (n is small in every experiment; O(n²) is fine).
+            // Extract-min (build runs once per topology change; O(n²) is
+            // fine even at fleet scale — routing itself never rescans).
             let mut best = None;
             let mut best_rank = f64::INFINITY;
             for v in 0..n {
@@ -108,7 +141,40 @@ impl Dodag {
                 }
             }
         }
-        Dodag { root, parent, rank }
+        // Child adjacency, in node order (deterministic).
+        let mut children = vec![Vec::new(); n];
+        for (v, p) in parent.iter().enumerate() {
+            if let Some(p) = *p {
+                children[p].push(v);
+            }
+        }
+        // Depth by walking down from the root (parents always come first
+        // in a breadth-first frontier).
+        let mut depth = vec![0u32; n];
+        let mut frontier = vec![root];
+        while let Some(u) = frontier.pop() {
+            for &c in &children[u] {
+                depth[c] = depth[u] + 1;
+                frontier.push(c);
+            }
+        }
+        Dodag {
+            root,
+            parent,
+            rank,
+            depth,
+            children,
+        }
+    }
+
+    /// Number of nodes the DODAG was built over.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if the DODAG covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
     }
 
     /// True if `node` can reach the root.
@@ -129,32 +195,38 @@ impl Dodag {
 
     /// The hop path `a → b` through the tree (via the lowest common
     /// ancestor), or `None` if either side is unreachable.
+    ///
+    /// Uses the precomputed depths to climb both sides in lockstep:
+    /// `O(path length)` with no hashing, regardless of network size.
     pub fn route(&self, a: Node, b: Node) -> Option<Vec<Node>> {
         if !self.reachable(a) || !self.reachable(b) {
             return None;
         }
-        if a == b {
-            return Some(vec![a]);
+        let mut path = Vec::new();
+        let mut tail = Vec::new();
+        let (mut up, mut down) = (a, b);
+        while self.depth[up] > self.depth[down] {
+            path.push(up);
+            up = self.parent[up].expect("deeper nodes have parents");
         }
-        let up_a = self.path_to_root(a);
-        let up_b = self.path_to_root(b);
-        // Find the lowest common ancestor.
-        let set_a: std::collections::HashSet<Node> = up_a.iter().copied().collect();
-        let lca = *up_b.iter().find(|n| set_a.contains(n))?;
-        let mut path: Vec<Node> = up_a.iter().copied().take_while(|&n| n != lca).collect();
-        path.push(lca);
-        let down: Vec<Node> = up_b.iter().copied().take_while(|&n| n != lca).collect();
-        path.extend(down.into_iter().rev());
+        while self.depth[down] > self.depth[up] {
+            tail.push(down);
+            down = self.parent[down].expect("deeper nodes have parents");
+        }
+        while up != down {
+            path.push(up);
+            tail.push(down);
+            up = self.parent[up].expect("distinct nodes below the LCA");
+            down = self.parent[down].expect("distinct nodes below the LCA");
+        }
+        path.push(up); // the LCA (== a when a == b)
+        path.extend(tail.into_iter().rev());
         Some(path)
     }
 
-    /// Children of `node` in the tree.
-    pub fn children(&self, node: Node) -> Vec<Node> {
-        self.parent
-            .iter()
-            .enumerate()
-            .filter_map(|(v, p)| (*p == Some(node)).then_some(v))
-            .collect()
+    /// Children of `node` in the tree (precomputed at build).
+    pub fn children(&self, node: Node) -> &[Node] {
+        &self.children[node]
     }
 }
 

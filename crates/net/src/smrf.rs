@@ -8,7 +8,7 @@
 //! the member branches. This module computes the forwarding sets and
 //! per-member hop counts the simulator charges time and energy for.
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 use crate::rpl::{Dodag, Node};
 
@@ -37,8 +37,12 @@ impl MulticastPlan {
 /// Computes which nodes must forward a group packet so that every member
 /// receives it, and how many hops each member is from the source.
 ///
+/// Members come in as a [`BTreeSet`] so iteration order (and therefore
+/// the produced plan) is deterministic, and so the network layer can hand
+/// its group index over without rebuilding a set per transmission.
+///
 /// Returns `None` if the source is detached from the DODAG.
-pub fn plan(dodag: &Dodag, source: Node, members: &HashSet<Node>) -> Option<MulticastPlan> {
+pub fn plan(dodag: &Dodag, source: Node, members: &BTreeSet<Node>) -> Option<MulticastPlan> {
     if !dodag.reachable(source) {
         return None;
     }
@@ -47,14 +51,23 @@ pub fn plan(dodag: &Dodag, source: Node, members: &HashSet<Node>) -> Option<Mult
     let up_path = dodag.path_to_root(source);
     let uplink: Vec<(Node, Node)> = up_path.windows(2).map(|w| (w[0], w[1])).collect();
 
-    // Mark every node that lies on a root→member path.
-    let mut on_path: HashSet<Node> = HashSet::new();
+    // Mark every node that lies on a root→member path. A dense bitmap
+    // beats hashing here: it is written once per plan and probed once per
+    // visited child.
+    let mut on_path = vec![false; dodag.len()];
     for &m in members {
         if !dodag.reachable(m) {
             continue;
         }
-        for n in dodag.path_to_root(m) {
-            on_path.insert(n);
+        let mut cur = m;
+        // Stop climbing as soon as an already-marked ancestor is hit, so
+        // the total marking work is O(union of member paths).
+        while !on_path[cur] {
+            on_path[cur] = true;
+            match dodag.parent[cur] {
+                Some(p) => cur = p,
+                None => break,
+            }
         }
     }
 
@@ -68,8 +81,8 @@ pub fn plan(dodag: &Dodag, source: Node, members: &HashSet<Node>) -> Option<Mult
     }
     let mut frontier = vec![(dodag.root, up_hops)];
     while let Some((node, hops)) = frontier.pop() {
-        for child in dodag.children(node) {
-            if !on_path.contains(&child) {
+        for &child in dodag.children(node) {
+            if !on_path[child] {
                 continue;
             }
             downlink.push((node, child));
@@ -105,7 +118,7 @@ mod tests {
         Dodag::build(&t, 0)
     }
 
-    fn set(nodes: &[Node]) -> HashSet<Node> {
+    fn set(nodes: &[Node]) -> BTreeSet<Node> {
         nodes.iter().copied().collect()
     }
 

@@ -125,10 +125,10 @@ proptest! {
         }
         let dodag = Dodag::build(&topo, 0);
         let src = src % n;
-        let members: std::collections::HashSet<usize> =
+        let members: std::collections::BTreeSet<usize> =
             (0..n).filter(|i| member_bits & (1 << i) != 0).collect();
         let plan = upnp_net::smrf::plan(&dodag, src, &members).unwrap();
-        let planned: std::collections::HashSet<usize> =
+        let planned: std::collections::BTreeSet<usize> =
             plan.member_hops.iter().map(|(m, _)| *m).collect();
         prop_assert_eq!(planned, members);
     }

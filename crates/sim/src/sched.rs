@@ -87,6 +87,23 @@ impl<E> Scheduler<E> {
         }
     }
 
+    /// Creates an empty scheduler whose heap is pre-sized for `capacity`
+    /// pending events — fleet-scale simulations queue thousands of
+    /// deliveries at once, and growing the heap mid-run shows up in
+    /// profiles.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::with_capacity(capacity),
+        }
+    }
+
+    /// Reserves room for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.queue.reserve(additional);
+    }
+
     /// Returns the current virtual time.
     pub fn now(&self) -> SimTime {
         self.now

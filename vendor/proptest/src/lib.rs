@@ -23,8 +23,8 @@
 pub mod arbitrary;
 pub mod collection;
 pub mod prelude;
-pub mod string;
 pub mod strategy;
+pub mod string;
 pub mod test_runner;
 
 pub use test_runner::{TestCaseError, TestCaseResult, TestRng};
@@ -205,9 +205,10 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr $(,)?) => {
         if !$cond {
-            return ::core::result::Result::Err($crate::TestCaseError::reject(
-                concat!("assumption failed: ", stringify!($cond)),
-            ));
+            return ::core::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
         }
     };
 }

@@ -5,6 +5,4 @@ pub use crate::prop;
 pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
 pub use crate::test_runner::Config as ProptestConfig;
 pub use crate::test_runner::{TestCaseError, TestCaseResult, TestRng};
-pub use crate::{
-    prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
-};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};

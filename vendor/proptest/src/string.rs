@@ -31,9 +31,10 @@ impl Strategy for &'static str {
                 .borrow_mut()
                 .entry(key)
                 .or_insert_with(|| {
-                    Rc::new(Pattern::parse(self).unwrap_or_else(|e| {
-                        panic!("unsupported regex strategy {self:?}: {e}")
-                    }))
+                    Rc::new(
+                        Pattern::parse(self)
+                            .unwrap_or_else(|e| panic!("unsupported regex strategy {self:?}: {e}")),
+                    )
                 })
                 .clone()
         });
@@ -183,7 +184,11 @@ impl<'a> ClassParser<'a> {
                 Some(']') => break,
                 Some('\\') => {
                     let chars = self.parse_escape()?;
-                    prev = if chars.len() == 1 { Some(chars[0]) } else { None };
+                    prev = if chars.len() == 1 {
+                        Some(chars[0])
+                    } else {
+                        None
+                    };
                     members.extend(chars);
                 }
                 Some('-') if prev.is_some() && self.chars.peek() != Some(&']') => {
@@ -311,7 +316,10 @@ mod tests {
             assert!(s.starts_with("ab") || s.starts_with("cd"), "{s:?}");
             let tail = &s[4..];
             let digits = tail.trim_end_matches('x');
-            assert!(!digits.is_empty() && digits.chars().all(|c| c.is_ascii_digit()), "{s:?}");
+            assert!(
+                !digits.is_empty() && digits.chars().all(|c| c.is_ascii_digit()),
+                "{s:?}"
+            );
         }
     }
 

@@ -88,9 +88,7 @@ pub trait Deserialize: Sized {
 pub fn __field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, Error> {
     match obj.iter().find(|(k, _)| k == name) {
         Some((_, v)) => T::from_value(v),
-        None => {
-            T::__when_missing().ok_or_else(|| Error::custom(format!("missing field `{name}`")))
-        }
+        None => T::__when_missing().ok_or_else(|| Error::custom(format!("missing field `{name}`"))),
     }
 }
 
@@ -237,7 +235,9 @@ where
     V: Deserialize,
 {
     fn from_value(v: &Value) -> Result<Self, Error> {
-        let entries = v.as_object().ok_or_else(|| Error::custom("expected object"))?;
+        let entries = v
+            .as_object()
+            .ok_or_else(|| Error::custom("expected object"))?;
         entries
             .iter()
             .map(|(k, v)| {
@@ -267,7 +267,9 @@ where
     V: Deserialize,
 {
     fn from_value(v: &Value) -> Result<Self, Error> {
-        let entries = v.as_object().ok_or_else(|| Error::custom("expected object"))?;
+        let entries = v
+            .as_object()
+            .ok_or_else(|| Error::custom("expected object"))?;
         entries
             .iter()
             .map(|(k, v)| {

@@ -63,7 +63,11 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
 
     let body = match tokens.get(i) {
         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
-        other => return Err(format!("expected {{...}} body for `{name}`, found {other:?}")),
+        other => {
+            return Err(format!(
+                "expected {{...}} body for `{name}`, found {other:?}"
+            ))
+        }
     };
     let body: Vec<TokenTree> = body.into_iter().collect();
 

@@ -19,12 +19,18 @@ pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error>
 
 /// Parses a value from JSON text.
 pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.parse_value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::custom(format!("trailing characters at offset {}", p.pos)));
+        return Err(Error::custom(format!(
+            "trailing characters at offset {}",
+            p.pos
+        )));
     }
     T::from_value(&v)
 }
@@ -159,7 +165,10 @@ impl<'a> Parser<'a> {
             self.pos += lit.len();
             Ok(v)
         } else {
-            Err(Error::custom(format!("invalid literal at offset {}", self.pos)))
+            Err(Error::custom(format!(
+                "invalid literal at offset {}",
+                self.pos
+            )))
         }
     }
 
@@ -200,8 +209,7 @@ impl<'a> Parser<'a> {
             .get(self.pos + 1..self.pos + 5)
             .ok_or_else(|| Error::custom("truncated \\u escape"))?;
         let hex = std::str::from_utf8(hex).map_err(|_| Error::custom("bad \\u escape"))?;
-        let code =
-            u32::from_str_radix(hex, 16).map_err(|_| Error::custom("bad \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| Error::custom("bad \\u escape"))?;
         self.pos += 4;
         Ok(code)
     }
@@ -242,8 +250,7 @@ impl<'a> Parser<'a> {
                                 if !(0xDC00..0xE000).contains(&low) {
                                     return Err(Error::custom("invalid low surrogate"));
                                 }
-                                let scalar =
-                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                let scalar = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
                                 char::from_u32(scalar)
                                     .ok_or_else(|| Error::custom("bad surrogate pair"))?
                             } else {
@@ -287,7 +294,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Array(items));
                 }
-                _ => return Err(Error::custom(format!("expected , or ] at offset {}", self.pos))),
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected , or ] at offset {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -316,7 +328,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Object(entries));
                 }
-                _ => return Err(Error::custom(format!("expected , or }} at offset {}", self.pos))),
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected , or }} at offset {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -329,28 +346,34 @@ mod tests {
     #[test]
     fn roundtrip_nested() {
         let v = Value::Object(vec![
-            ("a".into(), Value::Array(vec![Value::Number(1.0), Value::Bool(true)])),
+            (
+                "a".into(),
+                Value::Array(vec![Value::Number(1.0), Value::Bool(true)]),
+            ),
             ("b".into(), Value::String("x \"y\"\n".into())),
             ("c".into(), Value::Null),
         ]);
         let mut compact = String::new();
         write_value(&v, None, 0, &mut compact);
-        let mut p = Parser { bytes: compact.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: compact.as_bytes(),
+            pos: 0,
+        };
         assert_eq!(p.parse_value().unwrap(), v);
 
         let mut pretty = String::new();
         write_value(&v, Some(2), 0, &mut pretty);
-        let mut p = Parser { bytes: pretty.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: pretty.as_bytes(),
+            pos: 0,
+        };
         assert_eq!(p.parse_value().unwrap(), v);
     }
 
     #[test]
     fn missing_option_field_defaults_to_none() {
         // Upstream serde accepts documents lacking an Option field.
-        assert_eq!(
-            serde::__field::<Option<u32>>(&[], "absent").unwrap(),
-            None
-        );
+        assert_eq!(serde::__field::<Option<u32>>(&[], "absent").unwrap(), None);
         assert!(serde::__field::<u32>(&[], "absent").is_err());
     }
 
