@@ -62,7 +62,7 @@ fn bench_net(c: &mut Criterion) {
                 dst: net.addr_of(n[0]),
                 src_port: addr::MCAST_PORT,
                 dst_port: addr::MCAST_PORT,
-                payload: vec![0; 32],
+                payload: vec![0; 32].into(),
             };
             black_box(net.send(t, n[3], d));
             net.poll(SimTime::MAX)

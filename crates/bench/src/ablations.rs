@@ -96,7 +96,7 @@ pub fn discovery_traffic(things: usize, matching: usize) -> (u32, u32) {
         dst: group,
         src_port: addr::MCAST_PORT,
         dst_port: addr::MCAST_PORT,
-        payload: vec![0; 8],
+        payload: vec![0; 8].into(),
     };
     let report = net.send(SimTime::ZERO, root, dgram);
     net.poll(SimTime::MAX);
@@ -111,7 +111,7 @@ pub fn discovery_traffic(things: usize, matching: usize) -> (u32, u32) {
             dst: net.addr_of(n),
             src_port: addr::MCAST_PORT,
             dst_port: addr::MCAST_PORT,
-            payload: vec![0; 8],
+            payload: vec![0; 8].into(),
         };
         let t = SimTime::ZERO + SimDuration::from_millis(i as u64 * 10);
         unicast_frames += net.send(t, root, dgram).frames;

@@ -1,29 +1,37 @@
 //! Fleet-scale benchmark: discovery waves, churn storms and steady-state
-//! workloads at 100/1k/5k nodes, with machine-readable output and a CI
-//! regression gate.
+//! workloads at 100/1k/5k/25k/100k nodes, with machine-readable output
+//! and a CI regression gate.
 //!
 //! ```text
-//! fleet                                  # all scenarios at 100/1k/5k nodes
+//! fleet                                  # all scenarios, full size sweep
 //! fleet --nodes 100,1000                 # restrict the size sweep
 //! fleet --scenario discovery             # one scenario only
 //! fleet --seed 42                        # reseed the whole run
 //! fleet --out BENCH_fleet.json           # write the JSON report
-//! fleet --gate bench/baseline.json       # exit 1 on >25 % wall regression
+//! fleet --gate bench/baseline.json       # exit 1 on regression
 //! ```
 //!
-//! The gate compares the 1k-node discovery wall-clock against the
-//! checked-in baseline (the CI contract from ISSUE 2); virtual-time and
-//! traffic drift on any row is reported as a warning, since those are
-//! deterministic and only move when behaviour genuinely changes.
+//! The gate checks the 1k- and 5k-node discovery wall-clocks against the
+//! checked-in baseline (>25 % is a failure), and the zero-copy payload
+//! allocation counters on every discovery row shared with the baseline
+//! (deterministic, same 25 % threshold — a copy snuck into the data plane
+//! shows up here long before it shows up in wall-clock noise).
+//! Virtual-time and traffic drift on any row is reported as a warning,
+//! since those are deterministic and only move when behaviour genuinely
+//! changes.
 
 use std::process::ExitCode;
 
 use serde::{Deserialize, Serialize};
 use upnp_core::fleet::{Fleet, FleetConfig, ScenarioMetrics};
 
-/// The scenario row the regression gate anchors on.
+/// The scenario the regression gates anchor on.
 const GATE_SCENARIO: &str = "discovery";
-const GATE_THINGS: usize = 1000;
+/// Fleet sizes whose discovery wall-clock is gated. The 25k/100k rows are
+/// swept and recorded but not wall-gated: they run tens of seconds and CI
+/// runner noise at that scale would page people for nothing — their
+/// allocation counters (deterministic) are gated instead.
+const GATE_WALL_THINGS: &[usize] = &[1000, 5000];
 /// Wall-clock regression tolerance (CI runners are noisy; virtual-time
 /// metrics are checked for exact drift separately).
 const GATE_FACTOR: f64 = 1.25;
@@ -55,7 +63,7 @@ struct Options {
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
-        sizes: vec![100, 1000, 5000],
+        sizes: vec![100, 1000, 5000, 25000, 100000],
         seed: 0x6030,
         scenario: None,
         out: None,
@@ -142,8 +150,9 @@ fn run(opts: &Options) -> BenchReport {
 
 fn print_row(things: usize, m: &ScenarioMetrics) {
     println!(
-        "{:>9} | {:>5} things | {:>6} events ({:>6} ok) | wall {:>9.1} ms | virtual {:>10.1} ms | \
-         p50 {:>8.2} ms  p99 {:>8.2} ms | {:>8} frames | {:>7.4} J/thing",
+        "{:>9} | {:>6} things | {:>6} events ({:>6} ok) | wall {:>9.1} ms | virtual {:>10.1} ms | \
+         p50 {:>8.2} ms  p99 {:>8.2} ms | {:>8} frames | {:>7.4} J/thing | \
+         {:>8} allocs {:>8} shares",
         m.scenario,
         things,
         m.events,
@@ -154,6 +163,8 @@ fn print_row(things: usize, m: &ScenarioMetrics) {
         m.latency.p99_ms,
         m.frames_tx,
         m.joules_per_thing,
+        m.payload_allocs,
+        m.payload_clones,
     );
 }
 
@@ -164,25 +175,22 @@ fn find<'a>(report: &'a BenchReport, scenario: &str, things: usize) -> Option<&'
         .find(|r| r.metrics.scenario == scenario && r.things == things)
 }
 
-/// Applies the regression gate; returns an error message on failure.
+/// Applies the regression gates; returns an error message on failure.
 fn gate(current: &BenchReport, baseline: &BenchReport) -> Result<(), String> {
-    let cur = find(current, GATE_SCENARIO, GATE_THINGS).ok_or_else(|| {
-        format!("current run has no {GATE_SCENARIO}@{GATE_THINGS} row to gate on")
-    })?;
-    let base = find(baseline, GATE_SCENARIO, GATE_THINGS)
-        .ok_or_else(|| format!("baseline has no {GATE_SCENARIO}@{GATE_THINGS} row to gate on"))?;
-
     // Deterministic metrics should match the baseline bit-for-bit; drift
     // means behaviour changed and the baseline wants a refresh. Warn —
-    // the hard gate is wall-clock.
+    // the hard gates are wall-clock and the allocation counters.
     for row in &current.scenarios {
         if let Some(b) = find(baseline, &row.metrics.scenario, row.things) {
             if row.metrics.frames_tx != b.metrics.frames_tx
                 || row.metrics.virtual_ms != b.metrics.virtual_ms
+                || row.metrics.payload_allocs != b.metrics.payload_allocs
+                || row.metrics.payload_clones != b.metrics.payload_clones
             {
                 eprintln!(
                     "warning: {}@{} drifted from baseline \
-                     (frames {} -> {}, virtual {:.1} -> {:.1} ms); \
+                     (frames {} -> {}, virtual {:.1} -> {:.1} ms, \
+                     payload allocs {} -> {}, clones {} -> {}); \
                      refresh bench/baseline.json if intentional",
                     row.metrics.scenario,
                     row.things,
@@ -190,24 +198,59 @@ fn gate(current: &BenchReport, baseline: &BenchReport) -> Result<(), String> {
                     row.metrics.frames_tx,
                     b.metrics.virtual_ms,
                     row.metrics.virtual_ms,
+                    b.metrics.payload_allocs,
+                    row.metrics.payload_allocs,
+                    b.metrics.payload_clones,
+                    row.metrics.payload_clones,
                 );
             }
         }
     }
 
-    let limit = base.metrics.wall_ms * GATE_FACTOR;
-    if cur.metrics.wall_ms > limit {
-        return Err(format!(
-            "{GATE_SCENARIO}@{GATE_THINGS} wall-clock regressed: {:.1} ms > {:.1} ms \
+    // Wall-clock gates: 1k and 5k discovery.
+    for &things in GATE_WALL_THINGS {
+        let cur = find(current, GATE_SCENARIO, things)
+            .ok_or_else(|| format!("current run has no {GATE_SCENARIO}@{things} row to gate on"))?;
+        let base = find(baseline, GATE_SCENARIO, things)
+            .ok_or_else(|| format!("baseline has no {GATE_SCENARIO}@{things} row to gate on"))?;
+        let limit = base.metrics.wall_ms * GATE_FACTOR;
+        if cur.metrics.wall_ms > limit {
+            return Err(format!(
+                "{GATE_SCENARIO}@{things} wall-clock regressed: {:.1} ms > {:.1} ms \
+                 (baseline {:.1} ms × {GATE_FACTOR})",
+                cur.metrics.wall_ms, limit, base.metrics.wall_ms,
+            ));
+        }
+        println!(
+            "gate ok: {GATE_SCENARIO}@{things} wall {:.1} ms <= {:.1} ms \
              (baseline {:.1} ms × {GATE_FACTOR})",
             cur.metrics.wall_ms, limit, base.metrics.wall_ms,
-        ));
+        );
     }
-    println!(
-        "gate ok: {GATE_SCENARIO}@{GATE_THINGS} wall {:.1} ms <= {:.1} ms \
-         (baseline {:.1} ms × {GATE_FACTOR})",
-        cur.metrics.wall_ms, limit, base.metrics.wall_ms,
-    );
+
+    // Allocation-counter gates: every discovery row the baseline also
+    // has. These are deterministic, so a failure means a copy or an
+    // allocation genuinely entered the data plane.
+    for row in &current.scenarios {
+        if row.metrics.scenario != GATE_SCENARIO {
+            continue;
+        }
+        let Some(base) = find(baseline, GATE_SCENARIO, row.things) else {
+            continue;
+        };
+        let limit = (base.metrics.payload_allocs as f64 * GATE_FACTOR).ceil() as u64;
+        if row.metrics.payload_allocs > limit {
+            return Err(format!(
+                "{GATE_SCENARIO}@{} payload allocations regressed: {} > {} \
+                 (baseline {} × {GATE_FACTOR})",
+                row.things, row.metrics.payload_allocs, limit, base.metrics.payload_allocs,
+            ));
+        }
+        println!(
+            "gate ok: {GATE_SCENARIO}@{} payload allocs {} <= {} (baseline {} × {GATE_FACTOR})",
+            row.things, row.metrics.payload_allocs, limit, base.metrics.payload_allocs,
+        );
+    }
     Ok(())
 }
 

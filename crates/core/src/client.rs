@@ -73,7 +73,7 @@ impl Client {
             dst,
             src_port: MCAST_PORT,
             dst_port: MCAST_PORT,
-            payload: msg.encode(),
+            payload: msg.encode().into(),
         }
     }
 

@@ -7,7 +7,7 @@
 //! churn storms and mixed read/stream steady-state workloads, all
 //! deterministically seeded through [`SimRng`] so a single `u64` pins
 //! down an entire fleet run. The `fleet` benchmark binary drives these
-//! scenarios at 100/1k/5k nodes and the CI pipeline gates on the
+//! scenarios at 100/1k/5k/25k/100k nodes and the CI pipeline gates on the
 //! resulting `BENCH_fleet.json`.
 
 use std::time::Instant;
@@ -151,6 +151,12 @@ pub struct ScenarioMetrics {
     pub drops: u64,
     /// Mean radio energy drawn per Thing during the scenario, joules.
     pub joules_per_thing: f64,
+    /// Payload buffers materialised (heap allocations) in the scenario.
+    /// Deterministic — CI gates on it so the data plane stays zero-copy.
+    pub payload_allocs: u64,
+    /// Cheap refcounted payload shares (multicast fan-out, no bytes
+    /// copied).
+    pub payload_clones: u64,
 }
 
 /// A built fleet, ready to run scenarios.
@@ -478,6 +484,7 @@ impl Fleet {
             wall: Instant::now(),
             virtual_start: self.world.now(),
             stats: self.world.net.stats(),
+            payload: upnp_net::msg::payload_stats(),
             joules: self.total_thing_joules(),
         }
     }
@@ -492,6 +499,7 @@ impl Fleet {
     ) -> ScenarioMetrics {
         let wall_ms = probe.wall.elapsed().as_secs_f64() * 1e3;
         let stats = self.world.net.stats();
+        let payload = upnp_net::msg::payload_stats();
         let joules = self.total_thing_joules() - probe.joules;
         ScenarioMetrics {
             scenario: scenario.to_string(),
@@ -514,6 +522,8 @@ impl Fleet {
             bytes_tx: stats.bytes_tx - probe.stats.bytes_tx,
             drops: stats.drops - probe.stats.drops,
             joules_per_thing: joules / self.things.len() as f64,
+            payload_allocs: payload.allocs - probe.payload.allocs,
+            payload_clones: payload.clones - probe.payload.clones,
         }
     }
 
@@ -529,6 +539,7 @@ struct ScenarioProbe {
     wall: Instant,
     virtual_start: SimTime,
     stats: upnp_net::network::NetStats,
+    payload: upnp_net::msg::PayloadStats,
     joules: f64,
 }
 
@@ -598,5 +609,44 @@ mod tests {
         let m = fleet.churn_storm(30);
         assert_eq!(m.events, 30);
         assert!(m.frames_tx > 0);
+    }
+
+    #[test]
+    fn unplug_racing_driver_upload_leaves_no_driver() {
+        // Plug-to-advertised takes hundreds of virtual milliseconds; an
+        // unplug a few milliseconds after the plug therefore races the
+        // in-flight driver upload. The upload must not activate a driver
+        // for the now-absent peripheral.
+        let mut fleet = Fleet::build(FleetConfig::new(2));
+        let t = fleet.things[0];
+        let device = fleet.assigned_device(0);
+        let base = fleet.world.now();
+        fleet
+            .world
+            .plug_at(base + SimDuration::from_millis(1), t, 0, device);
+        fleet
+            .world
+            .unplug_at(base + SimDuration::from_millis(5), t, 0);
+        fleet.world.run_until_idle();
+        assert!(
+            fleet.world.thing(t).served_peripherals().is_empty(),
+            "a cancelled plug must not leave a driver serving an absent peripheral"
+        );
+    }
+
+    #[test]
+    fn churn_storm_with_inflight_uploads_stays_consistent() {
+        // A fresh fleet (no discovery wave, so driver caches are cold)
+        // churned at 1 ms stagger: every plug starts a driver round-trip
+        // that the next unplug of the same Thing may race. The final
+        // driver state must still agree with the scheduled sequence.
+        let mut config = FleetConfig::new(12);
+        config.stagger = SimDuration::from_millis(1);
+        let mut fleet = Fleet::build(config);
+        let m = fleet.churn_storm(80);
+        assert_eq!(
+            m.completed, m.events,
+            "racing unplugs must cancel in-flight driver uploads"
+        );
     }
 }

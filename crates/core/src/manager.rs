@@ -235,7 +235,7 @@ impl Manager {
             dst,
             src_port: MCAST_PORT,
             dst_port: MCAST_PORT,
-            payload: msg.encode(),
+            payload: msg.encode().into(),
         }
     }
 }

@@ -126,8 +126,10 @@ pub struct Thing {
     seq: SeqNo,
     /// Locally cached driver images by device id.
     driver_cache: HashMap<u32, DriverImage>,
-    /// Peripherals waiting for a driver upload: device id → channel.
-    awaiting_driver: HashMap<u32, ChannelId>,
+    /// Peripherals waiting for a driver upload: device id → channels
+    /// awaiting it, in plug order (one device type may be plugged on
+    /// several channels at once).
+    awaiting_driver: HashMap<u32, Vec<ChannelId>>,
     /// In-flight remote operations: token → (reply seq, requester,
     /// peripheral, stream?).
     pending_ops: HashMap<OpToken, (SeqNo, Ipv6Addr, u32, bool)>,
@@ -145,19 +147,21 @@ pub struct Thing {
 }
 
 impl Thing {
-    /// Creates a Thing on `node` with a sampled control board.
+    /// Creates a Thing on `node` with a sampled control board and its
+    /// execution environment (typically stamped from the world's
+    /// [`RuntimeTemplate`](upnp_vm::runtime::RuntimeTemplate)).
     pub fn new(
         node: NodeId,
         address: Ipv6Addr,
         prefix: u64,
         board: ControlBoard,
         catalog: Catalog,
-        seed: u64,
+        runtime: Runtime,
     ) -> Self {
         Thing {
             node,
             address,
-            runtime: Runtime::new(seed),
+            runtime,
             controller: PeripheralController::new(board),
             catalog,
             prefix,
@@ -225,7 +229,10 @@ impl Thing {
                         out.extend(self.activate_driver(channel, device_id, image));
                     } else {
                         out.extend(self.request_driver(device_id, mgr_anycast));
-                        self.awaiting_driver.insert(device_id.raw(), channel);
+                        self.awaiting_driver
+                            .entry(device_id.raw())
+                            .or_default()
+                            .push(channel);
                     }
                 }
                 PeripheralChange::Disconnected { channel, device_id } => {
@@ -318,6 +325,17 @@ impl Thing {
 
     fn deactivate_driver(&mut self, channel: ChannelId, device_id: DeviceTypeId) -> Vec<Outbound> {
         let mut out = Vec::new();
+        // Cancel the in-flight driver request for *this* channel: an
+        // upload racing this unplug must not activate a driver for a
+        // peripheral that is no longer present (it is cached for the
+        // next plug instead). Other channels carrying the same device
+        // type keep their pending requests.
+        if let Some(waiting) = self.awaiting_driver.get_mut(&device_id.raw()) {
+            waiting.retain(|&c| c != channel);
+            if waiting.is_empty() {
+                self.awaiting_driver.remove(&device_id.raw());
+            }
+        }
         if let Some(slot) = self.runtime.manager.slot_for_channel(channel.0) {
             self.runtime.remove_driver(slot);
             self.catalog.detach(&mut self.runtime, slot, device_id);
@@ -382,7 +400,7 @@ impl Thing {
             dst,
             src_port: addr::MCAST_PORT,
             dst_port: addr::MCAST_PORT,
-            payload: msg.encode(),
+            payload: msg.encode().into(),
         }
     }
 
@@ -419,8 +437,18 @@ impl Thing {
                 }
                 self.driver_cache.insert(peripheral, parsed.clone());
                 match self.awaiting_driver.remove(&peripheral) {
-                    Some(channel) => {
-                        self.activate_driver(channel, DeviceTypeId::new(peripheral), parsed)
+                    Some(channels) => {
+                        // One upload serves every channel still waiting
+                        // for this device type (usually exactly one).
+                        let mut out = Vec::new();
+                        for channel in channels {
+                            out.extend(self.activate_driver(
+                                channel,
+                                DeviceTypeId::new(peripheral),
+                                parsed.clone(),
+                            ));
+                        }
+                        out
                     }
                     None => {
                         // An unsolicited upload for a peripheral we are

@@ -8,15 +8,16 @@
 use std::collections::{HashMap, VecDeque};
 use std::net::Ipv6Addr;
 
-use upnp_hw::board::ControlBoard;
+use upnp_hw::board::BoardTemplate;
 use upnp_hw::channels::ChannelId;
 use upnp_hw::components::ToleranceClass;
 use upnp_hw::id::DeviceTypeId;
-use upnp_hw::peripheral::PeripheralBoard;
+use upnp_hw::peripheral::PeripheralTemplate;
 use upnp_net::link::LinkQuality;
 use upnp_net::msg::Value;
 use upnp_net::{Datagram, Delivery, Network, NodeId};
 use upnp_sim::{Scheduler, SimDuration, SimRng, SimTime};
+use upnp_vm::runtime::RuntimeTemplate;
 
 use crate::catalog::Catalog;
 use crate::client::Client;
@@ -114,6 +115,17 @@ pub struct World {
     now: SimTime,
     rng: SimRng,
     config: WorldConfig,
+    /// Fleet-invariant construction blueprints. The peripheral templates
+    /// carry the real win: the per-device resistor solve (an E96 grid
+    /// search, formerly the dominant per-plug cost) runs once per
+    /// peripheral *type*. The board/runtime templates pin the shared
+    /// structure (codec, scan policy, cost model) in one place.
+    /// Instantiation draws only per-instance jitter from the world RNG —
+    /// the same values, in the same order, as direct sampling, so
+    /// fingerprints are preserved.
+    board_template: BoardTemplate,
+    runtime_template: RuntimeTemplate,
+    peripheral_templates: HashMap<DeviceTypeId, PeripheralTemplate>,
     /// The anycast address Things send driver requests to.
     pub manager_anycast: Ipv6Addr,
 }
@@ -135,6 +147,9 @@ impl World {
             sched: Scheduler::new(),
             now: SimTime::ZERO,
             rng,
+            board_template: BoardTemplate::default(),
+            runtime_template: RuntimeTemplate::default(),
+            peripheral_templates: HashMap::new(),
             manager_anycast: "2001:db8:aaaa::1".parse().expect("valid anycast"),
             config,
         }
@@ -170,11 +185,13 @@ impl World {
         node
     }
 
-    /// Adds a µPnP Thing with a realistically sampled control board.
+    /// Adds a µPnP Thing with a realistically sampled control board
+    /// (stamped from the world's board/runtime templates; only per-Thing
+    /// jitter is drawn from the RNG).
     pub fn add_thing(&mut self) -> ThingId {
         let node = self.net.add_node();
         let address = self.net.addr_of(node);
-        let board = ControlBoard::sample(&mut self.rng);
+        let board = self.board_template.instantiate(&mut self.rng);
         let seed = self.rng.next_u64();
         let thing = Thing::new(
             node,
@@ -182,7 +199,7 @@ impl World {
             self.config.prefix,
             board,
             self.catalog.clone(),
-            seed,
+            self.runtime_template.instantiate(seed),
         );
         let mut thing = thing;
         thing.stream_samples = self.config.stream_samples;
@@ -260,7 +277,7 @@ impl World {
     pub fn star_topology(&mut self) {
         let root = self.manager().node;
         for i in 0..self.net.len() {
-            let n = NodeId(i as u16);
+            let n = NodeId(i as u32);
             if n != root {
                 self.net.link(root, n, LinkQuality::PERFECT);
             }
@@ -277,13 +294,22 @@ impl World {
     /// Panics for unknown device ids or occupied channels (test misuse).
     pub fn plug(&mut self, thing: ThingId, channel: u8, device_id: DeviceTypeId) {
         let tolerance = self.config.resistor_tolerance;
-        let entry = self
+        let interconnect = self
             .catalog
             .get(device_id)
-            .unwrap_or_else(|| panic!("{device_id} not in catalog"));
-        let board =
-            PeripheralBoard::manufacture(device_id, entry.interconnect, tolerance, &mut self.rng)
-                .expect("catalog ids are realisable");
+            .unwrap_or_else(|| panic!("{device_id} not in catalog"))
+            .interconnect;
+        // The resistor solve runs once per device *type*; each plug only
+        // samples this board's jitter (same RNG draws as a full
+        // manufacture, so plug pipelines are bit-identical to PR 2's).
+        let template = self
+            .peripheral_templates
+            .entry(device_id)
+            .or_insert_with(|| {
+                PeripheralTemplate::new(device_id, interconnect)
+                    .expect("catalog ids are realisable")
+            });
+        let board = template.instantiate(tolerance, &mut self.rng);
         self.things[thing.0]
             .board_mut()
             .plug(ChannelId(channel), board)

@@ -342,3 +342,62 @@ fn leaving_the_group_stops_advertisement_delivery() {
     let found = w.client_discover(client, prototypes::TMP36);
     assert_eq!(found.len(), 1);
 }
+
+#[test]
+fn unplug_cancels_only_its_own_channels_driver_request() {
+    // Two channels of the same Thing carry the same device type, both
+    // with driver requests in flight (cold cache). Unplugging the first
+    // channel must cancel only its own pending request — the second
+    // channel still deserves its driver when the upload lands.
+    let (mut w, thing, _) = small_world();
+    let base = w.now();
+    w.plug_at(
+        base + SimDuration::from_millis(1),
+        thing,
+        0,
+        prototypes::TMP36,
+    );
+    w.plug_at(
+        base + SimDuration::from_millis(2),
+        thing,
+        1,
+        prototypes::TMP36,
+    );
+    w.unplug_at(base + SimDuration::from_millis(5), thing, 0);
+    w.run_until_idle();
+    assert!(
+        w.thing(thing)
+            .served_peripherals()
+            .contains(&prototypes::TMP36.raw()),
+        "channel 1 must end up served despite channel 0's cancelled plug"
+    );
+}
+
+#[test]
+fn unplug_of_newer_channel_keeps_older_channels_request() {
+    // The mirror ordering: the channel plugged *second* is unplugged
+    // while both channels' driver requests are in flight. The first
+    // channel's pending request must survive and activate its driver.
+    let (mut w, thing, _) = small_world();
+    let base = w.now();
+    w.plug_at(
+        base + SimDuration::from_millis(1),
+        thing,
+        0,
+        prototypes::TMP36,
+    );
+    w.plug_at(
+        base + SimDuration::from_millis(2),
+        thing,
+        1,
+        prototypes::TMP36,
+    );
+    w.unplug_at(base + SimDuration::from_millis(5), thing, 1);
+    w.run_until_idle();
+    assert!(
+        w.thing(thing)
+            .served_peripherals()
+            .contains(&prototypes::TMP36.raw()),
+        "channel 0 must end up served despite channel 1's cancelled plug"
+    );
+}

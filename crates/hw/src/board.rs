@@ -122,10 +122,32 @@ pub struct ControlBoard {
     scans: u64,
 }
 
-impl ControlBoard {
-    /// Builds a board with as-manufactured components sampled from `rng`
-    /// and a factory `k·C` calibration with realistic residual error.
-    pub fn sample(rng: &mut SimRng) -> Self {
+/// Blueprint for sampled control boards.
+///
+/// The board's fleet-invariant structure (pulse codec, scan policy,
+/// channel layout) lives in the template; [`BoardTemplate::instantiate`]
+/// draws only the per-board component jitter — the same RNG values, in
+/// the same order, that [`ControlBoard::sample`] draws, so a fleet built
+/// from one template is bit-identical to one sampled board by board.
+#[derive(Debug, Clone, Copy)]
+pub struct BoardTemplate {
+    codec: PulseCodec,
+    policy: ScanPolicy,
+}
+
+impl Default for BoardTemplate {
+    fn default() -> Self {
+        BoardTemplate {
+            codec: PulseCodec::paper(),
+            policy: ScanPolicy::Adaptive,
+        }
+    }
+}
+
+impl BoardTemplate {
+    /// Stamps out one as-manufactured board, sampling component values
+    /// and the factory `k·C` calibration residual from `rng`.
+    pub fn instantiate(&self, rng: &mut SimRng) -> ControlBoard {
         let monostables = std::array::from_fn(|_| {
             let cap = Capacitor::sample(calib::C_NOMINAL, ToleranceClass::OnePercent, rng);
             Monostable::sample(cap, rng)
@@ -136,7 +158,23 @@ impl ControlBoard {
             let true_kc = monostables[i].kc(25.0);
             true_kc * (1.0 + rng.tolerance(calib::KC_CALIBRATION_RESIDUAL))
         });
-        Self::build(monostables, BoardCalibration { kc_measured })
+        let mut board = ControlBoard::build(monostables, BoardCalibration { kc_measured });
+        board.codec = self.codec;
+        board.policy = self.policy;
+        board
+    }
+}
+
+impl ControlBoard {
+    /// A reusable blueprint for fleet-scale board construction.
+    pub fn template() -> BoardTemplate {
+        BoardTemplate::default()
+    }
+
+    /// Builds a board with as-manufactured components sampled from `rng`
+    /// and a factory `k·C` calibration with realistic residual error.
+    pub fn sample(rng: &mut SimRng) -> Self {
+        BoardTemplate::default().instantiate(rng)
     }
 
     /// Builds an ideal board (exact components, perfect calibration).

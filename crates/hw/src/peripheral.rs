@@ -5,7 +5,7 @@ use upnp_sim::SimRng;
 
 use crate::components::{ResistorPair, ToleranceClass};
 use crate::id::DeviceTypeId;
-use crate::solver::{self, SolveError};
+use crate::solver::{self, SolveError, SolvedChannel};
 
 /// The communication bus a peripheral uses once identified (Table 1).
 ///
@@ -64,10 +64,71 @@ pub struct PeripheralBoard {
     pub interconnect: Interconnect,
 }
 
+/// A pre-solved peripheral blueprint.
+///
+/// The resistor solve (the paper's online placement tool — an E96 grid
+/// search per ID byte) is deterministic per device type, so a fleet
+/// plugging thousands of identical peripherals should run it once.
+/// [`PeripheralTemplate::instantiate`] then only samples the per-board
+/// as-manufactured component jitter, drawing exactly the same RNG values
+/// in the same order as [`PeripheralBoard::manufacture`] — a fleet built
+/// from templates is bit-identical to one manufactured board by board.
+#[derive(Debug, Clone)]
+pub struct PeripheralTemplate {
+    solved: SolvedChannel,
+    interconnect: Interconnect,
+}
+
+impl PeripheralTemplate {
+    /// Solves the resistor set for `device_id` once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError`] if the identifier is reserved or a resistor
+    /// position cannot be hit with purchasable parts.
+    pub fn new(device_id: DeviceTypeId, interconnect: Interconnect) -> Result<Self, SolveError> {
+        Ok(PeripheralTemplate {
+            solved: solver::solve_resistors(device_id)?,
+            interconnect,
+        })
+    }
+
+    /// The device type this template encodes.
+    pub fn device_id(&self) -> DeviceTypeId {
+        self.solved.device_id
+    }
+
+    /// Stamps out one as-manufactured board: per-stage resistor values are
+    /// sampled from `rng` within `tolerance`; everything else is shared
+    /// with the template.
+    pub fn instantiate(&self, tolerance: ToleranceClass, rng: &mut SimRng) -> PeripheralBoard {
+        let resistors = std::array::from_fn(|i| self.solved.stages[i].sample_pair(tolerance, rng));
+        PeripheralBoard {
+            device_id: self.solved.device_id,
+            resistors,
+            interconnect: self.interconnect,
+        }
+    }
+
+    /// Stamps out a board with ideal (exact-value) resistors.
+    pub fn instantiate_ideal(&self) -> PeripheralBoard {
+        let resistors = std::array::from_fn(|i| self.solved.stages[i].ideal_pair());
+        PeripheralBoard {
+            device_id: self.solved.device_id,
+            resistors,
+            interconnect: self.interconnect,
+        }
+    }
+}
+
 impl PeripheralBoard {
     /// Manufactures a board for `device_id`: solves the resistor set (the
     /// paper's online tool) and samples as-manufactured part values with
     /// `tolerance`.
+    ///
+    /// Equivalent to a one-shot [`PeripheralTemplate`]; fleets that plug
+    /// the same device type repeatedly should build the template once and
+    /// [`PeripheralTemplate::instantiate`] per plug.
     ///
     /// # Errors
     ///
@@ -79,13 +140,7 @@ impl PeripheralBoard {
         tolerance: ToleranceClass,
         rng: &mut SimRng,
     ) -> Result<Self, SolveError> {
-        let solved = solver::solve_resistors(device_id)?;
-        let resistors = std::array::from_fn(|i| solved.stages[i].sample_pair(tolerance, rng));
-        Ok(PeripheralBoard {
-            device_id,
-            resistors,
-            interconnect,
-        })
+        Ok(PeripheralTemplate::new(device_id, interconnect)?.instantiate(tolerance, rng))
     }
 
     /// Manufactures a board with ideal (exact-value) resistors.
@@ -93,13 +148,7 @@ impl PeripheralBoard {
         device_id: DeviceTypeId,
         interconnect: Interconnect,
     ) -> Result<Self, SolveError> {
-        let solved = solver::solve_resistors(device_id)?;
-        let resistors = std::array::from_fn(|i| solved.stages[i].ideal_pair());
-        Ok(PeripheralBoard {
-            device_id,
-            resistors,
-            interconnect,
-        })
+        Ok(PeripheralTemplate::new(device_id, interconnect)?.instantiate_ideal())
     }
 
     /// The timing resistance presented to multivibrator stage `stage`

@@ -5,10 +5,87 @@
 //! and a compact binary body. The seventeen message types are numbered as
 //! in the paper's figures.
 
+use std::cell::Cell;
+use std::rc::Rc;
+
 use crate::tlv::{self, Tlv};
 
 /// A 16-bit message sequence number.
 pub type SeqNo = u16;
+
+thread_local! {
+    static PAYLOAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static PAYLOAD_CLONES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Cumulative [`Payload`] accounting for the current thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PayloadStats {
+    /// Payloads materialised from owned bytes (each one heap allocation).
+    pub allocs: u64,
+    /// Cheap reference-counted shares (no bytes copied).
+    pub clones: u64,
+}
+
+/// Returns the thread's cumulative payload counters. Benchmarks take
+/// deltas around a scenario to prove the data plane stays zero-copy.
+pub fn payload_stats() -> PayloadStats {
+    PayloadStats {
+        allocs: PAYLOAD_ALLOCS.with(Cell::get),
+        clones: PAYLOAD_CLONES.with(Cell::get),
+    }
+}
+
+/// An immutable UDP payload backed by `Rc<[u8]>`.
+///
+/// Cloning is a reference-count bump, never a byte copy — multicast
+/// fan-out to *m* receivers therefore allocates the payload once when the
+/// message is encoded, not *m* times at delivery scheduling. The type
+/// keeps per-thread counters ([`payload_stats`]) so the zero-copy
+/// property is benchmarkable and CI-gateable.
+#[derive(PartialEq, Eq, Hash)]
+pub struct Payload {
+    bytes: Rc<[u8]>,
+}
+
+impl Payload {
+    /// Wraps owned bytes (one allocation, counted).
+    pub fn new(bytes: Vec<u8>) -> Payload {
+        PAYLOAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        Payload {
+            bytes: bytes.into(),
+        }
+    }
+}
+
+impl Clone for Payload {
+    fn clone(&self) -> Payload {
+        PAYLOAD_CLONES.with(|c| c.set(c.get() + 1));
+        Payload {
+            bytes: Rc::clone(&self.bytes),
+        }
+    }
+}
+
+impl std::ops::Deref for Payload {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(bytes: Vec<u8>) -> Payload {
+        Payload::new(bytes)
+    }
+}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Payload({} bytes)", self.bytes.len())
+    }
+}
 
 /// A value travelling in `Data`/`Write` messages.
 #[derive(Debug, Clone, PartialEq)]
@@ -524,5 +601,17 @@ mod tests {
     #[test]
     fn empty_input_rejected() {
         assert!(Message::decode(&[]).is_none());
+    }
+
+    #[test]
+    fn payload_clone_shares_bytes_without_allocating() {
+        let before = payload_stats();
+        let p = Payload::new(vec![1, 2, 3]);
+        let q = p.clone();
+        assert_eq!(&*p, &[1u8, 2, 3]);
+        assert_eq!(p, q);
+        let after = payload_stats();
+        assert_eq!(after.allocs - before.allocs, 1, "one materialisation");
+        assert_eq!(after.clones - before.clones, 1, "one refcount share");
     }
 }

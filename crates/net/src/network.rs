@@ -9,21 +9,28 @@
 
 use std::collections::{BTreeSet, HashMap};
 use std::net::Ipv6Addr;
-use std::rc::Rc;
 
 use upnp_sim::{EnergyMeter, Scheduler, SimDuration, SimRng, SimTime};
 
 use crate::addr;
 use crate::link::{LinkQuality, RadioModel};
+use crate::msg::Payload;
 use crate::rpl::{Dodag, Node, Topology};
 use crate::sixlowpan;
-use crate::smrf::{self, MulticastPlan};
+use crate::smrf::{self, MarkScratch, MulticastPlan};
 
 /// A node handle in the network.
+///
+/// 32 bits: fleets beyond 65 535 nodes are in scope (the 100k-node
+/// benchmark sweep), so the id must not saturate a `u16`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct NodeId(pub u16);
+pub struct NodeId(pub u32);
 
 /// A UDP datagram between µPnP endpoints.
+///
+/// The payload is a [`Payload`] (refcounted, immutable), so cloning a
+/// datagram for every receiver of a multicast shares the bytes instead of
+/// copying them.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Datagram {
     /// Source address.
@@ -34,8 +41,8 @@ pub struct Datagram {
     pub src_port: u16,
     /// Destination UDP port.
     pub dst_port: u16,
-    /// UDP payload.
-    pub payload: Vec<u8>,
+    /// UDP payload (shared, zero-copy on clone).
+    pub payload: Payload,
 }
 
 /// A datagram arriving at a node.
@@ -79,6 +86,82 @@ pub struct NetStats {
     pub drops: u64,
 }
 
+/// A handle into the route arena (a memoised tree path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RouteHandle(u32);
+
+/// A handle into the plan arena (a memoised SMRF plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PlanHandle(u32);
+
+/// Flat arena of interned node chains (tree routes, uplink paths).
+///
+/// Paths are stored back to back in one `Vec<Node>`; a handle names a
+/// `(start, len)` span. Lookups hand out handles, not owned paths, so a
+/// cache hit costs nothing and the arena is reclaimed wholesale when a
+/// topology change invalidates every path at once.
+#[derive(Debug, Default)]
+struct RouteArena {
+    nodes: Vec<Node>,
+    spans: Vec<(u32, u32)>,
+}
+
+impl RouteArena {
+    fn intern(&mut self, path: &[Node]) -> RouteHandle {
+        let start = self.nodes.len() as u32;
+        self.nodes.extend_from_slice(path);
+        self.spans.push((start, path.len() as u32));
+        RouteHandle(self.spans.len() as u32 - 1)
+    }
+
+    fn slice(&self, h: RouteHandle) -> &[Node] {
+        let (start, len) = self.spans[h.0 as usize];
+        &self.nodes[start as usize..(start + len) as usize]
+    }
+
+    fn clear(&mut self) {
+        self.nodes.clear();
+        self.spans.clear();
+    }
+}
+
+/// Slab of interned SMRF plans with a free list: plans die per group on
+/// membership churn, so slots are recycled instead of leaking.
+#[derive(Debug, Default)]
+struct PlanArena {
+    slots: Vec<Option<MulticastPlan>>,
+    free: Vec<u32>,
+}
+
+impl PlanArena {
+    fn intern(&mut self, plan: MulticastPlan) -> PlanHandle {
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(plan);
+                PlanHandle(i)
+            }
+            None => {
+                self.slots.push(Some(plan));
+                PlanHandle(self.slots.len() as u32 - 1)
+            }
+        }
+    }
+
+    fn get(&self, h: PlanHandle) -> &MulticastPlan {
+        self.slots[h.0 as usize].as_ref().expect("live plan handle")
+    }
+
+    fn release(&mut self, h: PlanHandle) {
+        self.slots[h.0 as usize] = None;
+        self.free.push(h.0);
+    }
+
+    fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+    }
+}
+
 /// The network simulator.
 ///
 /// Fleet-scale hot paths are index-backed rather than scan-backed:
@@ -87,10 +170,13 @@ pub struct NetStats {
 /// * `group_index` maps each multicast group to its member set, so
 ///   membership queries and SMRF planning never walk the node table;
 /// * `anycast_index` keeps the instance set per anycast address;
-/// * `route_cache` memoises tree paths per `(src, dst)` pair and
-///   `plan_cache` memoises SMRF plans per `(group, source)` — both are
-///   invalidated on topology changes, and the plan cache additionally on
-///   membership churn for the affected group.
+/// * routes, SMRF plans and per-source uplink chains are interned in
+///   arenas and memoised by handle — a cache hit copies nothing, and
+///   multicast fan-out to *m* receivers shares one refcounted payload
+///   instead of allocating *m* times;
+/// * the plan cache is keyed group-first, so membership churn invalidates
+///   one group's plans in O(plans of that group) instead of scanning the
+///   whole cache (formerly an O(n²) term in discovery waves).
 pub struct Network {
     prefix: u64,
     nodes: Vec<NodeState>,
@@ -103,8 +189,19 @@ pub struct Network {
     addr_index: HashMap<Ipv6Addr, NodeId>,
     group_index: HashMap<Ipv6Addr, BTreeSet<Node>>,
     anycast_index: HashMap<Ipv6Addr, BTreeSet<NodeId>>,
-    route_cache: HashMap<(NodeId, NodeId), Rc<[Node]>>,
-    plan_cache: HashMap<(Ipv6Addr, NodeId), Rc<MulticastPlan>>,
+    routes: RouteArena,
+    route_cache: HashMap<(NodeId, NodeId), RouteHandle>,
+    /// Memoised `path_to_root` per source (SMRF uplink) — deep trees stop
+    /// re-walking the same chain for every (group, source) pair.
+    uplink_cache: HashMap<NodeId, RouteHandle>,
+    plans: PlanArena,
+    plan_cache: HashMap<Ipv6Addr, HashMap<NodeId, PlanHandle>>,
+    /// Dense per-send arrival scratch, generation-stamped so it is reused
+    /// across sends without clearing (no per-multicast allocation).
+    arrival: Vec<(u64, SimTime)>,
+    arrival_gen: u64,
+    /// Reusable SMRF marking buffer (see [`MarkScratch`]).
+    smrf_scratch: MarkScratch,
 }
 
 impl Network {
@@ -128,8 +225,14 @@ impl Network {
             addr_index: HashMap::with_capacity(nodes),
             group_index: HashMap::new(),
             anycast_index: HashMap::new(),
+            routes: RouteArena::default(),
             route_cache: HashMap::new(),
+            uplink_cache: HashMap::new(),
+            plans: PlanArena::default(),
             plan_cache: HashMap::new(),
+            arrival: Vec::new(),
+            arrival_gen: 0,
+            smrf_scratch: MarkScratch::new(),
         }
     }
 
@@ -145,7 +248,7 @@ impl Network {
 
     /// Adds a node; its unicast address is derived from its index.
     pub fn add_node(&mut self) -> NodeId {
-        let id = NodeId(self.nodes.len() as u16);
+        let id = NodeId(self.nodes.len() as u32);
         let unicast = addr::unicast(self.prefix, 0, id.0 as u64 + 1);
         self.nodes.push(NodeState {
             unicast,
@@ -180,15 +283,21 @@ impl Network {
     pub fn link(&mut self, a: NodeId, b: NodeId, quality: LinkQuality) {
         self.topo.link(a.0 as usize, b.0 as usize, quality);
         // Paths and plans may now be stale; recompute lazily.
-        self.route_cache.clear();
-        self.plan_cache.clear();
+        self.invalidate_topology_caches();
     }
 
     /// (Re)builds the RPL DODAG rooted at `root`.
     pub fn build_tree(&mut self, root: NodeId) {
         self.dodag = Some(Dodag::build(&self.topo, root.0 as usize));
+        self.invalidate_topology_caches();
+    }
+
+    fn invalidate_topology_caches(&mut self) {
         self.route_cache.clear();
+        self.uplink_cache.clear();
+        self.routes.clear();
         self.plan_cache.clear();
+        self.plans.clear();
     }
 
     /// Joins `node` to a multicast group.
@@ -220,16 +329,13 @@ impl Network {
         was_member
     }
 
+    /// Drops every memoised plan for `group` — O(plans of that group).
     fn invalidate_group_plans(&mut self, group: Ipv6Addr) {
-        self.plan_cache.retain(|(g, _), _| *g != group);
-    }
-
-    /// Current members of `group` as a freshly allocated `Vec`.
-    ///
-    /// Compatibility shim over [`Network::group_members`]; hot paths
-    /// iterate the group index directly instead.
-    pub fn members(&self, group: Ipv6Addr) -> Vec<NodeId> {
-        self.group_members(group).collect()
+        if let Some(per_source) = self.plan_cache.remove(&group) {
+            for (_, h) in per_source {
+                self.plans.release(h);
+            }
+        }
     }
 
     /// Iterates the current members of `group` in node order, without
@@ -239,7 +345,7 @@ impl Network {
             .get(&group)
             .into_iter()
             .flatten()
-            .map(|&n| NodeId(n as u16))
+            .map(|&n| NodeId(n as u32))
     }
 
     /// Number of members of `group`.
@@ -315,18 +421,31 @@ impl Network {
             })
     }
 
-    /// The tree path `from → to`, memoised per destination pair.
-    fn route(&mut self, from: NodeId, to: NodeId) -> Option<Rc<[Node]>> {
-        if let Some(path) = self.route_cache.get(&(from, to)) {
-            return Some(path.clone());
+    /// The tree path `from → to`, memoised per destination pair and
+    /// interned in the route arena.
+    fn route(&mut self, from: NodeId, to: NodeId) -> Option<RouteHandle> {
+        if let Some(&h) = self.route_cache.get(&(from, to)) {
+            return Some(h);
         }
-        let path: Rc<[Node]> = self
-            .dodag
-            .as_ref()?
-            .route(from.0 as usize, to.0 as usize)?
-            .into();
-        self.route_cache.insert((from, to), path.clone());
-        Some(path)
+        let path = self.dodag.as_ref()?.route(from.0 as usize, to.0 as usize)?;
+        let h = self.routes.intern(&path);
+        self.route_cache.insert((from, to), h);
+        Some(h)
+    }
+
+    /// The memoised source→root chain used by SMRF uplinks.
+    fn uplink(&mut self, from: NodeId) -> Option<RouteHandle> {
+        if let Some(&h) = self.uplink_cache.get(&from) {
+            return Some(h);
+        }
+        let dodag = self.dodag.as_ref()?;
+        if !dodag.reachable(from.0 as usize) {
+            return None;
+        }
+        let path = dodag.path_to_root(from.0 as usize);
+        let h = self.routes.intern(&path);
+        self.uplink_cache.insert(from, h);
+        Some(h)
     }
 
     fn datagram_wire_size(&self, dgram: &Datagram) -> usize {
@@ -342,16 +461,22 @@ impl Network {
         report: &mut SendReport,
     ) {
         report.receivers = 1;
-        let Some(path) = self.route(from, to) else {
+        let Some(h) = self.route(from, to) else {
             self.stats.drops += 1;
             report.lost = 1;
             return;
         };
         let total = self.datagram_wire_size(&dgram);
         let frames = sixlowpan::fragment(total, &self.radio);
+        let hops = self.routes.slice(h).len().saturating_sub(1);
         let mut t = now;
-        for hop in path.windows(2) {
-            let (a, b) = (hop[0], hop[1]);
+        for i in 0..hops {
+            // Short immutable borrows of the arena; the loop body mutates
+            // rng/stats/meters freely in between.
+            let (a, b) = {
+                let path = self.routes.slice(h);
+                (path[i], path[i + 1])
+            };
             let quality = self.topo.quality(a, b).expect("path uses existing links");
             // Per-hop forwarding cost on intermediate nodes.
             if a != from.0 as usize {
@@ -365,7 +490,7 @@ impl Network {
                 report.airtime += hop_time;
                 self.stats.frames_tx += attempts as u64;
                 self.stats.bytes_tx += frame as u64 * attempts as u64;
-                self.charge_radio(NodeId(a as u16), NodeId(b as u16), frame, attempts);
+                self.charge_radio(NodeId(a as u32), NodeId(b as u32), frame, attempts);
                 if !ok {
                     self.stats.drops += 1;
                     report.lost = 1;
@@ -379,32 +504,33 @@ impl Network {
     /// The SMRF plan for `from` multicasting to `group`, memoised per
     /// `(group, source)` — discovery waves and streams re-multicast to the
     /// same group from the same sources over and over.
-    fn multicast_plan(
-        &mut self,
-        group: Ipv6Addr,
-        from: NodeId,
-    ) -> Option<(Rc<MulticastPlan>, u32)> {
-        let members = self.group_index.get(&group);
-        let receivers =
-            members.map_or(0, |m| m.len() - usize::from(m.contains(&(from.0 as usize)))) as u32;
-        if let Some(plan) = self.plan_cache.get(&(group, from)) {
-            return Some((plan.clone(), receivers));
+    fn multicast_plan(&mut self, group: Ipv6Addr, from: NodeId) -> Option<(PlanHandle, u32)> {
+        let receivers = {
+            let members = self.group_index.get(&group);
+            members.map_or(0, |m| m.len() - usize::from(m.contains(&(from.0 as usize)))) as u32
+        };
+        if let Some(&h) = self.plan_cache.get(&group).and_then(|m| m.get(&from)) {
+            return Some((h, receivers));
         }
+        let up = self.uplink(from)?;
         let dodag = self.dodag.as_ref()?;
+        let up_path = self.routes.slice(up);
+        let members = self.group_index.get(&group);
+        let scratch = &mut self.smrf_scratch;
         let plan = match members {
             Some(m) if m.contains(&(from.0 as usize)) => {
                 // SMRF never loops a packet back to its source; plan over
                 // the membership without it.
                 let mut others = m.clone();
                 others.remove(&(from.0 as usize));
-                smrf::plan(dodag, from.0 as usize, &others)?
+                smrf::plan_from_path(dodag, up_path, &others, scratch)?
             }
-            Some(m) => smrf::plan(dodag, from.0 as usize, m)?,
-            None => smrf::plan(dodag, from.0 as usize, &BTreeSet::new())?,
+            Some(m) => smrf::plan_from_path(dodag, up_path, m, scratch)?,
+            None => smrf::plan_from_path(dodag, up_path, &BTreeSet::new(), scratch)?,
         };
-        let plan: Rc<MulticastPlan> = Rc::new(plan);
-        self.plan_cache.insert((group, from), plan.clone());
-        Some((plan, receivers))
+        let h = self.plans.intern(plan);
+        self.plan_cache.entry(group).or_default().insert(from, h);
+        Some((h, receivers))
     }
 
     fn send_multicast(
@@ -414,7 +540,7 @@ impl Network {
         dgram: Datagram,
         report: &mut SendReport,
     ) {
-        let Some((plan, receivers)) = self.multicast_plan(dgram.dst, from) else {
+        let Some((h, receivers)) = self.multicast_plan(dgram.dst, from) else {
             let receivers = self.group_len(dgram.dst)
                 - usize::from(
                     self.group_index
@@ -428,13 +554,21 @@ impl Network {
         let total = self.datagram_wire_size(&dgram);
         let frames = sixlowpan::fragment(total, &self.radio);
 
-        // Per-node arrival time; lost nodes disappear from the map.
-        let mut arrival: HashMap<usize, SimTime> = HashMap::new();
-        arrival.insert(from.0 as usize, now);
+        // Per-node arrival time in the generation-stamped scratch; lost
+        // nodes simply never get this generation's stamp.
+        self.arrival_gen += 1;
+        let generation = self.arrival_gen;
+        if self.arrival.len() < self.nodes.len() {
+            self.arrival.resize(self.nodes.len(), (0, SimTime::ZERO));
+        }
+        self.arrival[from.0 as usize] = (generation, now);
 
         // Uplink to the root: link-local unicast hops (reliable).
-        for &(a, b) in &plan.uplink {
-            let t_in = arrival[&a];
+        let uplink_hops = self.plans.get(h).uplink.len();
+        for i in 0..uplink_hops {
+            let (a, b) = self.plans.get(h).uplink[i];
+            let (g, t_in) = self.arrival[a];
+            debug_assert_eq!(g, generation, "uplink hops chain from the source");
             let mut t = t_in;
             if a != from.0 as usize {
                 t += crate::calib::duration(crate::calib::FORWARD_HOP);
@@ -449,7 +583,7 @@ impl Network {
                 report.airtime += hop_time;
                 self.stats.frames_tx += attempts as u64;
                 self.stats.bytes_tx += frame as u64 * attempts as u64;
-                self.charge_radio(NodeId(a as u16), NodeId(b as u16), frame, attempts);
+                self.charge_radio(NodeId(a as u32), NodeId(b as u32), frame, attempts);
                 ok_all &= ok;
             }
             if !ok_all {
@@ -458,14 +592,17 @@ impl Network {
                 report.lost = report.receivers;
                 return;
             }
-            arrival.insert(b, t);
+            self.arrival[b] = (generation, t);
         }
 
         // Downlink: broadcast per forwarder, no retries (SMRF).
-        for &(f, child) in &plan.downlink {
-            let Some(&t_in) = arrival.get(&f) else {
+        let downlink_hops = self.plans.get(h).downlink.len();
+        for i in 0..downlink_hops {
+            let (f, child) = self.plans.get(h).downlink[i];
+            let (g, t_in) = self.arrival[f];
+            if g != generation {
                 continue; // Forwarder never got the packet.
-            };
+            }
             let mut t = t_in + crate::calib::duration(crate::calib::FORWARD_HOP);
             let quality = self.topo.quality(f, child).expect("tree link");
             let mut heard = true;
@@ -476,21 +613,24 @@ impl Network {
                 report.airtime += hop_time;
                 self.stats.frames_tx += 1;
                 self.stats.bytes_tx += frame as u64;
-                self.charge_radio(NodeId(f as u16), NodeId(child as u16), frame, 1);
+                self.charge_radio(NodeId(f as u32), NodeId(child as u32), frame, 1);
                 heard &= ok;
             }
             if heard {
-                arrival.insert(child, t);
+                self.arrival[child] = (generation, t);
             }
         }
 
-        for &(m, _) in &plan.member_hops {
-            match arrival.get(&m) {
-                Some(&t) => self.schedule(t, NodeId(m as u16), dgram.clone()),
-                None => {
-                    self.stats.drops += 1;
-                    report.lost += 1;
-                }
+        let member_count = self.plans.get(h).member_hops.len();
+        for i in 0..member_count {
+            let (m, _) = self.plans.get(h).member_hops[i];
+            let (g, t) = self.arrival[m];
+            if g == generation {
+                // Payload is refcounted: this clone shares bytes.
+                self.schedule(t, NodeId(m as u32), dgram.clone());
+            } else {
+                self.stats.drops += 1;
+                report.lost += 1;
             }
         }
     }
@@ -534,6 +674,46 @@ impl Network {
     pub fn pending(&self) -> bool {
         !self.sched.is_empty()
     }
+
+    /// (diagnostics) True if every memoised route, uplink chain and SMRF
+    /// plan equals a freshly recomputed one.
+    ///
+    /// Exists for the cache-coherence property tests: arbitrary
+    /// plug/unplug/topology churn must leave the caches indistinguishable
+    /// from a cold network. Not a hot-path API.
+    pub fn caches_coherent(&self) -> bool {
+        let Some(dodag) = self.dodag.as_ref() else {
+            return self.route_cache.is_empty() && self.plan_cache.is_empty();
+        };
+        for (&(from, to), &h) in &self.route_cache {
+            let fresh = dodag.route(from.0 as usize, to.0 as usize);
+            if fresh.as_deref() != Some(self.routes.slice(h)) {
+                return false;
+            }
+        }
+        for (&from, &h) in &self.uplink_cache {
+            if dodag.path_to_root(from.0 as usize) != self.routes.slice(h) {
+                return false;
+            }
+        }
+        for (group, per_source) in &self.plan_cache {
+            for (&from, &h) in per_source {
+                let members = self.group_index.get(group).cloned().unwrap_or_default();
+                let fresh = match members.contains(&(from.0 as usize)) {
+                    true => {
+                        let mut others = members.clone();
+                        others.remove(&(from.0 as usize));
+                        smrf::plan(dodag, from.0 as usize, &others)
+                    }
+                    false => smrf::plan(dodag, from.0 as usize, &members),
+                };
+                if fresh.as_ref() != Some(self.plans.get(h)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
 }
 
 impl std::fmt::Debug for Network {
@@ -559,7 +739,7 @@ mod tests {
             dst,
             src_port: MCAST_PORT,
             dst_port: MCAST_PORT,
-            payload: vec![0xab; len],
+            payload: vec![0xab; len].into(),
         }
     }
 
@@ -628,6 +808,28 @@ mod tests {
         let mut who: Vec<NodeId> = deliveries.iter().map(|d| d.node).collect();
         who.sort();
         assert_eq!(who, vec![things[0], things[2]]);
+    }
+
+    #[test]
+    fn multicast_fanout_shares_one_payload() {
+        let mut net = Network::new(PREFIX, 29);
+        let root = net.add_node();
+        let members: Vec<NodeId> = (0..8).map(|_| net.add_node()).collect();
+        for &m in &members {
+            net.link(root, m, LinkQuality::PERFECT);
+        }
+        net.build_tree(root);
+        let group = peripheral_group(PREFIX, 7);
+        for &m in &members {
+            net.join_group(m, group);
+        }
+        let before = crate::msg::payload_stats();
+        let d = dgram(&net, root, group, 25); // the single allocation
+        net.send(SimTime::ZERO, root, d);
+        assert_eq!(net.poll(SimTime::MAX).len(), 8);
+        let after = crate::msg::payload_stats();
+        assert_eq!(after.allocs - before.allocs, 1, "one payload materialised");
+        assert!(after.clones - before.clones >= 8, "receivers share it");
     }
 
     #[test]
@@ -739,5 +941,34 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn caches_stay_coherent_under_churn() {
+        let mut net = Network::new(PREFIX, 13);
+        let root = net.add_node();
+        let nodes: Vec<NodeId> = (0..6).map(|_| net.add_node()).collect();
+        for (i, &n) in nodes.iter().enumerate() {
+            let parent = if i == 0 { root } else { nodes[(i - 1) / 2] };
+            net.link(parent, n, LinkQuality::PERFECT);
+        }
+        net.build_tree(root);
+        let group = peripheral_group(PREFIX, 0x44);
+        net.join_group(nodes[1], group);
+        net.join_group(nodes[4], group);
+        net.send(SimTime::ZERO, root, dgram(&net, root, group, 12));
+        net.send(SimTime::ZERO, nodes[5], dgram(&net, nodes[5], group, 12));
+        assert!(net.caches_coherent());
+        // Membership churn must invalidate that group's plans.
+        net.leave_group(nodes[1], group);
+        net.join_group(nodes[2], group);
+        net.send(SimTime::ZERO, root, dgram(&net, root, group, 12));
+        assert!(net.caches_coherent());
+        // Topology churn must invalidate routes and plans alike.
+        net.link(nodes[5], root, LinkQuality::PERFECT);
+        net.build_tree(root);
+        net.send(SimTime::ZERO, nodes[5], dgram(&net, nodes[5], group, 12));
+        assert!(net.caches_coherent());
+        net.poll(SimTime::MAX);
     }
 }

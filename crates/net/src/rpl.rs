@@ -92,6 +92,33 @@ impl Topology {
     }
 }
 
+/// A min-heap entry for the DODAG build: smallest rank first, ties broken
+/// by the lowest node index (determinism).
+#[derive(PartialEq)]
+struct MinRank {
+    rank: f64,
+    node: Node,
+}
+
+impl Eq for MinRank {}
+
+impl Ord for MinRank {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: `BinaryHeap` is a max-heap, we want the minimum.
+        other
+            .rank
+            .partial_cmp(&self.rank)
+            .expect("ranks are never NaN")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for MinRank {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// The routing tree rooted at the border router.
 ///
 /// Beyond the raw `parent`/`rank` arrays, construction precomputes the
@@ -120,24 +147,30 @@ impl Dodag {
         let mut parent = vec![None; n];
         let mut visited = vec![false; n];
         rank[root] = 0.0;
-        for _ in 0..n {
-            // Extract-min (build runs once per topology change; O(n²) is
-            // fine even at fleet scale — routing itself never rescans).
-            let mut best = None;
-            let mut best_rank = f64::INFINITY;
-            for v in 0..n {
-                if !visited[v] && rank[v] < best_rank {
-                    best_rank = rank[v];
-                    best = Some(v);
-                }
+        // Heap-backed extract-min with lazy deletion: O(E log V) instead
+        // of the former O(V²) scan, which stopped mattering at hundreds of
+        // nodes but dominates a 100 000-node fleet build. Ties break on
+        // the node index, matching the linear scan's lowest-index-first
+        // visit order so the produced DODAG is bit-identical.
+        let mut heap = std::collections::BinaryHeap::with_capacity(n);
+        heap.push(MinRank {
+            rank: 0.0,
+            node: root,
+        });
+        while let Some(MinRank { rank: r, node: u }) = heap.pop() {
+            if visited[u] || r > rank[u] {
+                continue; // Stale heap entry (a shorter path got there first).
             }
-            let Some(u) = best else { break };
             visited[u] = true;
             for &(v, q) in topo.neighbours(u) {
                 let etx = 1.0 / q.prr;
                 if rank[u] + etx < rank[v] {
                     rank[v] = rank[u] + etx;
                     parent[v] = Some(u);
+                    heap.push(MinRank {
+                        rank: rank[v],
+                        node: v,
+                    });
                 }
             }
         }

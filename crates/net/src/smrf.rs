@@ -46,15 +46,63 @@ pub fn plan(dodag: &Dodag, source: Node, members: &BTreeSet<Node>) -> Option<Mul
     if !dodag.reachable(source) {
         return None;
     }
+    plan_from_path(
+        dodag,
+        &dodag.path_to_root(source),
+        members,
+        &mut MarkScratch::new(),
+    )
+}
 
-    // Uplink: source → root via preferred parents.
-    let up_path = dodag.path_to_root(source);
+/// Reusable marking scratch for [`plan_from_path`].
+///
+/// The marking pass needs an `on_path` flag per node. Allocating (and
+/// zeroing) an O(nodes) bitmap per plan made fleet-scale discovery waves
+/// quadratic — 100k sources × 100k-entry memsets. Generation stamping
+/// reuses one buffer across plans with O(1) reset: a slot counts as
+/// marked only if it carries the current generation.
+#[derive(Debug, Default)]
+pub struct MarkScratch {
+    stamp: Vec<u64>,
+    generation: u64,
+}
+
+impl MarkScratch {
+    /// Creates an empty scratch; it grows to the DODAG size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a fresh marking pass over `n` nodes.
+    fn begin(&mut self, n: usize) -> u64 {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        self.generation += 1;
+        self.generation
+    }
+}
+
+/// Like [`plan`], but with the source→root chain supplied by the caller
+/// and the marking buffer reused via `scratch`.
+///
+/// The network layer memoises `path_to_root` per source, so planning for
+/// a deep tree does not re-walk the same uplink for every (group, source)
+/// pair. `up_path` must start at the source and end at the root (the
+/// shape [`Dodag::path_to_root`] returns).
+pub fn plan_from_path(
+    dodag: &Dodag,
+    up_path: &[Node],
+    members: &BTreeSet<Node>,
+    scratch: &mut MarkScratch,
+) -> Option<MulticastPlan> {
+    if up_path.is_empty() || *up_path.last().expect("non-empty") != dodag.root {
+        return None;
+    }
     let uplink: Vec<(Node, Node)> = up_path.windows(2).map(|w| (w[0], w[1])).collect();
 
-    // Mark every node that lies on a root→member path. A dense bitmap
-    // beats hashing here: it is written once per plan and probed once per
-    // visited child.
-    let mut on_path = vec![false; dodag.len()];
+    // Mark every node that lies on a root→member path.
+    let generation = scratch.begin(dodag.len());
     for &m in members {
         if !dodag.reachable(m) {
             continue;
@@ -62,8 +110,8 @@ pub fn plan(dodag: &Dodag, source: Node, members: &BTreeSet<Node>) -> Option<Mul
         let mut cur = m;
         // Stop climbing as soon as an already-marked ancestor is hit, so
         // the total marking work is O(union of member paths).
-        while !on_path[cur] {
-            on_path[cur] = true;
+        while scratch.stamp[cur] != generation {
+            scratch.stamp[cur] = generation;
             match dodag.parent[cur] {
                 Some(p) => cur = p,
                 None => break,
@@ -82,7 +130,7 @@ pub fn plan(dodag: &Dodag, source: Node, members: &BTreeSet<Node>) -> Option<Mul
     let mut frontier = vec![(dodag.root, up_hops)];
     while let Some((node, hops)) = frontier.pop() {
         for &child in dodag.children(node) {
-            if !on_path[child] {
+            if scratch.stamp[child] != generation {
                 continue;
             }
             downlink.push((node, child));

@@ -7,6 +7,8 @@ use upnp_net::link::LinkQuality;
 use upnp_net::msg::{Message, MessageBody, Value};
 use upnp_net::rpl::{Dodag, Topology};
 use upnp_net::tlv::{self, Tlv, TlvType};
+use upnp_net::{Datagram, Network, NodeId};
+use upnp_sim::{SimDuration, SimTime};
 
 proptest! {
     /// The message decoder never panics on arbitrary payloads.
@@ -110,6 +112,64 @@ proptest! {
         }
         let unique: std::collections::HashSet<_> = path.iter().collect();
         prop_assert_eq!(unique.len(), path.len(), "route revisits a node");
+    }
+
+    /// Route-table and SMRF-plan caches stay coherent under arbitrary
+    /// plug/unplug (group join/leave) and topology churn: after every
+    /// operation, each memoised entry equals a fresh recomputation.
+    #[test]
+    fn caches_coherent_under_arbitrary_churn(
+        n in 2usize..12,
+        ops in prop::collection::vec((0u8..6, 0usize..12, 0usize..12), 1..40),
+    ) {
+        const PREFIX: u64 = 0x2001_0db8_0000;
+        let mut net = Network::new(PREFIX, 0x6030);
+        let nodes: Vec<NodeId> = (0..n).map(|_| net.add_node()).collect();
+        // A spanning chain guarantees everything is initially routable.
+        for i in 1..n {
+            net.link(nodes[i], nodes[i - 1], LinkQuality::PERFECT);
+        }
+        net.build_tree(nodes[0]);
+        let group_of = |g: usize| addr::peripheral_group(PREFIX, (g % 3) as u32);
+        let mut t = SimTime::ZERO;
+        for (op, a, b) in ops {
+            let (a, b) = (a % n, b % n);
+            match op {
+                0 => net.join_group(nodes[a], group_of(b)),
+                1 => {
+                    net.leave_group(nodes[a], group_of(b));
+                }
+                2 if a != b => net.link(nodes[a], nodes[b], LinkQuality::new(0.9)),
+                3 => net.build_tree(nodes[a]),
+                4 => {
+                    t += SimDuration::from_millis(50);
+                    let d = Datagram {
+                        src: net.addr_of(nodes[a]),
+                        dst: group_of(b),
+                        src_port: addr::MCAST_PORT,
+                        dst_port: addr::MCAST_PORT,
+                        payload: vec![0xcd; 16].into(),
+                    };
+                    net.send(t, nodes[a], d);
+                }
+                _ => {
+                    t += SimDuration::from_millis(50);
+                    let d = Datagram {
+                        src: net.addr_of(nodes[a]),
+                        dst: net.addr_of(nodes[b]),
+                        src_port: addr::MCAST_PORT,
+                        dst_port: addr::MCAST_PORT,
+                        payload: vec![0xef; 16].into(),
+                    };
+                    net.send(t, nodes[a], d);
+                }
+            }
+            prop_assert!(
+                net.caches_coherent(),
+                "cached routes/plans diverged from fresh computation"
+            );
+        }
+        net.poll(SimTime::MAX);
     }
 
     /// SMRF plans cover exactly the reachable members.

@@ -53,9 +53,12 @@ impl Trace {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "trace capacity must be positive");
+        // Storage grows on first use: a fleet of 100k boards each carrying
+        // an (almost always idle) trace must not pre-pay the full capture
+        // window up front.
         Trace {
             capacity,
-            events: VecDeque::with_capacity(capacity.min(1024)),
+            events: VecDeque::new(),
             dropped: 0,
         }
     }

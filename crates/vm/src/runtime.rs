@@ -78,9 +78,28 @@ pub struct Runtime {
     instructions_retired: u64,
 }
 
-impl Runtime {
-    /// Creates a runtime with default hardware and the given noise seed.
-    pub fn new(seed: u64) -> Self {
+/// Blueprint for per-Thing runtimes.
+///
+/// The CPU cost model and hardware defaults are fleet-invariant;
+/// [`RuntimeTemplate::instantiate`] wires a fresh per-Thing context
+/// (buses, router, meters) around them. One template serves an entire
+/// fleet build — only the noise seed varies per Thing.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeTemplate {
+    avr: AvrCostModel,
+}
+
+impl Default for RuntimeTemplate {
+    fn default() -> Self {
+        RuntimeTemplate {
+            avr: AvrCostModel::atmega128rfa1(),
+        }
+    }
+}
+
+impl RuntimeTemplate {
+    /// Stamps out one runtime seeded with `seed`.
+    pub fn instantiate(&self, seed: u64) -> Runtime {
         Runtime {
             router: EventRouter::new(),
             manager: DriverManager::new(),
@@ -88,7 +107,7 @@ impl Runtime {
             hw: HwContext::new(seed),
             sched: Scheduler::new(),
             now: SimTime::ZERO,
-            avr: AvrCostModel::atmega128rfa1(),
+            avr: self.avr,
             cpu_meter: EnergyMeter::new("mcu"),
             bus_meter: EnergyMeter::new("bus"),
             pending: Vec::new(),
@@ -97,6 +116,13 @@ impl Runtime {
             events_dispatched: 0,
             instructions_retired: 0,
         }
+    }
+}
+
+impl Runtime {
+    /// Creates a runtime with default hardware and the given noise seed.
+    pub fn new(seed: u64) -> Self {
+        RuntimeTemplate::default().instantiate(seed)
     }
 
     /// Current virtual time.
