@@ -5,11 +5,18 @@
 //! ```text
 //! fleet                                  # all scenarios, full size sweep
 //! fleet --nodes 100,1000                 # restrict the size sweep
+//! fleet --shards 1,4                     # sequential + 4-way sharded
 //! fleet --scenario discovery             # one scenario only
 //! fleet --seed 42                        # reseed the whole run
 //! fleet --out BENCH_fleet.json           # write the JSON report
 //! fleet --gate bench/baseline.json       # exit 1 on regression
 //! ```
+//!
+//! When the sweep covers both a sequential (`shards = 1`) and a sharded
+//! row of the same size, the run *hard-fails* unless every deterministic
+//! metric — frames, virtual time, latency distribution, joules, payload
+//! counters — and the world fingerprint are bit-identical between them:
+//! the sharded simulator is only allowed to be faster, never different.
 //!
 //! The gate checks the 1k- and 5k-node discovery wall-clocks against the
 //! checked-in baseline (>25 % is a failure), and the zero-copy payload
@@ -23,7 +30,8 @@
 use std::process::ExitCode;
 
 use serde::{Deserialize, Serialize};
-use upnp_core::fleet::{Fleet, FleetConfig, ScenarioMetrics};
+use upnp_core::fleet::{Fleet, FleetConfig, ScenarioMetrics, ShardedFleet};
+use upnp_core::world::SimWorld;
 
 /// The scenario the regression gates anchor on.
 const GATE_SCENARIO: &str = "discovery";
@@ -35,6 +43,12 @@ const GATE_WALL_THINGS: &[usize] = &[1000, 5000];
 /// Wall-clock regression tolerance (CI runners are noisy; virtual-time
 /// metrics are checked for exact drift separately).
 const GATE_FACTOR: f64 = 1.25;
+/// Sharded wall-clock gate rows `(things, shards)` — checked when both
+/// the current run and the baseline carry them.
+const GATE_WALL_SHARDED: &[(usize, usize)] = &[(1000, 4)];
+/// Report schema version: bumped to 2 when rows gained `shards` and
+/// `fingerprint` (PR 4); older baselines must be regenerated.
+const SCHEMA: u32 = 2;
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchReport {
@@ -50,11 +64,17 @@ struct ScenarioRow {
     /// Things in the fleet (the `nodes` field inside `metrics` also
     /// counts the manager and clients).
     things: usize,
+    /// Shard (worker thread) count: 1 is the sequential simulator.
+    shards: usize,
+    /// Cumulative world fingerprint after this scenario — must be
+    /// identical across shard counts.
+    fingerprint: u64,
     metrics: ScenarioMetrics,
 }
 
 struct Options {
     sizes: Vec<usize>,
+    shards: Vec<usize>,
     seed: u64,
     scenario: Option<String>,
     out: Option<String>,
@@ -64,6 +84,7 @@ struct Options {
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         sizes: vec![100, 1000, 5000, 25000, 100000],
+        shards: vec![1],
         seed: 0x6030,
         scenario: None,
         out: None,
@@ -81,6 +102,16 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("--nodes: {e}"))?;
                 if opts.sizes.is_empty() || opts.sizes.contains(&0) {
                     return Err("--nodes expects positive fleet sizes".into());
+                }
+            }
+            "--shards" => {
+                opts.shards = value("--shards")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if opts.shards.is_empty() || opts.shards.contains(&0) {
+                    return Err("--shards expects positive shard counts".into());
                 }
             }
             "--seed" => {
@@ -107,54 +138,144 @@ fn wants(opts: &Options, scenario: &str) -> bool {
     opts.scenario.as_deref().is_none_or(|s| s == scenario)
 }
 
+/// Runs the selected scenarios against one fleet (sequential or sharded)
+/// and appends the rows.
+fn run_fleet<W: SimWorld>(
+    fleet: &mut Fleet<W>,
+    opts: &Options,
+    things: usize,
+    shards: usize,
+    scenarios: &mut Vec<ScenarioRow>,
+) {
+    // Churn and steady state run against a discovered fleet, so the
+    // discovery wave always runs; it is only *reported* if selected.
+    let discovery = fleet.discovery_wave();
+    if wants(opts, "discovery") {
+        print_row(things, shards, &discovery);
+        scenarios.push(ScenarioRow {
+            things,
+            shards,
+            fingerprint: fleet.fingerprint(),
+            metrics: discovery,
+        });
+    }
+    if wants(opts, "churn") {
+        let churn = fleet.churn_storm(things / 2);
+        print_row(things, shards, &churn);
+        scenarios.push(ScenarioRow {
+            things,
+            shards,
+            fingerprint: fleet.fingerprint(),
+            metrics: churn,
+        });
+    }
+    if wants(opts, "steady") {
+        let steady = fleet.steady_state(things);
+        print_row(things, shards, &steady);
+        scenarios.push(ScenarioRow {
+            things,
+            shards,
+            fingerprint: fleet.fingerprint(),
+            metrics: steady,
+        });
+    }
+}
+
 fn run(opts: &Options) -> BenchReport {
     let mut scenarios = Vec::new();
     for &things in &opts.sizes {
-        // A fresh fleet per size: scenario metrics are deltas, but the
-        // build itself (indices, routing tree) belongs to the size.
-        let mut fleet = Fleet::build(FleetConfig::new(things).with_seed(opts.seed));
-        // Churn and steady state run against a discovered fleet, so the
-        // discovery wave always runs; it is only *reported* if selected.
-        let discovery = fleet.discovery_wave();
-        if wants(opts, "discovery") {
-            print_row(things, &discovery);
-            scenarios.push(ScenarioRow {
-                things,
-                metrics: discovery,
-            });
-        }
-        if wants(opts, "churn") {
-            let churn = fleet.churn_storm(things / 2);
-            print_row(things, &churn);
-            scenarios.push(ScenarioRow {
-                things,
-                metrics: churn,
-            });
-        }
-        if wants(opts, "steady") {
-            let steady = fleet.steady_state(things);
-            print_row(things, &steady);
-            scenarios.push(ScenarioRow {
-                things,
-                metrics: steady,
-            });
+        for &shards in &opts.shards {
+            // A fresh fleet per (size, shards): scenario metrics are
+            // deltas, but the build itself (indices, routing tree)
+            // belongs to the configuration.
+            let config = FleetConfig::new(things).with_seed(opts.seed);
+            if shards == 1 {
+                let mut fleet = Fleet::build(config);
+                run_fleet(&mut fleet, opts, things, shards, &mut scenarios);
+            } else {
+                let mut fleet = ShardedFleet::build_sharded(config, shards);
+                run_fleet(&mut fleet, opts, things, shards, &mut scenarios);
+            }
         }
     }
     BenchReport {
-        schema: 1,
+        schema: SCHEMA,
         seed: opts.seed,
         sizes: opts.sizes.clone(),
         scenarios,
     }
 }
 
-fn print_row(things: usize, m: &ScenarioMetrics) {
+/// The sharded simulator must be *identical* to the sequential one in
+/// every deterministic column — enforced whenever one run covers both.
+fn check_shard_identity(report: &BenchReport) -> Result<(), String> {
+    for row in &report.scenarios {
+        if row.shards == 1 {
+            continue;
+        }
+        let Some(base) = report.scenarios.iter().find(|r| {
+            r.shards == 1 && r.things == row.things && r.metrics.scenario == row.metrics.scenario
+        }) else {
+            eprintln!(
+                "warning: {}@{} shards={} has no shards=1 sibling in this run — \
+                 the sharded/sequential identity check is NOT enforced for it \
+                 (include 1 in --shards to enforce)",
+                row.metrics.scenario, row.things, row.shards,
+            );
+            continue;
+        };
+        let m = &row.metrics;
+        let b = &base.metrics;
+        let identical = row.fingerprint == base.fingerprint
+            && m.events == b.events
+            && m.completed == b.completed
+            && m.virtual_ms == b.virtual_ms
+            && m.frames_tx == b.frames_tx
+            && m.bytes_tx == b.bytes_tx
+            && m.drops == b.drops
+            && m.joules_per_thing == b.joules_per_thing
+            && m.payload_allocs == b.payload_allocs
+            && m.payload_clones == b.payload_clones
+            && m.latency.samples == b.latency.samples
+            && m.latency.mean_ms == b.latency.mean_ms
+            && m.latency.p50_ms == b.latency.p50_ms
+            && m.latency.p90_ms == b.latency.p90_ms
+            && m.latency.p99_ms == b.latency.p99_ms
+            && m.latency.max_ms == b.latency.max_ms;
+        if !identical {
+            return Err(format!(
+                "{}@{} diverges between shards=1 and shards={}: \
+                 fingerprint {:#018x} vs {:#018x}, frames {} vs {}, \
+                 virtual {} vs {} ms, payload allocs {} vs {}",
+                m.scenario,
+                row.things,
+                row.shards,
+                base.fingerprint,
+                row.fingerprint,
+                b.frames_tx,
+                m.frames_tx,
+                b.virtual_ms,
+                m.virtual_ms,
+                b.payload_allocs,
+                m.payload_allocs,
+            ));
+        }
+        println!(
+            "identity ok: {}@{} shards={} matches the sequential run bit for bit",
+            m.scenario, row.things, row.shards,
+        );
+    }
+    Ok(())
+}
+
+fn print_row(things: usize, shards: usize, m: &ScenarioMetrics) {
     println!(
-        "{:>9} | {:>6} things | {:>6} events ({:>6} ok) | wall {:>9.1} ms | virtual {:>10.1} ms | \
+        "{:>9} | {:>6} things x{:<2} | {:>6} events ({:>6} ok) | wall {:>9.1} ms | virtual {:>10.1} ms | \
          p50 {:>8.2} ms  p99 {:>8.2} ms | {:>8} frames | {:>7.4} J/thing | \
          {:>8} allocs {:>8} shares",
         m.scenario,
         things,
+        shards,
         m.events,
         m.completed,
         m.wall_ms,
@@ -168,11 +289,16 @@ fn print_row(things: usize, m: &ScenarioMetrics) {
     );
 }
 
-fn find<'a>(report: &'a BenchReport, scenario: &str, things: usize) -> Option<&'a ScenarioRow> {
+fn find<'a>(
+    report: &'a BenchReport,
+    scenario: &str,
+    things: usize,
+    shards: usize,
+) -> Option<&'a ScenarioRow> {
     report
         .scenarios
         .iter()
-        .find(|r| r.metrics.scenario == scenario && r.things == things)
+        .find(|r| r.metrics.scenario == scenario && r.things == things && r.shards == shards)
 }
 
 /// Applies the regression gates; returns an error message on failure.
@@ -181,7 +307,7 @@ fn gate(current: &BenchReport, baseline: &BenchReport) -> Result<(), String> {
     // means behaviour changed and the baseline wants a refresh. Warn —
     // the hard gates are wall-clock and the allocation counters.
     for row in &current.scenarios {
-        if let Some(b) = find(baseline, &row.metrics.scenario, row.things) {
+        if let Some(b) = find(baseline, &row.metrics.scenario, row.things, row.shards) {
             if row.metrics.frames_tx != b.metrics.frames_tx
                 || row.metrics.virtual_ms != b.metrics.virtual_ms
                 || row.metrics.payload_allocs != b.metrics.payload_allocs
@@ -207,22 +333,35 @@ fn gate(current: &BenchReport, baseline: &BenchReport) -> Result<(), String> {
         }
     }
 
-    // Wall-clock gates: 1k and 5k discovery.
-    for &things in GATE_WALL_THINGS {
-        let cur = find(current, GATE_SCENARIO, things)
-            .ok_or_else(|| format!("current run has no {GATE_SCENARIO}@{things} row to gate on"))?;
-        let base = find(baseline, GATE_SCENARIO, things)
-            .ok_or_else(|| format!("baseline has no {GATE_SCENARIO}@{things} row to gate on"))?;
+    // Wall-clock gates: 1k and 5k sequential discovery, plus the sharded
+    // rows in GATE_WALL_SHARDED when both sides carry them.
+    let wall_rows: Vec<(usize, usize, bool)> = GATE_WALL_THINGS
+        .iter()
+        .map(|&t| (t, 1, true))
+        .chain(GATE_WALL_SHARDED.iter().map(|&(t, k)| (t, k, false)))
+        .collect();
+    for (things, shards, required) in wall_rows {
+        let cur = find(current, GATE_SCENARIO, things, shards);
+        let base = find(baseline, GATE_SCENARIO, things, shards);
+        let (cur, base) = match (cur, base, required) {
+            (Some(c), Some(b), _) => (c, b),
+            (_, _, false) => continue,
+            _ => {
+                return Err(format!(
+                    "missing {GATE_SCENARIO}@{things} shards={shards} row to gate on"
+                ))
+            }
+        };
         let limit = base.metrics.wall_ms * GATE_FACTOR;
         if cur.metrics.wall_ms > limit {
             return Err(format!(
-                "{GATE_SCENARIO}@{things} wall-clock regressed: {:.1} ms > {:.1} ms \
-                 (baseline {:.1} ms × {GATE_FACTOR})",
+                "{GATE_SCENARIO}@{things} shards={shards} wall-clock regressed: \
+                 {:.1} ms > {:.1} ms (baseline {:.1} ms × {GATE_FACTOR})",
                 cur.metrics.wall_ms, limit, base.metrics.wall_ms,
             ));
         }
         println!(
-            "gate ok: {GATE_SCENARIO}@{things} wall {:.1} ms <= {:.1} ms \
+            "gate ok: {GATE_SCENARIO}@{things} shards={shards} wall {:.1} ms <= {:.1} ms \
              (baseline {:.1} ms × {GATE_FACTOR})",
             cur.metrics.wall_ms, limit, base.metrics.wall_ms,
         );
@@ -235,20 +374,25 @@ fn gate(current: &BenchReport, baseline: &BenchReport) -> Result<(), String> {
         if row.metrics.scenario != GATE_SCENARIO {
             continue;
         }
-        let Some(base) = find(baseline, GATE_SCENARIO, row.things) else {
+        let Some(base) = find(baseline, GATE_SCENARIO, row.things, row.shards) else {
             continue;
         };
         let limit = (base.metrics.payload_allocs as f64 * GATE_FACTOR).ceil() as u64;
         if row.metrics.payload_allocs > limit {
             return Err(format!(
-                "{GATE_SCENARIO}@{} payload allocations regressed: {} > {} \
+                "{GATE_SCENARIO}@{} shards={} payload allocations regressed: {} > {} \
                  (baseline {} × {GATE_FACTOR})",
-                row.things, row.metrics.payload_allocs, limit, base.metrics.payload_allocs,
+                row.things,
+                row.shards,
+                row.metrics.payload_allocs,
+                limit,
+                base.metrics.payload_allocs,
             ));
         }
         println!(
-            "gate ok: {GATE_SCENARIO}@{} payload allocs {} <= {} (baseline {} × {GATE_FACTOR})",
-            row.things, row.metrics.payload_allocs, limit, base.metrics.payload_allocs,
+            "gate ok: {GATE_SCENARIO}@{} shards={} payload allocs {} <= {} \
+             (baseline {} × {GATE_FACTOR})",
+            row.things, row.shards, row.metrics.payload_allocs, limit, base.metrics.payload_allocs,
         );
     }
     Ok(())
@@ -260,7 +404,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: fleet [--nodes N,N,..] [--seed N] \
+                "usage: fleet [--nodes N,N,..] [--shards K,K,..] [--seed N] \
                  [--scenario discovery|churn|steady|all] [--out FILE] [--gate BASELINE]"
             );
             return ExitCode::from(2);
@@ -269,6 +413,9 @@ fn main() -> ExitCode {
 
     let report = run(&opts);
 
+    // Write the report *before* the identity check: a divergence is
+    // exactly when the per-row artifact is needed to debug, and CI's
+    // upload step runs `if: always()`.
     if let Some(path) = &opts.out {
         let json = serde_json::to_string_pretty(&report).expect("report serializes");
         if let Err(e) = std::fs::write(path, json + "\n") {
@@ -278,11 +425,26 @@ fn main() -> ExitCode {
         println!("wrote {path}");
     }
 
+    if let Err(e) = check_shard_identity(&report) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+
     if let Some(path) = &opts.gate {
         let baseline = match std::fs::read_to_string(path)
             .map_err(|e| e.to_string())
             .and_then(|s| serde_json::from_str::<BenchReport>(&s).map_err(|e| e.to_string()))
-        {
+            .and_then(|b| {
+                if b.schema == SCHEMA {
+                    Ok(b)
+                } else {
+                    Err(format!(
+                        "baseline schema {} != expected {SCHEMA} — regenerate it with \
+                         `fleet --shards 1,4 --out {path}`",
+                        b.schema,
+                    ))
+                }
+            }) {
             Ok(b) => b,
             Err(e) => {
                 eprintln!("error: reading baseline {path}: {e}");

@@ -12,7 +12,10 @@ use upnp_sim::{SimDuration, SimRng};
 use crate::BusTransaction;
 
 /// Anything that produces an analog voltage for the ADC to sample.
-pub trait AnalogSource {
+///
+/// `Send` so boxed sources can live inside Things that migrate to shard
+/// worker threads.
+pub trait AnalogSource: Send {
     /// The instantaneous output voltage given the environment, volts.
     fn voltage(&self, env: &crate::Environment, rng: &mut SimRng) -> f64;
 }

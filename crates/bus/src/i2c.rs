@@ -13,7 +13,10 @@ use upnp_sim::SimDuration;
 use crate::BusTransaction;
 
 /// A slave device on the bus.
-pub trait I2cDevice {
+///
+/// `Send` so boxed devices can live inside Things that migrate to shard
+/// worker threads.
+pub trait I2cDevice: Send {
     /// Handles a master write of `data` (typically a register pointer,
     /// optionally followed by values).
     fn write(&mut self, data: &[u8], env: &mut crate::Environment);

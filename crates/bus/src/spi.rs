@@ -24,7 +24,10 @@ pub enum SpiMode {
 }
 
 /// A device on the SPI bus (single chip-select).
-pub trait SpiDevice {
+///
+/// `Send` so boxed devices can live inside Things that migrate to shard
+/// worker threads.
+pub trait SpiDevice: Send {
     /// Full-duplex transfer: receives the master's byte, returns the
     /// slave's simultaneous output byte.
     fn transfer(&mut self, mosi: u8, env: &mut crate::Environment) -> u8;

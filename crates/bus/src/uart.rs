@@ -118,7 +118,10 @@ impl std::fmt::Display for UartError {
 impl std::error::Error for UartError {}
 
 /// A device on the far end of the UART (e.g. the ID-20LA reader).
-pub trait UartDevice {
+///
+/// `Send` so boxed devices can live inside Things that migrate to shard
+/// worker threads.
+pub trait UartDevice: Send {
     /// Called when the environment may have new data for the device to
     /// transmit; returns bytes the device puts on the wire, in order.
     fn poll_tx(&mut self, env: &mut crate::Environment) -> Vec<u8>;

@@ -37,8 +37,11 @@ pub struct Client {
     pub readings: Vec<(u32, Value, SimTime)>,
     /// Stream samples: `(peripheral, value, at)`.
     pub stream_data: Vec<(u32, Value, SimTime)>,
-    /// Stream-established groups by peripheral.
-    pub stream_groups: HashMap<u32, Ipv6Addr>,
+    /// Stream-established groups: group address → peripheral. Keyed by
+    /// the group (unique per Thing × peripheral since groups are
+    /// per-Thing), so recording is idempotent and merge-order
+    /// independent when shard replicas are folded into a master client.
+    pub stream_groups: HashMap<Ipv6Addr, u32>,
     /// Streams that have been closed by the Thing.
     pub closed_streams: Vec<u32>,
     /// Write acknowledgements: `(peripheral, ok)`.
@@ -176,7 +179,7 @@ impl Client {
             }
             MessageBody::Established { peripheral, group } => {
                 let group = Ipv6Addr::from(group);
-                self.stream_groups.insert(peripheral, group);
+                self.stream_groups.insert(group, peripheral);
                 vec![group]
             }
             MessageBody::StreamData { peripheral, value } => {

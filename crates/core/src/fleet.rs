@@ -19,7 +19,8 @@ use upnp_net::link::LinkQuality;
 use upnp_sim::{SimDuration, SimRng, SimTime};
 
 use crate::catalog::Catalog;
-use crate::world::{ClientId, ThingId, World, WorldConfig};
+use crate::shard::ShardedWorld;
+use crate::world::{ClientId, SimWorld, ThingId, World, WorldConfig};
 
 /// How the fleet's nodes are wired together.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,13 +160,45 @@ pub struct ScenarioMetrics {
     pub payload_clones: u64,
 }
 
+impl ScenarioMetrics {
+    /// Everything deterministic about the outcome in one comparable
+    /// string — wall-clock and throughput fields deliberately excluded.
+    /// The differential and determinism test suites compare these, so a
+    /// new deterministic column belongs here to be covered by both.
+    pub fn deterministic_summary(&self) -> String {
+        format!(
+            "{} nodes={} events={} completed={} virtual={} frames={} bytes={} drops={} \
+             lat=({},{},{},{},{},{}) joules={}",
+            self.scenario,
+            self.nodes,
+            self.events,
+            self.completed,
+            self.virtual_ms,
+            self.frames_tx,
+            self.bytes_tx,
+            self.drops,
+            self.latency.samples,
+            self.latency.mean_ms,
+            self.latency.p50_ms,
+            self.latency.p90_ms,
+            self.latency.p99_ms,
+            self.latency.max_ms,
+            self.joules_per_thing,
+        )
+    }
+}
+
 /// A built fleet, ready to run scenarios.
 ///
-/// Scenarios mutate the underlying [`World`]; run them on a fresh fleet
-/// when isolation matters (the benchmark binary does).
-pub struct Fleet {
+/// Scenarios mutate the underlying world; run them on a fresh fleet
+/// when isolation matters (the benchmark binary does). `W` is the
+/// simulator backend: the sequential [`World`] (the default) or the
+/// thread-parallel [`ShardedWorld`] — the differential test harness runs
+/// the same seeded scenarios on both and asserts bit-identical
+/// fingerprints.
+pub struct Fleet<W: SimWorld = World> {
     /// The underlying world (public for inspection in tests).
-    pub world: World,
+    pub world: W,
     /// All Thing handles, in creation order.
     pub things: Vec<ThingId>,
     /// All client handles.
@@ -178,21 +211,45 @@ pub struct Fleet {
     occupancy: Vec<Option<DeviceTypeId>>,
 }
 
-impl Fleet {
+/// A fleet running on the thread-parallel sharded simulator.
+pub type ShardedFleet = Fleet<ShardedWorld>;
+
+impl Fleet<World> {
     /// Builds the world: manager, Things, clients, topology, routing
     /// tree.
     pub fn build(config: FleetConfig) -> Fleet {
+        let world_config = Self::world_config(&config);
+        Fleet::build_in(World::new(world_config), config)
+    }
+}
+
+impl Fleet<ShardedWorld> {
+    /// Builds the same fleet as [`Fleet::build`], partitioned across
+    /// `shards` worker threads along DODAG subtree boundaries.
+    pub fn build_sharded(config: FleetConfig, shards: usize) -> ShardedFleet {
+        let world_config = Fleet::<ShardedWorld>::world_config(&config);
+        Fleet::build_in(ShardedWorld::new(world_config, shards), config)
+    }
+}
+
+impl<W: SimWorld> Fleet<W> {
+    /// The world configuration a fleet of this shape wants.
+    fn world_config(config: &FleetConfig) -> WorldConfig {
+        WorldConfig {
+            seed: config.seed,
+            expected_nodes: 1 + config.things + config.clients,
+            ..WorldConfig::default()
+        }
+    }
+
+    /// Assembles manager, Things, clients, topology and routing tree in
+    /// the supplied (empty) world.
+    pub fn build_in(mut world: W, config: FleetConfig) -> Fleet<W> {
         assert!(config.things > 0, "a fleet needs at least one Thing");
         assert!(
             !config.device_pool.is_empty(),
             "a fleet needs at least one peripheral type"
         );
-        let world_config = WorldConfig {
-            seed: config.seed,
-            expected_nodes: 1 + config.things + config.clients,
-            ..WorldConfig::default()
-        };
-        let mut world = World::new(world_config);
         let manager = world.add_manager();
         let things: Vec<ThingId> = (0..config.things).map(|_| world.add_thing()).collect();
         let clients: Vec<ClientId> = (0..config.clients).map(|_| world.add_client()).collect();
@@ -223,7 +280,7 @@ impl Fleet {
         }
         // Clients sit next to the border router in both shapes.
         for &c in &clients {
-            let node = world.client(c).node;
+            let node = world.client_node(c);
             world.link(manager, node, quality);
         }
         world.build_tree(manager);
@@ -387,8 +444,8 @@ impl Fleet {
             let device = self.occupancy[i].expect("picked from plugged set");
             let thing_addr = self.world.thing_addr(self.things[i]);
             let dgram = self.world.client_request_read(c, thing_addr, device.raw());
-            let node = self.world.client(c).node;
-            self.world.net.send(at, node, dgram);
+            let node = self.world.client_node(c);
+            self.world.inject(at, node, dgram);
             expected.push((c, at));
         }
         // One streaming session per client against a random plugged Thing.
@@ -402,8 +459,8 @@ impl Fleet {
             let dgram = self
                 .world
                 .client_request_stream(c, thing_addr, device.raw());
-            let node = self.world.client(c).node;
-            self.world.net.send(at, node, dgram);
+            let node = self.world.client_node(c);
+            self.world.inject(at, node, dgram);
         }
         self.world.run_until_idle();
 
@@ -443,7 +500,7 @@ impl Fleet {
     pub fn fingerprint(&self) -> u64 {
         let mut h = Fnv1a::new();
         h.write_u64(self.world.now().as_nanos());
-        let stats = self.world.net.stats();
+        let stats = self.world.net_stats();
         h.write_u64(stats.frames_tx);
         h.write_u64(stats.bytes_tx);
         h.write_u64(stats.drops);
@@ -464,7 +521,7 @@ impl Fleet {
                 h.write_u64(p as u64);
                 h.write_u64(finished);
             }
-            h.write_u64(self.world.net.radio_energy_j(thing.node).to_bits());
+            h.write_u64(self.world.radio_energy_j(thing.node).to_bits());
         }
         for &c in &self.clients {
             let client = self.world.client(c);
@@ -483,8 +540,8 @@ impl Fleet {
         ScenarioProbe {
             wall: Instant::now(),
             virtual_start: self.world.now(),
-            stats: self.world.net.stats(),
-            payload: upnp_net::msg::payload_stats(),
+            stats: self.world.net_stats(),
+            payload: upnp_net::msg::payload_stats_process(),
             joules: self.total_thing_joules(),
         }
     }
@@ -498,12 +555,12 @@ impl Fleet {
         latencies: Vec<SimDuration>,
     ) -> ScenarioMetrics {
         let wall_ms = probe.wall.elapsed().as_secs_f64() * 1e3;
-        let stats = self.world.net.stats();
-        let payload = upnp_net::msg::payload_stats();
+        let stats = self.world.net_stats();
+        let payload = upnp_net::msg::payload_stats_process();
         let joules = self.total_thing_joules() - probe.joules;
         ScenarioMetrics {
             scenario: scenario.to_string(),
-            nodes: self.world.net.len(),
+            nodes: self.world.node_count(),
             events,
             completed,
             virtual_ms: self
@@ -530,7 +587,7 @@ impl Fleet {
     fn total_thing_joules(&self) -> f64 {
         self.things
             .iter()
-            .map(|&t| self.world.net.radio_energy_j(self.world.thing_node(t)))
+            .map(|&t| self.world.radio_energy_j(self.world.thing_node(t)))
             .sum()
     }
 }

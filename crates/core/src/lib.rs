@@ -22,13 +22,15 @@ pub mod client;
 pub mod fleet;
 pub mod manager;
 pub mod registry;
+pub mod shard;
 pub mod thing;
 pub mod world;
 
 pub use catalog::{Catalog, CatalogEntry};
 pub use client::Client;
-pub use fleet::{Fleet, FleetConfig, FleetTopology, LatencyStats, ScenarioMetrics};
+pub use fleet::{Fleet, FleetConfig, FleetTopology, LatencyStats, ScenarioMetrics, ShardedFleet};
 pub use manager::Manager;
 pub use registry::{AddressSpace, AllocationError, RegistryEntry};
+pub use shard::ShardedWorld;
 pub use thing::{PlugTimeline, Thing};
-pub use world::{World, WorldConfig};
+pub use world::{SimWorld, World, WorldConfig};

@@ -1,0 +1,706 @@
+//! A [`World`] partitioned across threads with deterministic merge.
+//!
+//! [`ShardedWorld`] cuts the fleet along DODAG subtree boundaries — the
+//! natural partition for UPnP-style device management, where a Thing only
+//! ever converses with the border router above it — and simulates each
+//! partition on its own worker thread as a complete [`World`] over a
+//! *slice* of the global network. The design goal is not "roughly the
+//! same answer, faster": every fingerprint, latency percentile and joules
+//! counter must be **bit-identical** to the sequential simulator at K = 1
+//! and independent of K. Three properties carry that guarantee:
+//!
+//! 1. **Decomposed randomness.** Radio draws are keyed per
+//!    `(link, hop start time)` (see [`upnp_net::Network`]), and per-Thing
+//!    jitter is keyed by node id (see [`World::add_thing`]). No sequential
+//!    stream couples unrelated traffic, so simulating subtrees in any
+//!    order — or concurrently — produces the same numbers.
+//! 2. **Replicated shared endpoints.** The manager and the clients exist
+//!    in every shard. The manager's replies are a pure function of each
+//!    request, so replicas cannot diverge; client replicas record the
+//!    observations of their own shard, and the coordinator merges the
+//!    streams in `(virtual time, shard)` order after every round.
+//! 3. **Epoch-exchanged cross-shard frames.** The rare multicast whose
+//!    group spans shards (a typed discovery probe) is captured when it
+//!    reaches the shard's DODAG root and re-played from the root in every
+//!    other shard between rounds, in `(virtual time, source shard,
+//!    capture order)` — so the merged event stream is independent of
+//!    thread scheduling.
+//!
+//! Shard counts beyond the number of root-child subtrees buy nothing (a
+//! subtree is never split); star topologies therefore scale to any K,
+//! while a fanout-f tree parallelises at most f ways.
+
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+use upnp_hw::id::DeviceTypeId;
+use upnp_net::link::LinkQuality;
+use upnp_net::network::{NetStats, RootedFrame};
+use upnp_net::rpl::{Dodag, Topology};
+use upnp_net::{Datagram, NodeId};
+use upnp_sim::SimTime;
+
+use crate::catalog::Catalog;
+use crate::client::Client;
+use crate::thing::Thing;
+use crate::world::{ClientId, SimWorld, ThingId, World, WorldConfig};
+
+/// A recorded construction step, replayed into every shard at
+/// materialisation time so node ids and addresses line up with the
+/// sequential simulator.
+#[derive(Debug, Clone, Copy)]
+enum BuildOp {
+    Manager,
+    Thing,
+    Client,
+    Link(NodeId, NodeId, LinkQuality),
+}
+
+/// The pre-materialisation recording state.
+#[derive(Debug, Default)]
+struct Build {
+    ops: Vec<BuildOp>,
+    next_node: u32,
+    /// Global node id of every Thing, in creation order (node ids are
+    /// assigned sequentially, so they are known before materialisation —
+    /// topology builders query them while wiring the tree).
+    thing_nodes: Vec<NodeId>,
+    client_nodes: Vec<NodeId>,
+    manager: Option<NodeId>,
+}
+
+/// Per-(shard, client) drain cursors into the replica's observation
+/// vectors, so each merge only touches the new tail.
+#[derive(Debug, Clone, Copy, Default)]
+struct ClientCursor {
+    discovered: usize,
+    readings: usize,
+    stream_data: usize,
+    closed_streams: usize,
+    write_acks: usize,
+}
+
+/// One freshly built shard: its world, the Things it owns as
+/// `(global index, local handle)` pairs, and the client addresses (the
+/// same in every shard).
+type BuiltShard = (World, Vec<(usize, ThingId)>, Vec<Ipv6Addr>);
+
+/// The materialised, runnable state.
+struct Running {
+    shards: Vec<World>,
+    /// Global thing index → (owning shard, local handle in that shard).
+    thing_home: Vec<(usize, ThingId)>,
+    /// Global thing index → network node.
+    thing_nodes: Vec<NodeId>,
+    /// Thing node → owning shard (for energy queries).
+    node_shard: HashMap<NodeId, usize>,
+    /// Unicast address → owning shard (for routing injected datagrams).
+    addr_shard: HashMap<Ipv6Addr, usize>,
+    /// Master clients: the merged observation streams, and the sequence
+    /// counters request builders draw from (so wire seq numbers follow
+    /// the global issue order exactly as in the sequential world).
+    clients: Vec<Client>,
+    cursors: Vec<Vec<ClientCursor>>,
+    now: SimTime,
+}
+
+enum State {
+    Building(Build),
+    Running(Box<Running>),
+}
+
+/// A fleet [`World`] sharded across `K` worker threads along DODAG
+/// subtree boundaries, bit-identical to the sequential simulator (see
+/// the module docs for why).
+///
+/// Construction is *deferred*: [`SimWorld::add_thing`] and friends record
+/// build steps, and the call to [`SimWorld::build_tree`] — the point at
+/// which the subtree structure is finally known — partitions the Things
+/// and materialises the per-shard worlds. Accessors panic before that
+/// point, and topology mutators panic after it.
+pub struct ShardedWorld {
+    config: WorldConfig,
+    shards_requested: usize,
+    catalog: Catalog,
+    state: State,
+}
+
+impl ShardedWorld {
+    /// Creates an empty sharded world that will run on (up to) `shards`
+    /// worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(config: WorldConfig, shards: usize) -> Self {
+        assert!(shards > 0, "a sharded world needs at least one shard");
+        ShardedWorld {
+            config,
+            shards_requested: shards,
+            catalog: Catalog::with_prototypes(),
+            state: State::Building(Build::default()),
+        }
+    }
+
+    /// The number of shards the world was materialised into.
+    pub fn shard_count(&self) -> usize {
+        match &self.state {
+            State::Building(_) => self.shards_requested,
+            State::Running(r) => r.shards.len(),
+        }
+    }
+
+    fn build_mut(&mut self) -> &mut Build {
+        match &mut self.state {
+            State::Building(b) => b,
+            State::Running(_) => panic!("sharded world topology is sealed after build_tree"),
+        }
+    }
+
+    fn running(&self) -> &Running {
+        match &self.state {
+            State::Running(r) => r,
+            State::Building(_) => panic!("sharded world not materialised yet (call build_tree)"),
+        }
+    }
+
+    fn running_mut(&mut self) -> &mut Running {
+        match &mut self.state {
+            State::Running(r) => r,
+            State::Building(_) => panic!("sharded world not materialised yet (call build_tree)"),
+        }
+    }
+
+    /// Partitions Things into shards by DODAG subtree: every Thing maps
+    /// to its root-child ancestor, and whole subtrees go to the shard
+    /// with the fewest Things so far (deterministic greedy balance, ties
+    /// to the lowest shard).
+    fn partition(
+        ops: &[BuildOp],
+        total_nodes: usize,
+        root: NodeId,
+        thing_nodes: &[NodeId],
+        shards: usize,
+    ) -> Vec<usize> {
+        let mut topo = Topology::new(total_nodes);
+        for op in ops {
+            if let BuildOp::Link(a, b, q) = op {
+                topo.link(a.0 as usize, b.0 as usize, *q);
+            }
+        }
+        let dodag = Dodag::build(&topo, root.0 as usize);
+
+        // Root-child ancestor of every node (the subtree head).
+        let head_of = |mut n: usize| -> usize {
+            while let Some(p) = dodag.parent[n] {
+                if p == root.0 as usize {
+                    return n;
+                }
+                n = p;
+            }
+            n // the root itself, or a detached node
+        };
+
+        // Things per subtree head, heads visited in ascending node order
+        // for determinism.
+        let mut head_things: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (i, &n) in thing_nodes.iter().enumerate() {
+            head_things
+                .entry(head_of(n.0 as usize))
+                .or_default()
+                .push(i);
+        }
+        let mut heads: Vec<usize> = head_things.keys().copied().collect();
+        heads.sort_unstable();
+
+        let mut load = vec![0usize; shards];
+        let mut assignment = vec![0usize; thing_nodes.len()];
+        for head in heads {
+            let members = &head_things[&head];
+            let target = (0..shards)
+                .min_by_key(|&s| (load[s], s))
+                .expect(">= 1 shard");
+            load[target] += members.len();
+            for &i in members {
+                assignment[i] = target;
+            }
+        }
+        assignment
+    }
+
+    /// Materialises the recorded build into per-shard worlds and routing
+    /// tables.
+    fn materialise(&mut self, root: NodeId) {
+        let build = match &mut self.state {
+            State::Building(b) => std::mem::take(b),
+            State::Running(_) => panic!("sharded world topology is sealed after build_tree"),
+        };
+        let shards = self.shards_requested;
+        let thing_nodes = build.thing_nodes.clone();
+        let client_nodes = build.client_nodes.clone();
+        let n_things = thing_nodes.len();
+        let n_clients = client_nodes.len();
+
+        let assignment = Self::partition(
+            &build.ops,
+            build.next_node as usize,
+            root,
+            &thing_nodes,
+            shards,
+        );
+        let thing_owner: HashMap<NodeId, usize> = thing_nodes
+            .iter()
+            .copied()
+            .zip(assignment.iter().copied())
+            .collect();
+        let replicated: Vec<NodeId> = build
+            .manager
+            .into_iter()
+            .chain(client_nodes.iter().copied())
+            .collect();
+
+        // The per-shard builds are independent, and at fleet scale each
+        // one replays the full op log and allocates a full node table —
+        // build them on worker threads so startup does not serialise
+        // what the round loop parallelises.
+        let config = &self.config;
+        let build_shard = |s: usize| -> BuiltShard {
+            let mut w = World::new(config.clone());
+            let mut owned = Vec::new();
+            let mut addrs = Vec::with_capacity(n_clients);
+            let mut thing_idx = 0usize;
+            // A node is simulated here if it is replicated (manager,
+            // clients) or a Thing this shard owns.
+            let local = |n: NodeId| {
+                Some(n) == build.manager
+                    || client_nodes.contains(&n)
+                    || thing_owner.get(&n) == Some(&s)
+            };
+            for op in &build.ops {
+                match op {
+                    BuildOp::Manager => {
+                        w.add_manager();
+                    }
+                    BuildOp::Thing => {
+                        let i = thing_idx;
+                        thing_idx += 1;
+                        if assignment[i] == s {
+                            let id = w.add_thing();
+                            debug_assert_eq!(w.thing_node(id), thing_nodes[i]);
+                            owned.push((i, id));
+                        } else {
+                            w.add_remote_node();
+                        }
+                    }
+                    BuildOp::Client => {
+                        let id = w.add_client();
+                        debug_assert_eq!(w.client_node(id), client_nodes[addrs.len()]);
+                        addrs.push(w.client(id).address);
+                    }
+                    BuildOp::Link(a, b, q) => {
+                        if local(*a) && local(*b) {
+                            w.link(*a, *b, *q);
+                        }
+                    }
+                }
+            }
+            w.build_tree(root);
+            w.net.set_replicated_nodes(replicated.iter().copied());
+            w.net.enable_cross_shard_capture();
+            (w, owned, addrs)
+        };
+        let mut built: Vec<BuiltShard> = Vec::with_capacity(shards);
+        if shards == 1 {
+            built.push(build_shard(0));
+        } else {
+            let build_shard = &build_shard;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..shards)
+                    .map(|s| scope.spawn(move || build_shard(s)))
+                    .collect();
+                for h in handles {
+                    built.push(h.join().expect("shard builder thread"));
+                }
+            });
+        }
+
+        let mut worlds = Vec::with_capacity(shards);
+        let mut thing_home = vec![(0usize, ThingId(0)); n_things];
+        let mut client_addrs = vec![Ipv6Addr::UNSPECIFIED; n_clients];
+        for (s, (w, owned, addrs)) in built.into_iter().enumerate() {
+            for (i, id) in owned {
+                thing_home[i] = (s, id);
+            }
+            client_addrs = addrs;
+            worlds.push(w);
+        }
+
+        let mut node_shard = HashMap::with_capacity(n_things);
+        let mut addr_shard = HashMap::with_capacity(n_things);
+        for i in 0..n_things {
+            let (s, local) = thing_home[i];
+            node_shard.insert(thing_nodes[i], s);
+            addr_shard.insert(worlds[s].thing_addr(local), s);
+        }
+        let clients = client_nodes
+            .iter()
+            .zip(&client_addrs)
+            .map(|(&n, &a)| Client::new(n, a, self.config.prefix))
+            .collect();
+        self.state = State::Running(Box::new(Running {
+            cursors: vec![vec![ClientCursor::default(); n_clients]; worlds.len()],
+            shards: worlds,
+            thing_home,
+            thing_nodes,
+            node_shard,
+            addr_shard,
+            clients,
+            now: SimTime::ZERO,
+        }));
+    }
+
+    /// Folds each shard replica's *new* client observations into the
+    /// master clients: time-stamped streams merge in `(virtual time,
+    /// shard)` order; unstamped streams (discovered peripherals, closed
+    /// streams, write acks) append in shard order. Deterministic — no
+    /// thread-arrival order participates.
+    fn merge_clients(r: &mut Running) {
+        for c in 0..r.clients.len() {
+            let id = ClientId(c);
+            let mut readings = Vec::new();
+            let mut stream_data = Vec::new();
+            for (s, w) in r.shards.iter().enumerate() {
+                let replica = w.client(id);
+                let cur = &mut r.cursors[s][c];
+                for item in &replica.readings[cur.readings..] {
+                    readings.push((item.2, s, item.clone()));
+                }
+                cur.readings = replica.readings.len();
+                for item in &replica.stream_data[cur.stream_data..] {
+                    stream_data.push((item.2, s, item.clone()));
+                }
+                cur.stream_data = replica.stream_data.len();
+            }
+            readings.sort_by_key(|&(at, s, _)| (at, s));
+            stream_data.sort_by_key(|&(at, s, _)| (at, s));
+            let master = &mut r.clients[c];
+            master
+                .readings
+                .extend(readings.into_iter().map(|(_, _, i)| i));
+            master
+                .stream_data
+                .extend(stream_data.into_iter().map(|(_, _, i)| i));
+            for (s, w) in r.shards.iter().enumerate() {
+                let replica = w.client(id);
+                let cur = &mut r.cursors[s][c];
+                master
+                    .discovered
+                    .extend(replica.discovered[cur.discovered..].iter().cloned());
+                cur.discovered = replica.discovered.len();
+                master
+                    .closed_streams
+                    .extend(replica.closed_streams[cur.closed_streams..].iter().copied());
+                cur.closed_streams = replica.closed_streams.len();
+                master
+                    .write_acks
+                    .extend(replica.write_acks[cur.write_acks..].iter().copied());
+                cur.write_acks = replica.write_acks.len();
+                for (&g, &p) in &replica.stream_groups {
+                    master.stream_groups.insert(g, p);
+                }
+            }
+        }
+    }
+
+    /// One parallel round: every shard runs its own event loop to idle on
+    /// its own thread.
+    fn run_round(shards: &mut [World]) {
+        if shards.len() == 1 {
+            shards[0].run_until_idle();
+            return;
+        }
+        std::thread::scope(|scope| {
+            for w in shards.iter_mut() {
+                scope.spawn(move || {
+                    w.run_until_idle();
+                    // Must be the closure's last act: the scope waits for
+                    // closures, not for TLS destructors.
+                    upnp_net::msg::flush_payload_stats();
+                });
+            }
+        });
+    }
+}
+
+impl SimWorld for ShardedWorld {
+    fn add_manager(&mut self) -> NodeId {
+        let b = self.build_mut();
+        assert!(b.manager.is_none(), "world already has a manager");
+        let node = NodeId(b.next_node);
+        b.next_node += 1;
+        b.manager = Some(node);
+        b.ops.push(BuildOp::Manager);
+        node
+    }
+
+    fn add_thing(&mut self) -> ThingId {
+        let b = self.build_mut();
+        let id = ThingId(b.thing_nodes.len());
+        b.thing_nodes.push(NodeId(b.next_node));
+        b.next_node += 1;
+        b.ops.push(BuildOp::Thing);
+        id
+    }
+
+    fn add_client(&mut self) -> ClientId {
+        let b = self.build_mut();
+        let id = ClientId(b.client_nodes.len());
+        b.client_nodes.push(NodeId(b.next_node));
+        b.next_node += 1;
+        b.ops.push(BuildOp::Client);
+        id
+    }
+
+    fn link(&mut self, a: NodeId, b: NodeId, quality: LinkQuality) {
+        self.build_mut().ops.push(BuildOp::Link(a, b, quality));
+    }
+
+    fn build_tree(&mut self, root: NodeId) {
+        self.materialise(root);
+    }
+
+    fn now(&self) -> SimTime {
+        self.running().now
+    }
+
+    fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    fn thing(&self, id: ThingId) -> &Thing {
+        let r = self.running();
+        let (s, local) = r.thing_home[id.0];
+        r.shards[s].thing(local)
+    }
+
+    fn thing_node(&self, id: ThingId) -> NodeId {
+        match &self.state {
+            State::Building(b) => b.thing_nodes[id.0],
+            State::Running(r) => r.thing_nodes[id.0],
+        }
+    }
+
+    fn thing_addr(&self, id: ThingId) -> Ipv6Addr {
+        let r = self.running();
+        let (s, local) = r.thing_home[id.0];
+        r.shards[s].thing_addr(local)
+    }
+
+    fn client(&self, id: ClientId) -> &Client {
+        &self.running().clients[id.0]
+    }
+
+    fn client_node(&self, id: ClientId) -> NodeId {
+        match &self.state {
+            State::Building(b) => b.client_nodes[id.0],
+            State::Running(r) => r.clients[id.0].node,
+        }
+    }
+
+    fn plug_at(&mut self, at: SimTime, thing: ThingId, channel: u8, device_id: DeviceTypeId) {
+        let r = self.running_mut();
+        let (s, local) = r.thing_home[thing.0];
+        r.shards[s].plug_at(at, local, channel, device_id);
+    }
+
+    fn unplug_at(&mut self, at: SimTime, thing: ThingId, channel: u8) {
+        let r = self.running_mut();
+        let (s, local) = r.thing_home[thing.0];
+        r.shards[s].unplug_at(at, local, channel);
+    }
+
+    fn run_until_idle(&mut self) {
+        let r = self.running_mut();
+        loop {
+            Self::run_round(&mut r.shards);
+            Self::merge_clients(r);
+
+            // Epoch boundary: exchange the multicasts whose groups span
+            // shards, replayed from the root in deterministic order.
+            let mut frames: Vec<(usize, RootedFrame)> = Vec::new();
+            for (s, w) in r.shards.iter_mut().enumerate() {
+                frames.extend(w.net.take_cross_frames().into_iter().map(|f| (s, f)));
+            }
+            if frames.is_empty() {
+                break;
+            }
+            frames.sort_by_key(|&(s, ref f)| (f.at_root, s));
+            for (src, frame) in frames {
+                for (t, w) in r.shards.iter_mut().enumerate() {
+                    if t == src {
+                        continue;
+                    }
+                    if frame.lost {
+                        // The uplink died in the origin shard; this
+                        // shard's members count as drops, as they would
+                        // in the sequential simulator.
+                        w.net.drop_from_root(&frame.dgram);
+                    } else {
+                        w.net
+                            .multicast_from_root(frame.at_root, frame.dgram.coordination_clone());
+                    }
+                }
+            }
+        }
+        r.now = r
+            .shards
+            .iter()
+            .map(|w| w.now())
+            .max()
+            .unwrap_or(SimTime::ZERO);
+    }
+
+    fn inject(&mut self, at: SimTime, from: NodeId, dgram: Datagram) {
+        let r = self.running_mut();
+        // Unicasts go to the shard that simulates the destination Thing;
+        // everything else (multicast, manager anycast, client unicast)
+        // homes on shard 0, whose replicas account the shared uplink.
+        let shard = r.addr_shard.get(&dgram.dst).copied().unwrap_or(0);
+        r.shards[shard].inject(at, from, dgram);
+    }
+
+    fn client_request_read(
+        &mut self,
+        client: ClientId,
+        thing: Ipv6Addr,
+        peripheral: u32,
+    ) -> Datagram {
+        self.running_mut().clients[client.0].read(thing, peripheral)
+    }
+
+    fn client_request_stream(
+        &mut self,
+        client: ClientId,
+        thing: Ipv6Addr,
+        peripheral: u32,
+    ) -> Datagram {
+        self.running_mut().clients[client.0].stream(thing, peripheral)
+    }
+
+    fn net_stats(&self) -> NetStats {
+        let r = self.running();
+        let mut total = NetStats::default();
+        for w in &r.shards {
+            let s = w.net.stats();
+            total.frames_tx += s.frames_tx;
+            total.bytes_tx += s.bytes_tx;
+            total.drops += s.drops;
+        }
+        total
+    }
+
+    fn radio_energy_j(&self, node: NodeId) -> f64 {
+        let r = self.running();
+        match r.node_shard.get(&node) {
+            // A Thing's meter is charged only in its owning shard, in the
+            // same causal order as the sequential simulator — bit-exact.
+            Some(&s) => r.shards[s].net.radio_energy_j(node),
+            // Replicated nodes (manager, clients) accrue energy in every
+            // shard; the sum is order-sensitive in the last float bits
+            // and is not part of any fingerprint.
+            None => r.shards.iter().map(|w| w.net.radio_energy_j(node)).sum(),
+        }
+    }
+
+    fn node_count(&self) -> usize {
+        self.running().shards[0].net.len()
+    }
+}
+
+impl std::fmt::Debug for ShardedWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("ShardedWorld");
+        match &self.state {
+            State::Building(b) => d
+                .field("state", &"building")
+                .field("things", &b.thing_nodes.len())
+                .finish_non_exhaustive(),
+            State::Running(r) => d
+                .field("shards", &r.shards.len())
+                .field("things", &r.thing_home.len())
+                .field("now", &r.now)
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star_world(things: usize, shards: usize) -> ShardedWorld {
+        let mut w = ShardedWorld::new(WorldConfig::default(), shards);
+        let root = w.add_manager();
+        let ids: Vec<ThingId> = (0..things).map(|_| w.add_thing()).collect();
+        for &t in &ids {
+            let n = w.thing_node(t);
+            w.link(root, n, LinkQuality::PERFECT);
+        }
+        w.build_tree(root);
+        w
+    }
+
+    #[test]
+    fn star_partition_balances_things() {
+        let w = star_world(10, 4);
+        let r = w.running();
+        let mut load = vec![0usize; 4];
+        for &(s, _) in &r.thing_home {
+            load[s] += 1;
+        }
+        load.sort_unstable();
+        assert_eq!(load, vec![2, 2, 3, 3], "greedy balance within one Thing");
+    }
+
+    #[test]
+    fn tree_partition_keeps_subtrees_whole() {
+        // Chain topology under two root children: two subtrees, so two
+        // shards get everything regardless of the requested count.
+        let mut w = ShardedWorld::new(WorldConfig::default(), 8);
+        let root = w.add_manager();
+        let ids: Vec<ThingId> = (0..6).map(|_| w.add_thing()).collect();
+        // Things 0 and 1 hang off the root; 2..=3 chain under 0, 4..=5
+        // chain under 1.
+        let n = |w: &ShardedWorld, i: usize| w.thing_node(ids[i]);
+        w.link(root, n(&w, 0), LinkQuality::PERFECT);
+        w.link(root, n(&w, 1), LinkQuality::PERFECT);
+        w.link(n(&w, 0), n(&w, 2), LinkQuality::PERFECT);
+        w.link(n(&w, 2), n(&w, 3), LinkQuality::PERFECT);
+        w.link(n(&w, 1), n(&w, 4), LinkQuality::PERFECT);
+        w.link(n(&w, 4), n(&w, 5), LinkQuality::PERFECT);
+        w.build_tree(root);
+        let r = w.running();
+        let shard_of = |i: usize| r.thing_home[i].0;
+        assert_eq!(shard_of(0), shard_of(2));
+        assert_eq!(shard_of(0), shard_of(3));
+        assert_eq!(shard_of(1), shard_of(4));
+        assert_eq!(shard_of(1), shard_of(5));
+        assert_ne!(shard_of(0), shard_of(1), "two subtrees spread over shards");
+    }
+
+    #[test]
+    fn node_ids_match_the_sequential_world() {
+        let mut seq = World::new(WorldConfig::default());
+        let sm = seq.add_manager();
+        let st = seq.add_thing();
+        let sc = seq.add_client();
+
+        let mut sharded = ShardedWorld::new(WorldConfig::default(), 2);
+        let m = sharded.add_manager();
+        let t = sharded.add_thing();
+        let c = sharded.add_client();
+        assert_eq!(m, sm);
+        assert_eq!(sharded.thing_node(t), seq.thing_node(st));
+        assert_eq!(sharded.client_node(c), seq.client_node(sc));
+    }
+}

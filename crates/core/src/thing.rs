@@ -404,12 +404,23 @@ impl Thing {
         }
     }
 
-    /// The stream multicast group for one of this Thing's peripherals
-    /// (distinct from the discovery group: the pad field carries 1).
+    /// The stream multicast group for one of this Thing's peripherals:
+    /// distinct from the discovery group (the pad field carries the
+    /// stream flag) and *per Thing* (the group id mixes the node id), so
+    /// subscribers only receive samples of streams they asked this Thing
+    /// for — not the cross-talk of every same-typed peripheral in the
+    /// deployment. Per-Thing groups also keep stream traffic inside one
+    /// shard of a partitioned world by construction.
     fn stream_group(&self, peripheral: u32) -> Ipv6Addr {
-        let base = addr::peripheral_group(self.prefix, peripheral);
+        // 40-bit group id: a full-avalanche mix of (peripheral, node)
+        // fills the 32-bit group field plus pad octet 10, so distinct
+        // (Thing, type) pairs collide with probability ~2^-40 per pair
+        // rather than the birthday-prone 2^-32.
+        let h = upnp_sim::splitmix64(((peripheral as u64) << 32) | self.node.0 as u64);
+        let base = addr::peripheral_group(self.prefix, h as u32);
         let mut o = base.octets();
-        o[11] = 1; // stream flag in the zero pad
+        o[10] = (h >> 32) as u8;
+        o[11] = addr::STREAM_FLAG; // stream flag in the zero pad
         Ipv6Addr::from(o)
     }
 

@@ -113,7 +113,14 @@ pub struct World {
     delivery_buf: Vec<Delivery>,
     sched: Scheduler<WorldEvent>,
     now: SimTime,
-    rng: SimRng,
+    /// Per-Thing jitter streams, keyed by the Thing's *node id* rather
+    /// than drawn from one sequential world stream. A Thing's sampled
+    /// board, runtime seed and per-plug resistor jitter therefore depend
+    /// only on `(world seed, node id, its own plug history)` — the
+    /// property that lets a sharded world construct each shard's Things
+    /// independently and still match the sequential simulator bit for
+    /// bit.
+    thing_rngs: Vec<SimRng>,
     config: WorldConfig,
     /// Fleet-invariant construction blueprints. The peripheral templates
     /// carry the real win: the per-device resistor solve (an E96 grid
@@ -133,7 +140,6 @@ pub struct World {
 impl World {
     /// Creates an empty world.
     pub fn new(config: WorldConfig) -> Self {
-        let rng = SimRng::seed(config.seed);
         World {
             net: Network::with_capacity(config.prefix, config.seed ^ 0x9e37, config.expected_nodes),
             manager: None,
@@ -146,13 +152,22 @@ impl World {
             delivery_buf: Vec::new(),
             sched: Scheduler::new(),
             now: SimTime::ZERO,
-            rng,
+            thing_rngs: Vec::with_capacity(config.expected_nodes),
             board_template: BoardTemplate::default(),
             runtime_template: RuntimeTemplate::default(),
             peripheral_templates: HashMap::new(),
             manager_anycast: "2001:db8:aaaa::1".parse().expect("valid anycast"),
             config,
         }
+    }
+
+    /// The decorrelated jitter stream of the Thing on `node`: a pure
+    /// function of the world seed and the node id (SplitMix64-finalised),
+    /// independent of how many Things were added before it.
+    fn thing_stream(seed: u64, node: NodeId) -> SimRng {
+        SimRng::seed(upnp_sim::splitmix64(
+            seed ^ (node.0 as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
     }
 
     /// Current virtual time.
@@ -191,8 +206,9 @@ impl World {
     pub fn add_thing(&mut self) -> ThingId {
         let node = self.net.add_node();
         let address = self.net.addr_of(node);
-        let board = self.board_template.instantiate(&mut self.rng);
-        let seed = self.rng.next_u64();
+        let mut rng = Self::thing_stream(self.config.seed, node);
+        let board = self.board_template.instantiate(&mut rng);
+        let seed = rng.next_u64();
         let thing = Thing::new(
             node,
             address,
@@ -204,10 +220,20 @@ impl World {
         let mut thing = thing;
         thing.stream_samples = self.config.stream_samples;
         self.things.push(thing);
+        self.thing_rngs.push(rng);
         let id = ThingId(self.things.len() - 1);
         self.node_kinds.insert(node, NodeKind::Thing(id.0));
         self.thing_by_addr.insert(address, id.0);
         id
+    }
+
+    /// Adds a node that occupies its slot in the address space but is
+    /// simulated elsewhere — a sharded world calls this for Things owned
+    /// by other shards so node ids, addresses and wire sizes line up with
+    /// the sequential simulator. The node is never linked locally, so no
+    /// traffic can reach it.
+    pub fn add_remote_node(&mut self) -> NodeId {
+        self.net.add_node()
     }
 
     /// Adds a client; it joins the all-clients group immediately.
@@ -257,6 +283,18 @@ impl World {
         self.things[id.0].node
     }
 
+    /// The network node of a client.
+    pub fn client_node(&self, id: ClientId) -> NodeId {
+        self.clients[id.0].node
+    }
+
+    /// Injects a pre-built datagram from `from` at virtual time `at` —
+    /// the primitive fleet workloads use to stage many requests before
+    /// one run of the loop.
+    pub fn inject(&mut self, at: SimTime, from: NodeId, dgram: Datagram) {
+        self.net.send(at, from, dgram);
+    }
+
     /// The unicast address of a Thing.
     pub fn thing_addr(&self, id: ThingId) -> Ipv6Addr {
         self.things[id.0].address
@@ -300,8 +338,8 @@ impl World {
             .unwrap_or_else(|| panic!("{device_id} not in catalog"))
             .interconnect;
         // The resistor solve runs once per device *type*; each plug only
-        // samples this board's jitter (same RNG draws as a full
-        // manufacture, so plug pipelines are bit-identical to PR 2's).
+        // samples this board's jitter from the Thing's own stream, so a
+        // Thing's plug pipeline depends only on its own history.
         let template = self
             .peripheral_templates
             .entry(device_id)
@@ -309,7 +347,7 @@ impl World {
                 PeripheralTemplate::new(device_id, interconnect)
                     .expect("catalog ids are realisable")
             });
-        let board = template.instantiate(tolerance, &mut self.rng);
+        let board = template.instantiate(tolerance, &mut self.thing_rngs[thing.0]);
         self.things[thing.0]
             .board_mut()
             .plug(ChannelId(channel), board)
@@ -704,5 +742,165 @@ impl std::fmt::Debug for World {
             .field("things", &self.things.len())
             .field("clients", &self.clients.len())
             .finish_non_exhaustive()
+    }
+}
+
+/// The simulation surface the fleet harness drives: everything a
+/// scenario needs to build a topology, schedule stimuli, run the event
+/// loop and read the observable outcome back.
+///
+/// Two implementations exist: the sequential [`World`] and the
+/// thread-parallel [`ShardedWorld`](crate::shard::ShardedWorld). The
+/// differential test harness runs the same seeded scenarios against both
+/// and asserts bit-identical fingerprints and virtual metrics.
+pub trait SimWorld {
+    /// Adds the manager node (once, before Things).
+    fn add_manager(&mut self) -> NodeId;
+    /// Adds a µPnP Thing.
+    fn add_thing(&mut self) -> ThingId;
+    /// Adds a client.
+    fn add_client(&mut self) -> ClientId;
+    /// Links two nodes with the given quality.
+    fn link(&mut self, a: NodeId, b: NodeId, quality: LinkQuality);
+    /// Builds the routing tree rooted at `root`.
+    fn build_tree(&mut self, root: NodeId);
+    /// Current virtual time.
+    fn now(&self) -> SimTime;
+    /// The catalog of known peripherals.
+    fn catalog(&self) -> &Catalog;
+    /// Access a Thing.
+    fn thing(&self, id: ThingId) -> &Thing;
+    /// The network node of a Thing.
+    fn thing_node(&self, id: ThingId) -> NodeId;
+    /// The unicast address of a Thing.
+    fn thing_addr(&self, id: ThingId) -> Ipv6Addr;
+    /// Access a client's observations.
+    fn client(&self, id: ClientId) -> &Client;
+    /// The network node of a client.
+    fn client_node(&self, id: ClientId) -> NodeId;
+    /// Schedules a plug at the absolute virtual instant `at`.
+    fn plug_at(&mut self, at: SimTime, thing: ThingId, channel: u8, device_id: DeviceTypeId);
+    /// Schedules an unplug at the absolute virtual instant `at`.
+    fn unplug_at(&mut self, at: SimTime, thing: ThingId, channel: u8);
+    /// Runs until no interrupts, deliveries or scheduled events remain.
+    fn run_until_idle(&mut self);
+    /// Injects a pre-built datagram from `from` at virtual time `at`.
+    fn inject(&mut self, at: SimTime, from: NodeId, dgram: Datagram);
+    /// Builds a (10) read request from `client` without driving the loop.
+    fn client_request_read(
+        &mut self,
+        client: ClientId,
+        thing: Ipv6Addr,
+        peripheral: u32,
+    ) -> Datagram;
+    /// Builds a (12) stream request from `client` without driving the
+    /// loop.
+    fn client_request_stream(
+        &mut self,
+        client: ClientId,
+        thing: Ipv6Addr,
+        peripheral: u32,
+    ) -> Datagram;
+    /// Aggregate traffic statistics.
+    fn net_stats(&self) -> upnp_net::network::NetStats;
+    /// Radio energy consumed by `node` so far, joules.
+    fn radio_energy_j(&self, node: NodeId) -> f64;
+    /// Total network nodes.
+    fn node_count(&self) -> usize;
+}
+
+impl SimWorld for World {
+    fn add_manager(&mut self) -> NodeId {
+        World::add_manager(self)
+    }
+
+    fn add_thing(&mut self) -> ThingId {
+        World::add_thing(self)
+    }
+
+    fn add_client(&mut self) -> ClientId {
+        World::add_client(self)
+    }
+
+    fn link(&mut self, a: NodeId, b: NodeId, quality: LinkQuality) {
+        World::link(self, a, b, quality);
+    }
+
+    fn build_tree(&mut self, root: NodeId) {
+        World::build_tree(self, root);
+    }
+
+    fn now(&self) -> SimTime {
+        World::now(self)
+    }
+
+    fn catalog(&self) -> &Catalog {
+        World::catalog(self)
+    }
+
+    fn thing(&self, id: ThingId) -> &Thing {
+        World::thing(self, id)
+    }
+
+    fn thing_node(&self, id: ThingId) -> NodeId {
+        World::thing_node(self, id)
+    }
+
+    fn thing_addr(&self, id: ThingId) -> Ipv6Addr {
+        World::thing_addr(self, id)
+    }
+
+    fn client(&self, id: ClientId) -> &Client {
+        World::client(self, id)
+    }
+
+    fn client_node(&self, id: ClientId) -> NodeId {
+        World::client_node(self, id)
+    }
+
+    fn plug_at(&mut self, at: SimTime, thing: ThingId, channel: u8, device_id: DeviceTypeId) {
+        World::plug_at(self, at, thing, channel, device_id);
+    }
+
+    fn unplug_at(&mut self, at: SimTime, thing: ThingId, channel: u8) {
+        World::unplug_at(self, at, thing, channel);
+    }
+
+    fn run_until_idle(&mut self) {
+        World::run_until_idle(self);
+    }
+
+    fn inject(&mut self, at: SimTime, from: NodeId, dgram: Datagram) {
+        World::inject(self, at, from, dgram);
+    }
+
+    fn client_request_read(
+        &mut self,
+        client: ClientId,
+        thing: Ipv6Addr,
+        peripheral: u32,
+    ) -> Datagram {
+        World::client_request_read(self, client, thing, peripheral)
+    }
+
+    fn client_request_stream(
+        &mut self,
+        client: ClientId,
+        thing: Ipv6Addr,
+        peripheral: u32,
+    ) -> Datagram {
+        World::client_request_stream(self, client, thing, peripheral)
+    }
+
+    fn net_stats(&self) -> upnp_net::network::NetStats {
+        self.net.stats()
+    }
+
+    fn radio_energy_j(&self, node: NodeId) -> f64 {
+        self.net.radio_energy_j(node)
+    }
+
+    fn node_count(&self) -> usize {
+        self.net.len()
     }
 }

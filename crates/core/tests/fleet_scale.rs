@@ -10,25 +10,7 @@ const THINGS: usize = 500;
 /// Everything deterministic about a scenario outcome (wall-clock and
 /// throughput fields deliberately excluded).
 fn virtual_summary(m: &ScenarioMetrics) -> String {
-    format!(
-        "{} nodes={} events={} completed={} virtual={} frames={} bytes={} drops={} \
-         lat=({},{},{},{},{},{}) joules={}",
-        m.scenario,
-        m.nodes,
-        m.events,
-        m.completed,
-        m.virtual_ms,
-        m.frames_tx,
-        m.bytes_tx,
-        m.drops,
-        m.latency.samples,
-        m.latency.mean_ms,
-        m.latency.p50_ms,
-        m.latency.p90_ms,
-        m.latency.p99_ms,
-        m.latency.max_ms,
-        m.joules_per_thing,
-    )
+    m.deterministic_summary()
 }
 
 fn full_run(seed: u64) -> (u64, String) {

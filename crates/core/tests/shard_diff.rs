@@ -1,0 +1,329 @@
+//! Differential harness: the thread-parallel [`ShardedWorld`] must be
+//! indistinguishable from the sequential [`World`] — bit-identical
+//! fingerprints and virtual metrics — at K = 1 and at every other shard
+//! count, on star and tree topologies (ISSUE 4's equivalence bar).
+//!
+//! Wall-clock and throughput fields are excluded (they measure the host,
+//! not the simulation). Payload counters are also excluded *here*: they
+//! are process-global and other tests allocate payloads concurrently;
+//! the single-process `fleet` benchmark asserts their equality instead.
+
+use upnp_core::fleet::{Fleet, FleetConfig, FleetTopology, ScenarioMetrics, ShardedFleet};
+use upnp_core::world::SimWorld;
+use upnp_sim::SimDuration;
+
+/// Everything deterministic about a scenario outcome (shared with the
+/// determinism suite via the product API, so a new metric column is
+/// covered by both).
+fn virtual_summary(m: &ScenarioMetrics) -> String {
+    m.deterministic_summary()
+}
+
+fn config(things: usize, topology: FleetTopology) -> FleetConfig {
+    FleetConfig::new(things)
+        .with_seed(0x6030)
+        .with_topology(topology)
+}
+
+/// Runs the full scenario suite (discovery wave, churn storm, steady
+/// state) on any backend and returns `(fingerprint, deterministic
+/// summary)` — one body for both simulators, so the comparison cannot
+/// drift.
+fn run_suite<W: SimWorld>(mut fleet: Fleet<W>, things: usize) -> (u64, String) {
+    let d = fleet.discovery_wave();
+    let c = fleet.churn_storm(things / 4);
+    let s = fleet.steady_state(things / 4);
+    let summary = format!(
+        "{}\n{}\n{}",
+        virtual_summary(&d),
+        virtual_summary(&c),
+        virtual_summary(&s)
+    );
+    (fleet.fingerprint(), summary)
+}
+
+fn run_sequential(things: usize, topology: FleetTopology) -> (u64, String) {
+    run_suite(Fleet::build(config(things, topology)), things)
+}
+
+fn run_sharded(things: usize, topology: FleetTopology, shards: usize) -> (u64, String) {
+    run_suite(
+        ShardedFleet::build_sharded(config(things, topology), shards),
+        things,
+    )
+}
+
+fn assert_equivalent(things: usize, topology: FleetTopology, shard_counts: &[usize]) {
+    let (seq_fp, seq_summary) = run_sequential(things, topology);
+    for &k in shard_counts {
+        let (fp, summary) = run_sharded(things, topology, k);
+        assert_eq!(
+            seq_summary, summary,
+            "virtual metrics diverged at {things} things, {topology:?}, K={k}"
+        );
+        assert_eq!(
+            seq_fp, fp,
+            "fingerprint diverged at {things} things, {topology:?}, K={k}"
+        );
+    }
+}
+
+#[test]
+fn star_500_matches_at_every_shard_count() {
+    assert_equivalent(500, FleetTopology::Star, &[1, 2, 4, 8]);
+}
+
+#[test]
+fn tree_500_matches_at_every_shard_count() {
+    assert_equivalent(500, FleetTopology::Tree { fanout: 8 }, &[1, 2, 4, 8]);
+}
+
+#[test]
+fn star_2k_matches_at_every_shard_count() {
+    assert_equivalent(2000, FleetTopology::Star, &[1, 2, 4, 8]);
+}
+
+#[test]
+fn tree_2k_matches_at_every_shard_count() {
+    assert_equivalent(2000, FleetTopology::Tree { fanout: 8 }, &[1, 2, 4, 8]);
+}
+
+#[test]
+fn lossy_star_matches_at_every_shard_count() {
+    // Imperfect links exercise the radio-loss paths: per-(link, time)
+    // keyed draws, multicast uplink failures (whose drops must be
+    // accounted for remote-shard members via the lost-frame exchange)
+    // and incomplete scenario events. Equality must still be bitwise.
+    let mut config = config(120, FleetTopology::Star);
+    config.link_prr = 0.35;
+    let (seq_fp, seq_summary) = {
+        let mut fleet = Fleet::build(config.clone());
+        let d = fleet.discovery_wave();
+        let s = fleet.steady_state(30);
+        (
+            fleet.fingerprint(),
+            format!("{}\n{}", virtual_summary(&d), virtual_summary(&s)),
+        )
+    };
+    for k in [1, 2, 4] {
+        let mut fleet = ShardedFleet::build_sharded(config.clone(), k);
+        let d = fleet.discovery_wave();
+        let s = fleet.steady_state(30);
+        let summary = format!("{}\n{}", virtual_summary(&d), virtual_summary(&s));
+        assert_eq!(
+            seq_summary, summary,
+            "lossy virtual metrics diverged at K={k}"
+        );
+        assert_eq!(
+            seq_fp,
+            fleet.fingerprint(),
+            "lossy fingerprint diverged at K={k}"
+        );
+    }
+}
+
+#[test]
+fn lossy_tree_matches_at_every_shard_count() {
+    let mut config = config(120, FleetTopology::Tree { fanout: 6 });
+    config.link_prr = 0.5;
+    let (seq_fp, seq_summary) = {
+        let mut fleet = Fleet::build(config.clone());
+        let d = fleet.discovery_wave();
+        (fleet.fingerprint(), virtual_summary(&d))
+    };
+    for k in [1, 2, 4] {
+        let mut fleet = ShardedFleet::build_sharded(config.clone(), k);
+        let d = fleet.discovery_wave();
+        assert_eq!(seq_summary, virtual_summary(&d), "K={k}");
+        assert_eq!(seq_fp, fleet.fingerprint(), "K={k}");
+    }
+}
+
+#[test]
+fn sharded_runs_are_reproducible() {
+    let run = || run_sharded(200, FleetTopology::Star, 4).0;
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_diverge_under_sharding() {
+    let run = |seed: u64| {
+        let mut fleet = ShardedFleet::build_sharded(FleetConfig::new(100).with_seed(seed), 4);
+        fleet.discovery_wave();
+        fleet.fingerprint()
+    };
+    assert_ne!(run(1), run(2));
+}
+
+// ---- Churn-race regressions under sharding (PR 3's awaiting_driver
+// cancellation fix must not be single-thread-only) ----------------------
+
+#[test]
+fn sharded_unplug_racing_driver_upload_leaves_no_driver() {
+    // Plug-to-advertised takes hundreds of virtual milliseconds; an
+    // unplug a few milliseconds after the plug races the in-flight
+    // driver upload — on whichever shard thread owns the Thing.
+    let mut fleet = ShardedFleet::build_sharded(FleetConfig::new(8), 4);
+    let t = fleet.things[0];
+    let device = fleet.assigned_device(0);
+    let base = fleet.world.now();
+    fleet
+        .world
+        .plug_at(base + SimDuration::from_millis(1), t, 0, device);
+    fleet
+        .world
+        .unplug_at(base + SimDuration::from_millis(5), t, 0);
+    fleet.world.run_until_idle();
+    assert!(
+        fleet.world.thing(t).served_peripherals().is_empty(),
+        "a cancelled plug must not leave a driver serving an absent peripheral"
+    );
+}
+
+#[test]
+fn sharded_churn_storm_with_inflight_uploads_stays_consistent() {
+    // A cold fleet churned at 1 ms stagger: every plug starts a driver
+    // round-trip that the next unplug of the same Thing may race, now
+    // with the races spread across four shard threads.
+    let mut config = FleetConfig::new(12);
+    config.stagger = SimDuration::from_millis(1);
+    let mut fleet = ShardedFleet::build_sharded(config, 4);
+    let m = fleet.churn_storm(80);
+    assert_eq!(
+        m.completed, m.events,
+        "racing unplugs must cancel in-flight driver uploads"
+    );
+}
+
+#[test]
+fn sharded_churn_matches_sequential_under_racing_stagger() {
+    // The same racing schedule must also produce identical fingerprints,
+    // not merely consistent final state.
+    let build_config = || {
+        let mut c = FleetConfig::new(24);
+        c.stagger = SimDuration::from_millis(1);
+        c
+    };
+    let mut seq = Fleet::build(build_config());
+    let seq_m = seq.churn_storm(120);
+    for k in [1, 2, 4] {
+        let mut sharded = ShardedFleet::build_sharded(build_config(), k);
+        let m = sharded.churn_storm(120);
+        assert_eq!(virtual_summary(&seq_m), virtual_summary(&m), "K={k}");
+        assert_eq!(seq.fingerprint(), sharded.fingerprint(), "K={k}");
+    }
+}
+
+#[test]
+fn lossy_cross_shard_probes_account_drops_identically() {
+    // Typed discovery probes on lossy links hit the one path where a
+    // shard cannot see the whole failure: a multicast uplink that dies
+    // before the root must charge drops for *every* group member,
+    // including the ones simulated in other shards (exchanged as lost
+    // rooted frames). Inject a burst of probes and require the stats
+    // and fingerprints to stay bitwise equal.
+    let mut config = config(60, FleetTopology::Star);
+    config.link_prr = 0.5;
+    let run = |world: &mut dyn SimWorld, clients: &[upnp_core::world::ClientId], device: u32| {
+        let base = world.now();
+        let group = upnp_net::addr::peripheral_group(0x2001_0db8_0000, device);
+        for i in 0..20u64 {
+            let c = clients[i as usize % clients.len()];
+            let node = world.client_node(c);
+            let addr = world.client(c).address;
+            let dgram = upnp_net::Datagram {
+                src: addr,
+                dst: group,
+                src_port: upnp_net::addr::MCAST_PORT,
+                dst_port: upnp_net::addr::MCAST_PORT,
+                payload: upnp_net::msg::Message {
+                    seq: 0x6100 + i as u16,
+                    body: upnp_net::msg::MessageBody::Discovery(Vec::new()),
+                }
+                .encode()
+                .into(),
+            };
+            world.inject(base + SimDuration::from_millis(10 * (i + 1)), node, dgram);
+        }
+        world.run_until_idle();
+    };
+
+    let mut seq = Fleet::build(config.clone());
+    seq.discovery_wave();
+    let device = seq.assigned_device(0).raw();
+    run(&mut seq.world, &seq.clients, device);
+    let seq_stats = {
+        use upnp_core::world::SimWorld as _;
+        seq.world.net_stats()
+    };
+
+    for k in [2, 4] {
+        let mut sharded = ShardedFleet::build_sharded(config.clone(), k);
+        sharded.discovery_wave();
+        run(&mut sharded.world, &sharded.clients, device);
+        assert_eq!(
+            seq_stats,
+            sharded.world.net_stats(),
+            "drops/frames diverged at K={k}"
+        );
+        assert_eq!(seq.fingerprint(), sharded.fingerprint(), "K={k}");
+    }
+}
+
+// ---- Cross-shard multicast (typed discovery probes) --------------------
+
+#[test]
+fn cross_shard_discovery_probe_reaches_every_shard() {
+    // A typed discovery multicast originates in the clients' home shard
+    // but its group members (Things of that type) live in every shard:
+    // the rooted-frame exchange must deliver it across shard boundaries
+    // and the solicited replies must merge back into the master client.
+    let things = 40;
+    let mut seq = Fleet::build(FleetConfig::new(things));
+    let mut sharded = ShardedFleet::build_sharded(FleetConfig::new(things), 4);
+    seq.discovery_wave();
+    sharded.discovery_wave();
+
+    let device = seq.assigned_device(0);
+    let expect: Vec<_> = (0..things)
+        .filter(|&i| seq.assigned_device(i) == device)
+        .map(|i| seq.world.thing_addr(seq.things[i]))
+        .collect();
+
+    for (label, world, client) in [
+        (
+            "sequential",
+            &mut seq.world as &mut dyn SimWorld,
+            seq.clients[0],
+        ),
+        (
+            "sharded",
+            &mut sharded.world as &mut dyn SimWorld,
+            sharded.clients[0],
+        ),
+    ] {
+        let dgram = {
+            // A typed discovery to the peripheral group of `device`.
+            let group = upnp_net::addr::peripheral_group(0x2001_0db8_0000, device.raw());
+            let mut d = world.client_request_read(client, group, device.raw());
+            // Rebuild as a proper discovery message.
+            d.payload = upnp_net::msg::Message {
+                seq: 0x7777,
+                body: upnp_net::msg::MessageBody::Discovery(Vec::new()),
+            }
+            .encode()
+            .into();
+            d.dst = group;
+            d
+        };
+        let node = world.client_node(client);
+        let at = world.now();
+        world.inject(at, node, dgram);
+        world.run_until_idle();
+        let mut found = world.client(client).things_with(device.raw());
+        found.sort();
+        let mut want = expect.clone();
+        want.sort();
+        assert_eq!(found, want, "{label} discovery must reach every shard");
+    }
+}

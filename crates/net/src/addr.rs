@@ -16,6 +16,12 @@ pub const MCAST_PORT: u16 = 6030;
 /// The fixed 32-bit multicast prefix `ff3e:0030`.
 pub const SCHEMA_PREFIX: u32 = 0xff3e_0030;
 
+/// Value of zero-pad octet 11 that marks a per-stream group derived from
+/// a peripheral group (see `Thing::stream_group`). Stream groups only
+/// ever hold clients, which a sharded world replicates into every shard —
+/// the network layer uses this flag to keep stream traffic shard-local.
+pub const STREAM_FLAG: u8 = 1;
+
 /// Builds the multicast group address of one peripheral type inside a
 /// 48-bit network prefix.
 ///

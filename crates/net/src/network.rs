@@ -45,6 +45,21 @@ pub struct Datagram {
     pub payload: Payload,
 }
 
+impl Datagram {
+    /// A copy whose payload share is *not counted* in the payload
+    /// statistics — see [`Payload::coordination_clone`]. Used when a
+    /// frame is moved between shard coordinators rather than delivered.
+    pub fn coordination_clone(&self) -> Datagram {
+        Datagram {
+            src: self.src,
+            dst: self.dst,
+            src_port: self.src_port,
+            dst_port: self.dst_port,
+            payload: self.payload.coordination_clone(),
+        }
+    }
+}
+
 /// A datagram arriving at a node.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Delivery {
@@ -162,6 +177,22 @@ impl PlanArena {
     }
 }
 
+/// A multicast frame that has climbed to the DODAG root and may still
+/// have group members outside this network slice (see
+/// [`Network::take_cross_frames`]).
+#[derive(Debug, Clone)]
+pub struct RootedFrame {
+    /// When the frame reached the root (meaningless when `lost`).
+    pub at_root: SimTime,
+    /// The datagram (payload shared, zero-copy).
+    pub dgram: Datagram,
+    /// True if the uplink failed: the dissemination died before the
+    /// root, and other shards must count their members as drops instead
+    /// of delivering (the sequential simulator charges every group
+    /// member on an uplink failure).
+    pub lost: bool,
+}
+
 /// The network simulator.
 ///
 /// Fleet-scale hot paths are index-backed rather than scan-backed:
@@ -177,13 +208,25 @@ impl PlanArena {
 /// * the plan cache is keyed group-first, so membership churn invalidates
 ///   one group's plans in O(plans of that group) instead of scanning the
 ///   whole cache (formerly an O(n²) term in discovery waves).
+///
+/// # Determinism
+///
+/// Radio randomness (CSMA backoff, frame loss) is *not* a sequential
+/// stream: every hop draws from a private generator keyed by
+/// `(seed, tx node, rx node, hop start time)`. Two executions that put
+/// the same frame on the same link at the same virtual instant therefore
+/// observe identical radio behaviour regardless of how unrelated traffic
+/// is interleaved — the property that lets a sharded world simulate
+/// disjoint subtrees on different threads and still match the sequential
+/// simulator bit for bit.
 pub struct Network {
     prefix: u64,
     nodes: Vec<NodeState>,
     topo: Topology,
     dodag: Option<Dodag>,
     sched: Scheduler<Delivery>,
-    rng: SimRng,
+    /// Base seed for the per-hop radio generators.
+    hop_seed: u64,
     radio: RadioModel,
     stats: NetStats,
     addr_index: HashMap<Ipv6Addr, NodeId>,
@@ -202,10 +245,22 @@ pub struct Network {
     arrival_gen: u64,
     /// Reusable SMRF marking buffer (see [`MarkScratch`]).
     smrf_scratch: MarkScratch,
+    /// Nodes that are replicas of entities simulated in every shard
+    /// (manager, clients). [`Network::multicast_from_root`] skips them so
+    /// a cross-shard continuation never re-delivers to a replica that the
+    /// originating shard already served.
+    replicated: BTreeSet<Node>,
+    /// When true, multicasts to partitionable groups are mirrored into
+    /// [`Network::take_cross_frames`] after their uplink completes.
+    cross_capture: bool,
+    cross_outbox: Vec<RootedFrame>,
+    /// Memoised `all_clients_group(prefix)` (compared per multicast).
+    all_clients: Ipv6Addr,
 }
 
 impl Network {
-    /// Creates an empty network with the given 48-bit prefix and RNG seed.
+    /// Creates an empty network with the given 48-bit prefix and radio
+    /// seed.
     pub fn new(prefix_48: u64, seed: u64) -> Self {
         Self::with_capacity(prefix_48, seed, 0)
     }
@@ -219,7 +274,7 @@ impl Network {
             topo: Topology::new(0),
             dodag: None,
             sched: Scheduler::with_capacity(nodes.max(64)),
-            rng: SimRng::seed(seed),
+            hop_seed: seed,
             radio: RadioModel::ieee802154(),
             stats: NetStats::default(),
             addr_index: HashMap::with_capacity(nodes),
@@ -233,7 +288,26 @@ impl Network {
             arrival: Vec::new(),
             arrival_gen: 0,
             smrf_scratch: MarkScratch::new(),
+            replicated: BTreeSet::new(),
+            cross_capture: false,
+            cross_outbox: Vec::new(),
+            all_clients: addr::all_clients_group(prefix_48),
         }
+    }
+
+    /// The deterministic radio generator for one hop: a pure function of
+    /// `(seed, tx, rx, hop start time)`, so radio outcomes are independent
+    /// of how unrelated traffic is interleaved (see the type-level
+    /// determinism notes).
+    fn hop_rng(&self, a: Node, b: Node, at: SimTime) -> SimRng {
+        // The xor of the three keyed terms is structured, so run it
+        // through the shared full-avalanche finalizer before seeding.
+        SimRng::seed(upnp_sim::splitmix64(
+            self.hop_seed
+                ^ (a as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (b as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+                ^ at.as_nanos().wrapping_mul(0xD6E8_FEB8_6659_FD93),
+        ))
     }
 
     /// The network's 48-bit prefix.
@@ -472,7 +546,7 @@ impl Network {
         let mut t = now;
         for i in 0..hops {
             // Short immutable borrows of the arena; the loop body mutates
-            // rng/stats/meters freely in between.
+            // stats/meters freely in between.
             let (a, b) = {
                 let path = self.routes.slice(h);
                 (path[i], path[i + 1])
@@ -482,9 +556,9 @@ impl Network {
             if a != from.0 as usize {
                 t += crate::calib::duration(crate::calib::FORWARD_HOP);
             }
+            let mut rng = self.hop_rng(a, b, t);
             for &frame in &frames {
-                let (hop_time, attempts, ok) =
-                    self.radio.unicast_hop(frame, quality, &mut self.rng);
+                let (hop_time, attempts, ok) = self.radio.unicast_hop(frame, quality, &mut rng);
                 t += hop_time;
                 report.frames += attempts;
                 report.airtime += hop_time;
@@ -574,10 +648,10 @@ impl Network {
                 t += crate::calib::duration(crate::calib::FORWARD_HOP);
             }
             let quality = self.topo.quality(a, b).expect("tree link");
+            let mut rng = self.hop_rng(a, b, t);
             let mut ok_all = true;
             for &frame in &frames {
-                let (hop_time, attempts, ok) =
-                    self.radio.unicast_hop(frame, quality, &mut self.rng);
+                let (hop_time, attempts, ok) = self.radio.unicast_hop(frame, quality, &mut rng);
                 t += hop_time;
                 report.frames += attempts;
                 report.airtime += hop_time;
@@ -587,15 +661,56 @@ impl Network {
                 ok_all &= ok;
             }
             if !ok_all {
-                // Uplink failure kills the whole dissemination.
+                // Uplink failure kills the whole dissemination —
+                // including the remote-shard members this slice cannot
+                // see, so mirror the failure for the coordinator.
                 self.stats.drops += receivers as u64;
                 report.lost = report.receivers;
+                if self.captures_cross_shard(dgram.dst) {
+                    self.cross_outbox.push(RootedFrame {
+                        at_root: t,
+                        dgram: dgram.coordination_clone(),
+                        lost: true,
+                    });
+                }
                 return;
             }
             self.arrival[b] = (generation, t);
         }
 
-        // Downlink: broadcast per forwarder, no retries (SMRF).
+        // The frame has reached the root. If this network is one shard of
+        // a partitioned world, the group may have members in other shards:
+        // mirror the rooted frame so the coordinator can continue the
+        // downlink there. Groups that only ever hold replicated nodes
+        // (the all-clients group, per-stream groups) are exempt — the
+        // local replicas already cover every logical member.
+        if self.captures_cross_shard(dgram.dst) {
+            if let Some(dodag) = self.dodag.as_ref() {
+                let (g, at_root) = self.arrival[dodag.root];
+                debug_assert_eq!(g, generation, "uplink always ends at the root");
+                self.cross_outbox.push(RootedFrame {
+                    at_root,
+                    dgram: dgram.coordination_clone(),
+                    lost: false,
+                });
+            }
+        }
+
+        self.run_downlink(h, generation, &frames, &dgram, Some(report));
+    }
+
+    /// Runs the downlink (root-to-members) half of an SMRF dissemination:
+    /// broadcast per forwarder, no retries, deliveries scheduled for every
+    /// member the flood reaches. `arrival` must already carry this
+    /// `generation`'s stamp for the subtree heads the plan starts from.
+    fn run_downlink(
+        &mut self,
+        h: PlanHandle,
+        generation: u64,
+        frames: &[usize],
+        dgram: &Datagram,
+        mut report: Option<&mut SendReport>,
+    ) {
         let downlink_hops = self.plans.get(h).downlink.len();
         for i in 0..downlink_hops {
             let (f, child) = self.plans.get(h).downlink[i];
@@ -605,12 +720,15 @@ impl Network {
             }
             let mut t = t_in + crate::calib::duration(crate::calib::FORWARD_HOP);
             let quality = self.topo.quality(f, child).expect("tree link");
+            let mut rng = self.hop_rng(f, child, t);
             let mut heard = true;
-            for &frame in &frames {
-                let (hop_time, ok) = self.radio.multicast_hop(frame, quality, &mut self.rng);
+            for &frame in frames {
+                let (hop_time, ok) = self.radio.multicast_hop(frame, quality, &mut rng);
                 t += hop_time;
-                report.frames += 1;
-                report.airtime += hop_time;
+                if let Some(r) = report.as_deref_mut() {
+                    r.frames += 1;
+                    r.airtime += hop_time;
+                }
                 self.stats.frames_tx += 1;
                 self.stats.bytes_tx += frame as u64;
                 self.charge_radio(NodeId(f as u32), NodeId(child as u32), frame, 1);
@@ -630,9 +748,104 @@ impl Network {
                 self.schedule(t, NodeId(m as u32), dgram.clone());
             } else {
                 self.stats.drops += 1;
-                report.lost += 1;
+                if let Some(r) = report.as_deref_mut() {
+                    r.lost += 1;
+                }
             }
         }
+    }
+
+    // ---- Shard-slice support -------------------------------------------
+    //
+    // A sharded world builds one `Network` per shard over the *same*
+    // global node-id space (so addresses and wire sizes match the
+    // sequential simulator), links only its own subtrees, and uses the
+    // three methods below to exchange the rare multicasts whose group
+    // spans shards.
+
+    /// Declares `nodes` as replicas of entities that exist in every shard
+    /// (the manager and the clients). Cross-shard multicast continuations
+    /// skip them so no logical endpoint hears a frame twice.
+    pub fn set_replicated_nodes(&mut self, nodes: impl IntoIterator<Item = NodeId>) {
+        self.replicated = nodes.into_iter().map(|n| n.0 as usize).collect();
+    }
+
+    /// Starts mirroring rooted multicast frames for the coordinator to
+    /// collect with [`Network::take_cross_frames`].
+    pub fn enable_cross_shard_capture(&mut self) {
+        self.cross_capture = true;
+    }
+
+    /// Drains the multicasts that reached this shard's root and whose
+    /// group may have members in other shards.
+    pub fn take_cross_frames(&mut self) -> Vec<RootedFrame> {
+        std::mem::take(&mut self.cross_outbox)
+    }
+
+    /// True if multicasts to `dst` must be mirrored for other shards:
+    /// capture is enabled and the group is not one whose members are
+    /// replicated into every shard (the all-clients group, per-stream
+    /// groups).
+    fn captures_cross_shard(&self, dst: Ipv6Addr) -> bool {
+        self.cross_capture && dst != self.all_clients && dst.octets()[11] != addr::STREAM_FLAG
+    }
+
+    /// This slice's deliverable members of `group`: joined nodes minus
+    /// replicated nodes and the root itself — the set a cross-shard
+    /// continuation would deliver to.
+    fn remote_members(&self, group: Ipv6Addr, root: Node) -> BTreeSet<Node> {
+        self.group_index
+            .get(&group)
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(|m| !self.replicated.contains(m) && *m != root)
+            .collect()
+    }
+
+    /// Accounts a multicast whose uplink failed in another shard: every
+    /// member this slice would have delivered to counts as a drop, just
+    /// as the sequential simulator charges the whole group on an uplink
+    /// failure.
+    pub fn drop_from_root(&mut self, dgram: &Datagram) {
+        let Some(dodag) = self.dodag.as_ref() else {
+            return;
+        };
+        let root = dodag.root;
+        self.stats.drops += self.remote_members(dgram.dst, root).len() as u64;
+    }
+
+    /// Continues a multicast dissemination that reached the DODAG root in
+    /// another shard: floods this slice's member subtrees from the root
+    /// at `at_root`, charging only the local downlink (the shared uplink
+    /// was already accounted by the originating shard). Replicated nodes
+    /// ([`Network::set_replicated_nodes`]) are excluded — the originating
+    /// shard already delivered to its local replicas.
+    pub fn multicast_from_root(&mut self, at_root: SimTime, dgram: Datagram) {
+        let Some(dodag) = self.dodag.as_ref() else {
+            return;
+        };
+        let root = dodag.root;
+        let members = self.remote_members(dgram.dst, root);
+        if members.is_empty() {
+            return;
+        }
+        let Some(plan) = smrf::plan_from_path(dodag, &[root], &members, &mut self.smrf_scratch)
+        else {
+            return;
+        };
+        let h = self.plans.intern(plan);
+
+        let total = self.datagram_wire_size(&dgram);
+        let frames = sixlowpan::fragment(total, &self.radio);
+        self.arrival_gen += 1;
+        let generation = self.arrival_gen;
+        if self.arrival.len() < self.nodes.len() {
+            self.arrival.resize(self.nodes.len(), (0, SimTime::ZERO));
+        }
+        self.arrival[root] = (generation, at_root);
+        self.run_downlink(h, generation, &frames, &dgram, None);
+        self.plans.release(h);
     }
 
     fn charge_radio(&mut self, tx: NodeId, rx: NodeId, frame: usize, attempts: u32) {

@@ -172,6 +172,132 @@ proptest! {
         net.poll(SimTime::MAX);
     }
 
+    /// Cross-shard cache coherence: a pair of shard slices over one
+    /// global node-id space — every node present in both, each slice
+    /// linking only its own members under the shared root — stays
+    /// coherent under arbitrary join/leave/reroot churn interleaved with
+    /// shard-boundary rebalancing (a node migrating between slices, both
+    /// slices rebuilt and memberships replayed into the new owner).
+    #[test]
+    fn shard_slice_caches_coherent_under_rebalancing(
+        n in 3usize..12,
+        assign_bits in any::<u16>(),
+        ops in prop::collection::vec((0u8..6, 0usize..12, 0usize..12), 1..40),
+    ) {
+        const PREFIX: u64 = 0x2001_0db8_0000;
+        let group_of = |g: usize| addr::peripheral_group(PREFIX, (g % 3) as u32);
+        // Node 0 is the replicated root; the rest belong to one of two
+        // shards. `owner[i]` is the current assignment.
+        let mut owner: Vec<usize> = (0..n)
+            .map(|i| usize::from(assign_bits & (1 << i) != 0))
+            .collect();
+        owner[0] = usize::MAX; // the root is in every slice
+        // Global membership model: (node, group) pairs.
+        let mut members: std::collections::BTreeSet<(usize, std::net::Ipv6Addr)> =
+            std::collections::BTreeSet::new();
+
+        // Builds one slice: all nodes added (so ids and addresses match
+        // the global space), links only for the slice's own members, the
+        // shared tree root, and the current memberships of its nodes.
+        let build_slice = |shard: usize,
+                           owner: &[usize],
+                           members: &std::collections::BTreeSet<(usize, std::net::Ipv6Addr)>|
+         -> Network {
+            let mut net = Network::new(PREFIX, 0x6030 + shard as u64);
+            let nodes: Vec<NodeId> = (0..n).map(|_| net.add_node()).collect();
+            for i in 1..n {
+                if owner[i] == shard {
+                    net.link(nodes[0], nodes[i], LinkQuality::PERFECT);
+                }
+            }
+            net.build_tree(nodes[0]);
+            net.set_replicated_nodes([nodes[0]]);
+            net.enable_cross_shard_capture();
+            for &(node, group) in members {
+                if owner[node] == shard {
+                    net.join_group(NodeId(node as u32), group);
+                }
+            }
+            net
+        };
+
+        let mut slices = [build_slice(0, &owner, &members), build_slice(1, &owner, &members)];
+        let mut t = SimTime::ZERO;
+        for (op, a, b) in ops {
+            let (a, b) = (1 + a % (n - 1), b % 12); // a: never the root
+            match op {
+                0 => {
+                    members.insert((a, group_of(b)));
+                    slices[owner[a]].join_group(NodeId(a as u32), group_of(b));
+                }
+                1 => {
+                    members.remove(&(a, group_of(b)));
+                    slices[owner[a]].leave_group(NodeId(a as u32), group_of(b));
+                }
+                2 => {
+                    // Rebalance: move `a` across the shard boundary and
+                    // rebuild both slices, replaying memberships.
+                    owner[a] = 1 - owner[a];
+                    slices = [build_slice(0, &owner, &members), build_slice(1, &owner, &members)];
+                }
+                3 => {
+                    // Reroot both slices (topology churn).
+                    for s in &mut slices {
+                        s.build_tree(NodeId(0));
+                    }
+                }
+                4 => {
+                    t += SimDuration::from_millis(50);
+                    let d = Datagram {
+                        src: slices[owner[a]].addr_of(NodeId(a as u32)),
+                        dst: group_of(b),
+                        src_port: addr::MCAST_PORT,
+                        dst_port: addr::MCAST_PORT,
+                        payload: vec![0xcd; 16].into(),
+                    };
+                    slices[owner[a]].send(t, NodeId(a as u32), d);
+                    // Continue the dissemination in the sibling slice, as
+                    // the shard coordinator would.
+                    for f in slices[owner[a]].take_cross_frames() {
+                        slices[1 - owner[a]].multicast_from_root(f.at_root, f.dgram);
+                    }
+                }
+                _ => {
+                    t += SimDuration::from_millis(50);
+                    let shard = owner[a];
+                    let dst = slices[shard].addr_of(NodeId(((a + 1) % n) as u32));
+                    let d = Datagram {
+                        src: slices[shard].addr_of(NodeId(a as u32)),
+                        dst,
+                        src_port: addr::MCAST_PORT,
+                        dst_port: addr::MCAST_PORT,
+                        payload: vec![0xef; 16].into(),
+                    };
+                    slices[shard].send(t, NodeId(a as u32), d);
+                }
+            }
+            for (s, slice) in slices.iter().enumerate() {
+                prop_assert!(
+                    slice.caches_coherent(),
+                    "slice {s} caches diverged from fresh computation"
+                );
+            }
+            // The slices together must carry exactly the global
+            // membership, each node's membership in its owning slice.
+            for &(node, group) in &members {
+                prop_assert!(
+                    slices[owner[node]]
+                        .group_members(group)
+                        .any(|m| m == NodeId(node as u32)),
+                    "membership lost after rebalancing"
+                );
+            }
+        }
+        for s in &mut slices {
+            s.poll(SimTime::MAX);
+        }
+    }
+
     /// SMRF plans cover exactly the reachable members.
     #[test]
     fn smrf_covers_members(

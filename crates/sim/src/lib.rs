@@ -30,7 +30,7 @@ pub mod trace;
 
 pub use cpu::{AvrCostModel, CpuCost};
 pub use energy::{EnergyMeter, PowerState, PowerTracker};
-pub use rng::SimRng;
+pub use rng::{splitmix64, SimRng};
 pub use sched::{EventEntry, Scheduler};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent};

@@ -7,6 +7,23 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// SplitMix64 finalizer: a full-avalanche mix of a 64-bit key.
+///
+/// The decomposed-randomness scheme keys independent generators by
+/// structured values (node ids, link endpoints, virtual timestamps);
+/// this finalizer scrambles those structured keys before they seed a
+/// [`SimRng`]. It lives here so every keyed stream in the workspace
+/// uses the *same* avalanche — the constants are load-bearing for the
+/// sharded/sequential bit-identity guarantee.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
 /// A deterministic random source for simulations.
 ///
 /// Wraps a seeded [`StdRng`] and adds the sampling helpers the µPnP models
