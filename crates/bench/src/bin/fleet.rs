@@ -1,6 +1,7 @@
-//! Fleet-scale benchmark: discovery waves, churn storms and steady-state
-//! workloads at 100/1k/5k/25k/100k nodes, with machine-readable output
-//! and a CI regression gate.
+//! Fleet-scale benchmark: discovery waves, churn storms, steady-state
+//! workloads and flash crowds (through the edge-cache tier) at
+//! 100/1k/5k/25k/100k nodes, with machine-readable output and a CI
+//! regression gate.
 //!
 //! ```text
 //! fleet                                  # all scenarios, full size sweep
@@ -15,8 +16,12 @@
 //! When the sweep covers both a sequential (`shards = 1`) and a sharded
 //! row of the same size, the run *hard-fails* unless every deterministic
 //! metric — frames, virtual time, latency distribution, joules, payload
-//! counters — and the world fingerprint are bit-identical between them:
-//! the sharded simulator is only allowed to be faster, never different.
+//! and cache/origin counters — and the world fingerprint are
+//! bit-identical between them: the sharded simulator is only allowed to
+//! be faster, never different. Flash-crowd rows (which run through the
+//! edge-cache tier) additionally face absolute floors: the caches must
+//! serve ≥ 90 % of driver uploads (at ≥ 1000 Things), and coalescing
+//! must hold the origin to at most caches × device-types fetch sessions.
 //!
 //! The gate checks the 1k- and 5k-node discovery wall-clocks against the
 //! checked-in baseline (>25 % is a failure), and the zero-copy payload
@@ -25,7 +30,8 @@
 //! shows up here long before it shows up in wall-clock noise).
 //! Virtual-time and traffic drift on any row is reported as a warning,
 //! since those are deterministic and only move when behaviour genuinely
-//! changes.
+//! changes. Every row records the process peak RSS and the host's CPU
+//! count so memory and parallelism are readable from the artifact.
 
 use std::process::ExitCode;
 
@@ -46,9 +52,22 @@ const GATE_FACTOR: f64 = 1.25;
 /// Sharded wall-clock gate rows `(things, shards)` — checked when both
 /// the current run and the baseline carry them.
 const GATE_WALL_SHARDED: &[(usize, usize)] = &[(1000, 4)];
+/// Edge caches fronting the origin in the flash-crowd scenario rows.
+const FLASH_CACHES: usize = 8;
+/// Floor on the fraction of flash-crowd driver uploads that must be
+/// served by the cache tier rather than the origin (absolute gate, no
+/// baseline needed — the counters are deterministic).
+const FLASH_CACHE_SERVED_FLOOR: f64 = 0.90;
+/// Smallest fleet the served-ratio floor applies to: below this the
+/// fixed coalescing cost (caches × device types fetch sessions) is a
+/// large fraction of a tiny crowd and the ratio is meaningless — the
+/// absolute coalescing bound still applies at every size.
+const FLASH_FLOOR_MIN_THINGS: usize = 1000;
 /// Report schema version: bumped to 2 when rows gained `shards` and
-/// `fingerprint` (PR 4); older baselines must be regenerated.
-const SCHEMA: u32 = 2;
+/// `fingerprint` (PR 4), to 3 when they gained `peak_rss_bytes`/`cpus`
+/// and the metrics gained the distribution-tier counters (PR 5); older
+/// baselines must be regenerated.
+const SCHEMA: u32 = 3;
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchReport {
@@ -62,14 +81,44 @@ struct BenchReport {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct ScenarioRow {
     /// Things in the fleet (the `nodes` field inside `metrics` also
-    /// counts the manager and clients).
+    /// counts the manager, clients and edge caches).
     things: usize,
     /// Shard (worker thread) count: 1 is the sequential simulator.
     shards: usize,
+    /// Edge caches fronting the origin (0 for the paper's single-origin
+    /// deployment).
+    caches: usize,
     /// Cumulative world fingerprint after this scenario — must be
     /// identical across shard counts.
     fingerprint: u64,
+    /// Process peak RSS (VmHWM) after the scenario, bytes. Monotone
+    /// across rows (a high-water mark) and host-dependent — recorded so
+    /// the per-shard-memory bottleneck is observable from CI artifacts,
+    /// never gated or compared for identity.
+    peak_rss_bytes: u64,
+    /// CPUs the host exposed to this run (`available_parallelism`) —
+    /// lets a reader tell real multi-core sharding numbers from
+    /// single-core cache-locality numbers.
+    cpus: usize,
     metrics: ScenarioMetrics,
+}
+
+/// Process peak resident set (VmHWM) in bytes; 0 where /proc is absent.
+fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<u64>().ok())
+        })
+        .map_or(0, |kb| kb * 1024)
+}
+
+/// CPUs available to this process (1 when undetectable).
+fn detected_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 struct Options {
@@ -121,7 +170,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--scenario" => {
                 let s = value("--scenario")?;
-                if !["discovery", "churn", "steady", "all"].contains(&s.as_str()) {
+                if !["discovery", "churn", "steady", "flash", "all"].contains(&s.as_str()) {
                     return Err(format!("unknown scenario `{s}`"));
                 }
                 opts.scenario = (s != "all").then_some(s);
@@ -138,6 +187,25 @@ fn wants(opts: &Options, scenario: &str) -> bool {
     opts.scenario.as_deref().is_none_or(|s| s == scenario)
 }
 
+fn row(
+    things: usize,
+    shards: usize,
+    caches: usize,
+    fingerprint: u64,
+    metrics: ScenarioMetrics,
+) -> ScenarioRow {
+    print_row(things, shards, &metrics);
+    ScenarioRow {
+        things,
+        shards,
+        caches,
+        fingerprint,
+        peak_rss_bytes: peak_rss_bytes(),
+        cpus: detected_cpus(),
+        metrics,
+    }
+}
+
 /// Runs the selected scenarios against one fleet (sequential or sharded)
 /// and appends the rows.
 fn run_fleet<W: SimWorld>(
@@ -151,34 +219,34 @@ fn run_fleet<W: SimWorld>(
     // discovery wave always runs; it is only *reported* if selected.
     let discovery = fleet.discovery_wave();
     if wants(opts, "discovery") {
-        print_row(things, shards, &discovery);
-        scenarios.push(ScenarioRow {
-            things,
-            shards,
-            fingerprint: fleet.fingerprint(),
-            metrics: discovery,
-        });
+        scenarios.push(row(things, shards, 0, fleet.fingerprint(), discovery));
     }
     if wants(opts, "churn") {
         let churn = fleet.churn_storm(things / 2);
-        print_row(things, shards, &churn);
-        scenarios.push(ScenarioRow {
-            things,
-            shards,
-            fingerprint: fleet.fingerprint(),
-            metrics: churn,
-        });
+        scenarios.push(row(things, shards, 0, fleet.fingerprint(), churn));
     }
     if wants(opts, "steady") {
         let steady = fleet.steady_state(things);
-        print_row(things, shards, &steady);
-        scenarios.push(ScenarioRow {
-            things,
-            shards,
-            fingerprint: fleet.fingerprint(),
-            metrics: steady,
-        });
+        scenarios.push(row(things, shards, 0, fleet.fingerprint(), steady));
     }
+}
+
+/// Runs the flash-crowd scenario on its own fleet fronted by
+/// [`FLASH_CACHES`] edge caches.
+fn run_flash<W: SimWorld>(
+    fleet: &mut Fleet<W>,
+    things: usize,
+    shards: usize,
+    scenarios: &mut Vec<ScenarioRow>,
+) {
+    let flash = fleet.flash_crowd();
+    scenarios.push(row(
+        things,
+        shards,
+        FLASH_CACHES,
+        fleet.fingerprint(),
+        flash,
+    ));
 }
 
 fn run(opts: &Options) -> BenchReport {
@@ -195,6 +263,20 @@ fn run(opts: &Options) -> BenchReport {
             } else {
                 let mut fleet = ShardedFleet::build_sharded(config, shards);
                 run_fleet(&mut fleet, opts, things, shards, &mut scenarios);
+            }
+            // Flash crowd runs through the edge-cache tier on a fresh
+            // fleet of its own (cold caches, simultaneous cold plugs).
+            if wants(opts, "flash") {
+                let config = FleetConfig::new(things)
+                    .with_seed(opts.seed)
+                    .with_caches(FLASH_CACHES);
+                if shards == 1 {
+                    let mut fleet = Fleet::build(config);
+                    run_flash(&mut fleet, things, shards, &mut scenarios);
+                } else {
+                    let mut fleet = ShardedFleet::build_sharded(config, shards);
+                    run_flash(&mut fleet, things, shards, &mut scenarios);
+                }
             }
         }
     }
@@ -226,38 +308,32 @@ fn check_shard_identity(report: &BenchReport) -> Result<(), String> {
         };
         let m = &row.metrics;
         let b = &base.metrics;
+        // One deterministic-field list lives in ScenarioMetrics::
+        // deterministic_summary (shared with the differential and
+        // determinism test suites, so a new metric column is covered
+        // everywhere at once); the payload counters are the only
+        // deterministic fields outside it (they are process-global in
+        // multi-test binaries, but exact in this single-process run).
         let identical = row.fingerprint == base.fingerprint
-            && m.events == b.events
-            && m.completed == b.completed
-            && m.virtual_ms == b.virtual_ms
-            && m.frames_tx == b.frames_tx
-            && m.bytes_tx == b.bytes_tx
-            && m.drops == b.drops
-            && m.joules_per_thing == b.joules_per_thing
+            && m.deterministic_summary() == b.deterministic_summary()
             && m.payload_allocs == b.payload_allocs
-            && m.payload_clones == b.payload_clones
-            && m.latency.samples == b.latency.samples
-            && m.latency.mean_ms == b.latency.mean_ms
-            && m.latency.p50_ms == b.latency.p50_ms
-            && m.latency.p90_ms == b.latency.p90_ms
-            && m.latency.p99_ms == b.latency.p99_ms
-            && m.latency.max_ms == b.latency.max_ms;
+            && m.payload_clones == b.payload_clones;
         if !identical {
             return Err(format!(
                 "{}@{} diverges between shards=1 and shards={}: \
-                 fingerprint {:#018x} vs {:#018x}, frames {} vs {}, \
-                 virtual {} vs {} ms, payload allocs {} vs {}",
+                 fingerprint {:#018x} vs {:#018x}, \
+                 payload allocs {} vs {}, clones {} vs {},\n  seq: {}\n  shd: {}",
                 m.scenario,
                 row.things,
                 row.shards,
                 base.fingerprint,
                 row.fingerprint,
-                b.frames_tx,
-                m.frames_tx,
-                b.virtual_ms,
-                m.virtual_ms,
                 b.payload_allocs,
                 m.payload_allocs,
+                b.payload_clones,
+                m.payload_clones,
+                b.deterministic_summary(),
+                m.deterministic_summary(),
             ));
         }
         println!(
@@ -269,10 +345,18 @@ fn check_shard_identity(report: &BenchReport) -> Result<(), String> {
 }
 
 fn print_row(things: usize, shards: usize, m: &ScenarioMetrics) {
+    let cache = if m.cache_uploads + m.origin_uploads > 0 {
+        format!(
+            " | cache {} (h{} m{} c{}) origin {}",
+            m.cache_uploads, m.cache_hits, m.cache_misses, m.cache_coalesced, m.origin_uploads,
+        )
+    } else {
+        String::new()
+    };
     println!(
         "{:>9} | {:>6} things x{:<2} | {:>6} events ({:>6} ok) | wall {:>9.1} ms | virtual {:>10.1} ms | \
          p50 {:>8.2} ms  p99 {:>8.2} ms | {:>8} frames | {:>7.4} J/thing | \
-         {:>8} allocs {:>8} shares",
+         {:>8} allocs {:>8} shares{cache}",
         m.scenario,
         things,
         shards,
@@ -299,6 +383,65 @@ fn find<'a>(
         .scenarios
         .iter()
         .find(|r| r.metrics.scenario == scenario && r.things == things && r.shards == shards)
+}
+
+/// Absolute gates on the flash-crowd rows of the *current* report: the
+/// cache tier must serve at least [`FLASH_CACHE_SERVED_FLOOR`] of all
+/// driver uploads, and coalescing must hold the origin to at most one
+/// fetch session per (cache, distinct device type) pair. Deterministic
+/// counters, so no baseline or tolerance is involved.
+fn gate_cache_tier(current: &BenchReport) -> Result<(), String> {
+    let device_pool = FleetConfig::new(1).device_pool.len() as u64;
+    for row in &current.scenarios {
+        if row.metrics.scenario != "flash" || row.caches == 0 {
+            continue;
+        }
+        let m = &row.metrics;
+        let total = m.cache_uploads + m.origin_uploads;
+        let served = if total == 0 {
+            0.0
+        } else {
+            m.cache_uploads as f64 / total as f64
+        };
+        if row.things >= FLASH_FLOOR_MIN_THINGS && served < FLASH_CACHE_SERVED_FLOOR {
+            return Err(format!(
+                "flash@{} shards={}: caches served {:.1}% of driver uploads \
+                 ({} of {}), below the {:.0}% floor",
+                row.things,
+                row.shards,
+                served * 100.0,
+                m.cache_uploads,
+                total,
+                FLASH_CACHE_SERVED_FLOOR * 100.0,
+            ));
+        }
+        let coalesce_bound = row.caches as u64 * device_pool;
+        if m.origin_uploads > coalesce_bound {
+            return Err(format!(
+                "flash@{} shards={}: origin served {} fetch sessions, \
+                 above the coalescing bound of {} (caches × device types) — \
+                 singleflight is broken",
+                row.things, row.shards, m.origin_uploads, coalesce_bound,
+            ));
+        }
+        let floor = if row.things >= FLASH_FLOOR_MIN_THINGS {
+            format!(
+                "cache-served {:.2}% >= {:.0}%",
+                served * 100.0,
+                FLASH_CACHE_SERVED_FLOOR * 100.0
+            )
+        } else {
+            format!(
+                "cache-served {:.2}% (floor waived below {FLASH_FLOOR_MIN_THINGS} things)",
+                served * 100.0
+            )
+        };
+        println!(
+            "gate ok: flash@{} shards={} {floor}, origin fetches {} <= {}",
+            row.things, row.shards, m.origin_uploads, coalesce_bound,
+        );
+    }
+    Ok(())
 }
 
 /// Applies the regression gates; returns an error message on failure.
@@ -426,6 +569,13 @@ fn main() -> ExitCode {
     }
 
     if let Err(e) = check_shard_identity(&report) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    // The cache-tier floors are absolute (deterministic counters), so
+    // they apply whenever flash rows were produced — no baseline needed.
+    if let Err(e) = gate_cache_tier(&report) {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }

@@ -16,11 +16,12 @@ use serde::{Deserialize, Serialize};
 use upnp_hw::id::DeviceTypeId;
 use upnp_hw::peripheral::Interconnect;
 use upnp_net::link::LinkQuality;
+use upnp_net::NodeId;
 use upnp_sim::{SimDuration, SimRng, SimTime};
 
 use crate::catalog::Catalog;
 use crate::shard::ShardedWorld;
-use crate::world::{ClientId, SimWorld, ThingId, World, WorldConfig};
+use crate::world::{CacheId, ClientId, DistroStats, SimWorld, ThingId, World, WorldConfig};
 
 /// How the fleet's nodes are wired together.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +47,13 @@ pub struct FleetConfig {
     pub device_pool: Vec<DeviceTypeId>,
     /// Physical topology.
     pub topology: FleetTopology,
+    /// Edge caches of the driver-distribution tier. Zero (the default)
+    /// reproduces the paper's single-origin deployment. With `k > 0`
+    /// the caches become the DODAG-interior routers below the manager:
+    /// Things are spread round-robin across them (each cache heads a
+    /// subtree shaped by `topology`), and their driver requests
+    /// anycast-resolve to the cache above them instead of the origin.
+    pub caches: usize,
     /// Quality of every link.
     pub link_prr: f64,
     /// Master seed; every stochastic choice in the fleet derives from it.
@@ -68,6 +76,7 @@ impl FleetConfig {
                 .map(|e| e.device_id)
                 .collect(),
             topology: FleetTopology::Star,
+            caches: 0,
             link_prr: 1.0,
             seed: 0x6030,
             stagger: SimDuration::from_millis(20),
@@ -83,6 +92,13 @@ impl FleetConfig {
     /// Replaces the topology (builder style).
     pub fn with_topology(mut self, topology: FleetTopology) -> Self {
         self.topology = topology;
+        self
+    }
+
+    /// Places `caches` edge caches between manager and Things (builder
+    /// style).
+    pub fn with_caches(mut self, caches: usize) -> Self {
+        self.caches = caches;
         self
     }
 }
@@ -158,6 +174,23 @@ pub struct ScenarioMetrics {
     /// Cheap refcounted payload shares (multicast fan-out, no bytes
     /// copied).
     pub payload_clones: u64,
+    /// Edge-cache LRU hits during the scenario.
+    pub cache_hits: u64,
+    /// Edge-cache misses (upstream fetches started).
+    pub cache_misses: u64,
+    /// Requests coalesced onto in-flight fetches (singleflight).
+    pub cache_coalesced: u64,
+    /// (5) driver uploads served by edge caches.
+    pub cache_uploads: u64,
+    /// Driver uploads served by the origin Manager (direct (5) uploads
+    /// plus chunked fetch sessions).
+    pub origin_uploads: u64,
+    /// Things tracked in the Manager's bounded inventory at scenario end
+    /// (a level, not a delta — the satellite observability for the
+    /// retention caps).
+    pub mgr_inventory: u64,
+    /// (9) removal acks received during the scenario.
+    pub mgr_removal_acks: u64,
 }
 
 impl ScenarioMetrics {
@@ -165,10 +198,19 @@ impl ScenarioMetrics {
     /// string — wall-clock and throughput fields deliberately excluded.
     /// The differential and determinism test suites compare these, so a
     /// new deterministic column belongs here to be covered by both.
+    ///
+    /// `mgr_inventory` is also excluded: it is a *level* of the
+    /// replicated Manager, and the per-replica [`MAX_INVENTORY`]
+    /// (crate::manager::MAX_INVENTORY) cap means the summed level only
+    /// decomposes across shards while every replica is under its cap —
+    /// beyond that, sequential and sharded runs legitimately retain
+    /// different sets. Counters (acks, uploads) are additive deltas and
+    /// decompose exactly, so they stay in.
     pub fn deterministic_summary(&self) -> String {
         format!(
             "{} nodes={} events={} completed={} virtual={} frames={} bytes={} drops={} \
-             lat=({},{},{},{},{},{}) joules={}",
+             lat=({},{},{},{},{},{}) joules={} \
+             cache=({},{},{},{}) origin={} racks={}",
             self.scenario,
             self.nodes,
             self.events,
@@ -184,6 +226,12 @@ impl ScenarioMetrics {
             self.latency.p99_ms,
             self.latency.max_ms,
             self.joules_per_thing,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_coalesced,
+            self.cache_uploads,
+            self.origin_uploads,
+            self.mgr_removal_acks,
         )
     }
 }
@@ -203,6 +251,8 @@ pub struct Fleet<W: SimWorld = World> {
     pub things: Vec<ThingId>,
     /// All client handles.
     pub clients: Vec<ClientId>,
+    /// All edge-cache handles (empty unless [`FleetConfig::caches`] > 0).
+    pub caches: Vec<CacheId>,
     config: FleetConfig,
     /// Scenario-level randomness, forked off the world seed.
     rng: SimRng,
@@ -237,7 +287,7 @@ impl<W: SimWorld> Fleet<W> {
     fn world_config(config: &FleetConfig) -> WorldConfig {
         WorldConfig {
             seed: config.seed,
-            expected_nodes: 1 + config.things + config.clients,
+            expected_nodes: 1 + config.caches + config.things + config.clients,
             ..WorldConfig::default()
         }
     }
@@ -251,30 +301,51 @@ impl<W: SimWorld> Fleet<W> {
             "a fleet needs at least one peripheral type"
         );
         let manager = world.add_manager();
+        let caches: Vec<CacheId> = (0..config.caches).map(|_| world.add_cache()).collect();
         let things: Vec<ThingId> = (0..config.things).map(|_| world.add_thing()).collect();
         let clients: Vec<ClientId> = (0..config.clients).map(|_| world.add_client()).collect();
 
         let quality = LinkQuality::new(config.link_prr);
-        match config.topology {
-            FleetTopology::Star => {
-                for &t in &things {
-                    let node = world.thing_node(t);
-                    world.link(manager, node, quality);
-                }
+        // Subtree heads below the border router: the edge caches when
+        // the distribution tier is present (each one a DODAG-interior
+        // router heading every k-th Thing — a natural shard boundary, so
+        // the sharded simulator keeps every cache with its requesters),
+        // or the manager itself in the paper's cacheless shape. Things
+        // are spread round-robin across the heads, and each head's
+        // subtree takes the requested shape: a star under the head, or a
+        // fanout-ary heap rooted at it.
+        let heads: Vec<NodeId> = if caches.is_empty() {
+            vec![manager]
+        } else {
+            caches.iter().map(|&c| world.cache_node(c)).collect()
+        };
+        for &h in &heads {
+            if h != manager {
+                world.link(manager, h, quality);
             }
-            FleetTopology::Tree { fanout } => {
-                assert!(fanout >= 1, "tree fanout must be at least 1");
-                // Heap layout over [manager, thing 0, thing 1, …]: the
-                // parent of overall position p is (p - 1) / fanout.
-                for (i, &t) in things.iter().enumerate() {
-                    let pos = i + 1;
-                    let parent_pos = (pos - 1) / fanout;
-                    let parent = if parent_pos == 0 {
-                        manager
-                    } else {
-                        world.thing_node(things[parent_pos - 1])
-                    };
-                    world.link(parent, world.thing_node(t), quality);
+        }
+        let k = heads.len();
+        for (c, &head) in heads.iter().enumerate() {
+            let group: Vec<usize> = (c..things.len()).step_by(k).collect();
+            match config.topology {
+                FleetTopology::Star => {
+                    for &i in &group {
+                        world.link(head, world.thing_node(things[i]), quality);
+                    }
+                }
+                FleetTopology::Tree { fanout } => {
+                    assert!(fanout >= 1, "tree fanout must be at least 1");
+                    // Heap layout over [head, member 0, member 1, …]: the
+                    // parent of overall position p is (p - 1) / fanout.
+                    for (j, &i) in group.iter().enumerate() {
+                        let parent_pos = j / fanout;
+                        let parent = if parent_pos == 0 {
+                            head
+                        } else {
+                            world.thing_node(things[group[parent_pos - 1]])
+                        };
+                        world.link(parent, world.thing_node(things[i]), quality);
+                    }
                 }
             }
         }
@@ -291,6 +362,7 @@ impl<W: SimWorld> Fleet<W> {
             world,
             things,
             clients,
+            caches,
             occupancy: vec![None; config.things],
             config,
             rng,
@@ -319,6 +391,40 @@ impl<W: SimWorld> Fleet<W> {
         }
         self.world.run_until_idle();
 
+        let (completed, latencies) = self.wave_outcomes();
+        self.finish_scenario(
+            &mut probe,
+            "discovery",
+            self.things.len(),
+            completed,
+            latencies,
+        )
+    }
+
+    /// Flash crowd: every Thing cold-plugs its pool peripheral at the
+    /// *same* virtual instant — the worst case for driver distribution,
+    /// and the scenario the edge-cache tier exists for. With `k` caches
+    /// the tier absorbs the wave: each cache fetches one image per
+    /// distinct device type behind it (singleflight) and serves everyone
+    /// else from the in-flight entry or the LRU, so the origin sees at
+    /// most `k × |device pool|` fetch sessions instead of N uploads.
+    pub fn flash_crowd(&mut self) -> ScenarioMetrics {
+        let mut probe = self.start_scenario();
+        let base = self.world.now();
+        for i in 0..self.things.len() {
+            let device = self.assigned_device(i);
+            self.world.plug_at(base, self.things[i], 0, device);
+            self.occupancy[i] = Some(device);
+        }
+        self.world.run_until_idle();
+
+        let (completed, latencies) = self.wave_outcomes();
+        self.finish_scenario(&mut probe, "flash", self.things.len(), completed, latencies)
+    }
+
+    /// Per-Thing outcome of a plug wave: how many Things ended up served
+    /// by their pool driver, and the plug-to-advertised latency samples.
+    fn wave_outcomes(&self) -> (usize, Vec<SimDuration>) {
         let mut latencies = Vec::with_capacity(self.things.len());
         let mut completed = 0;
         for (i, &t) in self.things.iter().enumerate() {
@@ -331,13 +437,7 @@ impl<W: SimWorld> Fleet<W> {
                 latencies.push(total);
             }
         }
-        self.finish_scenario(
-            &mut probe,
-            "discovery",
-            self.things.len(),
-            completed,
-            latencies,
-        )
+        (completed, latencies)
     }
 
     /// Churn storm: `events` staggered plug/unplug operations against
@@ -543,6 +643,7 @@ impl<W: SimWorld> Fleet<W> {
             stats: self.world.net_stats(),
             payload: upnp_net::msg::payload_stats_process(),
             joules: self.total_thing_joules(),
+            distro: self.world.distro_stats(),
         }
     }
 
@@ -558,6 +659,7 @@ impl<W: SimWorld> Fleet<W> {
         let stats = self.world.net_stats();
         let payload = upnp_net::msg::payload_stats_process();
         let joules = self.total_thing_joules() - probe.joules;
+        let distro = self.world.distro_stats();
         ScenarioMetrics {
             scenario: scenario.to_string(),
             nodes: self.world.node_count(),
@@ -581,6 +683,13 @@ impl<W: SimWorld> Fleet<W> {
             joules_per_thing: joules / self.things.len() as f64,
             payload_allocs: payload.allocs - probe.payload.allocs,
             payload_clones: payload.clones - probe.payload.clones,
+            cache_hits: distro.cache_hits - probe.distro.cache_hits,
+            cache_misses: distro.cache_misses - probe.distro.cache_misses,
+            cache_coalesced: distro.cache_coalesced - probe.distro.cache_coalesced,
+            cache_uploads: distro.cache_uploads - probe.distro.cache_uploads,
+            origin_uploads: distro.origin_uploads - probe.distro.origin_uploads,
+            mgr_inventory: distro.mgr_inventory,
+            mgr_removal_acks: distro.mgr_removal_acks - probe.distro.mgr_removal_acks,
         }
     }
 
@@ -598,6 +707,7 @@ struct ScenarioProbe {
     stats: upnp_net::network::NetStats,
     payload: upnp_net::msg::PayloadStats,
     joules: f64,
+    distro: DistroStats,
 }
 
 /// FNV-1a, 64-bit — a dependency-free stable hash for fingerprints
@@ -666,6 +776,92 @@ mod tests {
         let m = fleet.churn_storm(30);
         assert_eq!(m.events, 30);
         assert!(m.frames_tx > 0);
+    }
+
+    #[test]
+    fn flash_crowd_through_caches_coalesces_origin_fetches() {
+        let things = 64;
+        let caches = 4;
+        let mut fleet = Fleet::build(FleetConfig::new(things).with_caches(caches));
+        let m = fleet.flash_crowd();
+        assert_eq!(m.completed, things, "every Thing must end up served");
+        // Every upload came from a cache — the anycast always resolves to
+        // the interior router above the Thing, never the origin.
+        assert_eq!(m.cache_uploads, things as u64);
+        assert_eq!(
+            m.cache_hits + m.cache_misses + m.cache_coalesced,
+            things as u64,
+            "every request classified exactly once"
+        );
+        // Coalescing: the origin serves at most one fetch session per
+        // (cache, distinct device type) pair.
+        let mut types: Vec<u32> = (0..things)
+            .map(|i| fleet.assigned_device(i).raw())
+            .collect();
+        types.sort_unstable();
+        types.dedup();
+        let bound = (caches * types.len()) as u64;
+        assert!(
+            m.origin_uploads <= bound,
+            "origin saw {} fetch sessions, coalescing bound is {bound}",
+            m.origin_uploads
+        );
+        assert_eq!(
+            m.cache_misses, m.origin_uploads,
+            "one origin fetch session per cold miss"
+        );
+    }
+
+    #[test]
+    fn cache_tier_cuts_origin_load_ten_fold() {
+        // The ISSUE 5 acceptance shape at test scale: ≥ 90 % of uploads
+        // served by caches, origin load down ≥ 10× versus cacheless.
+        let things = 500;
+        let mut cached = Fleet::build(FleetConfig::new(things).with_caches(8));
+        let with = cached.flash_crowd();
+        let mut single_origin = Fleet::build(FleetConfig::new(things));
+        let without = single_origin.flash_crowd();
+        assert_eq!(with.completed, things);
+        assert_eq!(without.completed, things);
+        assert_eq!(without.origin_uploads, things as u64);
+        assert!(
+            with.origin_uploads * 10 <= without.origin_uploads,
+            "origin load must drop >= 10x: {} vs {}",
+            with.origin_uploads,
+            without.origin_uploads
+        );
+        let served = with.cache_uploads as f64 / (with.cache_uploads + with.origin_uploads) as f64;
+        assert!(served >= 0.9, "cache-served ratio {served:.3} < 0.9");
+    }
+
+    #[test]
+    fn flash_crowd_leaves_caches_warm() {
+        let mut fleet = Fleet::build(FleetConfig::new(24).with_caches(2));
+        let first = fleet.flash_crowd();
+        assert!(first.cache_misses > 0);
+        // Every cold miss left an image behind in some cache's LRU, ready
+        // to serve the next wave as pure hits.
+        let cached: usize = fleet
+            .caches
+            .iter()
+            .map(|&c| fleet.world.cache(c).len())
+            .sum();
+        assert_eq!(cached as u64, first.cache_misses);
+        assert!(fleet
+            .caches
+            .iter()
+            .all(|&c| !fleet.world.cache(c).is_empty()));
+    }
+
+    #[test]
+    fn flash_crowd_on_tree_under_caches_completes() {
+        let config = FleetConfig::new(60)
+            .with_caches(3)
+            .with_topology(FleetTopology::Tree { fanout: 4 });
+        let mut fleet = Fleet::build(config);
+        let m = fleet.flash_crowd();
+        assert_eq!(m.completed, 60);
+        assert_eq!(m.cache_uploads, 60);
     }
 
     #[test]

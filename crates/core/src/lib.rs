@@ -16,6 +16,13 @@
 //! integration tests and benchmarks use. [`catalog`] maps device-type
 //! identifiers to peripheral models and shipped drivers; [`registry`]
 //! implements the global address space of §3.3.
+//!
+//! Beyond the paper, the world can also host the driver-distribution
+//! tier of `upnp-distro`: [`world::World::add_cache`] places edge caches
+//! as additional instances of the manager's anycast address, so driver
+//! requests are served in-network instead of by the single origin.
+
+pub use upnp_distro as distro;
 
 pub mod catalog;
 pub mod client;
@@ -33,4 +40,4 @@ pub use manager::Manager;
 pub use registry::{AddressSpace, AllocationError, RegistryEntry};
 pub use shard::ShardedWorld;
 pub use thing::{PlugTimeline, Thing};
-pub use world::{SimWorld, World, WorldConfig};
+pub use world::{CacheId, DistroStats, SimWorld, World, WorldConfig};

@@ -4,20 +4,40 @@
 //! deployment and remote configuration of device drivers on µPnP Things."
 //! It answers (4) driver requests with (5) uploads, explores Things with
 //! (6) driver discovery and prunes them with (8) removals.
+//!
+//! Since the distribution tier landed, the Manager is also the **origin**
+//! behind the [`upnp_distro::EdgeCache`] nodes: it serves their (18)
+//! chunk requests from a lazily encoded copy of each image and stamps
+//! every chunk with the repository version. [`Manager::push_update`]
+//! includes (20) invalidations for the registered caches in its returned
+//! datagrams, and removal flows build them explicitly with
+//! [`Manager::invalidate_caches`], so origin updates propagate to the
+//! tier coherently.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::net::Ipv6Addr;
 
 use upnp_dsl::image::DriverImage;
 use upnp_hw::id::DeviceTypeId;
 use upnp_net::addr::MCAST_PORT;
 use upnp_net::calib;
-use upnp_net::msg::{Message, MessageBody, SeqNo};
+use upnp_net::msg::{Message, MessageBody, SeqNo, DRIVER_CHUNK_PAYLOAD};
 use upnp_net::{Datagram, NodeId};
 use upnp_sim::{CpuCost, SimDuration};
 
 use crate::catalog::Catalog;
 use crate::registry::AddressSpace;
+
+/// Bound on the (7)-advertisement inventory: beyond this many Things the
+/// oldest record is dropped (FIFO). A churn storm therefore costs the
+/// manager bounded memory; the live count is surfaced through
+/// [`crate::fleet::ScenarioMetrics`] instead of being allowed to grow
+/// silently.
+pub const MAX_INVENTORY: usize = 4096;
+
+/// Bound on retained (9) removal acknowledgements: a ring of the most
+/// recent acks plus a total counter, instead of an ever-growing log.
+pub const MAX_REMOVAL_ACKS: usize = 1024;
 
 /// The µPnP Manager.
 pub struct Manager {
@@ -30,12 +50,33 @@ pub struct Manager {
     /// The global address space registry this manager fronts.
     pub registry: AddressSpace,
     repository: HashMap<u32, DriverImage>,
+    /// Lazily encoded wire images for chunk serving, keyed by device id
+    /// (dropped on republish so chunks always reflect the live version).
+    encoded: HashMap<u32, Vec<u8>>,
     seq: SeqNo,
-    /// Thing address → advertised driver inventory (from (7) messages).
-    pub inventory: HashMap<Ipv6Addr, Vec<(u32, u16)>>,
-    /// Collected (9) removal acknowledgements.
-    pub removal_acks: Vec<(Ipv6Addr, u32, bool)>,
-    /// Driver uploads served (diagnostic).
+    /// Thing address → advertised driver inventory (from (7) messages),
+    /// bounded by [`MAX_INVENTORY`] with FIFO eviction. Mutate only
+    /// through the message path so the eviction order stays consistent.
+    inventory: HashMap<Ipv6Addr, Vec<(u32, u16)>>,
+    /// Insertion order of `inventory` keys (the FIFO eviction queue).
+    inventory_order: VecDeque<Ipv6Addr>,
+    /// The most recent (9) removal acknowledgements, bounded by
+    /// [`MAX_REMOVAL_ACKS`].
+    pub removal_acks: VecDeque<(Ipv6Addr, u32, bool)>,
+    /// Total (9) acks ever received (the ring above only keeps the tail).
+    pub removal_acks_total: u64,
+    /// Edge-cache addresses registered for (20) invalidation fan-out.
+    caches: Vec<Ipv6Addr>,
+    /// Last chunked fetch-session nonce seen per `(requester,
+    /// peripheral)`. A (18) chunk-0 request counts towards
+    /// [`Manager::uploads_served`] only when its session differs from
+    /// the last one recorded, so retransmitted requests (lost reply,
+    /// mid-fetch version restart) never double-count while a genuinely
+    /// new fetch — even after the cache abandoned its predecessor —
+    /// always does. Bounded by caches × device types.
+    chunk_sessions: HashMap<(Ipv6Addr, u32), SeqNo>,
+    /// Driver uploads served (diagnostic): (5) uploads sent directly,
+    /// plus one per chunked fetch session an edge cache starts.
     pub uploads_served: u64,
 }
 
@@ -68,9 +109,14 @@ impl Manager {
             anycast,
             registry,
             repository,
+            encoded: HashMap::new(),
             seq: 0,
             inventory: HashMap::new(),
-            removal_acks: Vec::new(),
+            inventory_order: VecDeque::new(),
+            removal_acks: VecDeque::new(),
+            removal_acks_total: 0,
+            caches: Vec::new(),
+            chunk_sessions: HashMap::new(),
             uploads_served: 0,
         }
     }
@@ -110,8 +156,71 @@ impl Manager {
             .map(|e| e.driver_versions.len() as u16 + 1)
             .unwrap_or(1);
         let _ = self.registry.record_driver(id, version);
+        self.encoded.remove(&image.device_id);
         self.repository.insert(image.device_id, image);
         Ok(())
+    }
+
+    /// The repository's current version of a driver (latest recorded in
+    /// the registry; 1 when nothing is recorded).
+    pub fn driver_version(&self, device_id: DeviceTypeId) -> u16 {
+        self.registry
+            .get(device_id)
+            .and_then(|e| e.driver_versions.last().copied())
+            .unwrap_or(1)
+    }
+
+    /// The advertised driver inventory (bounded; see [`MAX_INVENTORY`]).
+    pub fn inventory(&self) -> &HashMap<Ipv6Addr, Vec<(u32, u16)>> {
+        &self.inventory
+    }
+
+    /// Records a (7) advertisement, evicting the oldest Thing's record
+    /// once [`MAX_INVENTORY`] distinct Things are tracked.
+    fn record_inventory(&mut self, thing: Ipv6Addr, drivers: Vec<(u32, u16)>) {
+        if self.inventory.insert(thing, drivers).is_none() {
+            self.inventory_order.push_back(thing);
+            if self.inventory.len() > MAX_INVENTORY {
+                // The order queue only ever holds live keys (re-adverts
+                // replace in place), so the front is the oldest record.
+                if let Some(oldest) = self.inventory_order.pop_front() {
+                    self.inventory.remove(&oldest);
+                }
+            }
+        }
+    }
+
+    /// Registers an edge cache for (20) invalidation fan-out (the world
+    /// does this when the cache node is added).
+    pub fn register_cache(&mut self, cache: Ipv6Addr) {
+        if !self.caches.contains(&cache) {
+            self.caches.push(cache);
+        }
+    }
+
+    /// Builds (20) invalidations telling every registered edge cache the
+    /// repository's current version of `device_id` — send these alongside
+    /// the (8) removals / (5) update pushes of the same flow so the tier
+    /// stays coherent with the origin.
+    pub fn invalidate_caches(&mut self, device_id: DeviceTypeId) -> Vec<Datagram> {
+        let version = self.driver_version(device_id);
+        let targets = self.caches.clone();
+        targets
+            .into_iter()
+            .map(|cache| {
+                let seq = self.next_seq();
+                self.datagram(
+                    cache,
+                    Message {
+                        seq,
+                        body: MessageBody::DriverInvalidate {
+                            peripheral: device_id.raw(),
+                            version,
+                        },
+                    },
+                )
+            })
+            .collect()
     }
 
     /// Handles a datagram. Returns replies plus two manager-side delays:
@@ -147,8 +256,63 @@ impl Manager {
                     None => (Vec::new(), calib::duration(cost), SimDuration::ZERO),
                 }
             }
+            MessageBody::DriverChunkRequest {
+                peripheral,
+                session,
+                chunk,
+            } => {
+                // Origin leg of the distribution tier: serve one
+                // DRIVER_CHUNK_PAYLOAD-sized slice of the encoded image,
+                // stamped with the repository version. Chunk 0 marks the
+                // start of one fetch session — the origin-side unit that
+                // replaces a (5) upload when a cache fronts the request.
+                let mut cost = CpuCost::ZERO;
+                cost += calib::UDP_RECV_PATH;
+                cost += calib::REPO_LOOKUP;
+                if !self.repository.contains_key(&peripheral) {
+                    return (Vec::new(), calib::duration(cost), SimDuration::ZERO);
+                }
+                let bytes = self
+                    .encoded
+                    .entry(peripheral)
+                    .or_insert_with(|| self.repository[&peripheral].to_bytes());
+                let total = bytes.len().div_ceil(DRIVER_CHUNK_PAYLOAD).max(1) as u16;
+                if chunk >= total {
+                    return (Vec::new(), calib::duration(cost), SimDuration::ZERO);
+                }
+                let start = chunk as usize * DRIVER_CHUNK_PAYLOAD;
+                let end = (start + DRIVER_CHUNK_PAYLOAD).min(bytes.len());
+                let data = bytes[start..end].to_vec();
+                if chunk == 0 {
+                    cost += calib::UPLOAD_SETUP;
+                    // One count per fetch session: retransmitted chunk-0
+                    // requests carry the same nonce and re-enter the
+                    // recorded session; a new fetch (even after an
+                    // abandoned predecessor) carries a fresh one.
+                    if self.chunk_sessions.insert((dgram.src, peripheral), session) != Some(session)
+                    {
+                        self.uploads_served += 1;
+                    }
+                }
+                let version = self.driver_version(DeviceTypeId::new(peripheral));
+                let reply = Message {
+                    seq: msg.seq,
+                    body: MessageBody::DriverChunk {
+                        peripheral,
+                        version,
+                        chunk,
+                        total,
+                        data,
+                    },
+                };
+                (
+                    vec![self.datagram(dgram.src, reply)],
+                    calib::duration(cost),
+                    calib::duration(calib::UDP_SEND_PATH),
+                )
+            }
             MessageBody::DriverAdvertisement { drivers } => {
-                self.inventory.insert(dgram.src, drivers);
+                self.record_inventory(dgram.src, drivers);
                 (
                     Vec::new(),
                     calib::duration(calib::UDP_RECV_PATH),
@@ -159,7 +323,12 @@ impl Manager {
                 peripheral,
                 removed,
             } => {
-                self.removal_acks.push((dgram.src, peripheral, removed));
+                self.removal_acks
+                    .push_back((dgram.src, peripheral, removed));
+                if self.removal_acks.len() > MAX_REMOVAL_ACKS {
+                    self.removal_acks.pop_front();
+                }
+                self.removal_acks_total += 1;
                 (
                     Vec::new(),
                     calib::duration(calib::UDP_RECV_PATH),
@@ -171,9 +340,11 @@ impl Manager {
     }
 
     /// Builds (5) driver-upload pushes for every inventoried Thing that
-    /// runs a driver for `device_id` — the over-the-air update flow
-    /// (§3.3: drivers "may be updated at any time"). Call after
-    /// [`Manager::publish_driver`] with the new image.
+    /// runs a driver for `device_id`, plus (20) invalidations for every
+    /// registered edge cache — the over-the-air update flow (§3.3:
+    /// drivers "may be updated at any time"), kept coherent with the
+    /// distribution tier. Call after [`Manager::publish_driver`] with
+    /// the new image.
     pub fn push_update(&mut self, device_id: DeviceTypeId) -> Vec<Datagram> {
         let Some(image) = self.repository.get(&device_id.raw()).cloned() else {
             return Vec::new();
@@ -184,7 +355,7 @@ impl Manager {
             .filter(|(_, drivers)| drivers.iter().any(|(p, _)| *p == device_id.raw()))
             .map(|(addr, _)| *addr)
             .collect();
-        targets
+        let mut out: Vec<Datagram> = targets
             .into_iter()
             .map(|thing| {
                 let seq = self.next_seq();
@@ -200,7 +371,9 @@ impl Manager {
                     },
                 )
             })
-            .collect()
+            .collect();
+        out.extend(self.invalidate_caches(device_id));
+        out
     }
 
     /// Builds a (6) driver discovery query for a Thing.

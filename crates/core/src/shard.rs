@@ -43,7 +43,7 @@ use upnp_sim::SimTime;
 use crate::catalog::Catalog;
 use crate::client::Client;
 use crate::thing::Thing;
-use crate::world::{ClientId, SimWorld, ThingId, World, WorldConfig};
+use crate::world::{CacheId, ClientId, DistroStats, SimWorld, ThingId, World, WorldConfig};
 
 /// A recorded construction step, replayed into every shard at
 /// materialisation time so node ids and addresses line up with the
@@ -53,6 +53,7 @@ enum BuildOp {
     Manager,
     Thing,
     Client,
+    Cache,
     Link(NodeId, NodeId, LinkQuality),
 }
 
@@ -66,6 +67,13 @@ struct Build {
     /// topology builders query them while wiring the tree).
     thing_nodes: Vec<NodeId>,
     client_nodes: Vec<NodeId>,
+    /// Global node id of every edge cache, in creation order. Unlike the
+    /// manager and the clients, caches are *not* replicated: a cache
+    /// sits inside one DODAG subtree and is simulated only by the shard
+    /// owning that subtree — which is exactly what keeps its hit/miss/
+    /// coalescing behaviour bit-identical to the sequential simulator
+    /// (all its requesters live in the same subtree).
+    cache_nodes: Vec<NodeId>,
     manager: Option<NodeId>,
 }
 
@@ -78,6 +86,8 @@ struct ClientCursor {
     stream_data: usize,
     closed_streams: usize,
     write_acks: usize,
+    /// Last-seen size of the replica's (insert-only) stream-group map.
+    stream_groups: usize,
 }
 
 /// One freshly built shard: its world, the Things it owns as
@@ -92,6 +102,8 @@ struct Running {
     thing_home: Vec<(usize, ThingId)>,
     /// Global thing index → network node.
     thing_nodes: Vec<NodeId>,
+    /// Global cache index → network node.
+    cache_nodes: Vec<NodeId>,
     /// Thing node → owning shard (for energy queries).
     node_shard: HashMap<NodeId, usize>,
     /// Unicast address → owning shard (for routing injected datagrams).
@@ -171,17 +183,20 @@ impl ShardedWorld {
         }
     }
 
-    /// Partitions Things into shards by DODAG subtree: every Thing maps
-    /// to its root-child ancestor, and whole subtrees go to the shard
-    /// with the fewest Things so far (deterministic greedy balance, ties
-    /// to the lowest shard).
+    /// Partitions Things and edge caches into shards by DODAG subtree:
+    /// every node maps to its root-child ancestor, and whole subtrees go
+    /// to the shard with the fewest Things so far (deterministic greedy
+    /// balance, ties to the lowest shard). A cache always lands in the
+    /// shard owning its subtree, so every Thing that anycast-resolves to
+    /// it is simulated on the same thread.
     fn partition(
         ops: &[BuildOp],
         total_nodes: usize,
         root: NodeId,
         thing_nodes: &[NodeId],
+        cache_nodes: &[NodeId],
         shards: usize,
-    ) -> Vec<usize> {
+    ) -> (Vec<usize>, Vec<usize>) {
         let mut topo = Topology::new(total_nodes);
         for op in ops {
             if let BuildOp::Link(a, b, q) = op {
@@ -202,7 +217,8 @@ impl ShardedWorld {
         };
 
         // Things per subtree head, heads visited in ascending node order
-        // for determinism.
+        // for determinism. Cache-only subtrees participate with zero
+        // weight so an empty cache still gets a deterministic owner.
         let mut head_things: HashMap<usize, Vec<usize>> = HashMap::new();
         for (i, &n) in thing_nodes.iter().enumerate() {
             head_things
@@ -210,22 +226,32 @@ impl ShardedWorld {
                 .or_default()
                 .push(i);
         }
-        let mut heads: Vec<usize> = head_things.keys().copied().collect();
+        let cache_heads: Vec<usize> = cache_nodes.iter().map(|&n| head_of(n.0 as usize)).collect();
+        let mut heads: Vec<usize> = head_things
+            .keys()
+            .copied()
+            .chain(cache_heads.iter().copied())
+            .collect();
         heads.sort_unstable();
+        heads.dedup();
 
         let mut load = vec![0usize; shards];
         let mut assignment = vec![0usize; thing_nodes.len()];
+        let mut head_shard: HashMap<usize, usize> = HashMap::new();
         for head in heads {
-            let members = &head_things[&head];
             let target = (0..shards)
                 .min_by_key(|&s| (load[s], s))
                 .expect(">= 1 shard");
-            load[target] += members.len();
-            for &i in members {
-                assignment[i] = target;
+            head_shard.insert(head, target);
+            if let Some(members) = head_things.get(&head) {
+                load[target] += members.len();
+                for &i in members {
+                    assignment[i] = target;
+                }
             }
         }
-        assignment
+        let cache_assignment = cache_heads.into_iter().map(|h| head_shard[&h]).collect();
+        (assignment, cache_assignment)
     }
 
     /// Materialises the recorded build into per-shard worlds and routing
@@ -238,20 +264,27 @@ impl ShardedWorld {
         let shards = self.shards_requested;
         let thing_nodes = build.thing_nodes.clone();
         let client_nodes = build.client_nodes.clone();
+        let cache_nodes = build.cache_nodes.clone();
         let n_things = thing_nodes.len();
         let n_clients = client_nodes.len();
 
-        let assignment = Self::partition(
+        let (assignment, cache_assignment) = Self::partition(
             &build.ops,
             build.next_node as usize,
             root,
             &thing_nodes,
+            &cache_nodes,
             shards,
         );
         let thing_owner: HashMap<NodeId, usize> = thing_nodes
             .iter()
             .copied()
             .zip(assignment.iter().copied())
+            .collect();
+        let cache_owner: HashMap<NodeId, usize> = cache_nodes
+            .iter()
+            .copied()
+            .zip(cache_assignment.iter().copied())
             .collect();
         let replicated: Vec<NodeId> = build
             .manager
@@ -269,12 +302,14 @@ impl ShardedWorld {
             let mut owned = Vec::new();
             let mut addrs = Vec::with_capacity(n_clients);
             let mut thing_idx = 0usize;
+            let mut cache_idx = 0usize;
             // A node is simulated here if it is replicated (manager,
-            // clients) or a Thing this shard owns.
+            // clients) or a Thing/cache this shard owns.
             let local = |n: NodeId| {
                 Some(n) == build.manager
                     || client_nodes.contains(&n)
                     || thing_owner.get(&n) == Some(&s)
+                    || cache_owner.get(&n) == Some(&s)
             };
             for op in &build.ops {
                 match op {
@@ -296,6 +331,20 @@ impl ShardedWorld {
                         let id = w.add_client();
                         debug_assert_eq!(w.client_node(id), client_nodes[addrs.len()]);
                         addrs.push(w.client(id).address);
+                    }
+                    BuildOp::Cache => {
+                        let i = cache_idx;
+                        cache_idx += 1;
+                        if cache_assignment[i] == s {
+                            let id = w.add_cache();
+                            debug_assert_eq!(w.cache_node(id), cache_nodes[i]);
+                        } else {
+                            // Another shard's cache: occupy the node slot
+                            // so ids line up, but leave it unlinked and
+                            // unregistered — anycast resolution here must
+                            // never pick it.
+                            w.add_remote_node();
+                        }
                     }
                     BuildOp::Link(a, b, q) => {
                         if local(*a) && local(*b) {
@@ -352,6 +401,7 @@ impl ShardedWorld {
             shards: worlds,
             thing_home,
             thing_nodes,
+            cache_nodes,
             node_shard,
             addr_shard,
             clients,
@@ -405,8 +455,14 @@ impl ShardedWorld {
                     .write_acks
                     .extend(replica.write_acks[cur.write_acks..].iter().copied());
                 cur.write_acks = replica.write_acks.len();
-                for (&g, &p) in &replica.stream_groups {
-                    master.stream_groups.insert(g, p);
+                // stream_groups is insert-only, so a length cursor tells
+                // whether this replica learned anything new since the
+                // last round — skip the full map walk otherwise.
+                if replica.stream_groups.len() > cur.stream_groups {
+                    for (&g, &p) in &replica.stream_groups {
+                        master.stream_groups.insert(g, p);
+                    }
+                    cur.stream_groups = replica.stream_groups.len();
                 }
             }
         }
@@ -459,6 +515,42 @@ impl SimWorld for ShardedWorld {
         b.next_node += 1;
         b.ops.push(BuildOp::Client);
         id
+    }
+
+    fn add_cache(&mut self) -> CacheId {
+        let b = self.build_mut();
+        let id = CacheId(b.cache_nodes.len());
+        b.cache_nodes.push(NodeId(b.next_node));
+        b.next_node += 1;
+        b.ops.push(BuildOp::Cache);
+        id
+    }
+
+    fn cache_node(&self, id: CacheId) -> NodeId {
+        match &self.state {
+            State::Building(b) => b.cache_nodes[id.0],
+            State::Running(r) => r.cache_nodes[id.0],
+        }
+    }
+
+    fn distro_stats(&self) -> DistroStats {
+        // Caches are simulated in exactly one shard each, so their
+        // counters sum without double counting; the replicated manager's
+        // counters split its global load across replicas, and the sum
+        // equals the sequential total.
+        let r = self.running();
+        let mut total = DistroStats::default();
+        for w in &r.shards {
+            let s = w.distro_stats();
+            total.cache_hits += s.cache_hits;
+            total.cache_misses += s.cache_misses;
+            total.cache_coalesced += s.cache_coalesced;
+            total.cache_uploads += s.cache_uploads;
+            total.origin_uploads += s.origin_uploads;
+            total.mgr_inventory += s.mgr_inventory;
+            total.mgr_removal_acks += s.mgr_removal_acks;
+        }
+        total
     }
 
     fn link(&mut self, a: NodeId, b: NodeId, quality: LinkQuality) {

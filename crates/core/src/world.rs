@@ -8,6 +8,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::net::Ipv6Addr;
 
+use upnp_distro::{CacheAction, CacheConfig, CacheReply, EdgeCache};
 use upnp_hw::board::BoardTemplate;
 use upnp_hw::channels::ChannelId;
 use upnp_hw::components::ToleranceClass;
@@ -31,6 +32,34 @@ pub struct ThingId(pub usize);
 /// A client handle in the world.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ClientId(pub usize);
+
+/// An edge-cache handle in the world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheId(pub usize);
+
+/// Aggregate counters of the driver-distribution tier: the edge caches'
+/// summed [`upnp_distro::CacheStats`] plus the origin Manager's load and
+/// retention levels. All deterministic — they participate in the
+/// scenario metrics the differential harness compares bit for bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DistroStats {
+    /// Cache requests answered straight from an LRU.
+    pub cache_hits: u64,
+    /// Cache requests that started an upstream fetch.
+    pub cache_misses: u64,
+    /// Cache requests parked on an in-flight fetch (singleflight).
+    pub cache_coalesced: u64,
+    /// (5) driver uploads served by caches.
+    pub cache_uploads: u64,
+    /// Driver uploads served by the origin Manager itself: direct (5)
+    /// uploads plus one per chunked fetch session.
+    pub origin_uploads: u64,
+    /// Things currently tracked in the Manager's bounded inventory.
+    pub mgr_inventory: u64,
+    /// Total (9) removal acks the Manager ever received (the retained
+    /// ring is bounded; this is the monotone counter).
+    pub mgr_removal_acks: u64,
+}
 
 /// World construction parameters.
 #[derive(Debug, Clone)]
@@ -70,6 +99,7 @@ enum NodeKind {
     Manager,
     Thing(usize),
     Client(usize),
+    Cache(usize),
 }
 
 #[derive(Debug, Clone)]
@@ -90,6 +120,13 @@ enum WorldEvent {
         thing: usize,
         channel: u8,
     },
+    /// An edge cache's chunk-retry timer (see
+    /// [`upnp_distro::CacheAction::ArmTimer`]).
+    CacheTimer {
+        cache: usize,
+        peripheral: u32,
+        gen: u64,
+    },
 }
 
 /// The assembled multi-node world.
@@ -104,6 +141,7 @@ pub struct World {
     manager: Option<Manager>,
     things: Vec<Thing>,
     clients: Vec<Client>,
+    caches: Vec<EdgeCache>,
     catalog: Catalog,
     node_kinds: HashMap<NodeId, NodeKind>,
     thing_by_addr: HashMap<Ipv6Addr, usize>,
@@ -145,6 +183,7 @@ impl World {
             manager: None,
             things: Vec::with_capacity(config.expected_nodes),
             clients: Vec::new(),
+            caches: Vec::new(),
             catalog: Catalog::with_prototypes(),
             node_kinds: HashMap::with_capacity(config.expected_nodes),
             thing_by_addr: HashMap::with_capacity(config.expected_nodes),
@@ -247,6 +286,62 @@ impl World {
         let id = ClientId(self.clients.len() - 1);
         self.node_kinds.insert(node, NodeKind::Client(id.0));
         id
+    }
+
+    /// Adds an edge cache of the driver-distribution tier with the
+    /// default [`CacheConfig`]: a node registered as an additional
+    /// instance of the manager's anycast address, serving (4) driver
+    /// requests from a bounded LRU and fetching misses from the manager
+    /// via chunked transfer. Link it into the tree as an interior router
+    /// (Things below it resolve their driver requests to it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no manager was added (the cache needs its origin).
+    pub fn add_cache(&mut self) -> CacheId {
+        self.add_cache_with(CacheConfig::default())
+    }
+
+    /// [`World::add_cache`] with explicit tuning knobs.
+    pub fn add_cache_with(&mut self, config: CacheConfig) -> CacheId {
+        let origin = self.manager().address;
+        let anycast = self.manager_anycast;
+        let node = self.net.add_node();
+        let address = self.net.addr_of(node);
+        self.net.set_anycast(node, anycast);
+        self.manager_mut().register_cache(address);
+        self.caches
+            .push(EdgeCache::new(node, address, origin, config));
+        let id = CacheId(self.caches.len() - 1);
+        self.node_kinds.insert(node, NodeKind::Cache(id.0));
+        id
+    }
+
+    /// Access an edge cache (inspect its LRU and counters).
+    pub fn cache(&self, id: CacheId) -> &EdgeCache {
+        &self.caches[id.0]
+    }
+
+    /// The network node of an edge cache.
+    pub fn cache_node(&self, id: CacheId) -> NodeId {
+        self.caches[id.0].node
+    }
+
+    /// Aggregate distribution-tier counters (all caches + the origin).
+    pub fn distro_stats(&self) -> DistroStats {
+        let mut s = DistroStats::default();
+        for c in &self.caches {
+            s.cache_hits += c.stats.hits;
+            s.cache_misses += c.stats.misses;
+            s.cache_coalesced += c.stats.coalesced;
+            s.cache_uploads += c.stats.uploads_served;
+        }
+        if let Some(m) = &self.manager {
+            s.origin_uploads = m.uploads_served;
+            s.mgr_inventory = m.inventory().len() as u64;
+            s.mgr_removal_acks = m.removal_acks_total;
+        }
+        s
     }
 
     /// Access a Thing.
@@ -489,6 +584,14 @@ impl World {
                     device,
                 } => self.plug(ThingId(thing), channel, device),
                 WorldEvent::Unplug { thing, channel } => self.unplug(ThingId(thing), channel),
+                WorldEvent::CacheTimer {
+                    cache,
+                    peripheral,
+                    gen,
+                } => {
+                    let reply = self.caches[cache].on_timer(peripheral, gen);
+                    self.apply_cache_reply(cache, self.now, reply);
+                }
             }
         }
 
@@ -510,20 +613,8 @@ impl World {
                     let ready_at = d.at + process;
                     let send_at = ready_at + send_path;
                     let mgr_node = self.manager().node;
-                    // Stitch the upload-ready stamp into the plug timeline
-                    // of the requesting Thing.
                     for reply in &replies {
-                        if let Some(upnp_net::msg::Message {
-                            body: upnp_net::msg::MessageBody::DriverUpload { peripheral, .. },
-                            ..
-                        }) = upnp_net::msg::Message::decode(&reply.payload)
-                        {
-                            if let Some(&i) = self.thing_by_addr.get(&reply.dst) {
-                                if let Some(tl) = self.things[i].timelines.get_mut(&peripheral) {
-                                    tl.upload_sent = Some(ready_at);
-                                }
-                            }
-                        }
+                        self.stitch_upload_sent(reply, ready_at);
                     }
                     for reply in replies {
                         self.net.send(send_at, mgr_node, reply);
@@ -540,11 +631,71 @@ impl World {
                         self.net.join_group(node, g);
                     }
                 }
+                Some(NodeKind::Cache(i)) => {
+                    let reply = self.caches[i].on_datagram(&d.dgram);
+                    self.apply_cache_reply(i, d.at, reply);
+                }
                 None => {}
             }
         }
         self.delivery_buf = deliveries;
         true
+    }
+
+    /// Applies one edge cache's reply: sends go out after the processing
+    /// legs (mirroring the manager's accounting), retry timers enter the
+    /// world scheduler, and cache-served (5) uploads stitch the
+    /// upload-ready stamp into the requesting Thing's plug timeline just
+    /// as origin-served ones do.
+    /// Stitches the upload-ready stamp into the requesting Thing's plug
+    /// timeline when `dgram` is a (5) driver upload — the shared leg of
+    /// origin-served and cache-served replies, so their latency rows can
+    /// never drift apart. The type-byte pre-check keeps non-upload
+    /// traffic (chunk requests, acks) off the decoder.
+    fn stitch_upload_sent(&mut self, dgram: &Datagram, ready_at: SimTime) {
+        if dgram.payload.first() != Some(&upnp_net::msg::MessageBody::DRIVER_UPLOAD_TYPE) {
+            return;
+        }
+        if let Some(upnp_net::msg::Message {
+            body: upnp_net::msg::MessageBody::DriverUpload { peripheral, .. },
+            ..
+        }) = upnp_net::msg::Message::decode(&dgram.payload)
+        {
+            if let Some(&i) = self.thing_by_addr.get(&dgram.dst) {
+                if let Some(tl) = self.things[i].timelines.get_mut(&peripheral) {
+                    tl.upload_sent = Some(ready_at);
+                }
+            }
+        }
+    }
+
+    fn apply_cache_reply(&mut self, cache: usize, at: SimTime, reply: CacheReply) {
+        let ready_at = at + reply.process;
+        let send_at = ready_at + reply.send_path;
+        let node = self.caches[cache].node;
+        for action in reply.actions {
+            match action {
+                CacheAction::Send(dgram) => {
+                    self.stitch_upload_sent(&dgram, ready_at);
+                    self.net.send(send_at, node, dgram);
+                }
+                CacheAction::ArmTimer {
+                    peripheral,
+                    gen,
+                    after,
+                } => {
+                    let fire_at = (ready_at + after).max(self.sched.now());
+                    self.sched.schedule_at(
+                        fire_at,
+                        WorldEvent::CacheTimer {
+                            cache,
+                            peripheral,
+                            gen,
+                        },
+                    );
+                }
+            }
+        }
     }
 
     /// Services at most one pending interrupt; returns true if one was
@@ -760,6 +911,13 @@ pub trait SimWorld {
     fn add_thing(&mut self) -> ThingId;
     /// Adds a client.
     fn add_client(&mut self) -> ClientId;
+    /// Adds an edge cache of the driver-distribution tier (after the
+    /// manager — the cache needs its origin).
+    fn add_cache(&mut self) -> CacheId;
+    /// The network node of an edge cache.
+    fn cache_node(&self, id: CacheId) -> NodeId;
+    /// Aggregate distribution-tier counters (caches + origin).
+    fn distro_stats(&self) -> DistroStats;
     /// Links two nodes with the given quality.
     fn link(&mut self, a: NodeId, b: NodeId, quality: LinkQuality);
     /// Builds the routing tree rooted at `root`.
@@ -820,6 +978,18 @@ impl SimWorld for World {
 
     fn add_client(&mut self) -> ClientId {
         World::add_client(self)
+    }
+
+    fn add_cache(&mut self) -> CacheId {
+        World::add_cache(self)
+    }
+
+    fn cache_node(&self, id: CacheId) -> NodeId {
+        World::cache_node(self, id)
+    }
+
+    fn distro_stats(&self) -> DistroStats {
+        World::distro_stats(self)
     }
 
     fn link(&mut self, a: NodeId, b: NodeId, quality: LinkQuality) {

@@ -139,6 +139,67 @@ fn lossy_tree_matches_at_every_shard_count() {
     }
 }
 
+// ---- Driver-distribution tier (ISSUE 5: every distro scenario must be
+// bit-identical sequential vs sharded) ----------------------------------
+
+#[test]
+fn flash_crowd_through_caches_matches_at_every_shard_count() {
+    // Each edge cache heads a DODAG subtree, so the subtree partition
+    // keeps every cache with its requesters: hit/miss/coalescing
+    // classification, chunk traffic and upload timing must all decompose
+    // exactly.
+    let config = FleetConfig::new(500).with_seed(0x6030).with_caches(8);
+    let (seq_fp, seq_summary) = {
+        let mut fleet = Fleet::build(config.clone());
+        let m = fleet.flash_crowd();
+        (fleet.fingerprint(), virtual_summary(&m))
+    };
+    for k in [1, 2, 4, 8] {
+        let mut fleet = ShardedFleet::build_sharded(config.clone(), k);
+        let m = fleet.flash_crowd();
+        assert_eq!(seq_summary, virtual_summary(&m), "K={k}");
+        assert_eq!(seq_fp, fleet.fingerprint(), "K={k}");
+    }
+}
+
+#[test]
+fn cached_tree_full_suite_matches_at_every_shard_count() {
+    // Caches under a fanout tree, full scenario suite on top: discovery
+    // re-uses warm caches, churn races in-flight fetches, steady state
+    // runs reads through the cache-headed subtrees.
+    let config = FleetConfig::new(240)
+        .with_seed(0x6030)
+        .with_topology(FleetTopology::Tree { fanout: 5 })
+        .with_caches(4);
+    let (seq_fp, seq_summary) = run_suite(Fleet::build(config.clone()), 240);
+    for k in [1, 2, 4] {
+        let (fp, summary) = run_suite(ShardedFleet::build_sharded(config.clone(), k), 240);
+        assert_eq!(seq_summary, summary, "K={k}");
+        assert_eq!(seq_fp, fp, "K={k}");
+    }
+}
+
+#[test]
+fn lossy_flash_crowd_with_caches_matches_at_every_shard_count() {
+    // Lossy links exercise the per-chunk recovery path: lost chunk
+    // requests/replies, retry timers and abandoned fetches must all
+    // decompose across shards (every leg of a cache's traffic stays
+    // inside its own subtree + the replicated origin).
+    let mut config = FleetConfig::new(120).with_seed(0x6030).with_caches(4);
+    config.link_prr = 0.5;
+    let (seq_fp, seq_summary) = {
+        let mut fleet = Fleet::build(config.clone());
+        let m = fleet.flash_crowd();
+        (fleet.fingerprint(), virtual_summary(&m))
+    };
+    for k in [1, 2, 4] {
+        let mut fleet = ShardedFleet::build_sharded(config.clone(), k);
+        let m = fleet.flash_crowd();
+        assert_eq!(seq_summary, virtual_summary(&m), "lossy K={k}");
+        assert_eq!(seq_fp, fleet.fingerprint(), "lossy K={k}");
+    }
+}
+
 #[test]
 fn sharded_runs_are_reproducible() {
     let run = || run_sharded(200, FleetTopology::Star, 4).0;

@@ -230,7 +230,7 @@ fn manager_queries_and_removes_drivers() {
     let now = w.now();
     w.net.send(now, mgr_node, q);
     w.run_until_idle();
-    let inv = w.manager().inventory.get(&thing_addr).unwrap();
+    let inv = w.manager().inventory().get(&thing_addr).unwrap();
     assert_eq!(inv.len(), 2);
 
     // (8)/(9) removal.
@@ -239,7 +239,7 @@ fn manager_queries_and_removes_drivers() {
     w.net.send(now, mgr_node, r);
     w.run_until_idle();
     assert_eq!(
-        w.manager().removal_acks.last(),
+        w.manager().removal_acks.back(),
         Some(&(thing_addr, prototypes::TMP36.raw(), true))
     );
     assert_eq!(
@@ -400,4 +400,181 @@ fn unplug_of_newer_channel_keeps_older_channels_request() {
             .contains(&prototypes::TMP36.raw()),
         "channel 0 must end up served despite channel 1's cancelled plug"
     );
+}
+
+// ---- Driver-distribution tier (edge caches) ----------------------------
+
+/// A world with an edge cache as the interior router: manager — cache —
+/// two Things, plus a client next to the manager.
+fn cached_world() -> (
+    World,
+    upnp_core::world::CacheId,
+    upnp_core::world::ThingId,
+    upnp_core::world::ThingId,
+) {
+    let mut w = World::new(WorldConfig::default());
+    let mgr = w.add_manager();
+    let cache = w.add_cache();
+    let t1 = w.add_thing();
+    let t2 = w.add_thing();
+    let client = w.add_client();
+    let q = upnp_net::link::LinkQuality::PERFECT;
+    w.link(mgr, w.cache_node(cache), q);
+    w.link(w.cache_node(cache), w.thing_node(t1), q);
+    w.link(w.cache_node(cache), w.thing_node(t2), q);
+    w.link(mgr, w.client_node(client), q);
+    w.build_tree(mgr);
+    (w, cache, t1, t2)
+}
+
+#[test]
+fn edge_cache_serves_plug_pipeline_end_to_end() {
+    let (mut w, cache, t1, t2) = cached_world();
+    // First plug: the request anycast-resolves to the cache (nearer than
+    // the origin), misses, and the cache pulls the image in chunks.
+    let tl = w.plug_and_wait(t1, 0, prototypes::TMP36);
+    assert!(w
+        .thing(t1)
+        .served_peripherals()
+        .contains(&prototypes::TMP36.raw()));
+    assert!(
+        tl.upload_sent.is_some(),
+        "cache-served uploads must stitch the plug timeline"
+    );
+    assert!(tl.total().is_some());
+    let stats = w.cache(cache).stats;
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.uploads_served, 1);
+    assert_eq!(
+        w.manager().uploads_served,
+        1,
+        "one chunked fetch session at the origin"
+    );
+    assert_eq!(
+        w.cache(cache).cached_version(prototypes::TMP36.raw()),
+        Some(1)
+    );
+
+    // Second Thing, same type: a pure LRU hit — the origin is idle.
+    w.plug_and_wait(t2, 0, prototypes::TMP36);
+    assert!(w
+        .thing(t2)
+        .served_peripherals()
+        .contains(&prototypes::TMP36.raw()));
+    let stats = w.cache(cache).stats;
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.uploads_served, 2);
+    assert_eq!(w.manager().uploads_served, 1, "origin untouched on a hit");
+}
+
+#[test]
+fn invalidation_propagates_republished_driver_to_the_tier() {
+    let (mut w, cache, t1, t2) = cached_world();
+    w.plug_and_wait(t1, 0, prototypes::TMP36);
+    assert_eq!(
+        w.cache(cache).cached_version(prototypes::TMP36.raw()),
+        Some(1)
+    );
+
+    // Republish the driver (version 2) and fan the (20) invalidations
+    // out to the registered caches, as the (8)-removal flow would.
+    let image = w
+        .manager()
+        .driver_for(prototypes::TMP36)
+        .cloned()
+        .expect("catalog driver");
+    w.manager_mut()
+        .publish_driver(image)
+        .expect("image verifies");
+    assert_eq!(w.manager().driver_version(prototypes::TMP36), 2);
+    let invalidations = w.manager_mut().invalidate_caches(prototypes::TMP36);
+    assert_eq!(invalidations.len(), 1, "one registered cache");
+    let mgr_node = w.manager().node;
+    let now = w.now();
+    for d in invalidations {
+        w.net.send(now, mgr_node, d);
+    }
+    w.run_until_idle();
+    assert_eq!(
+        w.cache(cache).cached_version(prototypes::TMP36.raw()),
+        None,
+        "stale image evicted"
+    );
+
+    // The next cold request re-fetches the current version.
+    w.plug_and_wait(t2, 0, prototypes::TMP36);
+    assert_eq!(
+        w.cache(cache).cached_version(prototypes::TMP36.raw()),
+        Some(2)
+    );
+    assert_eq!(
+        w.manager().uploads_served,
+        2,
+        "a second fetch session served the republished image"
+    );
+}
+
+#[test]
+fn removal_message_evicts_cache_and_acks() {
+    let (mut w, cache, t1, _) = cached_world();
+    w.plug_and_wait(t1, 0, prototypes::TMP36);
+    // Send the paper's (8) removal to the cache node itself.
+    let cache_addr = w.cache(cache).address;
+    let removal = w.manager_mut().remove_driver(cache_addr, prototypes::TMP36);
+    let mgr_node = w.manager().node;
+    let now = w.now();
+    w.net.send(now, mgr_node, removal);
+    w.run_until_idle();
+    assert_eq!(w.cache(cache).cached_version(prototypes::TMP36.raw()), None);
+    assert_eq!(
+        w.manager().removal_acks.back(),
+        Some(&(cache_addr, prototypes::TMP36.raw(), true)),
+        "the cache acknowledges with (9)"
+    );
+}
+
+#[test]
+fn manager_retention_is_bounded_under_churn_storms() {
+    use upnp_core::manager::{MAX_INVENTORY, MAX_REMOVAL_ACKS};
+    use upnp_net::msg::{Message, MessageBody};
+
+    let (mut w, _, _) = small_world();
+    let mgr = w.manager_mut();
+    let mgr_addr = mgr.address;
+    let synth = move |i: u32, body: MessageBody| upnp_net::Datagram {
+        src: format!("2001:db8::f:{:x}", i + 1).parse().unwrap(),
+        dst: mgr_addr,
+        src_port: upnp_net::addr::MCAST_PORT,
+        dst_port: upnp_net::addr::MCAST_PORT,
+        payload: Message { seq: 1, body }.encode().into(),
+    };
+    // A churn storm's worth of (7) advertisements from distinct Things.
+    for i in 0..(MAX_INVENTORY as u32 + 500) {
+        let d = synth(
+            i,
+            MessageBody::DriverAdvertisement {
+                drivers: vec![(prototypes::TMP36.raw(), 1)],
+            },
+        );
+        mgr.on_datagram(&d);
+    }
+    assert_eq!(mgr.inventory().len(), MAX_INVENTORY, "inventory is capped");
+    // The oldest records were the ones evicted (FIFO).
+    assert!(!mgr
+        .inventory()
+        .contains_key(&"2001:db8::f:1".parse().unwrap()));
+
+    // And a storm of (9) acks keeps a bounded ring plus the total.
+    for i in 0..(MAX_REMOVAL_ACKS as u32 + 100) {
+        let d = synth(
+            i,
+            MessageBody::DriverRemovalAck {
+                peripheral: prototypes::TMP36.raw(),
+                removed: true,
+            },
+        );
+        mgr.on_datagram(&d);
+    }
+    assert_eq!(mgr.removal_acks.len(), MAX_REMOVAL_ACKS);
+    assert_eq!(mgr.removal_acks_total, MAX_REMOVAL_ACKS as u64 + 100);
 }

@@ -1,0 +1,865 @@
+//! The driver-distribution tier: in-network **edge caches** for the µPnP
+//! Manager's repository.
+//!
+//! The paper's Manager (§5.3) is a single anycast-addressed server; at
+//! fleet scale it serves every driver upload of a discovery wave alone.
+//! This crate supplies the missing tier: [`EdgeCache`] nodes placed at
+//! DODAG-interior routers, each registered as an *additional instance* of
+//! the Manager's anycast address. A Thing's (4) driver request resolves
+//! to the nearest instance — usually a cache one hop up its own subtree —
+//! and the cache answers with the ordinary (5) driver upload, so Things
+//! are oblivious to the tier's existence.
+//!
+//! Three mechanisms make the tier behave under load:
+//!
+//! * **Bounded LRU.** Each cache holds at most `capacity` compiled
+//!   driver images; the least-recently-served entry is evicted when a
+//!   new image lands.
+//! * **Request coalescing (singleflight).** Concurrent misses for the
+//!   same device type share one upstream fetch: the first miss starts
+//!   it, followers park on the in-flight entry and are all answered the
+//!   instant the image arrives. A flash crowd of *n* Things behind one
+//!   cache costs the origin one fetch per device type, not *n*.
+//! * **Chunked origin transfer with per-chunk recovery.** The cache
+//!   pulls images from the origin in
+//!   [`DRIVER_CHUNK_PAYLOAD`](upnp_net::msg::DRIVER_CHUNK_PAYLOAD)-sized
+//!   chunks (stop-and-wait), re-requesting
+//!   a chunk whose request or reply was lost — so a lost radio frame
+//!   costs one chunk retry, never the whole image. Chunks carry the
+//!   repository version; a mid-fetch version change restarts the
+//!   transfer, and (20) invalidations (driven by the same flows as the
+//!   paper's (8) removals) evict stale images, so origin updates
+//!   propagate coherently.
+//!
+//! The cache is a pure message-in/actions-out state machine over virtual
+//! time: it owns no clock and no network. The world loop feeds it
+//! datagrams and timer expiries and applies the returned [`CacheAction`]s
+//! — which is exactly what keeps a sharded simulation bit-identical to a
+//! sequential one: a cache lives in the one shard that owns its subtree
+//! and sees the same requests in the same virtual order either way.
+
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+use upnp_dsl::image::DriverImage;
+use upnp_net::calib;
+use upnp_net::msg::{Message, MessageBody, SeqNo};
+use upnp_net::{Datagram, NodeId};
+use upnp_sim::{CpuCost, SimDuration};
+
+/// Tuning knobs of one edge cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// Maximum driver images held (LRU beyond this).
+    pub capacity: usize,
+    /// How long to wait for a chunk before re-requesting it.
+    pub retry_timeout: SimDuration,
+    /// Chunk retries before a fetch is abandoned.
+    pub max_retries: u32,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity: 16,
+            retry_timeout: SimDuration::from_millis(250),
+            max_retries: 8,
+        }
+    }
+}
+
+/// Cumulative counters of one cache (all deterministic — they feed the
+/// fleet scenario metrics and the differential harness).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered straight from the LRU.
+    pub hits: u64,
+    /// Requests that started an upstream fetch.
+    pub misses: u64,
+    /// Requests parked on an already in-flight fetch (singleflight
+    /// followers).
+    pub coalesced: u64,
+    /// (5) driver uploads this cache sent to Things.
+    pub uploads_served: u64,
+    /// Images evicted by the LRU bound.
+    pub evictions: u64,
+    /// Images evicted by (8) removals / (20) invalidations.
+    pub invalidations: u64,
+    /// Fetches abandoned after exhausting chunk retries.
+    pub failed_fetches: u64,
+    /// Chunk re-requests (per-chunk loss recovery).
+    pub chunk_retries: u64,
+}
+
+/// A side effect the cache asks the world loop to perform.
+#[derive(Debug)]
+pub enum CacheAction {
+    /// Transmit a datagram (at the reply-ready instant the world derives
+    /// from [`CacheReply::process`] and [`CacheReply::send_path`]).
+    Send(Datagram),
+    /// Arm the per-fetch retry timer: call
+    /// [`EdgeCache::on_timer`]`(peripheral, gen)` after `after`.
+    ArmTimer {
+        /// The fetch the timer guards.
+        peripheral: u32,
+        /// Staleness token: the fetch's generation when armed.
+        gen: u64,
+        /// Delay from the processing-done instant.
+        after: SimDuration,
+    },
+}
+
+/// The cache's response to one stimulus, with the two processing legs the
+/// world turns into virtual time (mirroring the Manager's accounting).
+#[derive(Debug, Default)]
+pub struct CacheReply {
+    /// Side effects, in order.
+    pub actions: Vec<CacheAction>,
+    /// Receive + lookup leg.
+    pub process: SimDuration,
+    /// UDP/6LoWPAN send-path leg (applies to every `Send`).
+    pub send_path: SimDuration,
+}
+
+impl CacheReply {
+    fn with_cost(cost: CpuCost) -> CacheReply {
+        CacheReply {
+            actions: Vec::new(),
+            process: calib::duration(cost),
+            send_path: SimDuration::ZERO,
+        }
+    }
+
+    fn sending(mut self) -> CacheReply {
+        self.send_path = calib::duration(calib::UDP_SEND_PATH);
+        self
+    }
+}
+
+/// One cached image.
+#[derive(Debug)]
+struct CacheEntry {
+    version: u16,
+    bytes: Vec<u8>,
+    /// LRU stamp (monotonic touch counter; unique, so eviction order is
+    /// deterministic regardless of map iteration order).
+    stamp: u64,
+}
+
+/// An in-flight origin fetch with its parked followers.
+#[derive(Debug)]
+struct Fetch {
+    /// Version stamped on the chunks seen so far (`None` before chunk 0
+    /// arrives).
+    version: Option<u16>,
+    /// Total chunk count (learned from the first chunk).
+    total: Option<u16>,
+    /// The next chunk expected (stop-and-wait cursor).
+    next: u16,
+    /// Reassembly buffer.
+    buf: Vec<u8>,
+    /// Requests to answer on completion: `(requester, request seq)`, in
+    /// arrival order.
+    followers: Vec<(Ipv6Addr, SeqNo)>,
+    /// Consecutive timeouts on the current chunk.
+    retries: u32,
+    /// Bumped on every progress step; stale timers carry an older value
+    /// and are ignored.
+    gen: u64,
+    /// Fetch-session nonce carried by every chunk request of this fetch
+    /// (retransmits included) — the origin deduplicates its
+    /// fetch-session accounting by it.
+    session: SeqNo,
+}
+
+/// An edge node of the driver-distribution tier.
+pub struct EdgeCache {
+    /// This cache's network node.
+    pub node: NodeId,
+    /// This cache's unicast address (chunk requests originate here).
+    pub address: Ipv6Addr,
+    /// The origin repository's unicast address.
+    pub origin: Ipv6Addr,
+    config: CacheConfig,
+    entries: HashMap<u32, CacheEntry>,
+    inflight: HashMap<u32, Fetch>,
+    /// Monotonic LRU touch counter.
+    tick: u64,
+    /// Monotonic fetch-generation counter (shared across fetches so a
+    /// reused peripheral id can never collide with an old timer).
+    fetch_gen: u64,
+    /// Fetch-session nonce counter (wrapping; one per started fetch).
+    session: SeqNo,
+    seq: SeqNo,
+    /// Cumulative counters.
+    pub stats: CacheStats,
+}
+
+impl EdgeCache {
+    /// Creates an empty cache on `node` fetching from `origin`.
+    pub fn new(node: NodeId, address: Ipv6Addr, origin: Ipv6Addr, config: CacheConfig) -> Self {
+        assert!(config.capacity > 0, "a cache needs at least one slot");
+        EdgeCache {
+            node,
+            address,
+            origin,
+            config,
+            entries: HashMap::new(),
+            inflight: HashMap::new(),
+            tick: 0,
+            fetch_gen: 0,
+            session: 0,
+            seq: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of images currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The cached version of a peripheral's image, if present.
+    pub fn cached_version(&self, peripheral: u32) -> Option<u16> {
+        self.entries.get(&peripheral).map(|e| e.version)
+    }
+
+    /// Number of fetches currently in flight.
+    pub fn inflight_fetches(&self) -> usize {
+        self.inflight.len()
+    }
+
+    fn next_seq(&mut self) -> SeqNo {
+        self.seq = self.seq.wrapping_add(1);
+        self.seq
+    }
+
+    fn datagram(&self, dst: Ipv6Addr, msg: Message) -> Datagram {
+        Datagram {
+            src: self.address,
+            dst,
+            src_port: upnp_net::addr::MCAST_PORT,
+            dst_port: upnp_net::addr::MCAST_PORT,
+            payload: msg.encode().into(),
+        }
+    }
+
+    fn upload(&self, dst: Ipv6Addr, seq: SeqNo, peripheral: u32, image: &[u8]) -> Datagram {
+        self.datagram(
+            dst,
+            Message {
+                seq,
+                body: MessageBody::DriverUpload {
+                    peripheral,
+                    image: image.to_vec(),
+                },
+            },
+        )
+    }
+
+    fn chunk_request(&mut self, peripheral: u32, chunk: u16) -> Datagram {
+        let seq = self.next_seq();
+        let session = self
+            .inflight
+            .get(&peripheral)
+            .map(|f| f.session)
+            .expect("chunk requests belong to an in-flight fetch");
+        self.datagram(
+            self.origin,
+            Message {
+                seq,
+                body: MessageBody::DriverChunkRequest {
+                    peripheral,
+                    session,
+                    chunk,
+                },
+            },
+        )
+    }
+
+    /// Touches the LRU stamp of a live entry.
+    fn touch(&mut self, peripheral: u32) {
+        self.tick += 1;
+        if let Some(e) = self.entries.get_mut(&peripheral) {
+            e.stamp = self.tick;
+        }
+    }
+
+    /// Inserts an image, evicting the least-recently-used entry when the
+    /// bound is hit. Stamps are unique, so the victim is deterministic.
+    fn insert(&mut self, peripheral: u32, version: u16, bytes: Vec<u8>) {
+        if !self.entries.contains_key(&peripheral) && self.entries.len() >= self.config.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(&p, _)| p)
+                .expect("capacity > 0 implies an entry");
+            self.entries.remove(&victim);
+            self.stats.evictions += 1;
+        }
+        self.tick += 1;
+        self.entries.insert(
+            peripheral,
+            CacheEntry {
+                version,
+                bytes,
+                stamp: self.tick,
+            },
+        );
+    }
+
+    /// Handles a datagram delivered to this cache. The world applies the
+    /// returned actions after the processing legs.
+    pub fn on_datagram(&mut self, dgram: &Datagram) -> CacheReply {
+        let Some(msg) = Message::decode(&dgram.payload) else {
+            return CacheReply::default();
+        };
+        match msg.body {
+            MessageBody::DriverRequest { peripheral } => {
+                self.on_driver_request(dgram.src, msg.seq, peripheral)
+            }
+            MessageBody::DriverChunk {
+                peripheral,
+                version,
+                chunk,
+                total,
+                data,
+            } => self.on_chunk(peripheral, version, chunk, total, data),
+            MessageBody::DriverRemoval { peripheral } => {
+                // The paper's (8) removal, honoured at the tier: evict
+                // and acknowledge with (9), like a Thing would.
+                let removed = self.entries.remove(&peripheral).is_some();
+                if removed {
+                    self.stats.invalidations += 1;
+                }
+                let mut reply =
+                    CacheReply::with_cost(calib::UDP_RECV_PATH + calib::REPO_LOOKUP).sending();
+                reply.actions.push(CacheAction::Send(self.datagram(
+                    dgram.src,
+                    Message {
+                        seq: msg.seq,
+                        body: MessageBody::DriverRemovalAck {
+                            peripheral,
+                            removed,
+                        },
+                    },
+                )));
+                reply
+            }
+            MessageBody::DriverInvalidate {
+                peripheral,
+                version,
+            } => {
+                // Evict only strictly older copies; an in-flight fetch is
+                // left alone — the origin already serves the new version,
+                // and the chunk version check restarts the transfer if it
+                // straddled the update.
+                if self
+                    .entries
+                    .get(&peripheral)
+                    .is_some_and(|e| e.version < version)
+                {
+                    self.entries.remove(&peripheral);
+                    self.stats.invalidations += 1;
+                }
+                CacheReply::with_cost(calib::UDP_RECV_PATH + calib::REPO_LOOKUP)
+            }
+            _ => CacheReply::with_cost(calib::UDP_RECV_PATH),
+        }
+    }
+
+    fn on_driver_request(
+        &mut self,
+        requester: Ipv6Addr,
+        seq: SeqNo,
+        peripheral: u32,
+    ) -> CacheReply {
+        let mut cost = CpuCost::ZERO;
+        cost += calib::UDP_RECV_PATH;
+        cost += calib::REPO_LOOKUP;
+        if self.entries.contains_key(&peripheral) {
+            self.touch(peripheral);
+            self.stats.hits += 1;
+            self.stats.uploads_served += 1;
+            cost += calib::UPLOAD_SETUP;
+            let upload = self.upload(requester, seq, peripheral, &self.entries[&peripheral].bytes);
+            let mut reply = CacheReply::with_cost(cost).sending();
+            reply.actions.push(CacheAction::Send(upload));
+            return reply;
+        }
+        if let Some(fetch) = self.inflight.get_mut(&peripheral) {
+            // Singleflight: park on the in-flight fetch.
+            fetch.followers.push((requester, seq));
+            self.stats.coalesced += 1;
+            return CacheReply::with_cost(cost);
+        }
+        // Cold miss: start the chunked fetch.
+        self.stats.misses += 1;
+        self.fetch_gen += 1;
+        let gen = self.fetch_gen;
+        self.session = self.session.wrapping_add(1);
+        self.inflight.insert(
+            peripheral,
+            Fetch {
+                version: None,
+                total: None,
+                next: 0,
+                buf: Vec::new(),
+                followers: vec![(requester, seq)],
+                retries: 0,
+                gen,
+                session: self.session,
+            },
+        );
+        let req = self.chunk_request(peripheral, 0);
+        let mut reply = CacheReply::with_cost(cost).sending();
+        reply.actions.push(CacheAction::Send(req));
+        reply.actions.push(CacheAction::ArmTimer {
+            peripheral,
+            gen,
+            after: self.config.retry_timeout,
+        });
+        reply
+    }
+
+    fn on_chunk(
+        &mut self,
+        peripheral: u32,
+        version: u16,
+        chunk: u16,
+        total: u16,
+        data: Vec<u8>,
+    ) -> CacheReply {
+        enum Step {
+            /// No fetch / malformed / duplicate: drop on the floor (the
+            /// retry timer recovers genuine losses).
+            Ignore,
+            /// Ask the origin for this chunk now (progress, or an active
+            /// restart after a mid-fetch version change).
+            Request(u16),
+            /// All chunks in: finalise the fetch.
+            Complete,
+        }
+        let cost = calib::UDP_RECV_PATH;
+        let step = {
+            let Some(fetch) = self.inflight.get_mut(&peripheral) else {
+                return CacheReply::with_cost(cost); // No fetch: stale chunk.
+            };
+            if total == 0 || chunk >= total {
+                Step::Ignore // Malformed.
+            } else {
+                // A mid-fetch version change restarts the transfer from
+                // chunk 0 so an image can never be stitched from two
+                // versions.
+                let restarted = fetch.version.is_some_and(|v| v != version);
+                if restarted {
+                    fetch.version = None;
+                    fetch.total = None;
+                    fetch.next = 0;
+                    fetch.buf.clear();
+                    fetch.retries = 0;
+                }
+                if chunk != fetch.next {
+                    if restarted {
+                        Step::Request(fetch.next)
+                    } else {
+                        Step::Ignore // Duplicate/stale retransmit.
+                    }
+                } else {
+                    fetch.version = Some(version);
+                    fetch.total = Some(total);
+                    fetch.buf.extend_from_slice(&data);
+                    fetch.next += 1;
+                    fetch.retries = 0;
+                    if fetch.next == total {
+                        Step::Complete
+                    } else {
+                        Step::Request(fetch.next)
+                    }
+                }
+            }
+        };
+        match step {
+            Step::Ignore => CacheReply::with_cost(cost),
+            Step::Request(next) => {
+                self.fetch_gen += 1;
+                let gen = self.fetch_gen;
+                self.inflight
+                    .get_mut(&peripheral)
+                    .expect("fetch is in flight")
+                    .gen = gen;
+                let req = self.chunk_request(peripheral, next);
+                let mut reply = CacheReply::with_cost(cost).sending();
+                reply.actions.push(CacheAction::Send(req));
+                reply.actions.push(CacheAction::ArmTimer {
+                    peripheral,
+                    gen,
+                    after: self.config.retry_timeout,
+                });
+                reply
+            }
+            Step::Complete => {
+                // Validate, cache, answer every parked follower.
+                let fetch = self.inflight.remove(&peripheral).expect("in flight");
+                let bytes = fetch.buf;
+                let version = fetch.version.expect("chunks carried a version");
+                // Defence in depth, as the Things themselves do: a
+                // corrupt reassembly must not be cached, let alone
+                // fanned out.
+                if DriverImage::from_bytes(&bytes)
+                    .ok()
+                    .filter(|img| upnp_dsl::verify(img).is_ok())
+                    .is_none()
+                {
+                    self.stats.failed_fetches += 1;
+                    return CacheReply::with_cost(cost);
+                }
+                self.insert(peripheral, version, bytes.clone());
+                let mut reply =
+                    CacheReply::with_cost(cost + calib::REPO_LOOKUP + calib::UPLOAD_SETUP)
+                        .sending();
+                self.stats.uploads_served += fetch.followers.len() as u64;
+                for (requester, seq) in fetch.followers {
+                    reply.actions.push(CacheAction::Send(
+                        self.upload(requester, seq, peripheral, &bytes),
+                    ));
+                }
+                reply
+            }
+        }
+    }
+
+    /// Handles a retry-timer expiry armed by a previous
+    /// [`CacheAction::ArmTimer`]. Stale timers (the fetch progressed or
+    /// finished since) are ignored via the generation token.
+    pub fn on_timer(&mut self, peripheral: u32, gen: u64) -> CacheReply {
+        let Some(fetch) = self.inflight.get_mut(&peripheral) else {
+            return CacheReply::default();
+        };
+        if fetch.gen != gen {
+            return CacheReply::default(); // Progress since armed.
+        }
+        if fetch.retries >= self.config.max_retries {
+            // Abandon: the followers' Things simply never hear back, the
+            // same observable outcome as a lost upload on today's lossy
+            // paths.
+            self.inflight.remove(&peripheral);
+            self.stats.failed_fetches += 1;
+            return CacheReply::default();
+        }
+        fetch.retries += 1;
+        self.fetch_gen += 1;
+        fetch.gen = self.fetch_gen;
+        let (gen, next) = (fetch.gen, fetch.next);
+        self.stats.chunk_retries += 1;
+        let req = self.chunk_request(peripheral, next);
+        let mut reply = CacheReply::with_cost(calib::REPO_LOOKUP).sending();
+        reply.actions.push(CacheAction::Send(req));
+        reply.actions.push(CacheAction::ArmTimer {
+            peripheral,
+            gen,
+            after: self.config.retry_timeout,
+        });
+        reply
+    }
+}
+
+impl std::fmt::Debug for EdgeCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EdgeCache")
+            .field("node", &self.node)
+            .field("entries", &self.entries.len())
+            .field("inflight", &self.inflight.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upnp_net::msg::DRIVER_CHUNK_PAYLOAD;
+
+    const ORIGIN: &str = "2001:db8::1";
+    const THING_A: &str = "2001:db8::a";
+    const THING_B: &str = "2001:db8::b";
+
+    fn cache() -> EdgeCache {
+        EdgeCache::new(
+            NodeId(1),
+            "2001:db8::c".parse().unwrap(),
+            ORIGIN.parse().unwrap(),
+            CacheConfig::default(),
+        )
+    }
+
+    fn dgram(src: &str, body: MessageBody) -> Datagram {
+        Datagram {
+            src: src.parse().unwrap(),
+            dst: "2001:db8::c".parse().unwrap(),
+            src_port: upnp_net::addr::MCAST_PORT,
+            dst_port: upnp_net::addr::MCAST_PORT,
+            payload: Message { seq: 9, body }.encode().into(),
+        }
+    }
+
+    /// A compiled driver image the cache will accept, as chunk bodies.
+    fn image_bytes() -> Vec<u8> {
+        upnp_dsl::compile_source(upnp_dsl::drivers::TMP36, 0xad1c_be01)
+            .expect("driver compiles")
+            .to_bytes()
+    }
+
+    fn chunks_of(bytes: &[u8], version: u16) -> Vec<MessageBody> {
+        let total = bytes.len().div_ceil(DRIVER_CHUNK_PAYLOAD) as u16;
+        bytes
+            .chunks(DRIVER_CHUNK_PAYLOAD)
+            .enumerate()
+            .map(|(i, c)| MessageBody::DriverChunk {
+                peripheral: 0xad1c_be01,
+                version,
+                chunk: i as u16,
+                total,
+                data: c.to_vec(),
+            })
+            .collect()
+    }
+
+    fn sends(reply: &CacheReply) -> Vec<&Datagram> {
+        reply
+            .actions
+            .iter()
+            .filter_map(|a| match a {
+                CacheAction::Send(d) => Some(d),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn miss_fetches_chunks_then_serves_all_followers() {
+        let mut c = cache();
+        let p = 0xad1c_be01;
+        // First request: miss, chunk 0 requested from the origin.
+        let r1 = c.on_datagram(&dgram(
+            THING_A,
+            MessageBody::DriverRequest { peripheral: p },
+        ));
+        let out = sends(&r1);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dst, ORIGIN.parse::<Ipv6Addr>().unwrap());
+        // Second request while the fetch is in flight: coalesced, silent.
+        let r2 = c.on_datagram(&dgram(
+            THING_B,
+            MessageBody::DriverRequest { peripheral: p },
+        ));
+        assert!(sends(&r2).is_empty());
+        assert_eq!(c.stats.misses, 1);
+        assert_eq!(c.stats.coalesced, 1);
+
+        // Feed the chunks; each one advances the stop-and-wait cursor.
+        let bytes = image_bytes();
+        let chunks = chunks_of(&bytes, 1);
+        assert!(chunks.len() >= 2, "image must span several chunks");
+        let mut uploads = Vec::new();
+        for body in chunks {
+            let r = c.on_datagram(&dgram(ORIGIN, body));
+            for d in sends(&r) {
+                if let Some(Message {
+                    body: MessageBody::DriverUpload { image, .. },
+                    ..
+                }) = Message::decode(&d.payload)
+                {
+                    uploads.push((d.dst, image));
+                }
+            }
+        }
+        // Both followers answered from the one fetch, bytes intact.
+        assert_eq!(uploads.len(), 2);
+        assert_eq!(uploads[0].0, THING_A.parse::<Ipv6Addr>().unwrap());
+        assert_eq!(uploads[1].0, THING_B.parse::<Ipv6Addr>().unwrap());
+        assert_eq!(uploads[0].1, bytes);
+        assert_eq!(c.stats.uploads_served, 2);
+        assert_eq!(c.cached_version(p), Some(1));
+
+        // Third request: a pure hit, answered immediately.
+        let r3 = c.on_datagram(&dgram(
+            THING_A,
+            MessageBody::DriverRequest { peripheral: p },
+        ));
+        assert_eq!(sends(&r3).len(), 1);
+        assert_eq!(c.stats.hits, 1);
+    }
+
+    #[test]
+    fn timer_rerequests_lost_chunk_then_abandons() {
+        let mut c = cache();
+        let p = 0xad1c_be01;
+        let r = c.on_datagram(&dgram(
+            THING_A,
+            MessageBody::DriverRequest { peripheral: p },
+        ));
+        let CacheAction::ArmTimer { gen, .. } = r.actions[1] else {
+            panic!("miss must arm the retry timer");
+        };
+        // The chunk request (or its reply) was lost: the timer fires and
+        // re-requests chunk 0, up to max_retries times.
+        let mut gen = gen;
+        for i in 0..c.config.max_retries {
+            let r = c.on_timer(p, gen);
+            assert_eq!(sends(&r).len(), 1, "retry {i} re-requests the chunk");
+            let CacheAction::ArmTimer { gen: g, .. } = r.actions[1] else {
+                panic!("retry re-arms");
+            };
+            gen = g;
+        }
+        assert_eq!(c.stats.chunk_retries, c.config.max_retries as u64);
+        // One more expiry: abandoned.
+        let r = c.on_timer(p, gen);
+        assert!(r.actions.is_empty());
+        assert_eq!(c.stats.failed_fetches, 1);
+        assert_eq!(c.inflight_fetches(), 0);
+    }
+
+    #[test]
+    fn stale_timer_is_ignored_after_progress() {
+        let mut c = cache();
+        let p = 0xad1c_be01;
+        let r = c.on_datagram(&dgram(
+            THING_A,
+            MessageBody::DriverRequest { peripheral: p },
+        ));
+        let CacheAction::ArmTimer { gen, .. } = r.actions[1] else {
+            panic!("miss arms a timer");
+        };
+        // Chunk 0 arrives before the timer fires.
+        let bytes = image_bytes();
+        c.on_datagram(&dgram(ORIGIN, chunks_of(&bytes, 1)[0].clone()));
+        let r = c.on_timer(p, gen);
+        assert!(r.actions.is_empty(), "stale timer must be a no-op");
+        assert_eq!(c.stats.chunk_retries, 0);
+    }
+
+    #[test]
+    fn version_change_mid_fetch_restarts_coherently() {
+        let mut c = cache();
+        let p = 0xad1c_be01;
+        c.on_datagram(&dgram(
+            THING_A,
+            MessageBody::DriverRequest { peripheral: p },
+        ));
+        let bytes = image_bytes();
+        let v1 = chunks_of(&bytes, 1);
+        let v2 = chunks_of(&bytes, 2);
+        // Chunk 0 of v1, then the origin is updated: chunk 1 arrives as v2.
+        c.on_datagram(&dgram(ORIGIN, v1[0].clone()));
+        let r = c.on_datagram(&dgram(ORIGIN, v2[1].clone()));
+        // The cache restarts: it re-requests chunk 0.
+        let out = sends(&r);
+        assert_eq!(out.len(), 1);
+        let Some(Message {
+            body: MessageBody::DriverChunkRequest { chunk, .. },
+            ..
+        }) = Message::decode(&out[0].payload)
+        else {
+            panic!("restart must re-request a chunk");
+        };
+        assert_eq!(chunk, 0, "restart goes back to chunk 0");
+        // Replaying the full v2 transfer completes with version 2.
+        for body in v2 {
+            c.on_datagram(&dgram(ORIGIN, body));
+        }
+        assert_eq!(c.cached_version(p), Some(2));
+    }
+
+    #[test]
+    fn lru_bound_evicts_oldest() {
+        let mut c = EdgeCache::new(
+            NodeId(1),
+            "2001:db8::c".parse().unwrap(),
+            ORIGIN.parse().unwrap(),
+            CacheConfig {
+                capacity: 2,
+                ..CacheConfig::default()
+            },
+        );
+        c.insert(1, 1, image_bytes());
+        c.insert(2, 1, image_bytes());
+        c.touch(1); // 2 is now the least recently used.
+        c.insert(3, 1, image_bytes());
+        assert_eq!(c.len(), 2);
+        assert!(c.cached_version(1).is_some());
+        assert!(c.cached_version(2).is_none(), "LRU victim");
+        assert!(c.cached_version(3).is_some());
+        assert_eq!(c.stats.evictions, 1);
+    }
+
+    #[test]
+    fn removal_and_invalidation_evict() {
+        let mut c = cache();
+        c.insert(7, 2, image_bytes());
+        // (20) with an older-or-equal version: no-op.
+        c.on_datagram(&dgram(
+            ORIGIN,
+            MessageBody::DriverInvalidate {
+                peripheral: 7,
+                version: 2,
+            },
+        ));
+        assert_eq!(c.cached_version(7), Some(2));
+        // (20) with a newer version: evicted.
+        c.on_datagram(&dgram(
+            ORIGIN,
+            MessageBody::DriverInvalidate {
+                peripheral: 7,
+                version: 3,
+            },
+        ));
+        assert_eq!(c.cached_version(7), None);
+        // (8) removal: evicted and acked.
+        c.insert(8, 1, image_bytes());
+        let r = c.on_datagram(&dgram(ORIGIN, MessageBody::DriverRemoval { peripheral: 8 }));
+        let out = sends(&r);
+        assert_eq!(out.len(), 1);
+        let Some(Message {
+            body: MessageBody::DriverRemovalAck { removed, .. },
+            ..
+        }) = Message::decode(&out[0].payload)
+        else {
+            panic!("removal must be acked");
+        };
+        assert!(removed);
+        assert_eq!(c.cached_version(8), None);
+        assert_eq!(c.stats.invalidations, 2);
+    }
+
+    #[test]
+    fn corrupt_reassembly_is_rejected_not_cached() {
+        let mut c = cache();
+        let p = 0xad1c_be01;
+        c.on_datagram(&dgram(
+            THING_A,
+            MessageBody::DriverRequest { peripheral: p },
+        ));
+        // A single garbage chunk claiming to be the whole image.
+        let r = c.on_datagram(&dgram(
+            ORIGIN,
+            MessageBody::DriverChunk {
+                peripheral: p,
+                version: 1,
+                chunk: 0,
+                total: 1,
+                data: vec![0xff; 10],
+            },
+        ));
+        assert!(sends(&r).is_empty(), "no upload from garbage");
+        assert_eq!(c.cached_version(p), None);
+        assert_eq!(c.stats.failed_fetches, 1);
+    }
+}

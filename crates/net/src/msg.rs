@@ -3,7 +3,10 @@
 //! All messages are UDP payloads on port 6030 carrying a type byte, a
 //! 16-bit sequence number "used to associate request and reply messages",
 //! and a compact binary body. The seventeen message types are numbered as
-//! in the paper's figures.
+//! in the paper's figures; types (18)–(20) extend the protocol with the
+//! driver-distribution tier's chunked origin transfer and versioned
+//! invalidation (they never touch a Thing — only caches and the origin
+//! speak them).
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -13,6 +16,11 @@ use crate::tlv::{self, Tlv};
 
 /// A 16-bit message sequence number.
 pub type SeqNo = u16;
+
+/// Payload bytes carried per [`MessageBody::DriverChunk`]. Sized to fit a
+/// chunk datagram in a single unfragmented 802.15.4 frame, so one lost
+/// radio frame costs one chunk retry — never the whole image.
+pub const DRIVER_CHUNK_PAYLOAD: usize = 64;
 
 /// Per-thread payload counters, flushed into the process-wide totals
 /// exactly once, when the thread exits. The data-plane hot path (every
@@ -321,10 +329,53 @@ pub enum MessageBody {
         /// True if the driver accepted the write.
         ok: bool,
     },
+    /// (18) Driver chunk request (edge cache → origin unicast): one leg
+    /// of the stop-and-wait chunked transfer a cache uses to pull a
+    /// driver image from the repository.
+    DriverChunkRequest {
+        /// The peripheral whose image is being fetched.
+        peripheral: u32,
+        /// Fetch-session nonce, constant across every request (and
+        /// retransmit) of one fetch and different for the next — how the
+        /// origin tells a retransmitted chunk 0 from a new session when
+        /// accounting its load.
+        session: u16,
+        /// Zero-based chunk index.
+        chunk: u16,
+    },
+    /// (19) Driver chunk (origin → edge cache): one
+    /// [`DRIVER_CHUNK_PAYLOAD`]-sized slice of the serialized image.
+    DriverChunk {
+        /// The peripheral the image serves.
+        peripheral: u32,
+        /// Repository version of the image the chunk was cut from; a
+        /// mid-fetch version change restarts the transfer coherently.
+        version: u16,
+        /// Zero-based chunk index.
+        chunk: u16,
+        /// Total chunks in the image.
+        total: u16,
+        /// The chunk bytes (the last chunk may be short).
+        data: Vec<u8>,
+    },
+    /// (20) Driver invalidation (origin → edge cache): the repository's
+    /// copy of `peripheral` is now at `version`; caches evict older
+    /// copies. Driven by the same flows as the paper's (8) removals.
+    DriverInvalidate {
+        /// The peripheral whose cached image is stale.
+        peripheral: u32,
+        /// The new repository version.
+        version: u16,
+    },
 }
 
 impl MessageBody {
-    /// The paper's message number (1–17).
+    /// Wire type byte of (5) driver uploads — the first payload byte, so
+    /// dispatchers can pre-filter upload traffic without a full decode.
+    pub const DRIVER_UPLOAD_TYPE: u8 = 5;
+
+    /// The paper's message number (1–17), or 18–20 for the
+    /// distribution-tier extensions.
     pub fn type_id(&self) -> u8 {
         match self {
             MessageBody::UnsolicitedAdvertisement(_) => 1,
@@ -344,6 +395,9 @@ impl MessageBody {
             MessageBody::Closed { .. } => 15,
             MessageBody::Write { .. } => 16,
             MessageBody::WriteAck { .. } => 17,
+            MessageBody::DriverChunkRequest { .. } => 18,
+            MessageBody::DriverChunk { .. } => 19,
+            MessageBody::DriverInvalidate { .. } => 20,
         }
     }
 }
@@ -414,6 +468,37 @@ impl Message {
             MessageBody::WriteAck { peripheral, ok } => {
                 out.extend_from_slice(&peripheral.to_be_bytes());
                 out.push(*ok as u8);
+            }
+            MessageBody::DriverChunkRequest {
+                peripheral,
+                session,
+                chunk,
+            } => {
+                out.extend_from_slice(&peripheral.to_be_bytes());
+                out.extend_from_slice(&session.to_be_bytes());
+                out.extend_from_slice(&chunk.to_be_bytes());
+            }
+            MessageBody::DriverChunk {
+                peripheral,
+                version,
+                chunk,
+                total,
+                data,
+            } => {
+                out.extend_from_slice(&peripheral.to_be_bytes());
+                out.extend_from_slice(&version.to_be_bytes());
+                out.extend_from_slice(&chunk.to_be_bytes());
+                out.extend_from_slice(&total.to_be_bytes());
+                debug_assert!(data.len() <= DRIVER_CHUNK_PAYLOAD);
+                out.push(data.len() as u8);
+                out.extend_from_slice(data);
+            }
+            MessageBody::DriverInvalidate {
+                peripheral,
+                version,
+            } => {
+                out.extend_from_slice(&peripheral.to_be_bytes());
+                out.extend_from_slice(&version.to_be_bytes());
             }
         }
         out
@@ -515,6 +600,49 @@ impl Message {
                 i += 1;
                 MessageBody::WriteAck { peripheral, ok }
             }
+            18 => {
+                let peripheral = u32_at(data, &mut i)?;
+                let session = u16::from_be_bytes(data.get(i..i + 2)?.try_into().ok()?);
+                i += 2;
+                let chunk = u16::from_be_bytes(data.get(i..i + 2)?.try_into().ok()?);
+                i += 2;
+                MessageBody::DriverChunkRequest {
+                    peripheral,
+                    session,
+                    chunk,
+                }
+            }
+            19 => {
+                let peripheral = u32_at(data, &mut i)?;
+                let u16_at = |i: &mut usize| -> Option<u16> {
+                    let v = u16::from_be_bytes(data.get(*i..*i + 2)?.try_into().ok()?);
+                    *i += 2;
+                    Some(v)
+                };
+                let version = u16_at(&mut i)?;
+                let chunk = u16_at(&mut i)?;
+                let total = u16_at(&mut i)?;
+                let len = *data.get(i)? as usize;
+                i += 1;
+                let chunk_data = data.get(i..i + len)?.to_vec();
+                i += len;
+                MessageBody::DriverChunk {
+                    peripheral,
+                    version,
+                    chunk,
+                    total,
+                    data: chunk_data,
+                }
+            }
+            20 => {
+                let peripheral = u32_at(data, &mut i)?;
+                let version = u16::from_be_bytes(data.get(i..i + 2)?.try_into().ok()?);
+                i += 2;
+                MessageBody::DriverInvalidate {
+                    peripheral,
+                    version,
+                }
+            }
             _ => return None,
         };
         if i != data.len() {
@@ -601,6 +729,32 @@ mod tests {
         assert_eq!(bodies.len(), 17);
         for (idx, body) in bodies.into_iter().enumerate() {
             assert_eq!(body.type_id() as usize, idx + 1, "numbering matches paper");
+            roundtrip(body);
+        }
+    }
+
+    #[test]
+    fn distribution_tier_extension_types_roundtrip() {
+        let bodies = vec![
+            MessageBody::DriverChunkRequest {
+                peripheral: 0xad1c_be01,
+                session: 11,
+                chunk: 7,
+            },
+            MessageBody::DriverChunk {
+                peripheral: 0xad1c_be01,
+                version: 3,
+                chunk: 7,
+                total: 12,
+                data: vec![0xb5; DRIVER_CHUNK_PAYLOAD],
+            },
+            MessageBody::DriverInvalidate {
+                peripheral: 0xad1c_be01,
+                version: 4,
+            },
+        ];
+        for (idx, body) in bodies.into_iter().enumerate() {
+            assert_eq!(body.type_id() as usize, idx + 18, "extension numbering");
             roundtrip(body);
         }
     }

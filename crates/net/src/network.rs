@@ -232,6 +232,10 @@ pub struct Network {
     addr_index: HashMap<Ipv6Addr, NodeId>,
     group_index: HashMap<Ipv6Addr, BTreeSet<Node>>,
     anycast_index: HashMap<Ipv6Addr, BTreeSet<NodeId>>,
+    /// Memoised anycast resolution per `(source, anycast address)` —
+    /// invalidated on instance join/leave and topology churn, like the
+    /// route caches.
+    anycast_cache: HashMap<(NodeId, Ipv6Addr), NodeId>,
     routes: RouteArena,
     route_cache: HashMap<(NodeId, NodeId), RouteHandle>,
     /// Memoised `path_to_root` per source (SMRF uplink) — deep trees stop
@@ -280,6 +284,7 @@ impl Network {
             addr_index: HashMap::with_capacity(nodes),
             group_index: HashMap::new(),
             anycast_index: HashMap::new(),
+            anycast_cache: HashMap::new(),
             routes: RouteArena::default(),
             route_cache: HashMap::new(),
             uplink_cache: HashMap::new(),
@@ -372,6 +377,7 @@ impl Network {
         self.routes.clear();
         self.plan_cache.clear();
         self.plans.clear();
+        self.anycast_cache.clear();
     }
 
     /// Joins `node` to a multicast group.
@@ -428,9 +434,29 @@ impl Network {
     }
 
     /// Registers `node` as an instance of an anycast address (§5: "the
-    /// µPnP manager is assigned an anycast IPv6 address").
+    /// µPnP manager is assigned an anycast IPv6 address"). An address may
+    /// have many instances — the origin repository plus its edge caches —
+    /// and a send resolves to the instance nearest the sender.
     pub fn set_anycast(&mut self, node: NodeId, anycast: Ipv6Addr) {
-        self.anycast_index.entry(anycast).or_default().insert(node);
+        if self.anycast_index.entry(anycast).or_default().insert(node) {
+            self.anycast_cache.retain(|&(_, a), _| a != anycast);
+        }
+    }
+
+    /// Deregisters `node` as an instance of an anycast address (an edge
+    /// cache leaving the tier). Returns whether it was registered.
+    pub fn unset_anycast(&mut self, node: NodeId, anycast: Ipv6Addr) -> bool {
+        let Some(instances) = self.anycast_index.get_mut(&anycast) else {
+            return false;
+        };
+        let was = instances.remove(&node);
+        if was {
+            if instances.is_empty() {
+                self.anycast_index.remove(&anycast);
+            }
+            self.anycast_cache.retain(|&(_, a), _| a != anycast);
+        }
+        was
     }
 
     /// Radio energy consumed by `node` so far, joules.
@@ -463,7 +489,7 @@ impl Network {
         if dgram.dst.is_multicast() {
             self.send_multicast(now, from, dgram, &mut report);
         } else {
-            let target = self.resolve_destination(dgram.dst);
+            let target = self.resolve_destination(from, dgram.dst);
             match target {
                 Some(t) => self.send_unicast(now, from, t, dgram, &mut report),
                 None => {
@@ -476,23 +502,43 @@ impl Network {
     }
 
     /// Resolves a unicast or anycast destination to a concrete node.
-    fn resolve_destination(&self, dst: Ipv6Addr) -> Option<NodeId> {
+    ///
+    /// Anycast resolves to the *live instance nearest the sender* by
+    /// DODAG hop distance (ties to the lowest node id) — so a Thing's
+    /// driver request lands on the edge cache in its own subtree, not a
+    /// replica across the tree. Resolution is memoised per
+    /// `(source, anycast)` and invalidated on instance churn and
+    /// topology changes.
+    fn resolve_destination(&mut self, from: NodeId, dst: Ipv6Addr) -> Option<NodeId> {
         if let Some(n) = self.node_by_addr(dst) {
             return Some(n);
         }
-        // Anycast: the instance with the lowest DODAG rank (nearest the
-        // root approximates "nearest" for our tree workloads). Only the
-        // registered instances are examined, not the whole node table.
+        if let Some(&n) = self.anycast_cache.get(&(from, dst)) {
+            return Some(n);
+        }
+        let resolved = self.resolve_anycast_fresh(from, dst)?;
+        self.anycast_cache.insert((from, dst), resolved);
+        Some(resolved)
+    }
+
+    /// Uncached nearest-instance anycast resolution (also the oracle the
+    /// cache-coherence diagnostics recompute against). Only the
+    /// registered instances are examined, not the whole node table;
+    /// instances unreachable in this slice's DODAG (another shard's
+    /// ghost nodes) never win.
+    fn resolve_anycast_fresh(&self, from: NodeId, dst: Ipv6Addr) -> Option<NodeId> {
         let dodag = self.dodag.as_ref()?;
         self.anycast_index
             .get(&dst)?
             .iter()
             .copied()
-            .min_by(|a, b| {
-                dodag.rank[a.0 as usize]
-                    .partial_cmp(&dodag.rank[b.0 as usize])
-                    .expect("ranks are not NaN")
+            .filter_map(|inst| {
+                dodag
+                    .distance(from.0 as usize, inst.0 as usize)
+                    .map(|d| (d, inst))
             })
+            .min()
+            .map(|(_, inst)| inst)
     }
 
     /// The tree path `from → to`, memoised per destination pair and
@@ -909,6 +955,11 @@ impl Network {
                 return false;
             }
         }
+        for (&(from, dst), &resolved) in &self.anycast_cache {
+            if self.resolve_anycast_fresh(from, dst) != Some(resolved) {
+                return false;
+            }
+        }
         for (group, per_source) in &self.plan_cache {
             for (&from, &h) in per_source {
                 let members = self.group_index.get(group).cloned().unwrap_or_default();
@@ -1086,6 +1137,63 @@ mod tests {
         let deliveries = net.poll(SimTime::MAX);
         assert_eq!(deliveries.len(), 1);
         assert_eq!(deliveries[0].node, root, "nearest instance wins");
+    }
+
+    #[test]
+    fn anycast_prefers_instance_in_senders_own_branch() {
+        // root(0) — a1(1) — a2(2) and root — b(3); instances at root and
+        // a1. A sender at a2 is 1 hop from a1 and 2 from the root: the
+        // in-branch instance must win even though the root instance has
+        // the lower rank. A sender at b (1 hop from root, 2 from a1)
+        // resolves to the root.
+        let mut net = Network::new(PREFIX, 21);
+        let root = net.add_node();
+        let a1 = net.add_node();
+        let a2 = net.add_node();
+        let b = net.add_node();
+        net.link(root, a1, LinkQuality::PERFECT);
+        net.link(a1, a2, LinkQuality::PERFECT);
+        net.link(root, b, LinkQuality::PERFECT);
+        net.build_tree(root);
+        let mgr: Ipv6Addr = "2001:db8:aaaa::1".parse().unwrap();
+        net.set_anycast(root, mgr);
+        net.set_anycast(a1, mgr);
+        net.send(SimTime::ZERO, a2, dgram(&net, a2, mgr, 10));
+        net.send(SimTime::ZERO, b, dgram(&net, b, mgr, 10));
+        let mut who: Vec<NodeId> = net.poll(SimTime::MAX).iter().map(|d| d.node).collect();
+        who.sort();
+        assert_eq!(
+            who,
+            vec![root, a1],
+            "each sender reaches its nearest instance"
+        );
+        assert!(net.caches_coherent());
+    }
+
+    #[test]
+    fn anycast_instance_leave_reroutes_and_stays_coherent() {
+        let mut net = Network::new(PREFIX, 22);
+        let root = net.add_node();
+        let mid = net.add_node();
+        let leaf = net.add_node();
+        net.link(root, mid, LinkQuality::PERFECT);
+        net.link(mid, leaf, LinkQuality::PERFECT);
+        net.build_tree(root);
+        let mgr: Ipv6Addr = "2001:db8:aaaa::1".parse().unwrap();
+        net.set_anycast(root, mgr);
+        net.set_anycast(mid, mgr);
+        net.send(SimTime::ZERO, leaf, dgram(&net, leaf, mgr, 10));
+        assert_eq!(net.poll(SimTime::MAX)[0].node, mid);
+        assert!(net.unset_anycast(mid, mgr), "mid was registered");
+        assert!(!net.unset_anycast(mid, mgr), "second leave is a no-op");
+        let d = dgram(&net, leaf, mgr, 10);
+        net.send(SimTime::ZERO + SimDuration::from_secs(1), leaf, d);
+        assert_eq!(
+            net.poll(SimTime::MAX)[0].node,
+            root,
+            "resolution must fall back to the remaining instance"
+        );
+        assert!(net.caches_coherent());
     }
 
     #[test]

@@ -257,6 +257,33 @@ impl Dodag {
         Some(path)
     }
 
+    /// Tree hop distance `a → b` (via the lowest common ancestor), or
+    /// `None` if either side is unreachable. The same lockstep climb as
+    /// [`Dodag::route`], without materialising the path — `O(depth)`,
+    /// zero allocation, so anycast resolution can rank candidate
+    /// instances per send.
+    pub fn distance(&self, a: Node, b: Node) -> Option<u32> {
+        if !self.reachable(a) || !self.reachable(b) {
+            return None;
+        }
+        let mut hops = 0u32;
+        let (mut up, mut down) = (a, b);
+        while self.depth[up] > self.depth[down] {
+            up = self.parent[up].expect("deeper nodes have parents");
+            hops += 1;
+        }
+        while self.depth[down] > self.depth[up] {
+            down = self.parent[down].expect("deeper nodes have parents");
+            hops += 1;
+        }
+        while up != down {
+            up = self.parent[up].expect("distinct nodes below the LCA");
+            down = self.parent[down].expect("distinct nodes below the LCA");
+            hops += 2;
+        }
+        Some(hops)
+    }
+
     /// Children of `node` in the tree (precomputed at build).
     pub fn children(&self, node: Node) -> &[Node] {
         &self.children[node]
@@ -318,6 +345,25 @@ mod tests {
         assert!(!d.reachable(2));
         assert_eq!(d.route(0, 2), None);
         assert_eq!(d.route(2, 1), None);
+    }
+
+    #[test]
+    fn distance_matches_route_length() {
+        let mut t = Topology::new(6);
+        t.link(0, 1, LinkQuality::PERFECT);
+        t.link(0, 2, LinkQuality::PERFECT);
+        t.link(1, 3, LinkQuality::PERFECT);
+        t.link(2, 4, LinkQuality::PERFECT);
+        // Node 5 is isolated.
+        let d = Dodag::build(&t, 0);
+        for a in 0..5 {
+            for b in 0..5 {
+                let hops = d.route(a, b).unwrap().len() as u32 - 1;
+                assert_eq!(d.distance(a, b), Some(hops), "{a} -> {b}");
+            }
+        }
+        assert_eq!(d.distance(0, 5), None);
+        assert_eq!(d.distance(5, 1), None);
     }
 
     #[test]

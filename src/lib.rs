@@ -11,8 +11,9 @@
 //!    compiled to compact bytecode, deployed over the air and executed by
 //!    a stack-based virtual machine ([`dsl`], [`vm`]);
 //! 3. **an IPv6-multicast network architecture** — per-peripheral-type
-//!    multicast groups, a 17-message UDP protocol, discovery and
-//!    read/stream/write interactions ([`net`], [`core`]).
+//!    multicast groups, a 17-message UDP protocol (plus 3
+//!    distribution-tier extensions), discovery and read/stream/write
+//!    interactions ([`net`], [`core`], [`distro`]).
 //!
 //! This facade re-exports the workspace crates under one name. Start with
 //! [`core::world::World`]:
@@ -39,6 +40,7 @@
 
 pub use upnp_bus as bus;
 pub use upnp_core as core;
+pub use upnp_distro as distro;
 pub use upnp_dsl as dsl;
 pub use upnp_energy as energy;
 pub use upnp_hw as hw;

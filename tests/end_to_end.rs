@@ -132,7 +132,7 @@ fn manager_inventories_the_whole_fleet() {
     }
     w.run_until_idle();
 
-    let inv = &w.manager().inventory;
+    let inv = w.manager().inventory();
     assert_eq!(inv[&w.thing_addr(t1)].len(), 2);
     assert_eq!(inv[&w.thing_addr(t2)].len(), 1);
     assert_eq!(inv[&w.thing_addr(t2)][0].0, prototypes::BMP180.raw());
