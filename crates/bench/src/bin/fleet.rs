@@ -8,6 +8,8 @@
 //! fleet --nodes 100,1000                 # restrict the size sweep
 //! fleet --shards 1,4                     # sequential + 4-way sharded
 //! fleet --scenario discovery             # one scenario only
+//! fleet --scenario soak                  # nightly chaos soak (needs
+//!                                        #   --features soak)
 //! fleet --seed 42                        # reseed the whole run
 //! fleet --out BENCH_fleet.json           # write the JSON report
 //! fleet --gate bench/baseline.json       # exit 1 on regression
@@ -22,6 +24,11 @@
 //! edge-cache tier) additionally face absolute floors: the caches must
 //! serve ≥ 90 % of driver uploads (at ≥ 1000 Things), and coalescing
 //! must hold the origin to at most caches × device-types fetch sessions.
+//! Chaos-soak rows (nightly profile: built with `--features soak`, run
+//! with `--scenario soak`) hard-fail unless every whole-soak invariant
+//! held — exactly-once discovery, cache coherence, bounded Manager
+//! retention — and the process peak RSS stayed flat across the virtual
+//! day of fault injection.
 //!
 //! The gate checks the 1k- and 5k-node discovery wall-clocks against the
 //! checked-in baseline (>25 % is a failure), and the zero-copy payload
@@ -36,6 +43,7 @@
 use std::process::ExitCode;
 
 use serde::{Deserialize, Serialize};
+use upnp_core::chaos::SoakReport;
 use upnp_core::fleet::{Fleet, FleetConfig, ScenarioMetrics, ShardedFleet};
 use upnp_core::world::SimWorld;
 
@@ -65,9 +73,20 @@ const FLASH_CACHE_SERVED_FLOOR: f64 = 0.90;
 const FLASH_FLOOR_MIN_THINGS: usize = 1000;
 /// Report schema version: bumped to 2 when rows gained `shards` and
 /// `fingerprint` (PR 4), to 3 when they gained `peak_rss_bytes`/`cpus`
-/// and the metrics gained the distribution-tier counters (PR 5); older
-/// baselines must be regenerated.
-const SCHEMA: u32 = 3;
+/// and the metrics gained the distribution-tier counters (PR 5), to 4
+/// when they gained `faults_injected`/`soak_ticks` and the optional
+/// embedded `soak` report (PR 6); older baselines must be regenerated.
+const SCHEMA: u32 = 4;
+/// Edge caches fronting the origin in the chaos-soak rows.
+#[cfg(feature = "soak")]
+const SOAK_CACHES: usize = FLASH_CACHES;
+/// Peak-RSS flatness gate for soak rows: the process high-water mark at
+/// soak end must stay within this factor of the mark after the first
+/// epoch (plus a small absolute slack so tiny fleets aren't gated on
+/// allocator noise). A day of fault churn must not accrete state.
+const SOAK_RSS_FLAT_FACTOR: f64 = 1.5;
+/// Absolute slack for the flatness gate, kilobytes.
+const SOAK_RSS_FLAT_SLACK_KB: u64 = 32 * 1024;
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchReport {
@@ -100,6 +119,12 @@ struct ScenarioRow {
     /// lets a reader tell real multi-core sharding numbers from
     /// single-core cache-locality numbers.
     cpus: usize,
+    /// Faults injected during the scenario (0 outside soak rows).
+    faults_injected: u64,
+    /// Scheduler run/pause phases driven (0 outside soak rows).
+    soak_ticks: u64,
+    /// The full chaos-soak report (`null` outside soak rows).
+    soak: Option<SoakReport>,
     metrics: ScenarioMetrics,
 }
 
@@ -170,8 +195,13 @@ fn parse_args() -> Result<Options, String> {
             }
             "--scenario" => {
                 let s = value("--scenario")?;
-                if !["discovery", "churn", "steady", "flash", "all"].contains(&s.as_str()) {
+                if !["discovery", "churn", "steady", "flash", "soak", "all"].contains(&s.as_str()) {
                     return Err(format!("unknown scenario `{s}`"));
+                }
+                if s == "soak" && !cfg!(feature = "soak") {
+                    return Err("the soak scenario is feature-gated (nightly profile): \
+                         rebuild with `--features soak`"
+                        .into());
                 }
                 opts.scenario = (s != "all").then_some(s);
             }
@@ -202,6 +232,9 @@ fn row(
         fingerprint,
         peak_rss_bytes: peak_rss_bytes(),
         cpus: detected_cpus(),
+        faults_injected: 0,
+        soak_ticks: 0,
+        soak: None,
         metrics,
     }
 }
@@ -231,6 +264,45 @@ fn run_fleet<W: SimWorld>(
     }
 }
 
+/// Runs the chaos soak (one virtual day of seeded fault injection: cache
+/// crashes mid-transfer, root↔cache partitions, primary→standby
+/// failover, battery churn) on its own fleet fronted by [`SOAK_CACHES`]
+/// caches and a hot-standby Manager. Nightly profile — only built with
+/// the `soak` feature, and only run when `--scenario soak` is selected.
+#[cfg(feature = "soak")]
+fn run_soak<W: SimWorld>(
+    fleet: &mut Fleet<W>,
+    seed: u64,
+    things: usize,
+    shards: usize,
+    scenarios: &mut Vec<ScenarioRow>,
+) {
+    let chaos = upnp_core::chaos::ChaosConfig::day(seed);
+    let (metrics, report) = fleet.soak_scenario(&chaos);
+    let mut r = row(things, shards, SOAK_CACHES, fleet.fingerprint(), metrics);
+    println!(
+        "  soak: {} faults over {} epochs ({} crashes, {} partitions, {} failovers, \
+         {} reroots, {} battery deaths), {} followers drained, {} repairs, \
+         violations d={} c={} r={}",
+        report.faults_injected,
+        report.epochs,
+        report.cache_crashes,
+        report.partitions,
+        report.failovers,
+        report.reroots,
+        report.battery_unplugs,
+        report.followers_drained,
+        report.repairs,
+        report.discovery_violations,
+        report.coherence_violations,
+        report.retention_violations,
+    );
+    r.faults_injected = report.faults_injected;
+    r.soak_ticks = report.soak_ticks;
+    r.soak = Some(report);
+    scenarios.push(r);
+}
+
 /// Runs the flash-crowd scenario on its own fleet fronted by
 /// [`FLASH_CACHES`] edge caches.
 fn run_flash<W: SimWorld>(
@@ -251,8 +323,31 @@ fn run_flash<W: SimWorld>(
 
 fn run(opts: &Options) -> BenchReport {
     let mut scenarios = Vec::new();
+    // The soak is opt-in even with the feature compiled: a day of
+    // virtual time per (size, shards) pair belongs to the nightly
+    // profile, not the default sweep.
+    let soak_only = opts.scenario.as_deref() == Some("soak");
     for &things in &opts.sizes {
         for &shards in &opts.shards {
+            #[cfg(feature = "soak")]
+            if soak_only {
+                let config = FleetConfig::new(things)
+                    .with_seed(opts.seed)
+                    .with_caches(SOAK_CACHES)
+                    .with_standby();
+                if shards == 1 {
+                    let mut fleet = Fleet::build(config);
+                    run_soak(&mut fleet, opts.seed, things, shards, &mut scenarios);
+                } else {
+                    let mut fleet = ShardedFleet::build_sharded(config, shards);
+                    run_soak(&mut fleet, opts.seed, things, shards, &mut scenarios);
+                }
+                continue;
+            }
+            #[cfg(not(feature = "soak"))]
+            if soak_only {
+                unreachable!("parse_args rejects --scenario soak without the feature");
+            }
             // A fresh fleet per (size, shards): scenario metrics are
             // deltas, but the build itself (indices, routing tree)
             // belongs to the configuration.
@@ -444,6 +539,46 @@ fn gate_cache_tier(current: &BenchReport) -> Result<(), String> {
     Ok(())
 }
 
+/// Absolute gates on the soak rows of the *current* report: every
+/// whole-soak invariant must have held (exactly-once discovery, cache
+/// coherence, bounded Manager retention), and the process peak RSS must
+/// stay flat across the day — within [`SOAK_RSS_FLAT_FACTOR`] (plus
+/// slack) of the high-water mark after the first epoch. Deterministic
+/// verdicts and a host-side leak check; no baseline involved.
+fn gate_soak(current: &BenchReport) -> Result<(), String> {
+    for row in &current.scenarios {
+        let Some(soak) = &row.soak else { continue };
+        if !soak.invariants_held() {
+            return Err(format!(
+                "soak@{} shards={}: invariants violated \
+                 (discovery {}, coherence {}, retention {}) — \
+                 a failure path regressed",
+                row.things,
+                row.shards,
+                soak.discovery_violations,
+                soak.coherence_violations,
+                soak.retention_violations,
+            ));
+        }
+        let limit =
+            (soak.rss_epoch1_kb as f64 * SOAK_RSS_FLAT_FACTOR) as u64 + SOAK_RSS_FLAT_SLACK_KB;
+        if soak.rss_epoch1_kb > 0 && soak.peak_rss_kb > limit {
+            return Err(format!(
+                "soak@{} shards={}: peak RSS {} kB grew past {} kB \
+                 (epoch-1 mark {} kB × {SOAK_RSS_FLAT_FACTOR} + {SOAK_RSS_FLAT_SLACK_KB}) — \
+                 a day of fault churn is accreting state",
+                row.things, row.shards, soak.peak_rss_kb, limit, soak.rss_epoch1_kb,
+            ));
+        }
+        println!(
+            "gate ok: soak@{} shards={} held all invariants over {} faults; \
+             peak RSS {} kB within the flatness bound ({} kB)",
+            row.things, row.shards, soak.faults_injected, soak.peak_rss_kb, limit,
+        );
+    }
+    Ok(())
+}
+
 /// Applies the regression gates; returns an error message on failure.
 fn gate(current: &BenchReport, baseline: &BenchReport) -> Result<(), String> {
     // Deterministic metrics should match the baseline bit-for-bit; drift
@@ -455,11 +590,14 @@ fn gate(current: &BenchReport, baseline: &BenchReport) -> Result<(), String> {
                 || row.metrics.virtual_ms != b.metrics.virtual_ms
                 || row.metrics.payload_allocs != b.metrics.payload_allocs
                 || row.metrics.payload_clones != b.metrics.payload_clones
+                || row.faults_injected != b.faults_injected
+                || row.soak_ticks != b.soak_ticks
             {
                 eprintln!(
                     "warning: {}@{} drifted from baseline \
                      (frames {} -> {}, virtual {:.1} -> {:.1} ms, \
-                     payload allocs {} -> {}, clones {} -> {}); \
+                     payload allocs {} -> {}, clones {} -> {}, \
+                     faults {} -> {}, soak ticks {} -> {}); \
                      refresh bench/baseline.json if intentional",
                     row.metrics.scenario,
                     row.things,
@@ -471,13 +609,28 @@ fn gate(current: &BenchReport, baseline: &BenchReport) -> Result<(), String> {
                     row.metrics.payload_allocs,
                     b.metrics.payload_clones,
                     row.metrics.payload_clones,
+                    b.faults_injected,
+                    row.faults_injected,
+                    b.soak_ticks,
+                    row.soak_ticks,
                 );
             }
         }
     }
 
     // Wall-clock gates: 1k and 5k sequential discovery, plus the sharded
-    // rows in GATE_WALL_SHARDED when both sides carry them.
+    // rows in GATE_WALL_SHARDED when both sides carry them. A run that
+    // produced no discovery rows at all (e.g. the nightly soak-only
+    // profile) skips them: there is nothing to time, and the drift
+    // comparison above already covered whatever rows it did produce.
+    if !current
+        .scenarios
+        .iter()
+        .any(|r| r.metrics.scenario == GATE_SCENARIO)
+    {
+        println!("gate skipped: no {GATE_SCENARIO} rows in this run (scenario subset)");
+        return Ok(());
+    }
     let wall_rows: Vec<(usize, usize, bool)> = GATE_WALL_THINGS
         .iter()
         .map(|&t| (t, 1, true))
@@ -548,7 +701,8 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: fleet [--nodes N,N,..] [--shards K,K,..] [--seed N] \
-                 [--scenario discovery|churn|steady|all] [--out FILE] [--gate BASELINE]"
+                 [--scenario discovery|churn|steady|flash|soak|all] [--out FILE] \
+                 [--gate BASELINE]"
             );
             return ExitCode::from(2);
         }
@@ -576,6 +730,13 @@ fn main() -> ExitCode {
     // The cache-tier floors are absolute (deterministic counters), so
     // they apply whenever flash rows were produced — no baseline needed.
     if let Err(e) = gate_cache_tier(&report) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    // Soak gates are absolute too: invariant verdicts and RSS flatness
+    // travel inside the rows, whenever soak rows were produced.
+    if let Err(e) = gate_soak(&report) {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }

@@ -1,0 +1,532 @@
+//! Day-scale chaos soak: deterministic, seeded fault injection over a
+//! running fleet.
+//!
+//! The paper evaluates µPnP on a healthy testbed; the failure paths —
+//! a cache dying mid-chunk-transfer, a partitioned subtree, the Manager
+//! host going away — are exactly the code nobody exercises until an
+//! overnight deployment does. This module drives those paths on
+//! purpose, for a virtual day at a time, against either simulator
+//! backend: every fault is drawn from a [`SimRng`] stream seeded by one
+//! `u64` and applied at an explicit virtual instant, so a soak is as
+//! reproducible as a discovery wave and the sequential and sharded
+//! worlds inject byte-identical fault schedules.
+//!
+//! A soak is a sequence of epochs. Each epoch: a battery-churn wave
+//! replugs Things (rotating their peripheral type so the driver tier
+//! sees cold fetches, with depletion driven by the metered radio energy
+//! of the previous epochs), the run pauses *mid-wave* at a deterministic
+//! instant, faults land — cache crashes that drain parked singleflight
+//! followers, root↔cache link partitions, primary-Manager failover to
+//! the hot standby — the chaos plays out to idle, operators heal and
+//! reroot, a repair wave replugs anything the faults starved, and the
+//! whole-soak invariants are checked: exactly-once discovery against
+//! the occupancy oracle, cache coherence against a fresh-build DODAG,
+//! bounded Manager retention, and (reported, gated by the bench layer)
+//! peak-RSS flatness.
+
+use serde::{Deserialize, Serialize};
+use upnp_net::link::LinkQuality;
+use upnp_net::NodeId;
+use upnp_sim::{SimDuration, SimRng};
+
+use crate::fleet::{Fleet, ScenarioMetrics};
+use crate::manager::MAX_INVENTORY;
+use crate::world::{CacheId, SimWorld};
+
+/// Shape of one chaos soak: how long, and how hostile.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed of the fault schedule (independent of the fleet seed).
+    pub seed: u64,
+    /// Number of epochs; each epoch spans exactly [`ChaosConfig::epoch`]
+    /// of virtual time.
+    pub epochs: usize,
+    /// Virtual span of one epoch.
+    pub epoch: SimDuration,
+    /// Cache crashes injected mid-wave each epoch (dead until the heal
+    /// phase; parked singleflight followers are re-resolved on crash).
+    pub cache_crashes_per_epoch: usize,
+    /// Root↔cache uplink partitions injected mid-wave each epoch.
+    pub partitions_per_epoch: usize,
+    /// Fail the primary Manager every this-many epochs (the standby
+    /// takes over); `0` disables failover chaos. Requires
+    /// [`crate::fleet::FleetConfig::with_standby`].
+    pub failover_every: usize,
+    /// Reroot storms after each heal: the DODAG is rebuilt this many
+    /// times once links are restored.
+    pub reroots_per_heal: usize,
+    /// Floor of battery-churn replugs per epoch (random picks); Things
+    /// whose metered radio energy exceeds their battery budget churn on
+    /// top of this.
+    pub battery_churn_per_epoch: usize,
+    /// Mean battery budget, joules of radio energy per swap. Each Thing
+    /// gets a seeded per-unit jitter in `[0.5, 1.5)` of this.
+    pub battery_budget_j: f64,
+    /// Delay from epoch start (battery deaths) to the replug wave.
+    pub replug_delay: SimDuration,
+    /// Offset past the replug-wave base at which the run pauses and the
+    /// epoch's faults land — small enough that driver chunk transfers
+    /// are still in flight.
+    pub fault_offset: SimDuration,
+}
+
+impl ChaosConfig {
+    /// The acceptance shape: 24 one-hour epochs (one virtual day) of
+    /// crashes, partitions, periodic failover and battery churn.
+    pub fn day(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            epochs: 24,
+            epoch: SimDuration::from_secs(3600),
+            cache_crashes_per_epoch: 2,
+            partitions_per_epoch: 2,
+            failover_every: 6,
+            reroots_per_heal: 2,
+            battery_churn_per_epoch: 32,
+            battery_budget_j: 0.75,
+            replug_delay: SimDuration::from_millis(500),
+            // Peripheral identification takes ~240 ms after a plug;
+            // this offset drops the faults while the replug wave's
+            // driver fetches are in flight at the caches.
+            fault_offset: SimDuration::from_millis(250),
+        }
+    }
+
+    /// A short soak for tests: three 30-second epochs, one fault of
+    /// each kind per epoch, failover every other epoch.
+    pub fn smoke(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            epochs: 3,
+            epoch: SimDuration::from_secs(30),
+            cache_crashes_per_epoch: 1,
+            partitions_per_epoch: 1,
+            failover_every: 2,
+            reroots_per_heal: 1,
+            battery_churn_per_epoch: 4,
+            battery_budget_j: 0.25,
+            replug_delay: SimDuration::from_millis(200),
+            fault_offset: SimDuration::from_millis(250),
+        }
+    }
+}
+
+/// Outcome of one chaos soak: fault counters plus invariant verdicts.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SoakReport {
+    /// Epochs completed.
+    pub epochs: usize,
+    /// Scheduler phases driven (run/pause cycles across the soak).
+    pub soak_ticks: u64,
+    /// Virtual time the soak spanned, milliseconds.
+    pub virtual_ms: f64,
+    /// Total faults injected (crashes + partitions + failovers +
+    /// reroots + battery deaths).
+    pub faults_injected: u64,
+    /// Cache crashes injected.
+    pub cache_crashes: u64,
+    /// Link partitions injected.
+    pub partitions: u64,
+    /// Primary-Manager failovers injected.
+    pub failovers: u64,
+    /// DODAG reroots driven during heal phases.
+    pub reroots: u64,
+    /// Battery deaths (unplugs) injected.
+    pub battery_unplugs: u64,
+    /// Battery swaps (replugs, rotated peripheral type) injected.
+    pub battery_replugs: u64,
+    /// Parked singleflight followers drained by cache crashes and
+    /// re-resolved to the next-nearest anycast instance.
+    pub followers_drained: u64,
+    /// Things the repair wave had to replug after faults starved their
+    /// driver fetch.
+    pub repairs: u64,
+    /// Epoch-end Things whose served-driver state disagreed with the
+    /// occupancy oracle (must be 0).
+    pub discovery_violations: u64,
+    /// Epoch-end cache/anycast coherence failures against the
+    /// fresh-build DODAG oracle (must be 0).
+    pub coherence_violations: u64,
+    /// Epoch-end Manager-retention breaches of
+    /// `MAX_INVENTORY × replicas` (must be 0).
+    pub retention_violations: u64,
+    /// Host peak-RSS high-water mark at soak end, kilobytes (0 where
+    /// `/proc/self/status` is unavailable).
+    pub peak_rss_kb: u64,
+    /// Host peak-RSS high-water mark after the first epoch — the bench
+    /// layer gates `peak_rss_kb` flatness against it.
+    pub rss_epoch1_kb: u64,
+}
+
+impl SoakReport {
+    /// Did every whole-soak invariant hold?
+    pub fn invariants_held(&self) -> bool {
+        self.discovery_violations == 0
+            && self.coherence_violations == 0
+            && self.retention_violations == 0
+    }
+
+    /// Everything deterministic about the soak in one comparable string.
+    /// Host RSS is excluded (wall-side), and so is the retention
+    /// verdict: its bound scales with the replica count, which is
+    /// shard-dependent the same way `mgr_inventory` is (see
+    /// [`crate::fleet::ScenarioMetrics::deterministic_summary`]) —
+    /// [`SoakReport::invariants_held`] still enforces it per run.
+    pub fn deterministic_summary(&self) -> String {
+        format!(
+            "soak epochs={} ticks={} virtual={} faults={} \
+             crash={} cut={} failover={} reroot={} battery=({},{}) \
+             drained={} repairs={} violations=({},{})",
+            self.epochs,
+            self.soak_ticks,
+            self.virtual_ms,
+            self.faults_injected,
+            self.cache_crashes,
+            self.partitions,
+            self.failovers,
+            self.reroots,
+            self.battery_unplugs,
+            self.battery_replugs,
+            self.followers_drained,
+            self.repairs,
+            self.discovery_violations,
+            self.coherence_violations,
+        )
+    }
+}
+
+/// Host peak-RSS high-water mark (`VmHWM`), kilobytes; 0 off-Linux.
+pub fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+impl<W: SimWorld> Fleet<W> {
+    /// Runs a chaos soak over this fleet and reports what happened.
+    ///
+    /// Epoch 0 doubles as the initial discovery wave (every Thing
+    /// plugs); later epochs churn the battery-death subset. The fault
+    /// schedule depends only on `cfg.seed`, the fleet shape and metered
+    /// radio energy — all deterministic — so the same soak on the
+    /// sequential and sharded backends is bit-identical.
+    pub fn chaos_soak(&mut self, cfg: &ChaosConfig) -> SoakReport {
+        assert!(cfg.epochs > 0, "a soak needs at least one epoch");
+        if cfg.failover_every > 0 {
+            assert!(
+                self.config.standby,
+                "failover chaos needs FleetConfig::with_standby()"
+            );
+        }
+        // The manager is always the first node a fleet builds.
+        let root = NodeId(0);
+        let pool = self.config.device_pool.clone();
+        let n = self.things.len();
+        let mut rng = SimRng::seed(cfg.seed ^ 0xc4a0_50a4).fork(n as u64);
+        // Battery model: every swap rotates the Thing's peripheral one
+        // step through the pool (round 0 is the fleet's round-robin
+        // assignment), and per-Thing budgets jitter around the mean so
+        // depletion desynchronises across epochs.
+        let mut plug_round = vec![0usize; n];
+        let budgets: Vec<f64> = (0..n)
+            .map(|_| cfg.battery_budget_j * (0.5 + rng.index(1024) as f64 / 1024.0))
+            .collect();
+        let mut last_swap_j = vec![0.0f64; n];
+
+        let mut report = SoakReport::default();
+        let soak_start = self.world.now();
+        for e in 0..cfg.epochs {
+            let epoch_start = self.world.now();
+
+            // Battery churn wave. Epoch 0 plugs the whole fleet (the
+            // initial discovery wave); later epochs churn the seeded
+            // floor picks plus every Thing whose radio spent its budget.
+            let churn: Vec<usize> = if e == 0 {
+                (0..n).collect()
+            } else {
+                let mut picked = vec![false; n];
+                for _ in 0..cfg.battery_churn_per_epoch.min(n) {
+                    picked[rng.index(n)] = true;
+                }
+                for (i, p) in picked.iter_mut().enumerate() {
+                    let drawn = self
+                        .world
+                        .radio_energy_j(self.world.thing_node(self.things[i]));
+                    if drawn - last_swap_j[i] >= budgets[i] {
+                        *p = true;
+                    }
+                }
+                (0..n).filter(|&i| picked[i]).collect()
+            };
+            for (j, &i) in churn.iter().enumerate() {
+                let t = self.things[i];
+                let stag = self.config.stagger.saturating_mul(j as u64);
+                if self.occupancy[i].is_some() {
+                    self.world.unplug_at(epoch_start + stag, t, 0);
+                    plug_round[i] += 1;
+                    report.battery_unplugs += 1;
+                }
+                let device = pool[(i + plug_round[i]) % pool.len()];
+                self.world
+                    .plug_at(epoch_start + cfg.replug_delay + stag, t, 0, device);
+                self.occupancy[i] = Some(device);
+                if e > 0 {
+                    report.battery_replugs += 1;
+                }
+                last_swap_j[i] = self.world.radio_energy_j(self.world.thing_node(t));
+            }
+
+            // Pause mid-wave — replugs are still fetching drivers — and
+            // land the epoch's faults at that exact instant.
+            let mid = epoch_start + cfg.replug_delay + cfg.fault_offset;
+            self.world.run_until(mid);
+            report.soak_ticks += 1;
+            let mut crashed: Vec<CacheId> = Vec::new();
+            let mut cut: Vec<(NodeId, LinkQuality)> = Vec::new();
+            if !self.caches.is_empty() {
+                for _ in 0..cfg.cache_crashes_per_epoch {
+                    let pick = self.caches[rng.index(self.caches.len())];
+                    if crashed.contains(&pick) {
+                        continue;
+                    }
+                    report.followers_drained += self.world.crash_cache(mid, pick) as u64;
+                    crashed.push(pick);
+                    report.cache_crashes += 1;
+                }
+                for _ in 0..cfg.partitions_per_epoch {
+                    let node = self
+                        .world
+                        .cache_node(self.caches[rng.index(self.caches.len())]);
+                    if let Some(quality) = self.world.partition_link(root, node) {
+                        cut.push((node, quality));
+                        report.partitions += 1;
+                    }
+                }
+            }
+            let failover = cfg.failover_every > 0 && (e + 1) % cfg.failover_every == 0;
+            if failover {
+                self.world.fail_primary();
+                report.failovers += 1;
+            }
+
+            // Let the chaos play out against the rest of the wave.
+            self.world.run_until_idle();
+            report.soak_ticks += 1;
+
+            // Ops heal: links back, caches revived cold, primary
+            // restored, then a reroot storm rebuilds the DODAG.
+            for (node, quality) in cut {
+                self.world.heal_link(root, node, quality);
+            }
+            for c in crashed {
+                self.world.revive_cache(c);
+            }
+            if failover {
+                self.world.restore_primary();
+            }
+            for _ in 0..cfg.reroots_per_heal {
+                self.world.rebuild_tree();
+                report.reroots += 1;
+            }
+
+            // Repair wave: anything the faults starved (request dropped
+            // in a partition, fetch died with its cache) replugs now
+            // that the fabric is whole again.
+            let heal_at = self.world.now();
+            let mut lane = 0u64;
+            for i in 0..n {
+                let Some(device) = self.occupancy[i] else {
+                    continue;
+                };
+                let thing = self.world.thing(self.things[i]);
+                if thing.served_peripherals().contains(&device.raw()) {
+                    continue;
+                }
+                let at = heal_at + self.config.stagger.saturating_mul(lane);
+                self.world.unplug_at(at, self.things[i], 0);
+                self.world
+                    .plug_at(at + self.config.stagger, self.things[i], 0, device);
+                report.repairs += 1;
+                lane += 2;
+            }
+            self.world.run_until_idle();
+            report.soak_ticks += 1;
+
+            // Whole-soak invariants, checked every epoch.
+            for i in 0..n {
+                let served = self.world.thing(self.things[i]).served_peripherals();
+                let ok = match self.occupancy[i] {
+                    Some(device) => served.iter().filter(|&&p| p == device.raw()).count() == 1,
+                    None => served.is_empty(),
+                };
+                if !ok {
+                    report.discovery_violations += 1;
+                }
+            }
+            if !self.world.caches_coherent() {
+                report.coherence_violations += 1;
+            }
+            let bound = MAX_INVENTORY as u64 * self.world.manager_replicas();
+            if self.world.distro_stats().mgr_inventory > bound {
+                report.retention_violations += 1;
+            }
+            if e == 0 {
+                report.rss_epoch1_kb = peak_rss_kb();
+            }
+
+            // Advance to the epoch boundary so every epoch spans exactly
+            // `cfg.epoch` of virtual time.
+            let boundary = epoch_start + cfg.epoch;
+            if boundary > self.world.now() {
+                self.world.run_until(boundary);
+                report.soak_ticks += 1;
+            }
+        }
+
+        report.epochs = cfg.epochs;
+        report.virtual_ms = self
+            .world
+            .now()
+            .saturating_since(soak_start)
+            .as_millis_f64();
+        report.faults_injected = report.cache_crashes
+            + report.partitions
+            + report.failovers
+            + report.reroots
+            + report.battery_unplugs;
+        report.peak_rss_kb = peak_rss_kb();
+        report
+    }
+
+    /// Runs the chaos soak as a measured scenario — the standard
+    /// [`crate::fleet::ScenarioMetrics`] row (so the benchmark's
+    /// shard-identity and drift machinery covers soaks like any other
+    /// scenario) paired with the [`SoakReport`]. Events are the injected
+    /// faults; a soak "completes" its events only while every invariant
+    /// holds.
+    pub fn soak_scenario(&mut self, cfg: &ChaosConfig) -> (ScenarioMetrics, SoakReport) {
+        let mut probe = self.start_scenario();
+        let report = self.chaos_soak(cfg);
+        let events = report.faults_injected as usize;
+        let violations = (report.discovery_violations
+            + report.coherence_violations
+            + report.retention_violations) as usize;
+        let completed = events.saturating_sub(violations);
+        let metrics = self.finish_scenario(&mut probe, "soak", events, completed, Vec::new());
+        (metrics, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{FleetConfig, FleetTopology};
+    use crate::world::World;
+
+    fn soak_config(things: usize) -> FleetConfig {
+        FleetConfig::new(things)
+            .with_caches(2)
+            .with_standby()
+            .with_seed(0x50ac)
+    }
+
+    #[test]
+    fn smoke_soak_holds_every_invariant() {
+        let mut fleet = Fleet::build(soak_config(12));
+        let report = fleet.chaos_soak(&ChaosConfig::smoke(1));
+        assert!(
+            report.invariants_held(),
+            "soak violated invariants: {report:?}"
+        );
+        assert_eq!(report.epochs, 3);
+        assert!(report.cache_crashes > 0, "no cache crashes injected");
+        assert!(report.partitions > 0, "no partitions injected");
+        assert_eq!(report.failovers, 1, "failover_every=2 over 3 epochs");
+        assert!(report.battery_replugs > 0, "no battery churn");
+        assert!(report.faults_injected > 0);
+        // Three 30-second epochs, pinned to the boundary.
+        assert!(report.virtual_ms >= 3.0 * 30_000.0);
+    }
+
+    #[test]
+    fn soak_is_reproducible() {
+        let run = || {
+            let mut fleet = Fleet::build(soak_config(10));
+            let report = fleet.chaos_soak(&ChaosConfig::smoke(7));
+            (report.deterministic_summary(), fleet.fingerprint())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn mid_transfer_crash_drains_parked_followers() {
+        // One cache, one device type, 1 ms-stagger flash replug: every
+        // Thing behind the cache coalesces onto the same in-flight
+        // chunked fetch (identification takes ~240 ms, then the fetch
+        // holds followers for tens of virtual milliseconds). Pausing
+        // inside that window and crashing the cache must surface the
+        // parked followers so they re-resolve to the next-nearest
+        // instance (the origin) — the satellite-1/2 failure path,
+        // driven end-to-end by the soak.
+        let mut config = soak_config(8);
+        config.device_pool.truncate(1);
+        config.stagger = SimDuration::from_millis(1);
+        let mut fleet = Fleet::build(config);
+        let chaos = ChaosConfig {
+            cache_crashes_per_epoch: 1,
+            partitions_per_epoch: 0,
+            failover_every: 0,
+            fault_offset: SimDuration::from_millis(250),
+            epochs: 1,
+            ..ChaosConfig::smoke(3)
+        };
+        let report = fleet.chaos_soak(&chaos);
+        assert!(
+            report.followers_drained > 0,
+            "crash mid-transfer must drain parked singleflight followers: {report:?}"
+        );
+        assert!(report.invariants_held(), "{report:?}");
+    }
+
+    #[test]
+    fn failover_soak_serves_through_the_standby() {
+        let mut fleet = Fleet::build(soak_config(8));
+        let chaos = ChaosConfig {
+            failover_every: 1,
+            ..ChaosConfig::smoke(11)
+        };
+        let report = fleet.chaos_soak(&chaos);
+        assert_eq!(report.failovers, 3, "one failover per epoch");
+        assert!(report.invariants_held(), "{report:?}");
+        // Both replicas answered driver fetches at some point.
+        assert!(fleet.world.distro_stats().origin_uploads > 0);
+    }
+
+    #[test]
+    fn soak_on_tree_topology_holds_invariants() {
+        let config = soak_config(18).with_topology(FleetTopology::Tree { fanout: 3 });
+        let mut fleet = Fleet::build(config);
+        let report = fleet.chaos_soak(&ChaosConfig::smoke(5));
+        assert!(report.invariants_held(), "{report:?}");
+        assert!(report.faults_injected > 0);
+    }
+
+    #[test]
+    fn cacheless_soak_still_churns_and_holds() {
+        // Without a distribution tier there is nothing to crash or
+        // partition, but battery churn and failover still apply.
+        let config = FleetConfig::new(6).with_standby().with_seed(0x50ac);
+        let mut fleet: Fleet<World> = Fleet::build(config);
+        let report = fleet.chaos_soak(&ChaosConfig::smoke(9));
+        assert_eq!(report.cache_crashes, 0);
+        assert_eq!(report.partitions, 0);
+        assert!(report.battery_replugs > 0);
+        assert!(report.invariants_held(), "{report:?}");
+    }
+}

@@ -54,6 +54,11 @@ pub struct FleetConfig {
     /// subtree shaped by `topology`), and their driver requests
     /// anycast-resolve to the cache above them instead of the origin.
     pub caches: usize,
+    /// Provision a hot-standby Manager replica next to the primary. The
+    /// standby shares both anycast addresses, hears every multicast the
+    /// primary hears, and takes over deterministically when the chaos
+    /// harness kills the primary (see [`crate::chaos`]).
+    pub standby: bool,
     /// Quality of every link.
     pub link_prr: f64,
     /// Master seed; every stochastic choice in the fleet derives from it.
@@ -77,6 +82,7 @@ impl FleetConfig {
                 .collect(),
             topology: FleetTopology::Star,
             caches: 0,
+            standby: false,
             link_prr: 1.0,
             seed: 0x6030,
             stagger: SimDuration::from_millis(20),
@@ -99,6 +105,12 @@ impl FleetConfig {
     /// style).
     pub fn with_caches(mut self, caches: usize) -> Self {
         self.caches = caches;
+        self
+    }
+
+    /// Adds a hot-standby Manager replica (builder style).
+    pub fn with_standby(mut self) -> Self {
+        self.standby = true;
         self
     }
 }
@@ -200,8 +212,8 @@ impl ScenarioMetrics {
     /// new deterministic column belongs here to be covered by both.
     ///
     /// `mgr_inventory` is also excluded: it is a *level* of the
-    /// replicated Manager, and the per-replica [`MAX_INVENTORY`]
-    /// (crate::manager::MAX_INVENTORY) cap means the summed level only
+    /// replicated Manager, and the per-replica
+    /// [`crate::manager::MAX_INVENTORY`] cap means the summed level only
     /// decomposes across shards while every replica is under its cap —
     /// beyond that, sequential and sharded runs legitimately retain
     /// different sets. Counters (acks, uploads) are additive deltas and
@@ -253,12 +265,12 @@ pub struct Fleet<W: SimWorld = World> {
     pub clients: Vec<ClientId>,
     /// All edge-cache handles (empty unless [`FleetConfig::caches`] > 0).
     pub caches: Vec<CacheId>,
-    config: FleetConfig,
+    pub(crate) config: FleetConfig,
     /// Scenario-level randomness, forked off the world seed.
-    rng: SimRng,
+    pub(crate) rng: SimRng,
     /// Shadow of channel-0 occupancy per Thing, used when scheduling
     /// churn so plug/unplug alternate consistently.
-    occupancy: Vec<Option<DeviceTypeId>>,
+    pub(crate) occupancy: Vec<Option<DeviceTypeId>>,
 }
 
 /// A fleet running on the thread-parallel sharded simulator.
@@ -287,7 +299,11 @@ impl<W: SimWorld> Fleet<W> {
     fn world_config(config: &FleetConfig) -> WorldConfig {
         WorldConfig {
             seed: config.seed,
-            expected_nodes: 1 + config.caches + config.things + config.clients,
+            expected_nodes: 1
+                + usize::from(config.standby)
+                + config.caches
+                + config.things
+                + config.clients,
             ..WorldConfig::default()
         }
     }
@@ -301,6 +317,13 @@ impl<W: SimWorld> Fleet<W> {
             "a fleet needs at least one peripheral type"
         );
         let manager = world.add_manager();
+        // The standby must be node 1 — right after the manager, before
+        // every cache — so its NodeId wins the anycast tiebreak at equal
+        // root distance in every shard alike (takeover determinism).
+        if config.standby {
+            let sb = world.add_standby();
+            world.link(manager, sb, LinkQuality::PERFECT);
+        }
         let caches: Vec<CacheId> = (0..config.caches).map(|_| world.add_cache()).collect();
         let things: Vec<ThingId> = (0..config.things).map(|_| world.add_thing()).collect();
         let clients: Vec<ClientId> = (0..config.clients).map(|_| world.add_client()).collect();
@@ -636,7 +659,7 @@ impl<W: SimWorld> Fleet<W> {
         h.finish()
     }
 
-    fn start_scenario(&self) -> ScenarioProbe {
+    pub(crate) fn start_scenario(&self) -> ScenarioProbe {
         ScenarioProbe {
             wall: Instant::now(),
             virtual_start: self.world.now(),
@@ -647,7 +670,7 @@ impl<W: SimWorld> Fleet<W> {
         }
     }
 
-    fn finish_scenario(
+    pub(crate) fn finish_scenario(
         &self,
         probe: &mut ScenarioProbe,
         scenario: &str,
@@ -701,7 +724,7 @@ impl<W: SimWorld> Fleet<W> {
     }
 }
 
-struct ScenarioProbe {
+pub(crate) struct ScenarioProbe {
     wall: Instant,
     virtual_start: SimTime,
     stats: upnp_net::network::NetStats,

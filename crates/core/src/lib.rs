@@ -25,6 +25,7 @@
 pub use upnp_distro as distro;
 
 pub mod catalog;
+pub mod chaos;
 pub mod client;
 pub mod fleet;
 pub mod manager;
@@ -34,6 +35,7 @@ pub mod thing;
 pub mod world;
 
 pub use catalog::{Catalog, CatalogEntry};
+pub use chaos::{ChaosConfig, SoakReport};
 pub use client::Client;
 pub use fleet::{Fleet, FleetConfig, FleetTopology, LatencyStats, ScenarioMetrics, ShardedFleet};
 pub use manager::Manager;

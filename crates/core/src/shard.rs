@@ -51,6 +51,7 @@ use crate::world::{CacheId, ClientId, DistroStats, SimWorld, ThingId, World, Wor
 #[derive(Debug, Clone, Copy)]
 enum BuildOp {
     Manager,
+    Standby,
     Thing,
     Client,
     Cache,
@@ -75,6 +76,9 @@ struct Build {
     /// (all its requesters live in the same subtree).
     cache_nodes: Vec<NodeId>,
     manager: Option<NodeId>,
+    /// The standby Manager replica's node. Replicated like the primary:
+    /// takeover must resolve identically in every shard.
+    standby: Option<NodeId>,
 }
 
 /// Per-(shard, client) drain cursors into the replica's observation
@@ -90,16 +94,23 @@ struct ClientCursor {
     stream_groups: usize,
 }
 
-/// One freshly built shard: its world, the Things it owns as
-/// `(global index, local handle)` pairs, and the client addresses (the
-/// same in every shard).
-type BuiltShard = (World, Vec<(usize, ThingId)>, Vec<Ipv6Addr>);
+/// One freshly built shard: its world, the Things and edge caches it
+/// owns as `(global index, local handle)` pairs, and the client
+/// addresses (the same in every shard).
+type BuiltShard = (
+    World,
+    Vec<(usize, ThingId)>,
+    Vec<(usize, CacheId)>,
+    Vec<Ipv6Addr>,
+);
 
 /// The materialised, runnable state.
 struct Running {
     shards: Vec<World>,
     /// Global thing index → (owning shard, local handle in that shard).
     thing_home: Vec<(usize, ThingId)>,
+    /// Global cache index → (owning shard, local handle in that shard).
+    cache_home: Vec<(usize, CacheId)>,
     /// Global thing index → network node.
     thing_nodes: Vec<NodeId>,
     /// Global cache index → network node.
@@ -289,6 +300,7 @@ impl ShardedWorld {
         let replicated: Vec<NodeId> = build
             .manager
             .into_iter()
+            .chain(build.standby)
             .chain(client_nodes.iter().copied())
             .collect();
 
@@ -300,13 +312,15 @@ impl ShardedWorld {
         let build_shard = |s: usize| -> BuiltShard {
             let mut w = World::new(config.clone());
             let mut owned = Vec::new();
+            let mut owned_caches = Vec::new();
             let mut addrs = Vec::with_capacity(n_clients);
             let mut thing_idx = 0usize;
             let mut cache_idx = 0usize;
             // A node is simulated here if it is replicated (manager,
-            // clients) or a Thing/cache this shard owns.
+            // standby, clients) or a Thing/cache this shard owns.
             let local = |n: NodeId| {
                 Some(n) == build.manager
+                    || Some(n) == build.standby
                     || client_nodes.contains(&n)
                     || thing_owner.get(&n) == Some(&s)
                     || cache_owner.get(&n) == Some(&s)
@@ -315,6 +329,9 @@ impl ShardedWorld {
                 match op {
                     BuildOp::Manager => {
                         w.add_manager();
+                    }
+                    BuildOp::Standby => {
+                        w.add_standby();
                     }
                     BuildOp::Thing => {
                         let i = thing_idx;
@@ -338,6 +355,7 @@ impl ShardedWorld {
                         if cache_assignment[i] == s {
                             let id = w.add_cache();
                             debug_assert_eq!(w.cache_node(id), cache_nodes[i]);
+                            owned_caches.push((i, id));
                         } else {
                             // Another shard's cache: occupy the node slot
                             // so ids line up, but leave it unlinked and
@@ -356,7 +374,7 @@ impl ShardedWorld {
             w.build_tree(root);
             w.net.set_replicated_nodes(replicated.iter().copied());
             w.net.enable_cross_shard_capture();
-            (w, owned, addrs)
+            (w, owned, owned_caches, addrs)
         };
         let mut built: Vec<BuiltShard> = Vec::with_capacity(shards);
         if shards == 1 {
@@ -375,10 +393,14 @@ impl ShardedWorld {
 
         let mut worlds = Vec::with_capacity(shards);
         let mut thing_home = vec![(0usize, ThingId(0)); n_things];
+        let mut cache_home = vec![(0usize, CacheId(0)); cache_nodes.len()];
         let mut client_addrs = vec![Ipv6Addr::UNSPECIFIED; n_clients];
-        for (s, (w, owned, addrs)) in built.into_iter().enumerate() {
+        for (s, (w, owned, owned_caches, addrs)) in built.into_iter().enumerate() {
             for (i, id) in owned {
                 thing_home[i] = (s, id);
+            }
+            for (i, id) in owned_caches {
+                cache_home[i] = (s, id);
             }
             client_addrs = addrs;
             worlds.push(w);
@@ -400,6 +422,7 @@ impl ShardedWorld {
             cursors: vec![vec![ClientCursor::default(); n_clients]; worlds.len()],
             shards: worlds,
             thing_home,
+            cache_home,
             thing_nodes,
             cache_nodes,
             node_shard,
@@ -468,23 +491,82 @@ impl ShardedWorld {
         }
     }
 
-    /// One parallel round: every shard runs its own event loop to idle on
-    /// its own thread.
-    fn run_round(shards: &mut [World]) {
+    /// One parallel round: every shard runs its own event loop on its own
+    /// thread — to idle, or (when the chaos harness pauses a wave
+    /// mid-transfer) to exactly the virtual `deadline`.
+    fn run_round(shards: &mut [World], until: Option<SimTime>) {
         if shards.len() == 1 {
-            shards[0].run_until_idle();
+            match until {
+                None => shards[0].run_until_idle(),
+                Some(deadline) => shards[0].run_until(deadline),
+            }
             return;
         }
         std::thread::scope(|scope| {
             for w in shards.iter_mut() {
                 scope.spawn(move || {
-                    w.run_until_idle();
+                    match until {
+                        None => w.run_until_idle(),
+                        Some(deadline) => w.run_until(deadline),
+                    }
                     // Must be the closure's last act: the scope waits for
                     // closures, not for TLS destructors.
                     upnp_net::msg::flush_payload_stats();
                 });
             }
         });
+    }
+
+    /// Runs rounds and exchanges cross-shard frames until quiescent —
+    /// fully idle (`until: None`), or idle *up to* a virtual deadline
+    /// with every shard's clock left exactly there (`until: Some`): the
+    /// sharded mirror of [`World::run_until`], so fault instants mean
+    /// the same thing on both simulators.
+    fn run_phase(r: &mut Running, until: Option<SimTime>) {
+        loop {
+            Self::run_round(&mut r.shards, until);
+            Self::merge_clients(r);
+
+            // Epoch boundary: exchange the multicasts whose groups span
+            // shards, replayed from the root in deterministic order.
+            // Under a deadline every captured frame reached its root at
+            // or before it, so replaying cannot leak past the pause.
+            let mut frames: Vec<(usize, RootedFrame)> = Vec::new();
+            for (s, w) in r.shards.iter_mut().enumerate() {
+                frames.extend(w.net.take_cross_frames().into_iter().map(|f| (s, f)));
+            }
+            if frames.is_empty() {
+                break;
+            }
+            frames.sort_by_key(|&(s, ref f)| (f.at_root, s));
+            for (src, frame) in frames {
+                for (t, w) in r.shards.iter_mut().enumerate() {
+                    if t == src {
+                        continue;
+                    }
+                    if frame.lost {
+                        // The uplink died in the origin shard; this
+                        // shard's members count as drops, as they would
+                        // in the sequential simulator.
+                        w.net.drop_from_root(&frame.dgram);
+                    } else {
+                        w.net
+                            .multicast_from_root(frame.at_root, frame.dgram.coordination_clone());
+                    }
+                }
+            }
+        }
+        r.now = match until {
+            None => r
+                .shards
+                .iter()
+                .map(|w| w.now())
+                .max()
+                .unwrap_or(SimTime::ZERO),
+            // Every shard ran to exactly the deadline (run_until pins the
+            // clock there) — so did the sequential simulator.
+            Some(deadline) => deadline,
+        };
     }
 }
 
@@ -496,6 +578,17 @@ impl SimWorld for ShardedWorld {
         b.next_node += 1;
         b.manager = Some(node);
         b.ops.push(BuildOp::Manager);
+        node
+    }
+
+    fn add_standby(&mut self) -> NodeId {
+        let b = self.build_mut();
+        assert!(b.manager.is_some(), "standby needs a primary");
+        assert!(b.standby.is_none(), "world already has a standby");
+        let node = NodeId(b.next_node);
+        b.next_node += 1;
+        b.standby = Some(node);
+        b.ops.push(BuildOp::Standby);
         node
     }
 
@@ -551,6 +644,72 @@ impl SimWorld for ShardedWorld {
             total.mgr_removal_acks += s.mgr_removal_acks;
         }
         total
+    }
+
+    fn crash_cache(&mut self, at: SimTime, id: CacheId) -> usize {
+        // The cache, its LRU, its in-flight fetches and every parked
+        // follower all live in the one shard owning its subtree — the
+        // crash, the memo purge and the re-issued requests are local.
+        let r = self.running_mut();
+        let (s, local) = r.cache_home[id.0];
+        r.shards[s].crash_cache(at, local)
+    }
+
+    fn revive_cache(&mut self, id: CacheId) {
+        let r = self.running_mut();
+        let (s, local) = r.cache_home[id.0];
+        r.shards[s].revive_cache(local);
+    }
+
+    fn fail_primary(&mut self) {
+        // The Manager is replicated: it dies (and the standby takes
+        // over) in every shard at once, exactly as the sequential world
+        // sees one death.
+        for w in &mut self.running_mut().shards {
+            w.fail_primary();
+        }
+    }
+
+    fn restore_primary(&mut self) {
+        for w in &mut self.running_mut().shards {
+            w.restore_primary();
+        }
+    }
+
+    fn partition_link(&mut self, a: NodeId, b: NodeId) -> Option<LinkQuality> {
+        // A subtree link exists in exactly one shard; a link between
+        // replicated nodes exists in all of them. Severing everywhere
+        // covers both, and any copy's quality serves for the heal.
+        let mut quality = None;
+        for w in &mut self.running_mut().shards {
+            quality = w.partition_link(a, b).or(quality);
+        }
+        quality
+    }
+
+    fn heal_link(&mut self, a: NodeId, b: NodeId, q: LinkQuality) {
+        for w in &mut self.running_mut().shards {
+            // Each world re-links only endpoints it simulates.
+            w.heal_link(a, b, q);
+        }
+    }
+
+    fn rebuild_tree(&mut self) {
+        for w in &mut self.running_mut().shards {
+            w.rebuild_tree();
+        }
+    }
+
+    fn caches_coherent(&self) -> bool {
+        self.running().shards.iter().all(|w| w.caches_coherent())
+    }
+
+    fn manager_replicas(&self) -> u64 {
+        self.running()
+            .shards
+            .iter()
+            .map(|w| w.manager_replicas())
+            .sum()
     }
 
     fn link(&mut self, a: NodeId, b: NodeId, quality: LinkQuality) {
@@ -612,52 +771,27 @@ impl SimWorld for ShardedWorld {
     }
 
     fn run_until_idle(&mut self) {
-        let r = self.running_mut();
-        loop {
-            Self::run_round(&mut r.shards);
-            Self::merge_clients(r);
+        Self::run_phase(self.running_mut(), None);
+    }
 
-            // Epoch boundary: exchange the multicasts whose groups span
-            // shards, replayed from the root in deterministic order.
-            let mut frames: Vec<(usize, RootedFrame)> = Vec::new();
-            for (s, w) in r.shards.iter_mut().enumerate() {
-                frames.extend(w.net.take_cross_frames().into_iter().map(|f| (s, f)));
-            }
-            if frames.is_empty() {
-                break;
-            }
-            frames.sort_by_key(|&(s, ref f)| (f.at_root, s));
-            for (src, frame) in frames {
-                for (t, w) in r.shards.iter_mut().enumerate() {
-                    if t == src {
-                        continue;
-                    }
-                    if frame.lost {
-                        // The uplink died in the origin shard; this
-                        // shard's members count as drops, as they would
-                        // in the sequential simulator.
-                        w.net.drop_from_root(&frame.dgram);
-                    } else {
-                        w.net
-                            .multicast_from_root(frame.at_root, frame.dgram.coordination_clone());
-                    }
-                }
-            }
-        }
-        r.now = r
-            .shards
-            .iter()
-            .map(|w| w.now())
-            .max()
-            .unwrap_or(SimTime::ZERO);
+    fn run_until(&mut self, deadline: SimTime) {
+        Self::run_phase(self.running_mut(), Some(deadline));
     }
 
     fn inject(&mut self, at: SimTime, from: NodeId, dgram: Datagram) {
         let r = self.running_mut();
-        // Unicasts go to the shard that simulates the destination Thing;
-        // everything else (multicast, manager anycast, client unicast)
-        // homes on shard 0, whose replicas account the shared uplink.
-        let shard = r.addr_shard.get(&dgram.dst).copied().unwrap_or(0);
+        // Unicasts go to the shard that simulates the destination Thing.
+        // Otherwise (anycast/multicast dst), a datagram sourced at a
+        // Thing node runs in that Thing's shard — anycast must resolve
+        // against *its* subtree's cache, as it would sequentially.
+        // Everything else (client-sourced traffic) homes on shard 0,
+        // whose replicas account the shared uplink.
+        let shard = r
+            .addr_shard
+            .get(&dgram.dst)
+            .or_else(|| r.node_shard.get(&from))
+            .copied()
+            .unwrap_or(0);
         r.shards[shard].inject(at, from, dgram);
     }
 

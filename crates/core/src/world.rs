@@ -97,6 +97,8 @@ impl Default for WorldConfig {
 #[derive(Debug, Clone, Copy)]
 enum NodeKind {
     Manager,
+    /// The standby Manager replica (anycast takeover target).
+    Standby,
     Thing(usize),
     Client(usize),
     Cache(usize),
@@ -139,9 +141,19 @@ pub struct World {
     /// The network simulator.
     pub net: Network,
     manager: Option<Manager>,
+    /// A standby Manager replica: a second instance of both anycast
+    /// addresses with an identical repository, so killing the primary is
+    /// a deterministic anycast takeover instead of an outage.
+    standby: Option<Manager>,
+    /// True while the primary Manager is crashed (deliveries to it are
+    /// dropped — the datagrams already in flight when it died).
+    manager_down: bool,
     things: Vec<Thing>,
     clients: Vec<Client>,
     caches: Vec<EdgeCache>,
+    /// Parallel to `caches`: true while that cache is crashed (its
+    /// in-flight deliveries and timers are dropped).
+    dead_caches: Vec<bool>,
     catalog: Catalog,
     node_kinds: HashMap<NodeId, NodeKind>,
     thing_by_addr: HashMap<Ipv6Addr, usize>,
@@ -173,6 +185,10 @@ pub struct World {
     peripheral_templates: HashMap<DeviceTypeId, PeripheralTemplate>,
     /// The anycast address Things send driver requests to.
     pub manager_anycast: Ipv6Addr,
+    /// The anycast address edge caches pull chunked transfers from. Every
+    /// Manager replica is an instance, so a mid-transfer primary crash
+    /// fails the stop-and-wait cursor over to the standby.
+    pub origin_anycast: Ipv6Addr,
 }
 
 impl World {
@@ -181,9 +197,12 @@ impl World {
         World {
             net: Network::with_capacity(config.prefix, config.seed ^ 0x9e37, config.expected_nodes),
             manager: None,
+            standby: None,
+            manager_down: false,
             things: Vec::with_capacity(config.expected_nodes),
             clients: Vec::new(),
             caches: Vec::new(),
+            dead_caches: Vec::new(),
             catalog: Catalog::with_prototypes(),
             node_kinds: HashMap::with_capacity(config.expected_nodes),
             thing_by_addr: HashMap::with_capacity(config.expected_nodes),
@@ -196,6 +215,7 @@ impl World {
             runtime_template: RuntimeTemplate::default(),
             peripheral_templates: HashMap::new(),
             manager_anycast: "2001:db8:aaaa::1".parse().expect("valid anycast"),
+            origin_anycast: "2001:db8:aaaa::2".parse().expect("valid anycast"),
             config,
         }
     }
@@ -229,6 +249,7 @@ impl World {
         let node = self.net.add_node();
         let address = self.net.addr_of(node);
         self.net.set_anycast(node, self.manager_anycast);
+        self.net.set_anycast(node, self.origin_anycast);
         self.manager = Some(Manager::new(
             node,
             address,
@@ -236,6 +257,35 @@ impl World {
             &self.catalog,
         ));
         self.node_kinds.insert(node, NodeKind::Manager);
+        node
+    }
+
+    /// Adds a standby Manager replica: a second instance of both the
+    /// manager and origin anycast addresses with an identical repository.
+    /// While the primary lives it serves nothing (the primary is nearer
+    /// or ties at a lower node id); when [`World::fail_primary`] removes
+    /// the primary from the anycast sets, every request — Thing driver
+    /// requests and cache chunk fetches alike — deterministically
+    /// re-resolves here.
+    ///
+    /// # Panics
+    ///
+    /// Panics without a primary, or if a standby already exists. Add it
+    /// right after the manager so its node id ties below every cache.
+    pub fn add_standby(&mut self) -> NodeId {
+        assert!(self.manager.is_some(), "standby needs a primary");
+        assert!(self.standby.is_none(), "world already has a standby");
+        let node = self.net.add_node();
+        let address = self.net.addr_of(node);
+        self.net.set_anycast(node, self.manager_anycast);
+        self.net.set_anycast(node, self.origin_anycast);
+        self.standby = Some(Manager::new(
+            node,
+            address,
+            self.manager_anycast,
+            &self.catalog,
+        ));
+        self.node_kinds.insert(node, NodeKind::Standby);
         node
     }
 
@@ -304,14 +354,23 @@ impl World {
 
     /// [`World::add_cache`] with explicit tuning knobs.
     pub fn add_cache_with(&mut self, config: CacheConfig) -> CacheId {
-        let origin = self.manager().address;
+        assert!(self.manager.is_some(), "a cache needs its origin");
+        // The cache pulls from the origin *anycast*, not the primary's
+        // unicast address: a mid-transfer primary crash then resolves the
+        // next chunk request to the standby, and the EdgeCache's
+        // same-version/new-server check resumes from its cursor.
+        let origin = self.origin_anycast;
         let anycast = self.manager_anycast;
         let node = self.net.add_node();
         let address = self.net.addr_of(node);
         self.net.set_anycast(node, anycast);
         self.manager_mut().register_cache(address);
+        if let Some(standby) = &mut self.standby {
+            standby.register_cache(address);
+        }
         self.caches
             .push(EdgeCache::new(node, address, origin, config));
+        self.dead_caches.push(false);
         let id = CacheId(self.caches.len() - 1);
         self.node_kinds.insert(node, NodeKind::Cache(id.0));
         id
@@ -336,10 +395,10 @@ impl World {
             s.cache_coalesced += c.stats.coalesced;
             s.cache_uploads += c.stats.uploads_served;
         }
-        if let Some(m) = &self.manager {
-            s.origin_uploads = m.uploads_served;
-            s.mgr_inventory = m.inventory().len() as u64;
-            s.mgr_removal_acks = m.removal_acks_total;
+        for m in self.manager.iter().chain(&self.standby) {
+            s.origin_uploads += m.uploads_served;
+            s.mgr_inventory += m.inventory().len() as u64;
+            s.mgr_removal_acks += m.removal_acks_total;
         }
         s
     }
@@ -416,6 +475,135 @@ impl World {
             }
         }
         self.net.build_tree(root);
+    }
+
+    // ---- Chaos: fault injection and recovery ---------------------------
+
+    /// Crashes an edge cache ungracefully at virtual instant `at`: its
+    /// RAM (LRU + in-flight fetches) is gone, it leaves every anycast set
+    /// *without* a graceful `unset_anycast` (the network purges the
+    /// now-dead memoised resolutions), and each follower parked on an
+    /// in-flight fetch re-issues its original (4) driver request from its
+    /// own Thing — which re-resolves to the next-nearest live anycast
+    /// instance. The node keeps forwarding frames (the router outlives
+    /// the cache process); pair with [`World::partition_link`] to model
+    /// full node death. Returns the follower count failed over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is already down.
+    pub fn crash_cache(&mut self, at: SimTime, id: CacheId) -> usize {
+        assert!(!self.dead_caches[id.0], "cache {id:?} is already down");
+        self.dead_caches[id.0] = true;
+        self.net.fail_node(self.caches[id.0].node);
+        let stranded = self.caches[id.0].crash();
+        let n = stranded.len();
+        let anycast = self.manager_anycast;
+        for (peripheral, requester, seq) in stranded {
+            let thing = self.thing_by_addr[&requester];
+            let node = self.things[thing].node;
+            let dgram = Datagram {
+                src: requester,
+                dst: anycast,
+                src_port: upnp_net::addr::MCAST_PORT,
+                dst_port: upnp_net::addr::MCAST_PORT,
+                payload: upnp_net::msg::Message {
+                    seq,
+                    body: upnp_net::msg::MessageBody::DriverRequest { peripheral },
+                }
+                .encode()
+                .into(),
+            };
+            self.net.send(at, node, dgram);
+        }
+        n
+    }
+
+    /// Restarts a crashed cache cold: it re-registers as a manager
+    /// anycast instance (which invalidates the memoised resolutions that
+    /// bypassed it) and serves again from an empty LRU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is not down.
+    pub fn revive_cache(&mut self, id: CacheId) {
+        assert!(self.dead_caches[id.0], "cache {id:?} is not down");
+        self.dead_caches[id.0] = false;
+        self.net
+            .set_anycast(self.caches[id.0].node, self.manager_anycast);
+    }
+
+    /// Crashes the primary Manager: it leaves both anycast sets (memos
+    /// purged), and deliveries already in flight to it are dropped. The
+    /// standby — same repository, next-lowest node id — takes over every
+    /// subsequent driver request and chunked origin fetch.
+    ///
+    /// # Panics
+    ///
+    /// Panics without a standby (the fleet would deadlock), or if the
+    /// primary is already down.
+    pub fn fail_primary(&mut self) {
+        assert!(self.standby.is_some(), "failover needs a standby");
+        assert!(!self.manager_down, "primary is already down");
+        self.manager_down = true;
+        self.net.fail_node(self.manager().node);
+    }
+
+    /// Restores the crashed primary: it re-registers both anycast
+    /// instances (invalidating the takeover memos) and resumes serving.
+    /// Its repository state was never lost — the paper's Manager is a
+    /// durable server; only the in-flight datagrams died.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the primary is not down.
+    pub fn restore_primary(&mut self) {
+        assert!(self.manager_down, "primary is not down");
+        self.manager_down = false;
+        let node = self.manager().node;
+        self.net.set_anycast(node, self.manager_anycast);
+        self.net.set_anycast(node, self.origin_anycast);
+    }
+
+    /// Severs the link between two locally simulated nodes, returning the
+    /// quality it had so [`World::heal_link`] can restore it — `None` if
+    /// no such local link exists (e.g. the endpoints live in another
+    /// shard). Routes keep using the severed link until
+    /// [`World::rebuild_tree`] reroots, exactly like a real RPL DODAG
+    /// limping on a stale parent set.
+    pub fn partition_link(&mut self, a: NodeId, b: NodeId) -> Option<LinkQuality> {
+        let quality = self.net.link_quality(a, b)?;
+        self.net.unlink(a, b);
+        Some(quality)
+    }
+
+    /// Restores a previously partitioned link. No-op unless both
+    /// endpoints are simulated locally (a sharded world heals each link
+    /// in the one shard that owns it).
+    pub fn heal_link(&mut self, a: NodeId, b: NodeId, quality: LinkQuality) {
+        if self.node_kinds.contains_key(&a) && self.node_kinds.contains_key(&b) {
+            self.net.link(a, b, quality);
+        }
+    }
+
+    /// Reroots the DODAG at the manager — the reroot-storm primitive, and
+    /// the repair step that routes around partitions.
+    pub fn rebuild_tree(&mut self) {
+        let root = self.manager().node;
+        self.net.build_tree(root);
+    }
+
+    /// Whether every memoised route, SMRF plan and anycast resolution
+    /// matches a fresh recomputation (the fresh-build oracle the soak
+    /// invariants check continuously).
+    pub fn caches_coherent(&self) -> bool {
+        self.net.caches_coherent()
+    }
+
+    /// Manager replicas constructed in this world (primary + standby) —
+    /// the multiplier on the bounded-retention invariant.
+    pub fn manager_replicas(&self) -> u64 {
+        self.manager.iter().chain(&self.standby).count() as u64
     }
 
     /// Manufactures a peripheral board for `device_id` and plugs it into
@@ -541,6 +729,14 @@ impl World {
         }
     }
 
+    /// Runs until the absolute virtual instant `deadline` (no-op if it
+    /// has passed) and leaves `now` exactly there — the primitive that
+    /// lets the chaos harness pause a wave mid-transfer and inject a
+    /// fault at a deterministic instant.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.run_for(deadline.saturating_since(self.now));
+    }
+
     fn next_event_time(&self) -> Option<SimTime> {
         match (self.net.next_delivery_at(), self.sched.peek_time()) {
             (Some(a), Some(b)) => Some(a.min(b)),
@@ -589,8 +785,14 @@ impl World {
                     peripheral,
                     gen,
                 } => {
-                    let reply = self.caches[cache].on_timer(peripheral, gen);
-                    self.apply_cache_reply(cache, self.now, reply);
+                    // A crashed cache's pending timers die with it (its
+                    // generation counter survives the crash, so they
+                    // would be stale no-ops anyway — this just skips the
+                    // lookup).
+                    if !self.dead_caches[cache] {
+                        let reply = self.caches[cache].on_timer(peripheral, gen);
+                        self.apply_cache_reply(cache, self.now, reply);
+                    }
                 }
             }
         }
@@ -601,25 +803,12 @@ impl World {
         self.net.poll_into(self.now, &mut deliveries);
         for d in &deliveries {
             match self.node_kinds.get(&d.node).copied() {
-                Some(NodeKind::Manager) => {
-                    let (replies, process, send_path) = self
-                        .manager
-                        .as_mut()
-                        .expect("delivery to existing manager")
-                        .on_datagram(&d.dgram);
-                    // The upload is "ready" after processing (end of the
-                    // request-driver leg); its send path belongs to the
-                    // install-driver leg.
-                    let ready_at = d.at + process;
-                    let send_at = ready_at + send_path;
-                    let mgr_node = self.manager().node;
-                    for reply in &replies {
-                        self.stitch_upload_sent(reply, ready_at);
-                    }
-                    for reply in replies {
-                        self.net.send(send_at, mgr_node, reply);
-                    }
+                // Datagrams already in flight when the primary crashed
+                // die with it.
+                Some(NodeKind::Manager) if !self.manager_down => {
+                    self.manager_reply(false, d);
                 }
+                Some(NodeKind::Standby) => self.manager_reply(true, d),
                 Some(NodeKind::Thing(i)) => {
                     let out = self.things[i].on_datagram(d.at, &d.dgram);
                     self.apply_outbound(i, out);
@@ -631,11 +820,14 @@ impl World {
                         self.net.join_group(node, g);
                     }
                 }
-                Some(NodeKind::Cache(i)) => {
+                // A crashed cache drops what was in flight to it (chunk
+                // replies chiefly — the retry/abandon path of the
+                // *origin-side* transfer owns recovery).
+                Some(NodeKind::Cache(i)) if !self.dead_caches[i] => {
                     let reply = self.caches[i].on_datagram(&d.dgram);
                     self.apply_cache_reply(i, d.at, reply);
                 }
-                None => {}
+                Some(NodeKind::Manager | NodeKind::Cache(_)) | None => {}
             }
         }
         self.delivery_buf = deliveries;
@@ -652,6 +844,30 @@ impl World {
     /// origin-served and cache-served replies, so their latency rows can
     /// never drift apart. The type-byte pre-check keeps non-upload
     /// traffic (chunk requests, acks) off the decoder.
+    /// Feeds one delivery to a Manager replica (`standby` selects which)
+    /// and applies its replies — the upload is "ready" after processing
+    /// (end of the request-driver leg); its send path belongs to the
+    /// install-driver leg. One body for both replicas, so their
+    /// accounting can never drift apart.
+    fn manager_reply(&mut self, standby: bool, d: &Delivery) {
+        let m = if standby {
+            self.standby.as_mut()
+        } else {
+            self.manager.as_mut()
+        }
+        .expect("delivery to existing manager replica");
+        let node = m.node;
+        let (replies, process, send_path) = m.on_datagram(&d.dgram);
+        let ready_at = d.at + process;
+        let send_at = ready_at + send_path;
+        for reply in &replies {
+            self.stitch_upload_sent(reply, ready_at);
+        }
+        for reply in replies {
+            self.net.send(send_at, node, reply);
+        }
+    }
+
     fn stitch_upload_sent(&mut self, dgram: &Datagram, ready_at: SimTime) {
         if dgram.payload.first() != Some(&upnp_net::msg::MessageBody::DRIVER_UPLOAD_TYPE) {
             return;
@@ -911,11 +1127,37 @@ pub trait SimWorld {
     fn add_thing(&mut self) -> ThingId;
     /// Adds a client.
     fn add_client(&mut self) -> ClientId;
+    /// Adds a standby Manager replica (right after the manager).
+    fn add_standby(&mut self) -> NodeId;
     /// Adds an edge cache of the driver-distribution tier (after the
     /// manager — the cache needs its origin).
     fn add_cache(&mut self) -> CacheId;
     /// The network node of an edge cache.
     fn cache_node(&self, id: CacheId) -> NodeId;
+    /// Crashes an edge cache at `at`, failing its parked followers over
+    /// to the next-nearest anycast instance; returns how many.
+    fn crash_cache(&mut self, at: SimTime, id: CacheId) -> usize;
+    /// Restarts a crashed cache cold.
+    fn revive_cache(&mut self, id: CacheId);
+    /// Crashes the primary Manager (the standby takes over).
+    fn fail_primary(&mut self);
+    /// Restores the crashed primary.
+    fn restore_primary(&mut self);
+    /// Severs a link, returning its quality for the later heal.
+    fn partition_link(&mut self, a: NodeId, b: NodeId) -> Option<LinkQuality>;
+    /// Restores a previously severed link.
+    fn heal_link(&mut self, a: NodeId, b: NodeId, quality: LinkQuality);
+    /// Reroots the DODAG at the manager.
+    fn rebuild_tree(&mut self);
+    /// Whether every memoised route/plan/anycast resolution matches a
+    /// fresh recomputation.
+    fn caches_coherent(&self) -> bool;
+    /// Manager replicas constructed (the bounded-retention multiplier;
+    /// a sharded world counts each shard's replicas).
+    fn manager_replicas(&self) -> u64;
+    /// Runs until the absolute virtual instant `deadline` and leaves
+    /// `now` exactly there.
+    fn run_until(&mut self, deadline: SimTime);
     /// Aggregate distribution-tier counters (caches + origin).
     fn distro_stats(&self) -> DistroStats;
     /// Links two nodes with the given quality.
@@ -980,12 +1222,56 @@ impl SimWorld for World {
         World::add_client(self)
     }
 
+    fn add_standby(&mut self) -> NodeId {
+        World::add_standby(self)
+    }
+
     fn add_cache(&mut self) -> CacheId {
         World::add_cache(self)
     }
 
     fn cache_node(&self, id: CacheId) -> NodeId {
         World::cache_node(self, id)
+    }
+
+    fn crash_cache(&mut self, at: SimTime, id: CacheId) -> usize {
+        World::crash_cache(self, at, id)
+    }
+
+    fn revive_cache(&mut self, id: CacheId) {
+        World::revive_cache(self, id);
+    }
+
+    fn fail_primary(&mut self) {
+        World::fail_primary(self);
+    }
+
+    fn restore_primary(&mut self) {
+        World::restore_primary(self);
+    }
+
+    fn partition_link(&mut self, a: NodeId, b: NodeId) -> Option<LinkQuality> {
+        World::partition_link(self, a, b)
+    }
+
+    fn heal_link(&mut self, a: NodeId, b: NodeId, quality: LinkQuality) {
+        World::heal_link(self, a, b, quality);
+    }
+
+    fn rebuild_tree(&mut self) {
+        World::rebuild_tree(self);
+    }
+
+    fn caches_coherent(&self) -> bool {
+        World::caches_coherent(self)
+    }
+
+    fn manager_replicas(&self) -> u64 {
+        World::manager_replicas(self)
+    }
+
+    fn run_until(&mut self, deadline: SimTime) {
+        World::run_until(self, deadline);
     }
 
     fn distro_stats(&self) -> DistroStats {

@@ -331,6 +331,72 @@ fn lossy_cross_shard_probes_account_drops_identically() {
     }
 }
 
+// ---- Chaos soak (ISSUE 6: day-scale fault injection must decompose
+// bit-identically — crashes, partitions, failover, battery churn) --------
+
+use upnp_core::chaos::ChaosConfig;
+
+fn chaos_config(things: usize, topology: FleetTopology) -> FleetConfig {
+    FleetConfig::new(things)
+        .with_seed(0x6030)
+        .with_topology(topology)
+        .with_caches(4)
+        .with_standby()
+}
+
+/// Runs the smoke soak on any backend and returns `(fingerprint, soak
+/// summary)` — one body for both simulators.
+fn run_soak<W: SimWorld>(mut fleet: Fleet<W>, seed: u64) -> (u64, String) {
+    let report = fleet.chaos_soak(&ChaosConfig::smoke(seed));
+    assert!(
+        report.invariants_held(),
+        "soak invariants violated: {report:?}"
+    );
+    (fleet.fingerprint(), report.deterministic_summary())
+}
+
+#[test]
+fn chaos_soak_matches_at_every_shard_count() {
+    // Cache crashes mid-chunk-transfer, root↔cache partitions, primary
+    // failover to the standby and battery churn — the whole fault
+    // schedule replayed on both backends must leave bit-identical
+    // worlds: same faults land in the same shard-local subtrees, same
+    // followers drain, same repairs run.
+    let config = chaos_config(96, FleetTopology::Star);
+    let (seq_fp, seq_summary) = run_soak(Fleet::build(config.clone()), 0xdead);
+    for k in [1, 2, 4, 8] {
+        let (fp, summary) = run_soak(ShardedFleet::build_sharded(config.clone(), k), 0xdead);
+        assert_eq!(seq_summary, summary, "soak summary diverged at K={k}");
+        assert_eq!(seq_fp, fp, "soak fingerprint diverged at K={k}");
+    }
+}
+
+#[test]
+fn chaos_soak_on_tree_matches_at_every_shard_count() {
+    let config = chaos_config(72, FleetTopology::Tree { fanout: 4 });
+    let (seq_fp, seq_summary) = run_soak(Fleet::build(config.clone()), 0xbeef);
+    for k in [2, 4] {
+        let (fp, summary) = run_soak(ShardedFleet::build_sharded(config.clone(), k), 0xbeef);
+        assert_eq!(seq_summary, summary, "tree soak summary diverged at K={k}");
+        assert_eq!(seq_fp, fp, "tree soak fingerprint diverged at K={k}");
+    }
+}
+
+#[test]
+fn lossy_chaos_soak_matches_at_every_shard_count() {
+    // Faults on top of lossy links: dropped chunks force retries and
+    // abandons while caches die and links partition — the harshest
+    // decomposition test the harness has.
+    let mut config = chaos_config(48, FleetTopology::Star);
+    config.link_prr = 0.6;
+    let (seq_fp, seq_summary) = run_soak(Fleet::build(config.clone()), 0xfa11);
+    for k in [2, 4] {
+        let (fp, summary) = run_soak(ShardedFleet::build_sharded(config.clone(), k), 0xfa11);
+        assert_eq!(seq_summary, summary, "lossy soak summary diverged at K={k}");
+        assert_eq!(seq_fp, fp, "lossy soak fingerprint diverged at K={k}");
+    }
+}
+
 // ---- Cross-shard multicast (typed discovery probes) --------------------
 
 #[test]

@@ -89,6 +89,9 @@ pub struct CacheStats {
     pub failed_fetches: u64,
     /// Chunk re-requests (per-chunk loss recovery).
     pub chunk_retries: u64,
+    /// Parked followers failed over to a direct origin fetch when their
+    /// coalesced fetch was abandoned.
+    pub failed_over: u64,
 }
 
 /// A side effect the cache asks the world loop to perform.
@@ -161,6 +164,11 @@ struct Fetch {
     /// Requests to answer on completion: `(requester, request seq)`, in
     /// arrival order.
     followers: Vec<(Ipv6Addr, SeqNo)>,
+    /// The server the chunks seen so far came from (`None` before the
+    /// first chunk). A chunk from a *different* server at the *same*
+    /// version is an origin failover: the transfer resumes from the
+    /// stop-and-wait cursor instead of restarting or stalling.
+    server: Option<Ipv6Addr>,
     /// Consecutive timeouts on the current chunk.
     retries: u32,
     /// Bumped on every progress step; stale timers carry an older value
@@ -330,7 +338,7 @@ impl EdgeCache {
                 chunk,
                 total,
                 data,
-            } => self.on_chunk(peripheral, version, chunk, total, data),
+            } => self.on_chunk(dgram.src, peripheral, version, chunk, total, data),
             MessageBody::DriverRemoval { peripheral } => {
                 // The paper's (8) removal, honoured at the tier: evict
                 // and acknowledge with (9), like a Thing would.
@@ -412,6 +420,7 @@ impl EdgeCache {
                 next: 0,
                 buf: Vec::new(),
                 followers: vec![(requester, seq)],
+                server: None,
                 retries: 0,
                 gen,
                 session: self.session,
@@ -430,6 +439,7 @@ impl EdgeCache {
 
     fn on_chunk(
         &mut self,
+        src: Ipv6Addr,
         peripheral: u32,
         version: u16,
         chunk: u16,
@@ -440,9 +450,14 @@ impl EdgeCache {
             /// No fetch / malformed / duplicate: drop on the floor (the
             /// retry timer recovers genuine losses).
             Ignore,
-            /// Ask the origin for this chunk now (progress, or an active
-            /// restart after a mid-fetch version change).
-            Request(u16),
+            /// Ask the origin for this chunk now (progress, an active
+            /// restart after a mid-fetch version change, or a resume
+            /// after an origin failover). `fresh_session` marks a
+            /// version-change restart: the restarted transfer is a *new*
+            /// fetch session, so it must carry a new nonce — reusing the
+            /// stale one makes the origin's chunk-0 dedup mistake it for
+            /// a retransmit of the dead session.
+            Request { next: u16, fresh_session: bool },
             /// All chunks in: finalise the fetch.
             Complete,
         }
@@ -454,10 +469,15 @@ impl EdgeCache {
             if total == 0 || chunk >= total {
                 Step::Ignore // Malformed.
             } else {
-                // A mid-fetch version change restarts the transfer from
-                // chunk 0 so an image can never be stitched from two
-                // versions.
+                // Two distinct staleness causes, told apart by the
+                // version stamp and the serving address:
+                //  * new version (any server) — restart from chunk 0 so
+                //    an image can never be stitched from two versions;
+                //  * new server, same version — an anycast failover
+                //    mid-transfer; the image bytes are identical, so the
+                //    transfer *resumes* from the stop-and-wait cursor.
                 let restarted = fetch.version.is_some_and(|v| v != version);
+                let failover = !restarted && fetch.server.is_some_and(|s| s != src);
                 if restarted {
                     fetch.version = None;
                     fetch.total = None;
@@ -465,9 +485,13 @@ impl EdgeCache {
                     fetch.buf.clear();
                     fetch.retries = 0;
                 }
+                fetch.server = Some(src);
                 if chunk != fetch.next {
-                    if restarted {
-                        Step::Request(fetch.next)
+                    if restarted || failover {
+                        Step::Request {
+                            next: fetch.next,
+                            fresh_session: restarted,
+                        }
                     } else {
                         Step::Ignore // Duplicate/stale retransmit.
                     }
@@ -480,20 +504,34 @@ impl EdgeCache {
                     if fetch.next == total {
                         Step::Complete
                     } else {
-                        Step::Request(fetch.next)
+                        Step::Request {
+                            next: fetch.next,
+                            fresh_session: restarted,
+                        }
                     }
                 }
             }
         };
         match step {
             Step::Ignore => CacheReply::with_cost(cost),
-            Step::Request(next) => {
+            Step::Request {
+                next,
+                fresh_session,
+            } => {
                 self.fetch_gen += 1;
                 let gen = self.fetch_gen;
-                self.inflight
+                if fresh_session {
+                    self.session = self.session.wrapping_add(1);
+                }
+                let session = self.session;
+                let fetch = self
+                    .inflight
                     .get_mut(&peripheral)
-                    .expect("fetch is in flight")
-                    .gen = gen;
+                    .expect("fetch is in flight");
+                fetch.gen = gen;
+                if fresh_session {
+                    fetch.session = session;
+                }
                 let req = self.chunk_request(peripheral, next);
                 let mut reply = CacheReply::with_cost(cost).sending();
                 reply.actions.push(CacheAction::Send(req));
@@ -546,12 +584,34 @@ impl EdgeCache {
             return CacheReply::default(); // Progress since armed.
         }
         if fetch.retries >= self.config.max_retries {
-            // Abandon: the followers' Things simply never hear back, the
-            // same observable outcome as a lost upload on today's lossy
-            // paths.
-            self.inflight.remove(&peripheral);
+            // Abandon the fetch — but never strand the parked followers.
+            // Each one is failed over to a direct origin fetch: the cache
+            // forwards the follower's original (4) request with the
+            // follower as source, so the origin's (5) upload goes
+            // straight back to the Thing and the dead coalesced fetch
+            // costs it one retry round, not its driver.
+            let fetch = self.inflight.remove(&peripheral).expect("in flight");
             self.stats.failed_fetches += 1;
-            return CacheReply::default();
+            if fetch.followers.is_empty() {
+                return CacheReply::default();
+            }
+            self.stats.failed_over += fetch.followers.len() as u64;
+            let mut reply = CacheReply::default().sending();
+            for (requester, seq) in fetch.followers {
+                reply.actions.push(CacheAction::Send(Datagram {
+                    src: requester,
+                    dst: self.origin,
+                    src_port: upnp_net::addr::MCAST_PORT,
+                    dst_port: upnp_net::addr::MCAST_PORT,
+                    payload: Message {
+                        seq,
+                        body: MessageBody::DriverRequest { peripheral },
+                    }
+                    .encode()
+                    .into(),
+                }));
+            }
+            return reply;
         }
         fetch.retries += 1;
         self.fetch_gen += 1;
@@ -567,6 +627,30 @@ impl EdgeCache {
             after: self.config.retry_timeout,
         });
         reply
+    }
+
+    /// An ungraceful crash: RAM is gone (cached images *and* in-flight
+    /// fetches), the persistent counters survive (they model the
+    /// harness's external observability, not cache RAM). Returns the
+    /// followers that were parked on in-flight fetches — `(peripheral,
+    /// requester, request seq)` in deterministic order (by peripheral,
+    /// then arrival) — so the world can re-issue their (4) requests
+    /// against the next-nearest anycast instance. `fetch_gen` keeps
+    /// counting across the crash, so every pre-crash retry timer is
+    /// stale by construction once the cache restarts cold.
+    pub fn crash(&mut self) -> Vec<(u32, Ipv6Addr, SeqNo)> {
+        self.entries.clear();
+        let mut fetches: Vec<(u32, Fetch)> = self.inflight.drain().collect();
+        fetches.sort_by_key(|&(p, _)| p);
+        fetches
+            .into_iter()
+            .flat_map(|(p, fetch)| {
+                fetch
+                    .followers
+                    .into_iter()
+                    .map(move |(requester, seq)| (p, requester, seq))
+            })
+            .collect()
     }
 }
 
@@ -720,11 +804,63 @@ mod tests {
             gen = g;
         }
         assert_eq!(c.stats.chunk_retries, c.config.max_retries as u64);
-        // One more expiry: abandoned.
+        // One more expiry: abandoned — but the parked follower must be
+        // failed over to a direct origin fetch, not stranded forever.
         let r = c.on_timer(p, gen);
-        assert!(r.actions.is_empty());
+        let out = sends(&r);
+        assert_eq!(out.len(), 1, "abandon fails the waiter over to the origin");
+        assert_eq!(out[0].dst, ORIGIN.parse::<Ipv6Addr>().unwrap());
+        assert_eq!(
+            out[0].src,
+            THING_A.parse::<Ipv6Addr>().unwrap(),
+            "the proxied request carries the follower as source so the \
+             origin's upload goes straight back to the Thing"
+        );
+        let Some(Message {
+            seq,
+            body: MessageBody::DriverRequest { peripheral },
+        }) = Message::decode(&out[0].payload)
+        else {
+            panic!("failover must be a (4) driver request");
+        };
+        assert_eq!(peripheral, p);
+        assert_eq!(seq, 9, "the follower's original request seq is kept");
         assert_eq!(c.stats.failed_fetches, 1);
+        assert_eq!(c.stats.failed_over, 1);
         assert_eq!(c.inflight_fetches(), 0);
+    }
+
+    #[test]
+    fn abandon_fails_over_every_follower_in_arrival_order() {
+        let mut c = cache();
+        let p = 0xad1c_be01;
+        let r = c.on_datagram(&dgram(
+            THING_A,
+            MessageBody::DriverRequest { peripheral: p },
+        ));
+        let CacheAction::ArmTimer { mut gen, .. } = r.actions[1] else {
+            panic!("miss arms a timer");
+        };
+        c.on_datagram(&dgram(
+            THING_B,
+            MessageBody::DriverRequest { peripheral: p },
+        ));
+        for _ in 0..c.config.max_retries {
+            let r = c.on_timer(p, gen);
+            let CacheAction::ArmTimer { gen: g, .. } = r.actions[1] else {
+                panic!("retry re-arms");
+            };
+            gen = g;
+        }
+        let r = c.on_timer(p, gen);
+        let out = sends(&r);
+        assert_eq!(out.len(), 2, "both followers failed over");
+        assert_eq!(out[0].src, THING_A.parse::<Ipv6Addr>().unwrap());
+        assert_eq!(out[1].src, THING_B.parse::<Ipv6Addr>().unwrap());
+        assert!(out
+            .iter()
+            .all(|d| d.dst == ORIGIN.parse::<Ipv6Addr>().unwrap()));
+        assert_eq!(c.stats.failed_over, 2);
     }
 
     #[test]
@@ -776,6 +912,127 @@ mod tests {
             c.on_datagram(&dgram(ORIGIN, body));
         }
         assert_eq!(c.cached_version(p), Some(2));
+    }
+
+    fn chunk_request_of(d: &Datagram) -> (u16, SeqNo) {
+        let Some(Message {
+            body: MessageBody::DriverChunkRequest { chunk, session, .. },
+            ..
+        }) = Message::decode(&d.payload)
+        else {
+            panic!(
+                "expected a chunk request, got {:?}",
+                Message::decode(&d.payload)
+            );
+        };
+        (chunk, session)
+    }
+
+    #[test]
+    fn restart_after_version_change_carries_fresh_session() {
+        let mut c = cache();
+        let p = 0xad1c_be01;
+        let r = c.on_datagram(&dgram(
+            THING_A,
+            MessageBody::DriverRequest { peripheral: p },
+        ));
+        let (_, s1) = chunk_request_of(sends(&r)[0]);
+        let bytes = image_bytes();
+        let v1 = chunks_of(&bytes, 1);
+        let v2 = chunks_of(&bytes, 2);
+        c.on_datagram(&dgram(ORIGIN, v1[0].clone()));
+        // Mid-fetch version change: the restart is a NEW fetch session,
+        // so its chunk-0 re-request must carry a fresh nonce — replaying
+        // the stale one makes the origin's dedup swallow the session.
+        let r = c.on_datagram(&dgram(ORIGIN, v2[1].clone()));
+        let (chunk, s2) = chunk_request_of(sends(&r)[0]);
+        assert_eq!(chunk, 0, "restart goes back to chunk 0");
+        assert_ne!(s2, s1, "restarted transfer must take a fresh session nonce");
+    }
+
+    #[test]
+    fn failover_same_version_resumes_from_cursor() {
+        const STANDBY: &str = "2001:db8::2";
+        let mut c = cache();
+        let p = 0xad1c_be01;
+        c.on_datagram(&dgram(
+            THING_A,
+            MessageBody::DriverRequest { peripheral: p },
+        ));
+        let bytes = image_bytes();
+        let v1 = chunks_of(&bytes, 1);
+        assert!(v1.len() >= 2, "failover test needs a mid-transfer cursor");
+        // Chunk 0 arrives from the primary origin: cursor moves to 1.
+        let r = c.on_datagram(&dgram(ORIGIN, v1[0].clone()));
+        let (_, s1) = chunk_request_of(sends(&r)[0]);
+        let CacheAction::ArmTimer { gen: old_gen, .. } = r.actions[1] else {
+            panic!("progress re-arms the timer");
+        };
+        // The origin fails over: the standby replays chunk 0 at the SAME
+        // version. That is not a new image — the transfer must resume
+        // from the cursor (chunk 1), not restart or silently stall.
+        let r = c.on_datagram(&dgram(STANDBY, v1[0].clone()));
+        let out = sends(&r);
+        assert_eq!(out.len(), 1, "failover resumes actively");
+        let (chunk, s2) = chunk_request_of(out[0]);
+        assert_eq!(chunk, 1, "resume continues at the stop-and-wait cursor");
+        assert_eq!(s2, s1, "same version, same fetch session");
+        // Generation-stamp path: the resume re-stamps the fetch, so the
+        // timer armed before the failover is stale and must be a no-op.
+        let CacheAction::ArmTimer { gen: new_gen, .. } = r.actions[1] else {
+            panic!("resume re-arms the timer");
+        };
+        assert_ne!(new_gen, old_gen);
+        assert!(c.on_timer(p, old_gen).actions.is_empty(), "stale timer");
+        // The standby finishes the transfer.
+        for body in v1.into_iter().skip(1) {
+            c.on_datagram(&dgram(STANDBY, body));
+        }
+        assert_eq!(c.cached_version(p), Some(1));
+        assert_eq!(c.stats.uploads_served, 1);
+    }
+
+    #[test]
+    fn crash_drops_state_but_surfaces_parked_followers() {
+        let mut c = cache();
+        let p = 0xad1c_be01;
+        // A warm entry and an in-flight fetch with two parked followers.
+        c.insert(7, 1, image_bytes());
+        let r = c.on_datagram(&dgram(
+            THING_A,
+            MessageBody::DriverRequest { peripheral: p },
+        ));
+        let CacheAction::ArmTimer { gen, .. } = r.actions[1] else {
+            panic!("miss arms a timer");
+        };
+        c.on_datagram(&dgram(
+            THING_B,
+            MessageBody::DriverRequest { peripheral: p },
+        ));
+        let stranded = c.crash();
+        // RAM is gone; the followers are handed back in arrival order so
+        // the world can re-resolve them to another anycast instance.
+        assert_eq!(
+            stranded,
+            vec![
+                (p, THING_A.parse().unwrap(), 9),
+                (p, THING_B.parse().unwrap(), 9),
+            ]
+        );
+        assert!(c.is_empty());
+        assert_eq!(c.inflight_fetches(), 0);
+        // Counters survive (external observability, not cache RAM).
+        assert_eq!(c.stats.misses, 1);
+        assert_eq!(c.stats.coalesced, 1);
+        // A pre-crash retry timer is stale after the cold restart.
+        assert!(c.on_timer(p, gen).actions.is_empty());
+        // The restarted cache serves from cold: a request is a miss.
+        let r = c.on_datagram(&dgram(
+            THING_A,
+            MessageBody::DriverRequest { peripheral: p },
+        ));
+        assert_eq!(sends(&r).len(), 1, "cold restart fetches again");
+        assert_eq!(c.stats.misses, 2);
     }
 
     #[test]

@@ -365,6 +365,24 @@ impl Network {
         self.invalidate_topology_caches();
     }
 
+    /// Severs the link between two nodes (a fault-injected partition).
+    /// Returns whether the link existed. The DODAG is *not* rebuilt —
+    /// call [`Network::build_tree`] when the routing layer notices, as a
+    /// real RPL network would repair after a trickle interval.
+    pub fn unlink(&mut self, a: NodeId, b: NodeId) -> bool {
+        let severed = self.topo.unlink(a.0 as usize, b.0 as usize);
+        if severed {
+            self.invalidate_topology_caches();
+        }
+        severed
+    }
+
+    /// The quality of the direct link `a → b`, if one exists (used by
+    /// fault injectors to remember what to restore on heal).
+    pub fn link_quality(&self, a: NodeId, b: NodeId) -> Option<LinkQuality> {
+        self.topo.quality(a.0 as usize, b.0 as usize)
+    }
+
     /// (Re)builds the RPL DODAG rooted at `root`.
     pub fn build_tree(&mut self, root: NodeId) {
         self.dodag = Some(Dodag::build(&self.topo, root.0 as usize));
@@ -457,6 +475,29 @@ impl Network {
             self.anycast_cache.retain(|&(_, a), _| a != anycast);
         }
         was
+    }
+
+    /// Removes a *crashed* node from every anycast instance set it was
+    /// registered in — the ungraceful counterpart of
+    /// [`Network::unset_anycast`], for instances that die without a
+    /// goodbye. Returns whether the node was registered anywhere.
+    ///
+    /// Memoised anycast resolutions pointing at the dead instance are
+    /// invalidated exactly as topology churn would invalidate them;
+    /// without that, a per-`(source, address)` memo keeps steering
+    /// traffic into the corpse until an unrelated rebuild flushes it.
+    pub fn fail_node(&mut self, node: NodeId) -> bool {
+        let mut was_instance = false;
+        self.anycast_index.retain(|_, instances| {
+            if instances.remove(&node) {
+                was_instance = true;
+            }
+            !instances.is_empty()
+        });
+        if was_instance {
+            self.anycast_cache.retain(|_, resolved| *resolved != node);
+        }
+        was_instance
     }
 
     /// Radio energy consumed by `node` so far, joules.
@@ -597,7 +638,15 @@ impl Network {
                 let path = self.routes.slice(h);
                 (path[i], path[i + 1])
             };
-            let quality = self.topo.quality(a, b).expect("path uses existing links");
+            // Routes are memoised against the DODAG snapshot; a fault
+            // injector may have severed this hop since. The packet dies
+            // at the break — stale routing tables are repaired by the
+            // next reroot, not by the data plane.
+            let Some(quality) = self.topo.quality(a, b) else {
+                self.stats.drops += 1;
+                report.lost = 1;
+                return;
+            };
             // Per-hop forwarding cost on intermediate nodes.
             if a != from.0 as usize {
                 t += crate::calib::duration(crate::calib::FORWARD_HOP);
@@ -668,6 +717,16 @@ impl Network {
                         .is_some_and(|m| m.contains(&(from.0 as usize))),
                 );
             self.stats.drops += receivers as u64;
+            // A partitioned source has no uplink, but the group may still
+            // have members in other shards: mirror the failure so they
+            // charge their drops too, as the sequential simulator does.
+            if self.captures_cross_shard(dgram.dst) {
+                self.cross_outbox.push(RootedFrame {
+                    at_root: now,
+                    dgram: dgram.coordination_clone(),
+                    lost: true,
+                });
+            }
             return;
         };
         report.receivers = receivers;
@@ -693,7 +752,21 @@ impl Network {
             if a != from.0 as usize {
                 t += crate::calib::duration(crate::calib::FORWARD_HOP);
             }
-            let quality = self.topo.quality(a, b).expect("tree link");
+            // A fault injector may have severed this tree link since the
+            // plan was memoised; the dissemination dies at the break,
+            // exactly like a lossy-uplink failure.
+            let Some(quality) = self.topo.quality(a, b) else {
+                self.stats.drops += receivers as u64;
+                report.lost = report.receivers;
+                if self.captures_cross_shard(dgram.dst) {
+                    self.cross_outbox.push(RootedFrame {
+                        at_root: t,
+                        dgram: dgram.coordination_clone(),
+                        lost: true,
+                    });
+                }
+                return;
+            };
             let mut rng = self.hop_rng(a, b, t);
             let mut ok_all = true;
             for &frame in &frames {
@@ -765,7 +838,11 @@ impl Network {
                 continue; // Forwarder never got the packet.
             }
             let mut t = t_in + crate::calib::duration(crate::calib::FORWARD_HOP);
-            let quality = self.topo.quality(f, child).expect("tree link");
+            // Severed since the plan was memoised: the child never hears
+            // the flood and the member loop below books the drop.
+            let Some(quality) = self.topo.quality(f, child) else {
+                continue;
+            };
             let mut rng = self.hop_rng(f, child, t);
             let mut heard = true;
             for &frame in frames {
@@ -1193,6 +1270,66 @@ mod tests {
             root,
             "resolution must fall back to the remaining instance"
         );
+        assert!(net.caches_coherent());
+    }
+
+    #[test]
+    fn dead_instance_invalidates_anycast_memo() {
+        // leaf memoises mgr → mid; mid then dies WITHOUT a graceful
+        // unset_anycast. The memo must not keep steering traffic into
+        // the corpse: the next send re-resolves to the next-nearest live
+        // instance, and the caches stay coherent with a fresh oracle.
+        let mut net = Network::new(PREFIX, 23);
+        let root = net.add_node();
+        let mid = net.add_node();
+        let leaf = net.add_node();
+        net.link(root, mid, LinkQuality::PERFECT);
+        net.link(mid, leaf, LinkQuality::PERFECT);
+        net.build_tree(root);
+        let mgr: Ipv6Addr = "2001:db8:aaaa::1".parse().unwrap();
+        net.set_anycast(root, mgr);
+        net.set_anycast(mid, mgr);
+        net.send(SimTime::ZERO, leaf, dgram(&net, leaf, mgr, 10));
+        assert_eq!(net.poll(SimTime::MAX)[0].node, mid, "memo primed on mid");
+        assert!(net.fail_node(mid), "mid was an instance");
+        assert!(!net.fail_node(mid), "a corpse fails only once");
+        let d = dgram(&net, leaf, mgr, 10);
+        net.send(SimTime::ZERO + SimDuration::from_secs(1), leaf, d);
+        assert_eq!(
+            net.poll(SimTime::MAX)[0].node,
+            root,
+            "the dead instance's memo must be invalidated, not served"
+        );
+        assert!(net.caches_coherent());
+    }
+
+    #[test]
+    fn unlink_partitions_until_rebuild_heals() {
+        let mut net = Network::new(PREFIX, 24);
+        let root = net.add_node();
+        let mid = net.add_node();
+        let leaf = net.add_node();
+        net.link(root, mid, LinkQuality::PERFECT);
+        net.link(mid, leaf, LinkQuality::PERFECT);
+        net.build_tree(root);
+        let q = net.link_quality(root, mid).expect("linked");
+        assert!(net.unlink(root, mid));
+        net.build_tree(root); // reroot: mid and leaf are now orphaned
+        let r = net.send(
+            SimTime::ZERO,
+            leaf,
+            dgram(&net, leaf, net.addr_of(root), 10),
+        );
+        assert_eq!(r.lost, 1, "partitioned leaf cannot reach the root");
+        // Heal: restore the link at its remembered quality and reroot.
+        net.link(root, mid, q);
+        net.build_tree(root);
+        net.send(
+            SimTime::ZERO + SimDuration::from_secs(1),
+            leaf,
+            dgram(&net, leaf, net.addr_of(root), 10),
+        );
+        assert_eq!(net.poll(SimTime::MAX).pop().unwrap().node, root);
         assert!(net.caches_coherent());
     }
 

@@ -81,6 +81,21 @@ impl Topology {
         }
     }
 
+    /// Removes a bidirectional link (a fault-injected partition). Returns
+    /// whether the link existed. Surviving neighbour entries keep their
+    /// positions, so a rebuilt DODAG visits them in the same order as a
+    /// topology that never had the link — heal-and-rebuild is an exact
+    /// inverse.
+    pub fn unlink(&mut self, a: Node, b: Node) -> bool {
+        if self.edges.remove(&(a, b)).is_none() {
+            return false;
+        }
+        self.edges.remove(&(b, a));
+        self.links[a].retain(|(n, _)| *n != b);
+        self.links[b].retain(|(n, _)| *n != a);
+        true
+    }
+
     /// The quality of the direct link `a → b`, if it exists.
     pub fn quality(&self, a: Node, b: Node) -> Option<LinkQuality> {
         self.edges.get(&(a, b)).copied()
@@ -372,6 +387,21 @@ mod tests {
         assert_eq!(d.children(0), vec![1]);
         assert_eq!(d.children(1), vec![2]);
         assert_eq!(d.children(3), Vec::<Node>::new());
+    }
+
+    #[test]
+    fn unlink_removes_both_directions_and_rebuild_reroutes() {
+        let mut t = line();
+        t.link(0, 3, LinkQuality::new(0.5)); // a lossy shortcut
+        assert!(t.unlink(1, 2), "link existed");
+        assert!(!t.unlink(1, 2), "second unlink is a no-op");
+        assert_eq!(t.quality(1, 2), None);
+        assert_eq!(t.quality(2, 1), None);
+        let d = Dodag::build(&t, 0);
+        // 2 and 3 are now only reachable through the shortcut.
+        assert_eq!(d.parent[3], Some(0));
+        assert_eq!(d.parent[2], Some(3));
+        assert_eq!(d.parent[1], Some(0));
     }
 
     #[test]

@@ -382,6 +382,102 @@ proptest! {
         }
     }
 
+    /// Ungraceful instance death (the chaos harness's cache crash): a
+    /// crashed node must vanish from every anycast set it served and its
+    /// memoised resolutions must be purged, so every later send resolves
+    /// to the next-nearest *live* instance — checked against a
+    /// fresh-built DODAG oracle under arbitrary join/leave/crash/revive
+    /// churn and reroots.
+    #[test]
+    fn instance_death_invalidates_memos_under_crash_churn(
+        n in 2usize..14,
+        ops in prop::collection::vec((0u8..7, 0usize..14, 0usize..14), 1..40),
+    ) {
+        const PREFIX: u64 = 0x2001_0db8_0000;
+        let mgr: std::net::Ipv6Addr = "2001:db8:aaaa::1".parse().unwrap();
+        let origin: std::net::Ipv6Addr = "2001:db8:aaaa::2".parse().unwrap();
+        let mut net = Network::new(PREFIX, 0x6030);
+        let nodes: Vec<NodeId> = (0..n).map(|_| net.add_node()).collect();
+        let mut mirror = Topology::new(n);
+        for i in 1..n {
+            net.link(nodes[i], nodes[i - 1], LinkQuality::PERFECT);
+            mirror.link(i, i - 1, LinkQuality::PERFECT);
+        }
+        net.build_tree(nodes[0]);
+        // Node 0 is the origin, an instance of both tier addresses.
+        net.set_anycast(nodes[0], mgr);
+        net.set_anycast(nodes[0], origin);
+        let mut instances: std::collections::BTreeSet<usize> = [0].into();
+        let mut t = SimTime::ZERO;
+        for (op, a, b) in ops {
+            let (a, b) = (a % n, b % n);
+            match op {
+                0 => {
+                    // An edge cache joins the manager tier.
+                    net.set_anycast(nodes[a], mgr);
+                    instances.insert(a);
+                }
+                1 if a != 0 => {
+                    // Graceful leave.
+                    net.unset_anycast(nodes[a], mgr);
+                    instances.remove(&a);
+                }
+                2 if a != 0 => {
+                    // Ungraceful crash: the process dies mid-whatever.
+                    // Every anycast identity it held must go with it.
+                    net.fail_node(nodes[a]);
+                    instances.remove(&a);
+                }
+                3 => {
+                    // Revive: the cache process restarts and re-joins;
+                    // stale memos must not shadow the new instance.
+                    net.set_anycast(nodes[a], mgr);
+                    instances.insert(a);
+                }
+                4 if a != b => {
+                    net.link(nodes[a], nodes[b], LinkQuality::PERFECT);
+                    mirror.link(a, b, LinkQuality::PERFECT);
+                    net.build_tree(nodes[0]);
+                }
+                5 => {
+                    net.build_tree(nodes[a]);
+                }
+                _ => {
+                    let root = 0; // re-pin so the oracle is simple
+                    net.build_tree(nodes[root]);
+                    let dodag = Dodag::build(&mirror, root);
+                    let expected = instances
+                        .iter()
+                        .filter_map(|&i| dodag.distance(a, i).map(|d| (d, i)))
+                        .min();
+                    t += SimDuration::from_millis(50);
+                    let d = Datagram {
+                        src: net.addr_of(nodes[a]),
+                        dst: mgr,
+                        src_port: addr::MCAST_PORT,
+                        dst_port: addr::MCAST_PORT,
+                        payload: vec![0xaa; 8].into(),
+                    };
+                    net.send(t, nodes[a], d);
+                    let deliveries = net.poll(SimTime::MAX);
+                    let (_, want) = expected.expect("the origin never crashes");
+                    prop_assert_eq!(deliveries.len(), 1, "perfect links always deliver");
+                    prop_assert_eq!(
+                        deliveries[0].node,
+                        nodes[want],
+                        "must land on the nearest instance still alive"
+                    );
+                }
+            }
+            // The origin's second identity survives every crash of others.
+            prop_assert!(instances.contains(&0));
+            prop_assert!(
+                net.caches_coherent(),
+                "memoised anycast resolution diverged after crash churn"
+            );
+        }
+    }
+
     /// SMRF plans cover exactly the reachable members.
     #[test]
     fn smrf_covers_members(
