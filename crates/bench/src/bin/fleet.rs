@@ -75,8 +75,10 @@ const FLASH_FLOOR_MIN_THINGS: usize = 1000;
 /// `fingerprint` (PR 4), to 3 when they gained `peak_rss_bytes`/`cpus`
 /// and the metrics gained the distribution-tier counters (PR 5), to 4
 /// when they gained `faults_injected`/`soak_ticks` and the optional
-/// embedded `soak` report (PR 6); older baselines must be regenerated.
-const SCHEMA: u32 = 4;
+/// embedded `soak` report (PR 6), to 5 when the report gained the
+/// per-driver `drivers` image-size table (optimising compiler); older
+/// baselines must be regenerated.
+const SCHEMA: u32 = 5;
 /// Edge caches fronting the origin in the chaos-soak rows.
 #[cfg(feature = "soak")]
 const SOAK_CACHES: usize = FLASH_CACHES;
@@ -94,7 +96,53 @@ struct BenchReport {
     seed: u64,
     /// Thing counts the sweep covered.
     sizes: Vec<usize>,
+    /// Shipped-driver image sizes under the optimising compiler —
+    /// deterministic compiler outputs, gated against the baseline so a
+    /// pass regression (images growing back) fails CI.
+    drivers: Vec<DriverSizeRow>,
     scenarios: Vec<ScenarioRow>,
+}
+
+/// One shipped driver's compiled-image footprint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DriverSizeRow {
+    /// Driver name (`upnp_dsl::drivers::ALL` key).
+    name: String,
+    /// Device id the image was compiled for (stable across runs).
+    device_id: u32,
+    /// Serialized size of the optimised image — what the (19) chunked
+    /// transfer actually ships.
+    image_bytes: usize,
+    /// 64-byte chunks needed to ship the optimised image.
+    chunks: usize,
+    /// Serialized size with the optimiser off, for the ablation column.
+    unopt_bytes: usize,
+}
+
+/// Compiles every shipped driver at both optimisation levels and
+/// records the shipped footprint. Pure compiler output: no seed, no
+/// fleet, bit-stable across hosts.
+fn driver_sizes() -> Vec<DriverSizeRow> {
+    upnp_dsl::drivers::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, (name, src))| {
+            let device_id = i as u32 + 1;
+            let full = upnp_dsl::compile_source_with(src, device_id, upnp_dsl::OptLevel::Full)
+                .expect("shipped driver compiles")
+                .to_bytes();
+            let none = upnp_dsl::compile_source_with(src, device_id, upnp_dsl::OptLevel::None)
+                .expect("shipped driver compiles")
+                .to_bytes();
+            DriverSizeRow {
+                name: (*name).to_string(),
+                device_id,
+                image_bytes: full.len(),
+                chunks: full.len().div_ceil(upnp_net::msg::DRIVER_CHUNK_PAYLOAD),
+                unopt_bytes: none.len(),
+            }
+        })
+        .collect()
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -375,10 +423,23 @@ fn run(opts: &Options) -> BenchReport {
             }
         }
     }
+    let drivers = driver_sizes();
+    println!("driver images (optimising compiler):");
+    for d in &drivers {
+        println!(
+            "  {:>8} | {:>4} B shipped ({} chunks) | {:>4} B unoptimised | -{:.1}%",
+            d.name,
+            d.image_bytes,
+            d.chunks,
+            d.unopt_bytes,
+            100.0 * (1.0 - d.image_bytes as f64 / d.unopt_bytes as f64),
+        );
+    }
     BenchReport {
         schema: SCHEMA,
         seed: opts.seed,
         sizes: opts.sizes.clone(),
+        drivers,
         scenarios,
     }
 }
@@ -581,6 +642,31 @@ fn gate_soak(current: &BenchReport) -> Result<(), String> {
 
 /// Applies the regression gates; returns an error message on failure.
 fn gate(current: &BenchReport, baseline: &BenchReport) -> Result<(), String> {
+    // Driver-image gates: compiler output is deterministic, so any
+    // growth in shipped bytes or chunk count over the baseline is a real
+    // optimiser regression — no tolerance factor.
+    for d in &current.drivers {
+        let Some(base) = baseline.drivers.iter().find(|b| b.name == d.name) else {
+            eprintln!(
+                "warning: driver `{}` has no baseline size row — \
+                 refresh bench/baseline.json to gate it",
+                d.name,
+            );
+            continue;
+        };
+        if d.image_bytes > base.image_bytes || d.chunks > base.chunks {
+            return Err(format!(
+                "driver `{}` image grew: {} bytes / {} chunks, baseline {} bytes / {} chunks — \
+                 an optimiser pass regressed",
+                d.name, d.image_bytes, d.chunks, base.image_bytes, base.chunks,
+            ));
+        }
+        println!(
+            "gate ok: driver {} ships {} bytes ({} chunks) <= baseline {} bytes ({} chunks)",
+            d.name, d.image_bytes, d.chunks, base.image_bytes, base.chunks,
+        );
+    }
+
     // Deterministic metrics should match the baseline bit-for-bit; drift
     // means behaviour changed and the baseline wants a refresh. Warn —
     // the hard gates are wall-clock and the allocation counters.

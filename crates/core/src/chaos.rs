@@ -195,6 +195,14 @@ impl SoakReport {
     }
 }
 
+/// Most repair-wave rounds one heal phase may run. On a PRR-0.6 link
+/// the MAC's three retransmissions still lose ~2.6% of unicast frames,
+/// and a lost driver request has no higher-layer retransmit, so a
+/// single replug round fails a few percent of the time; four rounds
+/// push the residual chance below anything a soak will ever see while
+/// keeping a genuine (deterministic) starvation loud.
+const REPAIR_ROUNDS: usize = 4;
+
 /// Host peak-RSS high-water mark (`VmHWM`), kilobytes; 0 off-Linux.
 pub fn peak_rss_kb() -> u64 {
     std::fs::read_to_string("/proc/self/status")
@@ -337,26 +345,39 @@ impl<W: SimWorld> Fleet<W> {
 
             // Repair wave: anything the faults starved (request dropped
             // in a partition, fetch died with its cache) replugs now
-            // that the fabric is whole again.
-            let heal_at = self.world.now();
-            let mut lane = 0u64;
-            for i in 0..n {
-                let Some(device) = self.occupancy[i] else {
-                    continue;
-                };
-                let thing = self.world.thing(self.things[i]);
-                if thing.served_peripherals().contains(&device.raw()) {
-                    continue;
+            // that the fabric is whole again. One round is not
+            // guaranteed to stick on lossy links — the radio retries a
+            // unicast frame at most three times and nothing above the
+            // MAC re-sends a lost driver request — so the wave repeats,
+            // bounded, until the fleet converges. A deterministic
+            // failure keeps its Thing starved through every round and
+            // still trips the epoch invariant below.
+            for round in 0..REPAIR_ROUNDS {
+                let heal_at = self.world.now();
+                let mut lane = 0u64;
+                let mut repaired = 0u64;
+                for i in 0..n {
+                    let Some(device) = self.occupancy[i] else {
+                        continue;
+                    };
+                    let thing = self.world.thing(self.things[i]);
+                    if thing.served_peripherals().contains(&device.raw()) {
+                        continue;
+                    }
+                    let at = heal_at + self.config.stagger.saturating_mul(lane);
+                    self.world.unplug_at(at, self.things[i], 0);
+                    self.world
+                        .plug_at(at + self.config.stagger, self.things[i], 0, device);
+                    repaired += 1;
+                    lane += 2;
                 }
-                let at = heal_at + self.config.stagger.saturating_mul(lane);
-                self.world.unplug_at(at, self.things[i], 0);
-                self.world
-                    .plug_at(at + self.config.stagger, self.things[i], 0, device);
-                report.repairs += 1;
-                lane += 2;
+                if round > 0 && repaired == 0 {
+                    break;
+                }
+                report.repairs += repaired;
+                self.world.run_until_idle();
+                report.soak_ticks += 1;
             }
-            self.world.run_until_idle();
-            report.soak_ticks += 1;
 
             // Whole-soak invariants, checked every epoch.
             for i in 0..n {

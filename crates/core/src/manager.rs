@@ -18,6 +18,7 @@ use std::collections::{HashMap, VecDeque};
 use std::net::Ipv6Addr;
 
 use upnp_dsl::image::DriverImage;
+use upnp_dsl::ImageDelta;
 use upnp_hw::id::DeviceTypeId;
 use upnp_net::addr::MCAST_PORT;
 use upnp_net::calib;
@@ -53,6 +54,10 @@ pub struct Manager {
     /// Lazily encoded wire images for chunk serving, keyed by device id
     /// (dropped on republish so chunks always reflect the live version).
     encoded: HashMap<u32, Vec<u8>>,
+    /// Encoded bytes of each driver's previous published version, kept
+    /// so a republish can ship caches an [`ImageDelta`] patch inside the
+    /// (20) invalidation instead of forcing a full re-fetch.
+    previous: HashMap<u32, (u16, Vec<u8>)>,
     seq: SeqNo,
     /// Thing address → advertised driver inventory (from (7) messages),
     /// bounded by [`MAX_INVENTORY`] with FIFO eviction. Mutate only
@@ -110,6 +115,7 @@ impl Manager {
             registry,
             repository,
             encoded: HashMap::new(),
+            previous: HashMap::new(),
             seq: 0,
             inventory: HashMap::new(),
             inventory_order: VecDeque::new(),
@@ -155,6 +161,17 @@ impl Manager {
             .get(id)
             .map(|e| e.driver_versions.len() as u16 + 1)
             .unwrap_or(1);
+        // Stash the outgoing version's wire bytes: the next (20)
+        // invalidation offers caches a delta patch computed against it.
+        if let Some(old) = self.repository.get(&image.device_id) {
+            let old_version = self.driver_version(id);
+            let old_bytes = self
+                .encoded
+                .remove(&image.device_id)
+                .unwrap_or_else(|| old.to_bytes());
+            self.previous
+                .insert(image.device_id, (old_version, old_bytes));
+        }
         let _ = self.registry.record_driver(id, version);
         self.encoded.remove(&image.device_id);
         self.repository.insert(image.device_id, image);
@@ -202,8 +219,31 @@ impl Manager {
     /// repository's current version of `device_id` — send these alongside
     /// the (8) removals / (5) update pushes of the same flow so the tier
     /// stays coherent with the origin.
+    ///
+    /// When the previous published version's bytes are known and the
+    /// chunk-level [`ImageDelta`] against them encodes strictly smaller
+    /// than the full image, the invalidation carries the delta: a cache
+    /// holding the predecessor patches in place (checksum-guarded both
+    /// sides) instead of evicting and re-fetching every chunk. Otherwise
+    /// the invalidation is a plain eviction notice, exactly as before.
     pub fn invalidate_caches(&mut self, device_id: DeviceTypeId) -> Vec<Datagram> {
         let version = self.driver_version(device_id);
+        let raw = device_id.raw();
+        let delta: Option<Vec<u8>> = {
+            let prev = self.previous.get(&raw);
+            let repo = self.repository.get(&raw);
+            if let (Some((_, old_bytes)), Some(image)) = (prev, repo) {
+                let new_bytes = self
+                    .encoded
+                    .get(&raw)
+                    .cloned()
+                    .unwrap_or_else(|| image.to_bytes());
+                let patch = ImageDelta::diff(old_bytes, &new_bytes);
+                (patch.encoded_len() < new_bytes.len()).then(|| patch.to_bytes())
+            } else {
+                None
+            }
+        };
         let targets = self.caches.clone();
         targets
             .into_iter()
@@ -216,6 +256,7 @@ impl Manager {
                         body: MessageBody::DriverInvalidate {
                             peripheral: device_id.raw(),
                             version,
+                            delta: delta.clone(),
                         },
                     },
                 )

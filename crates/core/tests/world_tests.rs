@@ -497,11 +497,13 @@ fn invalidation_propagates_republished_driver_to_the_tier() {
     w.run_until_idle();
     assert_eq!(
         w.cache(cache).cached_version(prototypes::TMP36.raw()),
-        None,
-        "stale image evicted"
+        Some(2),
+        "the (20) delta upgraded the cached copy in place"
     );
+    assert_eq!(w.cache(cache).stats.delta_patched, 1);
 
-    // The next cold request re-fetches the current version.
+    // The next request is a warm hit on the upgraded copy — the origin
+    // never sees a second fetch session.
     w.plug_and_wait(t2, 0, prototypes::TMP36);
     assert_eq!(
         w.cache(cache).cached_version(prototypes::TMP36.raw()),
@@ -509,8 +511,8 @@ fn invalidation_propagates_republished_driver_to_the_tier() {
     );
     assert_eq!(
         w.manager().uploads_served,
-        2,
-        "a second fetch session served the republished image"
+        1,
+        "the delta patch spared the origin a second fetch session"
     );
 }
 

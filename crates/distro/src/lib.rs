@@ -47,6 +47,11 @@ use upnp_net::msg::{Message, MessageBody, SeqNo};
 use upnp_net::{Datagram, NodeId};
 use upnp_sim::{CpuCost, SimDuration};
 
+// The delta encoding diffs on the same 64-byte grid the chunked
+// transfer protocol ships, so "chunks skipped" below means chunks the
+// cache never has to re-fetch. A grid mismatch would be silent drift.
+const _: () = assert!(upnp_dsl::delta::CHUNK == upnp_net::msg::DRIVER_CHUNK_PAYLOAD);
+
 /// Tuning knobs of one edge cache.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CacheConfig {
@@ -92,6 +97,16 @@ pub struct CacheStats {
     /// Parked followers failed over to a direct origin fetch when their
     /// coalesced fetch was abandoned.
     pub failed_over: u64,
+    /// Cached images upgraded in place by a (20) invalidation's delta
+    /// patch (instead of evict + full re-fetch).
+    pub delta_patched: u64,
+    /// Delta patches rejected (checksum/structure/image validation) —
+    /// each fell back to the plain eviction path.
+    pub delta_rejected: u64,
+    /// Chunks a delta patch did NOT have to ship or re-fetch: the
+    /// patched image's total chunk count minus the chunks the delta
+    /// carried, summed over successful patches.
+    pub delta_chunks_skipped: u64,
 }
 
 /// A side effect the cache asks the world loop to perform.
@@ -257,6 +272,46 @@ impl EdgeCache {
         }
     }
 
+    /// Attempts to upgrade a cached image in place from a (20) delta
+    /// patch. Returns `true` when the entry now holds `version`; any
+    /// failure (malformed wire form, base-checksum mismatch, or a
+    /// patched image that does not re-validate) leaves the entry
+    /// untouched so the caller can fall back to eviction.
+    fn try_delta_patch(&mut self, peripheral: u32, version: u16, patch: &[u8]) -> bool {
+        let Some(entry) = self.entries.get_mut(&peripheral) else {
+            return false;
+        };
+        let delta = match upnp_dsl::ImageDelta::from_bytes(patch) {
+            Ok(d) => d,
+            Err(_) => {
+                self.stats.delta_rejected += 1;
+                return false;
+            }
+        };
+        let patched = match delta.apply(&entry.bytes) {
+            Ok(b) => b,
+            Err(_) => {
+                self.stats.delta_rejected += 1;
+                return false;
+            }
+        };
+        // The checksums only prove we rebuilt the origin's bytes; prove
+        // the bytes are a well-formed, verifiable image before serving
+        // them to motes.
+        let valid = DriverImage::from_bytes(&patched)
+            .ok()
+            .is_some_and(|image| upnp_dsl::verify(&image).is_ok());
+        if !valid {
+            self.stats.delta_rejected += 1;
+            return false;
+        }
+        self.stats.delta_chunks_skipped += (delta.total_chunks() - delta.chunks.len()) as u64;
+        self.stats.delta_patched += 1;
+        entry.bytes = patched;
+        entry.version = version;
+        true
+    }
+
     fn upload(&self, dst: Ipv6Addr, seq: SeqNo, peripheral: u32, image: &[u8]) -> Datagram {
         self.datagram(
             dst,
@@ -363,16 +418,30 @@ impl EdgeCache {
             MessageBody::DriverInvalidate {
                 peripheral,
                 version,
+                delta,
             } => {
-                // Evict only strictly older copies; an in-flight fetch is
-                // left alone — the origin already serves the new version,
-                // and the chunk version check restarts the transfer if it
-                // straddled the update.
+                // A delta patch can upgrade a strictly-older cached copy
+                // in place: apply (base checksum guards against patching
+                // the wrong bytes), then re-validate the result as a
+                // whole image before trusting it. Any failure falls back
+                // to plain eviction — a delta is an optimisation, never
+                // a correctness dependency.
                 if self
                     .entries
                     .get(&peripheral)
                     .is_some_and(|e| e.version < version)
                 {
+                    if let Some(patch) = delta.as_deref() {
+                        if self.try_delta_patch(peripheral, version, patch) {
+                            return CacheReply::with_cost(
+                                calib::UDP_RECV_PATH + calib::REPO_LOOKUP,
+                            );
+                        }
+                    }
+                    // Evict only strictly older copies; an in-flight
+                    // fetch is left alone — the origin already serves
+                    // the new version, and the chunk version check
+                    // restarts the transfer if it straddled the update.
                     self.entries.remove(&peripheral);
                     self.stats.invalidations += 1;
                 }
@@ -1067,6 +1136,7 @@ mod tests {
             MessageBody::DriverInvalidate {
                 peripheral: 7,
                 version: 2,
+                delta: None,
             },
         ));
         assert_eq!(c.cached_version(7), Some(2));
@@ -1076,6 +1146,7 @@ mod tests {
             MessageBody::DriverInvalidate {
                 peripheral: 7,
                 version: 3,
+                delta: None,
             },
         ));
         assert_eq!(c.cached_version(7), None);
@@ -1094,6 +1165,81 @@ mod tests {
         assert!(removed);
         assert_eq!(c.cached_version(8), None);
         assert_eq!(c.stats.invalidations, 2);
+    }
+
+    #[test]
+    fn delta_invalidation_patches_in_place() {
+        let mut c = cache();
+        let p = 0xad1c_be01;
+        let old =
+            upnp_dsl::compile_source_with(upnp_dsl::drivers::TMP36, p, upnp_dsl::OptLevel::None)
+                .expect("driver compiles")
+                .to_bytes();
+        let new = image_bytes(); // same driver at full optimisation
+        assert_ne!(old, new, "the two versions must differ for a real patch");
+        c.insert(p, 1, old.clone());
+        let patch = upnp_dsl::ImageDelta::diff(&old, &new);
+        c.on_datagram(&dgram(
+            ORIGIN,
+            MessageBody::DriverInvalidate {
+                peripheral: p,
+                version: 2,
+                delta: Some(patch.to_bytes()),
+            },
+        ));
+        assert_eq!(c.cached_version(p), Some(2), "upgraded, not evicted");
+        assert_eq!(
+            c.entries[&p].bytes, new,
+            "patched bytes are bit-equal to the full v2 image"
+        );
+        assert_eq!(c.stats.delta_patched, 1);
+        assert_eq!(
+            c.stats.delta_chunks_skipped,
+            (patch.total_chunks() - patch.chunks.len()) as u64
+        );
+        assert_eq!(c.stats.invalidations, 0, "no eviction happened");
+    }
+
+    #[test]
+    fn wrong_base_delta_falls_back_to_eviction() {
+        let mut c = cache();
+        let p = 0xad1c_be01;
+        c.insert(p, 1, image_bytes());
+        // A patch diffed against a different base image: the base
+        // checksum cannot match the cached bytes.
+        let other = upnp_dsl::compile_source(upnp_dsl::drivers::BMP180, p)
+            .expect("driver compiles")
+            .to_bytes();
+        let patch = upnp_dsl::ImageDelta::diff(&other, &image_bytes());
+        c.on_datagram(&dgram(
+            ORIGIN,
+            MessageBody::DriverInvalidate {
+                peripheral: p,
+                version: 2,
+                delta: Some(patch.to_bytes()),
+            },
+        ));
+        assert_eq!(c.cached_version(p), None, "rejected patch ⇒ plain eviction");
+        assert_eq!(c.stats.delta_rejected, 1);
+        assert_eq!(c.stats.invalidations, 1);
+    }
+
+    #[test]
+    fn malformed_delta_wire_form_falls_back_to_eviction() {
+        let mut c = cache();
+        let p = 0xad1c_be01;
+        c.insert(p, 1, image_bytes());
+        c.on_datagram(&dgram(
+            ORIGIN,
+            MessageBody::DriverInvalidate {
+                peripheral: p,
+                version: 2,
+                delta: Some(vec![0xff; 5]),
+            },
+        ));
+        assert_eq!(c.cached_version(p), None);
+        assert_eq!(c.stats.delta_rejected, 1);
+        assert_eq!(c.stats.invalidations, 1);
     }
 
     #[test]

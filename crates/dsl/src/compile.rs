@@ -1,20 +1,40 @@
-//! Code generation: typed IR → bytecode image.
+//! Code generation: typed IR → bytecode image, through the staged
+//! optimisation pipeline in [`crate::opt`].
 //!
-//! Straightforward single-pass emission with jump backpatching. The only
-//! optimization is deliberate and measured (see the bytecode-size ablation):
-//! `idx++` compiles to the single [`Op::IncG`] instruction instead of a
-//! five-instruction load/add/store sequence, the peephole the paper's
-//! "several optimization mechanisms" remark motivates.
+//! The compiler runs four stages per program:
+//!
+//! 1. **Typed-IR optimisation** ([`opt::optimize`]) — constant and branch
+//!    folding, strength reduction, dead-code and dead-global elimination,
+//!    each pass under the collector→transform→validator protocol;
+//! 2. **Lowering** ([`opt::linear::lower_handler`]) — each handler body
+//!    becomes a flat instruction stream with symbolic jump labels;
+//! 3. **Peephole** ([`opt::peephole::optimize_linear`]) — jump threading,
+//!    constant-condition branches, store/load forwarding, push/pop
+//!    cancellation and unreachable-code sweeping, to a fixpoint;
+//! 4. **Assembly** ([`opt::linear::assemble`]) — labels resolve to
+//!    relative `i16` offsets and the final bytes are emitted, then the
+//!    whole image is re-checked by the [`crate::verify()`] abstract
+//!    interpreter as the pipeline's last validator.
+//!
+//! [`OptLevel::None`] skips stages 1 and 3 (and the final verification),
+//! reproducing the historical single-pass emitter byte-for-byte — the
+//! reference side of the differential harness in
+//! `crates/vm/tests/differential.rs`. The one optimisation even `None`
+//! keeps is in the checker itself: `idx++` compiles to the single
+//! [`Op::IncG`](crate::isa::Op::IncG) instruction, the peephole the
+//! paper's "several optimization mechanisms" remark motivates.
 
-use crate::ast::{BinOp, UnOp};
-use crate::check::{check, CheckedProgram, TExpr, TStmt, ValKind};
+use crate::check::{check, CheckedProgram};
 use crate::events;
 use crate::image::{BusKind, DriverImage, GlobalSlot, HandlerEntry};
-use crate::isa::Op;
+use crate::opt::linear::{assemble, ensure_terminator, lower_handler};
+use crate::opt::peephole::optimize_linear;
+use crate::opt::{self, OptLevel};
 use crate::parser::parse;
 use crate::CompileError;
 
-/// Compiles driver source text into a deployable image.
+/// Compiles driver source text into a deployable image at the default
+/// (full) optimisation level.
 ///
 /// `device_id` is the peripheral type the driver serves (assigned by the
 /// global address space registry, §3.3 — it is not part of the source).
@@ -23,12 +43,25 @@ use crate::CompileError;
 ///
 /// Any lexical, syntactic or semantic error, or a format limit violation.
 pub fn compile_source(source: &str, device_id: u32) -> Result<DriverImage, CompileError> {
-    let program = parse(source)?;
-    let checked = check(&program)?;
-    compile_checked(&checked, device_id)
+    compile_source_with(source, device_id, OptLevel::default())
 }
 
-/// Compiles an already-checked program.
+/// Compiles driver source text at an explicit optimisation level.
+///
+/// # Errors
+///
+/// Any lexical, syntactic or semantic error, or a format limit violation.
+pub fn compile_source_with(
+    source: &str,
+    device_id: u32,
+    level: OptLevel,
+) -> Result<DriverImage, CompileError> {
+    let program = parse(source)?;
+    let checked = check(&program)?;
+    compile_checked_with(&checked, device_id, level)
+}
+
+/// Compiles an already-checked program at the default (full) level.
 ///
 /// # Errors
 ///
@@ -37,22 +70,54 @@ pub fn compile_checked(
     checked: &CheckedProgram,
     device_id: u32,
 ) -> Result<DriverImage, CompileError> {
+    compile_checked_with(checked, device_id, OptLevel::default())
+}
+
+/// Compiles an already-checked program at an explicit optimisation level.
+///
+/// At [`OptLevel::Full`] the assembled image is additionally re-verified
+/// by the [`crate::verify()`] abstract interpreter — the pipeline's final
+/// validator — so an optimiser bug surfaces as a loud
+/// [`CompileError::Internal`] instead of a misbehaving device.
+///
+/// # Errors
+///
+/// [`CompileError::TooLarge`] if a format limit is exceeded;
+/// [`CompileError::Internal`] if an optimisation pass breaks an IR or
+/// image invariant (always a compiler bug, never a property of the
+/// input).
+pub fn compile_checked_with(
+    checked: &CheckedProgram,
+    device_id: u32,
+    level: OptLevel,
+) -> Result<DriverImage, CompileError> {
+    let mut program = checked.clone();
+    if level == OptLevel::Full {
+        opt::optimize(&mut program)?;
+    }
+
     let mut code = Vec::new();
-    let mut handlers = Vec::with_capacity(checked.handlers.len());
-    for h in &checked.handlers {
+    let mut handlers = Vec::with_capacity(program.handlers.len());
+    for h in &program.handlers {
         let offset = code.len();
         if offset > u16::MAX as usize {
             return Err(CompileError::TooLarge("code exceeds 64 KiB".into()));
         }
-        let mut gen = CodeGen { code: &mut code };
-        for stmt in &h.body {
-            gen.stmt(stmt)?;
+        let mut insts = lower_handler(&h.body);
+        if level == OptLevel::Full {
+            // Peephole and terminator insertion interleave: threading a
+            // jump into a freshly appended `Ret` can open the end again,
+            // so alternate until neither changes anything.
+            for _ in 0..opt::MAX_ROUNDS {
+                ensure_terminator(&mut insts);
+                if optimize_linear(&mut insts) == 0 {
+                    break;
+                }
+            }
         }
         // Every handler runs to completion; guarantee a terminator.
-        if !matches!(code.last(), Some(&b) if b == Op::Ret as u8 || b == Op::RetV as u8 || b == Op::RetA as u8)
-        {
-            code.push(Op::Ret as u8);
-        }
+        ensure_terminator(&mut insts);
+        assemble(&insts, &mut code)?;
         handlers.push(HandlerEntry {
             event_id: h.event_id,
             n_params: h.params.len() as u8,
@@ -63,12 +128,12 @@ pub fn compile_checked(
         return Err(CompileError::TooLarge("code exceeds 64 KiB".into()));
     }
 
-    let bus = infer_bus(&checked.imports);
-    Ok(DriverImage {
+    let bus = infer_bus(&program.imports);
+    let image = DriverImage {
         device_id,
         bus,
-        imports: checked.imports.clone(),
-        globals: checked
+        imports: program.imports.clone(),
+        globals: program
             .globals
             .iter()
             .map(|g| GlobalSlot {
@@ -78,7 +143,13 @@ pub fn compile_checked(
             .collect(),
         handlers,
         code,
-    })
+    };
+    if level == OptLevel::Full {
+        crate::verify(&image).map_err(|e| {
+            CompileError::Internal(format!("optimised image failed verification: {e}"))
+        })?;
+    }
+    Ok(image)
 }
 
 /// The first interconnect import determines the bus family.
@@ -95,258 +166,10 @@ fn infer_bus(imports: &[u8]) -> BusKind {
     BusKind::None
 }
 
-struct CodeGen<'a> {
-    code: &'a mut Vec<u8>,
-}
-
-impl CodeGen<'_> {
-    fn op(&mut self, op: Op) {
-        self.code.push(op as u8);
-    }
-
-    fn op1(&mut self, op: Op, a: u8) {
-        self.code.push(op as u8);
-        self.code.push(a);
-    }
-
-    /// Emits a jump with a placeholder offset; returns the patch site.
-    fn jump(&mut self, op: Op) -> usize {
-        self.op(op);
-        let site = self.code.len();
-        self.code.extend_from_slice(&[0, 0]);
-        site
-    }
-
-    /// Patches a jump to land at the current end of code.
-    fn patch_here(&mut self, site: usize) -> Result<(), CompileError> {
-        // Offset is relative to the end of the jump instruction.
-        let delta = self.code.len() as i64 - (site as i64 + 2);
-        let delta = i16::try_from(delta)
-            .map_err(|_| CompileError::TooLarge("jump offset exceeds i16".into()))?;
-        self.code[site..site + 2].copy_from_slice(&delta.to_le_bytes());
-        Ok(())
-    }
-
-    /// Emits a backward jump to `target`.
-    fn jump_back(&mut self, op: Op, target: usize) -> Result<(), CompileError> {
-        self.op(op);
-        let site = self.code.len() as i64;
-        let delta = target as i64 - (site + 2);
-        let delta = i16::try_from(delta)
-            .map_err(|_| CompileError::TooLarge("jump offset exceeds i16".into()))?;
-        self.code.extend_from_slice(&delta.to_le_bytes());
-        Ok(())
-    }
-
-    fn stmt(&mut self, stmt: &TStmt) -> Result<(), CompileError> {
-        match stmt {
-            TStmt::StoreG(slot, value) => {
-                self.expr(value);
-                self.op1(Op::Stg, *slot);
-            }
-            TStmt::StoreL(slot, value) => {
-                self.expr(value);
-                self.op1(Op::Stl, *slot);
-            }
-            TStmt::StoreA(slot, index, value) => {
-                self.expr(index);
-                self.expr(value);
-                self.op1(Op::Sta, *slot);
-            }
-            TStmt::Signal(lib, event, args) => {
-                for a in args {
-                    self.expr(a);
-                }
-                self.op(Op::Sig);
-                self.code.push(*lib);
-                self.code.push(*event);
-                self.code.push(args.len() as u8);
-            }
-            TStmt::Return => self.op(Op::Ret),
-            TStmt::ReturnValue(value) => {
-                self.expr(value);
-                self.op(Op::RetV);
-            }
-            TStmt::ReturnArray(slot) => self.op1(Op::RetA, *slot),
-            TStmt::If(cond, then_block, else_block) => {
-                self.expr(cond);
-                let to_else = self.jump(Op::Jz);
-                for s in then_block {
-                    self.stmt(s)?;
-                }
-                if else_block.is_empty() {
-                    self.patch_here(to_else)?;
-                } else {
-                    let to_end = self.jump(Op::Jmp);
-                    self.patch_here(to_else)?;
-                    for s in else_block {
-                        self.stmt(s)?;
-                    }
-                    self.patch_here(to_end)?;
-                }
-            }
-            TStmt::While(cond, body) => {
-                let top = self.code.len();
-                self.expr(cond);
-                let to_end = self.jump(Op::Jz);
-                for s in body {
-                    self.stmt(s)?;
-                }
-                self.jump_back(Op::Jmp, top)?;
-                self.patch_here(to_end)?;
-            }
-            TStmt::Discard(expr) => {
-                self.expr(expr);
-                self.op(Op::Pop);
-            }
-        }
-        Ok(())
-    }
-
-    fn expr(&mut self, e: &TExpr) {
-        match e {
-            TExpr::Int(v) => self.push_int(*v),
-            TExpr::Float(v) => {
-                self.op(Op::PushF);
-                self.code.extend_from_slice(&v.to_le_bytes());
-            }
-            TExpr::LoadG(slot, _) => self.op1(Op::Ldg, *slot),
-            TExpr::LoadL(slot, _) => self.op1(Op::Ldl, *slot),
-            TExpr::LoadA(slot, index) => {
-                self.expr(index);
-                self.op1(Op::Lda, *slot);
-            }
-            TExpr::PostInc(slot) => self.op1(Op::IncG, *slot),
-            TExpr::I2F(inner) => {
-                self.expr(inner);
-                self.op(Op::I2F);
-            }
-            TExpr::F2I(inner) => {
-                self.expr(inner);
-                self.op(Op::F2I);
-            }
-            TExpr::Un(op, kind, inner) => {
-                self.expr(inner);
-                match (op, kind) {
-                    (UnOp::Neg, ValKind::Float) => self.op(Op::FNeg),
-                    (UnOp::Neg, ValKind::Int) => self.op(Op::Neg),
-                    (UnOp::Not, _) => self.op(Op::LNot),
-                    (UnOp::BitNot, _) => self.op(Op::BNot),
-                }
-            }
-            TExpr::Bin(op, kind, lhs, rhs) => {
-                self.expr(lhs);
-                self.expr(rhs);
-                self.bin_op(*op, *kind);
-            }
-        }
-    }
-
-    fn bin_op(&mut self, op: BinOp, kind: ValKind) {
-        use BinOp::*;
-        let float = kind == ValKind::Float;
-        let opcode = match op {
-            Add => {
-                if float {
-                    Op::FAdd
-                } else {
-                    Op::Add
-                }
-            }
-            Sub => {
-                if float {
-                    Op::FSub
-                } else {
-                    Op::Sub
-                }
-            }
-            Mul => {
-                if float {
-                    Op::FMul
-                } else {
-                    Op::Mul
-                }
-            }
-            Div => {
-                if float {
-                    Op::FDiv
-                } else {
-                    Op::Div
-                }
-            }
-            Mod => Op::Mod,
-            Eq => {
-                if float {
-                    Op::FEq
-                } else {
-                    Op::Eq
-                }
-            }
-            Ne => {
-                if float {
-                    Op::FNe
-                } else {
-                    Op::Ne
-                }
-            }
-            Lt => {
-                if float {
-                    Op::FLt
-                } else {
-                    Op::Lt
-                }
-            }
-            Le => {
-                if float {
-                    Op::FLe
-                } else {
-                    Op::Le
-                }
-            }
-            Gt => {
-                if float {
-                    Op::FGt
-                } else {
-                    Op::Gt
-                }
-            }
-            Ge => {
-                if float {
-                    Op::FGe
-                } else {
-                    Op::Ge
-                }
-            }
-            // `and`/`or` are strict (non-short-circuit) on 0/1 values, so
-            // bitwise ops implement them exactly.
-            And | BitAnd => Op::BAnd,
-            Or | BitOr => Op::BOr,
-            BitXor => Op::BXor,
-            Shl => Op::Shl,
-            Shr => Op::Shr,
-        };
-        self.op(opcode);
-    }
-
-    /// Chooses the smallest push encoding for an integer.
-    fn push_int(&mut self, v: i32) {
-        if let Ok(b) = i8::try_from(v) {
-            self.op(Op::Push8);
-            self.code.push(b as u8);
-        } else if let Ok(h) = i16::try_from(v) {
-            self.op(Op::Push16);
-            self.code.extend_from_slice(&h.to_le_bytes());
-        } else {
-            self.op(Op::Push32);
-            self.code.extend_from_slice(&v.to_le_bytes());
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::isa::disassemble;
+    use crate::isa::{disassemble, Op};
 
     const MINIMAL: &str = "\
 event init():
@@ -382,7 +205,9 @@ event init():
 event destroy():
     return;
 ";
-        let img = compile_source(src, 1).unwrap();
+        // `x` is never read, so the full pipeline deletes everything;
+        // width selection is a lowering property — check it at None.
+        let img = compile_source_with(src, 1, OptLevel::None).unwrap();
         let text = disassemble(&img.code).unwrap().join("\n");
         assert!(text.contains("PUSH8  5"));
         assert!(text.contains("PUSH16 300"));
@@ -405,9 +230,9 @@ event destroy():
         assert!(!text.contains("Add"), "{text}");
     }
 
-    #[test]
-    fn if_else_branches_patch_correctly() {
-        let src = "\
+    /// Source whose `if`/`else` both assign a global that a later read
+    /// keeps alive, so neither arm optimises away.
+    const IF_ELSE: &str = "\
 uint8_t x, y;
 event init():
     if x == 1:
@@ -415,14 +240,47 @@ event init():
     else:
         y = 20;
 event destroy():
-    return;
+    x = y;
 ";
-        let img = compile_source(src, 1).unwrap();
+
+    #[test]
+    fn if_else_branches_patch_correctly() {
+        let img = compile_source_with(IF_ELSE, 1, OptLevel::None).unwrap();
         // Must disassemble cleanly and contain one conditional and one
         // unconditional jump.
         let text = disassemble(&img.code).unwrap().join("\n");
         assert_eq!(text.matches("Jz").count(), 1);
         assert_eq!(text.matches("Jmp").count(), 1);
+    }
+
+    #[test]
+    fn optimizer_threads_the_if_else_join_jump() {
+        // At Full, the then-arm's `jmp end` threads into the handler's
+        // terminating return: each arm ends in its own Ret and the
+        // unconditional jump disappears.
+        let full = compile_source_with(IF_ELSE, 1, OptLevel::Full).unwrap();
+        let text = disassemble(&full.code).unwrap().join("\n");
+        assert_eq!(text.matches("Jz").count(), 1, "{text}");
+        assert_eq!(text.matches("Jmp").count(), 0, "{text}");
+        let none = compile_source_with(IF_ELSE, 1, OptLevel::None).unwrap();
+        assert!(full.code.len() < none.code.len());
+    }
+
+    #[test]
+    fn optimizer_folds_constant_arithmetic() {
+        let src = "\
+uint16_t period;
+event init():
+    period = 8 * 250 / 2;
+event destroy():
+    period = period + 1;
+";
+        let full = compile_source_with(src, 1, OptLevel::Full).unwrap();
+        let none = compile_source_with(src, 1, OptLevel::None).unwrap();
+        let text = disassemble(&full.code).unwrap().join("\n");
+        assert!(text.contains("PUSH16 1000"), "{text}");
+        assert!(!text.contains("Mul"), "{text}");
+        assert!(full.code.len() < none.code.len());
     }
 
     #[test]
@@ -456,7 +314,7 @@ uint16_t raw;
 event init():
     v = (raw * 3.3) / 1023.0;
 event destroy():
-    return;
+    return v;
 ";
         let img = compile_source(src, 1).unwrap();
         assert!(img.code.contains(&(Op::FMul as u8)));
@@ -473,12 +331,34 @@ event init():
 event destroy():
     x = 2;
 ";
-        let img = compile_source(src, 1).unwrap();
-        // Walk handler regions; each must end in Ret before the next.
-        let offsets: Vec<usize> = img.handlers.iter().map(|h| h.offset as usize).collect();
-        assert_eq!(offsets[0], 0);
-        assert!(img.code[offsets[1] - 1] == Op::Ret as u8);
-        assert!(*img.code.last().unwrap() == Op::Ret as u8);
+        for level in [OptLevel::None, OptLevel::Full] {
+            let img = compile_source_with(src, 1, level).unwrap();
+            // Walk handler regions; each must end in Ret before the next.
+            let offsets: Vec<usize> = img.handlers.iter().map(|h| h.offset as usize).collect();
+            assert_eq!(offsets[0], 0);
+            assert!(img.code[offsets[1] - 1] == Op::Ret as u8);
+            assert!(*img.code.last().unwrap() == Op::Ret as u8);
+        }
+    }
+
+    #[test]
+    fn loop_tailed_handlers_still_get_a_terminator() {
+        // A handler whose last statement is a loop ends, pre-terminator,
+        // on the loop-exit label: the structural open-end rule must append
+        // the Ret at both levels, and the abstract interpreter agrees no
+        // reachable path falls off the end.
+        let src = "\
+uint8_t x;
+event init():
+    while x < 5:
+        x = x + 1;
+event destroy():
+    return x;
+";
+        for level in [OptLevel::None, OptLevel::Full] {
+            let img = compile_source_with(src, 1, level).unwrap();
+            crate::verify(&img).unwrap();
+        }
     }
 
     #[test]
@@ -513,8 +393,69 @@ event sampleDone(uint16_t r):
     volts = (raw * 3.3) / 1023.0;
     return volts;
 ";
-        let img = compile_source(src, 0xad1c_be01).unwrap();
-        let back = DriverImage::from_bytes(&img.to_bytes()).unwrap();
-        assert_eq!(back, img);
+        for level in [OptLevel::None, OptLevel::Full] {
+            let img = compile_source_with(src, 0xad1c_be01, level).unwrap();
+            let back = DriverImage::from_bytes(&img.to_bytes()).unwrap();
+            assert_eq!(back, img);
+        }
+    }
+
+    /// The reference docs quote opcode mnemonics, encodings and VM
+    /// limits; this test pins them to the code so `docs/` can't rot
+    /// silently. See `docs/isa.md` and `docs/dsl-language.md`.
+    #[test]
+    fn docs_stay_in_sync_with_the_code() {
+        let docs = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs");
+        let isa = std::fs::read_to_string(docs.join("isa.md")).expect("docs/isa.md");
+        for b in 0..=255u8 {
+            let Some(op) = Op::from_byte(b) else { continue };
+            let mnemonic = format!("`{op:?}`");
+            assert!(
+                isa.contains(&mnemonic),
+                "docs/isa.md is missing opcode {op:?}"
+            );
+            let encoding = format!("`{b:#04x}`");
+            assert!(
+                isa.contains(&encoding),
+                "docs/isa.md is missing encoding {b:#04x} for {op:?}"
+            );
+        }
+
+        let lang =
+            std::fs::read_to_string(docs.join("dsl-language.md")).expect("docs/dsl-language.md");
+        for needle in [
+            format!("**{}** cells", crate::vm_limits::STACK_DEPTH),
+            format!("**{}** instructions", crate::vm_limits::GAS_LIMIT),
+        ] {
+            assert!(
+                lang.contains(&needle),
+                "docs/dsl-language.md lost `{needle}`"
+            );
+        }
+        for ty in [
+            "uint8_t", "int8_t", "uint16_t", "int16_t", "uint32_t", "int32_t", "char", "bool",
+            "float",
+        ] {
+            let cell = format!("| `{ty}`");
+            assert!(
+                lang.contains(&cell),
+                "docs/dsl-language.md lost the `{ty}` row"
+            );
+        }
+    }
+
+    #[test]
+    fn optimized_never_larger_on_shipped_drivers() {
+        for (name, src) in crate::drivers::ALL {
+            let full = compile_source_with(src, 1, OptLevel::Full).unwrap();
+            let none = compile_source_with(src, 1, OptLevel::None).unwrap();
+            assert!(
+                full.code.len() <= none.code.len(),
+                "{name}: optimised {} > unoptimised {}",
+                full.code.len(),
+                none.code.len()
+            );
+            crate::verify(&full).unwrap();
+        }
     }
 }

@@ -1,0 +1,320 @@
+//! Chunk-level delta encoding for driver version bumps.
+//!
+//! When the Manager republishes a driver, most of the image usually
+//! survives unchanged — a tweaked conversion constant perturbs a handful
+//! of the 64-byte chunks the distribution tier already transfers
+//! individually. An [`ImageDelta`] carries exactly the changed chunks
+//! (plus the new length and two checksums), so an edge cache holding the
+//! previous version can patch its copy in place instead of re-fetching
+//! the whole image chunk by chunk from the origin.
+//!
+//! Safety model: the delta names the checksum of the **base** it was
+//! computed against and of the **result** it must produce. A cache
+//! applies a delta only to a bit-exact base and accepts the result only
+//! if it re-checks — any corruption (or a delta raced against the wrong
+//! version) is rejected and the cache falls back to the ordinary
+//! evict-and-refetch path. Shipping a delta is therefore purely an
+//! optimisation: it can never make a cache serve wrong bytes.
+
+use std::fmt;
+
+/// Chunk granularity of the delta, locked to the distribution tier's
+/// transfer unit (`upnp-net`'s `DRIVER_CHUNK_PAYLOAD`, asserted equal in
+/// `crates/distro`).
+pub const CHUNK: usize = 64;
+
+/// A sparse patch turning one encoded driver image into another.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageDelta {
+    /// Total length of the target image in bytes.
+    pub new_len: u16,
+    /// FNV-1a checksum of the base image the delta applies to.
+    pub base_check: u32,
+    /// FNV-1a checksum of the image the patch must produce.
+    pub new_check: u32,
+    /// Changed chunks as `(chunk index, chunk bytes)`, strictly
+    /// ascending by index. Every chunk is exactly [`CHUNK`] bytes except
+    /// possibly the image's last.
+    pub chunks: Vec<(u16, Vec<u8>)>,
+}
+
+/// Why a delta could not be applied or decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The base bytes do not match the checksum the delta was built for.
+    BaseMismatch,
+    /// The patched result does not match the promised checksum.
+    ResultMismatch,
+    /// The encoded form is structurally invalid.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::BaseMismatch => write!(f, "delta base checksum mismatch"),
+            DeltaError::ResultMismatch => write!(f, "delta result checksum mismatch"),
+            DeltaError::Malformed(what) => write!(f, "malformed delta: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// 32-bit FNV-1a over a byte slice — cheap, deterministic, and good
+/// enough to detect corruption (this is an integrity check against
+/// accidents, not an authenticity check against adversaries).
+pub fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+impl ImageDelta {
+    /// Computes the delta turning `base` into `new`: every 64-byte chunk
+    /// of `new` that differs from the corresponding chunk of `base`
+    /// (a short or missing base chunk counts as different).
+    ///
+    /// # Panics
+    ///
+    /// If `new` exceeds `u16::MAX` bytes — encoded driver images are
+    /// format-limited well below that.
+    pub fn diff(base: &[u8], new: &[u8]) -> ImageDelta {
+        assert!(new.len() <= u16::MAX as usize, "image exceeds u16 length");
+        let chunks = new
+            .chunks(CHUNK)
+            .enumerate()
+            .filter(|(i, c)| {
+                // A chunk ships iff the base disagrees over the same
+                // range (a short or absent base range always disagrees);
+                // pure truncation/zero-fill is `apply`'s resize.
+                let start = i * CHUNK;
+                base.get(start..start + c.len()) != Some(*c)
+            })
+            .map(|(i, c)| (i as u16, c.to_vec()))
+            .collect();
+        ImageDelta {
+            new_len: new.len() as u16,
+            base_check: fnv1a(base),
+            new_check: fnv1a(new),
+            chunks,
+        }
+    }
+
+    /// Applies the delta to `base`, returning the patched image.
+    ///
+    /// # Errors
+    ///
+    /// [`DeltaError::BaseMismatch`] if `base` is not the image the delta
+    /// was computed against; [`DeltaError::ResultMismatch`] if the
+    /// patched bytes fail the promised checksum (a corrupt delta);
+    /// [`DeltaError::Malformed`] if a chunk falls outside the target
+    /// length.
+    pub fn apply(&self, base: &[u8]) -> Result<Vec<u8>, DeltaError> {
+        if fnv1a(base) != self.base_check {
+            return Err(DeltaError::BaseMismatch);
+        }
+        let new_len = self.new_len as usize;
+        let mut out = base.to_vec();
+        out.resize(new_len, 0);
+        for (idx, bytes) in &self.chunks {
+            let start = *idx as usize * CHUNK;
+            let end = start + bytes.len();
+            if end > new_len {
+                return Err(DeltaError::Malformed("chunk past target length"));
+            }
+            out[start..end].copy_from_slice(bytes);
+        }
+        if fnv1a(&out) != self.new_check {
+            return Err(DeltaError::ResultMismatch);
+        }
+        Ok(out)
+    }
+
+    /// Total chunk count of the target image (what a cold fetch would
+    /// transfer); the delta ships only `self.chunks.len()` of them.
+    pub fn total_chunks(&self) -> usize {
+        (self.new_len as usize).div_ceil(CHUNK)
+    }
+
+    /// Size of [`Self::to_bytes`] without materialising it — what the
+    /// Manager compares against the full image to decide whether the
+    /// delta is worth shipping.
+    pub fn encoded_len(&self) -> usize {
+        12 + self.chunks.iter().map(|(_, c)| 3 + c.len()).sum::<usize>()
+    }
+
+    /// Serializes to the wire form carried inside a `DriverInvalidate`
+    /// message: `new_len u16 | base_check u32 | new_check u32 |
+    /// count u16 | (idx u16, len u8, bytes)*`, all big-endian.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(&self.new_len.to_be_bytes());
+        out.extend_from_slice(&self.base_check.to_be_bytes());
+        out.extend_from_slice(&self.new_check.to_be_bytes());
+        out.extend_from_slice(&(self.chunks.len() as u16).to_be_bytes());
+        for (idx, bytes) in &self.chunks {
+            out.extend_from_slice(&idx.to_be_bytes());
+            out.push(bytes.len() as u8);
+            out.extend_from_slice(bytes);
+        }
+        out
+    }
+
+    /// Decodes the wire form, rejecting anything structurally off:
+    /// short buffers, trailing garbage, non-ascending chunk indices,
+    /// chunks that are not exactly [`CHUNK`] bytes unless they end the
+    /// image, or chunks past the target length.
+    ///
+    /// # Errors
+    ///
+    /// [`DeltaError::Malformed`] naming the first violated rule.
+    pub fn from_bytes(data: &[u8]) -> Result<ImageDelta, DeltaError> {
+        if data.len() < 12 {
+            return Err(DeltaError::Malformed("shorter than header"));
+        }
+        let new_len = u16::from_be_bytes([data[0], data[1]]);
+        let base_check = u32::from_be_bytes([data[2], data[3], data[4], data[5]]);
+        let new_check = u32::from_be_bytes([data[6], data[7], data[8], data[9]]);
+        let count = u16::from_be_bytes([data[10], data[11]]) as usize;
+        let mut chunks = Vec::with_capacity(count);
+        let mut i = 12usize;
+        let mut last_idx: Option<u16> = None;
+        for _ in 0..count {
+            if i + 3 > data.len() {
+                return Err(DeltaError::Malformed("truncated chunk header"));
+            }
+            let idx = u16::from_be_bytes([data[i], data[i + 1]]);
+            let len = data[i + 2] as usize;
+            i += 3;
+            if i + len > data.len() {
+                return Err(DeltaError::Malformed("truncated chunk payload"));
+            }
+            if last_idx.is_some_and(|prev| idx <= prev) {
+                return Err(DeltaError::Malformed("chunk indices not ascending"));
+            }
+            last_idx = Some(idx);
+            let start = idx as usize * CHUNK;
+            if len == 0 || start + len > new_len as usize {
+                return Err(DeltaError::Malformed("chunk outside target image"));
+            }
+            if len != CHUNK && start + len != new_len as usize {
+                return Err(DeltaError::Malformed("short chunk not at image end"));
+            }
+            chunks.push((idx, data[i..i + len].to_vec()));
+            i += len;
+        }
+        if i != data.len() {
+            return Err(DeltaError::Malformed("trailing bytes"));
+        }
+        Ok(ImageDelta {
+            new_len,
+            base_check,
+            new_check,
+            chunks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(len: usize, seed: u8) -> Vec<u8> {
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect()
+    }
+
+    #[test]
+    fn identical_images_produce_an_empty_delta() {
+        let a = image(300, 1);
+        let d = ImageDelta::diff(&a, &a);
+        assert!(d.chunks.is_empty());
+        assert_eq!(d.apply(&a).unwrap(), a);
+        assert_eq!(d.encoded_len(), 12);
+    }
+
+    #[test]
+    fn single_byte_change_ships_one_chunk() {
+        let a = image(300, 1);
+        let mut b = a.clone();
+        b[130] ^= 0xff; // chunk 2
+        let d = ImageDelta::diff(&a, &b);
+        assert_eq!(d.chunks.len(), 1);
+        assert_eq!(d.chunks[0].0, 2);
+        assert_eq!(d.apply(&a).unwrap(), b);
+        assert!(d.encoded_len() < b.len());
+    }
+
+    #[test]
+    fn growth_and_shrink_roundtrip() {
+        let a = image(300, 1);
+        for new_len in [100usize, 64, 300, 301, 500] {
+            let b = image(new_len, 7);
+            let d = ImageDelta::diff(&a, &b);
+            assert_eq!(d.apply(&a).unwrap(), b, "len {new_len}");
+            let wire = d.to_bytes();
+            assert_eq!(wire.len(), d.encoded_len());
+            assert_eq!(ImageDelta::from_bytes(&wire).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn wrong_base_is_rejected() {
+        let a = image(300, 1);
+        let b = image(300, 2);
+        let d = ImageDelta::diff(&a, &b);
+        assert_eq!(d.apply(&b).unwrap_err(), DeltaError::BaseMismatch);
+    }
+
+    #[test]
+    fn corrupt_chunk_payload_is_rejected_by_the_result_check() {
+        let a = image(300, 1);
+        let mut b = a.clone();
+        b[0] ^= 1;
+        let mut d = ImageDelta::diff(&a, &b);
+        d.chunks[0].1[1] ^= 0x80;
+        assert_eq!(d.apply(&a).unwrap_err(), DeltaError::ResultMismatch);
+    }
+
+    #[test]
+    fn malformed_wire_forms_are_rejected() {
+        let a = image(300, 1);
+        let b = image(300, 2);
+        let wire = ImageDelta::diff(&a, &b).to_bytes();
+        // Truncations at every prefix length must error, never panic.
+        for cut in 0..wire.len() {
+            assert!(ImageDelta::from_bytes(&wire[..cut]).is_err(), "cut {cut}");
+        }
+        // Trailing garbage.
+        let mut long = wire.clone();
+        long.push(0);
+        assert!(ImageDelta::from_bytes(&long).is_err());
+        // Non-ascending indices.
+        let d = ImageDelta {
+            new_len: 300,
+            base_check: 0,
+            new_check: 0,
+            chunks: vec![(2, vec![0; 64]), (1, vec![0; 64])],
+        };
+        assert!(matches!(
+            ImageDelta::from_bytes(&d.to_bytes()),
+            Err(DeltaError::Malformed("chunk indices not ascending"))
+        ));
+        // A short chunk that is not the image tail.
+        let d = ImageDelta {
+            new_len: 300,
+            base_check: 0,
+            new_check: 0,
+            chunks: vec![(0, vec![0; 10])],
+        };
+        assert!(matches!(
+            ImageDelta::from_bytes(&d.to_bytes()),
+            Err(DeltaError::Malformed("short chunk not at image end"))
+        ));
+    }
+}

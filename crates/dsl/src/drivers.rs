@@ -23,6 +23,16 @@ pub const MAX6675: &str = include_str!("../../../assets/drivers/max6675.upnp");
 
 /// `(name, source)` pairs for the paper's four prototype drivers, in
 /// Table 3 order.
+/// Every shipped driver, including the post-paper MAX6675 addition —
+/// the corpus compiler tests and the differential harness iterate over.
+pub const ALL: [(&str, &str); 5] = [
+    ("tmp36", TMP36),
+    ("hih4030", HIH4030),
+    ("id20la", ID20LA),
+    ("bmp180", BMP180),
+    ("max6675", MAX6675),
+];
+
 pub const PAPER_DRIVERS: [(&str, &str); 4] = [
     ("TMP36 (ADC)", TMP36),
     ("HIH-4030 (ADC)", HIH4030),

@@ -6,7 +6,9 @@
 //!
 //! ```text
 //! source ──lexer──▶ tokens ──parser──▶ AST ──checker──▶ typed AST
-//!        ──compiler──▶ bytecode ──image──▶ over-the-air driver image
+//!        ──optimiser──▶ typed AST ──lowering──▶ linear code
+//!        ──peephole──▶ linear code ──assembler──▶ bytecode
+//!        ──image──▶ over-the-air driver image
 //! ```
 //!
 //! * [`lexer`] — indentation-aware tokenizer (`INDENT`/`DEDENT` like
@@ -18,9 +20,15 @@
 //!   promotes; conditions must be boolean or integer);
 //! * [`isa`] — the instruction set (every instruction is an 8-bit opcode
 //!   followed by zero or more operands, §4.1) and disassembler;
-//! * [`compile`] — code generation with jump backpatching and the
-//!   postfix-increment peephole;
+//! * [`opt`] — the staged optimisation pipeline: typed-IR passes
+//!   (constant/branch folding, strength reduction, dead code, dead
+//!   globals) under a collector→transform→validator protocol, plus the
+//!   linear-code peephole (jump threading, store/load forwarding,
+//!   push/pop cancellation) — see `docs/compiler.md`;
+//! * [`compile`] — lowering to labelled linear code and two-pass assembly;
 //! * [`image`] — the serialized driver format deployed over the air;
+//! * [`delta`] — the compact chunk-level delta encoding a driver version
+//!   bump ships instead of the whole image;
 //! * [`events`] — the global event/error/library identifier registry shared
 //!   with the VM;
 //! * [`sloc`] — the source-lines-of-code counter used by Table 3;
@@ -30,21 +38,25 @@
 pub mod ast;
 pub mod check;
 pub mod compile;
+pub mod delta;
 pub mod drivers;
 pub mod events;
 pub mod image;
 pub mod isa;
 pub mod lexer;
+pub mod opt;
 pub mod parser;
 pub mod sloc;
 pub mod verify;
 pub mod vm_limits;
 
 pub use check::CheckError;
-pub use compile::compile_source;
+pub use compile::{compile_source, compile_source_with};
+pub use delta::ImageDelta;
 pub use image::DriverImage;
 pub use isa::Op;
 pub use lexer::LexError;
+pub use opt::OptLevel;
 pub use parser::ParseError;
 pub use verify::{verify, VerifyError};
 
@@ -59,6 +71,10 @@ pub enum CompileError {
     Check(CheckError),
     /// The generated image exceeds a format limit (e.g. >64 KiB of code).
     TooLarge(String),
+    /// An optimisation pass broke an IR or image invariant — always a
+    /// compiler bug surfaced by a pipeline validator, never a property
+    /// of the input program.
+    Internal(String),
 }
 
 impl std::fmt::Display for CompileError {
@@ -68,6 +84,7 @@ impl std::fmt::Display for CompileError {
             CompileError::Parse(e) => write!(f, "parse error: {e}"),
             CompileError::Check(e) => write!(f, "check error: {e}"),
             CompileError::TooLarge(what) => write!(f, "driver too large: {what}"),
+            CompileError::Internal(what) => write!(f, "internal compiler error: {what}"),
         }
     }
 }

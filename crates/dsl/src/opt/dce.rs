@@ -1,0 +1,145 @@
+//! Dead-code elimination on the typed IR.
+//!
+//! Three rewrites, each observation-preserving:
+//!
+//! * statements after a `return` in the same block can never execute;
+//! * an `if` whose both arms are empty reduces to its condition's
+//!   effects — and to nothing at all when the condition is total;
+//! * a discarded expression with no effects and no possible trap
+//!   evaluates to silence and is dropped.
+
+use super::{is_total, IrPass};
+use crate::check::{CheckedProgram, TStmt};
+
+/// The dead-code pass.
+pub struct DeadCode;
+
+impl IrPass for DeadCode {
+    type Facts = ();
+
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn collect(&self, _program: &CheckedProgram) -> Self::Facts {}
+
+    fn transform(&self, program: &mut CheckedProgram, _facts: ()) -> usize {
+        let mut n = 0;
+        for h in &mut program.handlers {
+            let body = std::mem::take(&mut h.body);
+            h.body = sweep(body, &mut n);
+        }
+        n
+    }
+}
+
+fn sweep(stmts: Vec<TStmt>, n: &mut usize) -> Vec<TStmt> {
+    let mut out = Vec::new();
+    let mut iter = stmts.into_iter();
+    while let Some(s) = iter.next() {
+        let terminates = matches!(
+            &s,
+            TStmt::Return | TStmt::ReturnValue(_) | TStmt::ReturnArray(_)
+        );
+        match s {
+            TStmt::If(cond, t, e) => {
+                let t = sweep(t, n);
+                let e = sweep(e, n);
+                if t.is_empty() && e.is_empty() {
+                    *n += 1;
+                    if !is_total(&cond) {
+                        // The condition's evaluation (a possible trap or
+                        // `idx++`) is observable; keep exactly that.
+                        out.push(TStmt::Discard(cond));
+                    }
+                } else {
+                    out.push(TStmt::If(cond, t, e));
+                }
+            }
+            TStmt::While(cond, b) => out.push(TStmt::While(cond, sweep(b, n))),
+            TStmt::Discard(e) if is_total(&e) => *n += 1,
+            other => out.push(other),
+        }
+        if terminates {
+            let dropped = iter.count();
+            *n += dropped;
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::TExpr;
+
+    #[test]
+    fn drops_statements_after_return() {
+        let mut n = 0;
+        let out = sweep(
+            vec![
+                TStmt::StoreG(0, TExpr::Int(1)),
+                TStmt::Return,
+                TStmt::StoreG(0, TExpr::Int(2)),
+                TStmt::StoreG(0, TExpr::Int(3)),
+            ],
+            &mut n,
+        );
+        assert_eq!(out, vec![TStmt::StoreG(0, TExpr::Int(1)), TStmt::Return]);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn empty_if_keeps_impure_condition_effects() {
+        let mut n = 0;
+        // `if idx++: pass` — the increment must survive as a discard.
+        let out = sweep(vec![TStmt::If(TExpr::PostInc(0), vec![], vec![])], &mut n);
+        assert_eq!(out, vec![TStmt::Discard(TExpr::PostInc(0))]);
+        // A total condition evaluates to silence: gone entirely.
+        let mut n = 0;
+        let out = sweep(
+            vec![TStmt::If(
+                TExpr::LoadG(0, crate::check::ValKind::Int),
+                vec![],
+                vec![],
+            )],
+            &mut n,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn total_discards_vanish_impure_discards_stay() {
+        let mut n = 0;
+        let out = sweep(
+            vec![
+                TStmt::Discard(TExpr::Int(9)),
+                TStmt::Discard(TExpr::PostInc(0)),
+            ],
+            &mut n,
+        );
+        assert_eq!(out, vec![TStmt::Discard(TExpr::PostInc(0))]);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn recurses_into_loops_and_branches() {
+        let mut n = 0;
+        let out = sweep(
+            vec![TStmt::While(
+                TExpr::LoadG(0, crate::check::ValKind::Int),
+                vec![TStmt::Return, TStmt::StoreG(0, TExpr::Int(1))],
+            )],
+            &mut n,
+        );
+        assert_eq!(
+            out,
+            vec![TStmt::While(
+                TExpr::LoadG(0, crate::check::ValKind::Int),
+                vec![TStmt::Return]
+            )]
+        );
+        assert_eq!(n, 1);
+    }
+}

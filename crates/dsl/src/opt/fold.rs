@@ -1,0 +1,449 @@
+//! Constant folding, branch folding and strength reduction.
+//!
+//! Every arithmetic identity used here mirrors the VM's semantics
+//! *exactly* (wrapping 32-bit integers, `&31`-masked shifts, IEEE-754
+//! `f32`, truncating saturating `F2I`), so folding a constant at compile
+//! time produces the very bits the interpreter would have produced at
+//! run time. Operations that can trap (`/`, `%` with a zero divisor) are
+//! never folded away — the trap is observable behaviour and must survive.
+
+use super::{is_total, IrPass};
+use crate::ast::{BinOp, UnOp};
+use crate::check::{CheckedProgram, TExpr, TStmt, ValKind};
+
+/// The main folding pass: constants, branches, algebraic identities.
+pub struct ConstFold;
+
+impl IrPass for ConstFold {
+    type Facts = ();
+
+    fn name(&self) -> &'static str {
+        "const-fold"
+    }
+
+    fn collect(&self, _program: &CheckedProgram) -> Self::Facts {}
+
+    fn transform(&self, program: &mut CheckedProgram, _facts: ()) -> usize {
+        let mut n = 0;
+        for h in &mut program.handlers {
+            let body = std::mem::take(&mut h.body);
+            h.body = fold_block(body, &mut n);
+        }
+        n
+    }
+}
+
+/// Folds a statement block, splicing constant branches in place.
+pub(crate) fn fold_block(stmts: Vec<TStmt>, n: &mut usize) -> Vec<TStmt> {
+    let mut out = Vec::new();
+    for s in stmts {
+        match s {
+            TStmt::If(mut cond, t, e) => {
+                fold_expr(&mut cond, n);
+                if let TExpr::Int(c) = cond {
+                    // Branch folding: a constant condition selects its arm
+                    // statically; the test itself evaluates no effects.
+                    *n += 1;
+                    let taken = if c != 0 { t } else { e };
+                    out.extend(fold_block(taken, n));
+                } else {
+                    out.push(TStmt::If(cond, fold_block(t, n), fold_block(e, n)));
+                }
+            }
+            TStmt::While(mut cond, body) => {
+                fold_expr(&mut cond, n);
+                if matches!(cond, TExpr::Int(0)) {
+                    // Never entered, never effects: drop the whole loop.
+                    *n += 1;
+                } else {
+                    // A constant-true condition stays: the linear peephole
+                    // turns the test into an unconditional backward jump,
+                    // preserving the (intentional or not) infinite loop.
+                    out.push(TStmt::While(cond, fold_block(body, n)));
+                }
+            }
+            TStmt::StoreG(slot, mut v) => {
+                fold_expr(&mut v, n);
+                out.push(TStmt::StoreG(slot, v));
+            }
+            TStmt::StoreL(slot, mut v) => {
+                fold_expr(&mut v, n);
+                out.push(TStmt::StoreL(slot, v));
+            }
+            TStmt::StoreA(slot, mut i, mut v) => {
+                fold_expr(&mut i, n);
+                fold_expr(&mut v, n);
+                out.push(TStmt::StoreA(slot, i, v));
+            }
+            TStmt::Signal(lib, event, mut args) => {
+                for a in &mut args {
+                    fold_expr(a, n);
+                }
+                out.push(TStmt::Signal(lib, event, args));
+            }
+            TStmt::ReturnValue(mut v) => {
+                fold_expr(&mut v, n);
+                out.push(TStmt::ReturnValue(v));
+            }
+            TStmt::Discard(mut v) => {
+                fold_expr(&mut v, n);
+                out.push(TStmt::Discard(v));
+            }
+            TStmt::Return | TStmt::ReturnArray(_) => out.push(s),
+        }
+    }
+    out
+}
+
+/// Folds one expression tree bottom-up.
+pub(crate) fn fold_expr(e: &mut TExpr, n: &mut usize) {
+    match e {
+        TExpr::Bin(_, _, l, r) => {
+            fold_expr(l, n);
+            fold_expr(r, n);
+        }
+        TExpr::Un(_, _, x) | TExpr::I2F(x) | TExpr::F2I(x) => fold_expr(x, n),
+        TExpr::LoadA(_, i) => fold_expr(i, n),
+        _ => {}
+    }
+    if let Some(folded) = fold_step(e) {
+        *e = folded;
+        *n += 1;
+    }
+}
+
+/// One root-level rewrite, or `None` when the node is already minimal.
+fn fold_step(e: &TExpr) -> Option<TExpr> {
+    match e {
+        TExpr::I2F(x) => match **x {
+            TExpr::Int(v) => Some(TExpr::Float(v as f32)),
+            _ => None,
+        },
+        TExpr::F2I(x) => match **x {
+            TExpr::Float(v) => Some(TExpr::Int(v as i32)),
+            _ => None,
+        },
+        TExpr::Un(op, k, x) => fold_unary(*op, *k, x),
+        TExpr::Bin(op, k, l, r) => fold_binary(*op, *k, l, r),
+        _ => None,
+    }
+}
+
+fn fold_unary(op: UnOp, k: ValKind, x: &TExpr) -> Option<TExpr> {
+    match (op, x) {
+        (UnOp::Neg, TExpr::Int(v)) => Some(TExpr::Int(v.wrapping_neg())),
+        (UnOp::Neg, TExpr::Float(v)) => Some(TExpr::Float(-v)),
+        (UnOp::Not, TExpr::Int(v)) => Some(TExpr::Int((*v == 0) as i32)),
+        (UnOp::BitNot, TExpr::Int(v)) => Some(TExpr::Int(!v)),
+        // --x and ~~x are identities under two's complement / IEEE sign.
+        (UnOp::Neg, TExpr::Un(UnOp::Neg, k2, inner)) if k == *k2 => Some((**inner).clone()),
+        (UnOp::BitNot, TExpr::Un(UnOp::BitNot, _, inner)) => Some((**inner).clone()),
+        _ => None,
+    }
+}
+
+fn fold_binary(op: BinOp, k: ValKind, l: &TExpr, r: &TExpr) -> Option<TExpr> {
+    // Fully constant operands: evaluate with the VM's own semantics.
+    if let (TExpr::Int(a), TExpr::Int(b)) = (l, r) {
+        if let Some(v) = fold_int_bin(op, *a, *b) {
+            return Some(TExpr::Int(v));
+        }
+    }
+    if let (TExpr::Float(a), TExpr::Float(b)) = (l, r) {
+        if let Some(v) = fold_float_bin(op, *a, *b) {
+            return Some(v);
+        }
+    }
+    if k != ValKind::Int {
+        // No float algebraic identities: x + 0.0 is not an identity for
+        // -0.0, and x * 1.0 is the only safe one — not worth the risk.
+        return None;
+    }
+    strength_reduce(op, l, r)
+}
+
+/// Integer constant evaluation, bit-for-bit the interpreter's table.
+fn fold_int_bin(op: BinOp, a: i32, b: i32) -> Option<i32> {
+    Some(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        // A zero divisor traps at run time; the trap must survive.
+        BinOp::Div if b != 0 => a.wrapping_div(b),
+        BinOp::Mod if b != 0 => a.wrapping_rem(b),
+        BinOp::Div | BinOp::Mod => return None,
+        BinOp::Eq => (a == b) as i32,
+        BinOp::Ne => (a != b) as i32,
+        BinOp::Lt => (a < b) as i32,
+        BinOp::Le => (a <= b) as i32,
+        BinOp::Gt => (a > b) as i32,
+        BinOp::Ge => (a >= b) as i32,
+        // `and`/`or` are strict bitwise ops on 0/1 values (see compile).
+        BinOp::And | BinOp::BitAnd => a & b,
+        BinOp::Or | BinOp::BitOr => a | b,
+        BinOp::BitXor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 & 31),
+        BinOp::Shr => a.wrapping_shr(b as u32 & 31),
+    })
+}
+
+/// Float constant evaluation (IEEE-754 `f32`, identical to the VM's
+/// `FAdd`…`FGe`; float division does not trap — it produces ±inf/NaN
+/// exactly as the interpreter would).
+fn fold_float_bin(op: BinOp, a: f32, b: f32) -> Option<TExpr> {
+    Some(match op {
+        BinOp::Add => TExpr::Float(a + b),
+        BinOp::Sub => TExpr::Float(a - b),
+        BinOp::Mul => TExpr::Float(a * b),
+        BinOp::Div => TExpr::Float(a / b),
+        BinOp::Eq => TExpr::Int((a == b) as i32),
+        BinOp::Ne => TExpr::Int((a != b) as i32),
+        BinOp::Lt => TExpr::Int((a < b) as i32),
+        BinOp::Le => TExpr::Int((a <= b) as i32),
+        BinOp::Gt => TExpr::Int((a > b) as i32),
+        BinOp::Ge => TExpr::Int((a >= b) as i32),
+        _ => return None,
+    })
+}
+
+/// Algebraic identities over wrapping 32-bit integers. Rewrites that drop
+/// an operand only do so when the operand is [`is_total`] (no effects, no
+/// traps to preserve).
+fn strength_reduce(op: BinOp, l: &TExpr, r: &TExpr) -> Option<TExpr> {
+    let int0 = |e: &TExpr| matches!(e, TExpr::Int(0));
+    let int1 = |e: &TExpr| matches!(e, TExpr::Int(1));
+    match op {
+        BinOp::Add => {
+            if int0(r) {
+                return Some(l.clone());
+            }
+            if int0(l) {
+                return Some(r.clone());
+            }
+        }
+        BinOp::Sub | BinOp::Shl | BinOp::Shr | BinOp::BitOr | BinOp::BitXor if int0(r) => {
+            return Some(l.clone());
+        }
+        BinOp::Mul => {
+            if int1(r) {
+                return Some(l.clone());
+            }
+            if int1(l) {
+                return Some(r.clone());
+            }
+            if (int0(r) && is_total(l)) || (int0(l) && is_total(r)) {
+                return Some(TExpr::Int(0));
+            }
+            // x * 2ᵏ → x << k: wrapping multiply by a power of two is
+            // exactly a masked shift on 32-bit cells.
+            let shift = |x: &TExpr, c: i32| {
+                (c > 1 && c.count_ones() == 1).then(|| {
+                    TExpr::Bin(
+                        BinOp::Shl,
+                        ValKind::Int,
+                        Box::new(x.clone()),
+                        Box::new(TExpr::Int(c.trailing_zeros() as i32)),
+                    )
+                })
+            };
+            if let TExpr::Int(c) = r {
+                if let Some(s) = shift(l, *c) {
+                    return Some(s);
+                }
+            }
+            if let TExpr::Int(c) = l {
+                // Constant evaluation is pure; hoisting it out keeps the
+                // impure operand's evaluation in place.
+                if let Some(s) = shift(r, *c) {
+                    return Some(s);
+                }
+            }
+        }
+        // No shift rewrite for other divisors: Shr rounds toward -inf,
+        // Div toward zero.
+        BinOp::Div if int1(r) => {
+            return Some(l.clone());
+        }
+        _ => {}
+    }
+    None
+}
+
+/// One-shot cleanup after the fixpoint loop: re-materialise small
+/// integer-valued float literals as `push-int; I2F` (3–4 bytes) instead of
+/// `PushF` (5 bytes). Runs outside the loop because it is the exact
+/// inverse of [`ConstFold`]'s `I2F(Int)` folding and the two would
+/// otherwise chase each other forever.
+pub struct NarrowFloats;
+
+impl IrPass for NarrowFloats {
+    type Facts = ();
+
+    fn name(&self) -> &'static str {
+        "narrow-floats"
+    }
+
+    fn collect(&self, _program: &CheckedProgram) -> Self::Facts {}
+
+    fn transform(&self, program: &mut CheckedProgram, _facts: ()) -> usize {
+        let mut n = 0;
+        for h in &mut program.handlers {
+            super::visit_exprs_mut(&mut h.body, &mut |e| {
+                if let TExpr::Float(v) = e {
+                    let i = *v as i32;
+                    // Bit-exact roundtrip only (rules out -0.0, NaN and
+                    // anything fractional) and a width that actually
+                    // saves bytes (Push8/Push16 + I2F < PushF).
+                    if (i as f32).to_bits() == v.to_bits() && (-32768..=32767).contains(&i) {
+                        *e = TExpr::I2F(Box::new(TExpr::Int(i)));
+                        n += 1;
+                    }
+                }
+            });
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fold1(mut e: TExpr) -> TExpr {
+        let mut n = 0;
+        fold_expr(&mut e, &mut n);
+        e
+    }
+
+    fn bin(op: BinOp, l: TExpr, r: TExpr) -> TExpr {
+        TExpr::Bin(op, ValKind::Int, Box::new(l), Box::new(r))
+    }
+
+    #[test]
+    fn folds_integer_arithmetic_with_wrapping() {
+        assert_eq!(
+            fold1(bin(BinOp::Add, TExpr::Int(2), TExpr::Int(3))),
+            TExpr::Int(5)
+        );
+        assert_eq!(
+            fold1(bin(BinOp::Add, TExpr::Int(i32::MAX), TExpr::Int(1))),
+            TExpr::Int(i32::MIN)
+        );
+        assert_eq!(
+            fold1(bin(BinOp::Shl, TExpr::Int(1), TExpr::Int(33))),
+            TExpr::Int(2),
+            "shift counts are masked &31, like the VM"
+        );
+    }
+
+    #[test]
+    fn never_folds_division_by_zero() {
+        let e = bin(BinOp::Div, TExpr::Int(7), TExpr::Int(0));
+        assert_eq!(
+            fold1(e.clone()),
+            e,
+            "the trap is observable and must survive"
+        );
+        let m = bin(BinOp::Mod, TExpr::Int(7), TExpr::Int(0));
+        assert_eq!(fold1(m.clone()), m);
+    }
+
+    #[test]
+    fn folds_comparisons_to_zero_one() {
+        assert_eq!(
+            fold1(bin(BinOp::Lt, TExpr::Int(1), TExpr::Int(2))),
+            TExpr::Int(1)
+        );
+        assert_eq!(
+            fold1(bin(BinOp::Eq, TExpr::Int(1), TExpr::Int(2))),
+            TExpr::Int(0)
+        );
+    }
+
+    #[test]
+    fn folds_float_constants_and_conversions() {
+        let e = TExpr::Bin(
+            BinOp::Mul,
+            ValKind::Float,
+            Box::new(TExpr::Float(2.0)),
+            Box::new(TExpr::Float(3.25)),
+        );
+        assert_eq!(fold1(e), TExpr::Float(6.5));
+        assert_eq!(
+            fold1(TExpr::I2F(Box::new(TExpr::Int(7)))),
+            TExpr::Float(7.0)
+        );
+        assert_eq!(
+            fold1(TExpr::F2I(Box::new(TExpr::Float(3.9)))),
+            TExpr::Int(3)
+        );
+    }
+
+    #[test]
+    fn strength_reduction_identities() {
+        let x = || TExpr::LoadG(0, ValKind::Int);
+        assert_eq!(fold1(bin(BinOp::Add, x(), TExpr::Int(0))), x());
+        assert_eq!(fold1(bin(BinOp::Mul, x(), TExpr::Int(1))), x());
+        assert_eq!(fold1(bin(BinOp::Mul, x(), TExpr::Int(0))), TExpr::Int(0));
+        assert_eq!(
+            fold1(bin(BinOp::Mul, x(), TExpr::Int(8))),
+            bin(BinOp::Shl, x(), TExpr::Int(3))
+        );
+        // Impure operand: x*0 must keep the increment's side effect.
+        let impure = bin(BinOp::Mul, TExpr::PostInc(0), TExpr::Int(0));
+        assert_eq!(fold1(impure.clone()), impure);
+    }
+
+    #[test]
+    fn branch_folding_selects_the_taken_arm() {
+        let mut n = 0;
+        let stmts = vec![TStmt::If(
+            TExpr::Int(1),
+            vec![TStmt::StoreG(0, TExpr::Int(10))],
+            vec![TStmt::StoreG(0, TExpr::Int(20))],
+        )];
+        let out = fold_block(stmts, &mut n);
+        assert_eq!(out, vec![TStmt::StoreG(0, TExpr::Int(10))]);
+        assert!(n >= 1);
+    }
+
+    #[test]
+    fn constant_false_while_is_dropped_constant_true_kept() {
+        let mut n = 0;
+        let dead = vec![TStmt::While(
+            TExpr::Int(0),
+            vec![TStmt::StoreG(0, TExpr::Int(1))],
+        )];
+        assert!(fold_block(dead, &mut n).is_empty());
+        let live = vec![TStmt::While(
+            bin(BinOp::Eq, TExpr::Int(1), TExpr::Int(1)),
+            vec![TStmt::StoreG(0, TExpr::Int(1))],
+        )];
+        let out = fold_block(live, &mut n);
+        assert_eq!(
+            out,
+            vec![TStmt::While(
+                TExpr::Int(1),
+                vec![TStmt::StoreG(0, TExpr::Int(1))]
+            )],
+            "an intentional infinite loop survives folding"
+        );
+    }
+
+    #[test]
+    fn narrow_floats_rematerialises_integer_valued_literals() {
+        use crate::check::check;
+        use crate::parser::parse;
+        let src = "float v;\nevent init():\n    v = 1023.0;\nevent destroy():\n    return;\n";
+        let mut p = check(&parse(src).unwrap()).unwrap();
+        assert!(NarrowFloats.transform(&mut p, ()) >= 1);
+        assert_eq!(
+            p.handlers[0].body[0],
+            TStmt::StoreG(0, TExpr::I2F(Box::new(TExpr::Int(1023))))
+        );
+        // Non-integer floats are left alone.
+        let src = "float v;\nevent init():\n    v = 3.3;\nevent destroy():\n    return;\n";
+        let mut p = check(&parse(src).unwrap()).unwrap();
+        assert_eq!(NarrowFloats.transform(&mut p, ()), 0);
+    }
+}

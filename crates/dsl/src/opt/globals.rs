@@ -1,0 +1,274 @@
+//! Dead-global elimination: drop stores to never-read scalars, then
+//! remove (and renumber around) globals nothing references.
+//!
+//! Every removed global shrinks the image's descriptor table and the
+//! VM's per-instance global store; every removed store shrinks the code.
+//! The collector walks the whole program once; the transform rewrites
+//! using only the collected facts — the canonical collector→transform
+//! pass of the protocol.
+
+use std::collections::{HashMap, HashSet};
+
+use super::IrPass;
+use crate::check::{CheckedProgram, TExpr, TStmt};
+
+/// Global-usage facts the collector derives.
+#[derive(Debug, Default)]
+pub struct Usage {
+    /// Scalar slots some expression reads (`LoadG` or `idx++`).
+    pub scalar_read: HashSet<u8>,
+    /// Array slots referenced at all (reads, writes or `return arr`) —
+    /// array stores can trap on a bad index, so a referenced array is
+    /// kept wholesale.
+    pub array_used: HashSet<u8>,
+}
+
+/// The dead-global pass.
+pub struct DeadGlobals;
+
+impl IrPass for DeadGlobals {
+    type Facts = Usage;
+
+    fn name(&self) -> &'static str {
+        "dead-globals"
+    }
+
+    fn collect(&self, program: &CheckedProgram) -> Usage {
+        let mut usage = Usage::default();
+        for h in &program.handlers {
+            collect_block(&h.body, &mut usage);
+        }
+        usage
+    }
+
+    fn transform(&self, program: &mut CheckedProgram, usage: Usage) -> usize {
+        let mut n = 0;
+
+        // 1. A store to a scalar nobody reads keeps only its value's
+        //    effects. (`Stg` itself can never trap, unlike `Sta`.)
+        for h in &mut program.handlers {
+            rewrite_dead_stores(&mut h.body, &usage, &mut n);
+        }
+
+        // 2. Remove unreferenced globals and renumber the survivors.
+        //    Scalars written-but-never-read became unreferenced in (1).
+        let mut scalar_map: HashMap<u8, u8> = HashMap::new();
+        let mut array_map: HashMap<u8, u8> = HashMap::new();
+        let mut next_scalar = 0u8;
+        let mut next_array = 0u8;
+        let before = program.globals.len();
+        program.globals.retain(|g| match g.array_len {
+            None => usage.scalar_read.contains(&g.slot),
+            Some(_) => usage.array_used.contains(&g.slot),
+        });
+        n += before - program.globals.len();
+        for g in &mut program.globals {
+            match g.array_len {
+                None => {
+                    scalar_map.insert(g.slot, next_scalar);
+                    g.slot = next_scalar;
+                    next_scalar += 1;
+                }
+                Some(_) => {
+                    array_map.insert(g.slot, next_array);
+                    g.slot = next_array;
+                    next_array += 1;
+                }
+            }
+        }
+
+        // 3. Rewrite every slot reference through the renumbering maps.
+        //    (A reference to a removed global cannot exist: removal
+        //    required zero references.)
+        for h in &mut program.handlers {
+            remap_block(&mut h.body, &scalar_map, &array_map);
+        }
+        n
+    }
+}
+
+fn collect_block(stmts: &[TStmt], usage: &mut Usage) {
+    for s in stmts {
+        match s {
+            TStmt::StoreG(_, v) | TStmt::StoreL(_, v) | TStmt::ReturnValue(v) => {
+                collect_expr(v, usage);
+            }
+            TStmt::StoreA(slot, i, v) => {
+                usage.array_used.insert(*slot);
+                collect_expr(i, usage);
+                collect_expr(v, usage);
+            }
+            TStmt::Signal(_, _, args) => args.iter().for_each(|a| collect_expr(a, usage)),
+            TStmt::Return => {}
+            TStmt::ReturnArray(slot) => {
+                usage.array_used.insert(*slot);
+            }
+            TStmt::If(c, t, e) => {
+                collect_expr(c, usage);
+                collect_block(t, usage);
+                collect_block(e, usage);
+            }
+            TStmt::While(c, b) => {
+                collect_expr(c, usage);
+                collect_block(b, usage);
+            }
+            TStmt::Discard(v) => collect_expr(v, usage),
+        }
+    }
+}
+
+fn collect_expr(e: &TExpr, usage: &mut Usage) {
+    match e {
+        TExpr::LoadG(slot, _) | TExpr::PostInc(slot) => {
+            usage.scalar_read.insert(*slot);
+        }
+        TExpr::LoadA(slot, i) => {
+            usage.array_used.insert(*slot);
+            collect_expr(i, usage);
+        }
+        TExpr::Bin(_, _, l, r) => {
+            collect_expr(l, usage);
+            collect_expr(r, usage);
+        }
+        TExpr::Un(_, _, x) | TExpr::I2F(x) | TExpr::F2I(x) => collect_expr(x, usage),
+        TExpr::Int(_) | TExpr::Float(_) | TExpr::LoadL(..) => {}
+    }
+}
+
+fn rewrite_dead_stores(stmts: &mut Vec<TStmt>, usage: &Usage, n: &mut usize) {
+    for s in stmts {
+        match s {
+            TStmt::StoreG(slot, _) if !usage.scalar_read.contains(slot) => {
+                let TStmt::StoreG(_, v) = std::mem::replace(s, TStmt::Return) else {
+                    unreachable!()
+                };
+                *s = TStmt::Discard(v);
+                *n += 1;
+            }
+            TStmt::If(_, t, e) => {
+                rewrite_dead_stores(t, usage, n);
+                rewrite_dead_stores(e, usage, n);
+            }
+            TStmt::While(_, b) => rewrite_dead_stores(b, usage, n),
+            _ => {}
+        }
+    }
+}
+
+fn remap_block(stmts: &mut [TStmt], scalars: &HashMap<u8, u8>, arrays: &HashMap<u8, u8>) {
+    for s in stmts {
+        match s {
+            TStmt::StoreG(slot, v) => {
+                *slot = scalars[slot];
+                remap_expr(v, scalars, arrays);
+            }
+            TStmt::StoreL(_, v) | TStmt::ReturnValue(v) => remap_expr(v, scalars, arrays),
+            TStmt::StoreA(slot, i, v) => {
+                *slot = arrays[slot];
+                remap_expr(i, scalars, arrays);
+                remap_expr(v, scalars, arrays);
+            }
+            TStmt::Signal(_, _, args) => {
+                args.iter_mut().for_each(|a| remap_expr(a, scalars, arrays));
+            }
+            TStmt::Return => {}
+            TStmt::ReturnArray(slot) => *slot = arrays[slot],
+            TStmt::If(c, t, e) => {
+                remap_expr(c, scalars, arrays);
+                remap_block(t, scalars, arrays);
+                remap_block(e, scalars, arrays);
+            }
+            TStmt::While(c, b) => {
+                remap_expr(c, scalars, arrays);
+                remap_block(b, scalars, arrays);
+            }
+            TStmt::Discard(v) => remap_expr(v, scalars, arrays),
+        }
+    }
+}
+
+fn remap_expr(e: &mut TExpr, scalars: &HashMap<u8, u8>, arrays: &HashMap<u8, u8>) {
+    match e {
+        TExpr::LoadG(slot, _) | TExpr::PostInc(slot) => *slot = scalars[slot],
+        TExpr::LoadA(slot, i) => {
+            *slot = arrays[slot];
+            remap_expr(i, scalars, arrays);
+        }
+        TExpr::Bin(_, _, l, r) => {
+            remap_expr(l, scalars, arrays);
+            remap_expr(r, scalars, arrays);
+        }
+        TExpr::Un(_, _, x) | TExpr::I2F(x) | TExpr::F2I(x) => remap_expr(x, scalars, arrays),
+        TExpr::Int(_) | TExpr::Float(_) | TExpr::LoadL(..) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check;
+    use crate::parser::parse;
+
+    fn checked(src: &str) -> CheckedProgram {
+        check(&parse(src).unwrap()).unwrap()
+    }
+
+    fn run(program: &mut CheckedProgram) -> usize {
+        let facts = DeadGlobals.collect(program);
+        DeadGlobals.transform(program, facts)
+    }
+
+    #[test]
+    fn removes_a_never_referenced_global() {
+        let mut p = checked(
+            "uint8_t used, unused;\nevent init():\n    used = used + 1;\n\
+             event destroy():\n    return;\n",
+        );
+        assert_eq!(p.globals.len(), 2);
+        assert!(run(&mut p) >= 1);
+        assert_eq!(p.globals.len(), 1);
+        assert_eq!(p.globals[0].name, "used");
+        assert_eq!(p.globals[0].slot, 0);
+        super::super::validate(&p).unwrap();
+    }
+
+    #[test]
+    fn written_but_never_read_scalar_becomes_discard_then_goes() {
+        let mut p = checked(
+            "uint8_t sink, idx;\nevent init():\n    sink = idx++;\n\
+             event destroy():\n    return;\n",
+        );
+        run(&mut p);
+        // `sink` is gone; the increment's effect survives as a discard.
+        assert_eq!(p.globals.len(), 1);
+        assert_eq!(p.globals[0].name, "idx");
+        assert_eq!(p.handlers[0].body[0], TStmt::Discard(TExpr::PostInc(0)));
+        super::super::validate(&p).unwrap();
+    }
+
+    #[test]
+    fn renumbers_slots_across_the_gap() {
+        let mut p = checked(
+            "uint8_t dead, a, b[4];\nevent init():\n    a = a + b[0];\n\
+             event destroy():\n    return;\n",
+        );
+        run(&mut p);
+        let names: Vec<&str> = p.globals.iter().map(|g| g.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+        assert_eq!(p.globals[0].slot, 0, "scalar renumbered from 1 to 0");
+        assert_eq!(p.globals[1].slot, 0, "array slots count separately");
+        super::super::validate(&p).unwrap();
+    }
+
+    #[test]
+    fn referenced_arrays_are_never_eliminated() {
+        let mut p = checked(
+            "uint8_t buf[8], i;\nevent init():\n    buf[i] = 1;\n\
+             event destroy():\n    return;\n",
+        );
+        run(&mut p);
+        // A store to an array can trap on the index: the array stays.
+        assert!(p.globals.iter().any(|g| g.name == "buf"));
+        assert!(p.globals.iter().any(|g| g.name == "i"));
+    }
+}

@@ -1,0 +1,470 @@
+//! The linear (pre-assembly) form of a handler: a flat instruction
+//! stream with symbolic labels instead of byte offsets.
+//!
+//! Lowering from the typed IR targets this form; the peephole passes in
+//! [`super::peephole`] rewrite it; [`assemble`] resolves labels to
+//! relative `i16` offsets and emits the final bytes. Keeping jumps
+//! symbolic until the very end is what makes peephole rewrites safe —
+//! deleting or replacing an instruction can never silently skew a jump
+//! target.
+
+use std::collections::HashMap;
+
+use crate::ast::{BinOp, UnOp};
+use crate::check::{TExpr, TStmt, ValKind};
+use crate::isa::Op;
+use crate::CompileError;
+
+/// A branch target. Purely symbolic: allocated densely per handler,
+/// resolved to byte offsets only by [`assemble`].
+pub type Label = u32;
+
+/// One instruction of the linear form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LInst {
+    /// An operand-free instruction (`Add`, `Ret`, `Dup`, …).
+    Simple(Op),
+    /// An instruction with a single slot/count operand byte
+    /// (`Ldg`/`Stg`/`Ldl`/`Stl`/`Lda`/`Sta`/`Len`/`RetA`/`IncG`).
+    WithSlot(Op, u8),
+    /// Push an integer constant; the assembler picks the narrowest of
+    /// `Push8`/`Push16`/`Push32`.
+    PushI(i32),
+    /// Push a float constant (`PushF`).
+    PushF(f32),
+    /// `signal lib.event(argc)`.
+    Sig(u8, u8, u8),
+    /// A relative jump (`Jmp`, `Jz` or `Jnz`) to a label.
+    Jump(Op, Label),
+    /// A jump target. Assembles to zero bytes.
+    Label(Label),
+}
+
+impl LInst {
+    /// Encoded size in bytes.
+    pub fn size(&self) -> usize {
+        match self {
+            LInst::Simple(_) => 1,
+            LInst::WithSlot(..) => 2,
+            LInst::PushI(v) => {
+                if i8::try_from(*v).is_ok() {
+                    2
+                } else if i16::try_from(*v).is_ok() {
+                    3
+                } else {
+                    5
+                }
+            }
+            LInst::PushF(_) => 5,
+            LInst::Sig(..) => 4,
+            LInst::Jump(..) => 3,
+            LInst::Label(_) => 0,
+        }
+    }
+
+    /// True for instructions after which control never falls through:
+    /// the three returns and the unconditional jump.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            LInst::Simple(Op::Ret | Op::RetV)
+                | LInst::WithSlot(Op::RetA, _)
+                | LInst::Jump(Op::Jmp, _)
+        )
+    }
+}
+
+/// Lowers one handler body to linear form. Infallible: size limits are
+/// the assembler's concern.
+pub fn lower_handler(body: &[TStmt]) -> Vec<LInst> {
+    let mut lo = Lowerer {
+        insts: Vec::new(),
+        next_label: 0,
+    };
+    for stmt in body {
+        lo.stmt(stmt);
+    }
+    lo.insts
+}
+
+struct Lowerer {
+    insts: Vec<LInst>,
+    next_label: Label,
+}
+
+impl Lowerer {
+    fn fresh(&mut self) -> Label {
+        let l = self.next_label;
+        self.next_label += 1;
+        l
+    }
+
+    fn stmt(&mut self, stmt: &TStmt) {
+        match stmt {
+            TStmt::StoreG(slot, value) => {
+                self.expr(value);
+                self.insts.push(LInst::WithSlot(Op::Stg, *slot));
+            }
+            TStmt::StoreL(slot, value) => {
+                self.expr(value);
+                self.insts.push(LInst::WithSlot(Op::Stl, *slot));
+            }
+            TStmt::StoreA(slot, index, value) => {
+                self.expr(index);
+                self.expr(value);
+                self.insts.push(LInst::WithSlot(Op::Sta, *slot));
+            }
+            TStmt::Signal(lib, event, args) => {
+                for a in args {
+                    self.expr(a);
+                }
+                self.insts.push(LInst::Sig(*lib, *event, args.len() as u8));
+            }
+            TStmt::Return => self.insts.push(LInst::Simple(Op::Ret)),
+            TStmt::ReturnValue(value) => {
+                self.expr(value);
+                self.insts.push(LInst::Simple(Op::RetV));
+            }
+            TStmt::ReturnArray(slot) => self.insts.push(LInst::WithSlot(Op::RetA, *slot)),
+            TStmt::If(cond, then_block, else_block) => {
+                self.expr(cond);
+                if else_block.is_empty() {
+                    let end = self.fresh();
+                    self.insts.push(LInst::Jump(Op::Jz, end));
+                    for s in then_block {
+                        self.stmt(s);
+                    }
+                    self.insts.push(LInst::Label(end));
+                } else {
+                    let to_else = self.fresh();
+                    let end = self.fresh();
+                    self.insts.push(LInst::Jump(Op::Jz, to_else));
+                    for s in then_block {
+                        self.stmt(s);
+                    }
+                    self.insts.push(LInst::Jump(Op::Jmp, end));
+                    self.insts.push(LInst::Label(to_else));
+                    for s in else_block {
+                        self.stmt(s);
+                    }
+                    self.insts.push(LInst::Label(end));
+                }
+            }
+            TStmt::While(cond, body) => {
+                let top = self.fresh();
+                let end = self.fresh();
+                self.insts.push(LInst::Label(top));
+                self.expr(cond);
+                self.insts.push(LInst::Jump(Op::Jz, end));
+                for s in body {
+                    self.stmt(s);
+                }
+                self.insts.push(LInst::Jump(Op::Jmp, top));
+                self.insts.push(LInst::Label(end));
+            }
+            TStmt::Discard(expr) => {
+                self.expr(expr);
+                self.insts.push(LInst::Simple(Op::Pop));
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &TExpr) {
+        match e {
+            TExpr::Int(v) => self.insts.push(LInst::PushI(*v)),
+            TExpr::Float(v) => self.insts.push(LInst::PushF(*v)),
+            TExpr::LoadG(slot, _) => self.insts.push(LInst::WithSlot(Op::Ldg, *slot)),
+            TExpr::LoadL(slot, _) => self.insts.push(LInst::WithSlot(Op::Ldl, *slot)),
+            TExpr::LoadA(slot, index) => {
+                self.expr(index);
+                self.insts.push(LInst::WithSlot(Op::Lda, *slot));
+            }
+            TExpr::PostInc(slot) => self.insts.push(LInst::WithSlot(Op::IncG, *slot)),
+            TExpr::I2F(inner) => {
+                self.expr(inner);
+                self.insts.push(LInst::Simple(Op::I2F));
+            }
+            TExpr::F2I(inner) => {
+                self.expr(inner);
+                self.insts.push(LInst::Simple(Op::F2I));
+            }
+            TExpr::Un(op, kind, inner) => {
+                self.expr(inner);
+                let opcode = match (op, kind) {
+                    (UnOp::Neg, ValKind::Float) => Op::FNeg,
+                    (UnOp::Neg, ValKind::Int) => Op::Neg,
+                    (UnOp::Not, _) => Op::LNot,
+                    (UnOp::BitNot, _) => Op::BNot,
+                };
+                self.insts.push(LInst::Simple(opcode));
+            }
+            TExpr::Bin(op, kind, lhs, rhs) => {
+                self.expr(lhs);
+                self.expr(rhs);
+                self.insts.push(LInst::Simple(bin_opcode(*op, *kind)));
+            }
+        }
+    }
+}
+
+/// The opcode for a typed binary operation.
+fn bin_opcode(op: BinOp, kind: ValKind) -> Op {
+    use BinOp::*;
+    let float = kind == ValKind::Float;
+    match op {
+        Add => {
+            if float {
+                Op::FAdd
+            } else {
+                Op::Add
+            }
+        }
+        Sub => {
+            if float {
+                Op::FSub
+            } else {
+                Op::Sub
+            }
+        }
+        Mul => {
+            if float {
+                Op::FMul
+            } else {
+                Op::Mul
+            }
+        }
+        Div => {
+            if float {
+                Op::FDiv
+            } else {
+                Op::Div
+            }
+        }
+        Mod => Op::Mod,
+        Eq => {
+            if float {
+                Op::FEq
+            } else {
+                Op::Eq
+            }
+        }
+        Ne => {
+            if float {
+                Op::FNe
+            } else {
+                Op::Ne
+            }
+        }
+        Lt => {
+            if float {
+                Op::FLt
+            } else {
+                Op::Lt
+            }
+        }
+        Le => {
+            if float {
+                Op::FLe
+            } else {
+                Op::Le
+            }
+        }
+        Gt => {
+            if float {
+                Op::FGt
+            } else {
+                Op::Gt
+            }
+        }
+        Ge => {
+            if float {
+                Op::FGe
+            } else {
+                Op::Ge
+            }
+        }
+        // `and`/`or` are strict (non-short-circuit) on 0/1 values, so
+        // bitwise ops implement them exactly.
+        And | BitAnd => Op::BAnd,
+        Or | BitOr => Op::BOr,
+        BitXor => Op::BXor,
+        Shl => Op::Shl,
+        Shr => Op::Shr,
+    }
+}
+
+/// Guarantees the handler cannot run past its own end: appends `Ret`
+/// exactly when the end of the stream is reachable (straight-line fall
+/// through, or a referenced label at the end).
+pub fn ensure_terminator(insts: &mut Vec<LInst>) {
+    let referenced: std::collections::HashSet<Label> = insts
+        .iter()
+        .filter_map(|i| match i {
+            LInst::Jump(_, l) => Some(*l),
+            _ => None,
+        })
+        .collect();
+    for inst in insts.iter().rev() {
+        match inst {
+            LInst::Label(l) => {
+                if referenced.contains(l) {
+                    break; // a live jump lands at the end: open.
+                }
+            }
+            other => {
+                if other.is_terminator() {
+                    return;
+                }
+                break;
+            }
+        }
+    }
+    insts.push(LInst::Simple(Op::Ret));
+}
+
+/// Assembles one handler's linear form, appending to `out`.
+///
+/// Two passes: compute per-label byte offsets, then emit with resolved
+/// relative jumps (offsets are relative to the end of the 3-byte jump
+/// instruction, matching the VM).
+///
+/// # Errors
+///
+/// [`CompileError::TooLarge`] when a jump offset exceeds `i16`;
+/// [`CompileError::Internal`] on a dangling or duplicate label (always a
+/// pipeline bug).
+pub fn assemble(insts: &[LInst], out: &mut Vec<u8>) -> Result<(), CompileError> {
+    let mut offsets: HashMap<Label, usize> = HashMap::new();
+    let mut off = 0usize;
+    for inst in insts {
+        if let LInst::Label(l) = inst {
+            if offsets.insert(*l, off).is_some() {
+                return Err(CompileError::Internal(format!("duplicate label {l}")));
+            }
+        }
+        off += inst.size();
+    }
+
+    let mut off = 0usize;
+    for inst in insts {
+        match inst {
+            LInst::Simple(op) => out.push(*op as u8),
+            LInst::WithSlot(op, slot) => {
+                out.push(*op as u8);
+                out.push(*slot);
+            }
+            LInst::PushI(v) => {
+                if let Ok(b) = i8::try_from(*v) {
+                    out.push(Op::Push8 as u8);
+                    out.push(b as u8);
+                } else if let Ok(h) = i16::try_from(*v) {
+                    out.push(Op::Push16 as u8);
+                    out.extend_from_slice(&h.to_le_bytes());
+                } else {
+                    out.push(Op::Push32 as u8);
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            LInst::PushF(v) => {
+                out.push(Op::PushF as u8);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            LInst::Sig(lib, event, argc) => {
+                out.push(Op::Sig as u8);
+                out.push(*lib);
+                out.push(*event);
+                out.push(*argc);
+            }
+            LInst::Jump(op, l) => {
+                let target = *offsets
+                    .get(l)
+                    .ok_or_else(|| CompileError::Internal(format!("dangling label {l}")))?;
+                let delta = target as i64 - (off as i64 + 3);
+                let delta = i16::try_from(delta)
+                    .map_err(|_| CompileError::TooLarge("jump offset exceeds i16".into()))?;
+                out.push(*op as u8);
+                out.extend_from_slice(&delta.to_le_bytes());
+            }
+            LInst::Label(_) => {}
+        }
+        off += inst.size();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_emission() {
+        let insts = [
+            LInst::Simple(Op::Ret),
+            LInst::WithSlot(Op::Ldg, 3),
+            LInst::PushI(5),
+            LInst::PushI(300),
+            LInst::PushI(100_000),
+            LInst::PushF(3.3),
+            LInst::Sig(1, 2, 3),
+            LInst::Jump(Op::Jmp, 0),
+            LInst::Label(0),
+        ];
+        let mut out = Vec::new();
+        assemble(&insts, &mut out).unwrap();
+        let expected: usize = insts.iter().map(|i| i.size()).sum();
+        assert_eq!(out.len(), expected);
+    }
+
+    #[test]
+    fn forward_and_backward_jumps_resolve() {
+        // top: JZ end; JMP top; end:
+        let insts = [
+            LInst::Label(0),
+            LInst::Jump(Op::Jz, 1),
+            LInst::Jump(Op::Jmp, 0),
+            LInst::Label(1),
+        ];
+        let mut out = Vec::new();
+        assemble(&insts, &mut out).unwrap();
+        // JZ at 0 jumps to 6: delta 3. JMP at 3 jumps to 0: delta -6.
+        assert_eq!(i16::from_le_bytes([out[1], out[2]]), 3);
+        assert_eq!(i16::from_le_bytes([out[4], out[5]]), -6);
+    }
+
+    #[test]
+    fn dangling_label_is_an_internal_error() {
+        let mut out = Vec::new();
+        let err = assemble(&[LInst::Jump(Op::Jmp, 7)], &mut out).unwrap_err();
+        assert!(matches!(err, CompileError::Internal(_)));
+    }
+
+    #[test]
+    fn terminator_appended_only_when_end_is_open() {
+        // Closed: ends in Ret.
+        let mut closed = vec![LInst::Simple(Op::Ret)];
+        ensure_terminator(&mut closed);
+        assert_eq!(closed, vec![LInst::Simple(Op::Ret)]);
+
+        // Open: a referenced label at the end (an if-exit).
+        let mut open = vec![
+            LInst::Jump(Op::Jz, 0),
+            LInst::Simple(Op::Ret),
+            LInst::Label(0),
+        ];
+        ensure_terminator(&mut open);
+        assert_eq!(*open.last().unwrap(), LInst::Simple(Op::Ret));
+        assert_eq!(open.len(), 4);
+
+        // Closed: unconditional backward jump, end unreachable.
+        let mut looping = vec![LInst::Label(0), LInst::Jump(Op::Jmp, 0), LInst::Label(1)];
+        ensure_terminator(&mut looping);
+        assert_eq!(looping.len(), 3, "unreferenced trailing label stays closed");
+    }
+
+    #[test]
+    fn empty_handler_gets_a_ret() {
+        let mut insts = Vec::new();
+        ensure_terminator(&mut insts);
+        assert_eq!(insts, vec![LInst::Simple(Op::Ret)]);
+    }
+}

@@ -1,0 +1,396 @@
+//! The optimisation pipeline: staged passes between the checker and the
+//! assembler.
+//!
+//! The paper's "several optimization mechanisms" remark (§4.1) is
+//! reproduced here as a real multi-pass compiler. Two layers:
+//!
+//! 1. **Typed-IR passes** over [`CheckedProgram`] — [`fold::ConstFold`]
+//!    (constant folding, branch folding on constant conditions, strength
+//!    reduction), [`dce::DeadCode`] (unreachable statements, side-effect-
+//!    free discards), and [`globals::DeadGlobals`] (stores to never-read
+//!    scalars, removal + renumbering of unreferenced globals). They run
+//!    round-robin to a fixpoint, then [`fold::NarrowFloats`] runs once as
+//!    a lowering-oriented cleanup.
+//! 2. **Linear-code passes** over the label-carrying instruction stream
+//!    ([`linear::LInst`]) each handler lowers to — the peephole layer in
+//!    [`peephole`]: jump threading, constant-condition branches,
+//!    store/load forwarding, push/pop cancellation, and unreachable-code
+//!    sweeping. The [`linear::assemble`] step then resolves labels to
+//!    relative offsets and emits bytes.
+//!
+//! Every pass follows the same **collector → transform → validator**
+//! protocol ([`IrPass`]): an immutable analysis derives the pass's facts,
+//! the transform rewrites the program using only those facts, and the
+//! shared structural validator ([`validate`]) re-checks the IR invariants
+//! after every transform — a pass can therefore never hand a malformed
+//! program to the next one without the pipeline failing loudly. The final
+//! validator of the pipeline is the image-level abstract interpreter in
+//! [`crate::verify()`], which [`crate::compile::compile_checked_with`] runs
+//! over the assembled image at [`OptLevel::Full`].
+//!
+//! Correctness is defined observationally: an optimised image must be
+//! indistinguishable from its unoptimised sibling through the VM —
+//! identical signals, returns, traps and global-state evolution on every
+//! event sequence. `crates/vm/tests/differential.rs` enforces exactly that
+//! over the shipped drivers and a property-based program generator.
+
+pub mod dce;
+pub mod fold;
+pub mod globals;
+pub mod linear;
+pub mod peephole;
+
+use crate::ast::BinOp;
+use crate::check::{CheckedProgram, TExpr, TStmt, ValKind};
+use crate::events;
+use crate::CompileError;
+
+/// How hard the compiler tries.
+///
+/// [`OptLevel::None`] is the historical single-pass emitter (useful as the
+/// reference side of differential testing); [`OptLevel::Full`] — the
+/// default for every production caller — runs the whole pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptLevel {
+    /// Straight lowering, no optimisation passes at all.
+    None,
+    /// IR passes + linear peephole + post-assembly verification.
+    #[default]
+    Full,
+}
+
+/// One pass's outcome, for introspection and per-pass tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassStats {
+    /// The pass's registered name.
+    pub name: &'static str,
+    /// Number of rewrites the transform performed (0 = fixpoint reached).
+    pub rewrites: usize,
+}
+
+/// The collector→transform contract every typed-IR pass implements.
+///
+/// `collect` must not mutate (it derives the pass's facts); `transform`
+/// may only rewrite using those facts and reports how many rewrites it
+/// made. The pipeline's shared validator runs after every transform, so a
+/// buggy pass fails compilation instead of corrupting downstream stages.
+pub trait IrPass {
+    /// What the collector derives for the transform.
+    type Facts;
+
+    /// Stable pass name (shows up in [`PassStats`] and error messages).
+    fn name(&self) -> &'static str;
+
+    /// Immutable analysis: derive the facts the transform needs.
+    fn collect(&self, program: &CheckedProgram) -> Self::Facts;
+
+    /// Rewrite the program using `facts`; returns the rewrite count.
+    fn transform(&self, program: &mut CheckedProgram, facts: Self::Facts) -> usize;
+}
+
+/// Upper bound on fixpoint rounds — each round either rewrites something
+/// or terminates the loop, and every rewrite strictly shrinks or
+/// simplifies the program, so this is a safety net, not a tuning knob.
+pub(crate) const MAX_ROUNDS: usize = 16;
+
+/// Runs one pass under the protocol: collect, transform, validate.
+fn run_pass<P: IrPass>(
+    pass: &P,
+    program: &mut CheckedProgram,
+    stats: &mut Vec<PassStats>,
+) -> Result<usize, CompileError> {
+    let facts = pass.collect(program);
+    let rewrites = pass.transform(program, facts);
+    validate(program).map_err(|why| {
+        CompileError::Internal(format!("IR invalid after pass `{}`: {why}", pass.name()))
+    })?;
+    stats.push(PassStats {
+        name: pass.name(),
+        rewrites,
+    });
+    Ok(rewrites)
+}
+
+/// Runs the typed-IR pipeline to a fixpoint, then the one-shot cleanup
+/// passes. Returns per-pass statistics in execution order.
+///
+/// # Errors
+///
+/// [`CompileError::Internal`] if any pass leaves the IR structurally
+/// invalid — always a compiler bug, never a property of the input.
+pub fn optimize(program: &mut CheckedProgram) -> Result<Vec<PassStats>, CompileError> {
+    let mut stats = Vec::new();
+    for _ in 0..MAX_ROUNDS {
+        let mut changed = 0;
+        changed += run_pass(&fold::ConstFold, program, &mut stats)?;
+        changed += run_pass(&dce::DeadCode, program, &mut stats)?;
+        changed += run_pass(&globals::DeadGlobals, program, &mut stats)?;
+        if changed == 0 {
+            break;
+        }
+    }
+    run_pass(&fold::NarrowFloats, program, &mut stats)?;
+    Ok(stats)
+}
+
+/// True when evaluating `e` can neither trap nor have a side effect —
+/// the condition under which a pass may delete (or duplicate-fold) the
+/// expression without changing VM-observable behaviour.
+///
+/// Conservative by design: array indexing may trap on a bad index,
+/// `idx++` writes, and division traps unless the divisor is a non-zero
+/// constant.
+pub(crate) fn is_total(e: &TExpr) -> bool {
+    match e {
+        TExpr::Int(_) | TExpr::Float(_) | TExpr::LoadG(..) | TExpr::LoadL(..) => true,
+        TExpr::PostInc(_) | TExpr::LoadA(..) => false,
+        TExpr::I2F(x) | TExpr::F2I(x) | TExpr::Un(_, _, x) => is_total(x),
+        TExpr::Bin(BinOp::Div | BinOp::Mod, _, l, r) => {
+            is_total(l) && matches!(**r, TExpr::Int(c) if c != 0)
+        }
+        TExpr::Bin(_, _, l, r) => is_total(l) && is_total(r),
+    }
+}
+
+/// The shared structural validator: re-checks the checker's invariants
+/// after every transform.
+///
+/// Verified properties: the mandatory `init`/`destroy` handlers survive,
+/// every slot reference is in range for the (possibly renumbered) global
+/// and parameter tables, conditions are integer-kinded, and binary/unary
+/// operands agree with their annotated value family.
+pub fn validate(program: &CheckedProgram) -> Result<(), String> {
+    for mandatory in [events::ids::INIT, events::ids::DESTROY] {
+        if !program.handlers.iter().any(|h| h.event_id == mandatory) {
+            return Err(format!("mandatory handler {mandatory} missing"));
+        }
+    }
+    let scalars = program.scalar_count() as u8;
+    let arrays = program.array_count() as u8;
+    for h in &program.handlers {
+        let params = h.params.len() as u8;
+        validate_block(&h.body, scalars, arrays, params)?;
+    }
+    Ok(())
+}
+
+fn validate_block(stmts: &[TStmt], scalars: u8, arrays: u8, params: u8) -> Result<(), String> {
+    for s in stmts {
+        match s {
+            TStmt::StoreG(slot, v) => {
+                if *slot >= scalars {
+                    return Err(format!("store to scalar slot {slot} out of range"));
+                }
+                validate_expr(v, scalars, arrays, params)?;
+            }
+            TStmt::StoreL(slot, v) => {
+                if *slot >= params {
+                    return Err(format!("store to param slot {slot} out of range"));
+                }
+                validate_expr(v, scalars, arrays, params)?;
+            }
+            TStmt::StoreA(slot, i, v) => {
+                if *slot >= arrays {
+                    return Err(format!("store to array slot {slot} out of range"));
+                }
+                validate_expr(i, scalars, arrays, params)?;
+                validate_expr(v, scalars, arrays, params)?;
+            }
+            TStmt::Signal(_, _, args) => {
+                for a in args {
+                    validate_expr(a, scalars, arrays, params)?;
+                }
+            }
+            TStmt::Return => {}
+            TStmt::ReturnValue(v) => validate_expr(v, scalars, arrays, params)?,
+            TStmt::ReturnArray(slot) => {
+                if *slot >= arrays {
+                    return Err(format!("return of array slot {slot} out of range"));
+                }
+            }
+            TStmt::If(cond, t, e) => {
+                if cond.kind() != ValKind::Int {
+                    return Err("non-integer if condition".into());
+                }
+                validate_expr(cond, scalars, arrays, params)?;
+                validate_block(t, scalars, arrays, params)?;
+                validate_block(e, scalars, arrays, params)?;
+            }
+            TStmt::While(cond, b) => {
+                if cond.kind() != ValKind::Int {
+                    return Err("non-integer while condition".into());
+                }
+                validate_expr(cond, scalars, arrays, params)?;
+                validate_block(b, scalars, arrays, params)?;
+            }
+            TStmt::Discard(e) => validate_expr(e, scalars, arrays, params)?,
+        }
+    }
+    Ok(())
+}
+
+fn validate_expr(e: &TExpr, scalars: u8, arrays: u8, params: u8) -> Result<(), String> {
+    match e {
+        TExpr::Int(_) | TExpr::Float(_) => {}
+        TExpr::LoadG(slot, _) | TExpr::PostInc(slot) => {
+            if *slot >= scalars {
+                return Err(format!("scalar slot {slot} out of range"));
+            }
+        }
+        TExpr::LoadL(slot, _) => {
+            if *slot >= params {
+                return Err(format!("param slot {slot} out of range"));
+            }
+        }
+        TExpr::LoadA(slot, i) => {
+            if *slot >= arrays {
+                return Err(format!("array slot {slot} out of range"));
+            }
+            validate_expr(i, scalars, arrays, params)?;
+        }
+        TExpr::I2F(x) | TExpr::F2I(x) => validate_expr(x, scalars, arrays, params)?,
+        TExpr::Un(op, k, x) => {
+            let inner_ok = match op {
+                crate::ast::UnOp::Not | crate::ast::UnOp::BitNot => x.kind() == ValKind::Int,
+                crate::ast::UnOp::Neg => x.kind() == *k,
+            };
+            if !inner_ok {
+                return Err(format!("unary {op:?} operand kind mismatch"));
+            }
+            validate_expr(x, scalars, arrays, params)?;
+        }
+        TExpr::Bin(op, k, l, r) => {
+            // Operands always share the annotated family; for integer-only
+            // operators the family must be Int.
+            let int_only = matches!(
+                op,
+                BinOp::Mod
+                    | BinOp::And
+                    | BinOp::Or
+                    | BinOp::BitAnd
+                    | BinOp::BitOr
+                    | BinOp::BitXor
+                    | BinOp::Shl
+                    | BinOp::Shr
+            );
+            if int_only && *k != ValKind::Int {
+                return Err(format!("integer-only operator {op:?} annotated float"));
+            }
+            if l.kind() != *k || r.kind() != *k {
+                return Err(format!("binary {op:?} operand kind mismatch"));
+            }
+            validate_expr(l, scalars, arrays, params)?;
+            validate_expr(r, scalars, arrays, params)?;
+        }
+    }
+    Ok(())
+}
+
+/// Visits every expression in a statement block, innermost first, calling
+/// `f` on each node after its children — shared plumbing for rewrite
+/// passes.
+pub(crate) fn visit_exprs_mut(stmts: &mut [TStmt], f: &mut impl FnMut(&mut TExpr)) {
+    for s in stmts {
+        match s {
+            TStmt::StoreG(_, v) | TStmt::StoreL(_, v) | TStmt::ReturnValue(v) => {
+                visit_expr_mut(v, f);
+            }
+            TStmt::StoreA(_, i, v) => {
+                visit_expr_mut(i, f);
+                visit_expr_mut(v, f);
+            }
+            TStmt::Signal(_, _, args) => {
+                for a in args {
+                    visit_expr_mut(a, f);
+                }
+            }
+            TStmt::Return | TStmt::ReturnArray(_) => {}
+            TStmt::If(cond, t, e) => {
+                visit_expr_mut(cond, f);
+                visit_exprs_mut(t, f);
+                visit_exprs_mut(e, f);
+            }
+            TStmt::While(cond, b) => {
+                visit_expr_mut(cond, f);
+                visit_exprs_mut(b, f);
+            }
+            TStmt::Discard(v) => visit_expr_mut(v, f),
+        }
+    }
+}
+
+fn visit_expr_mut(e: &mut TExpr, f: &mut impl FnMut(&mut TExpr)) {
+    match e {
+        TExpr::Bin(_, _, l, r) => {
+            visit_expr_mut(l, f);
+            visit_expr_mut(r, f);
+        }
+        TExpr::Un(_, _, x) | TExpr::I2F(x) | TExpr::F2I(x) => visit_expr_mut(x, f),
+        TExpr::LoadA(_, i) => visit_expr_mut(i, f),
+        _ => {}
+    }
+    f(e);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check;
+    use crate::parser::parse;
+
+    fn checked(src: &str) -> CheckedProgram {
+        check(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn validator_accepts_every_shipped_driver() {
+        for (_name, src) in crate::drivers::ALL {
+            validate(&checked(src)).unwrap();
+        }
+    }
+
+    #[test]
+    fn validator_rejects_missing_mandatory_handler() {
+        let mut p = checked("event init():\n    return;\nevent destroy():\n    return;\n");
+        p.handlers.retain(|h| h.event_id != events::ids::DESTROY);
+        assert!(validate(&p).unwrap_err().contains("mandatory"));
+    }
+
+    #[test]
+    fn validator_rejects_out_of_range_slot() {
+        let mut p =
+            checked("uint8_t x;\nevent init():\n    x = 1;\nevent destroy():\n    return;\n");
+        // Corrupt the store's slot past the scalar table.
+        if let TStmt::StoreG(slot, _) = &mut p.handlers[0].body[0] {
+            *slot = 9;
+        }
+        assert!(validate(&p).unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn optimize_converges_and_reports_stats() {
+        let mut p =
+            checked("uint8_t x;\nevent init():\n    x = 2 + 3;\nevent destroy():\n    return;\n");
+        let stats = optimize(&mut p).unwrap();
+        assert!(stats
+            .iter()
+            .any(|s| s.name == "const-fold" && s.rewrites > 0));
+        // The final round of each pass reports zero rewrites (fixpoint).
+        let last_fold = stats.iter().rev().find(|s| s.name == "const-fold").unwrap();
+        assert_eq!(last_fold.rewrites, 0);
+    }
+
+    #[test]
+    fn totality_is_conservative() {
+        use TExpr::*;
+        assert!(is_total(&Int(3)));
+        assert!(is_total(&LoadG(0, ValKind::Int)));
+        assert!(!is_total(&PostInc(0)));
+        assert!(!is_total(&LoadA(0, Box::new(Int(0)))));
+        // Division by a constant zero may trap: not total.
+        let div0 = Bin(BinOp::Div, ValKind::Int, Box::new(Int(1)), Box::new(Int(0)));
+        assert!(!is_total(&div0));
+        let div2 = Bin(BinOp::Div, ValKind::Int, Box::new(Int(1)), Box::new(Int(2)));
+        assert!(is_total(&div2));
+    }
+}

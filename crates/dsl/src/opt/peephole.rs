@@ -1,0 +1,421 @@
+//! Peephole optimisation over the linear form.
+//!
+//! Six local rewrites, applied round-robin to a fixpoint. Each either
+//! deletes instructions or replaces them with strictly smaller/cheaper
+//! ones, so every round shrinks the stream or leaves it alone and the
+//! loop terminates. All rewrites preserve VM-observable behaviour —
+//! stack contents at every surviving instruction, traps, signals and
+//! return values are identical; only encodings the VM could never
+//! distinguish change.
+//!
+//! * **Jump threading** — a jump to an unconditional jump is retargeted
+//!   to the final destination; an unconditional jump to a return is
+//!   replaced by the return itself.
+//! * **Constant branches** — `push c; jz/jnz` collapses to `jmp` or
+//!   nothing, and `lnot; jz/jnz` inverts the branch.
+//! * **Jump to next** — a jump to the immediately following location
+//!   deletes itself (`jmp`) or becomes the condition pop (`jz`/`jnz`).
+//! * **Store/load forwarding** — `stg g; ldg g` becomes `dup; stg g`
+//!   (one byte and one memory round-trip cheaper), same for locals, and
+//!   a reloaded `ldg g; ldg g` becomes `ldg g; dup`.
+//! * **Push/pop cancellation** — a value pushed by a side-effect-free
+//!   instruction and immediately popped was never observable.
+//! * **Unreachable sweep** — instructions after a terminator with no
+//!   intervening live label, and labels nothing jumps to, are dropped.
+//!
+//! Rewrites that need adjacency (forwarding, cancellation) require the
+//! instructions to be literally consecutive in the stream — any label
+//! between them means a jump could land in the middle, and blocks the
+//! rewrite. The unreachable sweep deletes dead labels, which is what
+//! re-running to fixpoint is for: removing a label unlocks forwarding.
+
+use std::collections::{HashMap, HashSet};
+
+use super::linear::{LInst, Label};
+use super::MAX_ROUNDS;
+use crate::isa::Op;
+
+/// Runs all peephole rewrites to a fixpoint; returns the total rewrite
+/// count.
+pub fn optimize_linear(insts: &mut Vec<LInst>) -> usize {
+    let mut total = 0;
+    for _ in 0..MAX_ROUNDS {
+        let n = thread_jumps(insts)
+            + fold_const_branches(insts)
+            + drop_jump_to_next(insts)
+            + forward_stores(insts)
+            + cancel_push_pop(insts)
+            + sweep_unreachable(insts);
+        if n == 0 {
+            break;
+        }
+        total += n;
+    }
+    total
+}
+
+/// Positions of every label definition.
+fn label_positions(insts: &[LInst]) -> HashMap<Label, usize> {
+    insts
+        .iter()
+        .enumerate()
+        .filter_map(|(i, inst)| match inst {
+            LInst::Label(l) => Some((*l, i)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The first non-label instruction at or after `from`.
+fn next_effective(insts: &[LInst], from: usize) -> Option<&LInst> {
+    insts[from..].iter().find(|i| !matches!(i, LInst::Label(_)))
+}
+
+/// Jump threading: retarget chains of unconditional jumps, and replace
+/// `jmp -> ret` with the return itself.
+fn thread_jumps(insts: &mut [LInst]) -> usize {
+    let positions = label_positions(insts);
+    let mut n = 0;
+    for i in 0..insts.len() {
+        let LInst::Jump(op, label) = insts[i] else {
+            continue;
+        };
+        // Follow the chain of `label: jmp other` with a cycle guard.
+        let mut seen = HashSet::from([label]);
+        let mut target = label;
+        while let Some(&LInst::Jump(Op::Jmp, next)) = next_effective(insts, positions[&target] + 1)
+        {
+            if !seen.insert(next) {
+                break; // jump cycle (an empty infinite loop): leave it.
+            }
+            target = next;
+        }
+        if target != label {
+            insts[i] = LInst::Jump(op, target);
+            n += 1;
+        }
+        // An unconditional jump to a return IS that return.
+        if op == Op::Jmp {
+            if let Some(&ret @ (LInst::Simple(Op::Ret | Op::RetV) | LInst::WithSlot(Op::RetA, _))) =
+                next_effective(insts, positions[&target] + 1)
+            {
+                insts[i] = ret;
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// `push c; jz/jnz` → `jmp` or nothing; `lnot; jz` ↔ `jnz`.
+fn fold_const_branches(insts: &mut Vec<LInst>) -> usize {
+    let mut n = 0;
+    let mut out = Vec::with_capacity(insts.len());
+    let mut iter = insts.iter().copied().peekable();
+    while let Some(inst) = iter.next() {
+        match (inst, iter.peek().copied()) {
+            (LInst::PushI(c), Some(LInst::Jump(cond @ (Op::Jz | Op::Jnz), l))) => {
+                iter.next();
+                n += 1;
+                let taken = (c == 0) == (cond == Op::Jz);
+                if taken {
+                    out.push(LInst::Jump(Op::Jmp, l));
+                }
+                // Not taken: both instructions vanish — the value was
+                // only ever consumed by the branch.
+            }
+            (LInst::Simple(Op::LNot), Some(LInst::Jump(cond @ (Op::Jz | Op::Jnz), l))) => {
+                iter.next();
+                n += 1;
+                let inverted = if cond == Op::Jz { Op::Jnz } else { Op::Jz };
+                out.push(LInst::Jump(inverted, l));
+            }
+            _ => out.push(inst),
+        }
+    }
+    *insts = out;
+    n
+}
+
+/// A jump to the very next location: `jmp` disappears, `jz`/`jnz`
+/// become the `pop` of their condition.
+fn drop_jump_to_next(insts: &mut Vec<LInst>) -> usize {
+    let mut n = 0;
+    let mut out = Vec::with_capacity(insts.len());
+    for i in 0..insts.len() {
+        let LInst::Jump(op, label) = insts[i] else {
+            out.push(insts[i]);
+            continue;
+        };
+        // Does `label` sit at the jump's own fall-through position
+        // (only label definitions in between)?
+        let lands_next = insts[i + 1..]
+            .iter()
+            .take_while(|x| matches!(x, LInst::Label(_)))
+            .any(|x| *x == LInst::Label(label));
+        if !lands_next {
+            out.push(insts[i]);
+        } else {
+            n += 1;
+            if op != Op::Jmp {
+                out.push(LInst::Simple(Op::Pop));
+            }
+        }
+    }
+    *insts = out;
+    n
+}
+
+/// `stg g; ldg g` → `dup; stg g` (and the `stl`/`ldl` twin), plus
+/// `ldg g; ldg g` → `ldg g; dup`. Strict adjacency required.
+fn forward_stores(insts: &mut [LInst]) -> usize {
+    let mut n = 0;
+    let mut i = 0;
+    while i + 1 < insts.len() {
+        let (a, b) = (insts[i], insts[i + 1]);
+        match (a, b) {
+            (LInst::WithSlot(Op::Stg, s), LInst::WithSlot(Op::Ldg, t))
+            | (LInst::WithSlot(Op::Stl, s), LInst::WithSlot(Op::Ldl, t))
+                if s == t =>
+            {
+                insts[i + 1] = a;
+                insts[i] = LInst::Simple(Op::Dup);
+                n += 1;
+            }
+            (LInst::WithSlot(Op::Ldg, s), LInst::WithSlot(Op::Ldg, t))
+            | (LInst::WithSlot(Op::Ldl, s), LInst::WithSlot(Op::Ldl, t))
+                if s == t =>
+            {
+                insts[i + 1] = LInst::Simple(Op::Dup);
+                n += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    n
+}
+
+/// True when the instruction pushes exactly one value and has no side
+/// effect and no possible trap (given it verifies): cancelling it
+/// against a `pop` is unobservable.
+fn is_pure_push(inst: &LInst) -> bool {
+    matches!(
+        inst,
+        LInst::PushI(_)
+            | LInst::PushF(_)
+            | LInst::Simple(Op::Dup)
+            | LInst::WithSlot(Op::Ldg | Op::Ldl | Op::Len, _)
+    )
+}
+
+/// A pure push immediately popped never existed.
+fn cancel_push_pop(insts: &mut Vec<LInst>) -> usize {
+    let mut n = 0;
+    let mut out: Vec<LInst> = Vec::with_capacity(insts.len());
+    for &inst in insts.iter() {
+        if inst == LInst::Simple(Op::Pop) && out.last().is_some_and(is_pure_push) {
+            out.pop();
+            n += 1;
+        } else {
+            out.push(inst);
+        }
+    }
+    *insts = out;
+    n
+}
+
+/// Drops instructions no jump or fall-through can reach, and label
+/// definitions nothing jumps to.
+fn sweep_unreachable(insts: &mut Vec<LInst>) -> usize {
+    let referenced: HashSet<Label> = insts
+        .iter()
+        .filter_map(|i| match i {
+            LInst::Jump(_, l) => Some(*l),
+            _ => None,
+        })
+        .collect();
+    let mut n = 0;
+    let mut reachable = true;
+    let mut out = Vec::with_capacity(insts.len());
+    for &inst in insts.iter() {
+        if let LInst::Label(l) = inst {
+            if referenced.contains(&l) {
+                reachable = true;
+                out.push(inst);
+            } else {
+                n += 1; // dead label: zero bytes, but blocks adjacency.
+            }
+            continue;
+        }
+        if !reachable {
+            n += 1;
+            continue;
+        }
+        out.push(inst);
+        if inst.is_terminator() {
+            reachable = false;
+        }
+    }
+    *insts = out;
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(mut insts: Vec<LInst>) -> Vec<LInst> {
+        optimize_linear(&mut insts);
+        insts
+    }
+
+    #[test]
+    fn jump_chains_thread_to_the_final_target() {
+        // jmp a; …; a: jmp b; …; b: ret
+        let out = run(vec![
+            LInst::Jump(Op::Jz, 0),
+            LInst::Simple(Op::Ret),
+            LInst::Label(0),
+            LInst::Jump(Op::Jmp, 1),
+            LInst::Label(1),
+            LInst::Simple(Op::Ret),
+        ]);
+        // The Jz threads straight to label 1; label 0 and its jump die.
+        assert!(out.contains(&LInst::Jump(Op::Jz, 1)));
+        assert!(!out.contains(&LInst::Label(0)));
+    }
+
+    #[test]
+    fn jump_to_return_becomes_the_return() {
+        let out = run(vec![
+            LInst::Jump(Op::Jz, 0),
+            LInst::Jump(Op::Jmp, 1),
+            LInst::Label(0),
+            LInst::Simple(Op::Ret),
+            LInst::Label(1),
+            LInst::Simple(Op::Ret),
+        ]);
+        // Both paths are now straight-line returns; no Jmp survives.
+        assert!(!out.iter().any(|i| matches!(i, LInst::Jump(Op::Jmp, _))));
+    }
+
+    #[test]
+    fn constant_conditions_collapse() {
+        // Taken: push 0; jz l → jmp l, then the jmp threads into the
+        // target's ret and the dead fall-through sweeps away entirely.
+        let out = run(vec![
+            LInst::PushI(0),
+            LInst::Jump(Op::Jz, 0),
+            LInst::Simple(Op::Nop),
+            LInst::Label(0),
+            LInst::Simple(Op::Ret),
+        ]);
+        assert_eq!(out, vec![LInst::Simple(Op::Ret)]);
+
+        // Not taken: push 1; jz l → nothing (and l's other path stays).
+        let out = run(vec![
+            LInst::PushI(1),
+            LInst::Jump(Op::Jz, 0),
+            LInst::Label(0),
+            LInst::Simple(Op::Ret),
+        ]);
+        assert_eq!(out, vec![LInst::Simple(Op::Ret)]);
+    }
+
+    #[test]
+    fn lnot_inverts_the_branch() {
+        let out = run(vec![
+            LInst::WithSlot(Op::Ldg, 0),
+            LInst::Simple(Op::LNot),
+            LInst::Jump(Op::Jz, 0),
+            LInst::Simple(Op::Ret),
+            LInst::Label(0),
+            LInst::WithSlot(Op::RetA, 0),
+        ]);
+        assert_eq!(out[1], LInst::Jump(Op::Jnz, 0));
+    }
+
+    #[test]
+    fn store_load_forwarding_dups_instead() {
+        let out = run(vec![
+            LInst::PushI(7),
+            LInst::WithSlot(Op::Stg, 3),
+            LInst::WithSlot(Op::Ldg, 3),
+            LInst::Simple(Op::RetV),
+        ]);
+        assert_eq!(
+            out,
+            vec![
+                LInst::PushI(7),
+                LInst::Simple(Op::Dup),
+                LInst::WithSlot(Op::Stg, 3),
+                LInst::Simple(Op::RetV),
+            ]
+        );
+    }
+
+    #[test]
+    fn a_label_blocks_forwarding() {
+        let insts = vec![
+            LInst::WithSlot(Op::Stg, 3),
+            LInst::Label(0),
+            LInst::WithSlot(Op::Ldg, 3),
+            LInst::Jump(Op::Jnz, 0),
+            LInst::Simple(Op::Ret),
+        ];
+        let out = run(insts.clone());
+        assert_eq!(out, insts, "jump target between the pair: no rewrite");
+    }
+
+    #[test]
+    fn pure_push_pop_pairs_cancel() {
+        let out = run(vec![
+            LInst::PushI(9),
+            LInst::Simple(Op::Pop),
+            LInst::WithSlot(Op::Ldg, 1),
+            LInst::Simple(Op::Pop),
+            LInst::WithSlot(Op::IncG, 0),
+            LInst::Simple(Op::Pop),
+            LInst::Simple(Op::Ret),
+        ]);
+        // The IncG push has a side effect: its pop must survive.
+        assert_eq!(
+            out,
+            vec![
+                LInst::WithSlot(Op::IncG, 0),
+                LInst::Simple(Op::Pop),
+                LInst::Simple(Op::Ret),
+            ]
+        );
+    }
+
+    #[test]
+    fn unreachable_code_and_dead_labels_sweep() {
+        let out = run(vec![
+            LInst::Simple(Op::Ret),
+            LInst::PushI(1), // dead
+            LInst::Label(5), // nothing jumps here
+            LInst::PushI(2), // still dead
+        ]);
+        assert_eq!(out, vec![LInst::Simple(Op::Ret)]);
+    }
+
+    #[test]
+    fn const_true_loop_keeps_its_back_edge() {
+        // while 1: … lowered shape — the conditional exit folds away but
+        // the backward jmp (the infinite loop) must survive.
+        let out = run(vec![
+            LInst::Label(0),
+            LInst::PushI(1),
+            LInst::Jump(Op::Jz, 1),
+            LInst::WithSlot(Op::IncG, 0),
+            LInst::Simple(Op::Pop),
+            LInst::Jump(Op::Jmp, 0),
+            LInst::Label(1),
+            LInst::Simple(Op::Ret),
+        ]);
+        assert!(out.contains(&LInst::Jump(Op::Jmp, 0)));
+        assert!(!out.iter().any(|i| matches!(i, LInst::Jump(Op::Jz, _))));
+    }
+}

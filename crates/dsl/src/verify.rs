@@ -424,4 +424,38 @@ mod tests {
         img.imports = vec![99];
         assert_eq!(verify(&img), Err(VerifyError::UnknownImport(99)));
     }
+
+    // ---- delta × verifier: a patched image must still be verifiable -
+
+    #[test]
+    fn delta_patched_image_verifies_like_the_original() {
+        use crate::delta::ImageDelta;
+        let old = crate::compile_source_with(crate::drivers::TMP36, 7, crate::OptLevel::None)
+            .expect("compiles")
+            .to_bytes();
+        let new = crate::compile_source(crate::drivers::TMP36, 7)
+            .expect("compiles")
+            .to_bytes();
+        let patched = ImageDelta::diff(&old, &new).apply(&old).expect("applies");
+        assert_eq!(patched, new);
+        let img = crate::DriverImage::from_bytes(&patched).expect("decodes");
+        assert_eq!(verify(&img), Ok(()));
+    }
+
+    #[test]
+    fn corrupted_patch_result_never_reaches_the_verifier() {
+        use crate::delta::{DeltaError, ImageDelta};
+        let old = crate::compile_source_with(crate::drivers::TMP36, 7, crate::OptLevel::None)
+            .expect("compiles")
+            .to_bytes();
+        let new = crate::compile_source(crate::drivers::TMP36, 7)
+            .expect("compiles")
+            .to_bytes();
+        let mut patch = ImageDelta::diff(&old, &new);
+        // Flip a byte inside a shipped chunk: the result checksum
+        // catches it, so a damaged image is refused before the image
+        // decoder or the verifier ever see the bytes.
+        patch.chunks[0].1[0] ^= 0x40;
+        assert_eq!(patch.apply(&old), Err(DeltaError::ResultMismatch));
+    }
 }

@@ -366,6 +366,13 @@ pub enum MessageBody {
         peripheral: u32,
         /// The new repository version.
         version: u16,
+        /// Optional compact patch (an encoded `upnp_dsl::ImageDelta`,
+        /// opaque at this layer) turning the previous version's bytes
+        /// into the new image, so a cache holding the predecessor can
+        /// patch in place instead of evicting and re-fetching. `None`
+        /// when no predecessor exists or the delta would not be smaller
+        /// than the image.
+        delta: Option<Vec<u8>>,
     },
 }
 
@@ -496,9 +503,19 @@ impl Message {
             MessageBody::DriverInvalidate {
                 peripheral,
                 version,
+                delta,
             } => {
                 out.extend_from_slice(&peripheral.to_be_bytes());
                 out.extend_from_slice(&version.to_be_bytes());
+                match delta {
+                    None => out.push(0),
+                    Some(patch) => {
+                        debug_assert!(patch.len() <= u16::MAX as usize);
+                        out.push(1);
+                        out.extend_from_slice(&(patch.len() as u16).to_be_bytes());
+                        out.extend_from_slice(patch);
+                    }
+                }
             }
         }
         out
@@ -638,9 +655,25 @@ impl Message {
                 let peripheral = u32_at(data, &mut i)?;
                 let version = u16::from_be_bytes(data.get(i..i + 2)?.try_into().ok()?);
                 i += 2;
+                let delta = match *data.get(i)? {
+                    0 => {
+                        i += 1;
+                        None
+                    }
+                    1 => {
+                        i += 1;
+                        let len = u16::from_be_bytes(data.get(i..i + 2)?.try_into().ok()?) as usize;
+                        i += 2;
+                        let patch = data.get(i..i + len)?.to_vec();
+                        i += len;
+                        Some(patch)
+                    }
+                    _ => return None,
+                };
                 MessageBody::DriverInvalidate {
                     peripheral,
                     version,
+                    delta,
                 }
             }
             _ => return None,
@@ -751,6 +784,7 @@ mod tests {
             MessageBody::DriverInvalidate {
                 peripheral: 0xad1c_be01,
                 version: 4,
+                delta: Some(vec![0x10, 0x20, 0x30]),
             },
         ];
         for (idx, body) in bodies.into_iter().enumerate() {

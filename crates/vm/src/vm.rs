@@ -499,11 +499,16 @@ fn apply_width(ty: Type, v: Cell) -> Cell {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use upnp_dsl::compile_source;
     use upnp_dsl::events::{ids, libs};
+    use upnp_dsl::{compile_source_with, OptLevel};
 
+    // These tests observe the VM through channels the optimiser is free
+    // to change — direct global-slot introspection (dead globals get
+    // eliminated) and per-instruction costs — so they compile without
+    // optimisation to pin the literal code shape. Optimised-vs-reference
+    // equivalence is `tests/differential.rs`'s job.
     fn instance(src: &str) -> DriverInstance {
-        DriverInstance::new(compile_source(src, 1).expect("compile"))
+        DriverInstance::new(compile_source_with(src, 1, OptLevel::None).expect("compile"))
     }
 
     const PROLOGUE: &str = "event destroy():\n    return;\n";

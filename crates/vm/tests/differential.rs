@@ -1,0 +1,335 @@
+//! Differential execution: the optimiser must be VM-invisible.
+//!
+//! Two copies of every driver — one compiled at [`OptLevel::None`], one at
+//! [`OptLevel::Full`] — replay the same event script. After every event the
+//! VM-observable outcome (signals in order, return value, fault) must be
+//! identical. Costs and instruction counts are *expected* to differ: that
+//! is the optimiser doing its job.
+//!
+//! Two layers of evidence:
+//!
+//! * the five shipped drivers replayed through realistic scripts (the
+//!   ID-20LA 16-byte card frame, the BMP180 datasheet measurement
+//!   sequence, ADC sample sweeps, SPI frames, error events);
+//! * property tests over randomly generated well-typed programs with
+//!   arithmetic, branches, bounded loops and division.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+use upnp_dsl::events::{errors, ids, libs};
+use upnp_dsl::{compile_source_with, drivers, OptLevel};
+use upnp_vm::value::Cell;
+use upnp_vm::vm::DriverInstance;
+
+/// One scripted event: `(event id, arguments)`.
+type Event = (u8, Vec<Cell>);
+
+fn cells(args: &[i32]) -> Vec<Cell> {
+    args.iter().map(|&a| Cell::from_i32(a)).collect()
+}
+
+/// Replays `script` against `src` compiled at both optimisation levels
+/// and asserts the observable outcome of every dispatch is identical.
+///
+/// Signals to `this` are pumped back into both instances (FIFO, like the
+/// event router), so driver-internal event chains — `readDone`,
+/// `parseCalibration`, `compensate` — are covered too.
+fn assert_equivalent(name: &str, src: &str, script: &[Event]) {
+    let unopt = compile_source_with(src, 1, OptLevel::None)
+        .unwrap_or_else(|e| panic!("{name}: unoptimised compile failed: {e}"));
+    let full = compile_source_with(src, 1, OptLevel::Full)
+        .unwrap_or_else(|e| panic!("{name}: optimised compile failed: {e}"));
+    assert!(
+        full.size_bytes() <= unopt.size_bytes(),
+        "{name}: optimisation grew the image ({} -> {})",
+        unopt.size_bytes(),
+        full.size_bytes()
+    );
+    let mut a = DriverInstance::new(unopt);
+    let mut b = DriverInstance::new(full);
+    let mut queue: VecDeque<Event> = script.iter().cloned().collect();
+    let mut step = 0usize;
+    while let Some((event, args)) = queue.pop_front() {
+        if !a.has_handler(event) {
+            // Scripts probe error events some drivers do not declare.
+            assert!(!b.has_handler(event), "{name}: handler sets diverge");
+            continue;
+        }
+        let oa = a.run_handler(event, &args);
+        let ob = b.run_handler(event, &args);
+        assert_eq!(
+            oa.signals, ob.signals,
+            "{name} step {step} (event {event}): signals diverge"
+        );
+        assert_eq!(
+            oa.returned, ob.returned,
+            "{name} step {step} (event {event}): return values diverge"
+        );
+        assert_eq!(
+            oa.error, ob.error,
+            "{name} step {step} (event {event}): faults diverge"
+        );
+        for s in &oa.signals {
+            if s.lib == libs::THIS {
+                queue.push_back((s.event, s.args.clone()));
+            }
+        }
+        step += 1;
+    }
+}
+
+#[test]
+fn tmp36_replays_identically() {
+    let mut script: Vec<Event> = vec![(ids::INIT, vec![]), (ids::READ, vec![])];
+    for raw in [0, 155, 512, 1023, 65535] {
+        script.push((ids::SAMPLE_DONE, cells(&[raw])));
+    }
+    script.push((ids::STREAM, vec![]));
+    script.push((ids::SAMPLE_DONE, cells(&[700])));
+    script.push((ids::DESTROY, vec![]));
+    assert_equivalent("tmp36", drivers::TMP36, &script);
+}
+
+#[test]
+fn hih4030_replays_identically() {
+    let mut script: Vec<Event> = vec![(ids::INIT, vec![])];
+    // Sweep the rail: below 0 % RH, mid-range, and clamped above 100 %.
+    for raw in [0, 49, 300, 512, 777, 1023] {
+        script.push((ids::READ, vec![]));
+        script.push((ids::SAMPLE_DONE, cells(&[raw])));
+    }
+    script.push((errors::TIME_OUT, vec![]));
+    script.push((ids::DESTROY, vec![]));
+    assert_equivalent("hih4030", drivers::HIH4030, &script);
+}
+
+#[test]
+fn id20la_replays_identically() {
+    // The reader's 16-byte card frame: STX, 10 ASCII data chars, 2
+    // checksum chars, CR, LF, ETX (paper Listing 1).
+    let frame = b"\x024500B9A3F1D2\x0d\x0a\x03";
+    let mut script: Vec<Event> = vec![(ids::INIT, vec![]), (ids::READ, vec![])];
+    for &byte in frame {
+        script.push((ids::NEWDATA, cells(&[byte as i32])));
+    }
+    script.push((errors::TIME_OUT, vec![]));
+    script.push((errors::UART_IN_USE, vec![]));
+    script.push((errors::INVALID_CONFIGURATION, vec![]));
+    script.push((ids::STREAM, vec![]));
+    for &byte in frame {
+        script.push((ids::NEWDATA, cells(&[byte as i32])));
+    }
+    script.push((ids::DESTROY, vec![]));
+    assert_equivalent("id20la", drivers::ID20LA, &script);
+}
+
+#[test]
+fn bmp180_replays_identically() {
+    // The Bosch datasheet's worked example: calibration constants,
+    // UT = 27898, UP = 23843 at oss = 0.
+    let cal: [u8; 22] = [
+        0x01, 0x98, // AC1 = 408
+        0xff, 0xb8, // AC2 = -72
+        0xc7, 0xd1, // AC3 = -14383
+        0x7f, 0xe5, // AC4 = 32741
+        0x7f, 0xf5, // AC5 = 32757
+        0x5a, 0x71, // AC6 = 23153
+        0x18, 0x2e, // B1 = 6190
+        0x00, 0x04, // B2 = 4
+        0x80, 0x00, // MB = -32768
+        0xdd, 0xf9, // MC = -8711
+        0x0b, 0x34, // MD = 2868
+    ];
+    let mut script: Vec<Event> = vec![(ids::INIT, vec![])];
+    for (i, &b) in cal.iter().enumerate() {
+        script.push((ids::I2C_DATA, cells(&[b as i32, i as i32])));
+    }
+    script.push((ids::I2C_DONE, vec![])); // -> this.parseCalibration
+    script.push((ids::READ, vec![]));
+    script.push((ids::TIMER_FIRED, vec![])); // temperature conversion done
+    script.push((ids::I2C_DATA, cells(&[0x6c, 0]))); // UT = 0x6cfa
+    script.push((ids::I2C_DATA, cells(&[0xfa, 1])));
+    script.push((ids::I2C_DONE, vec![])); // start pressure conversion
+    script.push((ids::TIMER_FIRED, vec![])); // pressure conversion done
+    script.push((ids::I2C_DATA, cells(&[0x5d, 0]))); // UP register 0x5d2300,
+    script.push((ids::I2C_DATA, cells(&[0x23, 1]))); // >> 8 = 23843
+    script.push((ids::I2C_DATA, cells(&[0x00, 2])));
+    script.push((ids::I2C_DONE, vec![])); // -> this.compensate, returns p
+    script.push((errors::BUS_ERROR, vec![]));
+    script.push((errors::TIME_OUT, vec![]));
+    script.push((errors::DIVIDE_BY_ZERO, vec![]));
+    script.push((ids::DESTROY, vec![]));
+    assert_equivalent("bmp180", drivers::BMP180, &script);
+}
+
+#[test]
+fn max6675_replays_identically() {
+    let mut script: Vec<Event> = vec![(ids::INIT, vec![]), (ids::READ, vec![])];
+    script.push((ids::SPI_DATA, cells(&[0x03, 0])));
+    script.push((ids::SPI_DATA, cells(&[0x20, 1])));
+    script.push((ids::SPI_DONE, vec![])); // returns (0x0320 >> 3) * 0.25 degC
+    script.push((ids::STREAM, vec![]));
+    script.push((ids::SPI_DATA, cells(&[0xff, 0])));
+    script.push((ids::SPI_DATA, cells(&[0xff, 1])));
+    script.push((ids::SPI_DONE, vec![]));
+    script.push((errors::BUS_ERROR, vec![]));
+    script.push((ids::DESTROY, vec![]));
+    assert_equivalent("max6675", drivers::MAX6675, &script);
+}
+
+#[test]
+fn every_shipped_driver_is_covered() {
+    // The scripts above are hand-written per driver; make sure a sixth
+    // shipped driver cannot slip in without a differential script.
+    assert_eq!(
+        drivers::ALL.len(),
+        5,
+        "add a replay script for the new driver"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Random well-typed programs.
+// ---------------------------------------------------------------------
+
+const OPS: [&str; 9] = ["+", "-", "*", "/", "%", "<<", ">>", "&", "|"];
+const CMPS: [&str; 6] = ["<", "<=", "==", "!=", ">", ">="];
+
+/// A random integer expression over globals `g0..g3`, small constants and
+/// (inside `write`) the parameter `x`. Division and remainder are
+/// included on purpose: a zero divisor must trap identically at both
+/// optimisation levels.
+fn int_expr(depth: u32, allow_x: bool) -> BoxedStrategy<String> {
+    let mut arms: Vec<BoxedStrategy<String>> = vec![
+        (-100i32..100).prop_map(|c| c.to_string()).boxed(),
+        (0usize..4).prop_map(|g| format!("g{g}")).boxed(),
+    ];
+    if allow_x {
+        arms.push(Just("x".to_string()).boxed());
+    }
+    if depth > 0 {
+        // Two node arms against two-or-three leaves keeps the expected
+        // tree size small while still nesting a few levels deep.
+        for _ in 0..2 {
+            arms.push(
+                (
+                    int_expr(depth - 1, allow_x),
+                    0usize..OPS.len(),
+                    int_expr(depth - 1, allow_x),
+                )
+                    .prop_map(|(a, i, b)| format!("({a} {} {b})", OPS[i]))
+                    .boxed(),
+            );
+        }
+    }
+    Union::new(arms).boxed()
+}
+
+fn cond_expr(allow_x: bool) -> BoxedStrategy<String> {
+    (
+        int_expr(1, allow_x),
+        0usize..CMPS.len(),
+        int_expr(1, allow_x),
+    )
+        .prop_map(|(a, i, b)| format!("{a} {} {b}", CMPS[i]))
+        .boxed()
+}
+
+/// A random statement, rendered as source lines at handler indentation.
+/// Loops use the dedicated counter `i`, which no generated statement
+/// assigns, so every loop terminates in at most 8 iterations.
+fn stmt(allow_x: bool) -> BoxedStrategy<Vec<String>> {
+    let assign = ((0usize..4), int_expr(3, allow_x))
+        .prop_map(|(g, e)| vec![format!("    g{g} = {e};")])
+        .boxed();
+    let assign2 = ((0usize..4), int_expr(3, allow_x))
+        .prop_map(|(g, e)| vec![format!("    g{g} = {e};")])
+        .boxed();
+    let alt = prop_oneof![
+        Just(None),
+        ((0usize..4), int_expr(2, allow_x)).prop_map(Some),
+    ];
+    let branch = (cond_expr(allow_x), 0usize..4, int_expr(2, allow_x), alt)
+        .prop_map(|(c, g, e, alt)| {
+            let mut lines = vec![format!("    if {c}:"), format!("        g{g} = {e};")];
+            if let Some((g2, e2)) = alt {
+                lines.push("    else:".to_string());
+                lines.push(format!("        g{g2} = {e2};"));
+            }
+            lines
+        })
+        .boxed();
+    let bounded_loop = (
+        1i32..=8,
+        prop::collection::vec(((0usize..4), int_expr(2, allow_x)), 1..3),
+    )
+        .prop_map(|(k, body)| {
+            let mut lines = vec!["    i = 0;".to_string(), format!("    while i < {k}:")];
+            for (g, e) in body {
+                lines.push(format!("        g{g} = {e};"));
+            }
+            lines.push("        i = i + 1;".to_string());
+            lines
+        })
+        .boxed();
+    Union::new(vec![assign, assign2, branch, bounded_loop]).boxed()
+}
+
+fn body(allow_x: bool) -> BoxedStrategy<Vec<String>> {
+    prop::collection::vec(stmt(allow_x), 1..5)
+        .prop_map(|blocks| blocks.into_iter().flatten().collect())
+        .boxed()
+}
+
+/// Assembles a complete well-typed driver source. `read` returns a hash
+/// of every global so all of them stay observable (and therefore live —
+/// the dead-global pass must not be able to hide a divergence).
+fn render_program(init: &[String], write: &[String], read: &[String]) -> String {
+    let mut s = String::from("int32_t g0, g1, g2, g3, i;\n");
+    s.push_str("event init():\n");
+    for l in init {
+        s.push_str(l);
+        s.push('\n');
+    }
+    s.push_str("    return;\n");
+    s.push_str("event destroy():\n    return;\n");
+    s.push_str("event write(int32_t x):\n");
+    for l in write {
+        s.push_str(l);
+        s.push('\n');
+    }
+    s.push_str("    return;\n");
+    s.push_str("event read():\n");
+    for l in read {
+        s.push_str(l);
+        s.push('\n');
+    }
+    s.push_str("    return ((g0 * 31 + g1) * 31 + g2) * 31 + g3;\n");
+    s
+}
+
+proptest! {
+    /// Any well-typed program observes identical behavior at `OptLevel::
+    /// None` and `OptLevel::Full`: same return values, same faults, in
+    /// the same order, across a stateful multi-event script.
+    #[test]
+    fn random_programs_execute_identically_at_every_opt_level(
+        init in body(false),
+        write in body(true),
+        read in body(false),
+        v1 in any::<i32>(),
+        v2 in -4096i32..4096,
+    ) {
+        let src = render_program(&init, &write, &read);
+        let script: Vec<Event> = vec![
+            (ids::INIT, vec![]),
+            (ids::WRITE, cells(&[v1])),
+            (ids::READ, vec![]),
+            (ids::WRITE, cells(&[v2])),
+            (ids::READ, vec![]),
+            (ids::DESTROY, vec![]),
+        ];
+        assert_equivalent("random program", &src, &script);
+    }
+}

@@ -4,9 +4,9 @@
 
 use proptest::prelude::*;
 use upnp_dsl::ast::Type;
-use upnp_dsl::compile_source;
 use upnp_dsl::events::ids;
 use upnp_dsl::image::{BusKind, DriverImage, GlobalSlot, HandlerEntry};
+use upnp_dsl::{compile_source_with, OptLevel};
 use upnp_vm::value::Cell;
 use upnp_vm::vm::DriverInstance;
 
@@ -56,12 +56,12 @@ event read():
     prod = a * b;
     return sum;
 ";
-        let mut d = DriverInstance::new(compile_source(src, 1).unwrap());
+        let mut d = DriverInstance::new(compile_source_with(src, 1, OptLevel::None).unwrap());
         d.run_handler(ids::WRITE, &[Cell::from_i32(a)]);
         // Set b through a second write path: reuse write to set a, then
         // poke b by recompiling is overkill — use two instances instead.
         let src_b = src.replace("a = x;", "b = x;");
-        let mut d2 = DriverInstance::new(compile_source(&src_b, 1).unwrap());
+        let mut d2 = DriverInstance::new(compile_source_with(&src_b, 1, OptLevel::None).unwrap());
         d2.run_handler(ids::WRITE, &[Cell::from_i32(b)]);
 
         // Single-instance check: a set, b zero.
@@ -96,7 +96,7 @@ event write(int32_t x):
     u16v = x;
     i16v = x;
 ";
-        let mut d = DriverInstance::new(compile_source(src, 1).unwrap());
+        let mut d = DriverInstance::new(compile_source_with(src, 1, OptLevel::None).unwrap());
         let out = d.run_handler(ids::WRITE, &[Cell::from_i32(v)]);
         prop_assert!(out.error.is_none());
         prop_assert_eq!(d.scalar(0).unwrap().as_i32(), (v as u8) as i32);
@@ -123,7 +123,7 @@ event write(int32_t x, int32_t n):
         // `write` is declared with 1 param in the ABI; use a custom event
         // instead.
         let src = src.replace("event write(int32_t x, int32_t n):", "event setboth(int32_t x, int32_t n):");
-        let mut d = DriverInstance::new(compile_source(&src, 1).unwrap());
+        let mut d = DriverInstance::new(compile_source_with(&src, 1, OptLevel::None).unwrap());
         let ev = d
             .image()
             .handlers
@@ -151,7 +151,7 @@ event go(int32_t x, int32_t y):
     b = y;
     q = a / b;
 ";
-        let mut d = DriverInstance::new(compile_source(src, 1).unwrap());
+        let mut d = DriverInstance::new(compile_source_with(src, 1, OptLevel::None).unwrap());
         let ev = d
             .image()
             .handlers

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Verifies that every relative markdown link in README.md and docs/
+# points at a file that exists (anchors are stripped; external links
+# are ignored). CI runs this next to `cargo doc`, so a renamed or
+# deleted document breaks the build instead of rotting quietly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for doc in README.md docs/*.md; do
+    dir=$(dirname "$doc")
+    # Pull out the (target) of every [text](target) markdown link.
+    while IFS= read -r link; do
+        case "$link" in
+        http://* | https://* | "#"*) continue ;;
+        esac
+        target="$dir/${link%%#*}"
+        if [ ! -e "$target" ]; then
+            echo "broken link in $doc: $link" >&2
+            fail=1
+        fi
+    done < <(grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "doc links ok"
