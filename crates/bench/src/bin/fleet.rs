@@ -10,6 +10,10 @@
 //! fleet --scenario discovery             # one scenario only
 //! fleet --scenario soak                  # nightly chaos soak (needs
 //!                                        #   --features soak)
+//! fleet --scenario soak --chaos deep     # deep fault profile: interior
+//!                                        #   partitions, MCU crashes,
+//!                                        #   delay/duplicate links,
+//!                                        #   standby blackouts
 //! fleet --seed 42                        # reseed the whole run
 //! fleet --out BENCH_fleet.json           # write the JSON report
 //! fleet --gate bench/baseline.json       # exit 1 on regression
@@ -28,7 +32,12 @@
 //! with `--scenario soak`) hard-fail unless every whole-soak invariant
 //! held — exactly-once discovery, cache coherence, bounded Manager
 //! retention — and the process peak RSS stayed flat across the virtual
-//! day of fault injection.
+//! day of fault injection. `--chaos deep` widens the schedule with the
+//! ISSUE-8 families (interior-router partitions, mid-install MCU
+//! crashes, delay/duplicate links, standby blackouts); those rows are
+//! labelled `soak-deep` and additionally hard-fail unless the families
+//! left evidence — torn images rejected and refetched, blackout windows
+//! detected as unserved Things and then repaired.
 //!
 //! The gate checks the 1k- and 5k-node discovery wall-clocks against the
 //! checked-in baseline (>25 % is a failure), and the zero-copy payload
@@ -76,9 +85,13 @@ const FLASH_FLOOR_MIN_THINGS: usize = 1000;
 /// and the metrics gained the distribution-tier counters (PR 5), to 4
 /// when they gained `faults_injected`/`soak_ticks` and the optional
 /// embedded `soak` report (PR 6), to 5 when the report gained the
-/// per-driver `drivers` image-size table (optimising compiler); older
-/// baselines must be regenerated.
-const SCHEMA: u32 = 5;
+/// per-driver `drivers` image-size table (optimising compiler), to 6
+/// when the soak report gained the deep-chaos counters (interior
+/// partitions, MCU crashes with torn-image rejections, standby
+/// blackouts with unserved-Thing windows, delay/duplicate link frames,
+/// per-epoch follower drains) and soak rows split into `soak` /
+/// `soak-deep` profiles; older baselines must be regenerated.
+const SCHEMA: u32 = 6;
 /// Edge caches fronting the origin in the chaos-soak rows.
 #[cfg(feature = "soak")]
 const SOAK_CACHES: usize = FLASH_CACHES;
@@ -199,6 +212,10 @@ struct Options {
     shards: Vec<usize>,
     seed: u64,
     scenario: Option<String>,
+    /// Soak fault profile: `day` (PR 6's families) or `deep` (adds
+    /// interior partitions, MCU crashes, delay/duplicate links and
+    /// standby blackouts; rows are labelled `soak-deep`).
+    chaos: String,
     out: Option<String>,
     gate: Option<String>,
 }
@@ -209,6 +226,7 @@ fn parse_args() -> Result<Options, String> {
         shards: vec![1],
         seed: 0x6030,
         scenario: None,
+        chaos: "day".into(),
         out: None,
         gate: None,
     };
@@ -252,6 +270,13 @@ fn parse_args() -> Result<Options, String> {
                         .into());
                 }
                 opts.scenario = (s != "all").then_some(s);
+            }
+            "--chaos" => {
+                let c = value("--chaos")?;
+                if !["day", "deep"].contains(&c.as_str()) {
+                    return Err(format!("unknown chaos profile `{c}` (day|deep)"));
+                }
+                opts.chaos = c;
             }
             "--out" => opts.out = Some(value("--out")?),
             "--gate" => opts.gate = Some(value("--gate")?),
@@ -320,13 +345,24 @@ fn run_fleet<W: SimWorld>(
 #[cfg(feature = "soak")]
 fn run_soak<W: SimWorld>(
     fleet: &mut Fleet<W>,
-    seed: u64,
+    opts: &Options,
     things: usize,
     shards: usize,
     scenarios: &mut Vec<ScenarioRow>,
 ) {
-    let chaos = upnp_core::chaos::ChaosConfig::day(seed);
-    let (metrics, report) = fleet.soak_scenario(&chaos);
+    let deep = opts.chaos == "deep";
+    let chaos = if deep {
+        upnp_core::chaos::ChaosConfig::deep(opts.seed)
+    } else {
+        upnp_core::chaos::ChaosConfig::day(opts.seed)
+    };
+    let (mut metrics, report) = fleet.soak_scenario(&chaos);
+    if deep {
+        // Deep rows are a distinct scenario: the fault schedule (and so
+        // every deterministic counter) differs from the day profile, and
+        // the baseline must keep both without conflating them.
+        metrics.scenario = "soak-deep".into();
+    }
     let mut r = row(things, shards, SOAK_CACHES, fleet.fingerprint(), metrics);
     println!(
         "  soak: {} faults over {} epochs ({} crashes, {} partitions, {} failovers, \
@@ -345,6 +381,22 @@ fn run_soak<W: SimWorld>(
         report.coherence_violations,
         report.retention_violations,
     );
+    if deep {
+        println!(
+            "  deep: {} interior cuts, {} MCU crashes ({} torn images rejected, \
+             {} refetched), {} standby blackouts ({} unserved windows, {} Things), \
+             {} frames delayed, {} duplicated",
+            report.interior_partitions,
+            report.thing_crashes,
+            report.half_images_rejected,
+            report.half_image_refetches,
+            report.standby_outages,
+            report.unserved_windows,
+            report.unserved_things,
+            report.frames_delayed,
+            report.frames_duplicated,
+        );
+    }
     r.faults_injected = report.faults_injected;
     r.soak_ticks = report.soak_ticks;
     r.soak = Some(report);
@@ -385,10 +437,10 @@ fn run(opts: &Options) -> BenchReport {
                     .with_standby();
                 if shards == 1 {
                     let mut fleet = Fleet::build(config);
-                    run_soak(&mut fleet, opts.seed, things, shards, &mut scenarios);
+                    run_soak(&mut fleet, opts, things, shards, &mut scenarios);
                 } else {
                     let mut fleet = ShardedFleet::build_sharded(config, shards);
-                    run_soak(&mut fleet, opts.seed, things, shards, &mut scenarios);
+                    run_soak(&mut fleet, opts, things, shards, &mut scenarios);
                 }
                 continue;
             }
@@ -602,10 +654,13 @@ fn gate_cache_tier(current: &BenchReport) -> Result<(), String> {
 
 /// Absolute gates on the soak rows of the *current* report: every
 /// whole-soak invariant must have held (exactly-once discovery, cache
-/// coherence, bounded Manager retention), and the process peak RSS must
-/// stay flat across the day — within [`SOAK_RSS_FLAT_FACTOR`] (plus
-/// slack) of the high-water mark after the first epoch. Deterministic
-/// verdicts and a host-side leak check; no baseline involved.
+/// coherence, bounded Manager retention), the per-epoch follower-drain
+/// breakdown must tile the aggregate, deep-profile fault families must
+/// show evidence they actually bit (blackouts strand Things, MCU
+/// crashes tear images), and the process peak RSS must stay flat across
+/// the day — within [`SOAK_RSS_FLAT_FACTOR`] (plus slack) of the
+/// high-water mark after the first epoch. Deterministic verdicts and a
+/// host-side leak check; no baseline involved.
 fn gate_soak(current: &BenchReport) -> Result<(), String> {
     for row in &current.scenarios {
         let Some(soak) = &row.soak else { continue };
@@ -621,6 +676,53 @@ fn gate_soak(current: &BenchReport) -> Result<(), String> {
                 soak.retention_violations,
             ));
         }
+        // Per-epoch follower drains must tile the aggregate exactly —
+        // one entry per epoch — so the artifact can prove followers
+        // were actually parked when each epoch's mid-transfer crash
+        // landed, not merely that some epoch drained somebody.
+        if soak.followers_drained_by_epoch.len() != soak.epochs {
+            return Err(format!(
+                "soak@{} shards={}: {} per-epoch drain entries for {} epochs — \
+                 the per-epoch breakdown is incomplete",
+                row.things,
+                row.shards,
+                soak.followers_drained_by_epoch.len(),
+                soak.epochs,
+            ));
+        }
+        let drained_sum: u64 = soak.followers_drained_by_epoch.iter().sum();
+        if drained_sum != soak.followers_drained {
+            return Err(format!(
+                "soak@{} shards={}: per-epoch drains sum to {} but the aggregate \
+                 says {} — the breakdown lost a crash window",
+                row.things, row.shards, drained_sum, soak.followers_drained,
+            ));
+        }
+        // Deep-profile evidence gates: when the deeper fault families
+        // ran, they must have actually bitten. A blackout that strands
+        // nobody or an MCU-crash schedule that never tears an image
+        // means the injection silently stopped landing mid-transfer.
+        if soak.standby_outages > 0 && soak.unserved_windows == 0 {
+            return Err(format!(
+                "soak@{} shards={}: {} standby blackouts stranded zero Things — \
+                 the unserved-detection window is not observing the outage",
+                row.things, row.shards, soak.standby_outages,
+            ));
+        }
+        if soak.thing_crashes > 0
+            && (soak.half_images_rejected == 0 || soak.half_image_refetches == 0)
+        {
+            return Err(format!(
+                "soak@{} shards={}: {} MCU crashes produced {} torn-image \
+                 rejections and {} refetches — mid-install crashes are no \
+                 longer landing while chunks are in flight",
+                row.things,
+                row.shards,
+                soak.thing_crashes,
+                soak.half_images_rejected,
+                soak.half_image_refetches,
+            ));
+        }
         let limit =
             (soak.rss_epoch1_kb as f64 * SOAK_RSS_FLAT_FACTOR) as u64 + SOAK_RSS_FLAT_SLACK_KB;
         if soak.rss_epoch1_kb > 0 && soak.peak_rss_kb > limit {
@@ -632,9 +734,18 @@ fn gate_soak(current: &BenchReport) -> Result<(), String> {
             ));
         }
         println!(
-            "gate ok: soak@{} shards={} held all invariants over {} faults; \
+            "gate ok: {}@{} shards={} held all invariants over {} faults \
+             ({} blackouts / {} unserved windows, {} torn images rejected); \
              peak RSS {} kB within the flatness bound ({} kB)",
-            row.things, row.shards, soak.faults_injected, soak.peak_rss_kb, limit,
+            row.metrics.scenario,
+            row.things,
+            row.shards,
+            soak.faults_injected,
+            soak.standby_outages,
+            soak.unserved_windows,
+            soak.half_images_rejected,
+            soak.peak_rss_kb,
+            limit,
         );
     }
     Ok(())
@@ -672,6 +783,21 @@ fn gate(current: &BenchReport, baseline: &BenchReport) -> Result<(), String> {
     // the hard gates are wall-clock and the allocation counters.
     for row in &current.scenarios {
         if let Some(b) = find(baseline, &row.metrics.scenario, row.things, row.shards) {
+            // The soak summary covers every deterministic fault and
+            // unserved counter (including the deep-chaos families), so
+            // schedule drift in any of them is surfaced here.
+            let soak_summary = |r: &ScenarioRow| r.soak.as_ref().map(|s| s.deterministic_summary());
+            if soak_summary(row) != soak_summary(b) {
+                eprintln!(
+                    "warning: {}@{} shards={} soak counters drifted from baseline; \
+                     refresh bench/baseline.json if intentional\n  base: {:?}\n  now:  {:?}",
+                    row.metrics.scenario,
+                    row.things,
+                    row.shards,
+                    soak_summary(b),
+                    soak_summary(row),
+                );
+            }
             if row.metrics.frames_tx != b.metrics.frames_tx
                 || row.metrics.virtual_ms != b.metrics.virtual_ms
                 || row.metrics.payload_allocs != b.metrics.payload_allocs
@@ -787,8 +913,8 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: fleet [--nodes N,N,..] [--shards K,K,..] [--seed N] \
-                 [--scenario discovery|churn|steady|flash|soak|all] [--out FILE] \
-                 [--gate BASELINE]"
+                 [--scenario discovery|churn|steady|flash|soak|all] \
+                 [--chaos day|deep] [--out FILE] [--gate BASELINE]"
             );
             return ExitCode::from(2);
         }

@@ -16,16 +16,22 @@
 //! sees cold fetches, with depletion driven by the metered radio energy
 //! of the previous epochs), the run pauses *mid-wave* at a deterministic
 //! instant, faults land — cache crashes that drain parked singleflight
-//! followers, root↔cache link partitions, primary-Manager failover to
-//! the hot standby — the chaos plays out to idle, operators heal and
-//! reroot, a repair wave replugs anything the faults starved, and the
+//! followers, root↔cache link partitions, interior-router partitions
+//! that orphan whole subtrees, mid-install MCU crashes that tear driver
+//! images in the flash, primary-Manager failover to the hot standby,
+//! and (on blackout epochs) the standby dying too — the chaos plays out
+//! to idle, operators heal and reroot, crashed MCUs revive and refetch,
+//! a repair wave replugs anything the faults starved, and the
 //! whole-soak invariants are checked: exactly-once discovery against
 //! the occupancy oracle, cache coherence against a fresh-build DODAG,
 //! bounded Manager retention, and (reported, gated by the bench layer)
-//! peak-RSS flatness.
+//! peak-RSS flatness. The deep profile additionally runs the whole soak
+//! under a seeded delay/duplicate link schedule
+//! ([`upnp_net::link::LinkChaos`]), so every retry timer and
+//! stop-and-wait cursor is exercised against late and doubled frames.
 
 use serde::{Deserialize, Serialize};
-use upnp_net::link::LinkQuality;
+use upnp_net::link::{LinkChaos, LinkQuality};
 use upnp_net::NodeId;
 use upnp_sim::{SimDuration, SimRng};
 
@@ -68,6 +74,24 @@ pub struct ChaosConfig {
     /// epoch's faults land — small enough that driver chunk transfers
     /// are still in flight.
     pub fault_offset: SimDuration,
+    /// Interior-router partitions injected mid-wave each epoch: the
+    /// routing edge above an arbitrary Thing is severed, orphaning its
+    /// whole subtree until the reroot storm repairs routing.
+    pub interior_partitions_per_epoch: usize,
+    /// Mid-install MCU crashes injected mid-wave each epoch: a Thing
+    /// from the churn wave's early lanes — whose driver chunks are in
+    /// flight — dies; uploads arriving while it is dead tear mid-flash
+    /// and must be rejected and refetched end-to-end on revive.
+    pub thing_crashes_per_epoch: usize,
+    /// Kill the hot standby too on every this-many-th failover (the
+    /// manager anycast goes completely dark; affected Things are
+    /// *detected* as unserved, not counted as violations, and the
+    /// repair wave must recover them once a replica returns). `0`
+    /// disables blackout chaos.
+    pub blackout_every: usize,
+    /// Seeded delay/duplicate link misbehaviour applied for the whole
+    /// soak; `None` leaves the delivery queue honest.
+    pub link_chaos: Option<LinkChaos>,
 }
 
 impl ChaosConfig {
@@ -89,6 +113,10 @@ impl ChaosConfig {
             // this offset drops the faults while the replug wave's
             // driver fetches are in flight at the caches.
             fault_offset: SimDuration::from_millis(250),
+            interior_partitions_per_epoch: 0,
+            thing_crashes_per_epoch: 0,
+            blackout_every: 0,
+            link_chaos: None,
         }
     }
 
@@ -107,6 +135,39 @@ impl ChaosConfig {
             battery_budget_j: 0.25,
             replug_delay: SimDuration::from_millis(200),
             fault_offset: SimDuration::from_millis(250),
+            interior_partitions_per_epoch: 0,
+            thing_crashes_per_epoch: 0,
+            blackout_every: 0,
+            link_chaos: None,
+        }
+    }
+
+    /// The deep-chaos acceptance shape: [`ChaosConfig::day`] plus the
+    /// four deeper fault families — interior-router partitions that
+    /// orphan whole subtrees, mid-install MCU crashes whose torn images
+    /// must be rejected and refetched, a standby blackout on every
+    /// other failover, and a seeded delay/duplicate link schedule for
+    /// the whole soak.
+    pub fn deep(seed: u64) -> Self {
+        ChaosConfig {
+            interior_partitions_per_epoch: 2,
+            thing_crashes_per_epoch: 2,
+            blackout_every: 2,
+            link_chaos: Some(LinkChaos::seeded(seed ^ 0x0011_ca05)),
+            ..Self::day(seed)
+        }
+    }
+
+    /// [`ChaosConfig::smoke`] widened the same way `deep` widens `day`:
+    /// one fault of each deep family per epoch, blackout on every
+    /// failover, link chaos on throughout. For tests.
+    pub fn deep_smoke(seed: u64) -> Self {
+        ChaosConfig {
+            interior_partitions_per_epoch: 1,
+            thing_crashes_per_epoch: 1,
+            blackout_every: 1,
+            link_chaos: Some(LinkChaos::seeded(seed ^ 0x0011_ca05)),
+            ..Self::smoke(seed)
         }
     }
 }
@@ -127,8 +188,31 @@ pub struct SoakReport {
     pub cache_crashes: u64,
     /// Link partitions injected.
     pub partitions: u64,
+    /// Interior-router partitions injected (the routing edge above an
+    /// arbitrary Thing severed, orphaning its subtree).
+    pub interior_partitions: u64,
+    /// Mid-install MCU crashes injected.
+    pub thing_crashes: u64,
+    /// Half-written driver images found in torn flash on revive and
+    /// rejected by signature verification (never stitched across the
+    /// crash).
+    pub half_images_rejected: u64,
+    /// End-to-end driver refetches reissued by revived MCUs for the
+    /// installs their crash interrupted.
+    pub half_image_refetches: u64,
     /// Primary-Manager failovers injected.
     pub failovers: u64,
+    /// Standby blackouts injected (hot standby killed while the primary
+    /// was already down — the manager anycast completely dark).
+    pub standby_outages: u64,
+    /// Blackout epochs in which at least one occupied Thing was
+    /// *detected* unserved while both replicas were dark. A first-class
+    /// observation, not a violation: the epoch's repair wave must
+    /// recover every such Thing once a replica returns, and the
+    /// discovery invariant still enforces that at the epoch boundary.
+    pub unserved_windows: u64,
+    /// Total unserved-Thing detections across blackout windows.
+    pub unserved_things: u64,
     /// DODAG reroots driven during heal phases.
     pub reroots: u64,
     /// Battery deaths (unplugs) injected.
@@ -138,6 +222,15 @@ pub struct SoakReport {
     /// Parked singleflight followers drained by cache crashes and
     /// re-resolved to the next-nearest anycast instance.
     pub followers_drained: u64,
+    /// Per-epoch breakdown of `followers_drained` (one entry per epoch,
+    /// in order) — lets the bench gate assert followers were actually
+    /// parked when each epoch's mid-transfer crash landed.
+    pub followers_drained_by_epoch: Vec<u64>,
+    /// Frame deliveries the seeded link chaos delayed during the soak.
+    pub frames_delayed: u64,
+    /// Frame deliveries the seeded link chaos duplicated during the
+    /// soak.
+    pub frames_duplicated: u64,
     /// Things the repair wave had to replug after faults starved their
     /// driver fetch.
     pub repairs: u64,
@@ -175,19 +268,31 @@ impl SoakReport {
     pub fn deterministic_summary(&self) -> String {
         format!(
             "soak epochs={} ticks={} virtual={} faults={} \
-             crash={} cut={} failover={} reroot={} battery=({},{}) \
-             drained={} repairs={} violations=({},{})",
+             crash={} cut={} icut={} mcu=({},{},{}) \
+             failover={} blackout={} unserved=({},{}) \
+             reroot={} battery=({},{}) link=({},{}) \
+             drained={} drained_by_epoch={:?} repairs={} violations=({},{})",
             self.epochs,
             self.soak_ticks,
             self.virtual_ms,
             self.faults_injected,
             self.cache_crashes,
             self.partitions,
+            self.interior_partitions,
+            self.thing_crashes,
+            self.half_images_rejected,
+            self.half_image_refetches,
             self.failovers,
+            self.standby_outages,
+            self.unserved_windows,
+            self.unserved_things,
             self.reroots,
             self.battery_unplugs,
             self.battery_replugs,
+            self.frames_delayed,
+            self.frames_duplicated,
             self.followers_drained,
+            self.followers_drained_by_epoch,
             self.repairs,
             self.discovery_violations,
             self.coherence_violations,
@@ -249,6 +354,12 @@ impl<W: SimWorld> Fleet<W> {
 
         let mut report = SoakReport::default();
         let soak_start = self.world.now();
+        // Link chaos covers the whole soak: every delivery — discovery
+        // bursts, chunk transfers, anycast replies — runs against the
+        // seeded delay/duplicate schedule. The counters are read as a
+        // delta so a reused world reports only this soak's perturbations.
+        let frames_before = self.world.net_stats();
+        self.world.set_link_chaos(cfg.link_chaos);
         for e in 0..cfg.epochs {
             let epoch_start = self.world.now();
 
@@ -295,6 +406,7 @@ impl<W: SimWorld> Fleet<W> {
             let mid = epoch_start + cfg.replug_delay + cfg.fault_offset;
             self.world.run_until(mid);
             report.soak_ticks += 1;
+            let drained_before = report.followers_drained;
             let mut crashed: Vec<CacheId> = Vec::new();
             let mut cut: Vec<(NodeId, LinkQuality)> = Vec::new();
             if !self.caches.is_empty() {
@@ -317,20 +429,103 @@ impl<W: SimWorld> Fleet<W> {
                     }
                 }
             }
+            report
+                .followers_drained_by_epoch
+                .push(report.followers_drained - drained_before);
+            // Interior-router partitions: sever the routing edge above
+            // an arbitrary Thing (its stale pre-cut DODAG parent),
+            // orphaning the whole subtree below that edge until the
+            // heal restores the sampled quality and the reroot storm
+            // repairs routing. The edge may already be cut this epoch —
+            // `partition_link` then reports `None` and the draw is a
+            // deterministic no-op on both backends.
+            let mut interior_cut: Vec<(NodeId, NodeId, LinkQuality)> = Vec::new();
+            for _ in 0..cfg.interior_partitions_per_epoch {
+                let node = self.world.thing_node(self.things[rng.index(n)]);
+                let Some(parent) = self.world.dodag_parent(node) else {
+                    continue;
+                };
+                if let Some(quality) = self.world.partition_link(parent, node) {
+                    interior_cut.push((parent, node, quality));
+                    report.interior_partitions += 1;
+                }
+            }
+            // Mid-install MCU crashes: pick Things from the churn
+            // wave's early lanes — they plugged before `mid`, so their
+            // driver fetch is in flight right now. A DriverUpload
+            // arriving while the MCU is dead tears mid-flash; the
+            // revive below must reject the half-written image and
+            // refetch end-to-end.
+            let mut crashed_things: Vec<usize> = Vec::new();
+            if !churn.is_empty() {
+                for _ in 0..cfg.thing_crashes_per_epoch {
+                    let i = churn[rng.index(churn.len().min(12))];
+                    if crashed_things.contains(&i) {
+                        continue;
+                    }
+                    self.world.crash_thing(self.things[i]);
+                    crashed_things.push(i);
+                    report.thing_crashes += 1;
+                }
+            }
             let failover = cfg.failover_every > 0 && (e + 1) % cfg.failover_every == 0;
             if failover {
                 self.world.fail_primary();
                 report.failovers += 1;
+            }
+            // Standby blackout: on every `blackout_every`-th failover
+            // the hot standby dies too, leaving zero live instances
+            // behind the manager anycast. Cache hits still serve; every
+            // miss drops at anycast resolution and its Thing goes
+            // unserved until the repair wave after a replica returns.
+            let blackout = failover
+                && cfg.blackout_every > 0
+                && report.failovers % cfg.blackout_every as u64 == 0;
+            if blackout {
+                self.world.fail_standby();
+                report.standby_outages += 1;
             }
 
             // Let the chaos play out against the rest of the wave.
             self.world.run_until_idle();
             report.soak_ticks += 1;
 
-            // Ops heal: links back, caches revived cold, primary
-            // restored, then a reroot storm rebuilds the DODAG.
+            // Detect (not punish) the blackout's damage while both
+            // replicas are still dark: occupied Things whose driver
+            // fetch died with the anycast are first-class observations
+            // the heal below must repair. Crashed MCUs are excluded —
+            // their unserved state belongs to the crash family.
+            if blackout {
+                let mut unserved = 0u64;
+                for i in 0..n {
+                    let Some(device) = self.occupancy[i] else {
+                        continue;
+                    };
+                    if crashed_things.contains(&i) {
+                        continue;
+                    }
+                    let thing = self.world.thing(self.things[i]);
+                    if !thing.served_peripherals().contains(&device.raw()) {
+                        unserved += 1;
+                    }
+                }
+                report.unserved_things += unserved;
+                if unserved > 0 {
+                    report.unserved_windows += 1;
+                }
+            }
+
+            // Ops heal: links back, caches revived cold, replicas
+            // restored, then a reroot storm rebuilds the DODAG. Every
+            // healed edge — root↔cache and interior alike — gets back
+            // the exact quality sampled when it was cut, never a
+            // resampled one, so the post-heal radio is bit-identical to
+            // the pre-fault radio.
             for (node, quality) in cut {
                 self.world.heal_link(root, node, quality);
+            }
+            for (parent, node, quality) in interior_cut {
+                self.world.heal_link(parent, node, quality);
             }
             for c in crashed {
                 self.world.revive_cache(c);
@@ -338,9 +533,23 @@ impl<W: SimWorld> Fleet<W> {
             if failover {
                 self.world.restore_primary();
             }
+            if blackout {
+                self.world.restore_standby();
+            }
             for _ in 0..cfg.reroots_per_heal {
                 self.world.rebuild_tree();
                 report.reroots += 1;
+            }
+            // Revive crashed MCUs after the reroot storm so their
+            // refetch rides the fresh DODAG: each revive audits the
+            // torn flash (half-written images must fail verification —
+            // never be stitched) and reissues every interrupted driver
+            // request end-to-end.
+            let revive_at = self.world.now();
+            for i in crashed_things {
+                let (rejected, refetches) = self.world.revive_thing(revive_at, self.things[i]);
+                report.half_images_rejected += rejected;
+                report.half_image_refetches += refetches;
             }
 
             // Repair wave: anything the faults starved (request dropped
@@ -410,6 +619,10 @@ impl<W: SimWorld> Fleet<W> {
             }
         }
 
+        self.world.set_link_chaos(None);
+        let frames_after = self.world.net_stats();
+        report.frames_delayed = frames_after.frames_delayed - frames_before.frames_delayed;
+        report.frames_duplicated = frames_after.frames_duplicated - frames_before.frames_duplicated;
         report.epochs = cfg.epochs;
         report.virtual_ms = self
             .world
@@ -418,7 +631,10 @@ impl<W: SimWorld> Fleet<W> {
             .as_millis_f64();
         report.faults_injected = report.cache_crashes
             + report.partitions
+            + report.interior_partitions
+            + report.thing_crashes
             + report.failovers
+            + report.standby_outages
             + report.reroots
             + report.battery_unplugs;
         report.peak_rss_kb = peak_rss_kb();
@@ -536,6 +752,134 @@ mod tests {
         let report = fleet.chaos_soak(&ChaosConfig::smoke(5));
         assert!(report.invariants_held(), "{report:?}");
         assert!(report.faults_injected > 0);
+    }
+
+    #[test]
+    fn deep_smoke_soak_exercises_every_family() {
+        let mut fleet = Fleet::build(soak_config(12));
+        let report = fleet.chaos_soak(&ChaosConfig::deep_smoke(1));
+        assert!(
+            report.invariants_held(),
+            "deep soak violated invariants: {report:?}"
+        );
+        assert!(
+            report.interior_partitions > 0,
+            "no interior cuts: {report:?}"
+        );
+        assert!(report.thing_crashes > 0, "no MCU crashes: {report:?}");
+        assert_eq!(report.standby_outages, 1, "blackout_every=1: {report:?}");
+        assert!(
+            report.frames_delayed > 0 && report.frames_duplicated > 0,
+            "link chaos injected nothing: {report:?}"
+        );
+        assert_eq!(
+            report.followers_drained_by_epoch.len(),
+            report.epochs,
+            "one drain entry per epoch: {report:?}"
+        );
+        assert_eq!(
+            report.followers_drained_by_epoch.iter().sum::<u64>(),
+            report.followers_drained,
+            "per-epoch drains must sum to the aggregate: {report:?}"
+        );
+    }
+
+    #[test]
+    fn deep_soak_is_reproducible() {
+        let run = || {
+            let mut fleet = Fleet::build(soak_config(10));
+            let report = fleet.chaos_soak(&ChaosConfig::deep_smoke(7));
+            (report.deterministic_summary(), fleet.fingerprint())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn torn_half_image_is_rejected_and_refetched() {
+        // Flash replug (1 ms stagger, one device type): every Thing's
+        // driver fetch is in flight when the faults land at `mid`, so a
+        // crashed MCU is all but guaranteed a DriverUpload arriving
+        // while it is dead. The upload tears mid-flash; the revive must
+        // reject the half-written image via signature verification and
+        // refetch end-to-end — and the Thing must still end the epoch
+        // served exactly once.
+        let mut config = soak_config(8);
+        config.device_pool.truncate(1);
+        config.stagger = SimDuration::from_millis(1);
+        let mut fleet = Fleet::build(config);
+        let chaos = ChaosConfig {
+            cache_crashes_per_epoch: 0,
+            partitions_per_epoch: 0,
+            failover_every: 0,
+            thing_crashes_per_epoch: 2,
+            epochs: 1,
+            ..ChaosConfig::smoke(3)
+        };
+        let report = fleet.chaos_soak(&chaos);
+        assert!(report.thing_crashes > 0, "{report:?}");
+        assert!(
+            report.half_images_rejected > 0,
+            "a torn image must be rejected on revive: {report:?}"
+        );
+        assert!(
+            report.half_image_refetches > 0,
+            "a rejected install must be refetched end-to-end: {report:?}"
+        );
+        assert!(report.invariants_held(), "{report:?}");
+    }
+
+    #[test]
+    fn standby_blackout_detects_and_recovers_unserved() {
+        // No caches: with both replicas dark the manager anycast has
+        // zero live instances, so every in-flight driver request of the
+        // blackout window dies and its Thing sits unserved until the
+        // heal. The soak must *observe* that window (first-class
+        // counters, not violations) and the repair wave must recover it.
+        let config = FleetConfig::new(6).with_standby().with_seed(0x50ac);
+        let mut fleet: Fleet<World> = Fleet::build(config);
+        let chaos = ChaosConfig {
+            failover_every: 1,
+            blackout_every: 1,
+            ..ChaosConfig::smoke(13)
+        };
+        let report = fleet.chaos_soak(&chaos);
+        assert_eq!(report.standby_outages, 3, "blackout on every failover");
+        assert!(
+            report.unserved_windows >= 1,
+            "a full blackout mid-wave must strand at least one Thing: {report:?}"
+        );
+        assert!(report.unserved_things >= report.unserved_windows);
+        assert!(
+            report.invariants_held(),
+            "unserved Things must be recovered, not leaked: {report:?}"
+        );
+    }
+
+    #[test]
+    fn interior_partition_heals_with_original_quality() {
+        // Regression for the heal-quality contract on the new interior
+        // edges: a lossy fleet's sampled PRR must survive a cut/heal
+        // round-trip exactly — healing with a resampled quality would
+        // silently change the radio for the rest of the soak.
+        let mut config = soak_config(10);
+        config.link_prr = 0.6;
+        let mut fleet: Fleet<World> = Fleet::build(config);
+        let node = fleet.world.thing_node(fleet.things[7]);
+        let parent = fleet.world.dodag_parent(node).expect("thing has a parent");
+        let before = fleet.world.net.link_quality(parent, node);
+        let sampled = fleet
+            .world
+            .partition_link(parent, node)
+            .expect("edge exists");
+        assert_eq!(fleet.world.net.link_quality(parent, node), None);
+        fleet.world.heal_link(parent, node, sampled);
+        assert_eq!(fleet.world.net.link_quality(parent, node), before);
+
+        // And end-to-end: a deep soak over the same lossy fleet keeps
+        // every invariant with interior cuts healing mid-run.
+        let report = fleet.chaos_soak(&ChaosConfig::deep_smoke(17));
+        assert!(report.interior_partitions > 0, "{report:?}");
+        assert!(report.invariants_held(), "{report:?}");
     }
 
     #[test]

@@ -34,7 +34,7 @@ use std::collections::HashMap;
 use std::net::Ipv6Addr;
 
 use upnp_hw::id::DeviceTypeId;
-use upnp_net::link::LinkQuality;
+use upnp_net::link::{LinkChaos, LinkQuality};
 use upnp_net::network::{NetStats, RootedFrame};
 use upnp_net::rpl::{Dodag, Topology};
 use upnp_net::{Datagram, NodeId};
@@ -676,6 +676,56 @@ impl SimWorld for ShardedWorld {
         }
     }
 
+    fn fail_standby(&mut self) {
+        // Replicated like the primary: the standby dies in every shard
+        // at once, so anycast resolution goes dark identically.
+        for w in &mut self.running_mut().shards {
+            w.fail_standby();
+        }
+    }
+
+    fn restore_standby(&mut self) {
+        for w in &mut self.running_mut().shards {
+            w.restore_standby();
+        }
+    }
+
+    fn crash_thing(&mut self, id: ThingId) {
+        // A Thing, its torn flash and every upload in flight to it live
+        // in the one shard owning its subtree.
+        let r = self.running_mut();
+        let (s, local) = r.thing_home[id.0];
+        r.shards[s].crash_thing(local);
+    }
+
+    fn revive_thing(&mut self, at: SimTime, id: ThingId) -> (u64, u64) {
+        let r = self.running_mut();
+        let (s, local) = r.thing_home[id.0];
+        r.shards[s].revive_thing(at, local)
+    }
+
+    fn set_link_chaos(&mut self, chaos: Option<LinkChaos>) {
+        // The perturbation is keyed by (seed, receiving node, delivery
+        // instant), so enabling it in every shard perturbs exactly the
+        // deliveries the sequential simulator perturbs — including the
+        // cross-shard continuations, which re-enter schedule() in the
+        // destination shard with the same clamped instants.
+        for w in &mut self.running_mut().shards {
+            w.set_link_chaos(chaos);
+        }
+    }
+
+    fn dodag_parent(&self, node: NodeId) -> Option<NodeId> {
+        // A Thing's subtree is fully local to its owning shard, and the
+        // Dodag tie-break (lowest node id) is deterministic, so the
+        // shard-local parent equals the sequential one. Other nodes
+        // fall back to shard 0 — correct for replicated endpoints; an
+        // unowned cache is unlinked there and answers `None`.
+        let r = self.running();
+        let s = r.node_shard.get(&node).copied().unwrap_or(0);
+        r.shards[s].dodag_parent(node)
+    }
+
     fn partition_link(&mut self, a: NodeId, b: NodeId) -> Option<LinkQuality> {
         // A subtree link exists in exactly one shard; a link between
         // replicated nodes exists in all of them. Severing everywhere
@@ -821,6 +871,8 @@ impl SimWorld for ShardedWorld {
             total.frames_tx += s.frames_tx;
             total.bytes_tx += s.bytes_tx;
             total.drops += s.drops;
+            total.frames_delayed += s.frames_delayed;
+            total.frames_duplicated += s.frames_duplicated;
         }
         total
     }

@@ -112,6 +112,18 @@ struct StreamState {
     remaining: u32,
 }
 
+/// What a revive found in the torn flash staging area (see
+/// [`Thing::revive_mcu`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlashRecovery {
+    /// Half-written images rejected on revive — stale install
+    /// generation, or failed `verify()`.
+    pub rejected: u64,
+    /// Driver requests reissued end-to-end for peripherals still
+    /// waiting (the refetch never stitches across the crash).
+    pub refetches: u64,
+}
+
 /// The µPnP Thing.
 pub struct Thing {
     /// This Thing's network node.
@@ -144,6 +156,14 @@ pub struct Thing {
     /// Physical location tag; discoveries carrying a `Location` TLV are
     /// only answered when it matches (§9's location-aware discovery).
     pub location: Option<String>,
+    /// Flash install generation — bumped on every MCU crash, the same
+    /// generation-stamp discipline the edge cache uses to fence stale
+    /// chunk sessions across its own crashes. An image staged under an
+    /// older generation can never be accepted after a crash.
+    install_gen: u64,
+    /// Driver bytes that were mid-flash when the MCU died: `(install
+    /// generation at staging time, peripheral, the torn prefix)`.
+    torn_flash: Vec<(u64, u32, Vec<u8>)>,
 }
 
 impl Thing {
@@ -174,6 +194,8 @@ impl Thing {
             scan_temp_c: 25.0,
             stream_samples: 5,
             location: None,
+            install_gen: 0,
+            torn_flash: Vec::new(),
         }
     }
 
@@ -723,6 +745,63 @@ impl Thing {
     /// True while a stream is active for `peripheral`.
     pub fn is_streaming(&self, peripheral: u32) -> bool {
         self.streams.contains_key(&peripheral)
+    }
+
+    /// The MCU dies mid-operation. Bumps the flash install generation so
+    /// anything staged before (or during) the outage is fenced: a
+    /// half-written image from the old life can never be accepted by the
+    /// new one, only rejected and refetched end-to-end.
+    pub fn crash_mcu(&mut self) {
+        self.install_gen = self.install_gen.wrapping_add(1);
+    }
+
+    /// Stages the torn remnant of a driver upload that arrived while the
+    /// MCU was dead: only the first half of `image` reaches flash — the
+    /// write was cut mid-stream — stamped with the current install
+    /// generation for [`Thing::revive_mcu`] to audit.
+    pub fn stage_torn_upload(&mut self, peripheral: u32, image: &[u8]) {
+        let torn = &image[..image.len() / 2];
+        self.torn_flash
+            .push((self.install_gen, peripheral, torn.to_vec()));
+    }
+
+    /// Revives a crashed MCU at world time `now`: audits the torn flash
+    /// staging area — an image is accepted only if its install
+    /// generation is current *and* it still parses and passes
+    /// `verify()`, which a torn prefix never does — and reissues a
+    /// driver request for every peripheral still waiting, so the image
+    /// is refetched end-to-end rather than stitched across the crash.
+    ///
+    /// Protocol state (streams, pending operations) is assumed to be
+    /// restored from persistent storage; only the flash install path is
+    /// torn by the crash.
+    pub fn revive_mcu(
+        &mut self,
+        now: SimTime,
+        mgr_anycast: Ipv6Addr,
+    ) -> (FlashRecovery, Vec<Outbound>) {
+        if self.runtime.now() < now {
+            self.runtime.advance_to(now);
+        }
+        let mut recovery = FlashRecovery::default();
+        for (generation, _peripheral, bytes) in std::mem::take(&mut self.torn_flash) {
+            let intact = generation == self.install_gen
+                && DriverImage::from_bytes(&bytes)
+                    .ok()
+                    .is_some_and(|image| upnp_dsl::verify(&image).is_ok());
+            debug_assert!(!intact, "a torn prefix must never verify");
+            if !intact {
+                recovery.rejected += 1;
+            }
+        }
+        let mut pending: Vec<u32> = self.awaiting_driver.keys().copied().collect();
+        pending.sort_unstable();
+        let mut out = Vec::new();
+        for peripheral in pending {
+            recovery.refetches += 1;
+            out.extend(self.request_driver(DeviceTypeId::new(peripheral), mgr_anycast));
+        }
+        (recovery, out)
     }
 
     fn value_kind(&self, peripheral: u32) -> ValueKind {

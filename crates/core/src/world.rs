@@ -14,7 +14,7 @@ use upnp_hw::channels::ChannelId;
 use upnp_hw::components::ToleranceClass;
 use upnp_hw::id::DeviceTypeId;
 use upnp_hw::peripheral::PeripheralTemplate;
-use upnp_net::link::LinkQuality;
+use upnp_net::link::{LinkChaos, LinkQuality};
 use upnp_net::msg::Value;
 use upnp_net::{Datagram, Delivery, Network, NodeId};
 use upnp_sim::{Scheduler, SimDuration, SimRng, SimTime};
@@ -148,12 +148,20 @@ pub struct World {
     /// True while the primary Manager is crashed (deliveries to it are
     /// dropped — the datagrams already in flight when it died).
     manager_down: bool,
+    /// True while the standby replica is crashed too: with the primary
+    /// also down, the manager anycast has zero live instances and
+    /// requests drop — the unserved-Things window the soak detects.
+    standby_down: bool,
     things: Vec<Thing>,
     clients: Vec<Client>,
     caches: Vec<EdgeCache>,
     /// Parallel to `caches`: true while that cache is crashed (its
     /// in-flight deliveries and timers are dropped).
     dead_caches: Vec<bool>,
+    /// Parallel to `things`: true while that Thing's MCU is crashed. The
+    /// node keeps forwarding frames (the radio outlives the MCU
+    /// process); driver uploads in flight to it are torn mid-flash.
+    dead_things: Vec<bool>,
     catalog: Catalog,
     node_kinds: HashMap<NodeId, NodeKind>,
     thing_by_addr: HashMap<Ipv6Addr, usize>,
@@ -199,10 +207,12 @@ impl World {
             manager: None,
             standby: None,
             manager_down: false,
+            standby_down: false,
             things: Vec::with_capacity(config.expected_nodes),
             clients: Vec::new(),
             caches: Vec::new(),
             dead_caches: Vec::new(),
+            dead_things: Vec::with_capacity(config.expected_nodes),
             catalog: Catalog::with_prototypes(),
             node_kinds: HashMap::with_capacity(config.expected_nodes),
             thing_by_addr: HashMap::with_capacity(config.expected_nodes),
@@ -310,6 +320,7 @@ impl World {
         thing.stream_samples = self.config.stream_samples;
         self.things.push(thing);
         self.thing_rngs.push(rng);
+        self.dead_things.push(false);
         let id = ThingId(self.things.len() - 1);
         self.node_kinds.insert(node, NodeKind::Thing(id.0));
         self.thing_by_addr.insert(address, id.0);
@@ -363,7 +374,11 @@ impl World {
         let anycast = self.manager_anycast;
         let node = self.net.add_node();
         let address = self.net.addr_of(node);
-        self.net.set_anycast(node, anycast);
+        // Subtree-scoped: the cache serves the requesters it routes for,
+        // never a sibling subtree across the root — the scoping is what
+        // keeps resolution identical at every shard count (a sibling's
+        // cache may be another shard's ghost).
+        self.net.set_anycast_scoped(node, anycast);
         self.manager_mut().register_cache(address);
         if let Some(standby) = &mut self.standby {
             standby.register_cache(address);
@@ -530,7 +545,7 @@ impl World {
         assert!(self.dead_caches[id.0], "cache {id:?} is not down");
         self.dead_caches[id.0] = false;
         self.net
-            .set_anycast(self.caches[id.0].node, self.manager_anycast);
+            .set_anycast_scoped(self.caches[id.0].node, self.manager_anycast);
     }
 
     /// Crashes the primary Manager: it leaves both anycast sets (memos
@@ -563,6 +578,88 @@ impl World {
         let node = self.manager().node;
         self.net.set_anycast(node, self.manager_anycast);
         self.net.set_anycast(node, self.origin_anycast);
+    }
+
+    /// Crashes the hot standby replica: it leaves both anycast sets
+    /// (memos purged). With the primary also down, the manager anycast
+    /// has *zero* live instances — driver requests and origin fetches
+    /// drop gracefully at resolution, and the affected Things stay
+    /// unserved until either replica returns and the repair wave
+    /// refetches.
+    ///
+    /// # Panics
+    ///
+    /// Panics without a standby, or if the standby is already down.
+    pub fn fail_standby(&mut self) {
+        assert!(self.standby.is_some(), "world has no standby");
+        assert!(!self.standby_down, "standby is already down");
+        self.standby_down = true;
+        let node = self.standby.as_ref().expect("checked").node;
+        self.net.fail_node(node);
+    }
+
+    /// Restores the crashed standby: it re-registers both anycast
+    /// instances and resumes serving (durable repository, like the
+    /// primary — only its in-flight datagrams died).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the standby is not down.
+    pub fn restore_standby(&mut self) {
+        assert!(self.standby_down, "standby is not down");
+        self.standby_down = false;
+        let node = self.standby.as_ref().expect("standby exists").node;
+        self.net.set_anycast(node, self.manager_anycast);
+        self.net.set_anycast(node, self.origin_anycast);
+    }
+
+    /// Crashes a Thing's MCU mid-operation: its flash install generation
+    /// is fenced, and any (5) driver upload delivered while it is dead
+    /// is torn mid-flash write ([`Thing::stage_torn_upload`]). The node
+    /// keeps forwarding frames — the radio outlives the MCU process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Thing is already down.
+    pub fn crash_thing(&mut self, id: ThingId) {
+        assert!(!self.dead_things[id.0], "thing {id:?} is already down");
+        self.dead_things[id.0] = true;
+        self.things[id.0].crash_mcu();
+    }
+
+    /// Revives a crashed Thing at `at`: the torn flash staging area is
+    /// audited (half-written images rejected by `verify()`), and a
+    /// driver request is reissued end-to-end for every peripheral still
+    /// waiting. Returns `(rejected half-images, refetches issued)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Thing is not down.
+    pub fn revive_thing(&mut self, at: SimTime, id: ThingId) -> (u64, u64) {
+        assert!(self.dead_things[id.0], "thing {id:?} is not down");
+        self.dead_things[id.0] = false;
+        let anycast = self.manager_anycast;
+        let (recovery, out) = self.things[id.0].revive_mcu(at.max(self.now), anycast);
+        self.apply_outbound(id.0, out);
+        // A plug/unplug that happened during the outage left the board
+        // interrupt pending; the revived MCU services it on the next run.
+        if self.things[id.0].interrupt_pending() {
+            self.interrupts.push_back(id.0);
+        }
+        (recovery.rejected, recovery.refetches)
+    }
+
+    /// Enables (or disables) seeded delay/duplicate link chaos on the
+    /// delivery queue (see [`LinkChaos`]).
+    pub fn set_link_chaos(&mut self, chaos: Option<LinkChaos>) {
+        self.net.set_link_chaos(chaos);
+    }
+
+    /// The DODAG parent of `node` — the routing edge above an arbitrary
+    /// interior node, which [`World::partition_link`] can sever to
+    /// orphan its whole subtree.
+    pub fn dodag_parent(&self, node: NodeId) -> Option<NodeId> {
+        self.net.dodag_parent(node)
     }
 
     /// Severs the link between two locally simulated nodes, returning the
@@ -808,11 +905,16 @@ impl World {
                 Some(NodeKind::Manager) if !self.manager_down => {
                     self.manager_reply(false, d);
                 }
-                Some(NodeKind::Standby) => self.manager_reply(true, d),
-                Some(NodeKind::Thing(i)) => {
+                Some(NodeKind::Standby) if !self.standby_down => self.manager_reply(true, d),
+                Some(NodeKind::Thing(i)) if !self.dead_things[i] => {
                     let out = self.things[i].on_datagram(d.at, &d.dgram);
                     self.apply_outbound(i, out);
                 }
+                // A dead Thing's MCU is off: a (5) driver upload arriving
+                // now is a flash write cut mid-stream — stage the torn
+                // remnant for the revive audit. Everything else in
+                // flight to it simply dies.
+                Some(NodeKind::Thing(i)) => self.stage_torn_upload(i, &d.dgram),
                 Some(NodeKind::Client(i)) => {
                     let joins = self.clients[i].on_datagram(d.at, &d.dgram);
                     let node = self.clients[i].node;
@@ -827,7 +929,7 @@ impl World {
                     let reply = self.caches[i].on_datagram(&d.dgram);
                     self.apply_cache_reply(i, d.at, reply);
                 }
-                Some(NodeKind::Manager | NodeKind::Cache(_)) | None => {}
+                Some(NodeKind::Manager | NodeKind::Standby | NodeKind::Cache(_)) | None => {}
             }
         }
         self.delivery_buf = deliveries;
@@ -885,6 +987,23 @@ impl World {
         }
     }
 
+    /// Routes a delivery to a *dead* Thing: only (5) driver uploads
+    /// leave a trace — the flash write torn mid-stream — everything
+    /// else evaporates with the crashed MCU. The type-byte pre-check
+    /// keeps non-upload traffic off the decoder.
+    fn stage_torn_upload(&mut self, thing: usize, dgram: &Datagram) {
+        if dgram.payload.first() != Some(&upnp_net::msg::MessageBody::DRIVER_UPLOAD_TYPE) {
+            return;
+        }
+        if let Some(upnp_net::msg::Message {
+            body: upnp_net::msg::MessageBody::DriverUpload { peripheral, image },
+            ..
+        }) = upnp_net::msg::Message::decode(&dgram.payload)
+        {
+            self.things[thing].stage_torn_upload(peripheral, &image);
+        }
+    }
+
     fn apply_cache_reply(&mut self, cache: usize, at: SimTime, reply: CacheReply) {
         let ready_at = at + reply.process;
         let send_at = ready_at + reply.send_path;
@@ -920,6 +1039,11 @@ impl World {
     fn service_interrupts(&mut self) -> bool {
         let anycast = self.manager_anycast;
         while let Some(i) = self.interrupts.pop_front() {
+            // A dead MCU cannot service its board interrupt; it stays
+            // pending on the board and the revive re-enqueues it.
+            if self.dead_things[i] {
+                continue;
+            }
             // A queue entry may be stale: one service call handles every
             // change on the board, so a Thing plugged twice between steps
             // is fully serviced by its first entry.
@@ -1143,6 +1267,21 @@ pub trait SimWorld {
     fn fail_primary(&mut self);
     /// Restores the crashed primary.
     fn restore_primary(&mut self);
+    /// Crashes the hot standby replica (with the primary also down, the
+    /// manager anycast goes dark and requests drop).
+    fn fail_standby(&mut self);
+    /// Restores the crashed standby.
+    fn restore_standby(&mut self);
+    /// Crashes a Thing's MCU; uploads in flight to it tear mid-flash.
+    fn crash_thing(&mut self, id: ThingId);
+    /// Revives a crashed Thing at `at`; returns `(rejected half-images,
+    /// refetches issued)`.
+    fn revive_thing(&mut self, at: SimTime, id: ThingId) -> (u64, u64);
+    /// Enables (or disables) seeded delay/duplicate link chaos.
+    fn set_link_chaos(&mut self, chaos: Option<LinkChaos>);
+    /// The DODAG parent of `node` (an interior partition severs this
+    /// edge; a sharded world answers from the shard owning the node).
+    fn dodag_parent(&self, node: NodeId) -> Option<NodeId>;
     /// Severs a link, returning its quality for the later heal.
     fn partition_link(&mut self, a: NodeId, b: NodeId) -> Option<LinkQuality>;
     /// Restores a previously severed link.
@@ -1248,6 +1387,30 @@ impl SimWorld for World {
 
     fn restore_primary(&mut self) {
         World::restore_primary(self);
+    }
+
+    fn fail_standby(&mut self) {
+        World::fail_standby(self);
+    }
+
+    fn restore_standby(&mut self) {
+        World::restore_standby(self);
+    }
+
+    fn crash_thing(&mut self, id: ThingId) {
+        World::crash_thing(self, id);
+    }
+
+    fn revive_thing(&mut self, at: SimTime, id: ThingId) -> (u64, u64) {
+        World::revive_thing(self, at, id)
+    }
+
+    fn set_link_chaos(&mut self, chaos: Option<LinkChaos>) {
+        World::set_link_chaos(self, chaos);
+    }
+
+    fn dodag_parent(&self, node: NodeId) -> Option<NodeId> {
+        World::dodag_parent(self, node)
     }
 
     fn partition_link(&mut self, a: NodeId, b: NodeId) -> Option<LinkQuality> {

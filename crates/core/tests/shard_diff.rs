@@ -397,6 +397,56 @@ fn lossy_chaos_soak_matches_at_every_shard_count() {
     }
 }
 
+// ---- Deep chaos (ISSUE 8: interior partitions, mid-install MCU
+// crashes, delay/duplicate links and standby blackouts must decompose
+// bit-identically too) ---------------------------------------------------
+
+/// Runs the deep smoke soak on any backend — every ISSUE-8 fault family
+/// active, including the seeded delay/duplicate link schedule — and
+/// returns `(fingerprint, soak summary)`.
+fn run_deep_soak<W: SimWorld>(mut fleet: Fleet<W>, seed: u64) -> (u64, String) {
+    let report = fleet.chaos_soak(&ChaosConfig::deep_smoke(seed));
+    assert!(
+        report.invariants_held(),
+        "deep soak invariants violated: {report:?}"
+    );
+    assert!(
+        report.frames_delayed > 0,
+        "link chaos must perturb deliveries: {report:?}"
+    );
+    (fleet.fingerprint(), report.deterministic_summary())
+}
+
+#[test]
+fn deep_chaos_soak_matches_at_every_shard_count() {
+    // The widened fault surface is the hardest decomposition test yet:
+    // interior cuts land on shard-local thing↔parent edges, crashed
+    // MCUs stage torn uploads in their home shard, blackout windows
+    // drop anycast resolutions everywhere, and every delivery — local
+    // or exchanged across the shard boundary as a rooted frame — must
+    // carry the same chaos-perturbed timestamp on both backends.
+    let config = chaos_config(96, FleetTopology::Star);
+    let (seq_fp, seq_summary) = run_deep_soak(Fleet::build(config.clone()), 0xd33d);
+    for k in [1, 2, 4, 8] {
+        let (fp, summary) = run_deep_soak(ShardedFleet::build_sharded(config.clone(), k), 0xd33d);
+        assert_eq!(seq_summary, summary, "deep soak summary diverged at K={k}");
+        assert_eq!(seq_fp, fp, "deep soak fingerprint diverged at K={k}");
+    }
+}
+
+#[test]
+fn deep_chaos_soak_on_tree_matches_at_every_shard_count() {
+    // On a fanout tree the interior cuts orphan real multi-hop
+    // subtrees (thing↔thing edges, not just root spokes).
+    let config = chaos_config(72, FleetTopology::Tree { fanout: 4 });
+    let (seq_fp, seq_summary) = run_deep_soak(Fleet::build(config.clone()), 0xb00f);
+    for k in [2, 4] {
+        let (fp, summary) = run_deep_soak(ShardedFleet::build_sharded(config.clone(), k), 0xb00f);
+        assert_eq!(seq_summary, summary, "deep tree summary diverged at K={k}");
+        assert_eq!(seq_fp, fp, "deep tree fingerprint diverged at K={k}");
+    }
+}
+
 // ---- Cross-shard multicast (typed discovery probes) --------------------
 
 #[test]

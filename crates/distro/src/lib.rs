@@ -31,6 +31,19 @@
 //!   paper's (8) removals) evict stale images, so origin updates
 //!   propagate coherently.
 //!
+//! Two generation stamps keep the tier exactly-once under misbehaving
+//! links and crashing endpoints. On the cache side, every (19) chunk is
+//! matched against the stop-and-wait cursor: a delayed or duplicated
+//! frame whose `chunk` is not the expected `next` is dropped on the
+//! floor, so a doubled chunk can neither double-write the buffer nor
+//! skew the fetch counters, and retry timers are invalidated by the
+//! per-fetch `gen` token. On the Thing side, the MCU stamps every
+//! install with its own generation (bumped on crash): a (5) upload that
+//! arrives while the MCU is down tears mid-flash, and on revive the
+//! half-written image — stamped with a dead generation — is rejected by
+//! signature verification and refetched end-to-end, never stitched
+//! across the crash (see `upnp_core`'s Thing revive path).
+//!
 //! The cache is a pure message-in/actions-out state machine over virtual
 //! time: it owns no clock and no network. The world loop feeds it
 //! datagrams and timer expiries and applies the returned [`CacheAction`]s
@@ -848,6 +861,64 @@ mod tests {
         ));
         assert_eq!(sends(&r3).len(), 1);
         assert_eq!(c.stats.hits, 1);
+    }
+
+    #[test]
+    fn duplicated_chunks_are_idempotent() {
+        // A delay/duplicate link can hand the cache the same (19) chunk
+        // twice, or echo one late. Every copy whose `chunk` is not the
+        // stop-and-wait cursor must be dropped on the floor: no
+        // double-write into the reassembly buffer, no extra chunk
+        // requests, no stats skew — the image and the counters end
+        // bit-identical to a clean transfer.
+        let mut c = cache();
+        let p = 0xad1c_be01;
+        let r = c.on_datagram(&dgram(
+            THING_A,
+            MessageBody::DriverRequest { peripheral: p },
+        ));
+        assert_eq!(sends(&r).len(), 1);
+
+        let bytes = image_bytes();
+        let chunks = chunks_of(&bytes, 1);
+        assert!(chunks.len() >= 2, "image must span several chunks");
+        let mut uploads = Vec::new();
+        let mut requests = 0usize;
+        for body in &chunks {
+            let r = c.on_datagram(&dgram(ORIGIN, body.clone()));
+            for d in sends(&r) {
+                match Message::decode(&d.payload) {
+                    Some(Message {
+                        body: MessageBody::DriverUpload { image, .. },
+                        ..
+                    }) => uploads.push(image),
+                    Some(Message {
+                        body: MessageBody::DriverChunkRequest { .. },
+                        ..
+                    }) => requests += 1,
+                    _ => {}
+                }
+            }
+            // The doubled frame: delivered again right away, it must be
+            // completely silent.
+            let dup = c.on_datagram(&dgram(ORIGIN, body.clone()));
+            assert!(sends(&dup).is_empty(), "duplicate chunk must be ignored");
+        }
+        // A late echo of the final chunk after the fetch completed is
+        // just as silent (no in-flight fetch to confuse).
+        let echo = c.on_datagram(&dgram(ORIGIN, chunks.last().unwrap().clone()));
+        assert!(
+            sends(&echo).is_empty(),
+            "post-completion echo must be ignored"
+        );
+
+        assert_eq!(uploads.len(), 1, "exactly one upload served");
+        assert_eq!(uploads[0], bytes, "image intact — no double-write");
+        assert_eq!(requests, chunks.len() - 1, "one advance per unique chunk");
+        assert_eq!(c.stats.misses, 1);
+        assert_eq!(c.stats.uploads_served, 1);
+        assert_eq!(c.stats.chunk_retries, 0, "duplicates are not retries");
+        assert_eq!(c.cached_version(p), Some(1));
     }
 
     #[test]

@@ -31,6 +31,46 @@ impl LinkQuality {
     }
 }
 
+/// Seeded link misbehaviour beyond loss: a chaotic medium can *delay* a
+/// delivery (late frames arrive behind younger traffic — reordering) or
+/// *duplicate* it (the receiver hears the same frame twice).
+///
+/// The schedule is a pure function of `(seed, receiving node, delivery
+/// instant)` — the same decomposed keying discipline as the per-hop
+/// radio draws — so a sharded simulation perturbs the identical
+/// deliveries by the identical amounts regardless of how subtrees are
+/// partitioned across workers. Duplicated copies and delayed frames
+/// carry their perturbed timestamps through the cross-shard frame
+/// exchange untouched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkChaos {
+    /// Seed of the perturbation schedule (independent of the radio
+    /// seed, so enabling chaos never shifts the loss draws).
+    pub seed: u64,
+    /// Probability a delivery is delayed.
+    pub delay_p: f64,
+    /// Upper bound on the extra delay; the actual delay is drawn
+    /// uniformly from `(0, max_delay]`.
+    pub max_delay: SimDuration,
+    /// Probability a delivery is duplicated. The echo arrives after an
+    /// extra delay drawn like a delayed frame's, so duplicates are also
+    /// reordered behind intervening traffic.
+    pub duplicate_p: f64,
+}
+
+impl LinkChaos {
+    /// A moderate seeded schedule: 5 % of deliveries delayed by up to
+    /// 40 ms (several stop-and-wait retry windows), 3 % duplicated.
+    pub fn seeded(seed: u64) -> Self {
+        LinkChaos {
+            seed,
+            delay_p: 0.05,
+            max_delay: SimDuration::from_millis(40),
+            duplicate_p: 0.03,
+        }
+    }
+}
+
 /// The radio's physical and MAC parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct RadioModel {

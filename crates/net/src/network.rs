@@ -13,7 +13,7 @@ use std::net::Ipv6Addr;
 use upnp_sim::{EnergyMeter, Scheduler, SimDuration, SimRng, SimTime};
 
 use crate::addr;
-use crate::link::{LinkQuality, RadioModel};
+use crate::link::{LinkChaos, LinkQuality, RadioModel};
 use crate::msg::Payload;
 use crate::rpl::{Dodag, Node, Topology};
 use crate::sixlowpan;
@@ -99,6 +99,10 @@ pub struct NetStats {
     pub bytes_tx: u64,
     /// Datagram deliveries that failed permanently.
     pub drops: u64,
+    /// Deliveries perturbed to a later instant by link chaos.
+    pub frames_delayed: u64,
+    /// Deliveries echoed a second time by link chaos.
+    pub frames_duplicated: u64,
 }
 
 /// A handle into the route arena (a memoised tree path).
@@ -236,6 +240,9 @@ pub struct Network {
     /// invalidated on instance join/leave and topology churn, like the
     /// route caches.
     anycast_cache: HashMap<(NodeId, Ipv6Addr), NodeId>,
+    /// Instances registered via [`Network::set_anycast_scoped`] — they
+    /// only resolve for senders whose root path passes through them.
+    scoped_instances: BTreeSet<NodeId>,
     routes: RouteArena,
     route_cache: HashMap<(NodeId, NodeId), RouteHandle>,
     /// Memoised `path_to_root` per source (SMRF uplink) — deep trees stop
@@ -260,6 +267,9 @@ pub struct Network {
     cross_outbox: Vec<RootedFrame>,
     /// Memoised `all_clients_group(prefix)` (compared per multicast).
     all_clients: Ipv6Addr,
+    /// Seeded delay/duplicate perturbation applied at delivery
+    /// scheduling time, when enabled (see [`LinkChaos`]).
+    chaos: Option<LinkChaos>,
 }
 
 impl Network {
@@ -285,6 +295,7 @@ impl Network {
             group_index: HashMap::new(),
             anycast_index: HashMap::new(),
             anycast_cache: HashMap::new(),
+            scoped_instances: BTreeSet::new(),
             routes: RouteArena::default(),
             route_cache: HashMap::new(),
             uplink_cache: HashMap::new(),
@@ -297,6 +308,7 @@ impl Network {
             cross_capture: false,
             cross_outbox: Vec::new(),
             all_clients: addr::all_clients_group(prefix_48),
+            chaos: None,
         }
     }
 
@@ -456,6 +468,27 @@ impl Network {
     /// have many instances — the origin repository plus its edge caches —
     /// and a send resolves to the instance nearest the sender.
     pub fn set_anycast(&mut self, node: NodeId, anycast: Ipv6Addr) {
+        self.scoped_instances.remove(&node);
+        if self.anycast_index.entry(anycast).or_default().insert(node) {
+            self.anycast_cache.retain(|&(_, a), _| a != anycast);
+        }
+    }
+
+    /// Registers `node` as a *subtree-scoped* instance of an anycast
+    /// address: it only resolves for senders it routes for — those whose
+    /// DODAG chain to the root passes through it. Edge caches register
+    /// this way, so a requester whose own cache is down falls through to
+    /// the backbone replicas (manager, standby) rather than to a sibling
+    /// subtree's cache across the tree.
+    ///
+    /// The scoping is what keeps anycast resolution identical between
+    /// the sequential simulator and every shard count: a sibling
+    /// subtree's cache may live in another shard (an unreachable ghost
+    /// there), so "nearest instance anywhere in the tree" is not a
+    /// shard-invariant answer — "an instance on my own uplink path, else
+    /// a replicated backbone instance, else unresolved" is.
+    pub fn set_anycast_scoped(&mut self, node: NodeId, anycast: Ipv6Addr) {
+        self.scoped_instances.insert(node);
         if self.anycast_index.entry(anycast).or_default().insert(node) {
             self.anycast_cache.retain(|&(_, a), _| a != anycast);
         }
@@ -508,6 +541,26 @@ impl Network {
     /// Aggregate traffic statistics.
     pub fn stats(&self) -> NetStats {
         self.stats
+    }
+
+    /// Enables (or disables, with `None`) seeded link chaos: a fraction
+    /// of deliveries is delayed and/or duplicated at scheduling time.
+    ///
+    /// The perturbation is a pure function of `(chaos seed, receiving
+    /// node, clamped delivery instant)` — the same decomposed keying as
+    /// `Network::hop_rng` — so it is independent of traffic
+    /// interleaving and bit-identical under sharding. The chaos stream
+    /// is separate from the radio stream: enabling it never shifts a
+    /// loss or backoff draw.
+    pub fn set_link_chaos(&mut self, chaos: Option<LinkChaos>) {
+        self.chaos = chaos;
+    }
+
+    /// The DODAG parent of `node`, if a tree is built and the node is
+    /// reachable and not the root. Fault injectors use this to sever
+    /// the routing edge above an arbitrary interior node.
+    pub fn dodag_parent(&self, node: NodeId) -> Option<NodeId> {
+        self.dodag.as_ref()?.parent[node.0 as usize].map(|p| NodeId(p as u32))
     }
 
     /// Sends a datagram from `from` at virtual time `now`.
@@ -566,13 +619,20 @@ impl Network {
     /// cache-coherence diagnostics recompute against). Only the
     /// registered instances are examined, not the whole node table;
     /// instances unreachable in this slice's DODAG (another shard's
-    /// ghost nodes) never win.
+    /// ghost nodes) never win, and a *scoped* instance
+    /// ([`Network::set_anycast_scoped`]) is only a candidate for senders
+    /// whose root path passes through it — so the answer is the same in
+    /// the sequential tree and in every shard slice.
     fn resolve_anycast_fresh(&self, from: NodeId, dst: Ipv6Addr) -> Option<NodeId> {
         let dodag = self.dodag.as_ref()?;
         self.anycast_index
             .get(&dst)?
             .iter()
             .copied()
+            .filter(|inst| {
+                !self.scoped_instances.contains(inst)
+                    || dodag.on_root_path(from.0 as usize, inst.0 as usize)
+            })
             .filter_map(|inst| {
                 dodag
                     .distance(from.0 as usize, inst.0 as usize)
@@ -980,7 +1040,46 @@ impl Network {
 
     fn schedule(&mut self, at: SimTime, node: NodeId, dgram: Datagram) {
         let at = at.max(self.sched.now());
-        self.sched.schedule_at(at, Delivery { at, node, dgram });
+        let Some(chaos) = self.chaos else {
+            self.sched.schedule_at(at, Delivery { at, node, dgram });
+            return;
+        };
+        // The perturbation is a pure function of (seed, node, delivery
+        // instant): no shared RNG stream, so the sequential and the
+        // sharded execution perturb the same logical delivery
+        // identically regardless of global event interleaving.
+        let mut rng = SimRng::seed(upnp_sim::splitmix64(
+            chaos.seed
+                ^ (node.0 as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ at.as_nanos().wrapping_mul(0xD6E8_FEB8_6659_FD93),
+        ));
+        let span = chaos.max_delay.as_nanos().max(1);
+        let deliver_at = if rng.chance(chaos.delay_p) {
+            self.stats.frames_delayed += 1;
+            at + SimDuration::from_nanos(1 + rng.next_u64() % span)
+        } else {
+            at
+        };
+        if rng.chance(chaos.duplicate_p) {
+            self.stats.frames_duplicated += 1;
+            let echo_at = deliver_at + SimDuration::from_nanos(1 + rng.next_u64() % span);
+            self.sched.schedule_at(
+                echo_at,
+                Delivery {
+                    at: echo_at,
+                    node,
+                    dgram: dgram.clone(),
+                },
+            );
+        }
+        self.sched.schedule_at(
+            deliver_at,
+            Delivery {
+                at: deliver_at,
+                node,
+                dgram,
+            },
+        );
     }
 
     /// The timestamp of the next pending delivery.
@@ -1270,6 +1369,51 @@ mod tests {
             root,
             "resolution must fall back to the remaining instance"
         );
+        assert!(net.caches_coherent());
+    }
+
+    #[test]
+    fn scoped_instance_never_serves_a_sibling_subtree() {
+        // root(0) with two cache subtrees: ca(1) — ta(2) and cb(3) — tb(4).
+        // Both caches are subtree-scoped instances. ta resolves to ca
+        // (its own uplink cache); when ca dies AND the backbone root
+        // instance is gone too, ta must NOT fall over to cb — cb is 2
+        // hops away but in a sibling subtree (and, sharded, possibly
+        // another shard's ghost). The send drops at resolution instead.
+        let mut net = Network::new(PREFIX, 26);
+        let root = net.add_node();
+        let ca = net.add_node();
+        let ta = net.add_node();
+        let cb = net.add_node();
+        let tb = net.add_node();
+        net.link(root, ca, LinkQuality::PERFECT);
+        net.link(ca, ta, LinkQuality::PERFECT);
+        net.link(root, cb, LinkQuality::PERFECT);
+        net.link(cb, tb, LinkQuality::PERFECT);
+        net.build_tree(root);
+        let mgr: Ipv6Addr = "2001:db8:aaaa::1".parse().unwrap();
+        net.set_anycast(root, mgr);
+        net.set_anycast_scoped(ca, mgr);
+        net.set_anycast_scoped(cb, mgr);
+        net.send(SimTime::ZERO, ta, dgram(&net, ta, mgr, 10));
+        assert_eq!(net.poll(SimTime::MAX)[0].node, ca, "own cache serves");
+        net.fail_node(ca);
+        let d = dgram(&net, ta, mgr, 10);
+        net.send(SimTime::ZERO + SimDuration::from_secs(1), ta, d);
+        assert_eq!(
+            net.poll(SimTime::MAX)[0].node,
+            root,
+            "dead cache falls through to the backbone, not the sibling"
+        );
+        net.fail_node(root);
+        let drops = net.stats().drops;
+        let d = dgram(&net, ta, mgr, 10);
+        net.send(SimTime::ZERO + SimDuration::from_secs(2), ta, d);
+        assert!(
+            net.poll(SimTime::MAX).is_empty(),
+            "with the backbone dark the request must drop at resolution"
+        );
+        assert!(net.stats().drops > drops, "the drop is counted");
         assert!(net.caches_coherent());
     }
 

@@ -241,6 +241,20 @@ impl Dodag {
         path
     }
 
+    /// True if `anc` lies on `node`'s chain to the root (inclusive of
+    /// `node` itself) — the test behind subtree-scoped anycast: an
+    /// instance only serves requesters it actually routes for.
+    pub fn on_root_path(&self, node: Node, anc: Node) -> bool {
+        if !self.reachable(node) || !self.reachable(anc) {
+            return false;
+        }
+        let mut cur = node;
+        while self.depth[cur] > self.depth[anc] {
+            cur = self.parent[cur].expect("deeper nodes have parents");
+        }
+        cur == anc
+    }
+
     /// The hop path `a → b` through the tree (via the lowest common
     /// ancestor), or `None` if either side is unreachable.
     ///

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use upnp_net::addr;
-use upnp_net::link::LinkQuality;
+use upnp_net::link::{LinkChaos, LinkQuality};
 use upnp_net::msg::{Message, MessageBody, Value};
 use upnp_net::rpl::{Dodag, Topology};
 use upnp_net::tlv::{self, Tlv, TlvType};
@@ -170,6 +170,77 @@ proptest! {
             );
         }
         net.poll(SimTime::MAX);
+    }
+
+    /// The same churn model with a seeded delay/duplicate link schedule
+    /// switched on: late and doubled deliveries must not desynchronise
+    /// the memoised route tables and SMRF plans from a fresh
+    /// recomputation — chaos perturbs *when* (and how often) frames
+    /// arrive, never what the topology caches believe.
+    #[test]
+    fn caches_coherent_under_churn_with_link_chaos(
+        n in 2usize..12,
+        chaos_seed in any::<u64>(),
+        ops in prop::collection::vec((0u8..6, 0usize..12, 0usize..12), 1..40),
+    ) {
+        const PREFIX: u64 = 0x2001_0db8_0000;
+        let mut net = Network::new(PREFIX, 0x6030);
+        let nodes: Vec<NodeId> = (0..n).map(|_| net.add_node()).collect();
+        for i in 1..n {
+            net.link(nodes[i], nodes[i - 1], LinkQuality::PERFECT);
+        }
+        net.build_tree(nodes[0]);
+        // An aggressive schedule: half of everything late, a third
+        // doubled — far past the soak profile, same invariants.
+        net.set_link_chaos(Some(LinkChaos {
+            seed: chaos_seed,
+            delay_p: 0.5,
+            max_delay: SimDuration::from_millis(80),
+            duplicate_p: 0.33,
+        }));
+        let group_of = |g: usize| addr::peripheral_group(PREFIX, (g % 3) as u32);
+        let mut t = SimTime::ZERO;
+        for (op, a, b) in ops {
+            let (a, b) = (a % n, b % n);
+            match op {
+                0 => net.join_group(nodes[a], group_of(b)),
+                1 => {
+                    net.leave_group(nodes[a], group_of(b));
+                }
+                2 if a != b => net.link(nodes[a], nodes[b], LinkQuality::new(0.9)),
+                3 => net.build_tree(nodes[a]),
+                4 => {
+                    t += SimDuration::from_millis(50);
+                    let d = Datagram {
+                        src: net.addr_of(nodes[a]),
+                        dst: group_of(b),
+                        src_port: addr::MCAST_PORT,
+                        dst_port: addr::MCAST_PORT,
+                        payload: vec![0xcd; 16].into(),
+                    };
+                    net.send(t, nodes[a], d);
+                }
+                _ => {
+                    t += SimDuration::from_millis(50);
+                    let d = Datagram {
+                        src: net.addr_of(nodes[a]),
+                        dst: net.addr_of(nodes[b]),
+                        src_port: addr::MCAST_PORT,
+                        dst_port: addr::MCAST_PORT,
+                        payload: vec![0xef; 16].into(),
+                    };
+                    net.send(t, nodes[a], d);
+                }
+            }
+            prop_assert!(
+                net.caches_coherent(),
+                "cached routes/plans diverged under link chaos"
+            );
+        }
+        net.poll(SimTime::MAX);
+        // Draining the queue with chaos on must also leave the caches
+        // coherent — the perturbations only ever touch delivery timing.
+        prop_assert!(net.caches_coherent());
     }
 
     /// Cross-shard cache coherence: a pair of shard slices over one
