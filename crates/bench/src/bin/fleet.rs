@@ -14,6 +14,10 @@
 //!                                        #   partitions, MCU crashes,
 //!                                        #   delay/duplicate links,
 //!                                        #   standby blackouts
+//! fleet --scenario soak --chaos gray     # gray failures on top of deep:
+//!                                        #   10x-latency / half-PRR links,
+//!                                        #   asymmetric cuts, a crawling
+//!                                        #   cache; recovery-p99 SLOs
 //! fleet --seed 42                        # reseed the whole run
 //! fleet --out BENCH_fleet.json           # write the JSON report
 //! fleet --gate bench/baseline.json       # exit 1 on regression
@@ -37,7 +41,16 @@
 //! crashes, delay/duplicate links, standby blackouts); those rows are
 //! labelled `soak-deep` and additionally hard-fail unless the families
 //! left evidence — torn images rejected and refetched, blackout windows
-//! detected as unserved Things and then repaired.
+//! detected as unserved Things and then repaired. `--chaos gray` layers
+//! gray failures on top of `deep` — links degraded to 10× latency or
+//! half their PRR, asymmetric one-direction cuts, one cache serving at
+//! a crawl; those rows are labelled `soak-gray` and hard-fail if any
+//! epoch carried zero degraded-link deliveries (the schedule silently
+//! stopped firing). Every soak row embeds per-fault-family
+//! recovery-latency histograms (injection → first successful serve
+//! after the heal), and when a baseline is supplied their per-family
+//! p99s are gated against it the same way RSS flatness is gated
+//! absolutely.
 //!
 //! The gate checks the 1k- and 5k-node discovery wall-clocks against the
 //! checked-in baseline (>25 % is a failure), and the zero-copy payload
@@ -90,8 +103,12 @@ const FLASH_FLOOR_MIN_THINGS: usize = 1000;
 /// partitions, MCU crashes with torn-image rejections, standby
 /// blackouts with unserved-Thing windows, delay/duplicate link frames,
 /// per-epoch follower drains) and soak rows split into `soak` /
-/// `soak-deep` profiles; older baselines must be regenerated.
-const SCHEMA: u32 = 6;
+/// `soak-deep` profiles, and to 7 when the soak report gained the
+/// gray-failure counters (degraded hops, aggregate and per-epoch) and
+/// per-fault-family recovery-latency histograms, and `--chaos gray`
+/// rows got the `soak-gray` profile; older baselines must be
+/// regenerated.
+const SCHEMA: u32 = 7;
 /// Edge caches fronting the origin in the chaos-soak rows.
 #[cfg(feature = "soak")]
 const SOAK_CACHES: usize = FLASH_CACHES;
@@ -102,6 +119,12 @@ const SOAK_CACHES: usize = FLASH_CACHES;
 const SOAK_RSS_FLAT_FACTOR: f64 = 1.5;
 /// Absolute slack for the flatness gate, kilobytes.
 const SOAK_RSS_FLAT_SLACK_KB: u64 = 32 * 1024;
+/// Per-family p99 recovery-latency gate: a soak row's p99 (virtual
+/// time, deterministic) must stay within this factor of the baseline's.
+/// The histogram resolves p99 to a power-of-two bucket edge, so one
+/// bucket of movement is exactly ×2 — the factor tolerates that single
+/// step and fails anything beyond it.
+const SOAK_RECOVERY_P99_FACTOR: f64 = 2.0;
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchReport {
@@ -212,9 +235,11 @@ struct Options {
     shards: Vec<usize>,
     seed: u64,
     scenario: Option<String>,
-    /// Soak fault profile: `day` (PR 6's families) or `deep` (adds
+    /// Soak fault profile: `day` (PR 6's families), `deep` (adds
     /// interior partitions, MCU crashes, delay/duplicate links and
-    /// standby blackouts; rows are labelled `soak-deep`).
+    /// standby blackouts; rows are labelled `soak-deep`), or `gray`
+    /// (deep plus degraded/asymmetric links and a crawling cache; rows
+    /// are labelled `soak-gray`).
     chaos: String,
     out: Option<String>,
     gate: Option<String>,
@@ -273,8 +298,8 @@ fn parse_args() -> Result<Options, String> {
             }
             "--chaos" => {
                 let c = value("--chaos")?;
-                if !["day", "deep"].contains(&c.as_str()) {
-                    return Err(format!("unknown chaos profile `{c}` (day|deep)"));
+                if !["day", "deep", "gray"].contains(&c.as_str()) {
+                    return Err(format!("unknown chaos profile `{c}` (day|deep|gray)"));
                 }
                 opts.chaos = c;
             }
@@ -350,18 +375,19 @@ fn run_soak<W: SimWorld>(
     shards: usize,
     scenarios: &mut Vec<ScenarioRow>,
 ) {
-    let deep = opts.chaos == "deep";
-    let chaos = if deep {
-        upnp_core::chaos::ChaosConfig::deep(opts.seed)
-    } else {
-        upnp_core::chaos::ChaosConfig::day(opts.seed)
+    let chaos = match opts.chaos.as_str() {
+        "deep" => upnp_core::chaos::ChaosConfig::deep(opts.seed),
+        "gray" => upnp_core::chaos::ChaosConfig::gray(opts.seed),
+        _ => upnp_core::chaos::ChaosConfig::day(opts.seed),
     };
+    let deep = opts.chaos != "day";
+    let gray = opts.chaos == "gray";
     let (mut metrics, report) = fleet.soak_scenario(&chaos);
     if deep {
-        // Deep rows are a distinct scenario: the fault schedule (and so
-        // every deterministic counter) differs from the day profile, and
-        // the baseline must keep both without conflating them.
-        metrics.scenario = "soak-deep".into();
+        // Deep and gray rows are distinct scenarios: the fault schedule
+        // (and so every deterministic counter) differs per profile, and
+        // the baseline must keep each without conflating them.
+        metrics.scenario = format!("soak-{}", opts.chaos);
     }
     let mut r = row(things, shards, SOAK_CACHES, fleet.fingerprint(), metrics);
     println!(
@@ -396,6 +422,29 @@ fn run_soak<W: SimWorld>(
             report.frames_delayed,
             report.frames_duplicated,
         );
+    }
+    if gray {
+        println!(
+            "  gray: {} hops carried degraded (min/epoch {})",
+            report.frames_degraded,
+            report.degraded_by_epoch.iter().min().copied().unwrap_or(0),
+        );
+    }
+    let recovered: u64 = report
+        .recovery
+        .families()
+        .iter()
+        .map(|(_, h)| h.count)
+        .sum();
+    if recovered > 0 {
+        let p99s: Vec<String> = report
+            .recovery
+            .families()
+            .iter()
+            .filter(|(_, h)| h.count > 0)
+            .map(|(name, h)| format!("{name} n={} p99={:.0}ms", h.count, h.p99_ms()))
+            .collect();
+        println!("  recovery: {}", p99s.join(", "));
     }
     r.faults_injected = report.faults_injected;
     r.soak_ticks = report.soak_ticks;
@@ -657,11 +706,15 @@ fn gate_cache_tier(current: &BenchReport) -> Result<(), String> {
 /// coherence, bounded Manager retention), the per-epoch follower-drain
 /// breakdown must tile the aggregate, deep-profile fault families must
 /// show evidence they actually bit (blackouts strand Things, MCU
-/// crashes tear images), and the process peak RSS must stay flat across
-/// the day — within [`SOAK_RSS_FLAT_FACTOR`] (plus slack) of the
-/// high-water mark after the first epoch. Deterministic verdicts and a
-/// host-side leak check; no baseline involved.
-fn gate_soak(current: &BenchReport) -> Result<(), String> {
+/// crashes tear images), gray rows must carry degraded-link deliveries
+/// in *every* epoch (a zero epoch means the schedule silently stopped
+/// firing), and the process peak RSS must stay flat across the day —
+/// within [`SOAK_RSS_FLAT_FACTOR`] (plus slack) of the high-water mark
+/// after the first epoch. When a baseline is supplied, each fault
+/// family's p99 recovery latency (virtual time, deterministic) is
+/// additionally gated within [`SOAK_RECOVERY_P99_FACTOR`] of the
+/// baseline's.
+fn gate_soak(current: &BenchReport, baseline: Option<&BenchReport>) -> Result<(), String> {
     for row in &current.scenarios {
         let Some(soak) = &row.soak else { continue };
         if !soak.invariants_held() {
@@ -722,6 +775,84 @@ fn gate_soak(current: &BenchReport) -> Result<(), String> {
                 soak.half_images_rejected,
                 soak.half_image_refetches,
             ));
+        }
+        // Gray evidence gate: the degrade schedule is probabilistic per
+        // (edge, window) but an hour-long epoch crosses hundreds of
+        // windows — an epoch with zero degraded deliveries means the
+        // schedule is no longer reaching the hop path at all.
+        if row.metrics.scenario == "soak-gray" {
+            if let Some(zero) = soak.degraded_by_epoch.iter().position(|&d| d == 0) {
+                return Err(format!(
+                    "soak-gray@{} shards={}: epoch {} carried zero degraded-link \
+                     deliveries — the gray schedule is not firing",
+                    row.things, row.shards, zero,
+                ));
+            }
+            if soak.degraded_by_epoch.len() != soak.epochs {
+                return Err(format!(
+                    "soak-gray@{} shards={}: {} per-epoch degraded entries for {} \
+                     epochs — the per-epoch breakdown is incomplete",
+                    row.things,
+                    row.shards,
+                    soak.degraded_by_epoch.len(),
+                    soak.epochs,
+                ));
+            }
+        }
+        // Recovery-latency SLO: per-family p99 against the baseline's,
+        // when both sides carry the family. A family the baseline never
+        // saw recover is reported, not gated — there is no SLO to hold
+        // it to until the baseline is refreshed.
+        if let Some(base) = baseline
+            .and_then(|b| find(b, &row.metrics.scenario, row.things, row.shards))
+            .and_then(|r| r.soak.as_ref())
+        {
+            for ((name, cur), (_, prev)) in soak
+                .recovery
+                .families()
+                .iter()
+                .zip(base.recovery.families().iter())
+            {
+                if prev.count == 0 {
+                    if cur.count > 0 {
+                        eprintln!(
+                            "warning: {}@{} shards={} family {name} recovered {} Things \
+                             (p99 {:.0} ms) but the baseline has no samples — refresh \
+                             bench/baseline.json to put it under the p99 gate",
+                            row.metrics.scenario,
+                            row.things,
+                            row.shards,
+                            cur.count,
+                            cur.p99_ms(),
+                        );
+                    }
+                    continue;
+                }
+                let limit = prev.p99_ms() * SOAK_RECOVERY_P99_FACTOR;
+                if cur.p99_ms() > limit {
+                    return Err(format!(
+                        "{}@{} shards={}: {name} p99 recovery latency regressed: \
+                         {:.0} ms > {:.0} ms (baseline {:.0} ms × {SOAK_RECOVERY_P99_FACTOR}) — \
+                         recovery after a {name} fault got slower",
+                        row.metrics.scenario,
+                        row.things,
+                        row.shards,
+                        cur.p99_ms(),
+                        limit,
+                        prev.p99_ms(),
+                    ));
+                }
+                println!(
+                    "gate ok: {}@{} shards={} {name} p99 {:.0} ms <= {:.0} ms \
+                     (baseline {:.0} ms × {SOAK_RECOVERY_P99_FACTOR})",
+                    row.metrics.scenario,
+                    row.things,
+                    row.shards,
+                    cur.p99_ms(),
+                    limit,
+                    prev.p99_ms(),
+                );
+            }
         }
         let limit =
             (soak.rss_epoch1_kb as f64 * SOAK_RSS_FLAT_FACTOR) as u64 + SOAK_RSS_FLAT_SLACK_KB;
@@ -914,7 +1045,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: fleet [--nodes N,N,..] [--shards K,K,..] [--seed N] \
                  [--scenario discovery|churn|steady|flash|soak|all] \
-                 [--chaos day|deep] [--out FILE] [--gate BASELINE]"
+                 [--chaos day|deep|gray] [--out FILE] [--gate BASELINE]"
             );
             return ExitCode::from(2);
         }
@@ -946,15 +1077,11 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    // Soak gates are absolute too: invariant verdicts and RSS flatness
-    // travel inside the rows, whenever soak rows were produced.
-    if let Err(e) = gate_soak(&report) {
-        eprintln!("error: {e}");
-        return ExitCode::FAILURE;
-    }
-
-    if let Some(path) = &opts.gate {
-        let baseline = match std::fs::read_to_string(path)
+    // Read the baseline (when gating) before the soak gates: the
+    // per-family p99 recovery SLOs compare against it.
+    let baseline = match &opts.gate {
+        None => None,
+        Some(path) => match std::fs::read_to_string(path)
             .map_err(|e| e.to_string())
             .and_then(|s| serde_json::from_str::<BenchReport>(&s).map_err(|e| e.to_string()))
             .and_then(|b| {
@@ -968,13 +1095,24 @@ fn main() -> ExitCode {
                     ))
                 }
             }) {
-            Ok(b) => b,
+            Ok(b) => Some(b),
             Err(e) => {
                 eprintln!("error: reading baseline {path}: {e}");
                 return ExitCode::FAILURE;
             }
-        };
-        if let Err(e) = gate(&report, &baseline) {
+        },
+    };
+
+    // Soak gates: invariant verdicts, gray evidence and RSS flatness
+    // are absolute (they travel inside the rows); the recovery p99
+    // SLOs engage when a baseline is present.
+    if let Err(e) = gate_soak(&report, baseline.as_ref()) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(baseline) = &baseline {
+        if let Err(e) = gate(&report, baseline) {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }

@@ -29,11 +29,23 @@
 //! under a seeded delay/duplicate link schedule
 //! ([`upnp_net::link::LinkChaos`]), so every retry timer and
 //! stop-and-wait cursor is exercised against late and doubled frames.
+//!
+//! The gray profile goes further: instead of severing links it
+//! *degrades* them — 10× latency, halved PRR, or an asymmetric
+//! one-direction cut — on a pure-function schedule
+//! ([`upnp_net::link::LinkDegrade`] keyed by `(seed, directed edge,
+//! window)`), and elects one cache to serve at a crawl. Gray faults are
+//! the ones health checks miss, so the soak also *measures* recovery:
+//! for every Thing an epoch's faults knock out, the virtual-time span
+//! from fault injection to its first successful serve after the heal is
+//! recorded into a per-fault-family histogram ([`RecoveryLatencies`]),
+//! and the bench layer gates the per-family p99 like it gates RSS
+//! flatness.
 
 use serde::{Deserialize, Serialize};
-use upnp_net::link::{LinkChaos, LinkQuality};
+use upnp_net::link::{LinkChaos, LinkDegrade, LinkQuality};
 use upnp_net::NodeId;
-use upnp_sim::{SimDuration, SimRng};
+use upnp_sim::{splitmix64, SimDuration, SimRng};
 
 use crate::fleet::{Fleet, ScenarioMetrics};
 use crate::manager::MAX_INVENTORY;
@@ -92,6 +104,18 @@ pub struct ChaosConfig {
     /// Seeded delay/duplicate link misbehaviour applied for the whole
     /// soak; `None` leaves the delivery queue honest.
     pub link_chaos: Option<LinkChaos>,
+    /// Gray-failure link degradation: a pure-function schedule that
+    /// slows, lossies or asymmetrically cuts individual link directions
+    /// instead of severing them. Suspended during each epoch's
+    /// heal/repair phase so a gray cut cannot starve the repair wave;
+    /// `None` leaves every link at its sampled quality.
+    pub link_degrade: Option<LinkDegrade>,
+    /// Slow-cache gray failure: one seeded cache pick serves every
+    /// request at this multiple of its normal processing time for the
+    /// whole soak — alive, coherent, and crawling. `0` disables (and
+    /// skips the pick's RNG draw, so non-gray fault schedules are
+    /// unshifted).
+    pub cache_crawl_factor: u32,
 }
 
 impl ChaosConfig {
@@ -117,6 +141,8 @@ impl ChaosConfig {
             thing_crashes_per_epoch: 0,
             blackout_every: 0,
             link_chaos: None,
+            link_degrade: None,
+            cache_crawl_factor: 0,
         }
     }
 
@@ -139,6 +165,8 @@ impl ChaosConfig {
             thing_crashes_per_epoch: 0,
             blackout_every: 0,
             link_chaos: None,
+            link_degrade: None,
+            cache_crawl_factor: 0,
         }
     }
 
@@ -168,6 +196,178 @@ impl ChaosConfig {
             blackout_every: 1,
             link_chaos: Some(LinkChaos::seeded(seed ^ 0x0011_ca05)),
             ..Self::smoke(seed)
+        }
+    }
+
+    /// The gray-failure acceptance shape: [`ChaosConfig::deep`] plus
+    /// the failures that *don't* announce themselves — links degraded
+    /// to 10× latency or half their PRR, asymmetric one-direction
+    /// cuts, and one cache serving at a 16× crawl. Everything the deep
+    /// profile severs outright, this profile merely makes miserable,
+    /// so recovery rides degraded paths instead of waiting for heals.
+    pub fn gray(seed: u64) -> Self {
+        ChaosConfig {
+            link_degrade: Some(LinkDegrade::seeded(seed ^ 0x06a7_fade)),
+            cache_crawl_factor: 16,
+            ..Self::deep(seed)
+        }
+    }
+
+    /// [`ChaosConfig::deep_smoke`] widened the way `gray` widens
+    /// `deep`, with the degrade window shrunk to fit 30-second epochs
+    /// so a short soak still crosses several schedule windows. For
+    /// tests.
+    pub fn gray_smoke(seed: u64) -> Self {
+        ChaosConfig {
+            link_degrade: Some(LinkDegrade {
+                window: SimDuration::from_secs(5),
+                slow_p: 0.10,
+                lossy_p: 0.10,
+                cut_p: 0.05,
+                ..LinkDegrade::seeded(seed ^ 0x06a7_fade)
+            }),
+            cache_crawl_factor: 8,
+            ..Self::deep_smoke(seed)
+        }
+    }
+}
+
+/// One fault family a knocked-out Thing's recovery is attributed to.
+///
+/// Attribution is a deterministic precedence over the epoch's injected
+/// faults, not causal tracing: an exact match (the Thing's own MCU
+/// crashed; an interior cut orphans its stale-DODAG ancestor chain)
+/// wins over epoch-wide conditions (blackout, then cache crash, then
+/// uplink partition, then failover). A Thing that is unserved with no
+/// fault injected this epoch — lossy-link noise — is not recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultFamily {
+    Partition,
+    InteriorCut,
+    CacheCrash,
+    McuCrash,
+    Failover,
+    Blackout,
+}
+
+/// Log-scale recovery-latency buckets: upper edges at `2^i` ms for
+/// `i in 0..RECOVERY_BUCKETS-1` (1 ms … ~17.5 min), final bucket open.
+pub const RECOVERY_BUCKETS: usize = 21;
+
+/// Virtual-time recovery-latency histogram for one fault family:
+/// fault injection → the knocked-out Thing's first successful serve
+/// after the heal. Fixed log-scale buckets (see [`RECOVERY_BUCKETS`])
+/// carry counts *and* per-bucket latency sums, so shard-identity can
+/// compare the full distribution bit-for-bit, not just the counts.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryHistogram {
+    /// Recoveries recorded.
+    pub count: u64,
+    /// Recoveries per bucket (empty until the first record).
+    pub bucket_counts: Vec<u64>,
+    /// Summed latency per bucket, nanoseconds of virtual time.
+    pub bucket_sums_ns: Vec<u64>,
+    /// Summed latency across all buckets, nanoseconds.
+    pub total_ns: u64,
+    /// Slowest recovery, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl RecoveryHistogram {
+    /// Records one injection→first-serve span.
+    pub fn record(&mut self, latency: SimDuration) {
+        if self.bucket_counts.is_empty() {
+            self.bucket_counts = vec![0; RECOVERY_BUCKETS];
+            self.bucket_sums_ns = vec![0; RECOVERY_BUCKETS];
+        }
+        let ns = latency.as_nanos();
+        let bucket = (0..RECOVERY_BUCKETS - 1)
+            .find(|&i| ns <= (1u64 << i) * 1_000_000)
+            .unwrap_or(RECOVERY_BUCKETS - 1);
+        self.count += 1;
+        self.bucket_counts[bucket] += 1;
+        self.bucket_sums_ns[bucket] += ns;
+        self.total_ns += ns;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// 99th-percentile recovery latency in milliseconds, resolved to
+    /// the containing bucket's upper edge (the open final bucket
+    /// resolves to the observed maximum). `0.0` when empty.
+    pub fn p99_ms(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (self.count * 99).div_ceil(100);
+        let mut cum = 0u64;
+        for (i, &c) in self.bucket_counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return if i < RECOVERY_BUCKETS - 1 {
+                    (1u64 << i) as f64
+                } else {
+                    self.max_ns as f64 / 1e6
+                };
+            }
+        }
+        self.max_ns as f64 / 1e6
+    }
+
+    /// Order-sensitive fold of every deterministic field — count,
+    /// totals, and both per-bucket vectors — for embedding the full
+    /// distribution in a shard-identity string without printing ~40
+    /// numbers per family.
+    pub fn digest(&self) -> u64 {
+        let mut h = splitmix64(self.count ^ 0x4ec0);
+        for v in [self.total_ns, self.max_ns, self.bucket_counts.len() as u64] {
+            h = splitmix64(h ^ v);
+        }
+        for v in self.bucket_counts.iter().chain(&self.bucket_sums_ns) {
+            h = splitmix64(h ^ *v);
+        }
+        h
+    }
+}
+
+/// Per-fault-family recovery-latency histograms for one soak.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryLatencies {
+    /// Root↔cache uplink partitions.
+    pub partition: RecoveryHistogram,
+    /// Interior-router partitions (orphaned subtrees).
+    pub interior_cut: RecoveryHistogram,
+    /// Cache crashes.
+    pub cache_crash: RecoveryHistogram,
+    /// Mid-install MCU crashes.
+    pub mcu_crash: RecoveryHistogram,
+    /// Primary-Manager failovers.
+    pub failover: RecoveryHistogram,
+    /// Standby blackouts (anycast fully dark).
+    pub blackout: RecoveryHistogram,
+}
+
+impl RecoveryLatencies {
+    /// Every family with its stable label, in declaration order — the
+    /// order the summary string and the bench gates iterate.
+    pub fn families(&self) -> [(&'static str, &RecoveryHistogram); 6] {
+        [
+            ("partition", &self.partition),
+            ("interior_cut", &self.interior_cut),
+            ("cache_crash", &self.cache_crash),
+            ("mcu_crash", &self.mcu_crash),
+            ("failover", &self.failover),
+            ("blackout", &self.blackout),
+        ]
+    }
+
+    fn family_mut(&mut self, family: FaultFamily) -> &mut RecoveryHistogram {
+        match family {
+            FaultFamily::Partition => &mut self.partition,
+            FaultFamily::InteriorCut => &mut self.interior_cut,
+            FaultFamily::CacheCrash => &mut self.cache_crash,
+            FaultFamily::McuCrash => &mut self.mcu_crash,
+            FaultFamily::Failover => &mut self.failover,
+            FaultFamily::Blackout => &mut self.blackout,
         }
     }
 }
@@ -231,6 +431,16 @@ pub struct SoakReport {
     /// Frame deliveries the seeded link chaos duplicated during the
     /// soak.
     pub frames_duplicated: u64,
+    /// Hops carried while gray-degraded (slow or lossy) during the
+    /// soak — the evidence the gray schedule actually fired.
+    pub frames_degraded: u64,
+    /// Per-epoch breakdown of `frames_degraded` (one entry per epoch,
+    /// in order) — the bench gate fails a gray soak on any epoch with
+    /// zero degraded-link deliveries.
+    pub degraded_by_epoch: Vec<u64>,
+    /// Per-fault-family recovery-latency histograms: fault injection →
+    /// first successful serve after the heal, in virtual time.
+    pub recovery: RecoveryLatencies,
     /// Things the repair wave had to replug after faults starved their
     /// driver fetch.
     pub repairs: u64,
@@ -266,12 +476,23 @@ impl SoakReport {
     /// [`crate::fleet::ScenarioMetrics::deterministic_summary`]) —
     /// [`SoakReport::invariants_held`] still enforces it per run.
     pub fn deterministic_summary(&self) -> String {
+        // Each recovery family contributes its count plus a digest
+        // folding the full histogram (bucket counts AND bucket sums),
+        // so two runs agree here only if the distributions are
+        // bit-identical.
+        let recovery: Vec<String> = self
+            .recovery
+            .families()
+            .iter()
+            .map(|(name, h)| format!("{name}:{}/{:016x}", h.count, h.digest()))
+            .collect();
         format!(
             "soak epochs={} ticks={} virtual={} faults={} \
              crash={} cut={} icut={} mcu=({},{},{}) \
              failover={} blackout={} unserved=({},{}) \
              reroot={} battery=({},{}) link=({},{}) \
-             drained={} drained_by_epoch={:?} repairs={} violations=({},{})",
+             drained={} drained_by_epoch={:?} repairs={} violations=({},{}) \
+             degraded={} degraded_by_epoch={:?} recovery=[{}]",
             self.epochs,
             self.soak_ticks,
             self.virtual_ms,
@@ -296,6 +517,9 @@ impl SoakReport {
             self.repairs,
             self.discovery_violations,
             self.coherence_violations,
+            self.frames_degraded,
+            self.degraded_by_epoch,
+            recovery.join(" "),
         )
     }
 }
@@ -360,8 +584,23 @@ impl<W: SimWorld> Fleet<W> {
         // delta so a reused world reports only this soak's perturbations.
         let frames_before = self.world.net_stats();
         self.world.set_link_chaos(cfg.link_chaos);
+        // Gray failures cover the soak the same way: the degrade
+        // schedule is a pure function of (seed, directed edge, window
+        // index), so suspending it for a heal phase and re-enabling it
+        // later resumes the exact same schedule. One seeded cache pick
+        // crawls for the whole soak; the draw is gated on the factor so
+        // non-gray profiles' fault schedules are unshifted.
+        self.world.set_link_degrade(cfg.link_degrade);
+        let crawling = if cfg.cache_crawl_factor > 0 && !self.caches.is_empty() {
+            let pick = self.caches[rng.index(self.caches.len())];
+            self.world.set_cache_crawl(pick, cfg.cache_crawl_factor);
+            Some(pick)
+        } else {
+            None
+        };
         for e in 0..cfg.epochs {
             let epoch_start = self.world.now();
+            let degraded_at_start = self.world.net_stats().frames_degraded;
 
             // Battery churn wave. Epoch 0 plugs the whole fleet (the
             // initial discovery wave); later epochs churn the seeded
@@ -515,6 +754,68 @@ impl<W: SimWorld> Fleet<W> {
                 }
             }
 
+            // Start the recovery clocks: while the fabric is still
+            // broken (DODAG parents stale, links still cut), attribute
+            // every knocked-out Thing to a fault family. Exact matches
+            // first — the Thing's own MCU crashed, or an interior cut
+            // severed its stale ancestor chain — then the epoch-wide
+            // conditions by blast radius: a blackout kills every miss,
+            // a cache crash kills its fetches, an uplink partition
+            // strands a subtree's requests, a bare failover only the
+            // requests in flight at the switch. Unserved Things in a
+            // fault-free epoch are lossy-link noise and not recorded.
+            let mut outages: Vec<(usize, FaultFamily)> = Vec::new();
+            for i in 0..n {
+                let Some(device) = self.occupancy[i] else {
+                    continue;
+                };
+                let thing = self.world.thing(self.things[i]);
+                if thing.served_peripherals().contains(&device.raw()) {
+                    continue;
+                }
+                let orphaned = !interior_cut.is_empty() && {
+                    let mut node = self.world.thing_node(self.things[i]);
+                    let mut hit = false;
+                    // Bounded walk: a (stale) DODAG parent chain is
+                    // acyclic, but cap it anyway so a broken oracle
+                    // can't hang the soak.
+                    for _ in 0..=n {
+                        if interior_cut.iter().any(|&(_, child, _)| child == node) {
+                            hit = true;
+                            break;
+                        }
+                        match self.world.dodag_parent(node) {
+                            Some(p) => node = p,
+                            None => break,
+                        }
+                    }
+                    hit
+                };
+                let family = if crashed_things.contains(&i) {
+                    FaultFamily::McuCrash
+                } else if orphaned {
+                    FaultFamily::InteriorCut
+                } else if blackout {
+                    FaultFamily::Blackout
+                } else if !crashed.is_empty() {
+                    FaultFamily::CacheCrash
+                } else if !cut.is_empty() {
+                    FaultFamily::Partition
+                } else if failover {
+                    FaultFamily::Failover
+                } else {
+                    continue;
+                };
+                outages.push((i, family));
+            }
+
+            // Suspend gray degradation for the heal: a gray cut on a
+            // repair path would starve the repair wave into a spurious
+            // invariant trip. The schedule is pure in absolute time, so
+            // re-enabling below resumes it exactly where it would have
+            // been.
+            self.world.set_link_degrade(None);
+
             // Ops heal: links back, caches revived cold, replicas
             // restored, then a reroot storm rebuilds the DODAG. Every
             // healed edge — root↔cache and interior alike — gets back
@@ -610,6 +911,37 @@ impl<W: SimWorld> Fleet<W> {
                 report.rss_epoch1_kb = peak_rss_kb();
             }
 
+            // Stop the recovery clocks: the repair waves have converged
+            // (the invariant above vouches for it), and every replug
+            // stamps `PlugTimeline::finished` at driver activation — the
+            // first successful serve after the heal. The span from fault
+            // injection (`mid`) to that stamp is the fault family's
+            // recovery latency; a stamp at or before `mid` is a stale
+            // timeline from an earlier wave and is skipped.
+            for (i, family) in outages {
+                let Some(device) = self.occupancy[i] else {
+                    continue;
+                };
+                let thing = self.world.thing(self.things[i]);
+                let Some(finished) = thing
+                    .timelines
+                    .get(&device.raw())
+                    .and_then(|tl| tl.finished)
+                else {
+                    continue;
+                };
+                if finished > mid {
+                    report
+                        .recovery
+                        .family_mut(family)
+                        .record(finished.saturating_since(mid));
+                }
+            }
+
+            // Resume the gray schedule for the run to the boundary (and
+            // the next epoch's churn wave). No-op for non-gray profiles.
+            self.world.set_link_degrade(cfg.link_degrade);
+
             // Advance to the epoch boundary so every epoch spans exactly
             // `cfg.epoch` of virtual time.
             let boundary = epoch_start + cfg.epoch;
@@ -617,12 +949,20 @@ impl<W: SimWorld> Fleet<W> {
                 self.world.run_until(boundary);
                 report.soak_ticks += 1;
             }
+            report
+                .degraded_by_epoch
+                .push(self.world.net_stats().frames_degraded - degraded_at_start);
         }
 
         self.world.set_link_chaos(None);
+        self.world.set_link_degrade(None);
+        if let Some(cache) = crawling {
+            self.world.set_cache_crawl(cache, 1);
+        }
         let frames_after = self.world.net_stats();
         report.frames_delayed = frames_after.frames_delayed - frames_before.frames_delayed;
         report.frames_duplicated = frames_after.frames_duplicated - frames_before.frames_duplicated;
+        report.frames_degraded = frames_after.frames_degraded - frames_before.frames_degraded;
         report.epochs = cfg.epochs;
         report.virtual_ms = self
             .world
@@ -785,6 +1125,110 @@ mod tests {
     }
 
     #[test]
+    fn recovery_histogram_buckets_sums_and_p99() {
+        let mut h = RecoveryHistogram::default();
+        assert_eq!(h.p99_ms(), 0.0, "empty histogram has no p99");
+        h.record(SimDuration::from_millis(1)); // bucket 0 (≤ 1 ms)
+        h.record(SimDuration::from_millis(3)); // bucket 2 (≤ 4 ms)
+        h.record(SimDuration::from_millis(3)); // bucket 2
+        h.record(SimDuration::from_secs(40 * 60)); // past the last edge
+        assert_eq!(h.count, 4);
+        assert_eq!(h.bucket_counts.len(), RECOVERY_BUCKETS);
+        assert_eq!(h.bucket_counts[0], 1);
+        assert_eq!(h.bucket_counts[2], 2);
+        assert_eq!(h.bucket_counts[RECOVERY_BUCKETS - 1], 1);
+        assert_eq!(h.bucket_sums_ns[2], 2 * 3_000_000);
+        assert_eq!(h.bucket_counts.iter().sum::<u64>(), h.count);
+        assert_eq!(h.bucket_sums_ns.iter().sum::<u64>(), h.total_ns);
+        assert_eq!(h.max_ns, 40 * 60 * 1_000_000_000);
+        // p99 of four samples needs the 4th: the open overflow bucket
+        // resolves to the observed maximum.
+        assert_eq!(h.p99_ms(), h.max_ns as f64 / 1e6);
+        // Digest covers the sums, not just the counts.
+        let d = h.digest();
+        h.bucket_sums_ns[2] += 1;
+        h.bucket_sums_ns[0] -= 1;
+        assert_ne!(h.digest(), d, "digest must fold bucket sums");
+    }
+
+    #[test]
+    fn gray_smoke_soak_degrades_links_and_measures_recovery() {
+        let mut fleet = Fleet::build(soak_config(12));
+        let report = fleet.chaos_soak(&ChaosConfig::gray_smoke(1));
+        assert!(
+            report.invariants_held(),
+            "gray soak violated invariants: {report:?}"
+        );
+        assert!(
+            report.frames_degraded > 0,
+            "gray schedule never degraded a hop: {report:?}"
+        );
+        assert_eq!(
+            report.degraded_by_epoch.len(),
+            report.epochs,
+            "one degraded entry per epoch: {report:?}"
+        );
+        assert_eq!(
+            report.degraded_by_epoch.iter().sum::<u64>(),
+            report.frames_degraded,
+            "per-epoch degraded hops must sum to the aggregate: {report:?}"
+        );
+        let recovered: u64 = report
+            .recovery
+            .families()
+            .iter()
+            .map(|(_, h)| h.count)
+            .sum();
+        assert!(
+            recovered > 0,
+            "a gray soak must record recovery latencies: {report:?}"
+        );
+        for (name, h) in report.recovery.families() {
+            assert_eq!(
+                h.bucket_counts.iter().sum::<u64>(),
+                h.count,
+                "{name}: bucket counts must sum to the count"
+            );
+            assert_eq!(
+                h.bucket_sums_ns.iter().sum::<u64>(),
+                h.total_ns,
+                "{name}: bucket sums must sum to the total"
+            );
+            if h.count > 0 {
+                assert!(h.p99_ms() > 0.0, "{name}: recorded but p99 is zero");
+            }
+        }
+    }
+
+    #[test]
+    fn gray_soak_is_reproducible() {
+        let run = || {
+            let mut fleet = Fleet::build(soak_config(10));
+            let report = fleet.chaos_soak(&ChaosConfig::gray_smoke(7));
+            (report.deterministic_summary(), fleet.fingerprint())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn gray_soak_leaves_no_degradation_behind() {
+        // After a gray soak the degrade schedule and the cache crawl
+        // must both be retired: a follow-up healthy wave runs at full
+        // speed and degrades nothing.
+        let mut fleet = Fleet::build(soak_config(8));
+        fleet.chaos_soak(&ChaosConfig::gray_smoke(3));
+        let degraded_after = fleet.world.net_stats().frames_degraded;
+        let report = fleet.chaos_soak(&ChaosConfig::smoke(5));
+        assert!(report.invariants_held(), "{report:?}");
+        assert_eq!(
+            fleet.world.net_stats().frames_degraded,
+            degraded_after,
+            "degrade schedule must not outlive its soak"
+        );
+        assert_eq!(report.frames_degraded, 0);
+    }
+
+    #[test]
     fn deep_soak_is_reproducible() {
         let run = || {
             let mut fleet = Fleet::build(soak_config(10));
@@ -824,6 +1268,10 @@ mod tests {
         assert!(
             report.half_image_refetches > 0,
             "a rejected install must be refetched end-to-end: {report:?}"
+        );
+        assert!(
+            report.recovery.mcu_crash.count > 0,
+            "a crashed MCU's recovery must land in the mcu_crash family: {report:?}"
         );
         assert!(report.invariants_held(), "{report:?}");
     }

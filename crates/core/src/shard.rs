@@ -34,7 +34,7 @@ use std::collections::HashMap;
 use std::net::Ipv6Addr;
 
 use upnp_hw::id::DeviceTypeId;
-use upnp_net::link::{LinkChaos, LinkQuality};
+use upnp_net::link::{LinkChaos, LinkDegrade, LinkQuality};
 use upnp_net::network::{NetStats, RootedFrame};
 use upnp_net::rpl::{Dodag, Topology};
 use upnp_net::{Datagram, NodeId};
@@ -715,6 +715,24 @@ impl SimWorld for ShardedWorld {
         }
     }
 
+    fn set_link_degrade(&mut self, degrade: Option<LinkDegrade>) {
+        // The schedule is a pure function of (seed, directed edge,
+        // window index): installing it in every shard imposes exactly
+        // the modes the sequential simulator imposes, because any given
+        // hop executes in exactly one shard at the same instant.
+        for w in &mut self.running_mut().shards {
+            w.set_link_degrade(degrade);
+        }
+    }
+
+    fn set_cache_crawl(&mut self, id: CacheId, factor: u32) {
+        // A cache and every reply it stretches live in the one shard
+        // owning its subtree.
+        let r = self.running_mut();
+        let (s, local) = r.cache_home[id.0];
+        r.shards[s].set_cache_crawl(local, factor);
+    }
+
     fn dodag_parent(&self, node: NodeId) -> Option<NodeId> {
         // A Thing's subtree is fully local to its owning shard, and the
         // Dodag tie-break (lowest node id) is deterministic, so the
@@ -873,6 +891,7 @@ impl SimWorld for ShardedWorld {
             total.drops += s.drops;
             total.frames_delayed += s.frames_delayed;
             total.frames_duplicated += s.frames_duplicated;
+            total.frames_degraded += s.frames_degraded;
         }
         total
     }

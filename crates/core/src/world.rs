@@ -14,7 +14,7 @@ use upnp_hw::channels::ChannelId;
 use upnp_hw::components::ToleranceClass;
 use upnp_hw::id::DeviceTypeId;
 use upnp_hw::peripheral::PeripheralTemplate;
-use upnp_net::link::{LinkChaos, LinkQuality};
+use upnp_net::link::{LinkChaos, LinkDegrade, LinkQuality};
 use upnp_net::msg::Value;
 use upnp_net::{Datagram, Delivery, Network, NodeId};
 use upnp_sim::{Scheduler, SimDuration, SimRng, SimTime};
@@ -158,6 +158,11 @@ pub struct World {
     /// Parallel to `caches`: true while that cache is crashed (its
     /// in-flight deliveries and timers are dropped).
     dead_caches: Vec<bool>,
+    /// Parallel to `caches`: the gray-failure crawl factor (1 = full
+    /// speed). A crawling cache still answers everything — both its
+    /// processing legs are just stretched by the factor, the
+    /// slow-but-alive failure mode a fail-stop crash can never model.
+    cache_crawl: Vec<u32>,
     /// Parallel to `things`: true while that Thing's MCU is crashed. The
     /// node keeps forwarding frames (the radio outlives the MCU
     /// process); driver uploads in flight to it are torn mid-flash.
@@ -212,6 +217,7 @@ impl World {
             clients: Vec::new(),
             caches: Vec::new(),
             dead_caches: Vec::new(),
+            cache_crawl: Vec::new(),
             dead_things: Vec::with_capacity(config.expected_nodes),
             catalog: Catalog::with_prototypes(),
             node_kinds: HashMap::with_capacity(config.expected_nodes),
@@ -386,6 +392,7 @@ impl World {
         self.caches
             .push(EdgeCache::new(node, address, origin, config));
         self.dead_caches.push(false);
+        self.cache_crawl.push(1);
         let id = CacheId(self.caches.len() - 1);
         self.node_kinds.insert(node, NodeKind::Cache(id.0));
         id
@@ -653,6 +660,27 @@ impl World {
     /// delivery queue (see [`LinkChaos`]).
     pub fn set_link_chaos(&mut self, chaos: Option<LinkChaos>) {
         self.net.set_link_chaos(chaos);
+    }
+
+    /// Enables (or disables) the seeded gray-failure link schedule:
+    /// directed hops slowed, made lossier, or cut in windows of virtual
+    /// time (see [`LinkDegrade`]).
+    pub fn set_link_degrade(&mut self, degrade: Option<LinkDegrade>) {
+        self.net.set_link_degrade(degrade);
+    }
+
+    /// Sets an edge cache's gray-failure crawl factor: every reply's
+    /// processing and send-path legs are stretched by `factor` until
+    /// reset to 1. The cache stays correct — just slow — so requests
+    /// parked behind it are outages the fail-stop faults never create.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero (a zero-speed cache is a crash; use
+    /// [`World::crash_cache`]).
+    pub fn set_cache_crawl(&mut self, id: CacheId, factor: u32) {
+        assert!(factor > 0, "crawl factor must be >= 1");
+        self.cache_crawl[id.0] = factor;
     }
 
     /// The DODAG parent of `node` — the routing edge above an arbitrary
@@ -1005,8 +1033,12 @@ impl World {
     }
 
     fn apply_cache_reply(&mut self, cache: usize, at: SimTime, reply: CacheReply) {
-        let ready_at = at + reply.process;
-        let send_at = ready_at + reply.send_path;
+        // A crawling cache (gray failure) takes `factor`× as long on
+        // both processing legs; its retry timers are armed relative to
+        // the stretched ready instant.
+        let factor = self.cache_crawl[cache] as u64;
+        let ready_at = at + reply.process * factor;
+        let send_at = ready_at + reply.send_path * factor;
         let node = self.caches[cache].node;
         for action in reply.actions {
             match action {
@@ -1279,6 +1311,12 @@ pub trait SimWorld {
     fn revive_thing(&mut self, at: SimTime, id: ThingId) -> (u64, u64);
     /// Enables (or disables) seeded delay/duplicate link chaos.
     fn set_link_chaos(&mut self, chaos: Option<LinkChaos>);
+    /// Enables (or disables) the seeded gray-failure link schedule
+    /// (slow / lossy / one-direction-cut hops; a sharded world installs
+    /// the same pure-function schedule in every shard).
+    fn set_link_degrade(&mut self, degrade: Option<LinkDegrade>);
+    /// Sets an edge cache's gray-failure crawl factor (1 = full speed).
+    fn set_cache_crawl(&mut self, id: CacheId, factor: u32);
     /// The DODAG parent of `node` (an interior partition severs this
     /// edge; a sharded world answers from the shard owning the node).
     fn dodag_parent(&self, node: NodeId) -> Option<NodeId>;
@@ -1407,6 +1445,14 @@ impl SimWorld for World {
 
     fn set_link_chaos(&mut self, chaos: Option<LinkChaos>) {
         World::set_link_chaos(self, chaos);
+    }
+
+    fn set_link_degrade(&mut self, degrade: Option<LinkDegrade>) {
+        World::set_link_degrade(self, degrade);
+    }
+
+    fn set_cache_crawl(&mut self, id: CacheId, factor: u32) {
+        World::set_cache_crawl(self, id, factor);
     }
 
     fn dodag_parent(&self, node: NodeId) -> Option<NodeId> {

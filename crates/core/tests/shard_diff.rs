@@ -447,6 +447,89 @@ fn deep_chaos_soak_on_tree_matches_at_every_shard_count() {
     }
 }
 
+// ---- Gray failures (ISSUE 9: degraded/asymmetric links, a crawling
+// cache, and per-family recovery-latency histograms must decompose
+// bit-identically too) ---------------------------------------------------
+
+use upnp_core::chaos::RecoveryLatencies;
+
+/// Runs the gray smoke soak on any backend — links slowed, lossied and
+/// asymmetrically cut by the pure-function degrade schedule, one cache
+/// crawling — and returns everything deterministic: fingerprint, soak
+/// summary, the full recovery histograms and the per-epoch degraded-hop
+/// breakdown.
+fn run_gray_soak<W: SimWorld>(
+    mut fleet: Fleet<W>,
+    seed: u64,
+) -> (u64, String, RecoveryLatencies, Vec<u64>) {
+    let report = fleet.chaos_soak(&ChaosConfig::gray_smoke(seed));
+    assert!(
+        report.invariants_held(),
+        "gray soak invariants violated: {report:?}"
+    );
+    assert!(
+        report.frames_degraded > 0,
+        "gray schedule must degrade deliveries: {report:?}"
+    );
+    (
+        fleet.fingerprint(),
+        report.deterministic_summary(),
+        report.recovery,
+        report.degraded_by_epoch,
+    )
+}
+
+#[test]
+fn gray_soak_matches_at_every_shard_count() {
+    // The degrade schedule is a pure function of (seed, directed edge,
+    // window index), so a hop degraded in the sequential world must be
+    // degraded identically in whichever shard executes it — and the
+    // recovery clocks those degraded paths feed must fill the same
+    // histogram buckets with the same counts AND the same latency sums.
+    let config = chaos_config(96, FleetTopology::Star);
+    let (seq_fp, seq_summary, seq_recovery, seq_degraded) =
+        run_gray_soak(Fleet::build(config.clone()), 0x6a71);
+    let recovered: u64 = seq_recovery.families().iter().map(|(_, h)| h.count).sum();
+    assert!(
+        recovered > 0,
+        "the histogram comparison must not be vacuous: {seq_recovery:?}"
+    );
+    for k in [1, 2, 4, 8] {
+        let (fp, summary, recovery, degraded) =
+            run_gray_soak(ShardedFleet::build_sharded(config.clone(), k), 0x6a71);
+        assert_eq!(seq_summary, summary, "gray soak summary diverged at K={k}");
+        assert_eq!(seq_fp, fp, "gray soak fingerprint diverged at K={k}");
+        // Struct equality covers every bucket count and bucket sum of
+        // every family — stronger than the digest in the summary.
+        assert_eq!(
+            seq_recovery, recovery,
+            "recovery histograms diverged at K={k}"
+        );
+        assert_eq!(
+            seq_degraded, degraded,
+            "per-epoch degraded hops diverged at K={k}"
+        );
+    }
+}
+
+#[test]
+fn gray_soak_on_tree_matches_at_every_shard_count() {
+    // Multi-hop routes cross shard boundaries on a fanout tree, so a
+    // single datagram's hops may evaluate the degrade schedule in
+    // different shards — each must see the same pure-function verdicts.
+    let config = chaos_config(72, FleetTopology::Tree { fanout: 4 });
+    let (seq_fp, seq_summary, seq_recovery, seq_degraded) =
+        run_gray_soak(Fleet::build(config.clone()), 0x6a72);
+    for k in [2, 4] {
+        let (fp, summary, recovery, degraded) =
+            run_gray_soak(ShardedFleet::build_sharded(config.clone(), k), 0x6a72);
+        assert_eq!(seq_summary, summary, "gray tree summary diverged at K={k}");
+        assert_eq!(seq_fp, fp, "gray tree fingerprint diverged at K={k}");
+        assert_eq!(seq_recovery, recovery, "K={k}");
+        assert_eq!(seq_degraded, degraded, "K={k}");
+    }
+}
+
 // ---- Cross-shard multicast (typed discovery probes) --------------------
 
 #[test]

@@ -65,12 +65,21 @@ use upnp_sim::{CpuCost, SimDuration};
 // cache never has to re-fetch. A grid mismatch would be silent drift.
 const _: () = assert!(upnp_dsl::delta::CHUNK == upnp_net::msg::DRIVER_CHUNK_PAYLOAD);
 
+/// Cap on the chunk-retry backoff exponent: the retry timer doubles per
+/// consecutive timeout up to `retry_timeout << RETRY_BACKOFF_CAP`
+/// (250 ms → 8 s at the default config) — long enough to sit out a
+/// 10×-latency gray link, short enough that a genuinely lost chunk is
+/// still re-requested within a soak epoch.
+pub const RETRY_BACKOFF_CAP: u32 = 5;
+
 /// Tuning knobs of one edge cache.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CacheConfig {
     /// Maximum driver images held (LRU beyond this).
     pub capacity: usize,
-    /// How long to wait for a chunk before re-requesting it.
+    /// Base wait for a chunk before re-requesting it; doubles per
+    /// consecutive timeout, capped at `retry_timeout <<`
+    /// [`RETRY_BACKOFF_CAP`].
     pub retry_timeout: SimDuration,
     /// Chunk retries before a fetch is abandoned.
     pub max_retries: u32,
@@ -197,7 +206,15 @@ struct Fetch {
     /// version is an origin failover: the transfer resumes from the
     /// stop-and-wait cursor instead of restarting or stalling.
     server: Option<Ipv6Addr>,
-    /// Consecutive timeouts on the current chunk.
+    /// Timeout count of this fetch, and the backoff level of its retry
+    /// timer. Rises on every expiry; *held* (not reset) when the
+    /// expected chunk arrives after a timeout, Karn-style — that
+    /// arrival is ambiguous (the original reply or the retransmit), so
+    /// the measured round trip cannot be trusted to shrink the timer.
+    /// On a slow-but-lossless link the level therefore stops rising as
+    /// soon as the timer exceeds the real round trip, and every later
+    /// chunk is requested exactly once. A mid-fetch version restart is
+    /// a new transfer and resets the level.
     retries: u32,
     /// Bumped on every progress step; stale timers carry an older value
     /// and are ignored.
@@ -273,6 +290,16 @@ impl EdgeCache {
     fn next_seq(&mut self) -> SeqNo {
         self.seq = self.seq.wrapping_add(1);
         self.seq
+    }
+
+    /// The retry-timer duration at backoff level `retries`: the base
+    /// timeout doubled per consecutive timeout, capped at
+    /// [`RETRY_BACKOFF_CAP`] doublings. A fixed interval here is a live
+    /// bug under gray links — a 10×-latency path makes the timer fire
+    /// while the chunk is merely in flight, spraying duplicate
+    /// `DriverChunkRequest`s on every single chunk of the transfer.
+    fn retry_after(&self, retries: u32) -> SimDuration {
+        self.config.retry_timeout * (1u64 << retries.min(RETRY_BACKOFF_CAP))
     }
 
     fn datagram(&self, dst: Ipv6Addr, msg: Message) -> Datagram {
@@ -514,7 +541,7 @@ impl EdgeCache {
         reply.actions.push(CacheAction::ArmTimer {
             peripheral,
             gen,
-            after: self.config.retry_timeout,
+            after: self.retry_after(0),
         });
         reply
     }
@@ -582,7 +609,8 @@ impl EdgeCache {
                     fetch.total = Some(total);
                     fetch.buf.extend_from_slice(&data);
                     fetch.next += 1;
-                    fetch.retries = 0;
+                    // `fetch.retries` is deliberately NOT reset: see its
+                    // field docs (Karn-style backoff hold).
                     if fetch.next == total {
                         Step::Complete
                     } else {
@@ -614,13 +642,14 @@ impl EdgeCache {
                 if fresh_session {
                     fetch.session = session;
                 }
+                let level = fetch.retries;
                 let req = self.chunk_request(peripheral, next);
                 let mut reply = CacheReply::with_cost(cost).sending();
                 reply.actions.push(CacheAction::Send(req));
                 reply.actions.push(CacheAction::ArmTimer {
                     peripheral,
                     gen,
-                    after: self.config.retry_timeout,
+                    after: self.retry_after(level),
                 });
                 reply
             }
@@ -698,7 +727,7 @@ impl EdgeCache {
         fetch.retries += 1;
         self.fetch_gen += 1;
         fetch.gen = self.fetch_gen;
-        let (gen, next) = (fetch.gen, fetch.next);
+        let (gen, next, level) = (fetch.gen, fetch.next, fetch.retries);
         self.stats.chunk_retries += 1;
         let req = self.chunk_request(peripheral, next);
         let mut reply = CacheReply::with_cost(calib::REPO_LOOKUP).sending();
@@ -706,7 +735,7 @@ impl EdgeCache {
         reply.actions.push(CacheAction::ArmTimer {
             peripheral,
             gen,
-            after: self.config.retry_timeout,
+            after: self.retry_after(level),
         });
         reply
     }
@@ -1001,6 +1030,136 @@ mod tests {
             .iter()
             .all(|d| d.dst == ORIGIN.parse::<Ipv6Addr>().unwrap()));
         assert_eq!(c.stats.failed_over, 2);
+    }
+
+    #[test]
+    fn slow_but_lossless_link_fetches_each_chunk_exactly_once() {
+        // The gray-failure regression: a 10×-latency link delivers every
+        // chunk, just slowly (600 ms round trip against the 250 ms base
+        // timeout). A fixed-interval retry timer fires while each chunk
+        // is merely in flight and re-requests every single one; the
+        // exponential backoff must instead adapt within two expiries and
+        // then fetch every remaining chunk exactly once, completing the
+        // transfer with one fetch session and no abandon.
+        let mut c = cache();
+        let p = 0xad1c_be01;
+        let rtt = SimDuration::from_millis(600);
+        // The largest sample driver: 15 chunks, a long tail after the
+        // backoff has adapted.
+        let bytes = upnp_dsl::compile_source(upnp_dsl::drivers::BMP180, p)
+            .expect("driver compiles")
+            .to_bytes();
+        let chunks = chunks_of(&bytes, 1);
+        assert!(chunks.len() >= 4, "needs a tail after the adaptation");
+
+        #[derive(Debug)]
+        enum Ev {
+            /// The origin's reply to a chunk request lands at the cache.
+            Chunk(u16),
+            /// A retry timer armed with this generation expires.
+            Timer(u64),
+        }
+        let mut events: Vec<(SimDuration, Ev)> = Vec::new();
+        let mut now = SimDuration::ZERO;
+        let mut requests_per_chunk = vec![0u32; chunks.len()];
+        let mut sessions = std::collections::BTreeSet::new();
+        let mut uploads = 0;
+        let absorb = |reply: &CacheReply,
+                      now: SimDuration,
+                      events: &mut Vec<(SimDuration, Ev)>,
+                      requests_per_chunk: &mut Vec<u32>,
+                      sessions: &mut std::collections::BTreeSet<SeqNo>,
+                      uploads: &mut u32| {
+            for a in &reply.actions {
+                match a {
+                    CacheAction::Send(d) => match Message::decode(&d.payload) {
+                        Some(Message {
+                            body: MessageBody::DriverChunkRequest { chunk, session, .. },
+                            ..
+                        }) => {
+                            requests_per_chunk[chunk as usize] += 1;
+                            sessions.insert(session);
+                            // Lossless: the origin answers every request
+                            // one round trip later.
+                            events.push((now + rtt, Ev::Chunk(chunk)));
+                        }
+                        Some(Message {
+                            body: MessageBody::DriverUpload { .. },
+                            ..
+                        }) => *uploads += 1,
+                        _ => {}
+                    },
+                    CacheAction::ArmTimer { gen, after, .. } => {
+                        events.push((now + *after, Ev::Timer(*gen)));
+                    }
+                }
+            }
+        };
+
+        let r = c.on_datagram(&dgram(
+            THING_A,
+            MessageBody::DriverRequest { peripheral: p },
+        ));
+        absorb(
+            &r,
+            now,
+            &mut events,
+            &mut requests_per_chunk,
+            &mut sessions,
+            &mut uploads,
+        );
+        while !events.is_empty() {
+            // Pop the earliest event (stable on ties: chunks were pushed
+            // before timers at the same instant).
+            let i = (0..events.len())
+                .min_by_key(|&i| events[i].0)
+                .expect("non-empty");
+            let (t, ev) = events.remove(i);
+            now = t;
+            let r = match ev {
+                Ev::Chunk(i) => c.on_datagram(&dgram(ORIGIN, chunks[i as usize].clone())),
+                Ev::Timer(gen) => c.on_timer(p, gen),
+            };
+            absorb(
+                &r,
+                now,
+                &mut events,
+                &mut requests_per_chunk,
+                &mut sessions,
+                &mut uploads,
+            );
+        }
+
+        // The transfer completed through the slow link: one upload to
+        // the one follower, image cached, nothing abandoned.
+        assert_eq!(uploads, 1, "the parked follower is served");
+        assert_eq!(c.cached_version(p), Some(1));
+        assert_eq!(c.stats.failed_fetches, 0, "no abandon on a live link");
+        assert_eq!(c.stats.failed_over, 0);
+        assert_eq!(sessions.len(), 1, "one fetch session, never double-counted");
+        // The backoff adapts within two expiries (250 → 500 → 1000 ms,
+        // past the 600 ms round trip) and then holds, Karn-style.
+        assert_eq!(
+            c.stats.chunk_retries, 2,
+            "exactly the two adaptation expiries, not one per chunk"
+        );
+        // Every chunk past the adaptation is requested exactly once —
+        // the fixed-interval bug re-requested all of them.
+        for (i, &n) in requests_per_chunk.iter().enumerate().skip(2) {
+            assert_eq!(n, 1, "chunk {i} must be fetched exactly once, saw {n}");
+        }
+        assert!(requests_per_chunk[..2].iter().all(|&n| n <= 2));
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_caps() {
+        let c = cache();
+        let base = c.config.retry_timeout;
+        assert_eq!(c.retry_after(0), base);
+        assert_eq!(c.retry_after(1), base * 2);
+        assert_eq!(c.retry_after(RETRY_BACKOFF_CAP), base * 32);
+        // Levels beyond the cap stop growing.
+        assert_eq!(c.retry_after(RETRY_BACKOFF_CAP + 7), base * 32);
     }
 
     #[test]

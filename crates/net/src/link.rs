@@ -7,7 +7,8 @@
 //! acknowledged — a property SMRF inherits and the reason multicast
 //! delivery is probabilistic under loss.
 
-use upnp_sim::{SimDuration, SimRng};
+use crate::NodeId;
+use upnp_sim::{splitmix64, SimDuration, SimRng, SimTime};
 
 /// Packet-reception ratio of a link (0–1].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,6 +72,111 @@ impl LinkChaos {
     }
 }
 
+/// The quality a gray-failure schedule imposes on one directed link at
+/// one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeMode {
+    /// The link behaves normally.
+    None,
+    /// Frames still get through, but every hop takes
+    /// [`LinkDegrade::latency_factor`] times as long (a congested or
+    /// interference-ridden medium).
+    Slow,
+    /// The link's PRR is multiplied by [`LinkDegrade::loss_factor`]
+    /// (a half-dead link that drops most retransmission budgets).
+    Lossy,
+    /// This *direction* of the link is severed while the reverse
+    /// direction still works — the asymmetric-cut gray failure.
+    Cut,
+}
+
+/// A seeded **gray-failure** schedule: instead of severing links, it
+/// degrades them — 10× latency, halved PRR, or a one-direction cut —
+/// in fixed windows of virtual time.
+///
+/// Like [`LinkChaos`], the schedule is a pure function, here of
+/// `(seed, directed edge, window index)`: every worker of a sharded
+/// simulation computes the identical mode for the identical hop at the
+/// identical instant, with no state to migrate across shard boundaries.
+/// Keying the *directed* edge (transmitter and receiver enter the hash
+/// under different multipliers) is what makes asymmetric cuts fall out
+/// for free: the uplink of a parent↔child pair can be `Cut` while the
+/// downlink stays `None`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkDegrade {
+    /// Seed of the degrade schedule (independent of the radio seed and
+    /// the delay/duplicate chaos seed, so enabling gray failures never
+    /// shifts the loss or perturbation draws).
+    pub seed: u64,
+    /// Width of one schedule window: the mode of a directed edge is
+    /// constant within a window and redrawn across windows.
+    pub window: SimDuration,
+    /// Probability a (directed edge, window) is [`DegradeMode::Slow`].
+    pub slow_p: f64,
+    /// Probability a (directed edge, window) is [`DegradeMode::Lossy`].
+    pub lossy_p: f64,
+    /// Probability a (directed edge, window) is [`DegradeMode::Cut`].
+    pub cut_p: f64,
+    /// Latency multiplier under [`DegradeMode::Slow`].
+    pub latency_factor: u32,
+    /// PRR multiplier under [`DegradeMode::Lossy`] (0–1].
+    pub loss_factor: f64,
+}
+
+impl LinkDegrade {
+    /// A moderate seeded schedule with the gray-failure magnitudes from
+    /// the issue: 10× latency when slow, 50 % PRR when lossy, plus rare
+    /// one-direction cuts, each persisting for 10-second windows.
+    pub fn seeded(seed: u64) -> Self {
+        LinkDegrade {
+            seed,
+            window: SimDuration::from_secs(10),
+            slow_p: 0.06,
+            lossy_p: 0.06,
+            cut_p: 0.03,
+            latency_factor: 10,
+            loss_factor: 0.5,
+        }
+    }
+
+    /// The mode of the directed edge `tx → rx` at instant `at`.
+    ///
+    /// Pure: depends only on `(self.seed, tx, rx, at / window)`. The
+    /// same `(seed, node, instant)` keying discipline as the per-hop
+    /// radio draws and the delay/duplicate chaos, so sharding cannot
+    /// observe a different schedule.
+    pub fn mode_at(&self, tx: NodeId, rx: NodeId, at: SimTime) -> DegradeMode {
+        let window_idx = at.as_nanos() / self.window.as_nanos().max(1);
+        let key = splitmix64(
+            self.seed
+                ^ (tx.0 as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (rx.0 as u64 + 1).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+                ^ window_idx.wrapping_mul(0xD6E8_FEB8_6659_FD93),
+        );
+        // One uniform in [0, 1) carved into the three mode bands; the
+        // order (cut, slow, lossy) is part of the schedule's identity.
+        let u = (key >> 11) as f64 / (1u64 << 53) as f64;
+        if u < self.cut_p {
+            DegradeMode::Cut
+        } else if u < self.cut_p + self.slow_p {
+            DegradeMode::Slow
+        } else if u < self.cut_p + self.slow_p + self.lossy_p {
+            DegradeMode::Lossy
+        } else {
+            DegradeMode::None
+        }
+    }
+
+    /// Applies [`DegradeMode::Lossy`] to a link's quality.
+    pub fn degraded_quality(&self, quality: LinkQuality) -> LinkQuality {
+        // Struct literal on purpose: `loss_factor` may push the PRR
+        // arbitrarily low, below what `LinkQuality::new` would accept.
+        LinkQuality {
+            prr: quality.prr * self.loss_factor,
+        }
+    }
+}
+
 /// The radio's physical and MAC parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct RadioModel {
@@ -84,8 +190,11 @@ pub struct RadioModel {
     pub max_frame: usize,
     /// CSMA unit backoff period.
     pub backoff_unit: SimDuration,
-    /// Initial backoff exponent.
+    /// Initial backoff exponent (802.15.4 macMinBE).
     pub min_be: u32,
+    /// Backoff-exponent ceiling (802.15.4 macMaxBE): retransmissions
+    /// escalate the exponent up to this bound.
+    pub max_be: u32,
     /// RX-to-TX turnaround.
     pub turnaround: SimDuration,
     /// Link-layer ACK frame airtime (11-byte frame).
@@ -110,6 +219,7 @@ impl RadioModel {
             max_frame: 127,
             backoff_unit: SimDuration::from_micros(320),
             min_be: 3,
+            max_be: 5,
             turnaround: SimDuration::from_micros(192),
             ack_time: SimDuration::from_micros((11 + 6) * 32),
             max_retries: 3,
@@ -130,9 +240,13 @@ impl RadioModel {
         SimDuration::from_nanos(bytes * 8 * 1_000_000_000 / self.bitrate)
     }
 
-    /// Samples one CSMA backoff delay.
-    pub fn csma_backoff(&self, rng: &mut SimRng) -> SimDuration {
-        let slots = rng.uniform_u32(0, (1 << self.min_be) - 1);
+    /// Samples one CSMA backoff delay at backoff exponent `be`.
+    ///
+    /// The slot count is drawn uniformly from `[0, 2^be - 1]` per
+    /// 802.15.4; callers escalate `be` from [`RadioModel::min_be`]
+    /// towards [`RadioModel::max_be`] across retransmissions.
+    pub fn csma_backoff(&self, be: u32, rng: &mut SimRng) -> SimDuration {
+        let slots = rng.uniform_u32(0, (1 << be) - 1);
         self.backoff_unit * slots as u64 + self.turnaround
     }
 
@@ -158,7 +272,11 @@ impl RadioModel {
     ) -> (SimDuration, u32, bool) {
         let mut elapsed = SimDuration::ZERO;
         for attempt in 1..=self.max_retries + 1 {
-            elapsed += self.csma_backoff(rng);
+            // Binary-exponential backoff: the exponent starts at
+            // macMinBE and escalates by one per retransmission, capped
+            // at macMaxBE.
+            let be = (self.min_be + attempt - 1).min(self.max_be);
+            elapsed += self.csma_backoff(be, rng);
             elapsed += self.frame_airtime(payload);
             if rng.chance(quality.prr) {
                 elapsed += self.turnaround + self.ack_time;
@@ -179,7 +297,9 @@ impl RadioModel {
         quality: LinkQuality,
         rng: &mut SimRng,
     ) -> (SimDuration, bool) {
-        let t = self.csma_backoff(rng) + self.frame_airtime(payload);
+        // A single shot never retransmits, so the exponent stays at
+        // macMinBE.
+        let t = self.csma_backoff(self.min_be, rng) + self.frame_airtime(payload);
         (t, rng.chance(quality.prr))
     }
 }
@@ -206,11 +326,41 @@ mod tests {
     fn backoff_bounded_by_be() {
         let r = RadioModel::ieee802154();
         let mut rng = SimRng::seed(1);
-        for _ in 0..1_000 {
-            let b = r.csma_backoff(&mut rng);
-            assert!(b >= r.turnaround);
-            assert!(b <= r.backoff_unit * 7 + r.turnaround);
+        for be in r.min_be..=r.max_be {
+            let cap = r.backoff_unit * ((1u64 << be) - 1) + r.turnaround;
+            for _ in 0..1_000 {
+                let b = r.csma_backoff(be, &mut rng);
+                assert!(b >= r.turnaround);
+                assert!(b <= cap, "be={be}: {b:?} above {cap:?}");
+            }
         }
+    }
+
+    #[test]
+    fn backoff_exponent_escalates_the_window() {
+        // The whole point of binary-exponential backoff: a higher
+        // exponent must widen the expected contention window. Means
+        // over many draws separate cleanly (3.5 vs 15.5 slots).
+        let r = RadioModel::ieee802154();
+        let mut rng = SimRng::seed(11);
+        let mean = |be: u32, rng: &mut SimRng| -> f64 {
+            let n = 2_000;
+            (0..n)
+                .map(|_| r.csma_backoff(be, rng).as_nanos() as f64)
+                .sum::<f64>()
+                / n as f64
+        };
+        let at_min = mean(r.min_be, &mut rng);
+        let at_max = mean(r.max_be, &mut rng);
+        assert!(
+            at_max > at_min * 2.0,
+            "BE {} mean {at_min} vs BE {} mean {at_max}",
+            r.min_be,
+            r.max_be
+        );
+        // And the escalated draws still respect the max_be cap: a
+        // unicast retransmission burst can never exceed it.
+        assert!(r.min_be + r.max_retries > r.max_be, "cap must bind");
     }
 
     #[test]
@@ -268,5 +418,63 @@ mod tests {
     #[should_panic(expected = "invalid PRR")]
     fn zero_prr_rejected() {
         LinkQuality::new(0.0);
+    }
+
+    #[test]
+    fn degrade_schedule_is_pure_and_window_stable() {
+        let d = LinkDegrade::seeded(0x6a7_1234);
+        let (a, b) = (NodeId(3), NodeId(9));
+        let t = SimTime::ZERO + SimDuration::from_secs(123);
+        // Pure: the same key always yields the same mode.
+        assert_eq!(d.mode_at(a, b, t), d.mode_at(a, b, t));
+        // Window-stable: any two instants inside one window agree.
+        let t2 = t + SimDuration::from_nanos(d.window.as_nanos() / 2);
+        assert_eq!(
+            d.mode_at(a, b, t),
+            d.mode_at(a, b, t2),
+            "mode must be constant within a window"
+        );
+    }
+
+    #[test]
+    fn degrade_schedule_is_per_direction() {
+        // Directed keying: across enough (edge, window) samples the two
+        // directions of some link must disagree — that asymmetry is the
+        // uplink-only gray cut.
+        let d = LinkDegrade::seeded(0xa5a5);
+        let mut asym = 0;
+        let mut cuts = 0;
+        let mut slow = 0;
+        let mut lossy = 0;
+        for n in 0..200u32 {
+            for w in 0..50u64 {
+                let at = SimTime::ZERO + d.window * w;
+                let up = d.mode_at(NodeId(n), NodeId(n + 1), at);
+                let down = d.mode_at(NodeId(n + 1), NodeId(n), at);
+                if up != down {
+                    asym += 1;
+                }
+                for m in [up, down] {
+                    match m {
+                        DegradeMode::Cut => cuts += 1,
+                        DegradeMode::Slow => slow += 1,
+                        DegradeMode::Lossy => lossy += 1,
+                        DegradeMode::None => {}
+                    }
+                }
+            }
+        }
+        assert!(asym > 0, "directions must be able to diverge");
+        assert!(cuts > 0 && slow > 0 && lossy > 0, "all modes must occur");
+        // And `None` dominates: the schedule degrades, it doesn't kill
+        // the mesh (20 000 directed samples at ~15 % total).
+        assert!(cuts + slow + lossy < 6_000, "degrade must stay rare");
+    }
+
+    #[test]
+    fn degraded_quality_halves_prr() {
+        let d = LinkDegrade::seeded(1);
+        let q = d.degraded_quality(LinkQuality::new(0.9));
+        assert!((q.prr - 0.45).abs() < 1e-12);
     }
 }

@@ -13,7 +13,7 @@ use std::net::Ipv6Addr;
 use upnp_sim::{EnergyMeter, Scheduler, SimDuration, SimRng, SimTime};
 
 use crate::addr;
-use crate::link::{LinkChaos, LinkQuality, RadioModel};
+use crate::link::{DegradeMode, LinkChaos, LinkDegrade, LinkQuality, RadioModel};
 use crate::msg::Payload;
 use crate::rpl::{Dodag, Node, Topology};
 use crate::sixlowpan;
@@ -103,6 +103,9 @@ pub struct NetStats {
     pub frames_delayed: u64,
     /// Deliveries echoed a second time by link chaos.
     pub frames_duplicated: u64,
+    /// Hops carried while gray-degraded (slow or lossy) — the evidence
+    /// a [`LinkDegrade`] schedule actually fired.
+    pub frames_degraded: u64,
 }
 
 /// A handle into the route arena (a memoised tree path).
@@ -270,6 +273,9 @@ pub struct Network {
     /// Seeded delay/duplicate perturbation applied at delivery
     /// scheduling time, when enabled (see [`LinkChaos`]).
     chaos: Option<LinkChaos>,
+    /// Seeded gray-failure schedule applied per directed hop, when
+    /// enabled (see [`LinkDegrade`]).
+    degrade: Option<LinkDegrade>,
 }
 
 impl Network {
@@ -309,6 +315,7 @@ impl Network {
             cross_outbox: Vec::new(),
             all_clients: addr::all_clients_group(prefix_48),
             chaos: None,
+            degrade: None,
         }
     }
 
@@ -556,6 +563,57 @@ impl Network {
         self.chaos = chaos;
     }
 
+    /// Enables (or disables, with `None`) the seeded gray-failure
+    /// schedule: directed hops are slowed, made lossier, or cut in
+    /// windows of virtual time (see [`LinkDegrade`]).
+    ///
+    /// The schedule is a pure function of `(degrade seed, directed
+    /// edge, window index)`, evaluated at each hop's start instant — a
+    /// third keyed stream next to the radio and chaos streams, so
+    /// enabling it never shifts a loss, backoff, delay or duplicate
+    /// draw, and a sharded execution computes the identical mode for
+    /// the identical hop.
+    pub fn set_link_degrade(&mut self, degrade: Option<LinkDegrade>) {
+        self.degrade = degrade;
+    }
+
+    /// The gray-failure mode this network would impose on the directed
+    /// hop `tx → rx` at `at` ([`DegradeMode::None`] when no schedule is
+    /// installed). Exposed for the purity property tests.
+    pub fn degrade_mode(&self, tx: NodeId, rx: NodeId, at: SimTime) -> DegradeMode {
+        self.degrade
+            .map_or(DegradeMode::None, |d| d.mode_at(tx, rx, at))
+    }
+
+    /// Applies the gray-failure schedule to one directed hop: `None`
+    /// means this direction is cut at `at`; otherwise the (possibly
+    /// degraded) quality and the latency multiplier to apply to the
+    /// hop's link time. Books the degraded-hop evidence counter for
+    /// slow and lossy hops.
+    fn degraded_hop(
+        &mut self,
+        a: Node,
+        b: Node,
+        at: SimTime,
+        quality: LinkQuality,
+    ) -> Option<(LinkQuality, u64)> {
+        let Some(d) = self.degrade else {
+            return Some((quality, 1));
+        };
+        match d.mode_at(NodeId(a as u32), NodeId(b as u32), at) {
+            DegradeMode::None => Some((quality, 1)),
+            DegradeMode::Slow => {
+                self.stats.frames_degraded += 1;
+                Some((quality, d.latency_factor as u64))
+            }
+            DegradeMode::Lossy => {
+                self.stats.frames_degraded += 1;
+                Some((d.degraded_quality(quality), 1))
+            }
+            DegradeMode::Cut => None,
+        }
+    }
+
     /// The DODAG parent of `node`, if a tree is built and the node is
     /// reachable and not the root. Fault injectors use this to sever
     /// the routing edge above an arbitrary interior node.
@@ -711,9 +769,17 @@ impl Network {
             if a != from.0 as usize {
                 t += crate::calib::duration(crate::calib::FORWARD_HOP);
             }
+            // Gray failures: this direction may be cut (the packet dies
+            // at the break like a severed link), slowed, or lossier.
+            let Some((quality, slow)) = self.degraded_hop(a, b, t, quality) else {
+                self.stats.drops += 1;
+                report.lost = 1;
+                return;
+            };
             let mut rng = self.hop_rng(a, b, t);
             for &frame in &frames {
                 let (hop_time, attempts, ok) = self.radio.unicast_hop(frame, quality, &mut rng);
+                let hop_time = hop_time * slow;
                 t += hop_time;
                 report.frames += attempts;
                 report.airtime += hop_time;
@@ -815,7 +881,11 @@ impl Network {
             // A fault injector may have severed this tree link since the
             // plan was memoised; the dissemination dies at the break,
             // exactly like a lossy-uplink failure.
-            let Some(quality) = self.topo.quality(a, b) else {
+            let quality = self.topo.quality(a, b).and_then(|q|
+                // A gray one-direction cut kills the uplink exactly
+                // like a severed tree link.
+                self.degraded_hop(a, b, t, q));
+            let Some((quality, slow)) = quality else {
                 self.stats.drops += receivers as u64;
                 report.lost = report.receivers;
                 if self.captures_cross_shard(dgram.dst) {
@@ -831,6 +901,7 @@ impl Network {
             let mut ok_all = true;
             for &frame in &frames {
                 let (hop_time, attempts, ok) = self.radio.unicast_hop(frame, quality, &mut rng);
+                let hop_time = hop_time * slow;
                 t += hop_time;
                 report.frames += attempts;
                 report.airtime += hop_time;
@@ -899,14 +970,20 @@ impl Network {
             }
             let mut t = t_in + crate::calib::duration(crate::calib::FORWARD_HOP);
             // Severed since the plan was memoised: the child never hears
-            // the flood and the member loop below books the drop.
-            let Some(quality) = self.topo.quality(f, child) else {
+            // the flood and the member loop below books the drop. A gray
+            // one-direction cut silences the same hop the same way.
+            let quality = self
+                .topo
+                .quality(f, child)
+                .and_then(|q| self.degraded_hop(f, child, t, q));
+            let Some((quality, slow)) = quality else {
                 continue;
             };
             let mut rng = self.hop_rng(f, child, t);
             let mut heard = true;
             for &frame in frames {
                 let (hop_time, ok) = self.radio.multicast_hop(frame, quality, &mut rng);
+                let hop_time = hop_time * slow;
                 t += hop_time;
                 if let Some(r) = report.as_deref_mut() {
                     r.frames += 1;

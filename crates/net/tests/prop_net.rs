@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use upnp_net::addr;
-use upnp_net::link::{LinkChaos, LinkQuality};
+use upnp_net::link::{LinkChaos, LinkDegrade, LinkQuality};
 use upnp_net::msg::{Message, MessageBody, Value};
 use upnp_net::rpl::{Dodag, Topology};
 use upnp_net::tlv::{self, Tlv, TlvType};
@@ -546,6 +546,64 @@ proptest! {
                 net.caches_coherent(),
                 "memoised anycast resolution diverged after crash churn"
             );
+        }
+    }
+
+    /// The gray-link degrade schedule is a pure function of
+    /// `(seed, directed node pair, window of the instant)`: a whole
+    /// network and two arbitrarily-partitioned shard slices over the
+    /// same node-id space — each holding a different subset of the
+    /// links, with the degrade installed on all three — must return the
+    /// same verdict for every probe, equal to evaluating the schedule
+    /// standalone, and constant across instants inside one window. This
+    /// is the property that makes gray soaks bit-identical under
+    /// sharding: whichever shard executes a hop computes the same mode.
+    #[test]
+    fn gray_degrade_schedule_is_pure_across_partitions(
+        n in 2usize..14,
+        seed in any::<u64>(),
+        assign_bits in any::<u16>(),
+        probes in prop::collection::vec(
+            (0usize..14, 0usize..14, 0u64..120_000),
+            1..60,
+        ),
+    ) {
+        const PREFIX: u64 = 0x2001_0db8_0000;
+        let degrade = LinkDegrade::seeded(seed);
+        let mut whole = Network::new(PREFIX, 0x6030);
+        let mut slices = [Network::new(PREFIX, 0x6031), Network::new(PREFIX, 0x6032)];
+        let nodes: Vec<NodeId> = (0..n).map(|_| whole.add_node()).collect();
+        for s in &mut slices {
+            for _ in 0..n {
+                s.add_node();
+            }
+        }
+        // The whole world holds the spanning chain; each slice holds
+        // only the edges whose child it owns under `assign_bits`.
+        for i in 1..n {
+            whole.link(nodes[i], nodes[i - 1], LinkQuality::PERFECT);
+            let shard = usize::from(assign_bits & (1 << i) != 0);
+            slices[shard].link(nodes[i], nodes[i - 1], LinkQuality::PERFECT);
+        }
+        whole.set_link_degrade(Some(degrade));
+        for s in &mut slices {
+            s.set_link_degrade(Some(degrade));
+        }
+        for (a, b, millis) in probes {
+            let (tx, rx) = (NodeId((a % n) as u32), NodeId((b % n) as u32));
+            let at = SimTime::ZERO + SimDuration::from_millis(millis);
+            let want = degrade.mode_at(tx, rx, at);
+            prop_assert_eq!(whole.degrade_mode(tx, rx, at), want);
+            prop_assert_eq!(slices[0].degrade_mode(tx, rx, at), want);
+            prop_assert_eq!(slices[1].degrade_mode(tx, rx, at), want);
+            // Constant inside the window: re-probe at the window's
+            // midpoint and at its last nanosecond.
+            let w = degrade.window.as_nanos().max(1);
+            let idx = at.as_nanos() / w;
+            for within in [idx * w + w / 2, idx * w + w - 1] {
+                let t2 = SimTime::ZERO + SimDuration::from_nanos(within);
+                prop_assert_eq!(degrade.mode_at(tx, rx, t2), want);
+            }
         }
     }
 
