@@ -21,7 +21,22 @@
 //! fleet --seed 42                        # reseed the whole run
 //! fleet --out BENCH_fleet.json           # write the JSON report
 //! fleet --gate bench/baseline.json       # exit 1 on regression
+//! fleet --trace-out BENCH_trace.json     # run traced; write the span
+//!                                        #   set as Chrome trace-event
+//!                                        #   JSON (loads in Perfetto)
+//! fleet --trace-overhead                 # gate the cost of tracing at
+//!                                        #   25k-Thing discovery
 //! ```
+//!
+//! `--trace-out` flips the deterministic tracer on for every fleet in
+//! the sweep and writes the merged span set as Chrome trace-event JSON
+//! (Perfetto's legacy-JSON importer loads it directly). Soak rows that
+//! end green export only their *exemplar* traces — the slowest recovery
+//! per fault family — so the artifact stays readable; a red soak keeps
+//! everything. Traced runs also keep a bounded flight-recorder window
+//! of the most recent spans: when the sharded/sequential identity check
+//! or a soak gate fails, the window is dumped to `BENCH_flight.json`
+//! for CI to upload next to the failure.
 //!
 //! When the sweep covers both a sequential (`shards = 1`) and a sharded
 //! row of the same size, the run *hard-fails* unless every deterministic
@@ -68,6 +83,9 @@ use serde::{Deserialize, Serialize};
 use upnp_core::chaos::SoakReport;
 use upnp_core::fleet::{Fleet, FleetConfig, ScenarioMetrics, ShardedFleet};
 use upnp_core::world::SimWorld;
+use upnp_trace::{chrome_trace_json, FlightRecorder, Span, FLIGHT_RECORDER_CAPACITY};
+#[cfg(feature = "soak")]
+use upnp_trace::{filter_traces, TraceId};
 
 /// The scenario the regression gates anchor on.
 const GATE_SCENARIO: &str = "discovery";
@@ -106,9 +124,26 @@ const FLASH_FLOOR_MIN_THINGS: usize = 1000;
 /// `soak-deep` profiles, and to 7 when the soak report gained the
 /// gray-failure counters (degraded hops, aggregate and per-epoch) and
 /// per-fault-family recovery-latency histograms, and `--chaos gray`
-/// rows got the `soak-gray` profile; older baselines must be
-/// regenerated.
-const SCHEMA: u32 = 7;
+/// rows got the `soak-gray` profile, and to 8 when rows gained
+/// `trace_spans` and the unified `metrics_table` (every subsystem's
+/// counters in one labelled registry), and the soak report gained
+/// recovery-trace exemplars and the attribution-mismatch counter;
+/// older baselines must be regenerated.
+const SCHEMA: u32 = 8;
+/// Fleet size for the tracing-overhead gate (`--trace-overhead`):
+/// context carriage is always-on, so the discovery wave at this scale
+/// is where a hidden cost would show.
+const TRACE_OVERHEAD_THINGS: usize = 25_000;
+/// With tracing *disabled* the wall-clock must stay within this factor
+/// of the baseline's discovery row at the same size — the always-on
+/// context carriage must cost ~nothing.
+const TRACE_OVERHEAD_DISABLED_FACTOR: f64 = 1.05;
+/// With tracing *enabled* (every span recorded) the wall-clock must
+/// stay within this factor of the same reference.
+const TRACE_OVERHEAD_ENABLED_FACTOR: f64 = 1.15;
+/// Where the flight-recorder window lands when the identity check or a
+/// soak gate fails on a traced run — CI uploads it as an artifact.
+const FLIGHT_DUMP_PATH: &str = "BENCH_flight.json";
 /// Edge caches fronting the origin in the chaos-soak rows.
 #[cfg(feature = "soak")]
 const SOAK_CACHES: usize = FLASH_CACHES;
@@ -207,9 +242,59 @@ struct ScenarioRow {
     faults_injected: u64,
     /// Scheduler run/pause phases driven (0 outside soak rows).
     soak_ticks: u64,
+    /// Spans the deterministic tracer recorded during the scenario —
+    /// 0 unless the run was traced (`--trace-out`). Deterministic for a
+    /// given seed and identical across shard counts.
+    trace_spans: u64,
+    /// The unified metrics registry: every subsystem's deterministic
+    /// counters (`scenario.*`, `net.*`, `payload.*`, `distro.*`) as one
+    /// canonically ordered, labelled table.
+    metrics_table: Vec<MetricRow>,
     /// The full chaos-soak report (`null` outside soak rows).
     soak: Option<SoakReport>,
     metrics: ScenarioMetrics,
+}
+
+/// One `group.name = value` line of the unified metrics table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct MetricRow {
+    name: String,
+    value: u64,
+}
+
+/// Accumulates the traced sweep's artifacts: the spans destined for the
+/// Chrome-trace export, and a bounded flight-recorder window of the
+/// most recent spans (dumped on identity/gate failure).
+struct TraceCollector {
+    /// Tracing on for this run (`--trace-out` given)?
+    enabled: bool,
+    /// Spans kept for the export — green soak rows contribute only
+    /// their exemplar traces, everything else contributes in full.
+    spans: Vec<Span>,
+    recorder: FlightRecorder,
+}
+
+impl TraceCollector {
+    fn new(enabled: bool) -> Self {
+        TraceCollector {
+            enabled,
+            spans: Vec::new(),
+            recorder: FlightRecorder::new(FLIGHT_RECORDER_CAPACITY),
+        }
+    }
+
+    /// Drains the world's spans after one scenario; returns the count
+    /// (the row's `trace_spans`) and the drained set.
+    fn drain<W: SimWorld>(&mut self, fleet: &mut Fleet<W>) -> (u64, Vec<Span>) {
+        if !self.enabled {
+            return (0, Vec::new());
+        }
+        let spans = fleet.world.take_spans();
+        for s in &spans {
+            self.recorder.push(*s);
+        }
+        (spans.len() as u64, spans)
+    }
 }
 
 /// Process peak resident set (VmHWM) in bytes; 0 where /proc is absent.
@@ -243,6 +328,12 @@ struct Options {
     chaos: String,
     out: Option<String>,
     gate: Option<String>,
+    /// Run with the deterministic tracer on and write the merged span
+    /// set as Chrome trace-event JSON to this path.
+    trace_out: Option<String>,
+    /// Run the tracing-overhead gate (discovery at
+    /// [`TRACE_OVERHEAD_THINGS`], tracing off then on).
+    trace_overhead: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -254,6 +345,8 @@ fn parse_args() -> Result<Options, String> {
         chaos: "day".into(),
         out: None,
         gate: None,
+        trace_out: None,
+        trace_overhead: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -305,6 +398,8 @@ fn parse_args() -> Result<Options, String> {
             }
             "--out" => opts.out = Some(value("--out")?),
             "--gate" => opts.gate = Some(value("--gate")?),
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--trace-overhead" => opts.trace_overhead = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -320,9 +415,19 @@ fn row(
     shards: usize,
     caches: usize,
     fingerprint: u64,
+    trace_spans: u64,
     metrics: ScenarioMetrics,
 ) -> ScenarioRow {
     print_row(things, shards, &metrics);
+    let metrics_table = metrics
+        .registry()
+        .samples()
+        .into_iter()
+        .map(|s| MetricRow {
+            name: format!("{}.{}", s.group, s.name),
+            value: s.value,
+        })
+        .collect();
     ScenarioRow {
         things,
         shards,
@@ -332,6 +437,8 @@ fn row(
         cpus: detected_cpus(),
         faults_injected: 0,
         soak_ticks: 0,
+        trace_spans,
+        metrics_table,
         soak: None,
         metrics,
     }
@@ -345,20 +452,27 @@ fn run_fleet<W: SimWorld>(
     things: usize,
     shards: usize,
     scenarios: &mut Vec<ScenarioRow>,
+    trace: &mut TraceCollector,
 ) {
     // Churn and steady state run against a discovered fleet, so the
     // discovery wave always runs; it is only *reported* if selected.
     let discovery = fleet.discovery_wave();
+    let (n, spans) = trace.drain(fleet);
+    trace.spans.extend(spans);
     if wants(opts, "discovery") {
-        scenarios.push(row(things, shards, 0, fleet.fingerprint(), discovery));
+        scenarios.push(row(things, shards, 0, fleet.fingerprint(), n, discovery));
     }
     if wants(opts, "churn") {
         let churn = fleet.churn_storm(things / 2);
-        scenarios.push(row(things, shards, 0, fleet.fingerprint(), churn));
+        let (n, spans) = trace.drain(fleet);
+        trace.spans.extend(spans);
+        scenarios.push(row(things, shards, 0, fleet.fingerprint(), n, churn));
     }
     if wants(opts, "steady") {
         let steady = fleet.steady_state(things);
-        scenarios.push(row(things, shards, 0, fleet.fingerprint(), steady));
+        let (n, spans) = trace.drain(fleet);
+        trace.spans.extend(spans);
+        scenarios.push(row(things, shards, 0, fleet.fingerprint(), n, steady));
     }
 }
 
@@ -374,6 +488,7 @@ fn run_soak<W: SimWorld>(
     things: usize,
     shards: usize,
     scenarios: &mut Vec<ScenarioRow>,
+    trace: &mut TraceCollector,
 ) {
     let chaos = match opts.chaos.as_str() {
         "deep" => upnp_core::chaos::ChaosConfig::deep(opts.seed),
@@ -383,13 +498,44 @@ fn run_soak<W: SimWorld>(
     let deep = opts.chaos != "day";
     let gray = opts.chaos == "gray";
     let (mut metrics, report) = fleet.soak_scenario(&chaos);
+    let (trace_spans, spans) = trace.drain(fleet);
+    if trace.enabled {
+        // Green soaks export only the exemplar traces — the slowest
+        // recovery per fault family — so the Perfetto artifact stays
+        // readable; a red soak keeps the whole span set for debugging.
+        let keep: Vec<TraceId> = report
+            .recovery_exemplars
+            .iter()
+            .map(|x| TraceId(x.trace_id))
+            .collect();
+        if report.invariants_held() && !keep.is_empty() {
+            trace.spans.extend(filter_traces(&spans, &keep));
+        } else {
+            trace.spans.extend(spans);
+        }
+        for x in &report.recovery_exemplars {
+            println!(
+                "  exemplar: {} trace {:016x} recovered in {:.0} ms",
+                x.family,
+                x.trace_id,
+                x.latency_ns as f64 / 1e6,
+            );
+        }
+    }
     if deep {
         // Deep and gray rows are distinct scenarios: the fault schedule
         // (and so every deterministic counter) differs per profile, and
         // the baseline must keep each without conflating them.
         metrics.scenario = format!("soak-{}", opts.chaos);
     }
-    let mut r = row(things, shards, SOAK_CACHES, fleet.fingerprint(), metrics);
+    let mut r = row(
+        things,
+        shards,
+        SOAK_CACHES,
+        fleet.fingerprint(),
+        trace_spans,
+        metrics,
+    );
     println!(
         "  soak: {} faults over {} epochs ({} crashes, {} partitions, {} failovers, \
          {} reroots, {} battery deaths), {} followers drained, {} repairs, \
@@ -459,18 +605,28 @@ fn run_flash<W: SimWorld>(
     things: usize,
     shards: usize,
     scenarios: &mut Vec<ScenarioRow>,
+    trace: &mut TraceCollector,
 ) {
     let flash = fleet.flash_crowd();
+    let (n, spans) = trace.drain(fleet);
+    trace.spans.extend(spans);
     scenarios.push(row(
         things,
         shards,
         FLASH_CACHES,
         fleet.fingerprint(),
+        n,
         flash,
     ));
 }
 
-fn run(opts: &Options) -> BenchReport {
+/// Flips the tracer on a freshly built fleet (both backends).
+fn traced<W: SimWorld>(mut fleet: Fleet<W>, on: bool) -> Fleet<W> {
+    fleet.world.set_tracing(on);
+    fleet
+}
+
+fn run(opts: &Options, trace: &mut TraceCollector) -> BenchReport {
     let mut scenarios = Vec::new();
     // The soak is opt-in even with the feature compiled: a day of
     // virtual time per (size, shards) pair belongs to the nightly
@@ -485,11 +641,12 @@ fn run(opts: &Options) -> BenchReport {
                     .with_caches(SOAK_CACHES)
                     .with_standby();
                 if shards == 1 {
-                    let mut fleet = Fleet::build(config);
-                    run_soak(&mut fleet, opts, things, shards, &mut scenarios);
+                    let mut fleet = traced(Fleet::build(config), trace.enabled);
+                    run_soak(&mut fleet, opts, things, shards, &mut scenarios, trace);
                 } else {
-                    let mut fleet = ShardedFleet::build_sharded(config, shards);
-                    run_soak(&mut fleet, opts, things, shards, &mut scenarios);
+                    let mut fleet =
+                        traced(ShardedFleet::build_sharded(config, shards), trace.enabled);
+                    run_soak(&mut fleet, opts, things, shards, &mut scenarios, trace);
                 }
                 continue;
             }
@@ -502,11 +659,11 @@ fn run(opts: &Options) -> BenchReport {
             // belongs to the configuration.
             let config = FleetConfig::new(things).with_seed(opts.seed);
             if shards == 1 {
-                let mut fleet = Fleet::build(config);
-                run_fleet(&mut fleet, opts, things, shards, &mut scenarios);
+                let mut fleet = traced(Fleet::build(config), trace.enabled);
+                run_fleet(&mut fleet, opts, things, shards, &mut scenarios, trace);
             } else {
-                let mut fleet = ShardedFleet::build_sharded(config, shards);
-                run_fleet(&mut fleet, opts, things, shards, &mut scenarios);
+                let mut fleet = traced(ShardedFleet::build_sharded(config, shards), trace.enabled);
+                run_fleet(&mut fleet, opts, things, shards, &mut scenarios, trace);
             }
             // Flash crowd runs through the edge-cache tier on a fresh
             // fleet of its own (cold caches, simultaneous cold plugs).
@@ -515,11 +672,12 @@ fn run(opts: &Options) -> BenchReport {
                     .with_seed(opts.seed)
                     .with_caches(FLASH_CACHES);
                 if shards == 1 {
-                    let mut fleet = Fleet::build(config);
-                    run_flash(&mut fleet, things, shards, &mut scenarios);
+                    let mut fleet = traced(Fleet::build(config), trace.enabled);
+                    run_flash(&mut fleet, things, shards, &mut scenarios, trace);
                 } else {
-                    let mut fleet = ShardedFleet::build_sharded(config, shards);
-                    run_flash(&mut fleet, things, shards, &mut scenarios);
+                    let mut fleet =
+                        traced(ShardedFleet::build_sharded(config, shards), trace.enabled);
+                    run_flash(&mut fleet, things, shards, &mut scenarios, trace);
                 }
             }
         }
@@ -720,13 +878,25 @@ fn gate_soak(current: &BenchReport, baseline: Option<&BenchReport>) -> Result<()
         if !soak.invariants_held() {
             return Err(format!(
                 "soak@{} shards={}: invariants violated \
-                 (discovery {}, coherence {}, retention {}) — \
-                 a failure path regressed",
+                 (discovery {}, coherence {}, retention {}, \
+                 trace-attribution mismatches {}) — a failure path regressed",
                 row.things,
                 row.shards,
                 soak.discovery_violations,
                 soak.coherence_violations,
                 soak.retention_violations,
+                soak.attribution_mismatches,
+            ));
+        }
+        // Recovery-latency attribution: every stop-clock read must have
+        // named the trace that actually served the recovery (satellite
+        // of the tracing tentpole — also folded into invariants_held,
+        // asserted separately so the failure is legible).
+        if soak.attribution_mismatches > 0 {
+            return Err(format!(
+                "soak@{} shards={}: {} recovery-latency samples were \
+                 attributed to the wrong trace",
+                row.things, row.shards, soak.attribution_mismatches,
             ));
         }
         // Per-epoch follower drains must tile the aggregate exactly —
@@ -878,6 +1048,81 @@ fn gate_soak(current: &BenchReport, baseline: Option<&BenchReport>) -> Result<()
             soak.peak_rss_kb,
             limit,
         );
+    }
+    Ok(())
+}
+
+/// The tracing-overhead gate: one discovery wave at
+/// [`TRACE_OVERHEAD_THINGS`] with the tracer off, one with it on.
+/// Against the baseline's discovery row at the same size the untraced
+/// wall must stay within [`TRACE_OVERHEAD_DISABLED_FACTOR`] (context
+/// carriage is always-on and must cost ~nothing) and the traced wall
+/// within [`TRACE_OVERHEAD_ENABLED_FACTOR`]. Without a baseline row
+/// the traced run is gated against the untraced one from this same
+/// process, using the enabled factor.
+fn gate_trace_overhead(seed: u64, baseline: Option<&BenchReport>) -> Result<(), String> {
+    let run_once = |traced_on: bool| -> (f64, u64) {
+        let config = FleetConfig::new(TRACE_OVERHEAD_THINGS).with_seed(seed);
+        let mut fleet = traced(Fleet::build(config), traced_on);
+        let m = fleet.discovery_wave();
+        (m.wall_ms, fleet.world.take_spans().len() as u64)
+    };
+    // Best of three: scheduler noise is one-sided (contention only ever
+    // slows a run), so the minimum is the faithful cost estimate — and
+    // comparing a best-of-3 against the baseline's single-shot wall
+    // biases the absolute gates *against* false alarms.
+    let measure = |traced_on: bool| -> (f64, u64) {
+        (0..3)
+            .map(|_| run_once(traced_on))
+            .reduce(|a, b| if b.0 < a.0 { b } else { a })
+            .expect("three runs")
+    };
+    let (disabled_ms, _) = measure(false);
+    let (enabled_ms, spans) = measure(true);
+    println!(
+        "trace overhead: discovery@{TRACE_OVERHEAD_THINGS} wall {disabled_ms:.1} ms untraced, \
+         {enabled_ms:.1} ms traced ({spans} spans)",
+    );
+    let base = baseline
+        .and_then(|b| find(b, GATE_SCENARIO, TRACE_OVERHEAD_THINGS, 1))
+        .map(|r| r.metrics.wall_ms);
+    match base {
+        Some(base_ms) => {
+            let off_limit = base_ms * TRACE_OVERHEAD_DISABLED_FACTOR;
+            if disabled_ms > off_limit {
+                return Err(format!(
+                    "tracing-overhead gate: untraced discovery@{TRACE_OVERHEAD_THINGS} wall \
+                     {disabled_ms:.1} ms > {off_limit:.1} ms (baseline {base_ms:.1} ms × \
+                     {TRACE_OVERHEAD_DISABLED_FACTOR}) — the disabled tracer is not free",
+                ));
+            }
+            let on_limit = base_ms * TRACE_OVERHEAD_ENABLED_FACTOR;
+            if enabled_ms > on_limit {
+                return Err(format!(
+                    "tracing-overhead gate: traced discovery@{TRACE_OVERHEAD_THINGS} wall \
+                     {enabled_ms:.1} ms > {on_limit:.1} ms (baseline {base_ms:.1} ms × \
+                     {TRACE_OVERHEAD_ENABLED_FACTOR}) — span recording got expensive",
+                ));
+            }
+            println!(
+                "gate ok: tracing overhead — untraced {disabled_ms:.1} <= {off_limit:.1} ms, \
+                 traced {enabled_ms:.1} <= {on_limit:.1} ms (baseline {base_ms:.1} ms)",
+            );
+        }
+        None => {
+            let limit = disabled_ms * TRACE_OVERHEAD_ENABLED_FACTOR;
+            if enabled_ms > limit {
+                return Err(format!(
+                    "tracing-overhead gate: traced discovery@{TRACE_OVERHEAD_THINGS} wall \
+                     {enabled_ms:.1} ms > {limit:.1} ms (untraced {disabled_ms:.1} ms × \
+                     {TRACE_OVERHEAD_ENABLED_FACTOR}) — span recording got expensive",
+                ));
+            }
+            println!(
+                "gate ok: tracing overhead — traced {enabled_ms:.1} <= {limit:.1} ms \
+                 (untraced {disabled_ms:.1} ms; no baseline row to anchor the absolute gates)",
+            );
+        }
     }
     Ok(())
 }
@@ -1045,40 +1290,15 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: fleet [--nodes N,N,..] [--shards K,K,..] [--seed N] \
                  [--scenario discovery|churn|steady|flash|soak|all] \
-                 [--chaos day|deep|gray] [--out FILE] [--gate BASELINE]"
+                 [--chaos day|deep|gray] [--out FILE] [--gate BASELINE] \
+                 [--trace-out FILE] [--trace-overhead]"
             );
             return ExitCode::from(2);
         }
     };
 
-    let report = run(&opts);
-
-    // Write the report *before* the identity check: a divergence is
-    // exactly when the per-row artifact is needed to debug, and CI's
-    // upload step runs `if: always()`.
-    if let Some(path) = &opts.out {
-        let json = serde_json::to_string_pretty(&report).expect("report serializes");
-        if let Err(e) = std::fs::write(path, json + "\n") {
-            eprintln!("error: writing {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-        println!("wrote {path}");
-    }
-
-    if let Err(e) = check_shard_identity(&report) {
-        eprintln!("error: {e}");
-        return ExitCode::FAILURE;
-    }
-
-    // The cache-tier floors are absolute (deterministic counters), so
-    // they apply whenever flash rows were produced — no baseline needed.
-    if let Err(e) = gate_cache_tier(&report) {
-        eprintln!("error: {e}");
-        return ExitCode::FAILURE;
-    }
-
-    // Read the baseline (when gating) before the soak gates: the
-    // per-family p99 recovery SLOs compare against it.
+    // Read the baseline (when gating) up front: the per-family p99
+    // recovery SLOs and the tracing-overhead gate compare against it.
     let baseline = match &opts.gate {
         None => None,
         Some(path) => match std::fs::read_to_string(path)
@@ -1103,10 +1323,78 @@ fn main() -> ExitCode {
         },
     };
 
+    // `--trace-overhead` is a standalone mode: measure and gate the
+    // tracer's cost, skip the sweep (CI runs it as its own step).
+    if opts.trace_overhead {
+        return match gate_trace_overhead(opts.seed, baseline.as_ref()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let mut trace = TraceCollector::new(opts.trace_out.is_some());
+    let report = run(&opts, &mut trace);
+
+    // Write the report *before* the identity check: a divergence is
+    // exactly when the per-row artifact is needed to debug, and CI's
+    // upload step runs `if: always()`.
+    if let Some(path) = &opts.out {
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    // The Perfetto artifact is likewise written before any gate runs.
+    if let Some(path) = &opts.trace_out {
+        let json = chrome_trace_json(&trace.spans, "upnp fleet");
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path} ({} spans)", trace.spans.len());
+    }
+
+    // On a traced run, a tripped identity check or soak gate dumps the
+    // flight-recorder window next to the failure for CI to upload.
+    let flight_dump = |reason: &str| {
+        if !trace.enabled {
+            return;
+        }
+        let dump = trace.recorder.dump_json(reason);
+        match std::fs::write(FLIGHT_DUMP_PATH, dump + "\n") {
+            Ok(()) => eprintln!(
+                "wrote {FLIGHT_DUMP_PATH} ({} spans held, {} evicted)",
+                trace.recorder.len(),
+                trace.recorder.evicted(),
+            ),
+            Err(e) => eprintln!("error: writing {FLIGHT_DUMP_PATH}: {e}"),
+        }
+    };
+
+    if let Err(e) = check_shard_identity(&report) {
+        flight_dump(&e);
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    // The cache-tier floors are absolute (deterministic counters), so
+    // they apply whenever flash rows were produced — no baseline needed.
+    if let Err(e) = gate_cache_tier(&report) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+
     // Soak gates: invariant verdicts, gray evidence and RSS flatness
     // are absolute (they travel inside the rows); the recovery p99
     // SLOs engage when a baseline is present.
     if let Err(e) = gate_soak(&report, baseline.as_ref()) {
+        flight_dump(&e);
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }

@@ -42,10 +42,12 @@
 //! and the bench layer gates the per-family p99 like it gates RSS
 //! flatness.
 
+use std::collections::HashMap;
+
 use serde::{Deserialize, Serialize};
 use upnp_net::link::{LinkChaos, LinkDegrade, LinkQuality};
 use upnp_net::NodeId;
-use upnp_sim::{splitmix64, SimDuration, SimRng};
+use upnp_sim::{SimDuration, SimRng};
 
 use crate::fleet::{Fleet, ScenarioMetrics};
 use crate::manager::MAX_INVENTORY;
@@ -250,6 +252,46 @@ enum FaultFamily {
     Blackout,
 }
 
+impl FaultFamily {
+    /// Every family, in the [`RecoveryLatencies::families`] label order.
+    const ALL: [FaultFamily; 6] = [
+        FaultFamily::Partition,
+        FaultFamily::InteriorCut,
+        FaultFamily::CacheCrash,
+        FaultFamily::McuCrash,
+        FaultFamily::Failover,
+        FaultFamily::Blackout,
+    ];
+
+    /// The family's stable label (the key the summary string, the
+    /// bench gates and the recovery exemplars all share).
+    fn label(self) -> &'static str {
+        match self {
+            FaultFamily::Partition => "partition",
+            FaultFamily::InteriorCut => "interior_cut",
+            FaultFamily::CacheCrash => "cache_crash",
+            FaultFamily::McuCrash => "mcu_crash",
+            FaultFamily::Failover => "failover",
+            FaultFamily::Blackout => "blackout",
+        }
+    }
+}
+
+/// The slowest observed recovery of one fault family: its label, the
+/// deterministic trace id of the serving plug pipeline (see
+/// [`upnp_trace::TraceId`]), and the recovery latency. These are the
+/// traces `fleet --trace-out` exports as Perfetto exemplars on green
+/// soaks.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryExemplar {
+    /// Fault-family label (see [`RecoveryLatencies::families`]).
+    pub family: String,
+    /// Trace id of the serve that ended the outage.
+    pub trace_id: u64,
+    /// Fault injection → first successful serve, nanoseconds.
+    pub latency_ns: u64,
+}
+
 /// Log-scale recovery-latency buckets: upper edges at `2^i` ms for
 /// `i in 0..RECOVERY_BUCKETS-1` (1 ms … ~17.5 min), final bucket open.
 pub const RECOVERY_BUCKETS: usize = 21;
@@ -316,16 +358,18 @@ impl RecoveryHistogram {
     /// Order-sensitive fold of every deterministic field — count,
     /// totals, and both per-bucket vectors — for embedding the full
     /// distribution in a shard-identity string without printing ~40
-    /// numbers per family.
+    /// numbers per family. Uses the shared [`upnp_trace::Digest`]
+    /// helper (same SplitMix64 chain the trace subsystem folds with).
     pub fn digest(&self) -> u64 {
-        let mut h = splitmix64(self.count ^ 0x4ec0);
-        for v in [self.total_ns, self.max_ns, self.bucket_counts.len() as u64] {
-            h = splitmix64(h ^ v);
-        }
-        for v in self.bucket_counts.iter().chain(&self.bucket_sums_ns) {
-            h = splitmix64(h ^ *v);
-        }
-        h
+        upnp_trace::Digest::seeded(self.count ^ 0x4ec0)
+            .fold_all([self.total_ns, self.max_ns, self.bucket_counts.len() as u64])
+            .fold_all(
+                self.bucket_counts
+                    .iter()
+                    .chain(&self.bucket_sums_ns)
+                    .copied(),
+            )
+            .value()
     }
 }
 
@@ -441,6 +485,16 @@ pub struct SoakReport {
     /// Per-fault-family recovery-latency histograms: fault injection →
     /// first successful serve after the heal, in virtual time.
     pub recovery: RecoveryLatencies,
+    /// Per-family slowest-recovery exemplars: the actual trace ids of
+    /// the serves that ended the worst outage of each family, in
+    /// [`RecoveryLatencies::families`] order (families with no
+    /// recoveries are absent).
+    pub recovery_exemplars: Vec<RecoveryExemplar>,
+    /// Recoveries whose serving trace id disagreed with the precedence
+    /// heuristic's attribution: the trace that ended the outage was
+    /// neither the one knocked out by the fault nor a repair-wave
+    /// replug of it (must be 0).
+    pub attribution_mismatches: u64,
     /// Things the repair wave had to replug after faults starved their
     /// driver fetch.
     pub repairs: u64,
@@ -467,6 +521,7 @@ impl SoakReport {
         self.discovery_violations == 0
             && self.coherence_violations == 0
             && self.retention_violations == 0
+            && self.attribution_mismatches == 0
     }
 
     /// Everything deterministic about the soak in one comparable string.
@@ -492,7 +547,8 @@ impl SoakReport {
              failover={} blackout={} unserved=({},{}) \
              reroot={} battery=({},{}) link=({},{}) \
              drained={} drained_by_epoch={:?} repairs={} violations=({},{}) \
-             degraded={} degraded_by_epoch={:?} recovery=[{}]",
+             degraded={} degraded_by_epoch={:?} recovery=[{}] \
+             mismatches={} exemplars=[{}]",
             self.epochs,
             self.soak_ticks,
             self.virtual_ms,
@@ -520,6 +576,12 @@ impl SoakReport {
             self.frames_degraded,
             self.degraded_by_epoch,
             recovery.join(" "),
+            self.attribution_mismatches,
+            self.recovery_exemplars
+                .iter()
+                .map(|x| format!("{}:{:016x}/{}", x.family, x.trace_id, x.latency_ns))
+                .collect::<Vec<_>>()
+                .join(" "),
         )
     }
 }
@@ -577,6 +639,10 @@ impl<W: SimWorld> Fleet<W> {
         let mut last_swap_j = vec![0.0f64; n];
 
         let mut report = SoakReport::default();
+        // Slowest recovery seen per fault family, as `(latency_ns,
+        // serving trace id)` — folded into the report's exemplars at
+        // soak end.
+        let mut exemplars: HashMap<&'static str, (u64, u64)> = HashMap::new();
         let soak_start = self.world.now();
         // Link chaos covers the whole soak: every delivery — discovery
         // bursts, chunk transfers, anycast replies — runs against the
@@ -764,7 +830,7 @@ impl<W: SimWorld> Fleet<W> {
             // strands a subtree's requests, a bare failover only the
             // requests in flight at the switch. Unserved Things in a
             // fault-free epoch are lossy-link noise and not recorded.
-            let mut outages: Vec<(usize, FaultFamily)> = Vec::new();
+            let mut outages: Vec<(usize, FaultFamily, u64)> = Vec::new();
             for i in 0..n {
                 let Some(device) = self.occupancy[i] else {
                     continue;
@@ -773,6 +839,13 @@ impl<W: SimWorld> Fleet<W> {
                 if thing.served_peripherals().contains(&device.raw()) {
                     continue;
                 }
+                // The trace id of the plug the fault knocked out — the
+                // stop-clock check below asserts the recovering serve
+                // belongs to this trace (or to its repair-wave replug).
+                let trace_before = thing
+                    .timelines
+                    .get(&device.raw())
+                    .map_or(0, |tl| tl.trace_id);
                 let orphaned = !interior_cut.is_empty() && {
                     let mut node = self.world.thing_node(self.things[i]);
                     let mut hit = false;
@@ -806,7 +879,7 @@ impl<W: SimWorld> Fleet<W> {
                 } else {
                     continue;
                 };
-                outages.push((i, family));
+                outages.push((i, family, trace_before));
             }
 
             // Suspend gray degradation for the heal: a gray cut on a
@@ -862,11 +935,12 @@ impl<W: SimWorld> Fleet<W> {
             // bounded, until the fleet converges. A deterministic
             // failure keeps its Thing starved through every round and
             // still trips the epoch invariant below.
+            let mut replugged = vec![false; n];
             for round in 0..REPAIR_ROUNDS {
                 let heal_at = self.world.now();
                 let mut lane = 0u64;
                 let mut repaired = 0u64;
-                for i in 0..n {
+                for (i, replug) in replugged.iter_mut().enumerate() {
                     let Some(device) = self.occupancy[i] else {
                         continue;
                     };
@@ -878,6 +952,7 @@ impl<W: SimWorld> Fleet<W> {
                     self.world.unplug_at(at, self.things[i], 0);
                     self.world
                         .plug_at(at + self.config.stagger, self.things[i], 0, device);
+                    *replug = true;
                     repaired += 1;
                     lane += 2;
                 }
@@ -918,23 +993,35 @@ impl<W: SimWorld> Fleet<W> {
             // injection (`mid`) to that stamp is the fault family's
             // recovery latency; a stamp at or before `mid` is a stale
             // timeline from an earlier wave and is skipped.
-            for (i, family) in outages {
+            for (i, family, trace_before) in outages {
                 let Some(device) = self.occupancy[i] else {
                     continue;
                 };
                 let thing = self.world.thing(self.things[i]);
-                let Some(finished) = thing
-                    .timelines
-                    .get(&device.raw())
-                    .and_then(|tl| tl.finished)
-                else {
+                let Some(tl) = thing.timelines.get(&device.raw()) else {
+                    continue;
+                };
+                let Some(finished) = tl.finished else {
                     continue;
                 };
                 if finished > mid {
-                    report
-                        .recovery
-                        .family_mut(family)
-                        .record(finished.saturating_since(mid));
+                    let latency = finished.saturating_since(mid);
+                    report.recovery.family_mut(family).record(latency);
+                    // The serve that ended the outage stamps its own
+                    // trace id into the timeline at plug. It must be the
+                    // knocked-out trace itself (in-place recovery: MCU
+                    // refetch, cache failover, retried fetch) or the
+                    // repair wave's replug of this Thing — anything else
+                    // means the precedence heuristic attributed the
+                    // recovery to the wrong outage.
+                    let trace_now = tl.trace_id;
+                    if trace_now == 0 || (trace_now != trace_before && !replugged[i]) {
+                        report.attribution_mismatches += 1;
+                    }
+                    let slot = exemplars.entry(family.label()).or_insert((0, 0));
+                    if latency.as_nanos() >= slot.0 {
+                        *slot = (latency.as_nanos(), trace_now);
+                    }
                 }
             }
 
@@ -978,6 +1065,15 @@ impl<W: SimWorld> Fleet<W> {
             + report.reroots
             + report.battery_unplugs;
         report.peak_rss_kb = peak_rss_kb();
+        for family in FaultFamily::ALL {
+            if let Some(&(latency_ns, trace_id)) = exemplars.get(family.label()) {
+                report.recovery_exemplars.push(RecoveryExemplar {
+                    family: family.label().to_string(),
+                    trace_id,
+                    latency_ns,
+                });
+            }
+        }
         report
     }
 

@@ -246,6 +246,33 @@ impl ScenarioMetrics {
             self.mgr_removal_acks,
         )
     }
+
+    /// Registers every deterministic counter into one unified
+    /// [`upnp_trace::MetricsRegistry`] — the scenario, network-traffic,
+    /// payload and distribution-tier groups a bench row emits as a
+    /// single labelled table. Wall-side fields (throughput, wall
+    /// milliseconds) are deliberately left out, as is the
+    /// shard-dependent `mgr_inventory` level, so the registry digest is
+    /// comparable across backends like the summary string.
+    pub fn registry(&self) -> upnp_trace::MetricsRegistry {
+        let mut reg = upnp_trace::MetricsRegistry::new();
+        reg.register("scenario", "nodes", self.nodes as u64);
+        reg.register("scenario", "events", self.events as u64);
+        reg.register("scenario", "completed", self.completed as u64);
+        reg.register("scenario", "latency_samples", self.latency.samples as u64);
+        reg.register("net", "frames_tx", self.frames_tx);
+        reg.register("net", "bytes_tx", self.bytes_tx);
+        reg.register("net", "drops", self.drops);
+        reg.register("payload", "allocs", self.payload_allocs);
+        reg.register("payload", "clones", self.payload_clones);
+        reg.register("distro", "cache_hits", self.cache_hits);
+        reg.register("distro", "cache_misses", self.cache_misses);
+        reg.register("distro", "cache_coalesced", self.cache_coalesced);
+        reg.register("distro", "cache_uploads", self.cache_uploads);
+        reg.register("distro", "origin_uploads", self.origin_uploads);
+        reg.register("distro", "mgr_removal_acks", self.mgr_removal_acks);
+        reg
+    }
 }
 
 /// A built fleet, ready to run scenarios.

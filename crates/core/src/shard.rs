@@ -912,6 +912,33 @@ impl SimWorld for ShardedWorld {
     fn node_count(&self) -> usize {
         self.running().shards[0].net.len()
     }
+
+    fn set_tracing(&mut self, enabled: bool) {
+        for w in &mut self.running_mut().shards {
+            w.set_tracing(enabled);
+        }
+    }
+
+    fn take_spans(&mut self) -> Vec<upnp_trace::Span> {
+        // Every span is recorded once, in its owning shard (requests
+        // resolve shard-locally; replicated managers that never see a
+        // request record nothing). Concatenating and canonical-sorting
+        // therefore reconstructs the sequential sequence exactly.
+        let mut spans = Vec::new();
+        for w in &mut self.running_mut().shards {
+            spans.append(&mut w.take_spans());
+        }
+        upnp_trace::canonical_sort(&mut spans);
+        spans
+    }
+
+    fn flight_dump(&self, reason: &str) -> String {
+        let mut merged = upnp_trace::FlightRecorder::new(upnp_trace::FLIGHT_RECORDER_CAPACITY);
+        for w in &self.running().shards {
+            merged.merge(w.flight_recorder());
+        }
+        merged.dump_json(reason)
+    }
 }
 
 impl std::fmt::Debug for ShardedWorld {

@@ -66,6 +66,10 @@ pub struct PlugTimeline {
     pub scan_started: Option<SimTime>,
     /// Advertisement completed (thing clock).
     pub finished: Option<SimTime>,
+    /// Deterministic trace id of the most recent plug of this
+    /// peripheral (stamped by the world even when tracing is disabled,
+    /// so chaos recovery attribution can name the serving trace).
+    pub trace_id: u64,
 }
 
 impl PlugTimeline {

@@ -18,6 +18,7 @@ use upnp_net::link::{LinkChaos, LinkDegrade, LinkQuality};
 use upnp_net::msg::Value;
 use upnp_net::{Datagram, Delivery, Network, NodeId};
 use upnp_sim::{Scheduler, SimDuration, SimRng, SimTime};
+use upnp_trace::{Span, SpanKind, TraceCtx, TraceId, TraceSink};
 use upnp_vm::runtime::RuntimeTemplate;
 
 use crate::catalog::Catalog;
@@ -131,6 +132,21 @@ enum WorldEvent {
     },
 }
 
+/// Trace bookkeeping for one in-flight plug→advertise pipeline: the
+/// contexts later hooks parent their spans under. Only populated while
+/// tracing is enabled — the disabled path never touches the map.
+#[derive(Debug, Clone, Copy)]
+struct PipeTrace {
+    /// Context under the plug root span (parent of the scan span).
+    root: TraceCtx,
+    /// Context under the scan/identify chain (parent of the resolve
+    /// leg); equals `root` until the scan span is recorded.
+    scan: TraceCtx,
+    /// The scan span has been recorded (it is derived lazily from the
+    /// timeline after the board interrupt is serviced).
+    scan_recorded: bool,
+}
+
 /// The assembled multi-node world.
 ///
 /// The event loop is engineered so one step costs `O(work due now)`, not
@@ -196,6 +212,14 @@ pub struct World {
     board_template: BoardTemplate,
     runtime_template: RuntimeTemplate,
     peripheral_templates: HashMap<DeviceTypeId, PeripheralTemplate>,
+    /// Virtual-clock distributed tracing. Disabled by default: every
+    /// recording hook is behind a single `trace.enabled` branch, and
+    /// the only always-on work is stamping a plug's precomputed trace
+    /// id (four integer folds) into its timeline.
+    trace: TraceSink,
+    /// Pipelines currently being traced, keyed by `(thing index,
+    /// peripheral id)`. Empty while tracing is disabled.
+    active_traces: HashMap<(usize, u32), PipeTrace>,
     /// The anycast address Things send driver requests to.
     pub manager_anycast: Ipv6Addr,
     /// The anycast address edge caches pull chunked transfers from. Every
@@ -230,10 +254,47 @@ impl World {
             board_template: BoardTemplate::default(),
             runtime_template: RuntimeTemplate::default(),
             peripheral_templates: HashMap::new(),
+            trace: TraceSink::default(),
+            active_traces: HashMap::new(),
             manager_anycast: "2001:db8:aaaa::1".parse().expect("valid anycast"),
             origin_anycast: "2001:db8:aaaa::2".parse().expect("valid anycast"),
             config,
         }
+    }
+
+    /// Enables (or disables) virtual-clock distributed tracing. Costs
+    /// one branch per hook while disabled; enabling mid-run starts
+    /// tracing plugs from the next plug instant (pipelines already in
+    /// flight stay untraced).
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.trace.enabled = enabled;
+        if !enabled {
+            self.active_traces.clear();
+        }
+    }
+
+    /// Whether distributed tracing is recording.
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace.enabled
+    }
+
+    /// Drains every span recorded so far in canonical order (sorted by
+    /// start, trace, kind, node — the order is shard-invariant).
+    pub fn take_spans(&mut self) -> Vec<Span> {
+        let mut spans = self.trace.take_spans();
+        upnp_trace::canonical_sort(&mut spans);
+        spans
+    }
+
+    /// The bounded flight-recorder window of recent spans.
+    pub fn flight_recorder(&self) -> &upnp_trace::FlightRecorder {
+        self.trace.recorder()
+    }
+
+    /// Dumps the flight-recorder window as a self-describing JSON
+    /// document (the artifact the soak gate uploads on failure).
+    pub fn flight_dump(&self, reason: &str) -> String {
+        self.trace.recorder().dump_json(reason)
     }
 
     /// The decorrelated jitter stream of the Thing on `node`: a pure
@@ -521,20 +582,36 @@ impl World {
         let stranded = self.caches[id.0].crash();
         let n = stranded.len();
         let anycast = self.manager_anycast;
-        for (peripheral, requester, seq) in stranded {
+        for (peripheral, requester, seq, ctx) in stranded {
             let thing = self.thing_by_addr[&requester];
             let node = self.things[thing].node;
+            let mut payload = upnp_net::msg::Payload::from(
+                upnp_net::msg::Message {
+                    seq,
+                    body: upnp_net::msg::MessageBody::DriverRequest { peripheral },
+                }
+                .encode(),
+            )
+            .with_trace(ctx);
+            // The reissue re-enters the network from the follower's own
+            // Thing node — that is where the failover span lives.
+            if self.trace.enabled && !ctx.is_none() {
+                let span = Span::new(
+                    ctx,
+                    SpanKind::Failover,
+                    node.0 as u64,
+                    at.as_nanos(),
+                    at.as_nanos(),
+                );
+                self.trace.record(span);
+                payload = payload.with_trace(span.ctx());
+            }
             let dgram = Datagram {
                 src: requester,
                 dst: anycast,
                 src_port: upnp_net::addr::MCAST_PORT,
                 dst_port: upnp_net::addr::MCAST_PORT,
-                payload: upnp_net::msg::Message {
-                    seq,
-                    body: upnp_net::msg::MessageBody::DriverRequest { peripheral },
-                }
-                .encode()
-                .into(),
+                payload,
             };
             self.net.send(at, node, dgram);
         }
@@ -761,6 +838,41 @@ impl World {
             .plug(ChannelId(channel), board)
             .expect("channel free");
         self.interrupts.push_back(thing.0);
+        // The trace id is a pure function of (seed, node, channel, plug
+        // instant) — identical at every shard count. It is stamped even
+        // with tracing disabled (four integer folds) so chaos recovery
+        // attribution can always name the serving trace.
+        let node = self.things[thing.0].node;
+        let trace = TraceId::derive(
+            self.config.seed,
+            node.0 as u64,
+            channel as u16,
+            self.now.as_nanos(),
+        );
+        self.things[thing.0]
+            .timelines
+            .entry(device_id.raw())
+            .or_default()
+            .trace_id = trace.0;
+        if self.trace.enabled {
+            let now_ns = self.now.as_nanos();
+            let plug = Span::new(
+                TraceCtx::root(trace),
+                SpanKind::Plug,
+                node.0 as u64,
+                now_ns,
+                now_ns,
+            );
+            self.trace.record(plug);
+            self.active_traces.insert(
+                (thing.0, device_id.raw()),
+                PipeTrace {
+                    root: plug.ctx(),
+                    scan: plug.ctx(),
+                    scan_recorded: false,
+                },
+            );
+        }
     }
 
     /// Unplugs whatever occupies `channel` of the Thing.
@@ -916,7 +1028,7 @@ impl World {
                     // lookup).
                     if !self.dead_caches[cache] {
                         let reply = self.caches[cache].on_timer(peripheral, gen);
-                        self.apply_cache_reply(cache, self.now, reply);
+                        self.apply_cache_reply(cache, self.now, reply, true);
                     }
                 }
             }
@@ -936,6 +1048,12 @@ impl World {
                 Some(NodeKind::Standby) if !self.standby_down => self.manager_reply(true, d),
                 Some(NodeKind::Thing(i)) if !self.dead_things[i] => {
                     let out = self.things[i].on_datagram(d.at, &d.dgram);
+                    if self.trace.enabled
+                        && d.dgram.payload.first()
+                            == Some(&upnp_net::msg::MessageBody::DRIVER_UPLOAD_TYPE)
+                    {
+                        self.record_upload_spans(i, &d.dgram, d.at);
+                    }
                     self.apply_outbound(i, out);
                 }
                 // A dead Thing's MCU is off: a (5) driver upload arriving
@@ -954,8 +1072,17 @@ impl World {
                 // replies chiefly — the retry/abandon path of the
                 // *origin-side* transfer owns recovery).
                 Some(NodeKind::Cache(i)) if !self.dead_caches[i] => {
+                    let before = if self.trace.enabled {
+                        let s = &self.caches[i].stats;
+                        Some((s.hits, s.misses, s.coalesced))
+                    } else {
+                        None
+                    };
                     let reply = self.caches[i].on_datagram(&d.dgram);
-                    self.apply_cache_reply(i, d.at, reply);
+                    if let Some(before) = before {
+                        self.record_cache_lookup(i, &d.dgram, d.at, before, reply.process);
+                    }
+                    self.apply_cache_reply(i, d.at, reply, false);
                 }
                 Some(NodeKind::Manager | NodeKind::Standby | NodeKind::Cache(_)) | None => {}
             }
@@ -990,10 +1117,26 @@ impl World {
         let (replies, process, send_path) = m.on_datagram(&d.dgram);
         let ready_at = d.at + process;
         let send_at = ready_at + send_path;
-        for reply in &replies {
-            self.stitch_upload_sent(reply, ready_at);
-        }
-        for reply in replies {
+        let req_ctx = d.dgram.payload.trace();
+        for mut reply in replies {
+            self.stitch_upload_sent(&reply, ready_at);
+            // A traced (4) request served by the origin: the serve span
+            // covers the processing leg, and the upload is re-stamped
+            // so the Thing-side verify/install parent under it.
+            if self.trace.enabled
+                && !req_ctx.is_none()
+                && reply.payload.first() == Some(&upnp_net::msg::MessageBody::DRIVER_UPLOAD_TYPE)
+            {
+                let serve = Span::new(
+                    req_ctx,
+                    SpanKind::Serve,
+                    node.0 as u64,
+                    d.at.as_nanos(),
+                    ready_at.as_nanos(),
+                );
+                self.trace.record(serve);
+                reply.payload = reply.payload.traced(serve.ctx());
+            }
             self.net.send(send_at, node, reply);
         }
     }
@@ -1032,7 +1175,13 @@ impl World {
         }
     }
 
-    fn apply_cache_reply(&mut self, cache: usize, at: SimTime, reply: CacheReply) {
+    fn apply_cache_reply(
+        &mut self,
+        cache: usize,
+        at: SimTime,
+        reply: CacheReply,
+        from_timer: bool,
+    ) {
         // A crawling cache (gray failure) takes `factor`× as long on
         // both processing legs; its retry timers are armed relative to
         // the stretched ready instant.
@@ -1043,6 +1192,11 @@ impl World {
         for action in reply.actions {
             match action {
                 CacheAction::Send(dgram) => {
+                    let dgram = if self.trace.enabled {
+                        self.record_cache_send(node, dgram, at, ready_at, send_at, from_timer)
+                    } else {
+                        dgram
+                    };
                     self.stitch_upload_sent(&dgram, ready_at);
                     self.net.send(send_at, node, dgram);
                 }
@@ -1081,6 +1235,9 @@ impl World {
             // is fully serviced by its first entry.
             if self.things[i].interrupt_pending() {
                 let out = self.things[i].service_interrupt(self.now, anycast);
+                if self.trace.enabled {
+                    self.record_scan_spans(i);
+                }
                 self.apply_outbound(i, out);
                 return true;
             }
@@ -1094,6 +1251,11 @@ impl World {
         for action in outbound {
             match action {
                 Outbound::Send(dgram) => {
+                    let dgram = if self.trace.enabled {
+                        self.stamp_thing_request(thing, send_at, dgram)
+                    } else {
+                        dgram
+                    };
                     self.net.send(send_at, node, dgram);
                 }
                 Outbound::JoinGroup(g) => self.net.join_group(node, g),
@@ -1112,6 +1274,262 @@ impl World {
                     // the one-shot scheduler.
                 }
             }
+        }
+    }
+
+    // ---- Distributed-tracing span derivation ---------------------------
+    //
+    // The protocol actors (Thing, Manager, EdgeCache) stay
+    // trace-unaware; every span is derived here, at the world seam that
+    // already mediates each datagram, from the same timeline stamps and
+    // counters the latency tables are built from. All of it is behind
+    // `trace.enabled` — the disabled path never reaches these methods.
+
+    /// Derives scan/identify spans for `thing`'s freshly serviced
+    /// pipelines from its plug timelines. A driver cached locally on
+    /// the Thing installs inside the same board interrupt — no network
+    /// legs exist — so such pipelines are closed here too.
+    fn record_scan_spans(&mut self, thing: usize) {
+        let node = self.things[thing].node.0 as u64;
+        let keys: Vec<(usize, u32)> = self
+            .active_traces
+            .keys()
+            .filter(|k| k.0 == thing)
+            .copied()
+            .collect();
+        for key in keys {
+            let pt = self.active_traces[&key];
+            if pt.scan_recorded {
+                continue;
+            }
+            let Some(tl) = self.things[thing].timelines.get(&key.1) else {
+                continue;
+            };
+            let (Some(started), Some(scan)) = (tl.scan_started, tl.scan) else {
+                continue;
+            };
+            let scan_end = started + scan;
+            let scan_span = Span::new(
+                pt.root,
+                SpanKind::Scan,
+                node,
+                started.as_nanos(),
+                scan_end.as_nanos(),
+            );
+            self.trace.record(scan_span);
+            let identify = Span::new(
+                scan_span.ctx(),
+                SpanKind::Identify,
+                node,
+                scan_end.as_nanos(),
+                scan_end.as_nanos(),
+            );
+            self.trace.record(identify);
+            let entry = self.active_traces.get_mut(&key).expect("key from map");
+            entry.scan = identify.ctx();
+            entry.scan_recorded = true;
+            // `finished >= scan start` distinguishes a locally served
+            // pipeline from a stale stamp left by an earlier plug of
+            // the same device type.
+            if tl.finished.is_some_and(|f| f >= started) {
+                self.record_install_spans(thing, key.1, identify.ctx(), scan_end);
+                self.active_traces.remove(&key);
+            }
+        }
+    }
+
+    /// Stamps an outgoing (4) driver request with its pipeline's trace
+    /// context, recording the resolve span — the anycast resolution
+    /// happens as the frame enters the network.
+    fn stamp_thing_request(&mut self, thing: usize, send_at: SimTime, dgram: Datagram) -> Datagram {
+        if dgram.payload.first() != Some(&upnp_net::msg::MessageBody::DRIVER_REQUEST_TYPE) {
+            return dgram;
+        }
+        let Some(upnp_net::msg::Message {
+            body: upnp_net::msg::MessageBody::DriverRequest { peripheral },
+            ..
+        }) = upnp_net::msg::Message::decode(&dgram.payload)
+        else {
+            return dgram;
+        };
+        let Some(pt) = self.active_traces.get(&(thing, peripheral)) else {
+            return dgram;
+        };
+        let node = self.things[thing].node.0 as u64;
+        let ns = send_at.as_nanos();
+        let resolve = Span::new(pt.scan, SpanKind::Resolve, node, ns, ns);
+        self.trace.record(resolve);
+        let payload = dgram.payload.traced(resolve.ctx());
+        Datagram { payload, ..dgram }
+    }
+
+    /// Classifies a cache's handling of a traced (4) driver request —
+    /// hit, miss (upstream fetch started) or coalesce (parked on an
+    /// in-flight fetch) — from the stats delta around `on_datagram`.
+    fn record_cache_lookup(
+        &mut self,
+        cache: usize,
+        dgram: &Datagram,
+        at: SimTime,
+        before: (u64, u64, u64),
+        process: SimDuration,
+    ) {
+        let ctx = dgram.payload.trace();
+        if ctx.is_none() {
+            return;
+        }
+        let stats = &self.caches[cache].stats;
+        let kind = if stats.hits > before.0 {
+            SpanKind::CacheHit
+        } else if stats.misses > before.1 {
+            SpanKind::CacheMiss
+        } else if stats.coalesced > before.2 {
+            SpanKind::Coalesce
+        } else {
+            return;
+        };
+        let factor = self.cache_crawl[cache] as u64;
+        let node = self.caches[cache].node.0 as u64;
+        let span = Span::new(
+            ctx,
+            kind,
+            node,
+            at.as_nanos(),
+            (at + process * factor).as_nanos(),
+        );
+        self.trace.record(span);
+    }
+
+    /// Records the span of a traced frame leaving a cache — the
+    /// chunk-fetch/retry legs of an upstream transfer, the failover
+    /// reissue of an abandoned one, and the served (5) upload, whose
+    /// payload is re-stamped so the Thing-side verify/install spans
+    /// parent under the serve. Returns the (possibly re-stamped)
+    /// datagram.
+    fn record_cache_send(
+        &mut self,
+        node: NodeId,
+        dgram: Datagram,
+        at: SimTime,
+        ready_at: SimTime,
+        send_at: SimTime,
+        from_timer: bool,
+    ) -> Datagram {
+        let ctx = dgram.payload.trace();
+        if ctx.is_none() {
+            return dgram;
+        }
+        let key = node.0 as u64;
+        match dgram.payload.first() {
+            Some(&upnp_net::msg::MessageBody::DRIVER_CHUNK_REQUEST_TYPE) => {
+                let kind = if from_timer {
+                    SpanKind::Retry
+                } else {
+                    SpanKind::ChunkFetch
+                };
+                let ns = send_at.as_nanos();
+                self.trace.record(Span::new(ctx, kind, key, ns, ns));
+                dgram
+            }
+            Some(&upnp_net::msg::MessageBody::DRIVER_REQUEST_TYPE) => {
+                // An abandoned transfer's proxied reissue: the cache
+                // fails the parked request over to the next-nearest
+                // anycast instance.
+                let ns = send_at.as_nanos();
+                self.trace
+                    .record(Span::new(ctx, SpanKind::Failover, key, ns, ns));
+                dgram
+            }
+            Some(&upnp_net::msg::MessageBody::DRIVER_UPLOAD_TYPE) => {
+                let serve = Span::new(
+                    ctx,
+                    SpanKind::Serve,
+                    key,
+                    at.as_nanos(),
+                    ready_at.as_nanos(),
+                );
+                self.trace.record(serve);
+                let payload = dgram.payload.traced(serve.ctx());
+                Datagram { payload, ..dgram }
+            }
+            _ => dgram,
+        }
+    }
+
+    /// Closes a traced pipeline when its (5) driver upload is
+    /// delivered: a verify span (the DSL safety check) at the delivery
+    /// instant, then install/join/advertise from the timeline stamps.
+    fn record_upload_spans(&mut self, thing: usize, dgram: &Datagram, at: SimTime) {
+        let ctx = dgram.payload.trace();
+        if ctx.is_none() {
+            return;
+        }
+        let Some(upnp_net::msg::Message {
+            body: upnp_net::msg::MessageBody::DriverUpload { peripheral, .. },
+            ..
+        }) = upnp_net::msg::Message::decode(&dgram.payload)
+        else {
+            return;
+        };
+        let node = self.things[thing].node.0 as u64;
+        let Some(tl) = self.things[thing].timelines.get(&peripheral) else {
+            return;
+        };
+        if tl.upload_received != Some(at) {
+            return; // A duplicate or stale upload this pipeline ignored.
+        }
+        let verify = Span::new(ctx, SpanKind::Verify, node, at.as_nanos(), at.as_nanos());
+        self.trace.record(verify);
+        if tl.finished.is_some_and(|f| f >= at) {
+            self.record_install_spans(thing, peripheral, ctx, at);
+            self.active_traces.remove(&(thing, peripheral));
+        }
+    }
+
+    /// Derives the install/join/advertise spans of a completed pipeline
+    /// from its timeline stamps. `install_start` anchors the install
+    /// span: the upload delivery instant, or the scan end for drivers
+    /// served from the Thing's local store.
+    fn record_install_spans(
+        &mut self,
+        thing: usize,
+        peripheral: u32,
+        parent: TraceCtx,
+        install_start: SimTime,
+    ) {
+        let node = self.things[thing].node.0 as u64;
+        let Some(tl) = self.things[thing].timelines.get(&peripheral) else {
+            return;
+        };
+        let (Some(installed), Some(finished)) = (tl.installed, tl.finished) else {
+            return;
+        };
+        let install = Span::new(
+            parent,
+            SpanKind::Install,
+            node,
+            install_start.as_nanos(),
+            installed.as_nanos(),
+        );
+        self.trace.record(install);
+        if let (Some(join), Some(adv)) = (tl.join_group, tl.advertise) {
+            let adv_start = finished - adv;
+            let join_span = Span::new(
+                install.ctx(),
+                SpanKind::Join,
+                node,
+                (adv_start - join).as_nanos(),
+                adv_start.as_nanos(),
+            );
+            self.trace.record(join_span);
+            let advert = Span::new(
+                install.ctx(),
+                SpanKind::Advertise,
+                node,
+                adv_start.as_nanos(),
+                finished.as_nanos(),
+            );
+            self.trace.record(advert);
         }
     }
 
@@ -1384,6 +1802,27 @@ pub trait SimWorld {
     fn radio_energy_j(&self, node: NodeId) -> f64;
     /// Total network nodes.
     fn node_count(&self) -> usize;
+    /// Enables (or disables) virtual-clock distributed tracing. One
+    /// branch per hook while disabled; a sharded world enables it in
+    /// every shard.
+    fn set_tracing(&mut self, enabled: bool);
+    /// Drains every span recorded so far in canonical order — the
+    /// span set a sharded world returns is bit-identical to the
+    /// sequential one at every shard count.
+    fn take_spans(&mut self) -> Vec<Span>;
+    /// Dumps the bounded flight-recorder window (merged across shards)
+    /// as self-describing JSON.
+    fn flight_dump(&self, reason: &str) -> String;
+    /// The live unified metrics registry: the network and
+    /// distribution-tier stat blocks register their cumulative counters
+    /// under group labels, coming back out as one labelled table.
+    /// Deterministic, and identical across shard counts.
+    fn metrics_registry(&self) -> upnp_trace::MetricsRegistry {
+        let mut reg = upnp_trace::MetricsRegistry::new();
+        self.net_stats().register_into(&mut reg);
+        self.distro_stats().register_into(&mut reg);
+        reg
+    }
 }
 
 impl SimWorld for World {
@@ -1567,5 +2006,31 @@ impl SimWorld for World {
 
     fn node_count(&self) -> usize {
         self.net.len()
+    }
+
+    fn set_tracing(&mut self, enabled: bool) {
+        World::set_tracing(self, enabled);
+    }
+
+    fn take_spans(&mut self) -> Vec<Span> {
+        World::take_spans(self)
+    }
+
+    fn flight_dump(&self, reason: &str) -> String {
+        World::flight_dump(self, reason)
+    }
+}
+
+impl DistroStats {
+    /// Registers every counter into a unified metrics registry under
+    /// the `distro` group.
+    pub fn register_into(&self, reg: &mut upnp_trace::MetricsRegistry) {
+        reg.register("distro", "cache_hits", self.cache_hits);
+        reg.register("distro", "cache_misses", self.cache_misses);
+        reg.register("distro", "cache_coalesced", self.cache_coalesced);
+        reg.register("distro", "cache_uploads", self.cache_uploads);
+        reg.register("distro", "origin_uploads", self.origin_uploads);
+        reg.register("distro", "mgr_inventory", self.mgr_inventory);
+        reg.register("distro", "mgr_removal_acks", self.mgr_removal_acks);
     }
 }

@@ -530,6 +530,166 @@ fn gray_soak_on_tree_matches_at_every_shard_count() {
     }
 }
 
+// ---- Distributed tracing (ISSUE 10: the span sets — ids, parentage,
+// virtual timestamps — must be bit-identical sequential vs sharded at
+// every shard count, soaks included) -------------------------------------
+
+use upnp_trace::{span_digest, Span, SpanKind};
+
+/// Runs discovery + churn with tracing enabled and returns the
+/// canonically sorted span set, its digest and the metric summaries
+/// (which must be unchanged by tracing).
+fn run_traced<W: SimWorld>(mut fleet: Fleet<W>, things: usize) -> (Vec<Span>, u64, String) {
+    fleet.world.set_tracing(true);
+    let d = fleet.discovery_wave();
+    let c = fleet.churn_storm(things / 4);
+    let spans = fleet.world.take_spans();
+    let digest = span_digest(&spans);
+    // The unified metrics registry (net + distro counters under group
+    // labels) rides along in the summary: its digest must be as
+    // shard-invariant as the metrics themselves.
+    let summary = format!(
+        "{}\n{}\nregistry={:016x}",
+        virtual_summary(&d),
+        virtual_summary(&c),
+        fleet.world.metrics_registry().digest()
+    );
+    (spans, digest, summary)
+}
+
+fn assert_spans_equivalent(config: FleetConfig, things: usize, shard_counts: &[usize]) {
+    let (seq_spans, seq_digest, seq_summary) = run_traced(Fleet::build(config.clone()), things);
+    assert!(
+        !seq_spans.is_empty(),
+        "a traced discovery wave must record spans"
+    );
+    for &k in shard_counts {
+        let (spans, digest, summary) =
+            run_traced(ShardedFleet::build_sharded(config.clone(), k), things);
+        // Element-wise equality covers every field of every span: ids,
+        // trace membership, parentage and both virtual timestamps.
+        assert_eq!(seq_spans, spans, "span sets diverged at K={k}");
+        assert_eq!(seq_digest, digest, "span digest diverged at K={k}");
+        assert_eq!(
+            seq_summary, summary,
+            "tracing perturbed the virtual metrics at K={k}"
+        );
+    }
+}
+
+#[test]
+fn traced_star_span_sets_identical_at_every_shard_count() {
+    assert_spans_equivalent(config(200, FleetTopology::Star), 200, &[1, 2, 4, 8]);
+}
+
+#[test]
+fn traced_cached_tree_span_sets_identical_at_every_shard_count() {
+    // Caches add the hit/miss/coalesce, chunk-fetch and cache-serve
+    // span kinds; each cache lives in exactly one shard, so its spans
+    // must decompose with it.
+    let config = FleetConfig::new(160)
+        .with_seed(0x6030)
+        .with_topology(FleetTopology::Tree { fanout: 5 })
+        .with_caches(4);
+    assert_spans_equivalent(config, 160, &[1, 2, 4, 8]);
+}
+
+#[test]
+fn traced_span_taxonomy_covers_the_pipeline() {
+    // One cached fleet's discovery wave must produce the full
+    // plug→scan→identify→resolve→serve→verify→install→join→advertise
+    // chain plus cache classification spans, with coherent parentage.
+    let config = FleetConfig::new(64).with_seed(0x6030).with_caches(2);
+    let (spans, _, _) = run_traced(Fleet::build(config), 64);
+    let count = |kind: SpanKind| spans.iter().filter(|s| s.kind == kind).count();
+    for kind in [
+        SpanKind::Plug,
+        SpanKind::Scan,
+        SpanKind::Identify,
+        SpanKind::Resolve,
+        SpanKind::Serve,
+        SpanKind::Verify,
+        SpanKind::Install,
+        SpanKind::Join,
+        SpanKind::Advertise,
+    ] {
+        assert!(count(kind) > 0, "no {} spans recorded", kind.name());
+    }
+    assert!(
+        count(SpanKind::CacheHit) + count(SpanKind::CacheMiss) + count(SpanKind::Coalesce) > 0,
+        "cache classification spans missing"
+    );
+    // Every non-root span's parent must exist in the same trace.
+    use std::collections::HashSet;
+    let ids: HashSet<(u64, u64)> = spans.iter().map(|s| (s.trace.0, s.id.0)).collect();
+    for s in &spans {
+        if s.parent.0 != 0 {
+            assert!(
+                ids.contains(&(s.trace.0, s.parent.0)),
+                "span {:?} has a dangling parent",
+                s
+            );
+        }
+        assert!(s.end_ns >= s.start_ns, "span {s:?} ends before it starts");
+    }
+}
+
+#[test]
+fn traced_gray_soak_span_sets_identical_at_every_shard_count() {
+    // Tracing through a gray chaos soak: retries, failovers and repair
+    // replugs all record spans, and the merged sharded set must still
+    // be bit-identical — including the flight-recorder window the soak
+    // would dump on a gate failure.
+    let config = chaos_config(48, FleetTopology::Star);
+    fn run<W: SimWorld>(mut fleet: Fleet<W>) -> (Vec<Span>, upnp_core::chaos::SoakReport) {
+        fleet.world.set_tracing(true);
+        let report = fleet.chaos_soak(&ChaosConfig::gray_smoke(0x6a71));
+        assert!(report.invariants_held(), "soak invariants: {report:?}");
+        let spans = fleet.world.take_spans();
+        (spans, report)
+    }
+    let (seq_spans, seq_report) = run(Fleet::build(config.clone()));
+    assert!(!seq_spans.is_empty());
+    assert!(
+        !seq_report.recovery_exemplars.is_empty(),
+        "a gray soak with recoveries must surface exemplar traces"
+    );
+    // Exemplar trace ids must point at spans that actually exist.
+    for x in &seq_report.recovery_exemplars {
+        let keep = [upnp_trace::TraceId(x.trace_id)];
+        assert!(
+            !upnp_trace::filter_traces(&seq_spans, &keep).is_empty(),
+            "exemplar {x:?} names a trace with no spans"
+        );
+    }
+    for k in [2, 4] {
+        let (spans, report) = run(ShardedFleet::build_sharded(config.clone(), k));
+        assert_eq!(seq_spans, spans, "soak span sets diverged at K={k}");
+        assert_eq!(
+            seq_report.recovery_exemplars, report.recovery_exemplars,
+            "exemplars diverged at K={k}"
+        );
+        assert_eq!(
+            seq_report.attribution_mismatches, 0,
+            "attribution mismatches at K={k}"
+        );
+    }
+}
+
+#[test]
+fn sharded_flight_dump_merges_all_shards() {
+    let mut fleet = ShardedFleet::build_sharded(config(80, FleetTopology::Star), 4);
+    fleet.world.set_tracing(true);
+    fleet.discovery_wave();
+    let dump = fleet.world.flight_dump("shard_diff smoke");
+    assert!(dump.contains("\"reason\":\"shard_diff smoke\""));
+    assert!(
+        dump.contains("\"kind\":\"plug\""),
+        "merged dump must contain recorded spans: {}",
+        &dump[..dump.len().min(200)]
+    );
+}
+
 // ---- Cross-shard multicast (typed discovery probes) --------------------
 
 #[test]

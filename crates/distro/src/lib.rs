@@ -59,6 +59,7 @@ use upnp_net::calib;
 use upnp_net::msg::{Message, MessageBody, SeqNo};
 use upnp_net::{Datagram, NodeId};
 use upnp_sim::{CpuCost, SimDuration};
+use upnp_trace::TraceCtx;
 
 // The delta encoding diffs on the same 64-byte grid the chunked
 // transfer protocol ships, so "chunks skipped" below means chunks the
@@ -198,9 +199,12 @@ struct Fetch {
     next: u16,
     /// Reassembly buffer.
     buf: Vec<u8>,
-    /// Requests to answer on completion: `(requester, request seq)`, in
-    /// arrival order.
-    followers: Vec<(Ipv6Addr, SeqNo)>,
+    /// Requests to answer on completion: `(requester, request seq,
+    /// trace context)`, in arrival order. Each follower keeps its *own*
+    /// context, so the upload (or failover) answering it stays causally
+    /// linked to the request that parked it — not to the fetch
+    /// initiator's trace.
+    followers: Vec<(Ipv6Addr, SeqNo, TraceCtx)>,
     /// The server the chunks seen so far came from (`None` before the
     /// first chunk). A chunk from a *different* server at the *same*
     /// version is an origin failover: the transfer resumes from the
@@ -223,6 +227,10 @@ struct Fetch {
     /// (retransmits included) — the origin deduplicates its
     /// fetch-session accounting by it.
     session: SeqNo,
+    /// Trace context of the request that started this fetch — every
+    /// chunk request (and retransmit) of the transfer is stamped with
+    /// it, so the whole upstream leg hangs off the initiating miss.
+    initiator: TraceCtx,
 }
 
 /// An edge node of the driver-distribution tier.
@@ -302,13 +310,13 @@ impl EdgeCache {
         self.config.retry_timeout * (1u64 << retries.min(RETRY_BACKOFF_CAP))
     }
 
-    fn datagram(&self, dst: Ipv6Addr, msg: Message) -> Datagram {
+    fn datagram(&self, dst: Ipv6Addr, msg: Message, ctx: TraceCtx) -> Datagram {
         Datagram {
             src: self.address,
             dst,
             src_port: upnp_net::addr::MCAST_PORT,
             dst_port: upnp_net::addr::MCAST_PORT,
-            payload: msg.encode().into(),
+            payload: upnp_net::msg::Payload::from(msg.encode()).with_trace(ctx),
         }
     }
 
@@ -352,7 +360,14 @@ impl EdgeCache {
         true
     }
 
-    fn upload(&self, dst: Ipv6Addr, seq: SeqNo, peripheral: u32, image: &[u8]) -> Datagram {
+    fn upload(
+        &self,
+        dst: Ipv6Addr,
+        seq: SeqNo,
+        peripheral: u32,
+        image: &[u8],
+        ctx: TraceCtx,
+    ) -> Datagram {
         self.datagram(
             dst,
             Message {
@@ -362,15 +377,16 @@ impl EdgeCache {
                     image: image.to_vec(),
                 },
             },
+            ctx,
         )
     }
 
     fn chunk_request(&mut self, peripheral: u32, chunk: u16) -> Datagram {
         let seq = self.next_seq();
-        let session = self
+        let (session, ctx) = self
             .inflight
             .get(&peripheral)
-            .map(|f| f.session)
+            .map(|f| (f.session, f.initiator))
             .expect("chunk requests belong to an in-flight fetch");
         self.datagram(
             self.origin,
@@ -382,6 +398,7 @@ impl EdgeCache {
                     chunk,
                 },
             },
+            ctx,
         )
     }
 
@@ -425,7 +442,7 @@ impl EdgeCache {
         };
         match msg.body {
             MessageBody::DriverRequest { peripheral } => {
-                self.on_driver_request(dgram.src, msg.seq, peripheral)
+                self.on_driver_request(dgram.src, msg.seq, peripheral, dgram.payload.trace())
             }
             MessageBody::DriverChunk {
                 peripheral,
@@ -452,6 +469,7 @@ impl EdgeCache {
                             removed,
                         },
                     },
+                    dgram.payload.trace(),
                 )));
                 reply
             }
@@ -496,6 +514,7 @@ impl EdgeCache {
         requester: Ipv6Addr,
         seq: SeqNo,
         peripheral: u32,
+        ctx: TraceCtx,
     ) -> CacheReply {
         let mut cost = CpuCost::ZERO;
         cost += calib::UDP_RECV_PATH;
@@ -505,14 +524,20 @@ impl EdgeCache {
             self.stats.hits += 1;
             self.stats.uploads_served += 1;
             cost += calib::UPLOAD_SETUP;
-            let upload = self.upload(requester, seq, peripheral, &self.entries[&peripheral].bytes);
+            let upload = self.upload(
+                requester,
+                seq,
+                peripheral,
+                &self.entries[&peripheral].bytes,
+                ctx,
+            );
             let mut reply = CacheReply::with_cost(cost).sending();
             reply.actions.push(CacheAction::Send(upload));
             return reply;
         }
         if let Some(fetch) = self.inflight.get_mut(&peripheral) {
             // Singleflight: park on the in-flight fetch.
-            fetch.followers.push((requester, seq));
+            fetch.followers.push((requester, seq, ctx));
             self.stats.coalesced += 1;
             return CacheReply::with_cost(cost);
         }
@@ -528,11 +553,12 @@ impl EdgeCache {
                 total: None,
                 next: 0,
                 buf: Vec::new(),
-                followers: vec![(requester, seq)],
+                followers: vec![(requester, seq, ctx)],
                 server: None,
                 retries: 0,
                 gen,
                 session: self.session,
+                initiator: ctx,
             },
         );
         let req = self.chunk_request(peripheral, 0);
@@ -674,9 +700,9 @@ impl EdgeCache {
                     CacheReply::with_cost(cost + calib::REPO_LOOKUP + calib::UPLOAD_SETUP)
                         .sending();
                 self.stats.uploads_served += fetch.followers.len() as u64;
-                for (requester, seq) in fetch.followers {
+                for (requester, seq, ctx) in fetch.followers {
                     reply.actions.push(CacheAction::Send(
-                        self.upload(requester, seq, peripheral, &bytes),
+                        self.upload(requester, seq, peripheral, &bytes, ctx),
                     ));
                 }
                 reply
@@ -708,18 +734,20 @@ impl EdgeCache {
             }
             self.stats.failed_over += fetch.followers.len() as u64;
             let mut reply = CacheReply::default().sending();
-            for (requester, seq) in fetch.followers {
+            for (requester, seq, ctx) in fetch.followers {
                 reply.actions.push(CacheAction::Send(Datagram {
                     src: requester,
                     dst: self.origin,
                     src_port: upnp_net::addr::MCAST_PORT,
                     dst_port: upnp_net::addr::MCAST_PORT,
-                    payload: Message {
-                        seq,
-                        body: MessageBody::DriverRequest { peripheral },
-                    }
-                    .encode()
-                    .into(),
+                    payload: upnp_net::msg::Payload::from(
+                        Message {
+                            seq,
+                            body: MessageBody::DriverRequest { peripheral },
+                        }
+                        .encode(),
+                    )
+                    .with_trace(ctx),
                 }));
             }
             return reply;
@@ -744,12 +772,13 @@ impl EdgeCache {
     /// fetches), the persistent counters survive (they model the
     /// harness's external observability, not cache RAM). Returns the
     /// followers that were parked on in-flight fetches — `(peripheral,
-    /// requester, request seq)` in deterministic order (by peripheral,
-    /// then arrival) — so the world can re-issue their (4) requests
-    /// against the next-nearest anycast instance. `fetch_gen` keeps
-    /// counting across the crash, so every pre-crash retry timer is
-    /// stale by construction once the cache restarts cold.
-    pub fn crash(&mut self) -> Vec<(u32, Ipv6Addr, SeqNo)> {
+    /// requester, request seq, trace context)` in deterministic order
+    /// (by peripheral, then arrival) — so the world can re-issue their
+    /// (4) requests against the next-nearest anycast instance without
+    /// severing the requests' trace lineage. `fetch_gen` keeps counting
+    /// across the crash, so every pre-crash retry timer is stale by
+    /// construction once the cache restarts cold.
+    pub fn crash(&mut self) -> Vec<(u32, Ipv6Addr, SeqNo, TraceCtx)> {
         self.entries.clear();
         let mut fetches: Vec<(u32, Fetch)> = self.inflight.drain().collect();
         fetches.sort_by_key(|&(p, _)| p);
@@ -759,7 +788,7 @@ impl EdgeCache {
                 fetch
                     .followers
                     .into_iter()
-                    .map(move |(requester, seq)| (p, requester, seq))
+                    .map(move |(requester, seq, ctx)| (p, requester, seq, ctx))
             })
             .collect()
     }
@@ -1314,8 +1343,8 @@ mod tests {
         assert_eq!(
             stranded,
             vec![
-                (p, THING_A.parse().unwrap(), 9),
-                (p, THING_B.parse().unwrap(), 9),
+                (p, THING_A.parse().unwrap(), 9, TraceCtx::NONE),
+                (p, THING_B.parse().unwrap(), 9, TraceCtx::NONE),
             ]
         );
         assert!(c.is_empty());
@@ -1470,6 +1499,129 @@ mod tests {
         assert_eq!(c.cached_version(p), None);
         assert_eq!(c.stats.delta_rejected, 1);
         assert_eq!(c.stats.invalidations, 1);
+    }
+
+    #[test]
+    fn trace_context_propagates_through_fetch_and_followers() {
+        use upnp_trace::{SpanId, TraceId};
+
+        let ctx_a = TraceCtx {
+            trace: TraceId(0xaaaa),
+            parent: SpanId(0xa1),
+        };
+        let ctx_b = TraceCtx {
+            trace: TraceId(0xbbbb),
+            parent: SpanId(0xb1),
+        };
+        let traced = |src: &str, body: MessageBody, ctx: TraceCtx| {
+            let mut d = dgram(src, body);
+            d.payload = d.payload.with_trace(ctx);
+            d
+        };
+        let mut c = cache();
+        let p = 0xad1c_be01;
+
+        // Miss: the chunk request upstream carries the initiator's ctx.
+        let r = c.on_datagram(&traced(
+            THING_A,
+            MessageBody::DriverRequest { peripheral: p },
+            ctx_a,
+        ));
+        assert_eq!(sends(&r)[0].payload.trace(), ctx_a);
+        // Follower parks with its own ctx.
+        c.on_datagram(&traced(
+            THING_B,
+            MessageBody::DriverRequest { peripheral: p },
+            ctx_b,
+        ));
+
+        // Every chunk advance (and the completion uploads) keep lineage.
+        let bytes = image_bytes();
+        let mut uploads = Vec::new();
+        for body in chunks_of(&bytes, 1) {
+            let r = c.on_datagram(&dgram(ORIGIN, body));
+            for d in sends(&r) {
+                match Message::decode(&d.payload).map(|m| m.body) {
+                    Some(MessageBody::DriverChunkRequest { .. }) => {
+                        assert_eq!(
+                            d.payload.trace(),
+                            ctx_a,
+                            "retransfer leg keeps initiator ctx"
+                        );
+                    }
+                    Some(MessageBody::DriverUpload { .. }) => {
+                        uploads.push((d.dst, d.payload.trace()));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(
+            uploads,
+            vec![
+                (THING_A.parse().unwrap(), ctx_a),
+                (THING_B.parse().unwrap(), ctx_b),
+            ],
+            "each follower's upload carries that follower's own context"
+        );
+
+        // Cache hit: the upload carries the requester's context.
+        let r = c.on_datagram(&traced(
+            THING_B,
+            MessageBody::DriverRequest { peripheral: p },
+            ctx_b,
+        ));
+        assert_eq!(sends(&r)[0].payload.trace(), ctx_b);
+    }
+
+    #[test]
+    fn trace_context_survives_retries_and_failover() {
+        use upnp_trace::{SpanId, TraceId};
+
+        let ctx_a = TraceCtx {
+            trace: TraceId(0xaaaa),
+            parent: SpanId(0xa1),
+        };
+        let ctx_b = TraceCtx {
+            trace: TraceId(0xbbbb),
+            parent: SpanId(0xb1),
+        };
+        let traced = |src: &str, body: MessageBody, ctx: TraceCtx| {
+            let mut d = dgram(src, body);
+            d.payload = d.payload.with_trace(ctx);
+            d
+        };
+        let mut c = cache();
+        let p = 0xad1c_be01;
+        let r = c.on_datagram(&traced(
+            THING_A,
+            MessageBody::DriverRequest { peripheral: p },
+            ctx_a,
+        ));
+        let CacheAction::ArmTimer { mut gen, .. } = r.actions[1] else {
+            panic!("miss arms a timer");
+        };
+        c.on_datagram(&traced(
+            THING_B,
+            MessageBody::DriverRequest { peripheral: p },
+            ctx_b,
+        ));
+        // Retries re-request with the initiator's ctx.
+        for _ in 0..c.config.max_retries {
+            let r = c.on_timer(p, gen);
+            assert_eq!(sends(&r)[0].payload.trace(), ctx_a);
+            let CacheAction::ArmTimer { gen: g, .. } = r.actions[1] else {
+                panic!("retry re-arms");
+            };
+            gen = g;
+        }
+        // Abandon: each follower's proxied failover request carries that
+        // follower's own context.
+        let r = c.on_timer(p, gen);
+        let out = sends(&r);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].payload.trace(), ctx_a);
+        assert_eq!(out[1].payload.trace(), ctx_b);
     }
 
     #[test]

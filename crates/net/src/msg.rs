@@ -12,6 +12,8 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use upnp_trace::TraceCtx;
+
 use crate::tlv::{self, Tlv};
 
 /// A 16-bit message sequence number.
@@ -111,18 +113,48 @@ pub fn payload_stats_process() -> PayloadStats {
 /// per-thread and process-wide counters ([`payload_stats`],
 /// [`payload_stats_process`]) so the zero-copy property is benchmarkable
 /// and CI-gateable.
-#[derive(PartialEq, Eq, Hash)]
+///
+/// Every payload also carries a [`TraceCtx`] — two machine words naming
+/// the distributed-tracing request (and causing span) the frame belongs
+/// to. The context is simulator metadata, not wire bytes: it never
+/// affects encoding, equality, hashing, energy or latency, and
+/// untraced payloads carry [`TraceCtx::NONE`].
 pub struct Payload {
     bytes: Arc<[u8]>,
+    trace: TraceCtx,
 }
 
 impl Payload {
-    /// Wraps owned bytes (one allocation, counted).
+    /// Wraps owned bytes (one allocation, counted) with no trace
+    /// context.
     pub fn new(bytes: Vec<u8>) -> Payload {
         PAYLOAD_LOCAL.with(|l| l.allocs.set(l.allocs.get() + 1));
         Payload {
             bytes: bytes.into(),
+            trace: TraceCtx::NONE,
         }
+    }
+
+    /// The same payload stamped with a trace context (refcount share,
+    /// not a byte copy, and not counted — stamping is simulator
+    /// bookkeeping, not data-plane work).
+    pub fn traced(&self, trace: TraceCtx) -> Payload {
+        Payload {
+            bytes: Arc::clone(&self.bytes),
+            trace,
+        }
+    }
+
+    /// Stamps a trace context onto an owned payload (in place, free).
+    pub fn with_trace(mut self, trace: TraceCtx) -> Payload {
+        self.trace = trace;
+        self
+    }
+
+    /// The distributed-tracing context this payload carries
+    /// ([`TraceCtx::NONE`] for untraced frames).
+    pub fn trace(&self) -> TraceCtx {
+        self.trace
     }
 
     /// A reference share for simulator-internal bookkeeping (cross-shard
@@ -133,7 +165,25 @@ impl Payload {
     pub fn coordination_clone(&self) -> Payload {
         Payload {
             bytes: Arc::clone(&self.bytes),
+            trace: self.trace,
         }
+    }
+}
+
+// Equality and hashing look at the carried bytes only: the trace
+// context is out-of-band metadata, and two frames with identical wire
+// bytes must stay interchangeable whether or not they were traced.
+impl PartialEq for Payload {
+    fn eq(&self, other: &Payload) -> bool {
+        self.bytes == other.bytes
+    }
+}
+
+impl Eq for Payload {}
+
+impl std::hash::Hash for Payload {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.bytes.hash(state);
     }
 }
 
@@ -142,6 +192,7 @@ impl Clone for Payload {
         PAYLOAD_LOCAL.with(|l| l.clones.set(l.clones.get() + 1));
         Payload {
             bytes: Arc::clone(&self.bytes),
+            trace: self.trace,
         }
     }
 }
@@ -377,9 +428,18 @@ pub enum MessageBody {
 }
 
 impl MessageBody {
+    /// Wire type byte of (4) driver requests — the first payload byte,
+    /// so dispatchers can pre-filter resolve traffic without a full
+    /// decode.
+    pub const DRIVER_REQUEST_TYPE: u8 = 4;
+
     /// Wire type byte of (5) driver uploads — the first payload byte, so
     /// dispatchers can pre-filter upload traffic without a full decode.
     pub const DRIVER_UPLOAD_TYPE: u8 = 5;
+
+    /// Wire type byte of (18) chunk requests, the cache→origin fetch
+    /// leg of the distribution tier.
+    pub const DRIVER_CHUNK_REQUEST_TYPE: u8 = 18;
 
     /// The paper's message number (1–17), or 18–20 for the
     /// distribution-tier extensions.
@@ -876,6 +936,40 @@ mod tests {
         // equality — the thread-local counters carry the exact checks.
         assert!(after.allocs > before.allocs);
         assert!(after.clones > before.clones);
+    }
+
+    #[test]
+    fn trace_context_rides_payloads_out_of_band() {
+        use upnp_trace::{SpanId, TraceId};
+
+        let plain = Payload::new(vec![4, 0, 1]);
+        assert!(plain.trace().is_none(), "untraced by default");
+
+        let ctx = TraceCtx {
+            trace: TraceId(0x1234),
+            parent: SpanId(0x5678),
+        };
+        let before = payload_stats();
+        let traced = plain.traced(ctx);
+        let after = payload_stats();
+        assert_eq!(before, after, "stamping is uncounted bookkeeping");
+        assert_eq!(traced.trace(), ctx);
+        assert_eq!(traced.clone().trace(), ctx, "clone preserves the context");
+        assert_eq!(
+            traced.coordination_clone().trace(),
+            ctx,
+            "cross-shard replay preserves the context"
+        );
+        // Out-of-band: the context never affects equality or hashing.
+        assert_eq!(plain, traced);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |p: &Payload| {
+            let mut h = DefaultHasher::new();
+            p.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&plain), hash(&traced));
     }
 
     #[test]
